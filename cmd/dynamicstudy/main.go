@@ -1,0 +1,49 @@
+// Command dynamicstudy compares the immediate-mode dynamic mapping
+// heuristics of Maheswaran et al. (reference [21] of the paper) on
+// makespan and on the online robustness timeline — the conditional Eq. 6
+// radius of the committed work at every arrival.
+//
+// Usage:
+//
+//	dynamicstudy [-seed N] [-trials N] [-tau T] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fepia/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dynamicstudy: ")
+	seed := flag.Int64("seed", 2003, "experiment seed")
+	trials := flag.Int("trials", 20, "number of workloads to average over")
+	tau := flag.Float64("tau", 1.2, "tolerance for the conditional radii")
+	csvPath := flag.String("csv", "", "also write the table as CSV to this path")
+	flag.Parse()
+
+	cfg := experiments.PaperDynStudyConfig()
+	cfg.Seed = *seed
+	cfg.Trials = *trials
+	cfg.Tau = *tau
+	res, err := experiments.RunDynStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,41 @@
+// Command figure1 regenerates the paper's Figure 1: the boundary curve
+// {π : f(π) = β^max}, the assumed operating point π^orig, the closest
+// boundary point π*, and the robustness radius between them.
+//
+// Usage:
+//
+//	figure1 [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fepia/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure1: ")
+	csvPath := flag.String("csv", "", "also write the curve and special points as CSV to this path")
+	flag.Parse()
+
+	res, err := experiments.RunFig1(experiments.PaperFig1Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,46 @@
+// Command figure4 regenerates the paper's Figure 4 (§4.3): robustness
+// against slack for 1000 randomly generated mappings of a HiPer-D instance
+// with 19 paths, 3 sensors, and 5 machines.
+//
+// Usage:
+//
+//	figure4 [-seed N] [-n mappings] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fepia/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure4: ")
+	seed := flag.Int64("seed", 2003, "experiment seed")
+	n := flag.Int("n", 1000, "number of random mappings")
+	csvPath := flag.String("csv", "", "also write the per-mapping series as CSV to this path")
+	flag.Parse()
+
+	cfg := experiments.PaperFig4Config()
+	cfg.Seed = *seed
+	cfg.Mappings = *n
+	res, err := experiments.RunFig4(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvPath)
+	}
+}

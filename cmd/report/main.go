@@ -1,0 +1,179 @@
+// Command report regenerates every artifact of the paper's evaluation —
+// Figures 1–4, Table 2 — plus this repository's extension experiments
+// (violation curve, discrete-radius comparison, heuristic ablation) and
+// writes a single self-contained text report. It is the one-command
+// companion to EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report               # full paper-scale run (~seconds)
+//	report -quick        # reduced sample counts for a fast smoke run
+//	report -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"fepia/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	quick := flag.Bool("quick", false, "reduced sample counts")
+	seed := flag.Int64("seed", 2003, "experiment seed")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	section := func(title string) {
+		fmt.Fprintf(w, "\n%s\n%s\n\n", title, underline(len(title)))
+	}
+
+	fmt.Fprintln(w, "FePIA robustness metric — full experimental report")
+	fmt.Fprintln(w, "(regenerates every table and figure of Ali et al., IPPS 2003, plus extensions)")
+
+	section("E1 — Figure 1: boundary curve and robustness radius")
+	fig1, err := experiments.RunFig1(experiments.PaperFig1Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, fig1.Report())
+
+	section("E2 — Figure 2: HiPer-D DAG and path decomposition")
+	fig2cfg := experiments.PaperFig2Config()
+	fig2cfg.Seed = *seed
+	fig2, err := experiments.RunFig2(fig2cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, fig2.Report())
+
+	section("E3 — Figure 3: robustness vs makespan (1000 random mappings)")
+	fig3cfg := experiments.PaperFig3Config()
+	fig3cfg.Seed = *seed
+	if *quick {
+		fig3cfg.Mappings = 200
+	}
+	fig3, err := experiments.RunFig3(fig3cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, fig3.Report())
+
+	section("E4 — Figure 4: robustness vs slack (1000 random mappings)")
+	fig4cfg := experiments.PaperFig4Config()
+	fig4cfg.Seed = *seed
+	if *quick {
+		fig4cfg.Mappings = 200
+	}
+	fig4, err := experiments.RunFig4(fig4cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, fig4.Report())
+
+	section("E5 — Table 2: similar slack, very different robustness")
+	pair, err := experiments.FindTable2Pair(fig4, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, pair.Report())
+
+	section("X1 — Violation probability vs error norm (simulation)")
+	vcfg := experiments.PaperViolationConfig()
+	vcfg.Seed = *seed
+	if *quick {
+		vcfg.PerRadius = 300
+	}
+	viol, err := experiments.RunViolation(vcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, viol.Report())
+
+	section("X2 — Discrete loads: floor(ρ) vs exact lattice radius")
+	dcfg := experiments.PaperDiscreteConfig()
+	dcfg.Seed = *seed
+	if *quick {
+		dcfg.Mappings = 10
+	}
+	disc, err := experiments.RunDiscrete(dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, disc.Report())
+
+	section("X3 — Norm sensitivity: ρ under ℓ₁ / ℓ₂ / ℓ∞")
+	ncfg := experiments.PaperNormsConfig()
+	ncfg.Seed = *seed
+	if *quick {
+		ncfg.Mappings = 100
+	}
+	norms, err := experiments.RunNorms(ncfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, norms.Report())
+
+	section("X4 — Heuristic ablation: makespan-greedy vs robustness-greedy")
+	hcfg := experiments.PaperHeurStudyConfig()
+	hcfg.Seed = *seed
+	if *quick {
+		hcfg.Trials = 2
+	}
+	heur, err := experiments.RunHeurStudy(hcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, heur.Report())
+
+	section("X5 — Dynamic mapping: online robustness timeline")
+	dyncfg := experiments.PaperDynStudyConfig()
+	dyncfg.Seed = *seed
+	if *quick {
+		dyncfg.Trials = 5
+	}
+	dyn, err := experiments.RunDynStudy(dyncfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, dyn.Report())
+
+	section("X6 — ETC consistency ablation")
+	ccfg := experiments.PaperConsistencyConfig()
+	ccfg.Seed = *seed
+	if *quick {
+		ccfg.Mappings = 120
+	}
+	cons, err := experiments.RunConsistency(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, cons.Report())
+
+	if *out != "" {
+		fmt.Printf("report written to %s\n", *out)
+	}
+}
+
+func underline(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,115 @@
+// Command robustcli computes the §3.1 robustness analysis of a mapping
+// supplied as JSON — the downstream-user entry point for one-off
+// evaluations.
+//
+// The input format is the serialisation of internal/hcs.Mapping:
+//
+//	{"etc": [[t00, t01], [t10, t11], ...], "assign": [m0, m1, ...]}
+//
+// where etc[i][j] is the estimated time of application i on machine j and
+// assign[i] is the machine application i is mapped to.
+//
+// With -slowdown, the analysis switches to the second derivation for the
+// same system: per-machine slowdown factors as the perturbation parameter
+// (the tolerable slowdown of machine j alone is 1 + r_j).
+//
+// Usage:
+//
+//	robustcli -tau 1.2 mapping.json
+//	robustcli -demo             # run on a small built-in example
+//	robustcli -demo -slowdown   # machine-slowdown robustness instead
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("robustcli: ")
+	tau := flag.Float64("tau", 1.2, "makespan tolerance multiplier (τ ≥ 1)")
+	demo := flag.Bool("demo", false, "analyse a built-in example instead of reading a file")
+	slowdown := flag.Bool("slowdown", false, "analyse robustness against machine slowdowns instead of ETC errors")
+	flag.Parse()
+
+	var m hcs.Mapping
+	switch {
+	case *demo:
+		if err := json.Unmarshal([]byte(demoJSON), &m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("analysing built-in demo mapping:")
+		fmt.Println(demoJSON)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &m); err != nil {
+			log.Fatalf("parsing %s: %v", flag.Arg(0), err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *slowdown {
+		res, err := indalloc.EvaluateSlowdown(&m, *tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npredicted makespan M^orig       = %.6g\n", res.PredictedMakespan)
+		fmt.Printf("robustness ρ_μ(Φ, s)            = %.6g (relative slowdown)\n", res.Robustness)
+		fmt.Printf("critical machine                = m%d (the makespan machine)\n", res.CriticalMachine)
+		fmt.Println("\nper-machine tolerable slowdowns 1 + r_μ(F_j, s):")
+		for j, r := range res.Radii {
+			if math.IsInf(r, 1) {
+				fmt.Printf("  m%-2d  ∞ (no applications)\n", j)
+				continue
+			}
+			fmt.Printf("  m%-2d  %.4f×\n", j, 1+r)
+		}
+		return
+	}
+
+	res, err := indalloc.Evaluate(&m, *tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted makespan M^orig       = %.6g\n", res.PredictedMakespan)
+	fmt.Printf("tolerance bound τ·M^orig        = %.6g\n", *tau*res.PredictedMakespan)
+	fmt.Printf("robustness ρ_μ(Φ, C)            = %.6g (time units of the ETC matrix)\n", res.Robustness)
+	fmt.Printf("critical machine                = m%d\n", res.CriticalMachine)
+	fmt.Println("\nper-machine robustness radii r_μ(F_j, C):")
+	for j, r := range res.Radii {
+		idle := ""
+		if math.IsInf(r, 1) {
+			idle = "  (no applications: can never violate)"
+		}
+		fmt.Printf("  m%-2d  %.6g%s\n", j, r, idle)
+	}
+	fmt.Println("\nclosest violating execution-time vector C*:")
+	orig := m.ETCVector()
+	for i, c := range res.BoundaryETC {
+		delta := c - orig[i]
+		marker := ""
+		if delta != 0 {
+			marker = fmt.Sprintf("  (+%.6g)", delta)
+		}
+		fmt.Printf("  a%-2d  %.6g%s\n", i, c, marker)
+	}
+}
+
+// demoJSON is a 6-application, 3-machine example with an uneven load.
+const demoJSON = `{
+  "etc": [[4,6,9],[3,7,8],[6,2,5],[9,3,3],[2,8,7],[5,5,4]],
+  "assign": [0, 0, 1, 2, 0, 2]
+}`

@@ -1,0 +1,98 @@
+// Custom system: derive a robustness metric for a system the paper never
+// analysed — a three-tier web service — by walking the FePIA procedure
+// with non-linear (convex) impact functions. This is the "procedure for an
+// arbitrary system" claim of the paper exercised end to end.
+//
+// Model: requests arrive at rate λ_web and λ_api (two independent traffic
+// classes). Each tier is an M/M/1-like station: its mean response time is
+// T = 1/(μ − load) where μ is the tier's service capacity and load is a
+// linear mix of the two arrival rates. The SLA bounds each tier's response
+// time; the operator wants to know how much the traffic vector can grow in
+// ANY direction before an SLA is violated.
+//
+// Run with:
+//
+//	go run ./examples/customsystem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	robustness "fepia"
+)
+
+// tier describes one station: capacity, traffic mix, and SLA bound.
+type tier struct {
+	name     string
+	mu       float64    // service capacity (requests/s)
+	mix      [2]float64 // how much of (λ_web, λ_api) hits this tier
+	slaLimit float64    // max tolerable mean response time (s)
+}
+
+func main() {
+	log.SetFlags(0)
+
+	tiers := []tier{
+		{name: "edge", mu: 1200, mix: [2]float64{1.0, 1.0}, slaLimit: 0.010},
+		{name: "app", mu: 900, mix: [2]float64{0.4, 1.0}, slaLimit: 0.020},
+		// The db tier has a tight SLA: its robust headroom is small even
+		// though its utilisation is the lowest of the three.
+		{name: "db", mu: 500, mix: [2]float64{0.1, 0.6}, slaLimit: 0.010},
+	}
+
+	// FePIA step 2 (P): the perturbation parameter is the traffic vector,
+	// assumed at the current measured rates.
+	p := robustness.Perturbation{
+		Name:  "λ",
+		Orig:  []float64{300, 200}, // (λ_web, λ_api) requests/s
+		Units: "requests/s",
+	}
+
+	// FePIA steps 1+3 (Fe, I): response-time features with convex impact
+	// functions T(λ) = 1/(μ − mix·λ), valid while the tier is stable.
+	features := make([]robustness.Feature, 0, len(tiers))
+	for _, tr := range tiers {
+		tr := tr
+		features = append(features, robustness.Feature{
+			Name: "T(" + tr.name + ")",
+			Impact: &robustness.FuncImpact{
+				N: 2,
+				F: func(lam []float64) float64 {
+					load := tr.mix[0]*lam[0] + tr.mix[1]*lam[1]
+					if load >= tr.mu {
+						return tr.slaLimit * 1e6 // saturated: far past any bound
+					}
+					return 1 / (tr.mu - load)
+				},
+				Convex: true, // 1/(μ−x) is convex on the stable region
+			},
+			Bounds: robustness.NoMin(tr.slaLimit),
+		})
+	}
+
+	// FePIA step 4 (A).
+	a, err := robustness.Analyze(features, p, robustness.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(a)
+
+	cf := a.CriticalFeature()
+	fmt.Println()
+	fmt.Printf("The traffic vector can move %.1f requests/s in ANY direction before an\n", a.Robustness)
+	fmt.Printf("SLA is violated; the first constraint to break is %s, at traffic\n", cf.Feature)
+	fmt.Printf("λ* = (%.1f, %.1f).\n\n", cf.Boundary[0], cf.Boundary[1])
+
+	// Contrast with a naive per-tier utilisation report at the operating
+	// point, which — like slack in §4.3 — says nothing about directions.
+	fmt.Println("utilisation at the operating point (the 'slack view'):")
+	for _, tr := range tiers {
+		load := tr.mix[0]*p.Orig[0] + tr.mix[1]*p.Orig[1]
+		fmt.Printf("  %-5s %.0f/%.0f = %.1f%%\n", tr.name, load, tr.mu, 100*load/tr.mu)
+	}
+	fmt.Println("\nUtilisation ranks edge as the busiest tier and db as the most relaxed,")
+	fmt.Println("yet the robustness analysis shows the db SLA breaks first: like slack")
+	fmt.Println("in §4.3 of the paper, a point measure of headroom says nothing about")
+	fmt.Println("the direction-worst distance to a violation.")
+}

@@ -1,0 +1,49 @@
+// Dynamic mapping with an online robustness timeline: tasks arrive over
+// time, an immediate-mode heuristic commits each to a machine, and after
+// every commitment the conditional robustness radius (Eq. 6 applied to the
+// outstanding work) says how fragile the current commitment is.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fepia/internal/dynamic"
+	"fepia/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	w, err := dynamic.Generate(stats.NewRNG(42), dynamic.PaperGenParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d tasks arriving over ~%.1f time units, %d machines\n\n",
+		len(w.Tasks), w.Tasks[len(w.Tasks)-1].Arrival, w.Machines)
+
+	res, err := dynamic.Run(stats.NewRNG(1), w, dynamic.MCT{}, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MCT immediate-mode run — makespan %.2f\n\n", res.Makespan)
+	fmt.Printf("%8s %6s %8s %12s %14s\n", "time", "task", "machine", "pred. span", "cond. ρ")
+	for _, s := range res.Snapshots {
+		bar := strings.Repeat("#", int(s.Robustness*2))
+		if len(bar) > 30 {
+			bar = bar[:30] + "…"
+		}
+		fmt.Printf("%8.2f a%-5d m%-7d %12.2f %8.3f %s\n",
+			s.Time, s.TaskID, s.Machine, s.PredictedMakespan, s.Robustness, bar)
+	}
+
+	fmt.Println("\nReading: the conditional ρ dips when a commitment concentrates")
+	fmt.Println("outstanding work (more tasks share the critical machine → Eq. 6's √n")
+	fmt.Println("penalty) and recovers as work drains. Compare heuristics with")
+	fmt.Println("`go run ./cmd/dynamicstudy`.")
+}

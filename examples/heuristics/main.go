@@ -1,0 +1,83 @@
+// Heuristic comparison: map one §4.2 instance with every heuristic in the
+// suite and show that makespan quality and robustness quality are
+// different orders — the motivation for measuring robustness explicitly.
+//
+// Run with:
+//
+//	go run ./examples/heuristics
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/heuristics"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	etc, err := etcgen.Generate(stats.NewRNG(42), etcgen.PaperParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := hcs.NewInstance(etc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const tau = 1.2
+	suite := append(heuristics.All(),
+		heuristics.RobustGreedy{Tau: tau},
+		heuristics.RobustRefine{Tau: tau},
+		heuristics.RobustGA{Tau: tau},
+	)
+
+	type row struct {
+		name           string
+		makespan, rho  float64
+		makespanRank   int
+		robustnessRank int
+	}
+	rows := make([]row, 0, len(suite))
+	for _, h := range suite {
+		m, err := h.Map(stats.NewRNG(7), inst)
+		if err != nil {
+			log.Fatalf("%s: %v", h.Name(), err)
+		}
+		res, err := indalloc.Evaluate(m, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name: h.Name(), makespan: res.PredictedMakespan, rho: res.Robustness})
+	}
+
+	// Rank by each metric.
+	bySpan := make([]int, len(rows))
+	byRho := make([]int, len(rows))
+	for i := range rows {
+		bySpan[i], byRho[i] = i, i
+	}
+	sort.Slice(bySpan, func(a, b int) bool { return rows[bySpan[a]].makespan < rows[bySpan[b]].makespan })
+	sort.Slice(byRho, func(a, b int) bool { return rows[byRho[a]].rho > rows[byRho[b]].rho })
+	for rank, i := range bySpan {
+		rows[i].makespanRank = rank + 1
+	}
+	for rank, i := range byRho {
+		rows[i].robustnessRank = rank + 1
+	}
+
+	fmt.Printf("one §4.2 instance (20 applications, 5 machines), tau = %.1f\n\n", tau)
+	fmt.Printf("%-24s %10s %6s %10s %6s\n", "heuristic", "makespan", "rank", "rho", "rank")
+	for _, r := range rows {
+		fmt.Printf("%-24s %10.4g %6d %10.4g %6d\n", r.name, r.makespan, r.makespanRank, r.rho, r.robustnessRank)
+	}
+	fmt.Println("\nNote how the two rankings disagree: the best-makespan mappings pack")
+	fmt.Println("the critical machine densely, which Eq. 6 penalises by √n. The robust")
+	fmt.Println("variants give up bounded makespan (≤ τ× Min-min) to buy robustness.")
+}

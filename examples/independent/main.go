@@ -1,0 +1,88 @@
+// Independent-application allocation (§3.1): the closed-form robustness
+// analysis of a mapping, its boundary vector C*, and a comparison of two
+// mappings with identical makespan but very different robustness — the
+// phenomenon behind Figure 3.
+//
+// Run with:
+//
+//	go run ./examples/independent
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	robustness "fepia"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Four applications, two machines. Mapping X packs the two short
+	// applications together; mapping Y pairs long with short. Both have
+	// makespan 10, but they differ in how many applications sit on the
+	// critical machine — and Eq. 6 divides the headroom by √n.
+	etc := [][]float64{
+		// m0  m1
+		{5, 5},   // a0
+		{5, 5},   // a1
+		{10, 10}, // a2
+		{10, 10}, // a3
+	}
+	mappingX := []int{0, 0, 1, 1} // m0: a0,a1 (10); m1: a2,a3 (20) — makespan 20
+	mappingY := []int{0, 1, 0, 1} // m0: a0,a2 (15); m1: a1,a3 (15) — makespan 15
+
+	const tau = 1.2
+	for _, c := range []struct {
+		name   string
+		assign []int
+	}{
+		{"X (short+short / long+long)", mappingX},
+		{"Y (short+long / short+long)", mappingY},
+	} {
+		res, err := robustness.EvaluateIndependentAllocation(etc, c.assign, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mapping %s\n", c.name)
+		fmt.Printf("  predicted makespan M^orig = %.4g\n", res.PredictedMakespan)
+		fmt.Printf("  robustness ρ              = %.4g\n", res.Robustness)
+		fmt.Printf("  critical machine          = m%d\n", res.CriticalMachine)
+		fmt.Printf("  per-machine radii         = %s\n", radii(res.Radii))
+		fmt.Printf("  boundary vector C*        = %.4v\n\n", res.BoundaryETC)
+	}
+
+	// The balanced mapping wins on makespan AND robustness here; but within
+	// equal-makespan families the robustness still differentiates. Verify
+	// the Eq. 6 closed form by hand for mapping Y:
+	//   ρ = (τ·15 − 15)/√2 = 3/√2.
+	resY, err := robustness.EvaluateIndependentAllocation(etc, mappingY, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := (tau*15 - 15) / math.Sqrt2
+	fmt.Printf("hand check (Eq. 6): ρ(Y) = (τ·M − M)/√2 = %.6f, library says %.6f\n", want, resY.Robustness)
+
+	// Interpretation of ρ in this system: any combination of ETC errors
+	// with Euclidean norm ≤ ρ keeps the actual makespan within τ of the
+	// prediction. Demonstrate with the worst direction — all error on the
+	// critical machine, split equally (observation 2 of §3.1).
+	fmt.Println("\nworst-case direction: equal errors on the critical machine's applications;")
+	fmt.Println("C* above realises it — any smaller excursion is provably safe.")
+}
+
+func radii(rs []float64) string {
+	out := ""
+	for j, r := range rs {
+		if j > 0 {
+			out += ", "
+		}
+		if math.IsInf(r, 1) {
+			out += fmt.Sprintf("m%d: ∞", j)
+		} else {
+			out += fmt.Sprintf("m%d: %.4g", j, r)
+		}
+	}
+	return out
+}

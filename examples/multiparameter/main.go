@@ -1,0 +1,108 @@
+// Multi-parameter robustness: the simultaneous-perturbation case the
+// paper defers to its reference [1], exercised through the public facade.
+//
+// Scenario: one machine runs two applications with estimated times
+// (6 s, 4 s). Two things are uncertain at once: the execution times C
+// (estimation error) and a machine slowdown factor s (background load;
+// assumed 1.0). The finishing time is F(C, s) = s·(C₀ + C₁) — bilinear in
+// the joint vector, so neither parameter alone tells the whole story.
+//
+// The example contrasts three analyses:
+//
+//  1. per-parameter (the paper's §2 assumption): C alone, then s alone;
+//  2. joint with the plain Euclidean norm (units clash: seconds vs a
+//     dimensionless factor);
+//  3. joint with the commensurable weighted norm from JointWeights.
+//
+// Run with:
+//
+//	go run ./examples/multiparameter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	robustness "fepia"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const bound = 13.0 // β^max = 1.3 × predicted finishing time 10 s
+
+	cParam := robustness.Perturbation{Name: "C", Orig: []float64{6, 4}, Units: "seconds"}
+	sParam := robustness.Perturbation{Name: "s", Orig: []float64{1}, Units: "×"}
+
+	// --- 1. Per-parameter analyses (independence assumption) ---
+	sumC, err := robustness.NewLinearImpact([]float64{1, 1}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aC, err := robustness.Analyze([]robustness.Feature{
+		{Name: "F", Impact: sumC, Bounds: robustness.NoMin(bound)},
+	}, cParam, robustness.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slowdown, err := robustness.NewLinearImpact([]float64{10}, 0) // F = 10·s at C = C^orig
+	if err != nil {
+		log.Fatal(err)
+	}
+	aS, err := robustness.Analyze([]robustness.Feature{
+		{Name: "F", Impact: slowdown, Bounds: robustness.NoMin(bound)},
+	}, sParam, robustness.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-parameter radii (each holds the OTHER parameter fixed):\n")
+	fmt.Printf("  r(F, C) = %.4f seconds\n", aC.Robustness)
+	fmt.Printf("  r(F, s) = %.4f ×\n\n", aS.Robustness)
+
+	// --- 2. Joint analysis, plain ℓ₂ ---
+	joint, err := robustness.ConcatPerturbations("C⊕s", cParam, sParam)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bilinear := &robustness.FuncImpact{
+		N:      3,
+		F:      func(x []float64) float64 { return x[2] * (x[0] + x[1]) },
+		Convex: false, // bilinear — the analysis adds an annealing pass
+	}
+	feature := []robustness.Feature{{Name: "F", Impact: bilinear, Bounds: robustness.NoMin(bound)}}
+	aJoint, err := robustness.Analyze(feature, joint.Perturbation, robustness.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint analysis, plain ℓ₂ (seconds and × added incommensurably):\n")
+	fmt.Printf("  ρ = %.4f — dominated by the cheap slowdown direction\n", aJoint.Robustness)
+	fmt.Printf("  boundary point (C₀, C₁, s) = %.4v\n\n", aJoint.CriticalFeature().Boundary)
+
+	// --- 3. Joint analysis, commensurable weighted norm ---
+	// JointWeights only applies analytically to linear impacts, so
+	// linearise F around the operating point: dF = s·dC₀ + s·dC₁ +
+	// (C₀+C₁)·ds = dC₀ + dC₁ + 10·ds at the operating point.
+	w, err := robustness.JointWeights(joint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Offset −10 anchors the linearisation at F(orig) = 10:
+	// F~(x) = 1·C₀ + 1·C₁ + 10·s − 10.
+	linearised, err := robustness.NewLinearImpact([]float64{1, 1, 10}, -10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aW, err := robustness.Analyze([]robustness.Feature{
+		{Name: "F~", Impact: linearised, Bounds: robustness.NoMin(bound)},
+	}, joint.Perturbation, robustness.Options{Norm: w})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint analysis, weighted norm (1 unit ≈ one characteristic relative change):\n")
+	fmt.Printf("  ρ = %.4f relative units (linearised impact)\n\n", aW.Robustness)
+
+	fmt.Println("Reading: the per-parameter radii overstate safety — they assume the")
+	fmt.Println("other uncertainty stays put. The joint radius is smaller than either,")
+	fmt.Println("because a little extra load AND a little estimation error together")
+	fmt.Println("cross the bound sooner than either alone.")
+}

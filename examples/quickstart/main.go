@@ -1,0 +1,63 @@
+// Quickstart: derive a robustness metric for the paper's running example
+// (§2) using nothing but the public facade.
+//
+// System: two machines; m0 runs applications a0 (6 s) and a1 (4 s), m1
+// runs a2 (8 s). Requirement: no machine's finishing time may exceed 1.3×
+// the predicted makespan, no matter how wrong the ETC estimates are.
+// Question: how wrong can they collectively be?
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	robustness "fepia"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// FePIA step 1 (Fe): the performance features are the machine
+	// finishing times, each bounded by β^max = 1.3 × M^orig = 13.
+	const bound = 1.3 * 10
+
+	// FePIA step 3 (I): each finishing time is the sum of the execution
+	// times of the applications on that machine — affine in C.
+	f0, err := robustness.NewLinearImpact([]float64{1, 1, 0}, 0) // m0: a0 + a1
+	if err != nil {
+		log.Fatal(err)
+	}
+	f1, err := robustness.NewLinearImpact([]float64{0, 0, 1}, 0) // m1: a2
+	if err != nil {
+		log.Fatal(err)
+	}
+	features := []robustness.Feature{
+		{Name: "finish(m0)", Impact: f0, Bounds: robustness.NoMin(bound)},
+		{Name: "finish(m1)", Impact: f1, Bounds: robustness.NoMin(bound)},
+	}
+
+	// FePIA step 2 (P): the perturbation parameter is the vector of actual
+	// execution times, assumed to be the estimates.
+	p := robustness.Perturbation{
+		Name:  "C",
+		Orig:  []float64{6, 4, 8},
+		Units: "seconds",
+	}
+
+	// FePIA step 4 (A): analyse.
+	a, err := robustness.Analyze(features, p, robustness.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(a) // the Analysis type renders a readable report
+	fmt.Println()
+	fmt.Printf("Interpretation: as long as the Euclidean norm of the ETC errors stays\n")
+	fmt.Printf("below %.3f s, no finishing time can exceed %.1f s. The critical\n", a.Robustness, bound)
+	fmt.Printf("feature is %s: its boundary point is C* = %.3v.\n",
+		a.CriticalFeature().Feature, a.CriticalFeature().Boundary)
+}

@@ -1,0 +1,3 @@
+module fepia
+
+go 1.22

@@ -1,0 +1,71 @@
+package convexfn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// termJSON is the wire form of a Term: the kind as a string plus the
+// numeric fields, e.g. {"kind":"power","index":0,"coeff":2.5,"p":2}.
+type termJSON struct {
+	Kind  string  `json:"kind"`
+	Index int     `json:"index"`
+	Coeff float64 `json:"coeff"`
+	P     float64 `json:"p,omitempty"`
+}
+
+// KindName returns the JSON string for a kind ("linear", "power", "exp",
+// "xlogx"), or an error for unknown kinds.
+func KindName(k TermKind) (string, error) {
+	switch k {
+	case LinearTerm:
+		return "linear", nil
+	case PowerTerm:
+		return "power", nil
+	case ExpTerm:
+		return "exp", nil
+	case XLogXTerm:
+		return "xlogx", nil
+	default:
+		return "", fmt.Errorf("convexfn: unknown term kind %d", int(k))
+	}
+}
+
+// ParseKind is the inverse of KindName.
+func ParseKind(s string) (TermKind, error) {
+	switch s {
+	case "linear":
+		return LinearTerm, nil
+	case "power":
+		return PowerTerm, nil
+	case "exp":
+		return ExpTerm, nil
+	case "xlogx":
+		return XLogXTerm, nil
+	default:
+		return 0, fmt.Errorf("convexfn: unknown term kind %q (want linear, power, exp, or xlogx)", s)
+	}
+}
+
+// MarshalJSON encodes the term with its kind as a string.
+func (t Term) MarshalJSON() ([]byte, error) {
+	name, err := KindName(t.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(termJSON{Kind: name, Index: t.Index, Coeff: t.Coeff, P: t.P})
+}
+
+// UnmarshalJSON decodes the string-kinded wire form.
+func (t *Term) UnmarshalJSON(data []byte) error {
+	var raw termJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	kind, err := ParseKind(raw.Kind)
+	if err != nil {
+		return err
+	}
+	*t = Term{Kind: kind, Index: raw.Index, Coeff: raw.Coeff, P: raw.P}
+	return nil
+}

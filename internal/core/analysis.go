@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Analysis is the outcome of FePIA step 4 for one perturbation parameter:
+// every feature's robustness radius and the aggregate robustness metric.
+type Analysis struct {
+	// Perturbation names the parameter analysed.
+	Perturbation string
+	// Units echoes the parameter's units (the metric has the same units).
+	Units string
+	// Radii holds one entry per feature, in input order.
+	Radii []RadiusResult
+	// Robustness is ρ_μ(Φ, π_j) = min_i r_μ(φ_i, π_j), floored when the
+	// parameter is discrete (§3.2). +Inf if every radius is infinite.
+	Robustness float64
+	// Critical is the index (into Radii) of the feature attaining the
+	// minimum — the feature that fails first as the parameter drifts.
+	// −1 when every radius is infinite.
+	Critical int
+}
+
+// Analyze evaluates Eq. 2: it computes the robustness radius of every
+// feature in Φ against the perturbation parameter and aggregates them by
+// taking the minimum. The feature set must be non-empty.
+func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error) {
+	if len(features) == 0 {
+		return Analysis{}, fmt.Errorf("core: empty feature set Φ")
+	}
+	a := Analysis{
+		Perturbation: p.Name,
+		Units:        p.Units,
+		Radii:        make([]RadiusResult, len(features)),
+		Robustness:   math.Inf(1),
+		Critical:     -1,
+	}
+	for i, f := range features {
+		r, err := ComputeRadius(f, p, opts)
+		if err != nil {
+			return Analysis{}, err
+		}
+		a.Radii[i] = r
+		if r.Radius < a.Robustness {
+			a.Robustness = r.Radius
+			a.Critical = i
+		}
+	}
+	if p.Discrete && !math.IsInf(a.Robustness, 1) {
+		a.Robustness = math.Floor(a.Robustness)
+	}
+	return a, nil
+}
+
+// CriticalFeature returns the result for the binding feature, or nil when
+// all radii are infinite.
+func (a Analysis) CriticalFeature() *RadiusResult {
+	if a.Critical < 0 {
+		return nil
+	}
+	return &a.Radii[a.Critical]
+}
+
+// String renders a short multi-line report: the metric, the critical
+// feature, and the per-feature radii sorted ascending (ties by name).
+func (a Analysis) String() string {
+	var b strings.Builder
+	units := a.Units
+	if units != "" {
+		units = " " + units
+	}
+	fmt.Fprintf(&b, "robustness ρ(Φ, %s) = %g%s\n", a.Perturbation, a.Robustness, units)
+	if cf := a.CriticalFeature(); cf != nil {
+		fmt.Fprintf(&b, "critical feature: %s (%s, %s)\n", cf.Feature, cf.Kind, cf.Method)
+	}
+	order := make([]int, len(a.Radii))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		rx, ry := a.Radii[order[x]], a.Radii[order[y]]
+		if rx.Radius != ry.Radius {
+			return rx.Radius < ry.Radius
+		}
+		return rx.Feature < ry.Feature
+	})
+	for _, i := range order {
+		r := a.Radii[i]
+		fmt.Fprintf(&b, "  r(%s) = %g (%s)\n", r.Feature, r.Radius, r.Kind)
+	}
+	return b.String()
+}
+
+// ParameterSet couples one perturbation parameter with the features (and
+// impact functions) it affects — the input to a multi-parameter analysis.
+// The paper analyses one parameter at a time and defers simultaneous
+// parameters to [1]; MultiAnalyze implements the per-parameter extension:
+// each parameter gets its own ρ, and the report collects them so a designer
+// can see which uncertainty dimension the mapping is most fragile against.
+type ParameterSet struct {
+	// Perturbation is π_j.
+	Perturbation Perturbation
+	// Features are the φ_i with their impact functions f_ij against this
+	// parameter.
+	Features []Feature
+}
+
+// MultiAnalysis aggregates per-parameter analyses.
+type MultiAnalysis struct {
+	// ByParameter holds one Analysis per ParameterSet, in input order.
+	ByParameter []Analysis
+}
+
+// MultiAnalyze runs Analyze for every parameter set.
+func MultiAnalyze(sets []ParameterSet, opts Options) (MultiAnalysis, error) {
+	if len(sets) == 0 {
+		return MultiAnalysis{}, fmt.Errorf("core: empty parameter set Π")
+	}
+	out := MultiAnalysis{ByParameter: make([]Analysis, len(sets))}
+	for i, s := range sets {
+		a, err := Analyze(s.Features, s.Perturbation, opts)
+		if err != nil {
+			return MultiAnalysis{}, fmt.Errorf("core: parameter %q: %w", s.Perturbation.Name, err)
+		}
+		out.ByParameter[i] = a
+	}
+	return out, nil
+}
+
+// MostFragile returns the analysis with the smallest robustness metric
+// normalised by the Euclidean norm of its operating point (so parameters
+// with different units can be compared on relative fragility), together
+// with its index. It returns index −1 for an empty analysis.
+//
+// Note: cross-parameter comparison is inherently unit-sensitive; the
+// normalisation makes ρ dimensionless but is a pragmatic choice, not part
+// of the paper's formulation.
+func (m MultiAnalysis) MostFragile(origNorms []float64) (int, *Analysis) {
+	best := -1
+	bestVal := math.Inf(1)
+	for i := range m.ByParameter {
+		v := m.ByParameter[i].Robustness
+		if len(origNorms) == len(m.ByParameter) && origNorms[i] > 0 {
+			v /= origNorms[i]
+		}
+		if v < bestVal {
+			bestVal = v
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, nil
+	}
+	return best, &m.ByParameter[best]
+}

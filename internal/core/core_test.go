@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"fepia/internal/vecmath"
+)
+
+func linear(t *testing.T, coeffs []float64, offset float64) *LinearImpact {
+	t.Helper()
+	l, err := NewLinearImpact(coeffs, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBounds(t *testing.T) {
+	if err := (Bounds{Min: 2, Max: 1}).Validate(); err == nil {
+		t.Errorf("inverted bounds accepted")
+	}
+	if err := (Bounds{Min: math.NaN(), Max: 1}).Validate(); err == nil {
+		t.Errorf("NaN bounds accepted")
+	}
+	b := NoMin(10)
+	if !b.Contains(-1e18) || !b.Contains(10) || b.Contains(10.1) {
+		t.Errorf("NoMin bounds wrong: %v", b)
+	}
+	b = NoMax(0)
+	if !b.Contains(1e18) || b.Contains(-0.1) {
+		t.Errorf("NoMax bounds wrong: %v", b)
+	}
+	if (Bounds{1, 2}).String() == "" {
+		t.Errorf("empty bounds string")
+	}
+}
+
+func TestLinearImpact(t *testing.T) {
+	if _, err := NewLinearImpact([]float64{math.Inf(1)}, 0); err == nil {
+		t.Errorf("Inf coefficient accepted")
+	}
+	if _, err := NewLinearImpact([]float64{1}, math.NaN()); err == nil {
+		t.Errorf("NaN offset accepted")
+	}
+	l := linear(t, []float64{2, 3}, 1)
+	if got := l.Eval([]float64{1, 1}); got != 6 {
+		t.Errorf("Eval = %v", got)
+	}
+	if l.Dim() != 2 {
+		t.Errorf("Dim = %d", l.Dim())
+	}
+	g := l.Gradient(nil, []float64{5, 5})
+	if g[0] != 2 || g[1] != 3 {
+		t.Errorf("Gradient = %v", g)
+	}
+	// Constructor must clone.
+	c := []float64{1, 1}
+	l2, _ := NewLinearImpact(c, 0)
+	c[0] = 99
+	if l2.Coeffs[0] != 1 {
+		t.Errorf("NewLinearImpact shares storage")
+	}
+}
+
+func TestFuncImpactGradient(t *testing.T) {
+	f := &FuncImpact{N: 2, F: func(pi []float64) float64 { return pi[0] * pi[0] * pi[1] }}
+	g := f.Gradient(nil, []float64{2, 3}) // ∇ = (2xy, x²) = (12, 4)
+	if math.Abs(g[0]-12) > 1e-5 || math.Abs(g[1]-4) > 1e-5 {
+		t.Errorf("numeric gradient = %v", g)
+	}
+	fa := &FuncImpact{
+		N:    2,
+		F:    f.F,
+		Grad: func(dst, pi []float64) []float64 { return append(dst[:0], 7, 7) },
+	}
+	if g := fa.Gradient(make([]float64, 2), []float64{2, 3}); g[0] != 7 {
+		t.Errorf("analytic gradient unused")
+	}
+}
+
+func TestComputeRadiusValidation(t *testing.T) {
+	p := Perturbation{Name: "π", Orig: []float64{1, 1}}
+	if _, err := ComputeRadius(Feature{Name: "f", Bounds: Bounds{0, 1}}, p, Options{}); err == nil {
+		t.Errorf("nil impact accepted")
+	}
+	f := Feature{Name: "f", Impact: linear(t, []float64{1, 1}, 0), Bounds: Bounds{Min: 1, Max: 0}}
+	if _, err := ComputeRadius(f, p, Options{}); err == nil {
+		t.Errorf("inverted bounds accepted")
+	}
+	f = Feature{Name: "f", Impact: linear(t, []float64{1}, 0), Bounds: Bounds{0, 10}}
+	if _, err := ComputeRadius(f, p, Options{}); err == nil {
+		t.Errorf("dimension mismatch accepted")
+	}
+	if _, err := ComputeRadius(f, Perturbation{Name: "π"}, Options{}); err == nil {
+		t.Errorf("empty perturbation accepted")
+	}
+	if _, err := ComputeRadius(f, Perturbation{Name: "π", Orig: []float64{math.NaN()}}, Options{}); err == nil {
+		t.Errorf("NaN operating point accepted")
+	}
+}
+
+func TestRadiusLinearTwoSided(t *testing.T) {
+	// f(π) = π₁ + π₂, bounds ⟨0, 10⟩, orig (2,2) → f=4.
+	// Distance to max boundary: |10−4|/√2 = 4.243; to min: |0−4|/√2 = 2.828.
+	f := Feature{Name: "f", Impact: linear(t, []float64{1, 1}, 0), Bounds: Bounds{0, 10}}
+	p := Perturbation{Name: "π", Orig: []float64{2, 2}}
+	r, err := ComputeRadius(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 / math.Sqrt2
+	if math.Abs(r.Radius-want) > 1e-12 {
+		t.Errorf("radius = %v want %v", r.Radius, want)
+	}
+	if r.Kind != AtMin {
+		t.Errorf("binding bound = %v, want beta-min", r.Kind)
+	}
+	if r.Method != MethodHyperplane {
+		t.Errorf("method = %v", r.Method)
+	}
+	// The boundary point must be on the binding hyperplane.
+	if got := f.Impact.Eval(r.Boundary); math.Abs(got-0) > 1e-9 {
+		t.Errorf("boundary point off the plane: f = %v", got)
+	}
+}
+
+func TestRadiusAlreadyViolated(t *testing.T) {
+	f := Feature{Name: "f", Impact: linear(t, []float64{1}, 0), Bounds: Bounds{0, 1}}
+	p := Perturbation{Name: "π", Orig: []float64{5}}
+	r, err := ComputeRadius(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Radius != 0 || r.Kind != AlreadyViolated {
+		t.Errorf("violated start: %+v", r)
+	}
+}
+
+func TestRadiusUnreachable(t *testing.T) {
+	// Constant impact inside its bounds can never violate → +Inf.
+	f := Feature{Name: "f", Impact: linear(t, []float64{0, 0}, 5), Bounds: Bounds{0, 10}}
+	p := Perturbation{Name: "π", Orig: []float64{1, 1}}
+	r, err := ComputeRadius(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.Radius, 1) || r.Kind != Unreachable {
+		t.Errorf("unreachable: %+v", r)
+	}
+	// Constant impact exactly on a boundary → radius 0 at the origin.
+	f = Feature{Name: "f", Impact: linear(t, []float64{0}, 10), Bounds: Bounds{0, 10}}
+	r, err = ComputeRadius(f, Perturbation{Name: "π", Orig: []float64{3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Radius != 0 || r.Kind != AtMax {
+		t.Errorf("on-boundary constant: %+v", r)
+	}
+}
+
+func TestRadiusConvexImpact(t *testing.T) {
+	// f(π) = π₁² + π₂² (convex), bound max 25 from (1,0): radius 4.
+	f := Feature{
+		Name: "f",
+		Impact: &FuncImpact{
+			N:      2,
+			F:      func(pi []float64) float64 { return pi[0]*pi[0] + pi[1]*pi[1] },
+			Convex: true,
+		},
+		Bounds: NoMin(25),
+	}
+	p := Perturbation{Name: "π", Orig: []float64{1, 0}}
+	r, err := ComputeRadius(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Radius-4) > 1e-6 {
+		t.Errorf("convex radius = %v want 4", r.Radius)
+	}
+	if r.Method != MethodConvex {
+		t.Errorf("method = %v", r.Method)
+	}
+}
+
+func TestRadiusNonConvexUsesAnneal(t *testing.T) {
+	// Two-basin impact: the nearer boundary is around (−1,0), distance 0.5.
+	f := Feature{
+		Name: "f",
+		Impact: &FuncImpact{
+			N: 2,
+			F: func(x []float64) float64 {
+				a := (x[0]-4)*(x[0]-4) + x[1]*x[1]
+				b := (x[0]+1)*(x[0]+1) + x[1]*x[1]
+				return -math.Min(a, b) // rises to 0 at either disc boundary… make bound min
+			},
+			Convex: false,
+		},
+		Bounds: NoMin(-0.25), // violated when entering either disc of radius 0.5
+	}
+	p := Perturbation{Name: "π", Orig: []float64{0, 0}}
+	r, err := ComputeRadius(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Radius > 0.55 || r.Radius < 0.45 {
+		t.Errorf("non-convex radius = %v want ≈0.5", r.Radius)
+	}
+}
+
+func TestRadiusDualNorms(t *testing.T) {
+	// Plane π₁ + 2π₂ = 10 from origin.
+	coeffs := []float64{1, 2}
+	f := Feature{Name: "f", Impact: linear(t, coeffs, 0), Bounds: NoMin(10)}
+	p := Perturbation{Name: "π", Orig: []float64{0, 0}}
+	cases := []struct {
+		norm vecmath.Norm
+		want float64
+	}{
+		{vecmath.L2{}, 10 / math.Sqrt(5)}, // ‖a‖₂ = √5
+		{vecmath.L1{}, 10.0 / 2},          // dual = ‖a‖∞ = 2
+		{vecmath.LInf{}, 10.0 / 3},        // dual = ‖a‖₁ = 3
+	}
+	for _, c := range cases {
+		r, err := ComputeRadius(f, p, Options{Norm: c.norm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Radius-c.want) > 1e-12 {
+			t.Errorf("%s radius = %v want %v", c.norm.Name(), r.Radius, c.want)
+		}
+	}
+	// Weighted ℓ₂ with weights (4,1): dual = sqrt(1/4 + 4) = sqrt(17)/2.
+	w, _ := vecmath.NewWeightedL2([]float64{4, 1})
+	r, err := ComputeRadius(f, p, Options{Norm: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 / (math.Sqrt(17) / 2)
+	if math.Abs(r.Radius-want) > 1e-12 {
+		t.Errorf("weighted radius = %v want %v", r.Radius, want)
+	}
+	// Non-ℓ₂ norm with a non-linear impact is rejected.
+	nl := Feature{Name: "g", Impact: &FuncImpact{N: 2, F: func(pi []float64) float64 { return pi[0] }}, Bounds: NoMin(10)}
+	if _, err := ComputeRadius(nl, p, Options{Norm: vecmath.L1{}}); !errors.Is(err, ErrNormUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnalyzeMinimumAndCritical(t *testing.T) {
+	p := Perturbation{Name: "C", Orig: []float64{1, 1, 1}, Units: "seconds"}
+	features := []Feature{
+		{Name: "F_1", Impact: linear(t, []float64{1, 0, 0}, 0), Bounds: NoMin(10)}, // dist 9
+		{Name: "F_2", Impact: linear(t, []float64{0, 1, 1}, 0), Bounds: NoMin(5)},  // dist 3/√2 ≈ 2.12
+		{Name: "F_3", Impact: linear(t, []float64{0, 0, 0}, 1), Bounds: NoMin(10)}, // unreachable
+	}
+	a, err := Analyze(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 / math.Sqrt2
+	if math.Abs(a.Robustness-want) > 1e-12 {
+		t.Errorf("ρ = %v want %v", a.Robustness, want)
+	}
+	if a.Critical != 1 || a.CriticalFeature().Feature != "F_2" {
+		t.Errorf("critical = %d", a.Critical)
+	}
+	if !math.IsInf(a.Radii[2].Radius, 1) {
+		t.Errorf("unreachable feature radius = %v", a.Radii[2].Radius)
+	}
+	s := a.String()
+	for _, want := range []string{"F_2", "seconds", "robustness"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeDiscreteFloors(t *testing.T) {
+	p := Perturbation{Name: "λ", Orig: []float64{0, 0}, Discrete: true}
+	features := []Feature{
+		{Name: "T", Impact: linear(t, []float64{1, 1}, 0), Bounds: NoMin(10)}, // 10/√2 ≈ 7.07
+	}
+	a, err := Analyze(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Robustness != 7 {
+		t.Errorf("floored ρ = %v want 7", a.Robustness)
+	}
+}
+
+func TestAnalyzeEmptyAndErrors(t *testing.T) {
+	if _, err := Analyze(nil, Perturbation{Name: "π", Orig: []float64{1}}, Options{}); err == nil {
+		t.Errorf("empty Φ accepted")
+	}
+	bad := []Feature{{Name: "f", Impact: linear(t, []float64{1}, 0), Bounds: Bounds{5, 1}}}
+	if _, err := Analyze(bad, Perturbation{Name: "π", Orig: []float64{1}}, Options{}); err == nil {
+		t.Errorf("invalid feature accepted")
+	}
+}
+
+func TestAnalyzeAllUnreachable(t *testing.T) {
+	features := []Feature{
+		{Name: "f", Impact: linear(t, []float64{0}, 1), Bounds: NoMin(10)},
+	}
+	a, err := Analyze(features, Perturbation{Name: "π", Orig: []float64{1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.Robustness, 1) || a.Critical != -1 || a.CriticalFeature() != nil {
+		t.Errorf("all-unreachable analysis: %+v", a)
+	}
+}
+
+func TestMultiAnalyze(t *testing.T) {
+	sets := []ParameterSet{
+		{
+			Perturbation: Perturbation{Name: "C", Orig: []float64{0, 0}},
+			Features: []Feature{
+				{Name: "F", Impact: mustLinear([]float64{1, 1}, 0), Bounds: NoMin(10)},
+			},
+		},
+		{
+			Perturbation: Perturbation{Name: "λ", Orig: []float64{0}},
+			Features: []Feature{
+				{Name: "T", Impact: mustLinear([]float64{1}, 0), Bounds: NoMin(2)},
+			},
+		},
+	}
+	m, err := MultiAnalyze(sets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ByParameter) != 2 {
+		t.Fatalf("analyses = %d", len(m.ByParameter))
+	}
+	idx, a := m.MostFragile(nil)
+	if idx != 1 || a.Perturbation != "λ" {
+		t.Errorf("most fragile = %d (%v)", idx, a)
+	}
+	// Normalised comparison can flip the answer.
+	idx, _ = m.MostFragile([]float64{100, 0.1})
+	if idx != 0 {
+		t.Errorf("normalised most fragile = %d, want 0", idx)
+	}
+	if _, err := MultiAnalyze(nil, Options{}); err == nil {
+		t.Errorf("empty Π accepted")
+	}
+	if _, a := (MultiAnalysis{}).MostFragile(nil); a != nil {
+		t.Errorf("empty MostFragile should be nil")
+	}
+}
+
+func TestBoundKindStrings(t *testing.T) {
+	for _, k := range []BoundKind{AtMax, AtMin, AlreadyViolated, Unreachable, BoundKind(42)} {
+		if k.String() == "" {
+			t.Errorf("empty BoundKind string for %d", int(k))
+		}
+	}
+}
+
+func mustLinear(c []float64, off float64) *LinearImpact {
+	l, err := NewLinearImpact(c, off)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

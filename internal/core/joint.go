@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fepia/internal/vecmath"
+)
+
+// This file implements the simultaneous-perturbation extension. Step 3 of
+// the FePIA procedure assumes each perturbation parameter affects a
+// feature independently and the paper defers the simultaneous case to
+// reference [1]. Concatenating the parameter vectors reduces it to the
+// single-parameter machinery: features over the joint vector can mix
+// blocks freely (e.g. finishing times that depend on both the execution
+// times AND per-machine slowdown factors), and the usual Eq. 1/2 analysis
+// applies to the joint space.
+//
+// Caveat: the joint Euclidean norm adds components with different units.
+// Either express the blocks in comparable units, or use a weighted norm
+// (Options.Norm with vecmath.WeightedL2) to make the metric meaningful —
+// the helper JointWeights builds per-block weights from the operating
+// point magnitudes.
+
+// JointPerturbation is a concatenation of several perturbation parameters
+// with the bookkeeping needed to address blocks.
+type JointPerturbation struct {
+	// Perturbation is the combined parameter (Orig is the concatenation).
+	Perturbation
+	// Offsets[i] is the start index of block i; Offsets has one extra
+	// trailing entry equal to the total length.
+	Offsets []int
+	// Names preserves the component parameters' names.
+	Names []string
+}
+
+// ConcatPerturbations builds the joint parameter. The result is marked
+// discrete only if every component is discrete (flooring a mixed vector's
+// metric would be meaningless).
+func ConcatPerturbations(name string, ps ...Perturbation) (JointPerturbation, error) {
+	if len(ps) == 0 {
+		return JointPerturbation{}, fmt.Errorf("core: no perturbations to concatenate")
+	}
+	j := JointPerturbation{
+		Perturbation: Perturbation{Name: name, Discrete: true},
+		Offsets:      make([]int, 0, len(ps)+1),
+	}
+	var units []string
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return JointPerturbation{}, err
+		}
+		j.Offsets = append(j.Offsets, len(j.Orig))
+		j.Orig = append(j.Orig, p.Orig...)
+		j.Names = append(j.Names, p.Name)
+		if !p.Discrete {
+			j.Discrete = false
+		}
+		if p.Units != "" {
+			units = append(units, p.Units)
+		}
+	}
+	j.Offsets = append(j.Offsets, len(j.Orig))
+	j.Units = strings.Join(units, "⊕")
+	if name == "" {
+		j.Perturbation.Name = strings.Join(j.Names, "⊕")
+	}
+	return j, nil
+}
+
+// Block returns the sub-slice of x corresponding to block i of the joint
+// parameter. The returned slice aliases x.
+func (j JointPerturbation) Block(x []float64, i int) []float64 {
+	if i < 0 || i >= len(j.Offsets)-1 {
+		panic(fmt.Sprintf("core: block %d out of range [0,%d)", i, len(j.Offsets)-1))
+	}
+	return x[j.Offsets[i]:j.Offsets[i+1]]
+}
+
+// BlockImpact lifts an impact function defined on one block into the joint
+// space: all other components are ignored. It lets single-parameter
+// derivations (e.g. the Eq. 4 finishing times over C) be reused verbatim
+// inside a joint analysis.
+type BlockImpact struct {
+	// Joint describes the concatenation.
+	Joint JointPerturbation
+	// BlockIndex selects the block the inner impact reads.
+	BlockIndex int
+	// Inner is the single-parameter impact.
+	Inner Impact
+}
+
+// NewBlockImpact validates dimensions.
+func NewBlockImpact(j JointPerturbation, block int, inner Impact) (*BlockImpact, error) {
+	if block < 0 || block >= len(j.Offsets)-1 {
+		return nil, fmt.Errorf("core: block %d out of range [0,%d)", block, len(j.Offsets)-1)
+	}
+	if want := j.Offsets[block+1] - j.Offsets[block]; inner.Dim() != want {
+		return nil, fmt.Errorf("core: inner impact dimension %d != block size %d", inner.Dim(), want)
+	}
+	return &BlockImpact{Joint: j, BlockIndex: block, Inner: inner}, nil
+}
+
+// Eval applies the inner impact to the block.
+func (b *BlockImpact) Eval(x []float64) float64 {
+	return b.Inner.Eval(b.Joint.Block(x, b.BlockIndex))
+}
+
+// Dim returns the joint dimension.
+func (b *BlockImpact) Dim() int { return len(b.Joint.Orig) }
+
+// Gradient embeds the inner gradient into the joint space (zero outside
+// the block).
+func (b *BlockImpact) Gradient(dst, x []float64) []float64 {
+	if len(dst) != len(x) {
+		dst = make([]float64, len(x))
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	blk := b.Joint.Block(x, b.BlockIndex)
+	var inner []float64
+	if gi, ok := b.Inner.(GradImpact); ok {
+		inner = gi.Gradient(nil, blk)
+	} else {
+		fi := &FuncImpact{N: len(blk), F: b.Inner.Eval}
+		inner = fi.Gradient(nil, blk)
+	}
+	copy(b.Joint.Block(dst, b.BlockIndex), inner)
+	return dst
+}
+
+// JointWeights builds per-component weights for a weighted ℓ₂ norm that
+// makes the blocks commensurable: each component is weighted by
+// 1/scale_i² where scale_i is the block's characteristic magnitude
+// (‖orig_block‖₂/√n_block, or 1 for an all-zero block). Under this norm a
+// distance of 1 means "one characteristic unit of relative change",
+// regardless of the blocks' native units.
+func JointWeights(j JointPerturbation) (*vecmath.WeightedL2, error) {
+	w := make([]float64, len(j.Orig))
+	for b := 0; b < len(j.Offsets)-1; b++ {
+		blk := j.Block(j.Orig, b)
+		scale := vecmath.Euclidean(blk)
+		if n := len(blk); n > 0 {
+			scale /= math.Sqrt(float64(n))
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for i := j.Offsets[b]; i < j.Offsets[b+1]; i++ {
+			w[i] = 1 / (scale * scale)
+		}
+	}
+	return vecmath.NewWeightedL2(w)
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/vecmath"
+)
+
+func TestConcatPerturbations(t *testing.T) {
+	c := Perturbation{Name: "C", Orig: []float64{6, 4, 8}, Units: "s"}
+	s := Perturbation{Name: "s", Orig: []float64{1, 1}, Units: "x", Discrete: true}
+	j, err := ConcatPerturbations("", c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Orig) != 5 {
+		t.Fatalf("joint length %d", len(j.Orig))
+	}
+	if j.Offsets[0] != 0 || j.Offsets[1] != 3 || j.Offsets[2] != 5 {
+		t.Errorf("offsets = %v", j.Offsets)
+	}
+	if j.Name != "C⊕s" || j.Units != "s⊕x" {
+		t.Errorf("name %q units %q", j.Name, j.Units)
+	}
+	// Mixed discreteness → continuous.
+	if j.Discrete {
+		t.Errorf("mixed discreteness should not be discrete")
+	}
+	// All-discrete → discrete.
+	d1 := Perturbation{Name: "a", Orig: []float64{1}, Discrete: true}
+	d2 := Perturbation{Name: "b", Orig: []float64{2}, Discrete: true}
+	jd, err := ConcatPerturbations("J", d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jd.Discrete || jd.Name != "J" {
+		t.Errorf("all-discrete joint: %+v", jd.Perturbation)
+	}
+	// Blocks alias the input vector.
+	x := []float64{10, 20, 30, 40, 50}
+	blk := j.Block(x, 1)
+	if len(blk) != 2 || blk[0] != 40 {
+		t.Errorf("block = %v", blk)
+	}
+	// Errors.
+	if _, err := ConcatPerturbations("x"); err == nil {
+		t.Errorf("empty concat accepted")
+	}
+	if _, err := ConcatPerturbations("x", Perturbation{Name: "bad"}); err == nil {
+		t.Errorf("invalid component accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("out-of-range block access should panic")
+			}
+		}()
+		j.Block(x, 5)
+	}()
+}
+
+func TestBlockImpact(t *testing.T) {
+	c := Perturbation{Name: "C", Orig: []float64{6, 4}, Units: "s"}
+	s := Perturbation{Name: "s", Orig: []float64{1}, Units: "x"}
+	j, err := ConcatPerturbations("", c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := mustLinear([]float64{1, 1}, 0) // F = C₀ + C₁
+	bi, err := NewBlockImpact(j, 0, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{6, 4, 9}
+	if got := bi.Eval(x); got != 10 {
+		t.Errorf("Eval = %v", got)
+	}
+	if bi.Dim() != 3 {
+		t.Errorf("Dim = %d", bi.Dim())
+	}
+	g := bi.Gradient(nil, x)
+	if g[0] != 1 || g[1] != 1 || g[2] != 0 {
+		t.Errorf("Gradient = %v", g)
+	}
+	// Analysing a block-only feature in joint space must reproduce the
+	// single-parameter radius (the extra dimensions add nothing).
+	feature := Feature{Name: "F", Impact: bi, Bounds: NoMin(13)}
+	a, err := Analyze([]Feature{feature}, j.Perturbation, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 / math.Sqrt2
+	if math.Abs(a.Robustness-want) > 1e-9 {
+		t.Errorf("joint block radius = %v want %v", a.Robustness, want)
+	}
+	// Dimension validation.
+	if _, err := NewBlockImpact(j, 1, inner); err == nil {
+		t.Errorf("mismatched inner dimension accepted")
+	}
+	if _, err := NewBlockImpact(j, 9, inner); err == nil {
+		t.Errorf("bad block index accepted")
+	}
+}
+
+func TestJointBilinearSimultaneousPerturbation(t *testing.T) {
+	// The genuinely simultaneous case the paper defers to [1]: machine m
+	// runs two applications with estimated times (6, 4) and a slowdown
+	// factor s (orig 1); its finishing time is F = s·(C₀ + C₁), bilinear —
+	// and therefore NOT convex — in the joint vector (C₀, C₁, s). The
+	// bound is 13. The analysis must find a radius no larger than the
+	// closest single-block excursions: pure-C distance 3/√2 ≈ 2.121 and
+	// pure-s distance 13/10 − 1 = 0.3.
+	c := Perturbation{Name: "C", Orig: []float64{6, 4}, Units: "s"}
+	s := Perturbation{Name: "s", Orig: []float64{1}}
+	j, err := ConcatPerturbations("", c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impact := &FuncImpact{
+		N: 3,
+		F: func(x []float64) float64 {
+			return x[2] * (x[0] + x[1])
+		},
+		Convex: false, // bilinear: run the annealing fallback too
+	}
+	feature := Feature{Name: "F", Impact: impact, Bounds: NoMin(13)}
+	a, err := Analyze([]Feature{feature}, j.Perturbation, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a.Robustness > 0) {
+		t.Fatalf("joint ρ = %v", a.Robustness)
+	}
+	if a.Robustness > 0.3+1e-6 {
+		t.Errorf("joint ρ = %v exceeds the pure-slowdown excursion 0.3", a.Robustness)
+	}
+	// The boundary point must be on the bound.
+	if got := impact.Eval(a.Radii[0].Boundary); math.Abs(got-13) > 1e-4 {
+		t.Errorf("boundary value = %v", got)
+	}
+}
+
+func TestJointWeights(t *testing.T) {
+	// Blocks with very different magnitudes become commensurable.
+	big := Perturbation{Name: "λ", Orig: []float64{1000, 1000}}
+	small := Perturbation{Name: "s", Orig: []float64{1}}
+	j, err := ConcatPerturbations("", big, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := JointWeights(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10% relative change in either block has the same weighted norm.
+	dBig := []float64{100, 100, 0}
+	dSmall := []float64{0, 0, 0.1 * math.Sqrt2} // match the 2-component block's √2
+	nBig := w.Of(dBig)
+	nSmall := w.Of(dSmall)
+	if math.Abs(nBig-nSmall) > 1e-9*nBig {
+		t.Errorf("relative changes not commensurable: %v vs %v", nBig, nSmall)
+	}
+	// Zero block falls back to weight 1.
+	zero := Perturbation{Name: "z", Orig: []float64{0, 0}}
+	jz, err := ConcatPerturbations("", zero, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wz, err := JointWeights(jz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wz.W[0] != 1 || wz.W[1] != 1 {
+		t.Errorf("zero-block weights = %v", wz.W[:2])
+	}
+	// Weighted analysis of a linear joint feature uses the dual norm.
+	impact := mustLinear([]float64{1, 1, 0}, 0)
+	feature := Feature{Name: "F", Impact: impact, Bounds: NoMin(3000)}
+	a, err := Analyze([]Feature{feature}, j.Perturbation, Options{Norm: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a.Robustness > 0) || math.IsInf(a.Robustness, 0) {
+		t.Errorf("weighted joint ρ = %v", a.Robustness)
+	}
+	_ = vecmath.L2{} // keep the import for the package's norm vocabulary
+}

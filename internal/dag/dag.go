@@ -1,0 +1,246 @@
+// Package dag models the application graph of the HiPer-D system (§3.2 and
+// Figure 2 of the paper): a directed acyclic graph whose nodes are sensors
+// (sources), continuously-executing applications, and actuators (sinks),
+// and whose edges are data transfers.
+//
+// The central derived structure is the set of paths P. Following the
+// paper: a path is a chain of producer-consumer pairs that starts at a
+// sensor — the driving sensor — and ends at an actuator (a "trigger path")
+// or at a multiple-input application (an "update path"). An application may
+// appear in multiple paths. Where a chain passes through a multiple-input
+// application and continues to an actuator, both the update path ending at
+// that application and the longer trigger path are reported; the paper's
+// Figure 2 shows exactly this kind of overlap (dashed enclosures sharing
+// applications).
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a node.
+type Kind int
+
+const (
+	// Sensor nodes produce data periodically; they have no predecessors.
+	Sensor Kind = iota
+	// Application nodes consume and produce data.
+	Application
+	// Actuator nodes consume final results; they have no successors.
+	Actuator
+)
+
+// String returns "sensor", "application", or "actuator".
+func (k Kind) String() string {
+	switch k {
+	case Sensor:
+		return "sensor"
+	case Application:
+		return "application"
+	case Actuator:
+		return "actuator"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Graph is a mutable DAG of sensors, applications, and actuators. The zero
+// value is an empty graph ready for use.
+type Graph struct {
+	kinds []Kind
+	names []string
+	succ  [][]int
+	pred  [][]int
+}
+
+// AddNode appends a node of the given kind and returns its index. The name
+// is used only for display and may be empty.
+func (g *Graph) AddNode(kind Kind, name string) int {
+	g.kinds = append(g.kinds, kind)
+	g.names = append(g.names, name)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return len(g.kinds) - 1
+}
+
+// ErrBadEdge is wrapped by AddEdge errors.
+var ErrBadEdge = errors.New("dag: invalid edge")
+
+// AddEdge adds the data transfer from → to. It rejects out-of-range
+// indices, self-loops, duplicate edges, edges into sensors, and edges out
+// of actuators. (Cycles are detected later by Validate/TopoSort, since
+// checking per-edge would be quadratic.)
+func (g *Graph) AddEdge(from, to int) error {
+	n := len(g.kinds)
+	if from < 0 || from >= n || to < 0 || to >= n {
+		return fmt.Errorf("%w: (%d,%d) out of range [0,%d)", ErrBadEdge, from, to, n)
+	}
+	if from == to {
+		return fmt.Errorf("%w: self-loop at %d", ErrBadEdge, from)
+	}
+	if g.kinds[to] == Sensor {
+		return fmt.Errorf("%w: node %d is a sensor and cannot receive data", ErrBadEdge, to)
+	}
+	if g.kinds[from] == Actuator {
+		return fmt.Errorf("%w: node %d is an actuator and cannot send data", ErrBadEdge, from)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.kinds) }
+
+// KindOf returns the kind of node i.
+func (g *Graph) KindOf(i int) Kind { return g.kinds[i] }
+
+// NameOf returns the display name of node i.
+func (g *Graph) NameOf(i int) string { return g.names[i] }
+
+// Successors returns D(a_i): the indices receiving data from node i.
+// Callers must not modify the returned slice.
+func (g *Graph) Successors(i int) []int { return g.succ[i] }
+
+// Predecessors returns the indices sending data to node i. Callers must not
+// modify the returned slice.
+func (g *Graph) Predecessors(i int) []int { return g.pred[i] }
+
+// InDegree returns the number of incoming edges of node i.
+func (g *Graph) InDegree(i int) int { return len(g.pred[i]) }
+
+// OutDegree returns the number of outgoing edges of node i.
+func (g *Graph) OutDegree(i int) int { return len(g.succ[i]) }
+
+// MultiInput reports whether node i is an application with two or more
+// incoming data streams — the terminator of update paths.
+func (g *Graph) MultiInput(i int) bool {
+	return g.kinds[i] == Application && len(g.pred[i]) >= 2
+}
+
+// nodesOf returns all node indices of kind k, ascending.
+func (g *Graph) nodesOf(k Kind) []int {
+	var out []int
+	for i, kind := range g.kinds {
+		if kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sensors returns all sensor indices, ascending.
+func (g *Graph) Sensors() []int { return g.nodesOf(Sensor) }
+
+// Applications returns all application indices, ascending.
+func (g *Graph) Applications() []int { return g.nodesOf(Application) }
+
+// Actuators returns all actuator indices, ascending.
+func (g *Graph) Actuators() []int { return g.nodesOf(Actuator) }
+
+// ErrCycle is returned when the graph is not acyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// TopoSort returns a topological ordering of all nodes, or ErrCycle.
+func (g *Graph) TopoSort() ([]int, error) {
+	n := len(g.kinds)
+	indeg := make([]int, n)
+	for i := range g.pred {
+		indeg[i] = len(g.pred[i])
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range g.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks structural well-formedness: acyclicity, at least one
+// sensor, every application reachable from some sensor, and every
+// application able to reach an actuator or a multiple-input application
+// (otherwise its data would vanish and no path could cover it).
+func (g *Graph) Validate() error {
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	sensors := g.Sensors()
+	if len(sensors) == 0 {
+		return errors.New("dag: graph has no sensors")
+	}
+	covered := make([]bool, g.Len())
+	for _, s := range sensors {
+		for _, v := range g.ReachableFrom(s) {
+			covered[v] = true
+		}
+	}
+	for _, a := range g.Applications() {
+		if !covered[a] {
+			return fmt.Errorf("dag: application %d (%s) unreachable from every sensor", a, g.names[a])
+		}
+	}
+	for _, a := range g.Applications() {
+		if len(g.succ[a]) == 0 && !g.MultiInput(a) {
+			return fmt.Errorf("dag: application %d (%s) has no successors and is not a path terminal", a, g.names[a])
+		}
+	}
+	return nil
+}
+
+// ReachableFrom returns every node reachable from src, including src.
+func (g *Graph) ReachableFrom(src int) []int {
+	seen := make([]bool, g.Len())
+	stack := []int{src}
+	seen[src] = true
+	var out []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		for _, s := range g.succ[v] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return out
+}
+
+// Routes returns routes[z][i] = true when data from the z-th sensor (in
+// Sensors() order) can reach node i. §4.3 uses this to zero the load
+// coefficients b_ijz of unconnected sensor/application pairs.
+func (g *Graph) Routes() [][]bool {
+	sensors := g.Sensors()
+	routes := make([][]bool, len(sensors))
+	for z, s := range sensors {
+		row := make([]bool, g.Len())
+		for _, v := range g.ReachableFrom(s) {
+			row[v] = true
+		}
+		routes[z] = row
+	}
+	return routes
+}

@@ -1,0 +1,378 @@
+package dag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+// figure2ish builds a small fixed DAG:
+//
+//	s0 → a0 → a1 → act0
+//	s1 → a2 ↗        (a1 is multi-input)
+//	a2 → act1
+func figure2ish(t *testing.T) (*Graph, map[string]int) {
+	t.Helper()
+	g := &Graph{}
+	id := map[string]int{}
+	id["s0"] = g.AddNode(Sensor, "s0")
+	id["s1"] = g.AddNode(Sensor, "s1")
+	id["a0"] = g.AddNode(Application, "a0")
+	id["a1"] = g.AddNode(Application, "a1")
+	id["a2"] = g.AddNode(Application, "a2")
+	id["act0"] = g.AddNode(Actuator, "act0")
+	id["act1"] = g.AddNode(Actuator, "act1")
+	for _, e := range [][2]string{
+		{"s0", "a0"}, {"a0", "a1"}, {"a1", "act0"},
+		{"s1", "a2"}, {"a2", "a1"}, {"a2", "act1"},
+	} {
+		if err := g.AddEdge(id[e[0]], id[e[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, id
+}
+
+func TestKindString(t *testing.T) {
+	if Sensor.String() != "sensor" || Application.String() != "application" || Actuator.String() != "actuator" {
+		t.Errorf("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Errorf("unknown kind should render")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := &Graph{}
+	s := g.AddNode(Sensor, "s")
+	a := g.AddNode(Application, "a")
+	act := g.AddNode(Actuator, "x")
+	cases := []struct {
+		from, to int
+		name     string
+	}{
+		{-1, a, "negative from"},
+		{a, 99, "out of range to"},
+		{a, a, "self loop"},
+		{a, s, "into sensor"},
+		{act, a, "out of actuator"},
+	}
+	for _, c := range cases {
+		if err := g.AddEdge(c.from, c.to); !errors.Is(err, ErrBadEdge) {
+			t.Errorf("%s: err = %v", c.name, err)
+		}
+	}
+	if err := g.AddEdge(s, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(s, a); !errors.Is(err, ErrBadEdge) {
+		t.Errorf("duplicate edge accepted")
+	}
+}
+
+func TestTopoSortAndCycle(t *testing.T) {
+	g, id := figure2ish(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if len(order) != g.Len() {
+		t.Fatalf("topo order length %d", len(order))
+	}
+	for v := 0; v < g.Len(); v++ {
+		for _, s := range g.Successors(v) {
+			if pos[v] >= pos[s] {
+				t.Errorf("topo violation: %d before %d", s, v)
+			}
+		}
+	}
+	// Force a cycle a0 → a1 → a0 through a fresh graph of plain apps.
+	c := &Graph{}
+	x := c.AddNode(Application, "x")
+	y := c.AddNode(Application, "y")
+	if err := c.AddEdge(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(y, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle undetected: %v", err)
+	}
+	_ = id
+}
+
+func TestValidate(t *testing.T) {
+	g, _ := figure2ish(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	// No sensors.
+	empty := &Graph{}
+	empty.AddNode(Application, "a")
+	if err := empty.Validate(); err == nil {
+		t.Errorf("sensorless graph accepted")
+	}
+	// Unreachable application.
+	g2 := &Graph{}
+	g2.AddNode(Sensor, "s")
+	g2.AddNode(Application, "lonely")
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("unreachable app accepted: %v", err)
+	}
+	// Dangling application (no successors, single input).
+	g3 := &Graph{}
+	s := g3.AddNode(Sensor, "s")
+	a := g3.AddNode(Application, "a")
+	if err := g3.AddEdge(s, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Validate(); err == nil || !strings.Contains(err.Error(), "no successors") {
+		t.Errorf("dangling app accepted: %v", err)
+	}
+}
+
+func TestDegreesAndMultiInput(t *testing.T) {
+	g, id := figure2ish(t)
+	if !g.MultiInput(id["a1"]) {
+		t.Errorf("a1 should be multi-input")
+	}
+	if g.MultiInput(id["a0"]) || g.MultiInput(id["act0"]) {
+		t.Errorf("false multi-input")
+	}
+	if g.InDegree(id["a1"]) != 2 || g.OutDegree(id["a2"]) != 2 {
+		t.Errorf("degree bookkeeping wrong")
+	}
+}
+
+func TestNodeQueries(t *testing.T) {
+	g, id := figure2ish(t)
+	if got := g.Sensors(); len(got) != 2 || got[0] != id["s0"] {
+		t.Errorf("Sensors = %v", got)
+	}
+	if got := g.Applications(); len(got) != 3 {
+		t.Errorf("Applications = %v", got)
+	}
+	if got := g.Actuators(); len(got) != 2 {
+		t.Errorf("Actuators = %v", got)
+	}
+	if g.NameOf(id["a2"]) != "a2" || g.KindOf(id["s1"]) != Sensor {
+		t.Errorf("name/kind accessors wrong")
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	g, id := figure2ish(t)
+	routes := g.Routes()
+	// Sensor s0 (index 0 in Sensors()) reaches a0, a1, act0 but not a2.
+	if !routes[0][id["a0"]] || !routes[0][id["a1"]] || routes[0][id["a2"]] {
+		t.Errorf("routes from s0 wrong: %v", routes[0])
+	}
+	// Sensor s1 reaches a2, a1, act0, act1 but not a0.
+	if !routes[1][id["a2"]] || !routes[1][id["a1"]] || routes[1][id["a0"]] {
+		t.Errorf("routes from s1 wrong: %v", routes[1])
+	}
+}
+
+func TestPathsEnumeration(t *testing.T) {
+	g, id := figure2ish(t)
+	paths, err := g.Paths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected chains (every arrival at multi-input a1 emits an update
+	// path, and chains continue through it):
+	//   s0 a0 a1                 (update)
+	//   s0 a0 a1 act0            (trigger)
+	//   s1 a2 a1                 (update)
+	//   s1 a2 a1 act0            (trigger)
+	//   s1 a2 act1               (trigger)
+	if len(paths) != 5 {
+		t.Fatalf("got %d paths: %v", len(paths), paths)
+	}
+	var triggers, updates int
+	for _, p := range paths {
+		switch p.Kind {
+		case Trigger:
+			triggers++
+			if g.KindOf(p.Nodes[len(p.Nodes)-1]) != Actuator {
+				t.Errorf("trigger path does not end at actuator: %v", p)
+			}
+		case Update:
+			updates++
+			last := p.Nodes[len(p.Nodes)-1]
+			if !g.MultiInput(last) {
+				t.Errorf("update path does not end at multi-input app: %v", p)
+			}
+		}
+		if g.KindOf(p.DrivingSensor()) != Sensor {
+			t.Errorf("path does not start at a sensor: %v", p)
+		}
+		// Paths must follow edges.
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			found := false
+			for _, s := range g.Successors(p.Nodes[i]) {
+				if s == p.Nodes[i+1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("path uses non-edge %d→%d", p.Nodes[i], p.Nodes[i+1])
+			}
+		}
+	}
+	if triggers != 3 || updates != 2 {
+		t.Errorf("triggers=%d updates=%d", triggers, updates)
+	}
+	// Path helpers.
+	p := paths[0]
+	if p.String() == "" || p.Format(g) == "" {
+		t.Errorf("path rendering empty")
+	}
+	apps := p.Applications(g)
+	for _, a := range apps {
+		if g.KindOf(a) != Application {
+			t.Errorf("Applications returned non-app %d", a)
+		}
+	}
+	_ = id
+}
+
+func TestPathsLimit(t *testing.T) {
+	g, _ := figure2ish(t)
+	if _, err := g.Paths(1); !errors.Is(err, ErrTooManyPaths) {
+		t.Errorf("limit not enforced: %v", err)
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	cfg := PaperGenConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GenConfig{
+		{Sensors: 0, Apps: 5, Actuators: 1, Layers: 1},
+		{Sensors: 1, Apps: 0, Actuators: 1, Layers: 1},
+		{Sensors: 1, Apps: 5, Actuators: 0, Layers: 1},
+		{Sensors: 1, Apps: 5, Actuators: 1, Layers: 0},
+		{Sensors: 1, Apps: 5, Actuators: 1, Layers: 9},
+		{Sensors: 1, Apps: 5, Actuators: 1, Layers: 1, ExtraEdgeProb: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateProducesValidGraphs(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 50; trial++ {
+		g, err := Generate(rng, PaperGenConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(g.Sensors()) != 3 || len(g.Applications()) != 20 || len(g.Actuators()) != 3 {
+			t.Fatalf("trial %d: wrong node counts", trial)
+		}
+	}
+}
+
+// TestQuickPathInvariants checks structural path properties across many
+// random graphs: every enumerated path is simple (a DAG chain cannot
+// revisit a node), starts at a sensor, terminates at an actuator or
+// multi-input application, follows real edges, and contains no other
+// terminal in its interior except multi-input applications passed
+// through.
+func TestQuickPathInvariants(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 60; trial++ {
+		cfg := GenConfig{
+			Sensors:       1 + rng.Intn(3),
+			Apps:          3 + rng.Intn(12),
+			Actuators:     1 + rng.Intn(3),
+			ExtraEdgeProb: rng.Float64() * 0.3,
+		}
+		cfg.Layers = 1 + rng.Intn(cfg.Apps)
+		if cfg.Layers > 5 {
+			cfg.Layers = 5
+		}
+		g, err := Generate(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := g.Paths(5000)
+		if errors.Is(err, ErrTooManyPaths) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			seen := map[int]bool{}
+			for _, v := range p.Nodes {
+				if seen[v] {
+					t.Fatalf("trial %d: path revisits node %d: %v", trial, v, p)
+				}
+				seen[v] = true
+			}
+			if g.KindOf(p.Nodes[0]) != Sensor {
+				t.Fatalf("trial %d: path starts at %v", trial, g.KindOf(p.Nodes[0]))
+			}
+			last := p.Nodes[len(p.Nodes)-1]
+			switch p.Kind {
+			case Trigger:
+				if g.KindOf(last) != Actuator {
+					t.Fatalf("trial %d: trigger path ends at %v", trial, g.KindOf(last))
+				}
+			case Update:
+				if !g.MultiInput(last) {
+					t.Fatalf("trial %d: update path ends at non-multi-input node", trial)
+				}
+			}
+			for i := 0; i+1 < len(p.Nodes); i++ {
+				found := false
+				for _, s := range g.Successors(p.Nodes[i]) {
+					if s == p.Nodes[i+1] {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: path uses non-edge", trial)
+				}
+				// No interior actuators (they have no successors anyway,
+				// but assert the kind discipline explicitly).
+				if i > 0 && g.KindOf(p.Nodes[i]) != Application {
+					t.Fatalf("trial %d: interior node is a %v", trial, g.KindOf(p.Nodes[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateWithPathCount(t *testing.T) {
+	rng := stats.NewRNG(2)
+	g, paths, err := GenerateWithPathCount(rng, PaperGenConfig(), 19, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 19 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unreachable target errors out.
+	if _, _, err := GenerateWithPathCount(stats.NewRNG(3), GenConfig{Sensors: 1, Apps: 1, Actuators: 1, Layers: 1}, 99, 50); !errors.Is(err, ErrPathCountUnmatched) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+
+	"fepia/internal/stats"
+)
+
+// GenConfig parameterises the random layered DAG generator used to build
+// HiPer-D-like instances (Figure 2 has 3 sensors, ~20 applications,
+// 3 actuators and 19 overlapping paths).
+type GenConfig struct {
+	// Sensors, Apps, Actuators give the node counts.
+	Sensors, Apps, Actuators int
+	// Layers is the number of application layers; data flows between
+	// consecutive layers. Must be ≥ 1 and ≤ Apps.
+	Layers int
+	// ExtraEdgeProb is the probability, per application, of adding an
+	// additional cross edge from an earlier node. Extra in-edges create
+	// multiple-input applications and therefore update paths.
+	ExtraEdgeProb float64
+}
+
+// Validate reports the first problem with the configuration, if any.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Sensors < 1:
+		return fmt.Errorf("dag: Sensors = %d must be ≥ 1", c.Sensors)
+	case c.Apps < 1:
+		return fmt.Errorf("dag: Apps = %d must be ≥ 1", c.Apps)
+	case c.Actuators < 1:
+		return fmt.Errorf("dag: Actuators = %d must be ≥ 1", c.Actuators)
+	case c.Layers < 1 || c.Layers > c.Apps:
+		return fmt.Errorf("dag: Layers = %d must be in [1,%d]", c.Layers, c.Apps)
+	case c.ExtraEdgeProb < 0 || c.ExtraEdgeProb > 1:
+		return fmt.Errorf("dag: ExtraEdgeProb = %v must be in [0,1]", c.ExtraEdgeProb)
+	}
+	return nil
+}
+
+// PaperGenConfig mirrors the §4.3 instance scale: 3 sensors, 20
+// applications, 3 actuators.
+func PaperGenConfig() GenConfig {
+	// ExtraEdgeProb is kept low: path counts grow multiplicatively with
+	// fusion edges, and the paper's instance has only 19 paths over 20
+	// applications (a sparse graph, cf. Figure 2).
+	return GenConfig{Sensors: 3, Apps: 20, Actuators: 3, Layers: 4, ExtraEdgeProb: 0.05}
+}
+
+// Generate builds a random layered DAG: sensors feed the first application
+// layer, each layer feeds the next, the final layer feeds the actuators,
+// and extra cross edges create multiple-input applications. Node order is
+// sensors, then applications layer by layer, then actuators. The result
+// always passes Validate.
+func Generate(rng *stats.RNG, cfg GenConfig) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{}
+	sensors := make([]int, cfg.Sensors)
+	for z := range sensors {
+		sensors[z] = g.AddNode(Sensor, fmt.Sprintf("s%d", z+1))
+	}
+	// Distribute applications across layers as evenly as possible with at
+	// least one per layer.
+	layers := make([][]int, cfg.Layers)
+	for i := 0; i < cfg.Apps; i++ {
+		l := i * cfg.Layers / cfg.Apps
+		layers[l] = append(layers[l], g.AddNode(Application, fmt.Sprintf("a%d", i+1)))
+	}
+	actuators := make([]int, cfg.Actuators)
+	for z := range actuators {
+		actuators[z] = g.AddNode(Actuator, fmt.Sprintf("act%d", z+1))
+	}
+
+	mustEdge := func(from, to int) {
+		if err := g.AddEdge(from, to); err != nil && !errors.Is(err, ErrBadEdge) {
+			panic(err)
+		}
+	}
+	// Every first-layer application gets a sensor; every sensor gets an
+	// application.
+	for _, a := range layers[0] {
+		mustEdge(sensors[rng.Intn(len(sensors))], a)
+	}
+	for _, s := range sensors {
+		if g.OutDegree(s) == 0 {
+			mustEdge(s, layers[0][rng.Intn(len(layers[0]))])
+		}
+	}
+	// Chain the layers: every app in layer l>0 gets a predecessor in layer
+	// l−1, and every app gets a successor in the next stage.
+	for l := 1; l < cfg.Layers; l++ {
+		for _, a := range layers[l] {
+			mustEdge(layers[l-1][rng.Intn(len(layers[l-1]))], a)
+		}
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		next := actuators
+		if l+1 < cfg.Layers {
+			next = layers[l+1]
+		}
+		for _, a := range layers[l] {
+			if g.OutDegree(a) == 0 {
+				mustEdge(a, next[rng.Intn(len(next))])
+			}
+		}
+	}
+	// Every actuator gets a predecessor.
+	last := layers[cfg.Layers-1]
+	for _, act := range actuators {
+		if g.InDegree(act) == 0 {
+			mustEdge(last[rng.Intn(len(last))], act)
+		}
+	}
+	// Extra cross edges from any earlier node (sensor or previous-layer
+	// application) to create data fusion points.
+	for l := 0; l < cfg.Layers; l++ {
+		var pool []int
+		pool = append(pool, sensors...)
+		for p := 0; p < l; p++ {
+			pool = append(pool, layers[p]...)
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		for _, a := range layers[l] {
+			if rng.Float64() < cfg.ExtraEdgeProb {
+				mustEdge(pool[rng.Intn(len(pool))], a)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dag: generated graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// ErrPathCountUnmatched is returned by GenerateWithPathCount when no seed in
+// the budget yields the requested number of paths.
+var ErrPathCountUnmatched = errors.New("dag: could not hit requested path count")
+
+// GenerateWithPathCount retries Generate with successive sub-seeds of rng
+// until the enumerated path count equals target (the paper's HiPer-D
+// instance has exactly 19). maxTries ≤ 0 means 10000 tries.
+func GenerateWithPathCount(rng *stats.RNG, cfg GenConfig, target, maxTries int) (*Graph, []Path, error) {
+	if maxTries <= 0 {
+		maxTries = 10000
+	}
+	for try := 0; try < maxTries; try++ {
+		g, err := Generate(rng, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		paths, err := g.Paths(10 * target)
+		if errors.Is(err, ErrTooManyPaths) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(paths) == target {
+			return g, paths, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: target %d after %d tries", ErrPathCountUnmatched, target, maxTries)
+}

@@ -1,0 +1,128 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// PathKind distinguishes the two terminations the paper defines.
+type PathKind int
+
+const (
+	// Trigger paths end at an actuator.
+	Trigger PathKind = iota
+	// Update paths end at a multiple-input application.
+	Update
+)
+
+// String returns "trigger" or "update".
+func (k PathKind) String() string {
+	if k == Trigger {
+		return "trigger"
+	}
+	return "update"
+}
+
+// Path is one chain of producer-consumer pairs P_k: Nodes[0] is the driving
+// sensor, the interior nodes are applications, and the final node is an
+// actuator (Trigger) or a multiple-input application (Update).
+type Path struct {
+	// Nodes lists the node indices along the chain, driving sensor first.
+	Nodes []int
+	// Kind tells how the chain terminates.
+	Kind PathKind
+}
+
+// DrivingSensor returns the sensor that drives the path.
+func (p Path) DrivingSensor() int { return p.Nodes[0] }
+
+// Applications returns the application nodes of the path, in order. For an
+// update path this includes the terminal multiple-input application (it is
+// the data consumer a_p of the final producer-consumer pair).
+func (p Path) Applications(g *Graph) []int {
+	var out []int
+	for _, v := range p.Nodes {
+		if g.KindOf(v) == Application {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the path as "s0 -> a1 -> a2 -> act0 (trigger)".
+func (p Path) String() string {
+	nodes := make([]string, len(p.Nodes))
+	for i, v := range p.Nodes {
+		nodes[i] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%s (%s)", strings.Join(nodes, " -> "), p.Kind)
+}
+
+// Format renders the path with node names from g.
+func (p Path) Format(g *Graph) string {
+	nodes := make([]string, len(p.Nodes))
+	for i, v := range p.Nodes {
+		n := g.NameOf(v)
+		if n == "" {
+			n = fmt.Sprintf("#%d", v)
+		}
+		nodes[i] = n
+	}
+	return fmt.Sprintf("%s (%s)", strings.Join(nodes, " -> "), p.Kind)
+}
+
+// ErrTooManyPaths is returned when enumeration exceeds the caller's limit.
+var ErrTooManyPaths = errors.New("dag: path enumeration exceeded limit")
+
+// Paths enumerates the path set P by depth-first search from every sensor.
+// A chain emits an Update path each time it arrives at a multiple-input
+// application and a Trigger path when it arrives at an actuator; chains
+// continue through multiple-input applications, so overlapping paths (an
+// update path that is a prefix of a trigger path) are all reported, in
+// deterministic DFS order. limit caps the number of paths to guard against
+// combinatorial blow-up; pass 0 for the default of 10000.
+func (g *Graph) Paths(limit int) ([]Path, error) {
+	if limit <= 0 {
+		limit = 10000
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+	var paths []Path
+	var chain []int
+	var walk func(v int) error
+	walk = func(v int) error {
+		chain = append(chain, v)
+		defer func() { chain = chain[:len(chain)-1] }()
+		switch {
+		case g.KindOf(v) == Actuator:
+			if len(paths) >= limit {
+				return ErrTooManyPaths
+			}
+			paths = append(paths, Path{Nodes: snapshot(chain), Kind: Trigger})
+			return nil
+		case g.MultiInput(v) && len(chain) > 1:
+			if len(paths) >= limit {
+				return ErrTooManyPaths
+			}
+			paths = append(paths, Path{Nodes: snapshot(chain), Kind: Update})
+		}
+		for _, s := range g.Successors(v) {
+			if err := walk(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range g.Sensors() {
+		if err := walk(s); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+func snapshot(chain []int) []int {
+	return append([]int(nil), chain...)
+}

@@ -1,0 +1,227 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/stats"
+)
+
+// Batch-mode dynamic mapping, per Maheswaran et al. [21]: instead of
+// committing each task at its arrival, tasks accumulate in a pending pool
+// and a batch heuristic re-maps the WHOLE pool at mapping events (here:
+// regular time intervals, the paper's "regular interval" strategy).
+// Because unstarted tasks can be re-assigned as better information
+// arrives, batch mode typically beats immediate mode at high arrival
+// rates.
+
+// BatchHeuristic re-maps a pool of pending tasks given the machines' busy
+// horizons (completion instants of work that has already STARTED and can
+// no longer move).
+type BatchHeuristic interface {
+	// Name returns the conventional short name.
+	Name() string
+	// MapBatch assigns every pending task: returned slice is indexed like
+	// pending. busy[j] is machine j's earliest availability (absolute).
+	MapBatch(rng *stats.RNG, now float64, busy []float64, pending []Task) []int
+}
+
+// BatchMinMin is Min-min over the pending pool.
+type BatchMinMin struct{}
+
+// Name returns "batch-Min-min".
+func (BatchMinMin) Name() string { return "batch-Min-min" }
+
+// MapBatch implements BatchHeuristic.
+func (BatchMinMin) MapBatch(rng *stats.RNG, now float64, busy []float64, pending []Task) []int {
+	return minMinBatch(now, busy, pending, false)
+}
+
+// BatchMaxMin is Max-min over the pending pool.
+type BatchMaxMin struct{}
+
+// Name returns "batch-Max-min".
+func (BatchMaxMin) Name() string { return "batch-Max-min" }
+
+// MapBatch implements BatchHeuristic.
+func (BatchMaxMin) MapBatch(rng *stats.RNG, now float64, busy []float64, pending []Task) []int {
+	return minMinBatch(now, busy, pending, true)
+}
+
+// minMinBatch is the shared Min-min/Max-min loop over a pending pool.
+func minMinBatch(now float64, busy []float64, pending []Task, pickMax bool) []int {
+	m := len(busy)
+	ready := append([]float64(nil), busy...)
+	assign := make([]int, len(pending))
+	unmapped := make([]bool, len(pending))
+	for i := range unmapped {
+		unmapped[i] = true
+	}
+	for range pending {
+		selI, selJ := -1, -1
+		selVal := math.Inf(1)
+		if pickMax {
+			selVal = math.Inf(-1)
+		}
+		for i, t := range pending {
+			if !unmapped[i] {
+				continue
+			}
+			bestC, bestJ := math.Inf(1), -1
+			for j := 0; j < m; j++ {
+				if c := completionAt(now, ready[j], t.ETC[j]); c < bestC {
+					bestC, bestJ = c, j
+				}
+			}
+			better := bestC < selVal
+			if pickMax {
+				better = bestC > selVal
+			}
+			if better {
+				selVal, selI, selJ = bestC, i, bestJ
+			}
+		}
+		assign[selI] = selJ
+		unmapped[selI] = false
+		ready[selJ] = completionAt(now, ready[selJ], pending[selI].ETC[selJ])
+	}
+	return assign
+}
+
+// BatchSufferage is Sufferage over the pending pool.
+type BatchSufferage struct{}
+
+// Name returns "batch-Sufferage".
+func (BatchSufferage) Name() string { return "batch-Sufferage" }
+
+// MapBatch implements BatchHeuristic.
+func (BatchSufferage) MapBatch(rng *stats.RNG, now float64, busy []float64, pending []Task) []int {
+	m := len(busy)
+	ready := append([]float64(nil), busy...)
+	assign := make([]int, len(pending))
+	unmapped := make([]bool, len(pending))
+	for i := range unmapped {
+		unmapped[i] = true
+	}
+	for range pending {
+		selI, selJ := -1, -1
+		selSuff := math.Inf(-1)
+		for i, t := range pending {
+			if !unmapped[i] {
+				continue
+			}
+			best, second := math.Inf(1), math.Inf(1)
+			bestJ := 0
+			for j := 0; j < m; j++ {
+				c := completionAt(now, ready[j], t.ETC[j])
+				switch {
+				case c < best:
+					best, second, bestJ = c, best, j
+				case c < second:
+					second = c
+				}
+			}
+			suff := second - best
+			if m == 1 {
+				suff = -best // degenerate: fall back to Min-min order
+			}
+			if suff > selSuff {
+				selSuff, selI, selJ = suff, i, bestJ
+			}
+		}
+		assign[selI] = selJ
+		unmapped[selI] = false
+		ready[selJ] = completionAt(now, ready[selJ], pending[selI].ETC[selJ])
+	}
+	return assign
+}
+
+// RunBatch simulates the workload in batch mode with mapping events every
+// interval time units (and a final event when the last task has arrived).
+// Between events, tasks whose turn has come start executing and become
+// immovable; at each event the still-unstarted tasks are re-mapped from
+// scratch. Snapshots are taken at every mapping event with the conditional
+// Eq. 6 radius over the outstanding (queued but unstarted plus running)
+// work.
+func RunBatch(rng *stats.RNG, w Workload, h BatchHeuristic, interval, tau float64) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if !(interval > 0) || math.IsInf(interval, 0) {
+		return nil, fmt.Errorf("dynamic: batch interval = %v must be positive", interval)
+	}
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return nil, fmt.Errorf("dynamic: tau = %v must be finite and ≥ 1", tau)
+	}
+	res := &Result{Heuristic: h.Name(), Assign: make([]int, len(w.Tasks))}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+
+	// Machine state: time each machine has committed STARTED work until,
+	// plus the queue of started-but-estimated durations (for snapshots).
+	busy := make([]float64, w.Machines)
+	queued := make([][]float64, w.Machines)
+
+	nextArrival := 0
+	var pool []Task
+	var finiteSum float64
+	var finiteN int
+	lastArrival := w.Tasks[len(w.Tasks)-1].Arrival
+
+	for eventTime := 0.0; ; eventTime += interval {
+		now := math.Min(eventTime, lastArrival+interval)
+		// Absorb arrivals up to now.
+		for nextArrival < len(w.Tasks) && w.Tasks[nextArrival].Arrival <= now {
+			pool = append(pool, w.Tasks[nextArrival])
+			nextArrival++
+		}
+		// Drain completed started work.
+		for j := range queued {
+			drainUntil(&queued[j], busy[j], now)
+		}
+		if len(pool) > 0 {
+			assign := h.MapBatch(rng, now, busy, pool)
+			if len(assign) != len(pool) {
+				return nil, fmt.Errorf("dynamic: %s returned %d assignments for %d tasks", h.Name(), len(assign), len(pool))
+			}
+			// In this model a mapping event starts the pool's tasks: they
+			// join their machines' queues (the re-mappable window is the
+			// interval between events).
+			for i, t := range pool {
+				j := assign[i]
+				if j < 0 || j >= w.Machines {
+					return nil, fmt.Errorf("dynamic: %s chose machine %d of %d", h.Name(), j, w.Machines)
+				}
+				res.Assign[t.ID] = j
+				start := math.Max(now, busy[j])
+				busy[j] = start + t.ETC[j]
+				queued[j] = append(queued[j], t.ETC[j])
+			}
+			snap := snapshot(now, pool[len(pool)-1].ID, assign[len(pool)-1], busy, queued, tau)
+			res.Snapshots = append(res.Snapshots, snap)
+			if !math.IsInf(snap.Robustness, 1) {
+				finiteSum += snap.Robustness
+				finiteN++
+			}
+			pool = pool[:0]
+		}
+		if nextArrival >= len(w.Tasks) && len(pool) == 0 {
+			break
+		}
+	}
+	for _, b := range busy {
+		if b > res.Makespan {
+			res.Makespan = b
+		}
+	}
+	if finiteN > 0 {
+		res.MeanRobustness = finiteSum / float64(finiteN)
+	}
+	return res, nil
+}
+
+// AllBatch returns the batch-mode suite of [21].
+func AllBatch() []BatchHeuristic {
+	return []BatchHeuristic{BatchMinMin{}, BatchMaxMin{}, BatchSufferage{}}
+}

@@ -1,0 +1,135 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func TestRunBatchBookkeeping(t *testing.T) {
+	w := testWorkload(t)
+	rng := stats.NewRNG(11)
+	for _, h := range AllBatch() {
+		res, err := RunBatch(rng, w, h, 5, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		// Every task assigned exactly once to a valid machine.
+		for i, j := range res.Assign {
+			if j < 0 || j >= w.Machines {
+				t.Fatalf("%s: task %d assigned to %d", h.Name(), i, j)
+			}
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: makespan %v", h.Name(), res.Makespan)
+		}
+		// Batch mode cannot start a task before its arrival, so the
+		// makespan is at least the last arrival.
+		if res.Makespan < w.Tasks[len(w.Tasks)-1].Arrival {
+			t.Fatalf("%s: makespan %v before last arrival", h.Name(), res.Makespan)
+		}
+		if len(res.Snapshots) == 0 {
+			t.Fatalf("%s: no snapshots", h.Name())
+		}
+		for _, s := range res.Snapshots {
+			if s.Robustness < 0 || math.IsNaN(s.Robustness) {
+				t.Fatalf("%s: snapshot robustness %v", h.Name(), s.Robustness)
+			}
+		}
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	w := testWorkload(t)
+	rng := stats.NewRNG(12)
+	if _, err := RunBatch(rng, w, BatchMinMin{}, 0, 1.2); err == nil {
+		t.Errorf("zero interval accepted")
+	}
+	if _, err := RunBatch(rng, w, BatchMinMin{}, 5, 0.5); err == nil {
+		t.Errorf("bad tau accepted")
+	}
+	if _, err := RunBatch(rng, Workload{}, BatchMinMin{}, 5, 1.2); err == nil {
+		t.Errorf("empty workload accepted")
+	}
+}
+
+func TestBatchHeuristicsOnSinglePool(t *testing.T) {
+	// All tasks available at once (one mapping event): batch Min-min must
+	// reproduce the static Min-min assignment quality. Construct a case
+	// with a known optimum.
+	w := Workload{Machines: 2, Tasks: []Task{
+		{ID: 0, Arrival: 0, ETC: []float64{1, 10}},
+		{ID: 1, Arrival: 0, ETC: []float64{10, 1}},
+		{ID: 2, Arrival: 0, ETC: []float64{2, 2}},
+	}}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(13)
+	for _, h := range AllBatch() {
+		res, err := RunBatch(rng, w, h, 100, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if res.Makespan != 3 {
+			t.Errorf("%s makespan = %v, want optimum 3", h.Name(), res.Makespan)
+		}
+		if res.Assign[0] != 0 || res.Assign[1] != 1 {
+			t.Errorf("%s assignment = %v", h.Name(), res.Assign)
+		}
+	}
+}
+
+func TestBatchBeatsImmediateUnderBursts(t *testing.T) {
+	// A bursty workload where immediate MCT commits greedily: 4 tasks
+	// arrive together; the first is huge on its MCT choice later. Batch
+	// mode sees the whole burst and packs better or equal.
+	w := Workload{Machines: 2, Tasks: []Task{
+		{ID: 0, Arrival: 0, ETC: []float64{4, 5}},
+		{ID: 1, Arrival: 0.001, ETC: []float64{4, 5}},
+		{ID: 2, Arrival: 0.002, ETC: []float64{4, 5}},
+		{ID: 3, Arrival: 0.003, ETC: []float64{5, 12}},
+	}}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(14)
+	imm, err := Run(rng, w, MCT{}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := RunBatch(rng, w, BatchMaxMin{}, 1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.Makespan > imm.Makespan+1e-9 {
+		t.Errorf("batch Max-min %v worse than immediate MCT %v", bat.Makespan, imm.Makespan)
+	}
+}
+
+func TestBatchDeterminism(t *testing.T) {
+	w := testWorkload(t)
+	a, err := RunBatch(stats.NewRNG(15), w, BatchSufferage{}, 4, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBatch(stats.NewRNG(15), w, BatchSufferage{}, 4, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("nondeterministic batch run")
+		}
+	}
+}
+
+func TestBatchNames(t *testing.T) {
+	want := map[string]bool{"batch-Min-min": true, "batch-Max-min": true, "batch-Sufferage": true}
+	for _, h := range AllBatch() {
+		if !want[h.Name()] {
+			t.Errorf("unexpected name %q", h.Name())
+		}
+	}
+}

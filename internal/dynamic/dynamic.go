@@ -1,0 +1,262 @@
+// Package dynamic implements the dynamic (online) mapping model of
+// Maheswaran, Ali, Siegel, Hensgen, and Freund (1999) — reference [21] of
+// the robustness paper — and tracks the §3.1 robustness metric as the
+// allocation evolves.
+//
+// Tasks arrive over time; an immediate-mode heuristic assigns each arrival
+// to a machine on the spot, knowing only the current machine ready times
+// and the task's ETC row. The package provides the five classic
+// immediate-mode heuristics (OLB, MET, MCT, KPB, and the Switching
+// algorithm) and an arrival-driven simulator that records, at every
+// arrival, the conditional robustness radius of the work mapped so far —
+// how much collective ETC error the current commitment can absorb before
+// the eventual makespan bound is violated.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// Task is one dynamically arriving application.
+type Task struct {
+	// ID is the task's index in the workload.
+	ID int
+	// Arrival is the arrival instant.
+	Arrival float64
+	// ETC[j] is the estimated time to compute on machine j.
+	ETC []float64
+}
+
+// Workload is a time-ordered arrival sequence.
+type Workload struct {
+	// Tasks is sorted by ascending Arrival.
+	Tasks []Task
+	// Machines is |M|.
+	Machines int
+}
+
+// Validate checks ordering and shape.
+func (w Workload) Validate() error {
+	if w.Machines < 1 {
+		return fmt.Errorf("dynamic: %d machines", w.Machines)
+	}
+	prev := math.Inf(-1)
+	for i, t := range w.Tasks {
+		if len(t.ETC) != w.Machines {
+			return fmt.Errorf("dynamic: task %d has %d ETCs for %d machines", i, len(t.ETC), w.Machines)
+		}
+		for j, c := range t.ETC {
+			if !(c > 0) || math.IsInf(c, 0) {
+				return fmt.Errorf("dynamic: task %d ETC[%d] = %v must be finite and positive", i, j, c)
+			}
+		}
+		if t.Arrival < prev {
+			return fmt.Errorf("dynamic: task %d arrives at %v before its predecessor at %v", i, t.Arrival, prev)
+		}
+		if t.Arrival < 0 || math.IsNaN(t.Arrival) {
+			return fmt.Errorf("dynamic: task %d arrival %v invalid", i, t.Arrival)
+		}
+		prev = t.Arrival
+	}
+	return nil
+}
+
+// GenParams configures workload generation: Poisson arrivals with
+// CVB-sampled ETC rows (the [21] experimental setup).
+type GenParams struct {
+	// Tasks is the arrival count.
+	Tasks int
+	// Machines is |M|.
+	Machines int
+	// MeanInterarrival is the mean gap between arrivals.
+	MeanInterarrival float64
+	// MeanTask, TaskHet, MachineHet parameterise the CVB ETC sampling.
+	MeanTask, TaskHet, MachineHet float64
+}
+
+// PaperGenParams mirrors the paper-scale workload: 20 tasks on 5
+// machines, mean ETC 10, heterogeneities 0.7, arrivals roughly as fast as
+// one machine drains them.
+func PaperGenParams() GenParams {
+	return GenParams{
+		Tasks: 20, Machines: 5,
+		MeanInterarrival: 2,
+		MeanTask:         10, TaskHet: 0.7, MachineHet: 0.7,
+	}
+}
+
+// Generate samples a workload.
+func Generate(rng *stats.RNG, p GenParams) (Workload, error) {
+	if p.Tasks < 1 || p.Machines < 1 || !(p.MeanInterarrival > 0) {
+		return Workload{}, fmt.Errorf("dynamic: invalid generation parameters %+v", p)
+	}
+	etc, err := etcgen.Generate(rng, etcgen.Params{
+		Tasks: p.Tasks, Machines: p.Machines,
+		MeanTask: p.MeanTask, TaskHeterogeneity: p.TaskHet, MachineHeterogeneity: p.MachineHet,
+	})
+	if err != nil {
+		return Workload{}, err
+	}
+	w := Workload{Machines: p.Machines}
+	clock := 0.0
+	for i := 0; i < p.Tasks; i++ {
+		clock += rng.ExpFloat64() * p.MeanInterarrival
+		w.Tasks = append(w.Tasks, Task{ID: i, Arrival: clock, ETC: etc[i]})
+	}
+	return w, w.Validate()
+}
+
+// Heuristic is an immediate-mode mapper: it sees the machine ready times
+// (absolute completion instants of already-queued work) and the arriving
+// task, and picks a machine.
+type Heuristic interface {
+	// Name returns the conventional short name.
+	Name() string
+	// Choose returns the machine for the task. now is the arrival instant;
+	// ready[j] is when machine j becomes free (≥ now means busy until
+	// then; < now means idle since then).
+	Choose(rng *stats.RNG, now float64, ready []float64, etcRow []float64) int
+}
+
+// OLB assigns to the machine that becomes ready soonest.
+type OLB struct{}
+
+// Name returns "OLB".
+func (OLB) Name() string { return "OLB" }
+
+// Choose implements Heuristic.
+func (OLB) Choose(rng *stats.RNG, now float64, ready, etcRow []float64) int {
+	best, bestJ := math.Inf(1), 0
+	for j, r := range ready {
+		if r < best {
+			best, bestJ = r, j
+		}
+	}
+	return bestJ
+}
+
+// MET assigns to the machine with the minimum ETC, ignoring load.
+type MET struct{}
+
+// Name returns "MET".
+func (MET) Name() string { return "MET" }
+
+// Choose implements Heuristic.
+func (MET) Choose(rng *stats.RNG, now float64, ready, etcRow []float64) int {
+	_, j := vecmath.Min(etcRow)
+	return j
+}
+
+// MCT assigns to the machine with the minimum completion time.
+type MCT struct{}
+
+// Name returns "MCT".
+func (MCT) Name() string { return "MCT" }
+
+// Choose implements Heuristic.
+func (MCT) Choose(rng *stats.RNG, now float64, ready, etcRow []float64) int {
+	best, bestJ := math.Inf(1), 0
+	for j := range ready {
+		c := completionAt(now, ready[j], etcRow[j])
+		if c < best {
+			best, bestJ = c, j
+		}
+	}
+	return bestJ
+}
+
+// KPB is the k-percent-best heuristic of [21]: consider only the ⌈k%·|M|⌉
+// machines with the smallest ETC for this task, and take the minimum
+// completion time among them. K = 100 reduces to MCT; K → 100/|M|
+// approaches MET.
+type KPB struct {
+	// K is the percentage in (0, 100].
+	K float64
+}
+
+// Name returns "KPB(k)".
+func (k KPB) Name() string { return fmt.Sprintf("KPB(%.0f)", k.K) }
+
+// Choose implements Heuristic.
+func (k KPB) Choose(rng *stats.RNG, now float64, ready, etcRow []float64) int {
+	m := len(etcRow)
+	count := int(math.Ceil(k.K / 100 * float64(m)))
+	if count < 1 {
+		count = 1
+	}
+	if count > m {
+		count = m
+	}
+	order := make([]int, m)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return etcRow[order[a]] < etcRow[order[b]] })
+	best, bestJ := math.Inf(1), order[0]
+	for _, j := range order[:count] {
+		c := completionAt(now, ready[j], etcRow[j])
+		if c < best {
+			best, bestJ = c, j
+		}
+	}
+	return bestJ
+}
+
+// Switching alternates between MCT and MET based on the current load
+// balance index (min ready / max ready), per [21]: MET is cheap but
+// unbalances; when the index drops below Low, switch to MCT until it
+// recovers above High.
+type Switching struct {
+	// Low and High are the hysteresis thresholds (0 ≤ Low ≤ High ≤ 1);
+	// zero values select 0.6 and 0.9.
+	Low, High float64
+	useMCT    bool
+}
+
+// Name returns "Switching".
+func (s *Switching) Name() string { return "Switching" }
+
+// Choose implements Heuristic.
+func (s *Switching) Choose(rng *stats.RNG, now float64, ready, etcRow []float64) int {
+	low, high := s.Low, s.High
+	if low == 0 && high == 0 {
+		low, high = 0.6, 0.9
+	}
+	// Load balance over the remaining committed work (relative to now).
+	minR, maxR := math.Inf(1), 0.0
+	for _, r := range ready {
+		rem := math.Max(0, r-now)
+		minR = math.Min(minR, rem)
+		maxR = math.Max(maxR, rem)
+	}
+	index := 1.0
+	if maxR > 0 {
+		index = minR / maxR
+	}
+	if index < low {
+		s.useMCT = true
+	} else if index > high {
+		s.useMCT = false
+	}
+	if s.useMCT {
+		return MCT{}.Choose(rng, now, ready, etcRow)
+	}
+	return MET{}.Choose(rng, now, ready, etcRow)
+}
+
+// completionAt returns when a task finishes if queued now behind work
+// ending at ready.
+func completionAt(now, ready, etc float64) float64 {
+	return math.Max(now, ready) + etc
+}
+
+// All returns the immediate-mode suite of [21].
+func All() []Heuristic {
+	return []Heuristic{OLB{}, MET{}, MCT{}, KPB{K: 40}, &Switching{}}
+}

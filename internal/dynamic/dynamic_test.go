@@ -1,0 +1,263 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func testWorkload(t *testing.T) Workload {
+	t.Helper()
+	w, err := Generate(stats.NewRNG(1), PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateAndValidate(t *testing.T) {
+	w := testWorkload(t)
+	if len(w.Tasks) != 20 || w.Machines != 5 {
+		t.Fatalf("workload shape: %d tasks, %d machines", len(w.Tasks), w.Machines)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism.
+	w2, err := Generate(stats.NewRNG(1), PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Tasks {
+		if w.Tasks[i].Arrival != w2.Tasks[i].Arrival {
+			t.Fatalf("same seed, different arrivals")
+		}
+	}
+	// Invalid parameters and workloads.
+	if _, err := Generate(stats.NewRNG(1), GenParams{}); err == nil {
+		t.Errorf("zero params accepted")
+	}
+	bad := Workload{Machines: 2, Tasks: []Task{{ETC: []float64{1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("ETC arity mismatch accepted")
+	}
+	bad = Workload{Machines: 1, Tasks: []Task{
+		{Arrival: 5, ETC: []float64{1}}, {Arrival: 1, ETC: []float64{1}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("unsorted arrivals accepted")
+	}
+	bad = Workload{Machines: 1, Tasks: []Task{{ETC: []float64{-1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("negative ETC accepted")
+	}
+}
+
+func TestHeuristicChoices(t *testing.T) {
+	rng := stats.NewRNG(2)
+	ready := []float64{10, 0, 5}
+	etc := []float64{1, 100, 1}
+	if j := (OLB{}).Choose(rng, 0, ready, etc); j != 1 {
+		t.Errorf("OLB chose %d", j)
+	}
+	if j := (MET{}).Choose(rng, 0, ready, etc); j != 0 {
+		t.Errorf("MET chose %d (ties go to the first minimum)", j)
+	}
+	// MCT: completions are 11, 100, 6 → machine 2.
+	if j := (MCT{}).Choose(rng, 0, ready, etc); j != 2 {
+		t.Errorf("MCT chose %d", j)
+	}
+	// KPB(100) ≡ MCT.
+	if j := (KPB{K: 100}).Choose(rng, 0, ready, etc); j != 2 {
+		t.Errorf("KPB(100) chose %d", j)
+	}
+	// KPB with one machine considered: only the global min-ETC machine.
+	if j := (KPB{K: 1}).Choose(rng, 0, ready, etc); j != 0 {
+		t.Errorf("KPB(1) chose %d", j)
+	}
+	names := map[string]bool{}
+	for _, h := range All() {
+		if h.Name() == "" {
+			t.Errorf("empty heuristic name")
+		}
+		names[h.Name()] = true
+	}
+	if len(names) != 5 {
+		t.Errorf("suite names not distinct: %v", names)
+	}
+}
+
+func TestSwitchingHysteresis(t *testing.T) {
+	rng := stats.NewRNG(3)
+	s := &Switching{Low: 0.5, High: 0.9}
+	// Perfectly balanced (index 1 > High) → MET behaviour.
+	ready := []float64{10, 10}
+	etc := []float64{1, 5}
+	if j := s.Choose(rng, 0, ready, etc); j != 0 {
+		t.Errorf("balanced switching chose %d (want MET pick)", j)
+	}
+	// Strong imbalance (index 0 < Low) → MCT behaviour: completions are
+	// 100+1=101 vs 0+5=5 → machine 1, even though its ETC is worse.
+	ready = []float64{100, 0}
+	if j := s.Choose(rng, 0, ready, etc); j != 1 {
+		t.Errorf("imbalanced switching chose %d (want MCT pick)", j)
+	}
+	// Hysteresis: at an intermediate index (0.7 ∈ (Low, High)) the MCT
+	// mode persists. With ETCs (1, 2), MCT picks machine 1 (completion 9
+	// vs 11) while MET would pick machine 0 — so a 1 proves persistence.
+	ready = []float64{10, 7}
+	if j := s.Choose(rng, 0, ready, []float64{1, 2}); j != 1 {
+		t.Errorf("hysteresis lost: chose %d", j)
+	}
+}
+
+func TestRunBookkeeping(t *testing.T) {
+	w := testWorkload(t)
+	rng := stats.NewRNG(4)
+	for _, h := range All() {
+		res, err := Run(rng, w, h, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if err := Verify(w, res); err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if len(res.Snapshots) != len(w.Tasks) {
+			t.Fatalf("%s: %d snapshots", h.Name(), len(res.Snapshots))
+		}
+		for i, s := range res.Snapshots {
+			if s.Robustness < 0 || math.IsNaN(s.Robustness) {
+				t.Fatalf("%s snapshot %d: robustness %v", h.Name(), i, s.Robustness)
+			}
+			if s.PredictedMakespan < s.Time {
+				t.Fatalf("%s snapshot %d: makespan %v before time %v", h.Name(), i, s.PredictedMakespan, s.Time)
+			}
+		}
+		if res.MeanRobustness < 0 {
+			t.Fatalf("%s: mean robustness %v", h.Name(), res.MeanRobustness)
+		}
+		// Makespan can never beat the total-work/machines bound.
+		var minWork float64
+		for _, task := range w.Tasks {
+			best := math.Inf(1)
+			for _, c := range task.ETC {
+				best = math.Min(best, c)
+			}
+			minWork += best
+		}
+		if res.Makespan < minWork/float64(w.Machines)-1e-9 {
+			t.Fatalf("%s: makespan %v below work bound", h.Name(), res.Makespan)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := testWorkload(t)
+	rng := stats.NewRNG(5)
+	if _, err := Run(rng, w, MCT{}, 0.5); err == nil {
+		t.Errorf("bad tau accepted")
+	}
+	if _, err := Run(rng, Workload{}, MCT{}, 1.2); err == nil {
+		t.Errorf("empty workload accepted")
+	}
+	bad := badHeuristic{}
+	if _, err := Run(rng, w, bad, 1.2); err == nil {
+		t.Errorf("out-of-range machine accepted")
+	}
+}
+
+type badHeuristic struct{}
+
+func (badHeuristic) Name() string { return "bad" }
+func (badHeuristic) Choose(rng *stats.RNG, now float64, ready, etcRow []float64) int {
+	return 99
+}
+
+func TestCompareSuite(t *testing.T) {
+	w := testWorkload(t)
+	results, err := Compare(stats.NewRNG(6), w, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// MCT must not be worse than OLB on makespan for this heterogeneous
+	// workload (it sees the ETCs; OLB does not).
+	var olb, mct float64
+	for _, r := range results {
+		switch r.Heuristic {
+		case "OLB":
+			olb = r.Makespan
+		case "MCT":
+			mct = r.Makespan
+		}
+	}
+	if mct > olb {
+		t.Errorf("MCT %v worse than OLB %v", mct, olb)
+	}
+}
+
+func TestDrainUntil(t *testing.T) {
+	// Queue of estimated times 3, 4, 5 ending at ready=20 (so segments
+	// [8,11), [11,15), [15,20)). At now=12 the first task is gone.
+	q := []float64{3, 4, 5}
+	drainUntil(&q, 20, 12)
+	if len(q) != 2 || q[0] != 4 {
+		t.Errorf("drained queue = %v", q)
+	}
+	// Everything completed.
+	q = []float64{1, 1}
+	drainUntil(&q, 5, 10)
+	if len(q) != 0 {
+		t.Errorf("queue should be empty: %v", q)
+	}
+	// Nothing completed.
+	q = []float64{2, 2}
+	drainUntil(&q, 14, 9)
+	if len(q) != 2 {
+		t.Errorf("queue should be intact: %v", q)
+	}
+}
+
+func TestConditionalRobustnessFormula(t *testing.T) {
+	// Two machines; 6 identical tasks arriving near-simultaneously. MET
+	// breaks ties to machine 0, piling everything there; the conditional
+	// radius at the k-th arrival is then exactly
+	// 0.2·(remaining span)/√k (Eq. 6 applied online).
+	w := Workload{Machines: 2}
+	for i := 0; i < 6; i++ {
+		w.Tasks = append(w.Tasks, Task{ID: i, Arrival: float64(i) * 0.01, ETC: []float64{10, 10}})
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	olb, err := Run(rng, w, OLB{}, 1.2) // spreads 3/3
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := Run(rng, w, MET{}, 1.2) // ties → all on machine 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Piling doubles the makespan…
+	if !(met.Makespan > 1.9*olb.Makespan) {
+		t.Errorf("pile makespan %v vs spread %v", met.Makespan, olb.Makespan)
+	}
+	// …and, exactly as in the static Figure 3 discussion, the *absolute*
+	// radius grows with the makespan: the pile's last snapshot must match
+	// 0.2·(M−now)/√6 to within rounding.
+	last := met.Snapshots[len(met.Snapshots)-1]
+	want := 0.2 * (last.PredictedMakespan - last.Time) / math.Sqrt(6)
+	if math.Abs(last.Robustness-want) > 1e-9 {
+		t.Errorf("pile snapshot radius = %v want %v", last.Robustness, want)
+	}
+	// The spread mapper's last snapshot: 3 tasks on the critical machine.
+	lastO := olb.Snapshots[len(olb.Snapshots)-1]
+	wantO := 0.2 * (lastO.PredictedMakespan - lastO.Time) / math.Sqrt(3)
+	if math.Abs(lastO.Robustness-wantO) > 1e-9 {
+		t.Errorf("spread snapshot radius = %v want %v", lastO.Robustness, wantO)
+	}
+}

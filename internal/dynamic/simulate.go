@@ -1,0 +1,186 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// Snapshot records the state at one arrival: the conditional robustness of
+// the work committed so far, in the sense of §3.1 applied online. At any
+// instant the remaining committed work per machine plays the role of the
+// finishing times F_j, the bound is τ times the current predicted
+// makespan, and the perturbation parameter is the vector of remaining
+// estimated times — so the radius (Eq. 6 with the current queue sizes)
+// says how much collective error in the outstanding estimates the current
+// commitment tolerates.
+type Snapshot struct {
+	// Time is the arrival instant the snapshot was taken at (after the
+	// arriving task was mapped).
+	Time float64
+	// TaskID is the arriving task.
+	TaskID int
+	// Machine is the chosen machine.
+	Machine int
+	// PredictedMakespan is the completion instant of all committed work
+	// under the estimates.
+	PredictedMakespan float64
+	// Robustness is the conditional §3.1 radius of the outstanding work
+	// (+Inf when at most one machine has outstanding work… still finite
+	// if it has any queued tasks).
+	Robustness float64
+}
+
+// Result is one simulated run.
+type Result struct {
+	// Heuristic names the mapper.
+	Heuristic string
+	// Assign[i] is the machine of task i.
+	Assign []int
+	// Makespan is the completion instant of the whole workload under the
+	// estimated times.
+	Makespan float64
+	// Snapshots has one entry per arrival, in order.
+	Snapshots []Snapshot
+	// MeanRobustness averages the finite snapshot radii — a single
+	// figure for "how defensively did this mapper commit work over time".
+	MeanRobustness float64
+}
+
+// Run simulates the workload under an immediate-mode heuristic. tau is the
+// tolerance used for the conditional robustness snapshots (τ ≥ 1).
+func Run(rng *stats.RNG, w Workload, h Heuristic, tau float64) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return nil, fmt.Errorf("dynamic: tau = %v must be finite and ≥ 1", tau)
+	}
+	ready := make([]float64, w.Machines)    // absolute completion instants
+	queued := make([][]float64, w.Machines) // outstanding estimated times per machine
+	res := &Result{Heuristic: h.Name(), Assign: make([]int, len(w.Tasks))}
+
+	var finiteSum float64
+	var finiteN int
+	for _, t := range w.Tasks {
+		now := t.Arrival
+		// Drain completed work from the queues (everything that finishes
+		// by now is no longer perturbable).
+		for j := range queued {
+			drainUntil(&queued[j], ready[j], now)
+		}
+		j := h.Choose(rng, now, ready, t.ETC)
+		if j < 0 || j >= w.Machines {
+			return nil, fmt.Errorf("dynamic: %s chose machine %d of %d", h.Name(), j, w.Machines)
+		}
+		res.Assign[t.ID] = j
+		start := math.Max(now, ready[j])
+		ready[j] = start + t.ETC[j]
+		queued[j] = append(queued[j], t.ETC[j])
+
+		snap := snapshot(now, t.ID, j, ready, queued, tau)
+		res.Snapshots = append(res.Snapshots, snap)
+		if !math.IsInf(snap.Robustness, 1) {
+			finiteSum += snap.Robustness
+			finiteN++
+		}
+	}
+	for _, r := range ready {
+		if r > res.Makespan {
+			res.Makespan = r
+		}
+	}
+	if finiteN > 0 {
+		res.MeanRobustness = finiteSum / float64(finiteN)
+	}
+	return res, nil
+}
+
+// drainUntil removes the prefix of outstanding times that completes by
+// now, given the machine's final completion instant. Completion instants
+// are reconstructed by walking the queue backwards from ready; when the
+// machine had an idle gap, this over-estimates early tasks' completions
+// and may keep an already-finished task in the perturbable set — a
+// deliberately conservative choice (the snapshot radius can only shrink,
+// never over-promise).
+func drainUntil(queue *[]float64, ready, now float64) {
+	// Work backwards: the queue's tasks end at ready, ready−last, …
+	q := *queue
+	end := ready
+	keepFrom := len(q)
+	for i := len(q) - 1; i >= 0; i-- {
+		if end <= now {
+			break
+		}
+		keepFrom = i
+		end -= q[i]
+	}
+	*queue = q[keepFrom:]
+}
+
+// snapshot computes the conditional Eq. 6 radius over the outstanding
+// work.
+func snapshot(now float64, taskID, machine int, ready []float64, queued [][]float64, tau float64) Snapshot {
+	s := Snapshot{Time: now, TaskID: taskID, Machine: machine, Robustness: math.Inf(1)}
+	for _, r := range ready {
+		if r > s.PredictedMakespan {
+			s.PredictedMakespan = r
+		}
+	}
+	bound := now + tau*(s.PredictedMakespan-now) // tolerance applies to remaining span
+	for j, q := range queued {
+		n := len(q)
+		if n == 0 {
+			continue
+		}
+		radius := (bound - ready[j]) / math.Sqrt(float64(n))
+		if radius < 0 {
+			radius = 0
+		}
+		if radius < s.Robustness {
+			s.Robustness = radius
+		}
+	}
+	return s
+}
+
+// Compare runs every heuristic on the same workload and returns their
+// results in suite order — the dynamic counterpart of the static
+// heuristic study.
+func Compare(rng *stats.RNG, w Workload, tau float64) ([]*Result, error) {
+	var out []*Result
+	for _, h := range All() {
+		r, err := Run(rng, w, h, tau)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Verify replays a result's assignment and checks the bookkeeping: the
+// makespan recomputed from scratch must match. It returns an error
+// describing any mismatch (used by tests and as a sanity hook for
+// downstream users).
+func Verify(w Workload, res *Result) error {
+	if len(res.Assign) != len(w.Tasks) {
+		return fmt.Errorf("dynamic: %d assignments for %d tasks", len(res.Assign), len(w.Tasks))
+	}
+	ready := make([]float64, w.Machines)
+	for _, t := range w.Tasks {
+		j := res.Assign[t.ID]
+		start := math.Max(t.Arrival, ready[j])
+		ready[j] = start + t.ETC[j]
+	}
+	makespan := 0.0
+	for _, r := range ready {
+		makespan = math.Max(makespan, r)
+	}
+	if !vecmath.ScalarEqualApprox(makespan, res.Makespan, 1e-9) {
+		return fmt.Errorf("dynamic: replayed makespan %v != recorded %v", makespan, res.Makespan)
+	}
+	return nil
+}

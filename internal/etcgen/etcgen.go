@@ -1,0 +1,188 @@
+// Package etcgen generates estimated-time-to-compute (ETC) matrices for
+// heterogeneous computing experiments using the coefficient-of-variation-
+// based (CVB) method of Ali, Siegel, Maheswaran, Hensgen, and Sedigh-Ali
+// (2000) — reference [3] of the robustness paper. §4.2 of the paper draws
+// its workload from this generator with mean 10 and task and machine
+// heterogeneities of 0.7.
+//
+// The CVB method is two-stage. For each task a_i a mean execution time q_i
+// is sampled from a Gamma distribution with mean μ_task and coefficient of
+// variation V_task. Then row i of the ETC matrix is sampled from a Gamma
+// distribution with mean q_i and coefficient of variation V_machine.
+package etcgen
+
+import (
+	"fmt"
+
+	"fepia/internal/stats"
+)
+
+// Consistency describes the structural relationship between rows of an ETC
+// matrix (Braun et al. 2001, reference [7]).
+type Consistency int
+
+const (
+	// Inconsistent matrices are used raw: machine m_a may be faster than
+	// m_b for one task and slower for another. §4.2 uses this variant.
+	Inconsistent Consistency = iota
+	// Consistent matrices have every row sorted, so machine ordering is the
+	// same for all tasks.
+	Consistent
+	// SemiConsistent matrices have the even-indexed columns of every row
+	// sorted, embedding a consistent sub-matrix in an inconsistent one.
+	SemiConsistent
+)
+
+// String returns the conventional name of the consistency class.
+func (c Consistency) String() string {
+	switch c {
+	case Inconsistent:
+		return "inconsistent"
+	case Consistent:
+		return "consistent"
+	case SemiConsistent:
+		return "semi-consistent"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// Params configures CVB generation.
+type Params struct {
+	// Tasks and Machines give the matrix dimensions (rows × columns).
+	Tasks, Machines int
+	// MeanTask is the mean of the task-mean distribution (μ_task); the
+	// paper uses 10.
+	MeanTask float64
+	// TaskHeterogeneity is V_task, the coefficient of variation across
+	// tasks; the paper uses 0.7.
+	TaskHeterogeneity float64
+	// MachineHeterogeneity is V_machine, the coefficient of variation
+	// across machines for a fixed task; the paper uses 0.7.
+	MachineHeterogeneity float64
+	// Consistency selects the structural class; the paper's experiments use
+	// Inconsistent.
+	Consistency Consistency
+}
+
+// Validate reports the first problem with the parameters, if any.
+func (p Params) Validate() error {
+	switch {
+	case p.Tasks <= 0:
+		return fmt.Errorf("etcgen: Tasks = %d must be positive", p.Tasks)
+	case p.Machines <= 0:
+		return fmt.Errorf("etcgen: Machines = %d must be positive", p.Machines)
+	case !(p.MeanTask > 0):
+		return fmt.Errorf("etcgen: MeanTask = %v must be positive", p.MeanTask)
+	case !(p.TaskHeterogeneity > 0):
+		return fmt.Errorf("etcgen: TaskHeterogeneity = %v must be positive", p.TaskHeterogeneity)
+	case !(p.MachineHeterogeneity > 0):
+		return fmt.Errorf("etcgen: MachineHeterogeneity = %v must be positive", p.MachineHeterogeneity)
+	}
+	return nil
+}
+
+// PaperParams returns the §4.2 configuration: 20 tasks, 5 machines,
+// mean 10, task and machine heterogeneity 0.7, inconsistent.
+func PaperParams() Params {
+	return Params{
+		Tasks:                20,
+		Machines:             5,
+		MeanTask:             10,
+		TaskHeterogeneity:    0.7,
+		MachineHeterogeneity: 0.7,
+		Consistency:          Inconsistent,
+	}
+}
+
+// Matrix is a dense tasks × machines ETC matrix: Matrix[i][j] is the
+// estimated time to compute task i on machine j (C_ij in the paper).
+type Matrix [][]float64
+
+// Generate samples an ETC matrix with the CVB method.
+func Generate(rng *stats.RNG, p Params) (Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := make(Matrix, p.Tasks)
+	for i := range m {
+		q := rng.GammaMeanCV(p.MeanTask, p.TaskHeterogeneity)
+		row := make([]float64, p.Machines)
+		for j := range row {
+			row[j] = rng.GammaMeanCV(q, p.MachineHeterogeneity)
+		}
+		m[i] = row
+	}
+	switch p.Consistency {
+	case Consistent:
+		for _, row := range m {
+			sortRow(row)
+		}
+	case SemiConsistent:
+		for _, row := range m {
+			sortEvenColumns(row)
+		}
+	}
+	return m, nil
+}
+
+// Tasks returns the number of rows.
+func (m Matrix) Tasks() int { return len(m) }
+
+// Machines returns the number of columns (0 for an empty matrix).
+func (m Matrix) Machines() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Validate checks that the matrix is rectangular and strictly positive.
+func (m Matrix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("etcgen: empty matrix")
+	}
+	w := len(m[0])
+	for i, row := range m {
+		if len(row) != w {
+			return fmt.Errorf("etcgen: ragged matrix: row %d has %d columns, want %d", i, len(row), w)
+		}
+		for j, x := range row {
+			if !(x > 0) {
+				return fmt.Errorf("etcgen: ETC[%d][%d] = %v must be positive", i, j, x)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m Matrix) Clone() Matrix {
+	out := make(Matrix, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// sortRow sorts a row ascending (insertion sort; rows are short).
+func sortRow(row []float64) {
+	for i := 1; i < len(row); i++ {
+		for j := i; j > 0 && row[j] < row[j-1]; j-- {
+			row[j], row[j-1] = row[j-1], row[j]
+		}
+	}
+}
+
+// sortEvenColumns extracts the even-indexed entries of the row, sorts them,
+// and writes them back in place, leaving odd columns untouched.
+func sortEvenColumns(row []float64) {
+	var ev []float64
+	for j := 0; j < len(row); j += 2 {
+		ev = append(ev, row[j])
+	}
+	sortRow(ev)
+	for k, j := 0, 0; j < len(row); j, k = j+2, k+1 {
+		row[j] = ev[k]
+	}
+}

@@ -1,0 +1,141 @@
+package etcgen
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func TestValidateParams(t *testing.T) {
+	good := PaperParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := []Params{
+		{Tasks: 0, Machines: 5, MeanTask: 10, TaskHeterogeneity: 0.7, MachineHeterogeneity: 0.7},
+		{Tasks: 5, Machines: 0, MeanTask: 10, TaskHeterogeneity: 0.7, MachineHeterogeneity: 0.7},
+		{Tasks: 5, Machines: 5, MeanTask: -1, TaskHeterogeneity: 0.7, MachineHeterogeneity: 0.7},
+		{Tasks: 5, Machines: 5, MeanTask: 10, TaskHeterogeneity: 0, MachineHeterogeneity: 0.7},
+		{Tasks: 5, Machines: 5, MeanTask: 10, TaskHeterogeneity: 0.7, MachineHeterogeneity: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+		if _, err := Generate(stats.NewRNG(1), p); err == nil {
+			t.Errorf("Generate accepted bad params %d", i)
+		}
+	}
+}
+
+func TestGenerateShapeAndPositivity(t *testing.T) {
+	m, err := Generate(stats.NewRNG(1), PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks() != 20 || m.Machines() != 5 {
+		t.Fatalf("shape %dx%d", m.Tasks(), m.Machines())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(stats.NewRNG(9), PaperParams())
+	b, _ := Generate(stats.NewRNG(9), PaperParams())
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed, different matrices at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateHitsHeterogeneityTargets(t *testing.T) {
+	// With a large matrix, the overall mean approaches MeanTask and the
+	// column CV within each row approaches MachineHeterogeneity on average.
+	p := Params{Tasks: 4000, Machines: 10, MeanTask: 10, TaskHeterogeneity: 0.7, MachineHeterogeneity: 0.7}
+	m, err := Generate(stats.NewRNG(5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	var rowMeans []float64
+	var rowCVs []float64
+	for _, row := range m {
+		all = append(all, row...)
+		rowMeans = append(rowMeans, stats.Mean(row))
+		rowCVs = append(rowCVs, stats.CV(row))
+	}
+	if mean := stats.Mean(all); math.Abs(mean-10) > 0.5 {
+		t.Errorf("overall mean = %v, want ≈10", mean)
+	}
+	// Task heterogeneity shows up as CV of the row means.
+	if cv := stats.CV(rowMeans); math.Abs(cv-0.7) > 0.1 {
+		t.Errorf("task heterogeneity = %v, want ≈0.7", cv)
+	}
+	// Machine heterogeneity: average within-row CV. The sample CV of 10
+	// Gamma draws underestimates the population CV, so allow slack below.
+	if cv := stats.Mean(rowCVs); cv < 0.5 || cv > 0.85 {
+		t.Errorf("machine heterogeneity = %v, want ≈0.7", cv)
+	}
+}
+
+func TestConsistencyClasses(t *testing.T) {
+	p := PaperParams()
+	p.Consistency = Consistent
+	m, err := Generate(stats.NewRNG(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range m {
+		for j := 1; j < len(row); j++ {
+			if row[j] < row[j-1] {
+				t.Fatalf("consistent row %d not sorted: %v", i, row)
+			}
+		}
+	}
+	p.Consistency = SemiConsistent
+	m, err = Generate(stats.NewRNG(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range m {
+		for j := 2; j < len(row); j += 2 {
+			if row[j] < row[j-2] {
+				t.Fatalf("semi-consistent row %d even columns not sorted: %v", i, row)
+			}
+		}
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if Inconsistent.String() != "inconsistent" || Consistent.String() != "consistent" ||
+		SemiConsistent.String() != "semi-consistent" {
+		t.Errorf("Consistency.String mismatch")
+	}
+	if Consistency(99).String() == "" {
+		t.Errorf("unknown consistency should still render")
+	}
+}
+
+func TestMatrixCloneAndValidate(t *testing.T) {
+	m := Matrix{{1, 2}, {3, 4}}
+	c := m.Clone()
+	c[0][0] = 99
+	if m[0][0] != 1 {
+		t.Errorf("Clone shares storage")
+	}
+	if err := (Matrix{}).Validate(); err == nil {
+		t.Errorf("empty matrix accepted")
+	}
+	if err := (Matrix{{1, 2}, {3}}).Validate(); err == nil {
+		t.Errorf("ragged matrix accepted")
+	}
+	if err := (Matrix{{1, -2}}).Validate(); err == nil {
+		t.Errorf("non-positive entry accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Package experiments reproduces the paper's evaluation artifacts:
+// Figure 1 (the boundary-curve concept), Figure 2 (the HiPer-D DAG),
+// Figure 3 (robustness vs makespan, 1000 random mappings), Figure 4
+// (robustness vs slack, 1000 random mappings), and Table 2 (two mappings
+// with similar slack but very different robustness). Each experiment has a
+// deterministic Run function returning plain data plus helpers to render
+// ASCII scatter plots and CSV for external plotting.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Scatter renders an ASCII scatter plot of the points (x[i], y[i]) on a
+// width×height character grid with axis annotations. Multiple points per
+// cell darken the glyph (· : * #).
+func Scatter(x, y []float64, width, height int, xlabel, ylabel string) string {
+	if len(x) != len(y) {
+		return fmt.Sprintf("scatter: mismatched series (%d vs %d)", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return "scatter: no data"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax := minMax(x)
+	ymin, ymax := minMax(y)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]int, height)
+	for r := range grid {
+		grid[r] = make([]int, width)
+	}
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) || math.IsInf(x[i], 0) || math.IsInf(y[i], 0) {
+			continue
+		}
+		c := int((x[i] - xmin) / (xmax - xmin) * float64(width-1))
+		r := int((y[i] - ymin) / (ymax - ymin) * float64(height-1))
+		grid[height-1-r][c]++
+	}
+	glyph := func(n int) byte {
+		switch {
+		case n == 0:
+			return ' '
+		case n == 1:
+			return '.'
+		case n <= 3:
+			return ':'
+		case n <= 8:
+			return '*'
+		default:
+			return '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ylabel)
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.4g |", ymax)
+		case height - 1:
+			fmt.Fprintf(&b, "%10.4g |", ymin)
+		default:
+			fmt.Fprintf(&b, "%10s |", "")
+		}
+		for c := 0; c < width; c++ {
+			b.WriteByte(glyph(grid[r][c]))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	fmt.Fprintf(&b, "%10s  %s\n", "", center(xlabel, width))
+	return b.String()
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+func minMax(v []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if math.IsInf(lo, 1) { // no finite data
+		return 0, 1
+	}
+	return lo, hi
+}
+
+// WriteCSV writes a header row and float rows in RFC-4180 style (numbers
+// need no quoting).
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fepia/internal/etcgen"
+)
+
+// ConsistencyConfig parameterises the ETC-consistency ablation. Braun et
+// al. [7] evaluate mapping heuristics across consistent, semi-consistent,
+// and inconsistent ETC matrices; the paper's §4.2 uses inconsistent ones.
+// This experiment asks how the robustness landscape itself changes with
+// the class: the correlation between makespan and ρ, the spread at similar
+// makespan, and how many S₁(x) clusters appear.
+type ConsistencyConfig struct {
+	// Seed drives workload and mapping generation.
+	Seed int64
+	// Mappings is the population per class.
+	Mappings int
+	// Tau is the makespan tolerance.
+	Tau float64
+	// Base is the workload shape; its Consistency field is overridden per
+	// class.
+	Base etcgen.Params
+}
+
+// PaperConsistencyConfig uses the §4.2 workload with 500 mappings per
+// class.
+func PaperConsistencyConfig() ConsistencyConfig {
+	return ConsistencyConfig{Seed: 2003, Mappings: 500, Tau: 1.2, Base: etcgen.PaperParams()}
+}
+
+// ConsistencyRow is one class's summary.
+type ConsistencyRow struct {
+	// Class names the ETC structure.
+	Class string
+	// Pearson is corr(makespan, ρ).
+	Pearson float64
+	// MeanRho and MeanMakespan are population means.
+	MeanRho, MeanMakespan float64
+	// Spread is the max robustness ratio at < 1% makespan difference.
+	Spread float64
+	// Clusters is the number of distinct S₁(x) lines observed.
+	Clusters int
+}
+
+// ConsistencyResult is the ablation outcome.
+type ConsistencyResult struct {
+	Config ConsistencyConfig
+	Rows   []ConsistencyRow
+}
+
+// RunConsistency executes the ablation across the three classes.
+func RunConsistency(cfg ConsistencyConfig) (*ConsistencyResult, error) {
+	if cfg.Mappings <= 0 {
+		return nil, fmt.Errorf("experiments: consistency config needs a positive mapping count")
+	}
+	classes := []etcgen.Consistency{etcgen.Inconsistent, etcgen.SemiConsistent, etcgen.Consistent}
+	out := &ConsistencyResult{Config: cfg}
+	for _, class := range classes {
+		params := cfg.Base
+		params.Consistency = class
+		fig3, err := RunFig3(Fig3Config{
+			Seed:     cfg.Seed,
+			Mappings: cfg.Mappings,
+			Tau:      cfg.Tau,
+			ETC:      params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rhoSum, mkSum float64
+		for _, row := range fig3.Rows {
+			rhoSum += row.Robustness
+			mkSum += row.Makespan
+		}
+		out.Rows = append(out.Rows, ConsistencyRow{
+			Class:        class.String(),
+			Pearson:      fig3.PearsonMakespan,
+			MeanRho:      rhoSum / float64(len(fig3.Rows)),
+			MeanMakespan: mkSum / float64(len(fig3.Rows)),
+			Spread:       fig3.MaxSpreadSimilarMakespan,
+			Clusters:     len(fig3.ClusterSlopes),
+		})
+	}
+	return out, nil
+}
+
+// WriteCSV emits the per-class summaries.
+func (r *ConsistencyResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "class,pearson,mean_rho,mean_makespan,spread,clusters"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%d\n",
+			row.Class, row.Pearson, row.MeanRho, row.MeanMakespan, row.Spread, row.Clusters); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report renders the ablation.
+func (r *ConsistencyResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ETC consistency ablation (%d random mappings per class, tau=%.2f)\n\n",
+		r.Config.Mappings, r.Config.Tau)
+	fmt.Fprintf(&b, "%-16s %10s %10s %12s %8s %9s\n",
+		"class", "corr(M,ρ)", "mean ρ", "mean M", "spread", "clusters")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %10.3f %10.4g %12.4g %7.2fx %9d\n",
+			row.Class, row.Pearson, row.MeanRho, row.MeanMakespan, row.Spread, row.Clusters)
+	}
+	b.WriteString("\nThe Eq. 6 geometry (linear clusters, ρ ∝ M within S₁(x)) is structural\n")
+	b.WriteString("and appears in every class; the classes differ in the makespans random\n")
+	b.WriteString("mappings produce and therefore in the absolute ρ scale.\n")
+	return b.String()
+}

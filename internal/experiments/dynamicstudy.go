@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fepia/internal/dynamic"
+	"fepia/internal/stats"
+)
+
+// DynStudyConfig parameterises the dynamic-mapping study: the five
+// immediate-mode heuristics of Maheswaran et al. (reference [21] of the
+// paper) compared on makespan and on the online robustness timeline —
+// the conditional Eq. 6 radius of the committed work at every arrival.
+type DynStudyConfig struct {
+	// Seed drives workload generation and the heuristics.
+	Seed int64
+	// Trials is the number of workloads averaged over.
+	Trials int
+	// Tau is the tolerance for the conditional radii.
+	Tau float64
+	// Gen parameterises workload generation.
+	Gen dynamic.GenParams
+}
+
+// PaperDynStudyConfig averages 20 paper-scale workloads at τ = 1.2.
+func PaperDynStudyConfig() DynStudyConfig {
+	return DynStudyConfig{Seed: 2003, Trials: 20, Tau: 1.2, Gen: dynamic.PaperGenParams()}
+}
+
+// DynRow is one heuristic's averages.
+type DynRow struct {
+	Name string
+	// Makespan is the mean completion time of the workload.
+	Makespan float64
+	// MeanRho is the mean conditional robustness over all snapshots.
+	MeanRho float64
+	// MinRho is the mean over trials of the run's most fragile snapshot.
+	MinRho float64
+}
+
+// DynStudyResult is the study outcome.
+type DynStudyResult struct {
+	Config DynStudyConfig
+	Rows   []DynRow
+}
+
+// RunDynStudy executes the study over both the immediate-mode suite and
+// the batch-mode suite (batch interval: four mean interarrival times, so
+// each mapping event sees a handful of pending tasks).
+func RunDynStudy(cfg DynStudyConfig) (*DynStudyResult, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: dynamic study needs a positive trial count")
+	}
+	immediate := dynamic.All()
+	batch := dynamic.AllBatch()
+	interval := 4 * cfg.Gen.MeanInterarrival
+	total := len(immediate) + len(batch)
+	type agg struct{ makespan, meanRho, minRho float64 }
+	sums := make([]agg, total)
+
+	accumulate := func(i int, res *dynamic.Result) {
+		sums[i].makespan += res.Makespan
+		sums[i].meanRho += res.MeanRobustness
+		minRho := math.Inf(1)
+		for _, s := range res.Snapshots {
+			if s.Robustness < minRho {
+				minRho = s.Robustness
+			}
+		}
+		if !math.IsInf(minRho, 1) {
+			sums[i].minRho += minRho
+		}
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		w, err := dynamic.Generate(rng, cfg.Gen)
+		if err != nil {
+			return nil, err
+		}
+		for i, h := range immediate {
+			res, err := dynamic.Run(stats.NewRNG(cfg.Seed+int64(trial)), w, h, cfg.Tau)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(i, res)
+		}
+		for i, h := range batch {
+			res, err := dynamic.RunBatch(stats.NewRNG(cfg.Seed+int64(trial)), w, h, interval, cfg.Tau)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(len(immediate)+i, res)
+		}
+	}
+	out := &DynStudyResult{Config: cfg}
+	n := float64(cfg.Trials)
+	names := make([]string, 0, total)
+	for _, h := range immediate {
+		names = append(names, h.Name())
+	}
+	for _, h := range batch {
+		names = append(names, h.Name())
+	}
+	for i, name := range names {
+		out.Rows = append(out.Rows, DynRow{
+			Name:     name,
+			Makespan: sums[i].makespan / n,
+			MeanRho:  sums[i].meanRho / n,
+			MinRho:   sums[i].minRho / n,
+		})
+	}
+	return out, nil
+}
+
+// WriteCSV emits the table.
+func (r *DynStudyResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "heuristic,makespan,mean_rho,min_rho"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g\n", row.Name, row.Makespan, row.MeanRho, row.MinRho); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report renders the table.
+func (r *DynStudyResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dynamic mapping study: %d workloads of %d arrivals on %d machines (tau=%.2f)\n\n",
+		r.Config.Trials, r.Config.Gen.Tasks, r.Config.Gen.Machines, r.Config.Tau)
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s\n", "heuristic", "makespan", "mean ρ(t)", "min ρ(t)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %12.4g %12.4g %12.4g\n", row.Name, row.Makespan, row.MeanRho, row.MinRho)
+	}
+	b.WriteString("\nρ(t) is the conditional Eq. 6 radius of the committed work at each\n")
+	b.WriteString("arrival: how much collective error in the outstanding estimates the\n")
+	b.WriteString("current commitment tolerates. min ρ(t) is the run's most fragile moment.\n")
+	return b.String()
+}

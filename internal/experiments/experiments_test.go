@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScatterBasics(t *testing.T) {
+	s := Scatter([]float64{0, 1, 2}, []float64{0, 1, 4}, 40, 10, "x", "y")
+	for _, want := range []string{"x", "y", "."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scatter missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(Scatter(nil, nil, 40, 10, "x", "y"), "no data") {
+		t.Errorf("empty scatter should say so")
+	}
+	if !strings.Contains(Scatter([]float64{1}, []float64{1, 2}, 40, 10, "x", "y"), "mismatched") {
+		t.Errorf("mismatched series should be reported")
+	}
+	// Degenerate single point and NaN/Inf points must not panic.
+	_ = Scatter([]float64{5, math.NaN()}, []float64{5, math.Inf(1)}, 1, 1, "x", "y")
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, []string{"a", "b"}, [][]float64{{1, 2}, {3.5, -4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3.5,-4\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q want %q", sb.String(), want)
+	}
+}
+
+func TestRunFig3PaperShape(t *testing.T) {
+	cfg := PaperFig3Config()
+	cfg.Mappings = 300 // keep the unit test quick; the bench runs 1000
+	res, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's headline claims:
+	// (1) robustness and makespan are generally correlated;
+	if res.PearsonMakespan < 0.3 {
+		t.Errorf("corr(makespan, robustness) = %v, expected clearly positive", res.PearsonMakespan)
+	}
+	// (2) mappings with very similar makespan differ sharply in robustness;
+	if res.MaxSpreadSimilarMakespan < 1.5 {
+		t.Errorf("max spread at similar makespan = %v, expected ≥1.5x", res.MaxSpreadSimilarMakespan)
+	}
+	// (3) S1(x) cluster slopes match the Eq. 6 prediction (τ−1)/√x.
+	checked := 0
+	for x, slope := range res.ClusterSlopes {
+		pred := (cfg.Tau - 1) / math.Sqrt(float64(x))
+		if math.Abs(slope-pred) > 1e-9 {
+			t.Errorf("cluster x=%d slope %v != predicted %v", x, slope, pred)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Errorf("no S1 clusters found")
+	}
+	// Report renders and mentions the key numbers.
+	rep := res.Report()
+	for _, want := range []string{"Figure 3", "corr(makespan", "cluster slopes"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 301 {
+		t.Errorf("CSV lines = %d", lines)
+	}
+	if _, err := RunFig3(Fig3Config{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}
+
+func TestRunFig4PaperShape(t *testing.T) {
+	cfg := PaperFig4Config()
+	cfg.Mappings = 300
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Most mappings must be feasible (the paper's population all is).
+	if res.Feasible < 150 {
+		t.Errorf("only %d/300 feasible", res.Feasible)
+	}
+	// Slack and robustness correlate positively…
+	if !(res.PearsonSlack > 0.2) {
+		t.Errorf("corr(slack, robustness) = %v", res.PearsonSlack)
+	}
+	// …but similar slack hides large robustness differences (Table 2's
+	// point; the paper reports 3.3×).
+	if res.MaxSpreadSimilarSlack < 2 {
+		t.Errorf("max spread at similar slack = %v, expected ≥2x", res.MaxSpreadSimilarSlack)
+	}
+	// Binding diagnostics must cover every feasible mapping exactly once.
+	total := 0
+	for _, n := range res.BindingByClass {
+		total += n
+	}
+	if total != res.Feasible {
+		t.Errorf("binding counts %d != feasible %d", total, res.Feasible)
+	}
+	if len(res.TopBinding) == 0 || res.TopBinding[0].Count == 0 {
+		t.Errorf("no top binding features")
+	}
+	for i := 1; i < len(res.TopBinding); i++ {
+		if res.TopBinding[i].Count > res.TopBinding[i-1].Count {
+			t.Errorf("top binding not sorted: %v", res.TopBinding)
+		}
+	}
+	rep := res.Report()
+	for _, want := range []string{"Figure 4", "corr(slack", "binding constraint class"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFig4(Fig4Config{}); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}
+
+func TestFindTable2Pair(t *testing.T) {
+	cfg := PaperFig4Config()
+	cfg.Mappings = 300
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := FindTable2Pair(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Ratio < 2 {
+		t.Errorf("pair ratio = %v, expected ≥2 (paper: 3.3)", pair.Ratio)
+	}
+	if pair.SlackGap > 0.01 {
+		t.Errorf("slack gap = %v", pair.SlackGap)
+	}
+	if pair.A.Robustness > pair.B.Robustness {
+		t.Errorf("A should be the fragile mapping")
+	}
+	rep := pair.Report()
+	for _, want := range []string{"mapping A", "mapping B", "λ1*", "application assignments", "computation time functions", "robustness ratio"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Table 2 report missing %q", want)
+		}
+	}
+	// Tolerance too small to admit any pair → error. (Zero robustness
+	// mappings are excluded, so an absurdly tiny tolerance with distinct
+	// slacks yields nothing.)
+	if _, err := FindTable2Pair(&Fig4Result{Rows: []Fig4Row{{Slack: 0.1, Robustness: 1}, {Slack: 0.9, Robustness: 2}}}, 0.001); err == nil {
+		t.Errorf("impossible tolerance accepted")
+	}
+	if _, err := FindTable2Pair(&Fig4Result{}, 0.01); err == nil {
+		t.Errorf("empty population accepted")
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	res, err := RunFig1(PaperFig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != PaperFig1Config().CurvePoints {
+		t.Errorf("curve points = %d", len(res.Curve))
+	}
+	// Every curve point satisfies f = β^max.
+	imp := fig1Impact()
+	for _, pt := range res.Curve {
+		if v := imp.Eval(pt[:]); math.Abs(v-res.Config.BetaMax) > 1e-6 {
+			t.Fatalf("curve point off the boundary: f=%v", v)
+		}
+	}
+	// π* is on the boundary and no sampled point is closer than the radius.
+	if v := imp.Eval(res.Star); math.Abs(v-res.Config.BetaMax) > 1e-4 {
+		t.Errorf("π* off boundary: f=%v", v)
+	}
+	for _, pt := range res.Curve {
+		dx := pt[0] - res.Config.Orig[0]
+		dy := pt[1] - res.Config.Orig[1]
+		if d := math.Hypot(dx, dy); d < res.Radius-1e-6 {
+			t.Errorf("sampled point closer than radius: %v < %v", d, res.Radius)
+		}
+	}
+	rep := res.Report()
+	for _, want := range []string{"Figure 1", "π^orig", "robustness radius"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Errors: wrong dimension, infeasible operating point.
+	if _, err := RunFig1(Fig1Config{Orig: []float64{1}, BetaMax: 25}); err == nil {
+		t.Errorf("1-D config accepted")
+	}
+	if _, err := RunFig1(Fig1Config{Orig: []float64{10, 10}, BetaMax: 25}); err == nil {
+		t.Errorf("infeasible operating point accepted")
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	res, err := RunFig2(PaperFig2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != 19 {
+		t.Errorf("paths = %d want 19", len(res.Paths))
+	}
+	rep := res.Report()
+	for _, want := range []string{"Figure 2", "19 paths", "trigger"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Without a target the generator still produces a valid result.
+	free, err := RunFig2(Fig2Config{Seed: 1, Gen: PaperFig2Config().Gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free.Paths) == 0 {
+		t.Errorf("no paths enumerated")
+	}
+}

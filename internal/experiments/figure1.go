@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// Fig1Config parameterises the Figure 1 illustration: one feature with a
+// curved boundary f(π) = β^max over a two-element perturbation parameter.
+type Fig1Config struct {
+	// Orig is π^orig (paper draws it strictly inside the robust region).
+	Orig []float64
+	// BetaMax is the upper bound of the feature.
+	BetaMax float64
+	// CurvePoints is the number of boundary samples emitted (default 64).
+	CurvePoints int
+}
+
+// PaperFig1Config uses f(π) = π₁² + π₁π₂ + π₂² — a convex quadratic whose
+// level set is the kind of concave-from-origin curve the figure sketches —
+// with π^orig = (1.5, 1.0) and β^max = 25.
+func PaperFig1Config() Fig1Config {
+	return Fig1Config{Orig: []float64{1.5, 1.0}, BetaMax: 25, CurvePoints: 64}
+}
+
+// Fig1Result holds the boundary curve, the operating point, the
+// minimising boundary point π*, and the robustness radius.
+type Fig1Result struct {
+	Config Fig1Config
+	// Curve is the sampled set {π : f(π) = β^max} in the first quadrant.
+	Curve [][2]float64
+	// Star is π*(φ) — the closest boundary point to Orig.
+	Star []float64
+	// Radius is r_μ(φ, π) = ‖π* − π^orig‖₂.
+	Radius float64
+}
+
+// fig1Impact is the fixed quadratic used by the illustration.
+func fig1Impact() *core.FuncImpact {
+	return &core.FuncImpact{
+		N: 2,
+		F: func(pi []float64) float64 {
+			return pi[0]*pi[0] + pi[0]*pi[1] + pi[1]*pi[1]
+		},
+		Grad: func(dst, pi []float64) []float64 {
+			if len(dst) != 2 {
+				dst = make([]float64, 2)
+			}
+			dst[0] = 2*pi[0] + pi[1]
+			dst[1] = pi[0] + 2*pi[1]
+			return dst
+		},
+		Convex: true,
+	}
+}
+
+// RunFig1 computes the illustration data.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	if len(cfg.Orig) != 2 {
+		return nil, fmt.Errorf("experiments: Fig1 needs a 2-element π^orig")
+	}
+	if cfg.CurvePoints <= 0 {
+		cfg.CurvePoints = 64
+	}
+	imp := fig1Impact()
+	if imp.Eval(cfg.Orig) >= cfg.BetaMax {
+		return nil, fmt.Errorf("experiments: π^orig is outside the robust region")
+	}
+	feature := core.Feature{Name: "phi", Impact: imp, Bounds: core.NoMin(cfg.BetaMax)}
+	p := core.Perturbation{Name: "π", Orig: cfg.Orig}
+	radius, err := core.ComputeRadius(feature, p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1Result{Config: cfg, Star: radius.Boundary, Radius: radius.Radius}
+	// Sample the first-quadrant boundary by sweeping the angle and solving
+	// f(t·cosθ, t·sinθ) = β along each ray from the origin (f is increasing
+	// in t on rays in the first quadrant).
+	for k := 0; k < cfg.CurvePoints; k++ {
+		theta := math.Pi / 2 * float64(k) / float64(cfg.CurvePoints-1)
+		ux, uy := math.Cos(theta), math.Sin(theta)
+		// Quadratic in t: (ux²+uxuy+uy²)t² = β.
+		q := ux*ux + ux*uy + uy*uy
+		t := math.Sqrt(cfg.BetaMax / q)
+		res.Curve = append(res.Curve, [2]float64{t * ux, t * uy})
+	}
+	return res, nil
+}
+
+// WriteCSV emits the boundary curve with the special points flagged.
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	rows := make([][]float64, 0, len(r.Curve)+2)
+	for _, pt := range r.Curve {
+		rows = append(rows, []float64{pt[0], pt[1], 0})
+	}
+	rows = append(rows, []float64{r.Config.Orig[0], r.Config.Orig[1], 1}) // π^orig
+	rows = append(rows, []float64{r.Star[0], r.Star[1], 2})               // π*
+	return WriteCSV(w, []string{"pi1", "pi2", "kind"}, rows)
+}
+
+// Report renders the curve, π^orig, and π* as an ASCII sketch plus the
+// computed radius.
+func (r *Fig1Result) Report() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — boundary curve {π : f(π) = β^max}, operating point, and π*\n\n")
+	var xs, ys []float64
+	for _, pt := range r.Curve {
+		xs = append(xs, pt[0])
+		ys = append(ys, pt[1])
+	}
+	// Overlay the operating point and π* by appending them many times so
+	// they show as dense glyphs.
+	for i := 0; i < 9; i++ {
+		xs = append(xs, r.Config.Orig[0])
+		ys = append(ys, r.Config.Orig[1])
+		xs = append(xs, r.Star[0])
+		ys = append(ys, r.Star[1])
+	}
+	b.WriteString(Scatter(xs, ys, 64, 20, "π₁", "π₂"))
+	fmt.Fprintf(&b, "\nπ^orig = (%.3f, %.3f)   f(π^orig) = %.3f\n",
+		r.Config.Orig[0], r.Config.Orig[1], fig1Impact().Eval(r.Config.Orig))
+	fmt.Fprintf(&b, "π*      = (%.3f, %.3f)   f(π*) = %.3f (β^max = %g)\n",
+		r.Star[0], r.Star[1], fig1Impact().Eval(r.Star), r.Config.BetaMax)
+	fmt.Fprintf(&b, "robustness radius r = ‖π* − π^orig‖₂ = %.4f\n", r.Radius)
+	// Sanity echo: the radius equals the distance to the closest sampled
+	// curve point up to discretisation.
+	best := math.Inf(1)
+	for _, pt := range r.Curve {
+		if d := vecmath.Distance(pt[:], r.Config.Orig); d < best {
+			best = d
+		}
+	}
+	fmt.Fprintf(&b, "closest sampled curve point at distance %.4f (discretised check)\n", best)
+	return b.String()
+}

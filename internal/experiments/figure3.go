@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+// Fig3Config parameterises the §4.2 experiment. The zero value is not
+// runnable; start from PaperFig3Config.
+type Fig3Config struct {
+	// Seed drives the whole experiment deterministically.
+	Seed int64
+	// Mappings is the number of random mappings (1000 in the paper).
+	Mappings int
+	// Tau is the makespan tolerance (1.2 in the paper).
+	Tau float64
+	// ETC parameterises the workload generator.
+	ETC etcgen.Params
+}
+
+// PaperFig3Config reproduces §4.2: 1000 random mappings of 20 applications
+// on 5 machines, Gamma ETCs with mean 10 and heterogeneities 0.7, τ = 1.2.
+func PaperFig3Config() Fig3Config {
+	return Fig3Config{Seed: 2003, Mappings: 1000, Tau: 1.2, ETC: etcgen.PaperParams()}
+}
+
+// Fig3Row is one mapping's evaluation.
+type Fig3Row struct {
+	// Makespan is M^orig.
+	Makespan float64
+	// Robustness is ρ_μ(Φ, C) in seconds.
+	Robustness float64
+	// LoadBalance is the §4.2 load-balance index.
+	LoadBalance float64
+	// X is n(m(C^orig)) — the cluster coordinate of §4.2.
+	X int
+	// InS1 reports membership of S₁(X) (on-line points).
+	InS1 bool
+}
+
+// Fig3Result is the full experiment outcome.
+type Fig3Result struct {
+	Config Fig3Config
+	Rows   []Fig3Row
+	// PearsonMakespan is corr(makespan, robustness) over all mappings.
+	PearsonMakespan float64
+	// PearsonLoadBalance is corr(load-balance index, robustness).
+	PearsonLoadBalance float64
+	// ClusterSlopes[x] is the empirical slope ρ/M for the S₁(x) members;
+	// Eq. 6 predicts exactly (τ−1)/√x.
+	ClusterSlopes map[int]float64
+	// MaxSpreadSimilarMakespan is the largest robustness ratio found
+	// between two mappings whose makespans differ by < 1% — the paper's
+	// "sharp differences … at very similar values of makespan".
+	MaxSpreadSimilarMakespan float64
+}
+
+// RunFig3 executes the experiment.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	if cfg.Mappings <= 0 {
+		return nil, fmt.Errorf("experiments: Fig3 Mappings = %d must be positive", cfg.Mappings)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	etc, err := etcgen.Generate(rng, cfg.ETC)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := hcs.NewInstance(etc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{Config: cfg, Rows: make([]Fig3Row, 0, cfg.Mappings)}
+	for i := 0; i < cfg.Mappings; i++ {
+		m := hcs.RandomMapping(rng, inst)
+		ev, err := indalloc.Evaluate(m, cfg.Tau)
+		if err != nil {
+			return nil, err
+		}
+		info, err := indalloc.Classify(m, cfg.Tau)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			Makespan:    ev.PredictedMakespan,
+			Robustness:  ev.Robustness,
+			LoadBalance: m.LoadBalanceIndex(),
+			X:           info.X,
+			InS1:        info.InS1,
+		})
+	}
+	res.summarise()
+	return res, nil
+}
+
+func (r *Fig3Result) summarise() {
+	n := len(r.Rows)
+	mk := make([]float64, n)
+	rho := make([]float64, n)
+	lbi := make([]float64, n)
+	for i, row := range r.Rows {
+		mk[i], rho[i], lbi[i] = row.Makespan, row.Robustness, row.LoadBalance
+	}
+	r.PearsonMakespan = stats.Pearson(mk, rho)
+	r.PearsonLoadBalance = stats.Pearson(lbi, rho)
+
+	// Empirical slope per cluster: mean of ρ/M over S₁(x) members.
+	r.ClusterSlopes = make(map[int]float64)
+	counts := make(map[int]int)
+	for _, row := range r.Rows {
+		if row.InS1 && row.Makespan > 0 {
+			r.ClusterSlopes[row.X] += row.Robustness / row.Makespan
+			counts[row.X]++
+		}
+	}
+	for x := range r.ClusterSlopes {
+		r.ClusterSlopes[x] /= float64(counts[x])
+	}
+
+	// Largest robustness ratio among mappings with near-identical makespan.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return mk[order[a]] < mk[order[b]] })
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && mk[order[j]] <= mk[order[i]]*1.01; j++ {
+			lo := math.Min(rho[order[i]], rho[order[j]])
+			hi := math.Max(rho[order[i]], rho[order[j]])
+			if lo > 0 && hi/lo > r.MaxSpreadSimilarMakespan {
+				r.MaxSpreadSimilarMakespan = hi / lo
+			}
+		}
+	}
+}
+
+// Series returns the (makespan, robustness) series of the scatter plot.
+func (r *Fig3Result) Series() (x, y []float64) {
+	x = make([]float64, len(r.Rows))
+	y = make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		x[i], y[i] = row.Makespan, row.Robustness
+	}
+	return x, y
+}
+
+// WriteCSV emits one row per mapping.
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	rows := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		inS1 := 0.0
+		if row.InS1 {
+			inS1 = 1
+		}
+		rows[i] = []float64{row.Makespan, row.Robustness, row.LoadBalance, float64(row.X), inS1}
+	}
+	return WriteCSV(w, []string{"makespan", "robustness", "load_balance_index", "x", "in_s1"}, rows)
+}
+
+// Report renders the scatter plot plus the quantitative summary recorded
+// in EXPERIMENTS.md.
+func (r *Fig3Result) Report() string {
+	var b strings.Builder
+	x, y := r.Series()
+	b.WriteString("Figure 3 — robustness against makespan, ")
+	fmt.Fprintf(&b, "%d random mappings (tau=%.2f)\n\n", len(r.Rows), r.Config.Tau)
+	b.WriteString(Scatter(x, y, 72, 24, "makespan (s)", "robustness (s)"))
+	fmt.Fprintf(&b, "\ncorr(makespan, robustness)            = %+.3f\n", r.PearsonMakespan)
+	fmt.Fprintf(&b, "corr(load-balance index, robustness)  = %+.3f\n", r.PearsonLoadBalance)
+	fmt.Fprintf(&b, "max robustness ratio at ~equal makespan = %.2fx\n", r.MaxSpreadSimilarMakespan)
+	b.WriteString("cluster slopes ρ/M for S1(x) (Eq. 6 predicts (τ−1)/√x):\n")
+	xs := make([]int, 0, len(r.ClusterSlopes))
+	for x := range r.ClusterSlopes {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	for _, x := range xs {
+		pred := (r.Config.Tau - 1) / math.Sqrt(float64(x))
+		fmt.Fprintf(&b, "  x=%2d  measured %.5f  predicted %.5f\n", x, r.ClusterSlopes[x], pred)
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"fepia/internal/hiperd"
+	"fepia/internal/stats"
+)
+
+// Fig4Config parameterises the §4.3 experiment.
+type Fig4Config struct {
+	// Seed drives the experiment deterministically.
+	Seed int64
+	// Mappings is the number of random mappings (1000 in the paper).
+	Mappings int
+	// System parameterises the HiPer-D instance generator.
+	System hiperd.GenParams
+}
+
+// PaperFig4Config reproduces §4.3: a 19-path, 3-sensor, 20-application,
+// 5-machine instance with the published rates and loads, evaluated over
+// 1000 random mappings.
+func PaperFig4Config() Fig4Config {
+	return Fig4Config{Seed: 2003, Mappings: 1000, System: hiperd.PaperGenParams()}
+}
+
+// Fig4Row is one mapping's evaluation.
+type Fig4Row struct {
+	// Slack is the §4.3 system-wide percentage slack at λ^orig.
+	Slack float64
+	// Robustness is ρ_μ(Φ, λ) in objects per data set.
+	Robustness float64
+	// Critical names the binding feature.
+	Critical string
+	// Mapping is the machine assignment (kept for Table 2 extraction).
+	Mapping hiperd.Mapping
+	// BoundaryLoads is λ* for the binding feature.
+	BoundaryLoads []float64
+}
+
+// Fig4Result is the full experiment outcome.
+type Fig4Result struct {
+	Config Fig4Config
+	// System is the generated instance shared by all mappings.
+	System *hiperd.System
+	Rows   []Fig4Row
+	// PearsonSlack is corr(slack, robustness) over the feasible mappings.
+	PearsonSlack float64
+	// Feasible counts mappings with positive slack.
+	Feasible int
+	// MaxSpreadSimilarSlack is the largest robustness ratio between two
+	// feasible mappings whose slacks differ by < 0.01 — the Table 2
+	// phenomenon.
+	MaxSpreadSimilarSlack float64
+	// PlateauSize is the largest number of feasible mappings sharing one
+	// robustness value while their slacks span ≥ 0.1 — the paper's
+	// "virtually indistinguishable" cluster.
+	PlateauSize int
+	// PlateauRobustness is that shared robustness value.
+	PlateauRobustness float64
+	// BindingByClass counts which constraint class binds the metric across
+	// feasible mappings: "throughput-comp" (Tc), "throughput-comm" (Tn),
+	// or "latency" (L) — the bottleneck diagnosis a system designer acts
+	// on.
+	BindingByClass map[string]int
+	// TopBinding lists the most frequently binding individual features,
+	// most frequent first (up to 5).
+	TopBinding []BindingCount
+}
+
+// BindingCount pairs a feature name with how often it was critical.
+type BindingCount struct {
+	Feature string
+	Count   int
+}
+
+// RunFig4 executes the experiment.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	if cfg.Mappings <= 0 {
+		return nil, fmt.Errorf("experiments: Fig4 Mappings = %d must be positive", cfg.Mappings)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	sys, err := hiperd.GenerateSystem(rng, cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Config: cfg, System: sys, Rows: make([]Fig4Row, 0, cfg.Mappings)}
+	for i := 0; i < cfg.Mappings; i++ {
+		m := hiperd.RandomMapping(rng, sys)
+		ev, err := hiperd.Evaluate(sys, m)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4Row{
+			Slack:         ev.Slack,
+			Robustness:    ev.Robustness,
+			Mapping:       m,
+			BoundaryLoads: ev.BoundaryLoads,
+		}
+		if cf := ev.Analysis.CriticalFeature(); cf != nil {
+			row.Critical = cf.Feature
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.summarise()
+	return res, nil
+}
+
+func (r *Fig4Result) summarise() {
+	var slacks, rhos []float64
+	for _, row := range r.Rows {
+		if row.Slack > 0 {
+			r.Feasible++
+			slacks = append(slacks, row.Slack)
+			rhos = append(rhos, row.Robustness)
+		}
+	}
+	if len(slacks) >= 2 {
+		r.PearsonSlack = stats.Pearson(slacks, rhos)
+	} else {
+		r.PearsonSlack = math.NaN()
+	}
+
+	// Largest robustness ratio at near-identical slack.
+	order := make([]int, len(slacks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return slacks[order[a]] < slacks[order[b]] })
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order) && slacks[order[j]]-slacks[order[i]] < 0.01; j++ {
+			lo := math.Min(rhos[order[i]], rhos[order[j]])
+			hi := math.Max(rhos[order[i]], rhos[order[j]])
+			if lo > 0 && hi/lo > r.MaxSpreadSimilarSlack {
+				r.MaxSpreadSimilarSlack = hi / lo
+			}
+		}
+	}
+
+	// Plateau: robustness value shared by the most mappings, provided
+	// their slack spread is ≥ 0.1.
+	bySlack := make(map[float64][]float64) // robustness → slacks
+	for i := range slacks {
+		bySlack[rhos[i]] = append(bySlack[rhos[i]], slacks[i])
+	}
+	for rho, ss := range bySlack {
+		lo, hi := minMax(ss)
+		if hi-lo >= 0.1 && len(ss) > r.PlateauSize {
+			r.PlateauSize = len(ss)
+			r.PlateauRobustness = rho
+		}
+	}
+
+	// Binding-constraint diagnosis over feasible mappings.
+	r.BindingByClass = make(map[string]int)
+	byFeature := make(map[string]int)
+	for _, row := range r.Rows {
+		if row.Slack <= 0 || row.Critical == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(row.Critical, "Tc("):
+			r.BindingByClass["throughput-comp"]++
+		case strings.HasPrefix(row.Critical, "Tn("):
+			r.BindingByClass["throughput-comm"]++
+		case strings.HasPrefix(row.Critical, "L("):
+			r.BindingByClass["latency"]++
+		default:
+			r.BindingByClass["other"]++
+		}
+		byFeature[row.Critical]++
+	}
+	for name, count := range byFeature {
+		r.TopBinding = append(r.TopBinding, BindingCount{Feature: name, Count: count})
+	}
+	sort.Slice(r.TopBinding, func(a, b int) bool {
+		if r.TopBinding[a].Count != r.TopBinding[b].Count {
+			return r.TopBinding[a].Count > r.TopBinding[b].Count
+		}
+		return r.TopBinding[a].Feature < r.TopBinding[b].Feature
+	})
+	if len(r.TopBinding) > 5 {
+		r.TopBinding = r.TopBinding[:5]
+	}
+}
+
+// Series returns the (slack, robustness) series of the scatter plot
+// (feasible mappings only, as in the paper's figure).
+func (r *Fig4Result) Series() (x, y []float64) {
+	for _, row := range r.Rows {
+		if row.Slack > 0 {
+			x = append(x, row.Slack)
+			y = append(y, row.Robustness)
+		}
+	}
+	return x, y
+}
+
+// WriteCSV emits one row per mapping (including infeasible ones, flagged
+// by non-positive slack).
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	rows := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []float64{row.Slack, row.Robustness}
+	}
+	return WriteCSV(w, []string{"slack", "robustness"}, rows)
+}
+
+// Report renders the scatter plus the quantitative summary.
+func (r *Fig4Result) Report() string {
+	var b strings.Builder
+	x, y := r.Series()
+	fmt.Fprintf(&b, "Figure 4 — robustness against slack, %d random mappings (%d feasible)\n\n", len(r.Rows), r.Feasible)
+	b.WriteString(Scatter(x, y, 72, 24, "slack", "robustness (objects/data set)"))
+	fmt.Fprintf(&b, "\ncorr(slack, robustness)               = %+.3f\n", r.PearsonSlack)
+	fmt.Fprintf(&b, "max robustness ratio at ~equal slack   = %.2fx\n", r.MaxSpreadSimilarSlack)
+	if r.PlateauSize > 0 {
+		fmt.Fprintf(&b, "plateau: %d mappings share ρ=%g across ≥0.1 of slack\n", r.PlateauSize, r.PlateauRobustness)
+	}
+	if len(r.BindingByClass) > 0 {
+		b.WriteString("\nbinding constraint class over feasible mappings:\n")
+		for _, class := range []string{"throughput-comp", "throughput-comm", "latency", "other"} {
+			if n := r.BindingByClass[class]; n > 0 {
+				fmt.Fprintf(&b, "  %-16s %4d\n", class, n)
+			}
+		}
+		b.WriteString("most frequently binding features:\n")
+		for _, bc := range r.TopBinding {
+			fmt.Fprintf(&b, "  %-10s %4d\n", bc.Feature, bc.Count)
+		}
+	}
+	return b.String()
+}

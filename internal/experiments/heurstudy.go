@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/heuristics"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+// HeurStudyConfig parameterises the heuristic ablation: every mapping
+// heuristic evaluated on makespan, robustness (Eq. 7), and load-balance
+// index over several §4.2-distributed instances.
+type HeurStudyConfig struct {
+	// Seed drives instance generation and the heuristics' randomness.
+	Seed int64
+	// Trials is the number of instances averaged over.
+	Trials int
+	// Tau is the tolerance used both by the metric and by the robust
+	// variants.
+	Tau float64
+	// ETC parameterises the workload.
+	ETC etcgen.Params
+}
+
+// PaperHeurStudyConfig averages over 10 paper-distribution instances at
+// τ = 1.2.
+func PaperHeurStudyConfig() HeurStudyConfig {
+	return HeurStudyConfig{Seed: 2003, Trials: 10, Tau: 1.2, ETC: etcgen.PaperParams()}
+}
+
+// HeurRow is one heuristic's averages.
+type HeurRow struct {
+	Name                 string
+	Makespan, Rho, LBI   float64
+	RhoVersusMinMin      float64
+	MakespanVersusMinMin float64
+}
+
+// HeurStudyResult is the ablation table.
+type HeurStudyResult struct {
+	Config HeurStudyConfig
+	Rows   []HeurRow
+}
+
+// RunHeurStudy executes the study over the full suite (the eleven Braun
+// et al. heuristics, Sufferage, and the robustness-aware variants).
+func RunHeurStudy(cfg HeurStudyConfig) (*HeurStudyResult, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: heuristic study needs a positive trial count")
+	}
+	if !(cfg.Tau >= 1) {
+		return nil, fmt.Errorf("experiments: tau = %v must be ≥ 1", cfg.Tau)
+	}
+	suite := append(heuristics.All(),
+		heuristics.RobustGreedy{Tau: cfg.Tau},
+		heuristics.RobustRefine{Tau: cfg.Tau},
+		heuristics.RobustGA{Tau: cfg.Tau},
+	)
+	type agg struct{ makespan, rho, lbi float64 }
+	sums := make([]agg, len(suite))
+
+	rng := stats.NewRNG(cfg.Seed)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		etc, err := etcgen.Generate(rng, cfg.ETC)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := hcs.NewInstance(etc)
+		if err != nil {
+			return nil, err
+		}
+		for i, h := range suite {
+			m, err := h.Map(stats.NewRNG(cfg.Seed+int64(trial)), inst)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", h.Name(), err)
+			}
+			res, err := indalloc.Evaluate(m, cfg.Tau)
+			if err != nil {
+				return nil, err
+			}
+			sums[i].makespan += res.PredictedMakespan
+			sums[i].rho += res.Robustness
+			sums[i].lbi += m.LoadBalanceIndex()
+		}
+	}
+
+	out := &HeurStudyResult{Config: cfg}
+	n := float64(cfg.Trials)
+	var minminRho, minminSpan float64
+	for i, h := range suite {
+		if h.Name() == "Min-min" {
+			minminRho = sums[i].rho / n
+			minminSpan = sums[i].makespan / n
+		}
+	}
+	for i, h := range suite {
+		row := HeurRow{
+			Name:     h.Name(),
+			Makespan: sums[i].makespan / n,
+			Rho:      sums[i].rho / n,
+			LBI:      sums[i].lbi / n,
+		}
+		if minminRho > 0 {
+			row.RhoVersusMinMin = row.Rho / minminRho
+		}
+		if minminSpan > 0 {
+			row.MakespanVersusMinMin = row.Makespan / minminSpan
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteCSV emits the ablation table.
+func (r *HeurStudyResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "heuristic,makespan,rho,lbi,rho_vs_minmin,makespan_vs_minmin"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g\n",
+			row.Name, row.Makespan, row.Rho, row.LBI, row.RhoVersusMinMin, row.MakespanVersusMinMin); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report renders the table.
+func (r *HeurStudyResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "heuristic study: %d instances of %d applications on %d machines (tau=%.2f)\n\n",
+		r.Config.Trials, r.Config.ETC.Tasks, r.Config.ETC.Machines, r.Config.Tau)
+	fmt.Fprintf(&b, "%-24s %10s %10s %8s %14s %14s\n",
+		"heuristic", "makespan", "rho", "LBI", "rho/Min-min", "span/Min-min")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %10.4g %10.4g %8.3f %14.2f %14.2f\n",
+			row.Name, row.Makespan, row.Rho, row.LBI, row.RhoVersusMinMin, row.MakespanVersusMinMin)
+	}
+	b.WriteString("\nmakespan and rho are means over instances; rho is the Eq. 7 metric\n")
+	b.WriteString("(larger is better); LBI is the load-balance index of §4.2.\n")
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fepia/internal/hiperd"
+)
+
+// Table2Pair is the Table 2 analogue: two mappings of the same HiPer-D
+// instance with nearly identical slack but widely different robustness.
+type Table2Pair struct {
+	// System is the instance both mappings share.
+	System *hiperd.System
+	// A is the fragile mapping, B the robust one.
+	A, B Fig4Row
+	// Ratio is robustness(B) / robustness(A).
+	Ratio float64
+	// SlackGap is |slack(A) − slack(B)|.
+	SlackGap float64
+}
+
+// FindTable2Pair scans a Figure 4 population for the pair with the largest
+// robustness ratio among feasible mappings whose slacks differ by at most
+// slackTol (the paper's pair: slacks 0.5961 vs 0.5914, robustness 353 vs
+// 1166 — a 3.3× ratio at a 0.005 slack gap). It returns an error when no
+// such pair exists.
+func FindTable2Pair(res *Fig4Result, slackTol float64) (*Table2Pair, error) {
+	if slackTol <= 0 {
+		slackTol = 0.01
+	}
+	var feasible []Fig4Row
+	for _, row := range res.Rows {
+		if row.Slack > 0 && row.Robustness > 0 {
+			feasible = append(feasible, row)
+		}
+	}
+	if len(feasible) < 2 {
+		return nil, fmt.Errorf("experiments: fewer than two feasible mappings")
+	}
+	// Tiny denominators otherwise dominate the ratio search with
+	// uninteresting near-violation pairs; the paper's pair sits mid-range
+	// (slack ≈ 0.59, robustness in the hundreds). Keep only mappings above
+	// the 25th robustness percentile — scale-free and faithful to the
+	// phenomenon being demonstrated.
+	rhos := make([]float64, len(feasible))
+	for i, row := range feasible {
+		rhos[i] = row.Robustness
+	}
+	sort.Float64s(rhos)
+	floor := rhos[len(rhos)/4]
+	kept := feasible[:0]
+	for _, row := range feasible {
+		if row.Robustness >= floor {
+			kept = append(kept, row)
+		}
+	}
+	feasible = kept
+	if len(feasible) < 2 {
+		return nil, fmt.Errorf("experiments: fewer than two mappings above the robustness floor")
+	}
+	sort.Slice(feasible, func(a, b int) bool { return feasible[a].Slack < feasible[b].Slack })
+	best := &Table2Pair{Ratio: 0}
+	for i := 0; i < len(feasible); i++ {
+		for j := i + 1; j < len(feasible) && feasible[j].Slack-feasible[i].Slack <= slackTol; j++ {
+			lo, hi := feasible[i], feasible[j]
+			if lo.Robustness > hi.Robustness {
+				lo, hi = hi, lo
+			}
+			if ratio := hi.Robustness / lo.Robustness; ratio > best.Ratio {
+				best = &Table2Pair{
+					System:   res.System,
+					A:        lo,
+					B:        hi,
+					Ratio:    ratio,
+					SlackGap: math.Abs(lo.Slack - hi.Slack),
+				}
+			}
+		}
+	}
+	if best.Ratio == 0 {
+		return nil, fmt.Errorf("experiments: no pair within slack tolerance %v", slackTol)
+	}
+	return best, nil
+}
+
+// Report renders the pair in the layout of the paper's Table 2:
+// robustness, slack, the final sensor loads λ*, the application
+// assignments per machine, and the effective computation-time functions
+// T_ij^c(λ) with the multitasking factor outside the parenthesis.
+func (t *Table2Pair) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 analogue — initial sensor loads λ^orig = %s\n\n", formatLoads(t.System.OrigLoads))
+	fmt.Fprintf(&b, "%-28s %-22s %-22s\n", "", "mapping A", "mapping B")
+	fmt.Fprintf(&b, "%-28s %-22s %-22s\n", "robustness (objects/data set)",
+		fmt.Sprintf("%.0f", t.A.Robustness), fmt.Sprintf("%.0f", t.B.Robustness))
+	fmt.Fprintf(&b, "%-28s %-22s %-22s\n", "slack",
+		fmt.Sprintf("%.4f", t.A.Slack), fmt.Sprintf("%.4f", t.B.Slack))
+	fmt.Fprintf(&b, "%-28s %-22s %-22s\n", "λ1*, λ2*, λ3*",
+		formatLoads(t.A.BoundaryLoads), formatLoads(t.B.BoundaryLoads))
+	fmt.Fprintf(&b, "%-28s %-22s %-22s\n", "critical feature", t.A.Critical, t.B.Critical)
+	b.WriteString("\napplication assignments:\n")
+	for j := 0; j < t.System.Machines; j++ {
+		fmt.Fprintf(&b, "  m%-2d  %-30s %-30s\n", j+1,
+			assignedApps(t.System, t.A.Mapping, j), assignedApps(t.System, t.B.Mapping, j))
+	}
+	b.WriteString("\ncomputation time functions T_ij^c(λ) (factor × linear complexity):\n")
+	for a := 0; a < t.System.Applications(); a++ {
+		fmt.Fprintf(&b, "  %-5s %-34s %-34s\n", t.System.G.NameOf(t.System.AppNode(a)),
+			compFunction(t.System, t.A.Mapping, a), compFunction(t.System, t.B.Mapping, a))
+	}
+	fmt.Fprintf(&b, "\nrobustness ratio B/A = %.2fx at slack gap %.4f\n", t.Ratio, t.SlackGap)
+	return b.String()
+}
+
+func formatLoads(loads []float64) string {
+	if loads == nil {
+		return "-"
+	}
+	parts := make([]string, len(loads))
+	for i, l := range loads {
+		parts[i] = fmt.Sprintf("%.0f", l)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func assignedApps(s *hiperd.System, m hiperd.Mapping, machine int) string {
+	var names []string
+	for a, j := range m {
+		if j == machine {
+			names = append(names, s.G.NameOf(s.AppNode(a)))
+		}
+	}
+	if len(names) == 0 {
+		return "(idle)"
+	}
+	return strings.Join(names, ", ")
+}
+
+// compFunction renders the paper's "factor(complexity)" notation, e.g.
+// "5.20(3.1λ1 + 0.4λ3)".
+func compFunction(s *hiperd.System, m hiperd.Mapping, a int) string {
+	j := m[a]
+	factor := hiperd.MultitaskFactor(m.Counts(s)[j])
+	c := s.CompFuncs[a][j]
+	if len(c) == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2f(%s)", factor, c)
+}

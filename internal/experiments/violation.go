@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+	"fepia/internal/sim"
+	"fepia/internal/stats"
+)
+
+// ViolationConfig parameterises the simulation-backed validation
+// experiment (an extension beyond the paper): the empirical violation
+// probability as a function of the ETC error norm, which must be exactly
+// zero up to the robustness radius ρ and rise beyond it.
+type ViolationConfig struct {
+	// Seed drives instance, mapping, and sampling.
+	Seed int64
+	// Tau is the makespan tolerance.
+	Tau float64
+	// ETC parameterises the workload.
+	ETC etcgen.Params
+	// RadiiFractions are the sphere radii as multiples of ρ.
+	RadiiFractions []float64
+	// PerRadius is the sample count per sphere.
+	PerRadius int
+}
+
+// PaperViolationConfig uses the §4.2 workload with τ = 1.2 and spheres
+// from 0.25ρ to 8ρ.
+func PaperViolationConfig() ViolationConfig {
+	return ViolationConfig{
+		Seed:           2003,
+		Tau:            1.2,
+		ETC:            etcgen.PaperParams(),
+		RadiiFractions: []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.1, 1.5, 2, 3, 5, 8},
+		PerRadius:      2000,
+	}
+}
+
+// ViolationResult is the curve plus the guarantee check.
+type ViolationResult struct {
+	Config ViolationConfig
+	// Rho is the analytic robustness metric of the sampled mapping.
+	Rho float64
+	// Curve holds (radius, empirical violation probability) pairs.
+	Curve []sim.CurvePoint
+	// GuaranteeHolds reports that every sphere at or inside ρ had zero
+	// violations.
+	GuaranteeHolds bool
+	// FirstViolationRadius is the smallest tested radius with a positive
+	// violation probability (0 when none violated).
+	FirstViolationRadius float64
+}
+
+// RunViolation executes the experiment on one random mapping of a fresh
+// §4.2 instance.
+func RunViolation(cfg ViolationConfig) (*ViolationResult, error) {
+	if cfg.PerRadius <= 0 || len(cfg.RadiiFractions) == 0 {
+		return nil, fmt.Errorf("experiments: violation config needs radii and samples")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	etc, err := etcgen.Generate(rng, cfg.ETC)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := hcs.NewInstance(etc)
+	if err != nil {
+		return nil, err
+	}
+	m := hcs.RandomMapping(rng, inst)
+	ev, err := indalloc.Evaluate(m, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	radii := make([]float64, len(cfg.RadiiFractions))
+	for i, f := range cfg.RadiiFractions {
+		radii[i] = f * ev.Robustness
+	}
+	curve, err := sim.ViolationCurve(rng, m, cfg.Tau, radii, cfg.PerRadius)
+	if err != nil {
+		return nil, err
+	}
+	res := &ViolationResult{Config: cfg, Rho: ev.Robustness, Curve: curve, GuaranteeHolds: true}
+	for i, pt := range curve {
+		if cfg.RadiiFractions[i] <= 1 && pt.Probability > 0 {
+			res.GuaranteeHolds = false
+		}
+		if pt.Probability > 0 && res.FirstViolationRadius == 0 {
+			res.FirstViolationRadius = pt.Radius
+		}
+	}
+	return res, nil
+}
+
+// WriteCSV emits the curve.
+func (r *ViolationResult) WriteCSV(w io.Writer) error {
+	rows := make([][]float64, len(r.Curve))
+	for i, pt := range r.Curve {
+		rows[i] = []float64{pt.Radius, pt.Radius / r.Rho, pt.Probability}
+	}
+	return WriteCSV(w, []string{"radius", "radius_over_rho", "violation_probability"}, rows)
+}
+
+// Report renders the curve and the guarantee verdict.
+func (r *ViolationResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Violation probability vs ETC error norm (simulation; ρ = %.4g)\n\n", r.Rho)
+	fmt.Fprintf(&b, "%12s %12s %14s\n", "‖δ‖₂", "‖δ‖₂/ρ", "P(violation)")
+	for i, pt := range r.Curve {
+		marker := ""
+		if r.Config.RadiiFractions[i] <= 1 {
+			marker = "  (guaranteed 0)"
+		}
+		fmt.Fprintf(&b, "%12.4g %12.3g %14.4f%s\n", pt.Radius, pt.Radius/r.Rho, pt.Probability, marker)
+	}
+	fmt.Fprintf(&b, "\nguarantee holds: %v", r.GuaranteeHolds)
+	if r.FirstViolationRadius > 0 {
+		fmt.Fprintf(&b, "; first observed violation at ‖δ‖₂ = %.4g (%.3gρ)",
+			r.FirstViolationRadius, r.FirstViolationRadius/r.Rho)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

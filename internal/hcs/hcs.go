@@ -1,0 +1,228 @@
+// Package hcs models the heterogeneous computing system of §3.1 of the
+// paper: a set A of independent applications mapped onto a set M of
+// machines, each machine executing its assigned applications one at a time.
+// The package provides the Mapping type with the derived quantities the
+// experiments need — per-machine finishing times F_j, makespan, and the
+// load-balance index of §4.2 — plus random-mapping generation for the
+// 1000-mapping experiment behind Figure 3.
+package hcs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// Instance is an immutable problem instance: the ETC matrix C_ij for |A|
+// applications on |M| machines.
+type Instance struct {
+	etc etcgen.Matrix
+}
+
+// NewInstance validates the ETC matrix and wraps it. The matrix is cloned so
+// later mutation by the caller cannot corrupt the instance.
+func NewInstance(etc etcgen.Matrix) (*Instance, error) {
+	if err := etc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Instance{etc: etc.Clone()}, nil
+}
+
+// Applications returns |A|.
+func (in *Instance) Applications() int { return in.etc.Tasks() }
+
+// Machines returns |M|.
+func (in *Instance) Machines() int { return in.etc.Machines() }
+
+// ETC returns C_ij, the estimated time to compute application i on
+// machine j.
+func (in *Instance) ETC(i, j int) float64 { return in.etc[i][j] }
+
+// ETCRow returns the (read-only) row of estimated times for application i
+// across all machines. Callers must not modify it.
+func (in *Instance) ETCRow(i int) []float64 { return in.etc[i] }
+
+// Mapping assigns each application to one machine: Assign[i] = j means
+// application a_i runs on machine m_j. Within a machine the execution order
+// is irrelevant to every quantity in this package (finishing time is a sum).
+type Mapping struct {
+	// Assign[i] is the machine index for application i.
+	Assign []int
+	inst   *Instance
+}
+
+// NewMapping validates the assignment vector against the instance.
+func NewMapping(inst *Instance, assign []int) (*Mapping, error) {
+	if len(assign) != inst.Applications() {
+		return nil, fmt.Errorf("hcs: assignment length %d, want %d applications", len(assign), inst.Applications())
+	}
+	for i, j := range assign {
+		if j < 0 || j >= inst.Machines() {
+			return nil, fmt.Errorf("hcs: application %d assigned to machine %d, want [0,%d)", i, j, inst.Machines())
+		}
+	}
+	return &Mapping{Assign: append([]int(nil), assign...), inst: inst}, nil
+}
+
+// RandomMapping draws a uniformly random machine for every application —
+// exactly the mapping generator of §4.1 ("assigning a randomly chosen
+// machine to each application").
+func RandomMapping(rng *stats.RNG, inst *Instance) *Mapping {
+	assign := make([]int, inst.Applications())
+	for i := range assign {
+		assign[i] = rng.Intn(inst.Machines())
+	}
+	m, err := NewMapping(inst, assign)
+	if err != nil {
+		panic(err) // unreachable: generated assignment is valid by construction
+	}
+	return m
+}
+
+// Instance returns the problem instance the mapping refers to.
+func (m *Mapping) Instance() *Instance { return m.inst }
+
+// OnMachine returns the indices of the applications assigned to machine j,
+// in application order.
+func (m *Mapping) OnMachine(j int) []int {
+	var out []int
+	for i, mj := range m.Assign {
+		if mj == j {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Count returns n(m_j), the number of applications mapped to machine j.
+func (m *Mapping) Count(j int) int {
+	n := 0
+	for _, mj := range m.Assign {
+		if mj == j {
+			n++
+		}
+	}
+	return n
+}
+
+// ETCVector returns C^orig: the estimated execution time of each application
+// on the machine it is mapped to (Eq. 4 operates on this vector).
+func (m *Mapping) ETCVector() []float64 {
+	c := make([]float64, len(m.Assign))
+	for i, j := range m.Assign {
+		c[i] = m.inst.ETC(i, j)
+	}
+	return c
+}
+
+// FinishingTimes returns F_j for every machine under the execution-time
+// vector c (len |A|). Passing the result of ETCVector gives the predicted
+// finishing times; passing perturbed times gives actual finishing times.
+func (m *Mapping) FinishingTimes(c []float64) []float64 {
+	if len(c) != len(m.Assign) {
+		panic(fmt.Sprintf("hcs: execution-time vector length %d, want %d", len(c), len(m.Assign)))
+	}
+	sums := make([]vecmath.KahanSum, m.inst.Machines())
+	for i, j := range m.Assign {
+		sums[j].Add(c[i])
+	}
+	f := make([]float64, len(sums))
+	for j := range sums {
+		f[j] = sums[j].Sum()
+	}
+	return f
+}
+
+// PredictedFinishingTimes returns F_j(C^orig) for every machine.
+func (m *Mapping) PredictedFinishingTimes() []float64 {
+	return m.FinishingTimes(m.ETCVector())
+}
+
+// Makespan returns the completion time of the entire application set under
+// execution-time vector c: max_j F_j(c).
+func (m *Mapping) Makespan(c []float64) float64 {
+	f := m.FinishingTimes(c)
+	max, _ := vecmath.Max(f)
+	return max
+}
+
+// PredictedMakespan returns M^orig, the makespan under the estimated times.
+func (m *Mapping) PredictedMakespan() float64 { return m.Makespan(m.ETCVector()) }
+
+// CriticalMachine returns the index of the machine that determines the
+// makespan under c (ties broken by the lowest index) — m(C) in §4.2.
+func (m *Mapping) CriticalMachine(c []float64) int {
+	f := m.FinishingTimes(c)
+	_, j := vecmath.Max(f)
+	return j
+}
+
+// LoadBalanceIndex returns the §4.2 metric: the finishing time of the
+// machine that finishes first divided by the makespan. 1 is perfectly
+// balanced. Machines with no applications finish at time 0, making the
+// index 0.
+func (m *Mapping) LoadBalanceIndex() float64 {
+	f := m.PredictedFinishingTimes()
+	min, _ := vecmath.Min(f)
+	max, _ := vecmath.Max(f)
+	if max == 0 {
+		return 0
+	}
+	return min / max
+}
+
+// MaxCount returns max_j n(m_j), the largest number of applications on any
+// machine — the x of the cluster sets S₁(x) in §4.2.
+func (m *Mapping) MaxCount() int {
+	counts := make([]int, m.inst.Machines())
+	for _, j := range m.Assign {
+		counts[j]++
+	}
+	best := 0
+	for _, n := range counts {
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// Clone returns a mapping with an independent assignment vector sharing the
+// same instance.
+func (m *Mapping) Clone() *Mapping {
+	return &Mapping{Assign: append([]int(nil), m.Assign...), inst: m.inst}
+}
+
+// mappingJSON is the serialisation schema for a mapping plus its instance.
+type mappingJSON struct {
+	ETC    [][]float64 `json:"etc"`
+	Assign []int       `json:"assign"`
+}
+
+// MarshalJSON encodes the mapping together with its ETC matrix so a file is
+// self-contained.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mappingJSON{ETC: m.inst.etc, Assign: m.Assign})
+}
+
+// UnmarshalJSON decodes a mapping and rebuilds its instance, validating
+// both.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var raw mappingJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	inst, err := NewInstance(raw.ETC)
+	if err != nil {
+		return err
+	}
+	mm, err := NewMapping(inst, raw.Assign)
+	if err != nil {
+		return err
+	}
+	*m = *mm
+	return nil
+}

@@ -1,0 +1,217 @@
+package hcs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/stats"
+)
+
+// fixture: 4 applications on 2 machines with easy numbers.
+func testInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := NewInstance(etcgen.Matrix{
+		{1, 10},
+		{2, 20},
+		{3, 30},
+		{4, 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestNewInstanceValidates(t *testing.T) {
+	if _, err := NewInstance(etcgen.Matrix{{1}, {-1}}); err == nil {
+		t.Errorf("invalid ETC accepted")
+	}
+	inst := testInstance(t)
+	if inst.Applications() != 4 || inst.Machines() != 2 {
+		t.Errorf("dims %d,%d", inst.Applications(), inst.Machines())
+	}
+	if inst.ETC(2, 1) != 30 {
+		t.Errorf("ETC(2,1)=%v", inst.ETC(2, 1))
+	}
+	if got := inst.ETCRow(1); got[0] != 2 || got[1] != 20 {
+		t.Errorf("ETCRow = %v", got)
+	}
+}
+
+func TestNewInstanceClones(t *testing.T) {
+	m := etcgen.Matrix{{1, 2}}
+	inst, err := NewInstance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m[0][0] = 99
+	if inst.ETC(0, 0) != 1 {
+		t.Errorf("instance shares caller's matrix storage")
+	}
+}
+
+func TestNewMappingValidation(t *testing.T) {
+	inst := testInstance(t)
+	if _, err := NewMapping(inst, []int{0, 0, 0}); err == nil {
+		t.Errorf("wrong-length assignment accepted")
+	}
+	if _, err := NewMapping(inst, []int{0, 0, 0, 2}); err == nil {
+		t.Errorf("out-of-range machine accepted")
+	}
+	if _, err := NewMapping(inst, []int{0, 0, 0, -1}); err == nil {
+		t.Errorf("negative machine accepted")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	inst := testInstance(t)
+	// a0,a1 → m0 (1+2 = 3); a2,a3 → m1 (30+40 = 70).
+	m, err := NewMapping(inst, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.ETCVector()
+	want := []float64{1, 2, 30, 40}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("ETCVector = %v", c)
+		}
+	}
+	f := m.PredictedFinishingTimes()
+	if f[0] != 3 || f[1] != 70 {
+		t.Fatalf("finishing times = %v", f)
+	}
+	if ms := m.PredictedMakespan(); ms != 70 {
+		t.Errorf("makespan = %v", ms)
+	}
+	if j := m.CriticalMachine(c); j != 1 {
+		t.Errorf("critical machine = %d", j)
+	}
+	if lbi := m.LoadBalanceIndex(); !almost(lbi, 3.0/70.0) {
+		t.Errorf("load balance index = %v", lbi)
+	}
+	if n := m.Count(0); n != 2 {
+		t.Errorf("Count(0) = %d", n)
+	}
+	if got := m.OnMachine(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("OnMachine(1) = %v", got)
+	}
+	if m.MaxCount() != 2 {
+		t.Errorf("MaxCount = %d", m.MaxCount())
+	}
+}
+
+func TestEmptyMachineBehaviour(t *testing.T) {
+	inst := testInstance(t)
+	m, _ := NewMapping(inst, []int{0, 0, 0, 0})
+	f := m.PredictedFinishingTimes()
+	if f[1] != 0 {
+		t.Errorf("empty machine finishing time = %v", f[1])
+	}
+	if lbi := m.LoadBalanceIndex(); lbi != 0 {
+		t.Errorf("LBI with idle machine = %v", lbi)
+	}
+}
+
+func TestFinishingTimesPanicsOnLength(t *testing.T) {
+	inst := testInstance(t)
+	m, _ := NewMapping(inst, []int{0, 1, 0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("length mismatch accepted")
+		}
+	}()
+	m.FinishingTimes([]float64{1, 2})
+}
+
+func TestRandomMappingValidAndDeterministic(t *testing.T) {
+	etc, _ := etcgen.Generate(stats.NewRNG(1), etcgen.PaperParams())
+	inst, _ := NewInstance(etc)
+	a := RandomMapping(stats.NewRNG(7), inst)
+	b := RandomMapping(stats.NewRNG(7), inst)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed produced different mappings")
+		}
+		if a.Assign[i] < 0 || a.Assign[i] >= inst.Machines() {
+			t.Fatalf("invalid assignment %d", a.Assign[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	inst := testInstance(t)
+	m, _ := NewMapping(inst, []int{0, 1, 0, 1})
+	c := m.Clone()
+	c.Assign[0] = 1
+	if m.Assign[0] != 0 {
+		t.Errorf("Clone shares assignment storage")
+	}
+	if c.Instance() != m.Instance() {
+		t.Errorf("Clone should share the instance")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	inst := testInstance(t)
+	m, _ := NewMapping(inst, []int{0, 1, 0, 1})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Mapping
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PredictedMakespan() != m.PredictedMakespan() {
+		t.Errorf("round trip changed makespan")
+	}
+	if err := json.Unmarshal([]byte(`{"etc":[[1]],"assign":[5]}`), &back); err == nil {
+		t.Errorf("invalid JSON mapping accepted")
+	}
+	if err := json.Unmarshal([]byte(`{`), &back); err == nil {
+		t.Errorf("malformed JSON accepted")
+	}
+}
+
+// Property: the makespan is an upper bound on every finishing time, and is
+// attained; LBI is within [0,1]; sum of Count over machines equals |A|.
+func TestQuickMappingInvariants(t *testing.T) {
+	etc, _ := etcgen.Generate(stats.NewRNG(3), etcgen.PaperParams())
+	inst, _ := NewInstance(etc)
+	rng := stats.NewRNG(4)
+	f := func(struct{}) bool {
+		m := RandomMapping(rng, inst)
+		ft := m.PredictedFinishingTimes()
+		ms := m.PredictedMakespan()
+		attained := false
+		for _, x := range ft {
+			if x > ms {
+				return false
+			}
+			if x == ms {
+				attained = true
+			}
+		}
+		if !attained {
+			return false
+		}
+		lbi := m.LoadBalanceIndex()
+		if lbi < 0 || lbi > 1 || math.IsNaN(lbi) {
+			return false
+		}
+		total := 0
+		for j := 0; j < inst.Machines(); j++ {
+			total += m.Count(j)
+		}
+		return total == inst.Applications()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

@@ -1,0 +1,184 @@
+package heuristics
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+)
+
+// AStarConfig tunes the beam-limited A* tree search. Zero values select
+// defaults in parentheses.
+type AStarConfig struct {
+	// Beam bounds the open list, as in Braun et al.'s capped tree (1024).
+	Beam int
+	// MaxExpansions bounds total node expansions (200000).
+	MaxExpansions int
+}
+
+// AStar searches the tree of partial assignments: depth d fixes the
+// machine of the d-th application (applications ordered by decreasing
+// minimum ETC so the hardest decisions are made early). The cost estimate
+// f(node) is the admissible makespan bound
+//
+//	max( partial makespan,
+//	     (committed work + remaining minimum work) / |M|,
+//	     max over unassigned applications of its minimum completion time ).
+//
+// When the open list exceeds the beam, the worst nodes are pruned — the
+// search then degrades gracefully from exact to heuristic, as in the
+// original paper.
+type AStar struct {
+	cfg AStarConfig
+}
+
+// NewAStar builds an AStar with defaults applied.
+func NewAStar(cfg AStarConfig) AStar {
+	if cfg.Beam == 0 {
+		cfg.Beam = 1024
+	}
+	if cfg.MaxExpansions == 0 {
+		cfg.MaxExpansions = 200000
+	}
+	return AStar{cfg: cfg}
+}
+
+// Name returns "A*".
+func (AStar) Name() string { return "A*" }
+
+// node is a partial assignment in the search tree.
+type node struct {
+	depth  int
+	f      float64
+	finish []float64 // per-machine committed load
+	assign []int     // assignments for order[0:depth]
+}
+
+// openList is a min-heap on f.
+type openList []*node
+
+func (o openList) Len() int            { return len(o) }
+func (o openList) Less(i, j int) bool  { return o[i].f < o[j].f }
+func (o openList) Swap(i, j int)       { o[i], o[j] = o[j], o[i] }
+func (o *openList) Push(x interface{}) { *o = append(*o, x.(*node)) }
+func (o *openList) Pop() interface{} {
+	old := *o
+	n := len(old)
+	x := old[n-1]
+	*o = old[:n-1]
+	return x
+}
+
+// Map implements Heuristic.
+func (a AStar) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	n := inst.Applications()
+	machines := inst.Machines()
+
+	// Order applications by decreasing minimum ETC.
+	order := make([]int, n)
+	minETC := make([]float64, n)
+	for i := range order {
+		order[i] = i
+		best := math.Inf(1)
+		for j := 0; j < machines; j++ {
+			if c := inst.ETC(i, j); c < best {
+				best = c
+			}
+		}
+		minETC[i] = best
+	}
+	sort.Slice(order, func(x, y int) bool { return minETC[order[x]] > minETC[order[y]] })
+
+	// suffixMinWork[d] = Σ_{k≥d} minETC[order[k]].
+	suffixMinWork := make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		suffixMinWork[d] = suffixMinWork[d+1] + minETC[order[d]]
+	}
+
+	estimate := func(nd *node) float64 {
+		span := 0.0
+		committed := 0.0
+		for _, f := range nd.finish {
+			committed += f
+			if f > span {
+				span = f
+			}
+		}
+		f := math.Max(span, (committed+suffixMinWork[nd.depth])/float64(machines))
+		// Each unassigned application must finish somewhere ≥ its minimum
+		// completion time on the emptiest machine.
+		emptiest := math.Inf(1)
+		for _, fin := range nd.finish {
+			if fin < emptiest {
+				emptiest = fin
+			}
+		}
+		for d := nd.depth; d < n; d++ {
+			if c := emptiest + minETC[order[d]]; c > f {
+				f = c
+			}
+		}
+		return f
+	}
+
+	root := &node{finish: make([]float64, machines), assign: nil}
+	root.f = estimate(root)
+	open := openList{root}
+	heap.Init(&open)
+
+	var incumbent []int
+	incumbentSpan := math.Inf(1)
+	expansions := 0
+	for open.Len() > 0 && expansions < a.cfg.MaxExpansions {
+		nd := heap.Pop(&open).(*node)
+		if nd.f >= incumbentSpan {
+			continue // cannot beat the incumbent
+		}
+		if nd.depth == n {
+			span := 0.0
+			for _, f := range nd.finish {
+				if f > span {
+					span = f
+				}
+			}
+			if span < incumbentSpan {
+				incumbentSpan = span
+				incumbent = nd.assign
+			}
+			continue
+		}
+		expansions++
+		app := order[nd.depth]
+		for j := 0; j < machines; j++ {
+			child := &node{
+				depth:  nd.depth + 1,
+				finish: append([]float64(nil), nd.finish...),
+				assign: append(append([]int(nil), nd.assign...), j),
+			}
+			child.finish[j] += inst.ETC(app, j)
+			child.f = estimate(child)
+			if child.f >= incumbentSpan {
+				continue
+			}
+			heap.Push(&open, child)
+		}
+		// Beam pruning: keep the best nodes only.
+		if open.Len() > a.cfg.Beam {
+			sort.Slice(open, func(x, y int) bool { return open[x].f < open[y].f })
+			open = open[:a.cfg.Beam]
+			heap.Init(&open)
+		}
+	}
+
+	if incumbent == nil {
+		// Budget exhausted before any leaf: fall back to MCT.
+		return (MCT{}).Map(rng, inst)
+	}
+	assign := make([]int, n)
+	for d, j := range incumbent {
+		assign[order[d]] = j
+	}
+	return hcs.NewMapping(inst, assign)
+}

@@ -1,0 +1,296 @@
+package heuristics
+
+import (
+	"math"
+	"sort"
+
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+)
+
+// GAConfig tunes the genetic algorithm. Zero values select the defaults in
+// parentheses, scaled down from Braun et al.'s 200×1000 budget to keep the
+// full suite fast in tests while preserving the algorithm's structure.
+type GAConfig struct {
+	// Population size (64).
+	Population int
+	// Generations bound (200).
+	Generations int
+	// CrossoverProb is the per-pair crossover probability (0.6).
+	CrossoverProb float64
+	// MutationProb is the per-gene mutation probability (0.04).
+	MutationProb float64
+	// StopAfter stops early after this many generations without
+	// improvement of the elite (50).
+	StopAfter int
+}
+
+// GA is the genetic algorithm of Braun et al.: chromosomes are assignment
+// vectors, fitness is (negative) makespan, selection is rank-based with
+// elitism, crossover is single-point, and the population is seeded with
+// the Min-min solution plus random mappings.
+type GA struct {
+	cfg GAConfig
+}
+
+// NewGA builds a GA with defaults applied.
+func NewGA(cfg GAConfig) GA {
+	if cfg.Population == 0 {
+		cfg.Population = 64
+	}
+	if cfg.Generations == 0 {
+		cfg.Generations = 200
+	}
+	if cfg.CrossoverProb == 0 {
+		cfg.CrossoverProb = 0.6
+	}
+	if cfg.MutationProb == 0 {
+		cfg.MutationProb = 0.04
+	}
+	if cfg.StopAfter == 0 {
+		cfg.StopAfter = 50
+	}
+	return GA{cfg: cfg}
+}
+
+// Name returns "GA".
+func (GA) Name() string { return "GA" }
+
+// Map implements Heuristic.
+func (g GA) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	n := inst.Applications()
+	machines := inst.Machines()
+	pop := make([][]int, g.cfg.Population)
+	// Seed with Min-min (Braun et al. report seeding helps substantially).
+	seed, err := minMinMaxMin(inst, false)
+	if err != nil {
+		return nil, err
+	}
+	pop[0] = seed
+	for p := 1; p < len(pop); p++ {
+		c := make([]int, n)
+		for i := range c {
+			c[i] = rng.Intn(machines)
+		}
+		pop[p] = c
+	}
+
+	best := append([]int(nil), pop[0]...)
+	bestSpan := makespanOf(inst, best)
+	stall := 0
+	scores := make([]float64, len(pop))
+	order := make([]int, len(pop))
+
+	for gen := 0; gen < g.cfg.Generations && stall < g.cfg.StopAfter; gen++ {
+		for p := range pop {
+			scores[p] = makespanOf(inst, pop[p])
+			order[p] = p
+		}
+		sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+		if s := scores[order[0]]; s < bestSpan {
+			bestSpan = s
+			copy(best, pop[order[0]])
+			stall = 0
+		} else {
+			stall++
+		}
+		// Next generation: elite passes through; parents picked by rank
+		// (linear bias towards the front of the sorted order).
+		next := make([][]int, 0, len(pop))
+		next = append(next, append([]int(nil), pop[order[0]]...))
+		for len(next) < len(pop) {
+			a := pop[order[rankPick(rng, len(pop))]]
+			b := pop[order[rankPick(rng, len(pop))]]
+			child := append([]int(nil), a...)
+			if rng.Float64() < g.cfg.CrossoverProb && n > 1 {
+				cut := 1 + rng.Intn(n-1)
+				copy(child[cut:], b[cut:])
+			}
+			for i := range child {
+				if rng.Float64() < g.cfg.MutationProb {
+					child[i] = rng.Intn(machines)
+				}
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	return hcs.NewMapping(inst, best)
+}
+
+// rankPick returns an index in [0,n) biased quadratically towards 0 (the
+// best rank).
+func rankPick(rng *stats.RNG, n int) int {
+	u := rng.Float64()
+	return int(u * u * float64(n))
+}
+
+// SAConfig tunes simulated annealing. Zero values select defaults in
+// parentheses.
+type SAConfig struct {
+	// Iterations is the mutation budget (20000).
+	Iterations int
+	// Cooling is the geometric temperature factor applied every
+	// iteration (0.99 per 100 iterations, i.e. 0.99^(1/100) per step).
+	Cooling float64
+	// InitialTempFactor scales the starting temperature relative to the
+	// seed makespan (0.1).
+	InitialTempFactor float64
+}
+
+// SA is the simulated-annealing mapper: start from Min-min, propose single
+// reassignments, accept uphill moves with Boltzmann probability under a
+// geometric cooling schedule.
+type SA struct {
+	cfg SAConfig
+}
+
+// NewSA builds an SA with defaults applied.
+func NewSA(cfg SAConfig) SA {
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 20000
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = math.Pow(0.99, 1.0/100)
+	}
+	if cfg.InitialTempFactor == 0 {
+		cfg.InitialTempFactor = 0.1
+	}
+	return SA{cfg: cfg}
+}
+
+// Name returns "SA".
+func (SA) Name() string { return "SA" }
+
+// Map implements Heuristic.
+func (s SA) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	n := inst.Applications()
+	machines := inst.Machines()
+	cur, err := minMinMaxMin(inst, false)
+	if err != nil {
+		return nil, err
+	}
+	curSpan := makespanOf(inst, cur)
+	best := append([]int(nil), cur...)
+	bestSpan := curSpan
+
+	temp := s.cfg.InitialTempFactor * curSpan
+	for it := 0; it < s.cfg.Iterations; it++ {
+		i := rng.Intn(n)
+		old := cur[i]
+		next := rng.Intn(machines)
+		if next == old {
+			continue
+		}
+		cur[i] = next
+		span := makespanOf(inst, cur)
+		delta := span - curSpan
+		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+			curSpan = span
+			if span < bestSpan {
+				bestSpan = span
+				copy(best, cur)
+			}
+		} else {
+			cur[i] = old
+		}
+		temp *= s.cfg.Cooling
+	}
+	return hcs.NewMapping(inst, best)
+}
+
+// GSAConfig tunes the genetic simulated annealing hybrid.
+type GSAConfig struct {
+	// Population size (48).
+	Population int
+	// Generations bound (150).
+	Generations int
+	// CrossoverProb (0.6) and MutationProb (0.04) as in GA.
+	CrossoverProb, MutationProb float64
+	// InitialTempFactor scales the starting temperature relative to the
+	// seed makespan (0.1); the temperature decays 10% per generation as in
+	// Braun et al.
+	InitialTempFactor float64
+}
+
+// GSA is the GA/SA hybrid of Braun et al.: GA operators, but offspring
+// compete with their parents under a simulated-annealing acceptance test
+// instead of rank selection.
+type GSA struct {
+	cfg GSAConfig
+}
+
+// NewGSA builds a GSA with defaults applied.
+func NewGSA(cfg GSAConfig) GSA {
+	if cfg.Population == 0 {
+		cfg.Population = 48
+	}
+	if cfg.Generations == 0 {
+		cfg.Generations = 150
+	}
+	if cfg.CrossoverProb == 0 {
+		cfg.CrossoverProb = 0.6
+	}
+	if cfg.MutationProb == 0 {
+		cfg.MutationProb = 0.04
+	}
+	if cfg.InitialTempFactor == 0 {
+		cfg.InitialTempFactor = 0.1
+	}
+	return GSA{cfg: cfg}
+}
+
+// Name returns "GSA".
+func (GSA) Name() string { return "GSA" }
+
+// Map implements Heuristic.
+func (g GSA) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	n := inst.Applications()
+	machines := inst.Machines()
+	pop := make([][]int, g.cfg.Population)
+	seed, err := minMinMaxMin(inst, false)
+	if err != nil {
+		return nil, err
+	}
+	pop[0] = seed
+	for p := 1; p < len(pop); p++ {
+		c := make([]int, n)
+		for i := range c {
+			c[i] = rng.Intn(machines)
+		}
+		pop[p] = c
+	}
+	best := append([]int(nil), seed...)
+	bestSpan := makespanOf(inst, best)
+	temp := g.cfg.InitialTempFactor * bestSpan
+
+	for gen := 0; gen < g.cfg.Generations; gen++ {
+		for p := range pop {
+			parent := pop[p]
+			mate := pop[rng.Intn(len(pop))]
+			child := append([]int(nil), parent...)
+			if rng.Float64() < g.cfg.CrossoverProb && n > 1 {
+				cut := 1 + rng.Intn(n-1)
+				copy(child[cut:], mate[cut:])
+			}
+			for i := range child {
+				if rng.Float64() < g.cfg.MutationProb {
+					child[i] = rng.Intn(machines)
+				}
+			}
+			ps := makespanOf(inst, parent)
+			cs := makespanOf(inst, child)
+			// SA acceptance: the child replaces the parent when better, or
+			// probabilistically when worse.
+			if cs <= ps || (temp > 0 && rng.Float64() < math.Exp(-(cs-ps)/temp)) {
+				pop[p] = child
+				if cs < bestSpan {
+					bestSpan = cs
+					copy(best, child)
+				}
+			}
+		}
+		temp *= 0.9
+	}
+	return hcs.NewMapping(inst, best)
+}

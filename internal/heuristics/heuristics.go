@@ -1,0 +1,332 @@
+// Package heuristics implements the static mapping heuristics of Braun,
+// Siegel, et al. (2001) — reference [7] of the robustness paper and the
+// system model behind its §3.1 example — plus robustness-aware variants
+// that optimise the paper's metric directly.
+//
+// The eleven classic heuristics are OLB, MET, MCT, Min-min, Max-min,
+// Duplex, GA, SA, GSA, Tabu, and A*; Sufferage (from the companion dynamic
+// mapping study, reference [21]) is included as a twelfth baseline. All
+// heuristics are deterministic functions of the supplied random source.
+package heuristics
+
+import (
+	"math"
+
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+)
+
+// Heuristic maps an instance, producing a complete application→machine
+// assignment.
+type Heuristic interface {
+	// Name returns the conventional short name ("Min-min", "GA", …).
+	Name() string
+	// Map computes a mapping. Implementations must be deterministic given
+	// the random source.
+	Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error)
+}
+
+// All returns the full heuristic suite in the order Braun et al. report
+// them, followed by Sufferage. The search-based heuristics use the default
+// budgets of their constructors.
+func All() []Heuristic {
+	return []Heuristic{
+		OLB{},
+		MET{},
+		MCT{},
+		MinMin{},
+		MaxMin{},
+		Duplex{},
+		NewGA(GAConfig{}),
+		NewSA(SAConfig{}),
+		NewGSA(GSAConfig{}),
+		NewTabu(TabuConfig{}),
+		NewAStar(AStarConfig{}),
+		Sufferage{},
+	}
+}
+
+// readyTimes tracks per-machine accumulated load during list scheduling.
+type readyTimes struct {
+	finish []float64
+}
+
+func newReadyTimes(machines int) *readyTimes {
+	return &readyTimes{finish: make([]float64, machines)}
+}
+
+// completion returns the completion time of task i on machine j given the
+// current partial schedule.
+func (r *readyTimes) completion(inst *hcs.Instance, i, j int) float64 {
+	return r.finish[j] + inst.ETC(i, j)
+}
+
+// assign books task i on machine j.
+func (r *readyTimes) assign(inst *hcs.Instance, i, j int) {
+	r.finish[j] += inst.ETC(i, j)
+}
+
+// makespan of the partial schedule.
+func (r *readyTimes) makespan() float64 {
+	m := 0.0
+	for _, f := range r.finish {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// OLB (Opportunistic Load Balancing) assigns each application, in order, to
+// the machine that becomes ready soonest, ignoring execution times.
+type OLB struct{}
+
+// Name returns "OLB".
+func (OLB) Name() string { return "OLB" }
+
+// Map implements Heuristic.
+func (OLB) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	ready := newReadyTimes(inst.Machines())
+	assign := make([]int, inst.Applications())
+	for i := 0; i < inst.Applications(); i++ {
+		best, bestJ := math.Inf(1), 0
+		for j := 0; j < inst.Machines(); j++ {
+			if ready.finish[j] < best {
+				best, bestJ = ready.finish[j], j
+			}
+		}
+		assign[i] = bestJ
+		ready.assign(inst, i, bestJ)
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// MET (Minimum Execution Time) assigns each application to the machine
+// with its smallest ETC, ignoring machine load.
+type MET struct{}
+
+// Name returns "MET".
+func (MET) Name() string { return "MET" }
+
+// Map implements Heuristic.
+func (MET) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	assign := make([]int, inst.Applications())
+	for i := range assign {
+		best, bestJ := math.Inf(1), 0
+		for j := 0; j < inst.Machines(); j++ {
+			if c := inst.ETC(i, j); c < best {
+				best, bestJ = c, j
+			}
+		}
+		assign[i] = bestJ
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// MCT (Minimum Completion Time) assigns each application, in order, to the
+// machine minimising its completion time under the current partial load.
+type MCT struct{}
+
+// Name returns "MCT".
+func (MCT) Name() string { return "MCT" }
+
+// Map implements Heuristic.
+func (MCT) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	ready := newReadyTimes(inst.Machines())
+	assign := make([]int, inst.Applications())
+	for i := 0; i < inst.Applications(); i++ {
+		best, bestJ := math.Inf(1), 0
+		for j := 0; j < inst.Machines(); j++ {
+			if c := ready.completion(inst, i, j); c < best {
+				best, bestJ = c, j
+			}
+		}
+		assign[i] = bestJ
+		ready.assign(inst, i, bestJ)
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// minMinMaxMin implements the shared structure of Min-min and Max-min:
+// repeatedly compute each unmapped application's best completion time, then
+// commit the application selected by pickMax (false → minimum of the
+// minima, true → maximum of the minima).
+func minMinMaxMin(inst *hcs.Instance, pickMax bool) ([]int, error) {
+	n := inst.Applications()
+	ready := newReadyTimes(inst.Machines())
+	assign := make([]int, n)
+	unmapped := make([]bool, n)
+	for i := range unmapped {
+		unmapped[i] = true
+	}
+	for step := 0; step < n; step++ {
+		selI, selJ := -1, -1
+		selVal := math.Inf(1)
+		if pickMax {
+			selVal = math.Inf(-1)
+		}
+		for i := 0; i < n; i++ {
+			if !unmapped[i] {
+				continue
+			}
+			bestC, bestJ := math.Inf(1), -1
+			for j := 0; j < inst.Machines(); j++ {
+				if c := ready.completion(inst, i, j); c < bestC {
+					bestC, bestJ = c, j
+				}
+			}
+			better := bestC < selVal
+			if pickMax {
+				better = bestC > selVal
+			}
+			if better {
+				selVal, selI, selJ = bestC, i, bestJ
+			}
+		}
+		assign[selI] = selJ
+		unmapped[selI] = false
+		ready.assign(inst, selI, selJ)
+	}
+	return assign, nil
+}
+
+// MinMin repeatedly commits the application with the smallest best
+// completion time — the strongest simple baseline in Braun et al.
+type MinMin struct{}
+
+// Name returns "Min-min".
+func (MinMin) Name() string { return "Min-min" }
+
+// Map implements Heuristic.
+func (MinMin) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	assign, err := minMinMaxMin(inst, false)
+	if err != nil {
+		return nil, err
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// MaxMin repeatedly commits the application whose best completion time is
+// largest, front-loading long applications.
+type MaxMin struct{}
+
+// Name returns "Max-min".
+func (MaxMin) Name() string { return "Max-min" }
+
+// Map implements Heuristic.
+func (MaxMin) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	assign, err := minMinMaxMin(inst, true)
+	if err != nil {
+		return nil, err
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// Duplex runs Min-min and Max-min and keeps the mapping with the smaller
+// makespan.
+type Duplex struct{}
+
+// Name returns "Duplex".
+func (Duplex) Name() string { return "Duplex" }
+
+// Map implements Heuristic.
+func (Duplex) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	a, err := (MinMin{}).Map(rng, inst)
+	if err != nil {
+		return nil, err
+	}
+	b, err := (MaxMin{}).Map(rng, inst)
+	if err != nil {
+		return nil, err
+	}
+	if b.PredictedMakespan() < a.PredictedMakespan() {
+		return b, nil
+	}
+	return a, nil
+}
+
+// Sufferage commits, each round, the application that would "suffer" most
+// if denied its best machine: the one with the largest gap between its
+// best and second-best completion times.
+type Sufferage struct{}
+
+// Name returns "Sufferage".
+func (Sufferage) Name() string { return "Sufferage" }
+
+// Map implements Heuristic.
+func (Sufferage) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	n := inst.Applications()
+	if inst.Machines() < 2 {
+		return (MCT{}).Map(rng, inst) // sufferage undefined with one machine
+	}
+	ready := newReadyTimes(inst.Machines())
+	assign := make([]int, n)
+	unmapped := make([]bool, n)
+	for i := range unmapped {
+		unmapped[i] = true
+	}
+	for step := 0; step < n; step++ {
+		selI, selJ := -1, -1
+		selSuff := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if !unmapped[i] {
+				continue
+			}
+			best, second := math.Inf(1), math.Inf(1)
+			bestJ := -1
+			for j := 0; j < inst.Machines(); j++ {
+				c := ready.completion(inst, i, j)
+				switch {
+				case c < best:
+					best, second, bestJ = c, best, j
+				case c < second:
+					second = c
+				}
+			}
+			if suff := second - best; suff > selSuff {
+				selSuff, selI, selJ = suff, i, bestJ
+			}
+		}
+		assign[selI] = selJ
+		unmapped[selI] = false
+		ready.assign(inst, selI, selJ)
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// makespanOf computes the makespan of a raw assignment without
+// constructing a Mapping.
+func makespanOf(inst *hcs.Instance, assign []int) float64 {
+	finish := make([]float64, inst.Machines())
+	for i, j := range assign {
+		finish[j] += inst.ETC(i, j)
+	}
+	m := 0.0
+	for _, f := range finish {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// LowerBound returns a simple makespan lower bound used by tests and by
+// the A* heuristic's admissible estimate: the larger of (a) the biggest
+// per-application minimum ETC and (b) the total minimum work divided by
+// the machine count.
+func LowerBound(inst *hcs.Instance) float64 {
+	var sum, largest float64
+	for i := 0; i < inst.Applications(); i++ {
+		best := math.Inf(1)
+		for j := 0; j < inst.Machines(); j++ {
+			if c := inst.ETC(i, j); c < best {
+				best = c
+			}
+		}
+		sum += best
+		if best > largest {
+			largest = best
+		}
+	}
+	return math.Max(largest, sum/float64(inst.Machines()))
+}

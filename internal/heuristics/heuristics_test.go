@@ -1,0 +1,299 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+func paperInstance(t *testing.T, seed int64) *hcs.Instance {
+	t.Helper()
+	etc, err := etcgen.Generate(stats.NewRNG(seed), etcgen.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := hcs.NewInstance(etc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// tiny instance with a known optimal mapping: 3 tasks, 2 machines.
+//
+//	ETC:      m0  m1
+//	  t0       1  10
+//	  t1      10   1
+//	  t2       2   2
+//
+// Optimum: t0→m0, t1→m1, t2→either ⇒ makespan 3.
+func tinyInstance(t *testing.T) *hcs.Instance {
+	t.Helper()
+	inst, err := hcs.NewInstance(etcgen.Matrix{{1, 10}, {10, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestAllProducesValidMappings(t *testing.T) {
+	inst := paperInstance(t, 1)
+	for _, h := range All() {
+		m, err := h.Map(stats.NewRNG(7), inst)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if len(m.Assign) != inst.Applications() {
+			t.Fatalf("%s: wrong assignment length", h.Name())
+		}
+		if m.PredictedMakespan() < LowerBound(inst) {
+			t.Fatalf("%s: makespan %v below lower bound %v", h.Name(), m.PredictedMakespan(), LowerBound(inst))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	inst := paperInstance(t, 2)
+	for _, h := range All() {
+		a, err := h.Map(stats.NewRNG(5), inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h.Map(stats.NewRNG(5), inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Assign {
+			if a.Assign[i] != b.Assign[i] {
+				t.Fatalf("%s: not deterministic for a fixed seed", h.Name())
+			}
+		}
+	}
+}
+
+func TestTinyOptimum(t *testing.T) {
+	inst := tinyInstance(t)
+	// The informed heuristics must find the optimum makespan 3 here.
+	for _, h := range []Heuristic{MinMin{}, MaxMin{}, Duplex{}, Sufferage{}, NewGA(GAConfig{}), NewSA(SAConfig{}), NewGSA(GSAConfig{}), NewTabu(TabuConfig{}), NewAStar(AStarConfig{})} {
+		m, err := h.Map(stats.NewRNG(3), inst)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if got := m.PredictedMakespan(); got != 3 {
+			t.Errorf("%s makespan = %v, want 3", h.Name(), got)
+		}
+	}
+	// MET ignores load: everything lands on its fastest machine.
+	m, _ := MET{}.Map(stats.NewRNG(3), inst)
+	if m.Assign[0] != 0 || m.Assign[1] != 1 {
+		t.Errorf("MET picked slow machines: %v", m.Assign)
+	}
+}
+
+func TestOLBBalancesCounts(t *testing.T) {
+	// With identical ETCs OLB round-robins the load perfectly.
+	etc := make(etcgen.Matrix, 10)
+	for i := range etc {
+		etc[i] = []float64{1, 1}
+	}
+	inst, _ := hcs.NewInstance(etc)
+	m, err := OLB{}.Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count(0) != 5 || m.Count(1) != 5 {
+		t.Errorf("OLB counts = %d,%d", m.Count(0), m.Count(1))
+	}
+}
+
+func TestMCTNoWorseThanOLBHere(t *testing.T) {
+	// On heterogeneous instances MCT (which sees ETCs) should beat OLB
+	// (which does not) on the paper's workload.
+	inst := paperInstance(t, 3)
+	olb, _ := OLB{}.Map(stats.NewRNG(1), inst)
+	mct, _ := MCT{}.Map(stats.NewRNG(1), inst)
+	if mct.PredictedMakespan() > olb.PredictedMakespan() {
+		t.Errorf("MCT %v worse than OLB %v", mct.PredictedMakespan(), olb.PredictedMakespan())
+	}
+}
+
+func TestDuplexIsBestOfBoth(t *testing.T) {
+	inst := paperInstance(t, 4)
+	mn, _ := MinMin{}.Map(stats.NewRNG(1), inst)
+	mx, _ := MaxMin{}.Map(stats.NewRNG(1), inst)
+	dp, _ := Duplex{}.Map(stats.NewRNG(1), inst)
+	want := math.Min(mn.PredictedMakespan(), mx.PredictedMakespan())
+	if dp.PredictedMakespan() != want {
+		t.Errorf("Duplex = %v want %v", dp.PredictedMakespan(), want)
+	}
+}
+
+func TestSearchHeuristicsAtLeastSeedQuality(t *testing.T) {
+	// GA, SA, GSA are seeded with Min-min and keep the best-seen solution,
+	// so they can never return something worse than Min-min.
+	inst := paperInstance(t, 5)
+	mn, _ := MinMin{}.Map(stats.NewRNG(1), inst)
+	seedSpan := mn.PredictedMakespan()
+	for _, h := range []Heuristic{NewGA(GAConfig{}), NewSA(SAConfig{}), NewGSA(GSAConfig{})} {
+		m, err := h.Map(stats.NewRNG(9), inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.PredictedMakespan() > seedSpan+1e-9 {
+			t.Errorf("%s makespan %v worse than its Min-min seed %v", h.Name(), m.PredictedMakespan(), seedSpan)
+		}
+	}
+}
+
+func TestAStarBeatsOrMatchesMinMin(t *testing.T) {
+	// On a small instance the beam search explores enough of the tree to
+	// at least match Min-min.
+	etc, _ := etcgen.Generate(stats.NewRNG(6), etcgen.Params{
+		Tasks: 8, Machines: 3, MeanTask: 10, TaskHeterogeneity: 0.7, MachineHeterogeneity: 0.7,
+	})
+	inst, _ := hcs.NewInstance(etc)
+	mn, _ := MinMin{}.Map(stats.NewRNG(1), inst)
+	as, err := NewAStar(AStarConfig{}).Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.PredictedMakespan() > mn.PredictedMakespan()+1e-9 {
+		t.Errorf("A* %v worse than Min-min %v", as.PredictedMakespan(), mn.PredictedMakespan())
+	}
+}
+
+func TestSufferageSingleMachineFallback(t *testing.T) {
+	inst, _ := hcs.NewInstance(etcgen.Matrix{{1}, {2}})
+	m, err := Sufferage{}.Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assign[0] != 0 || m.Assign[1] != 0 {
+		t.Errorf("single machine mapping = %v", m.Assign)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	inst := tinyInstance(t)
+	// min ETCs are 1, 1, 2 → sum 4; 4/2 = 2; largest single = 2 → LB 2.
+	if lb := LowerBound(inst); lb != 2 {
+		t.Errorf("LowerBound = %v", lb)
+	}
+}
+
+func TestRobustGreedyImprovesRobustness(t *testing.T) {
+	// Robust-greedy should usually beat Min-min on ρ while keeping the
+	// makespan within τ of it; require it to win on the paper instance.
+	inst := paperInstance(t, 7)
+	rng := stats.NewRNG(1)
+	mn, _ := MinMin{}.Map(rng, inst)
+	rg, err := RobustGreedy{Tau: 1.2}.Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnRes, _ := indalloc.Evaluate(mn, 1.2)
+	rgRes, _ := indalloc.Evaluate(rg, 1.2)
+	if rgRes.Robustness < mnRes.Robustness {
+		t.Errorf("Robust-greedy ρ=%v below Min-min ρ=%v", rgRes.Robustness, mnRes.Robustness)
+	}
+	if _, err := (RobustGreedy{Tau: 0.5}).Map(stats.NewRNG(1), inst); err == nil {
+		t.Errorf("bad tau accepted")
+	}
+}
+
+func TestRobustGA(t *testing.T) {
+	inst := paperInstance(t, 9)
+	rg, err := RobustGA{Tau: 1.2}.Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, _ := MinMin{}.Map(stats.NewRNG(1), inst)
+	spanCap := 1.2 * mn.PredictedMakespan()
+	// The GA must respect the makespan cap…
+	if rg.PredictedMakespan() > spanCap+1e-9 {
+		t.Errorf("RobustGA makespan %v exceeds cap %v", rg.PredictedMakespan(), spanCap)
+	}
+	// …and at least match the greedy robustness optimiser under the same
+	// fixed bound (Eq. 6 against spanCap).
+	rhoAgainstCap := func(m *hcs.Mapping) float64 {
+		rho := math.Inf(1)
+		for j := 0; j < inst.Machines(); j++ {
+			n := m.Count(j)
+			if n == 0 {
+				continue
+			}
+			f := m.PredictedFinishingTimes()[j]
+			if r := (spanCap - f) / math.Sqrt(float64(n)); r < rho {
+				rho = r
+			}
+		}
+		return rho
+	}
+	greedy, err := RobustGreedy{Tau: 1.2}.Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoAgainstCap(rg) < rhoAgainstCap(greedy)-1e-9 {
+		t.Errorf("RobustGA ρ=%v below Robust-greedy ρ=%v", rhoAgainstCap(rg), rhoAgainstCap(greedy))
+	}
+	// Validation.
+	if _, err := (RobustGA{Tau: 0.5}).Map(stats.NewRNG(1), inst); err == nil {
+		t.Errorf("bad tau accepted")
+	}
+	if _, err := (RobustGA{Population: 1}).Map(stats.NewRNG(1), inst); err == nil {
+		t.Errorf("population 1 accepted")
+	}
+	// Determinism.
+	a, _ := RobustGA{}.Map(stats.NewRNG(3), inst)
+	b, _ := RobustGA{}.Map(stats.NewRNG(3), inst)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("RobustGA not deterministic")
+		}
+	}
+}
+
+func TestRobustRefineNeverHurtsRobustness(t *testing.T) {
+	inst := paperInstance(t, 8)
+	seed, _ := MinMin{}.Map(stats.NewRNG(1), inst)
+	seedRes, _ := indalloc.Evaluate(seed, 1.2)
+	ref, err := RobustRefine{}.Map(stats.NewRNG(1), inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, _ := indalloc.Evaluate(ref, 1.2)
+	if refRes.Robustness < seedRes.Robustness-1e-9 {
+		t.Errorf("refinement reduced ρ: %v < %v", refRes.Robustness, seedRes.Robustness)
+	}
+	// Makespan must respect the τ cap relative to the seed.
+	if ref.PredictedMakespan() > 1.2*seed.PredictedMakespan()+1e-9 {
+		t.Errorf("refined makespan exceeds τ cap")
+	}
+	if got := (RobustRefine{}).Name(); got != "Robust-refine(Min-min)" {
+		t.Errorf("Name = %q", got)
+	}
+	if _, err := (RobustRefine{Sweeps: -1}).Map(stats.NewRNG(1), inst); err == nil {
+		t.Errorf("negative sweeps accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{
+		"OLB": true, "MET": true, "MCT": true, "Min-min": true, "Max-min": true,
+		"Duplex": true, "GA": true, "SA": true, "GSA": true, "Tabu": true,
+		"A*": true, "Sufferage": true,
+	}
+	for _, h := range All() {
+		if !want[h.Name()] {
+			t.Errorf("unexpected heuristic name %q", h.Name())
+		}
+		delete(want, h.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing heuristics: %v", want)
+	}
+}

@@ -1,0 +1,319 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+// RobustGreedy maps applications to maximise the paper's robustness metric
+// directly instead of minimising makespan. It first obtains a makespan
+// target from Min-min (B = τ × Min-min makespan), then assigns
+// applications in decreasing minimum-ETC order, each to the machine that
+// maximises the resulting minimum per-machine robustness radius
+// (B − F_j)/√n_j — a greedy ascent on Eq. 7 with the bound held fixed.
+//
+// This is the "robustness-first" counterpart the paper's conclusions call
+// for: mappings that look slightly worse in makespan but withstand larger
+// ETC errors. The ablation benches compare it against the makespan-greedy
+// baselines on both metrics.
+type RobustGreedy struct {
+	// Tau is the tolerance multiplier defining the makespan bound
+	// (default 1.2, the §4.2 setting).
+	Tau float64
+}
+
+// Name returns "Robust-greedy".
+func (RobustGreedy) Name() string { return "Robust-greedy" }
+
+// Map implements Heuristic.
+func (r RobustGreedy) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	tau := r.Tau
+	if tau == 0 {
+		tau = 1.2
+	}
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return nil, fmt.Errorf("heuristics: RobustGreedy tau = %v must be finite and ≥ 1", tau)
+	}
+	seed, err := (MinMin{}).Map(rng, inst)
+	if err != nil {
+		return nil, err
+	}
+	bound := tau * seed.PredictedMakespan()
+
+	n := inst.Applications()
+	machines := inst.Machines()
+	// Assign in decreasing minimum-ETC order: big rocks first.
+	order := make([]int, n)
+	minETC := make([]float64, n)
+	for i := range order {
+		order[i] = i
+		best := math.Inf(1)
+		for j := 0; j < machines; j++ {
+			if c := inst.ETC(i, j); c < best {
+				best = c
+			}
+		}
+		minETC[i] = best
+	}
+	sortDescending(order, minETC)
+
+	finish := make([]float64, machines)
+	counts := make([]int, machines)
+	assign := make([]int, n)
+	for _, i := range order {
+		bestJ := -1
+		bestRho := math.Inf(-1)
+		for j := 0; j < machines; j++ {
+			// Tentative assignment of i to j; the resulting metric is the
+			// minimum radius over machines.
+			rho := math.Inf(1)
+			for k := 0; k < machines; k++ {
+				f, c := finish[k], counts[k]
+				if k == j {
+					f += inst.ETC(i, j)
+					c++
+				}
+				if c == 0 {
+					continue
+				}
+				if radius := (bound - f) / math.Sqrt(float64(c)); radius < rho {
+					rho = radius
+				}
+			}
+			if rho > bestRho {
+				bestRho, bestJ = rho, j
+			}
+		}
+		assign[i] = bestJ
+		finish[bestJ] += inst.ETC(i, bestJ)
+		counts[bestJ]++
+	}
+	return hcs.NewMapping(inst, assign)
+}
+
+// RobustRefine starts from another heuristic's mapping and hill-climbs the
+// robustness metric of §3.1 with single-application reassignments while
+// never letting the makespan exceed τ times the seed heuristic's predicted
+// makespan — a post-pass that trades slack for robustness.
+type RobustRefine struct {
+	// Seed is the heuristic whose mapping is refined (default Min-min).
+	Seed Heuristic
+	// Tau is the makespan tolerance (default 1.2).
+	Tau float64
+	// Sweeps bounds the number of full improvement sweeps (default 20).
+	Sweeps int
+}
+
+// Name identifies the refinement and its seed.
+func (r RobustRefine) Name() string {
+	seed := r.Seed
+	if seed == nil {
+		seed = MinMin{}
+	}
+	return "Robust-refine(" + seed.Name() + ")"
+}
+
+// Map implements Heuristic.
+func (r RobustRefine) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	seed := r.Seed
+	if seed == nil {
+		seed = MinMin{}
+	}
+	tau := r.Tau
+	if tau == 0 {
+		tau = 1.2
+	}
+	sweeps := r.Sweeps
+	if sweeps == 0 {
+		sweeps = 20
+	}
+	if sweeps < 0 {
+		return nil, fmt.Errorf("heuristics: RobustRefine sweeps = %d must be positive", sweeps)
+	}
+	m, err := seed.Map(rng, inst)
+	if err != nil {
+		return nil, err
+	}
+	res, err := indalloc.Evaluate(m, tau)
+	if err != nil {
+		return nil, err
+	}
+	spanCap := tau * m.PredictedMakespan()
+	cur := m.Clone()
+	curRho := res.Robustness
+
+	for sweep := 0; sweep < sweeps; sweep++ {
+		improved := false
+		for i := 0; i < inst.Applications(); i++ {
+			old := cur.Assign[i]
+			for j := 0; j < inst.Machines(); j++ {
+				if j == old {
+					continue
+				}
+				cur.Assign[i] = j
+				if cur.PredictedMakespan() > spanCap {
+					cur.Assign[i] = old
+					continue
+				}
+				cand, err := indalloc.Evaluate(cur, tau)
+				if err != nil {
+					cur.Assign[i] = old
+					return nil, err
+				}
+				if cand.Robustness > curRho {
+					curRho = cand.Robustness
+					old = j
+					improved = true
+				} else {
+					cur.Assign[i] = old
+					continue
+				}
+			}
+			cur.Assign[i] = old
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// RobustGA is a genetic algorithm whose fitness is the robustness metric
+// itself, with a makespan cap as a hard constraint: chromosomes whose
+// makespan exceeds τ times the Min-min makespan are penalised below every
+// feasible solution. Where RobustGreedy commits greedily and RobustRefine
+// hill-climbs, RobustGA searches globally — the ablation's strongest
+// robustness optimiser.
+type RobustGA struct {
+	// Tau is the makespan tolerance defining the cap (default 1.2).
+	Tau float64
+	// Population (48) and Generations (150) bound the search; zero values
+	// select the defaults.
+	Population, Generations int
+}
+
+// Name returns "Robust-GA".
+func (RobustGA) Name() string { return "Robust-GA" }
+
+// Map implements Heuristic.
+func (g RobustGA) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	tau := g.Tau
+	if tau == 0 {
+		tau = 1.2
+	}
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return nil, fmt.Errorf("heuristics: RobustGA tau = %v must be finite and ≥ 1", tau)
+	}
+	pop := g.Population
+	if pop == 0 {
+		pop = 48
+	}
+	gens := g.Generations
+	if gens == 0 {
+		gens = 150
+	}
+	if pop < 2 || gens < 1 {
+		return nil, fmt.Errorf("heuristics: RobustGA population %d / generations %d invalid", pop, gens)
+	}
+
+	seed, err := (MinMin{}).Map(rng, inst)
+	if err != nil {
+		return nil, err
+	}
+	spanCap := tau * seed.PredictedMakespan()
+	n := inst.Applications()
+	machines := inst.Machines()
+
+	// Fitness: ρ of the mapping when feasible; −makespan overage when not
+	// (so infeasible solutions still rank by how close they are).
+	fitness := func(assign []int) float64 {
+		span := makespanOf(inst, assign)
+		if span > spanCap {
+			return -(span - spanCap)
+		}
+		// ρ via Eq. 6 directly against the fixed cap (cheaper than
+		// building a Mapping, and a fixed bound keeps fitness comparable
+		// across chromosomes).
+		finish := make([]float64, machines)
+		counts := make([]int, machines)
+		for i, j := range assign {
+			finish[j] += inst.ETC(i, j)
+			counts[j]++
+		}
+		rho := math.Inf(1)
+		for j := 0; j < machines; j++ {
+			if counts[j] == 0 {
+				continue
+			}
+			if r := (spanCap - finish[j]) / math.Sqrt(float64(counts[j])); r < rho {
+				rho = r
+			}
+		}
+		return rho
+	}
+
+	population := make([][]int, pop)
+	population[0] = append([]int(nil), seed.Assign...)
+	for p := 1; p < pop; p++ {
+		c := make([]int, n)
+		for i := range c {
+			c[i] = rng.Intn(machines)
+		}
+		population[p] = c
+	}
+	best := append([]int(nil), seed.Assign...)
+	bestFit := fitness(best)
+
+	for gen := 0; gen < gens; gen++ {
+		scores := make([]float64, pop)
+		order := make([]int, pop)
+		for p := range population {
+			scores[p] = fitness(population[p])
+			order[p] = p
+		}
+		sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+		if s := scores[order[0]]; s > bestFit {
+			bestFit = s
+			copy(best, population[order[0]])
+		}
+		next := make([][]int, 0, pop)
+		next = append(next, append([]int(nil), population[order[0]]...))
+		for len(next) < pop {
+			a := population[order[rankPick(rng, pop)]]
+			b := population[order[rankPick(rng, pop)]]
+			child := append([]int(nil), a...)
+			if n > 1 && rng.Float64() < 0.6 {
+				cut := 1 + rng.Intn(n-1)
+				copy(child[cut:], b[cut:])
+			}
+			for i := range child {
+				if rng.Float64() < 0.04 {
+					child[i] = rng.Intn(machines)
+				}
+			}
+			next = append(next, child)
+		}
+		population = next
+	}
+	if bestFit < 0 {
+		// Never found a feasible improvement: the Min-min seed is always
+		// feasible, so this cannot happen; guard anyway.
+		return seed, nil
+	}
+	return hcs.NewMapping(inst, best)
+}
+
+// sortDescending sorts idx by decreasing key values (insertion sort; the
+// slices here are small).
+func sortDescending(idx []int, key []float64) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && key[idx[j]] > key[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}

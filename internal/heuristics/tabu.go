@@ -1,0 +1,140 @@
+package heuristics
+
+import (
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+)
+
+// TabuConfig tunes tabu search. Zero values select defaults in
+// parentheses.
+type TabuConfig struct {
+	// Hops is the total short-hop budget (10000).
+	Hops int
+	// LongHopAfter forces a random restart (long hop) after this many
+	// consecutive unimproving short hops (500).
+	LongHopAfter int
+	// TabuCapacity bounds the tabu list of visited machine-assignment
+	// regions (32).
+	TabuCapacity int
+}
+
+// Tabu is the tabu search of Braun et al.: steepest-descent short hops
+// (single-application reassignments), and when the neighbourhood is
+// exhausted, a long hop to an unvisited region of the solution space; the
+// per-machine load signature of each long-hop start is kept in the tabu
+// list so restarts spread out.
+type Tabu struct {
+	cfg TabuConfig
+}
+
+// NewTabu builds a Tabu with defaults applied.
+func NewTabu(cfg TabuConfig) Tabu {
+	if cfg.Hops == 0 {
+		cfg.Hops = 10000
+	}
+	if cfg.LongHopAfter == 0 {
+		cfg.LongHopAfter = 500
+	}
+	if cfg.TabuCapacity == 0 {
+		cfg.TabuCapacity = 32
+	}
+	return Tabu{cfg: cfg}
+}
+
+// Name returns "Tabu".
+func (Tabu) Name() string { return "Tabu" }
+
+// signature summarises a mapping by its per-machine application counts —
+// the region descriptor stored in the tabu list.
+func signature(assign []int, machines int) string {
+	counts := make([]byte, machines)
+	for _, j := range assign {
+		counts[j]++
+	}
+	return string(counts)
+}
+
+// Map implements Heuristic.
+func (t Tabu) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) {
+	n := inst.Applications()
+	machines := inst.Machines()
+
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = rng.Intn(machines)
+	}
+	curSpan := makespanOf(inst, cur)
+	best := append([]int(nil), cur...)
+	bestSpan := curSpan
+
+	tabu := make(map[string]bool, t.cfg.TabuCapacity)
+	var tabuOrder []string
+	remember := func(sig string) {
+		if tabu[sig] {
+			return
+		}
+		tabu[sig] = true
+		tabuOrder = append(tabuOrder, sig)
+		if len(tabuOrder) > t.cfg.TabuCapacity {
+			delete(tabu, tabuOrder[0])
+			tabuOrder = tabuOrder[1:]
+		}
+	}
+	remember(signature(cur, machines))
+
+	sinceImprove := 0
+	for hop := 0; hop < t.cfg.Hops; hop++ {
+		// Short hop: best single reassignment in the neighbourhood.
+		improved := false
+		bi, bj := -1, -1
+		bSpan := curSpan
+		for i := 0; i < n; i++ {
+			old := cur[i]
+			for j := 0; j < machines; j++ {
+				if j == old {
+					continue
+				}
+				cur[i] = j
+				if s := makespanOf(inst, cur); s < bSpan {
+					bSpan, bi, bj = s, i, j
+					improved = true
+				}
+			}
+			cur[i] = old
+		}
+		if improved {
+			cur[bi] = bj
+			curSpan = bSpan
+			sinceImprove = 0
+			if curSpan < bestSpan {
+				bestSpan = curSpan
+				copy(best, cur)
+			}
+			continue
+		}
+		// Local minimum: long hop to a non-tabu region.
+		sinceImprove++
+		if sinceImprove < t.cfg.LongHopAfter {
+			// Small perturbation to escape plateaus between long hops.
+			cur[rng.Intn(n)] = rng.Intn(machines)
+			curSpan = makespanOf(inst, cur)
+			continue
+		}
+		sinceImprove = 0
+		for tries := 0; tries < 64; tries++ {
+			for i := range cur {
+				cur[i] = rng.Intn(machines)
+			}
+			if sig := signature(cur, machines); !tabu[sig] {
+				remember(sig)
+				break
+			}
+		}
+		curSpan = makespanOf(inst, cur)
+		if curSpan < bestSpan {
+			bestSpan = curSpan
+			copy(best, cur)
+		}
+	}
+	return hcs.NewMapping(inst, best)
+}

@@ -1,0 +1,34 @@
+package hiperd
+
+import "fepia/internal/convexfn"
+
+// The computation-time complexity machinery lives in internal/convexfn
+// (it is shared with the generic JSON system specifications); these
+// aliases keep the HiPer-D vocabulary — a Term's Index is the sensor the
+// term depends on.
+type (
+	// TermKind enumerates the §3.2 convex complexity forms.
+	TermKind = convexfn.TermKind
+	// Term is one additive piece of a complexity function.
+	Term = convexfn.Term
+	// Complexity is a convex, non-decreasing function of the load vector.
+	Complexity = convexfn.Complexity
+)
+
+// Re-exported term kinds.
+const (
+	// LinearTerm contributes coeff·λ_z.
+	LinearTerm = convexfn.LinearTerm
+	// PowerTerm contributes coeff·λ_z^P (P ≥ 1).
+	PowerTerm = convexfn.PowerTerm
+	// ExpTerm contributes coeff·(e^{P·λ_z} − 1) (P > 0).
+	ExpTerm = convexfn.ExpTerm
+	// XLogXTerm contributes coeff·λ_z·log(1+λ_z).
+	XLogXTerm = convexfn.XLogXTerm
+)
+
+// LinearComplexity builds a Complexity from a plain coefficient vector,
+// omitting zero entries.
+func LinearComplexity(coeffs []float64) Complexity {
+	return convexfn.LinearComplexity(coeffs)
+}

@@ -1,0 +1,360 @@
+package hiperd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/dag"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+func TestTermValidate(t *testing.T) {
+	bad := []Term{
+		{Kind: LinearTerm, Index: -1, Coeff: 1},
+		{Kind: LinearTerm, Index: 5, Coeff: 1},
+		{Kind: LinearTerm, Index: 0, Coeff: -1},
+		{Kind: LinearTerm, Index: 0, Coeff: math.NaN()},
+		{Kind: PowerTerm, Index: 0, Coeff: 1, P: 0.5},
+		{Kind: ExpTerm, Index: 0, Coeff: 1, P: 0},
+		{Kind: TermKind(99), Index: 0, Coeff: 1},
+	}
+	for i, term := range bad {
+		if err := term.Validate(3); err == nil {
+			t.Errorf("bad term %d accepted", i)
+		}
+	}
+	good := []Term{
+		{Kind: LinearTerm, Index: 0, Coeff: 2},
+		{Kind: PowerTerm, Index: 1, Coeff: 1, P: 2},
+		{Kind: ExpTerm, Index: 2, Coeff: 0.5, P: 0.01},
+		{Kind: XLogXTerm, Index: 0, Coeff: 3},
+	}
+	for i, term := range good {
+		if err := term.Validate(3); err != nil {
+			t.Errorf("good term %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestTermEvalAndDeriv(t *testing.T) {
+	lam := []float64{4, 2, 3}
+	cases := []struct {
+		term  Term
+		value float64
+		deriv float64
+	}{
+		{Term{Kind: LinearTerm, Index: 0, Coeff: 2}, 8, 2},
+		{Term{Kind: PowerTerm, Index: 1, Coeff: 3, P: 2}, 12, 12},
+		{Term{Kind: ExpTerm, Index: 2, Coeff: 1, P: 1}, math.Exp(3) - 1, math.Exp(3)},
+		{Term{Kind: XLogXTerm, Index: 1, Coeff: 1}, 2 * math.Log(3), math.Log(3) + 2.0/3},
+	}
+	for i, c := range cases {
+		if got := c.term.Eval(lam); math.Abs(got-c.value) > 1e-12 {
+			t.Errorf("case %d: Eval = %v want %v", i, got, c.value)
+		}
+		if got := c.term.Deriv(lam); math.Abs(got-c.deriv) > 1e-12 {
+			t.Errorf("case %d: Deriv = %v want %v", i, got, c.deriv)
+		}
+	}
+	// Derivatives must match finite differences for all kinds.
+	for i, c := range cases {
+		h := 1e-6
+		up := append([]float64(nil), lam...)
+		dn := append([]float64(nil), lam...)
+		up[c.term.Index] += h
+		dn[c.term.Index] -= h
+		fd := (c.term.Eval(up) - c.term.Eval(dn)) / (2 * h)
+		if math.Abs(fd-c.term.Deriv(lam)) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("case %d: analytic %v vs finite difference %v", i, c.term.Deriv(lam), fd)
+		}
+	}
+	// Zero-load edge cases.
+	zero := []float64{0, 0, 0}
+	if v := (Term{Kind: PowerTerm, Index: 0, Coeff: 1, P: 2}).Eval(zero); v != 0 {
+		t.Errorf("power at 0 = %v", v)
+	}
+	if v := (Term{Kind: XLogXTerm, Index: 0, Coeff: 1}).Eval(zero); v != 0 {
+		t.Errorf("xlogx at 0 = %v", v)
+	}
+	if d := (Term{Kind: PowerTerm, Index: 0, Coeff: 3, P: 1}).Deriv(zero); d != 3 {
+		t.Errorf("p=1 power deriv at 0 = %v", d)
+	}
+}
+
+func TestComplexityHelpers(t *testing.T) {
+	c := Complexity{
+		{Kind: LinearTerm, Index: 0, Coeff: 2},
+		{Kind: LinearTerm, Index: 2, Coeff: 1},
+	}
+	if !c.IsLinear() {
+		t.Errorf("linear complexity misclassified")
+	}
+	coeffs := c.LinearCoeffs(3)
+	if coeffs[0] != 2 || coeffs[1] != 0 || coeffs[2] != 1 {
+		t.Errorf("LinearCoeffs = %v", coeffs)
+	}
+	lam := []float64{1, 9, 2}
+	if got := c.Eval(lam); got != 4 {
+		t.Errorf("Eval = %v", got)
+	}
+	g := c.Gradient(nil, lam)
+	if g[0] != 2 || g[1] != 0 || g[2] != 1 {
+		t.Errorf("Gradient = %v", g)
+	}
+	c.Scale(3)
+	if got := c.Eval(lam); got != 12 {
+		t.Errorf("scaled Eval = %v", got)
+	}
+	nl := Complexity{{Kind: PowerTerm, Index: 0, Coeff: 1, P: 2}}
+	if nl.IsLinear() {
+		t.Errorf("nonlinear complexity misclassified")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("LinearCoeffs on nonlinear should panic")
+			}
+		}()
+		nl.LinearCoeffs(1)
+	}()
+	if LinearComplexity([]float64{0, 5}).String() == "" || nl.String() == "" {
+		t.Errorf("empty renderings")
+	}
+	if (Complexity{}).Eval(lam) != 0 || (Complexity{}).String() != "0" {
+		t.Errorf("empty complexity misbehaves")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	for _, k := range []TermKind{LinearTerm, PowerTerm, ExpTerm, XLogXTerm, TermKind(42)} {
+		if k.String() == "" {
+			t.Errorf("empty TermKind string")
+		}
+	}
+}
+
+// nonlinearTinySystem: one sensor (rate 1e-4, load 10), one app with a
+// quadratic complexity λ² on both machines, one actuator.
+func nonlinearTinySystem(t *testing.T) *System {
+	t.Helper()
+	g := &dag.Graph{}
+	s0 := g.AddNode(dag.Sensor, "s0")
+	a0 := g.AddNode(dag.Application, "a0")
+	act := g.AddNode(dag.Actuator, "act")
+	if err := g.AddEdge(s0, a0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a0, act); err != nil {
+		t.Fatal(err)
+	}
+	funcs := [][]Complexity{{
+		{{Kind: PowerTerm, Index: 0, Coeff: 1, P: 2}},
+		{{Kind: PowerTerm, Index: 0, Coeff: 2, P: 2}},
+	}}
+	sys, err := NewSystemComplex(g, 2,
+		[]float64{1e-4}, []float64{10},
+		funcs, nil, []float64{5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNonlinearSystemHandChecked(t *testing.T) {
+	sys := nonlinearTinySystem(t)
+	if sys.CompCoeffs != nil {
+		t.Errorf("nonlinear system should not expose linear coefficients")
+	}
+	m := Mapping{0} // machine 0, single app → factor 1, T = λ².
+	res, err := Evaluate(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput: λ² ≤ 1/R = 10000 → λ ≤ 100 → radius 90.
+	// Latency: λ² ≤ 5000 → λ ≤ 70.71 → radius 60.71 → binding; ρ = 60.
+	if res.Robustness != 60 {
+		t.Errorf("ρ = %v want 60", res.Robustness)
+	}
+	if cf := res.Analysis.CriticalFeature(); !strings.Contains(cf.Feature, "L(P1)") {
+		t.Errorf("critical = %v", cf.Feature)
+	}
+	// Slack: T(10) = 100; throughput frac 100/10000 = 0.01; latency frac
+	// 100/5000 = 0.02 → slack = 0.98.
+	if math.Abs(res.Slack-0.98) > 1e-12 {
+		t.Errorf("slack = %v want 0.98", res.Slack)
+	}
+	// λ* of the binding latency constraint: λ = √5000 ≈ 70.71.
+	if math.Abs(res.BoundaryLoads[0]-math.Sqrt(5000)) > 1e-3 {
+		t.Errorf("λ* = %v want %v", res.BoundaryLoads[0], math.Sqrt(5000))
+	}
+}
+
+func TestNewSystemComplexValidation(t *testing.T) {
+	g := &dag.Graph{}
+	s0 := g.AddNode(dag.Sensor, "s0")
+	a0 := g.AddNode(dag.Application, "a0")
+	act := g.AddNode(dag.Actuator, "act")
+	if err := g.AddEdge(s0, a0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a0, act); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong app count.
+	if _, err := NewSystemComplex(g, 1, []float64{1}, []float64{1}, nil, nil, []float64{1}); err == nil {
+		t.Errorf("missing complexities accepted")
+	}
+	// Wrong machine count.
+	if _, err := NewSystemComplex(g, 2, []float64{1}, []float64{1},
+		[][]Complexity{{{}}}, nil, []float64{1}); err == nil {
+		t.Errorf("machine count mismatch accepted")
+	}
+	// Invalid term.
+	funcs := [][]Complexity{{
+		{{Kind: PowerTerm, Index: 0, Coeff: 1, P: 0.5}},
+	}}
+	if _, err := NewSystemComplex(g, 1, []float64{1}, []float64{1}, funcs, nil, []float64{1}); err == nil {
+		t.Errorf("non-convex power accepted")
+	}
+	// All-linear complexities populate CompCoeffs.
+	linear := [][]Complexity{{
+		{{Kind: LinearTerm, Index: 0, Coeff: 3}},
+	}}
+	sys, err := NewSystemComplex(g, 1, []float64{1e-3}, []float64{1}, linear, nil, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.CompCoeffs == nil || sys.CompCoeffs[0][0][0] != 3 {
+		t.Errorf("linear CompCoeffs not populated: %v", sys.CompCoeffs)
+	}
+}
+
+func TestGenerateNonlinearSystem(t *testing.T) {
+	p := PaperGenParams()
+	p.NonlinearFraction = 0.5
+	rng := stats.NewRNG(5)
+	sys, err := GenerateSystem(rng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some complexity must actually be non-linear.
+	foundNonlinear := false
+	for a := range sys.CompFuncs {
+		for j := range sys.CompFuncs[a] {
+			if !sys.CompFuncs[a][j].IsLinear() {
+				foundNonlinear = true
+			}
+		}
+	}
+	if !foundNonlinear {
+		t.Fatalf("NonlinearFraction=0.5 produced an all-linear system")
+	}
+	// The calibration must still hold approximately: most random mappings
+	// feasible.
+	feasible := 0
+	for i := 0; i < 100; i++ {
+		if Slack(sys, RandomMapping(rng, sys)) > 0 {
+			feasible++
+		}
+	}
+	if feasible < 50 {
+		t.Errorf("only %d/100 mappings feasible with nonlinear terms", feasible)
+	}
+	// Evaluation works end to end and agrees with a Monte-Carlo-style
+	// direct check: no feature violated at distance slightly inside ρ
+	// along random rays.
+	var m Mapping
+	for {
+		m = RandomMapping(rng, sys)
+		if Slack(sys, m) > 0 {
+			break
+		}
+	}
+	res, err := Evaluate(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features, p2, err := Features(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 100; probe++ {
+		dir := make([]float64, sys.Sensors())
+		for i := range dir {
+			dir[i] = math.Abs(rng.NormFloat64())
+		}
+		u, norm := vecmath.Normalize(nil, dir)
+		if norm == 0 {
+			continue
+		}
+		lam := vecmath.AddScaled(nil, p2.Orig, 0.999*rng.Float64()*res.Robustness, u)
+		for _, f := range features {
+			if v := f.Impact.Eval(lam); v > f.Bounds.Max*(1+1e-6) {
+				t.Fatalf("feature %s violated inside ρ: %v > %v", f.Name, v, f.Bounds.Max)
+			}
+		}
+	}
+	// Invalid fraction rejected.
+	p.NonlinearFraction = 1.5
+	if _, err := GenerateSystem(stats.NewRNG(1), p); err == nil {
+		t.Errorf("bad NonlinearFraction accepted")
+	}
+}
+
+func TestScaledImpactGradient(t *testing.T) {
+	// The composite FuncImpact gradient must match finite differences.
+	cs := []Complexity{
+		{{Kind: PowerTerm, Index: 0, Coeff: 2, P: 2}, {Kind: LinearTerm, Index: 1, Coeff: 3}},
+		{{Kind: XLogXTerm, Index: 1, Coeff: 1}},
+	}
+	imp, err := scaledImpact(2, []float64{1.5, 2.5}, cs, []float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, ok := imp.(*core.FuncImpact)
+	if !ok {
+		t.Fatalf("expected FuncImpact, got %T", imp)
+	}
+	lam := []float64{3, 4}
+	g := fi.Gradient(nil, lam)
+	h := 1e-6
+	for i := range lam {
+		up := append([]float64(nil), lam...)
+		dn := append([]float64(nil), lam...)
+		up[i] += h
+		dn[i] -= h
+		fd := (fi.Eval(up) - fi.Eval(dn)) / (2 * h)
+		if math.Abs(fd-g[i]) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("gradient[%d] = %v, finite difference %v", i, g[i], fd)
+		}
+	}
+	// All-linear input collapses to LinearImpact.
+	lin, err := scaledImpact(2, []float64{2}, []Complexity{LinearComplexity([]float64{1, 1})}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lin.(*core.LinearImpact); !ok {
+		t.Errorf("expected LinearImpact, got %T", lin)
+	}
+}
+
+func TestNormalisedTermMatchesLinearAtOrig(t *testing.T) {
+	for _, kind := range []TermKind{LinearTerm, PowerTerm, ExpTerm, XLogXTerm} {
+		term := normalisedTerm(kind, 0, 2.5, 400)
+		if err := term.Validate(1); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got := term.Eval([]float64{400})
+		want := 2.5 * 400
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("%v: value at λ^orig = %v want %v", kind, got, want)
+		}
+	}
+	// Degenerate zero initial load falls back to linear.
+	if term := normalisedTerm(PowerTerm, 0, 1, 0); term.Kind != LinearTerm {
+		t.Errorf("zero-load fallback kind = %v", term.Kind)
+	}
+}

@@ -1,0 +1,256 @@
+package hiperd
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// Result is the complete §3.2 robustness analysis of one mapping.
+type Result struct {
+	// Analysis is the generic FePIA analysis: one radius per feature of
+	// Eq. 9, aggregated per Eq. 11 (floored — λ is discrete).
+	Analysis core.Analysis
+	// Robustness is ρ_μ(Φ, λ) in objects per data set.
+	Robustness float64
+	// Slack is the §4.3 system-wide percentage slack at λ^orig.
+	Slack float64
+	// BoundaryLoads is λ*, the sensor loads at which the binding
+	// constraint is reached (Table 2 reports these); nil when no
+	// constraint is reachable.
+	BoundaryLoads []float64
+}
+
+// Evaluate runs the full FePIA analysis of a mapping: it builds the
+// feature set Φ of Eq. 9 with the impact functions induced by the mapping
+// (multitasking factors included), analyses it against the load vector λ,
+// and computes the slack.
+//
+// Data transfers without an entry in System.CommCoeffs are instantaneous;
+// they are omitted from Φ because a constant-zero communication time can
+// never violate its throughput bound (its radius is +Inf by construction,
+// which cannot change the metric). The §4.3 experiments set all
+// communication times to zero this way.
+func Evaluate(s *System, m Mapping) (Result, error) {
+	features, p, err := Features(s, m)
+	if err != nil {
+		return Result{}, err
+	}
+	a, err := core.Analyze(features, p, core.Options{})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Analysis:   a,
+		Robustness: a.Robustness,
+		Slack:      Slack(s, m),
+	}
+	if cf := a.CriticalFeature(); cf != nil {
+		res.BoundaryLoads = cf.Boundary
+	}
+	return res, nil
+}
+
+// Features builds Φ (Eq. 9) and the perturbation parameter λ (step 2) for
+// a mapping:
+//
+//   - one feature per application: T_i^c(λ) ≤ 1/R(a_i);
+//   - one feature per data transfer with communication coefficients:
+//     T_ip^n(λ) ≤ 1/R(a_i);
+//   - one feature per path: L_k(λ) ≤ L_k^max (Eq. 8).
+//
+// All impact functions are affine in λ for the linear complexity model, so
+// every radius is an exact hyperplane distance.
+func Features(s *System, m Mapping) ([]core.Feature, core.Perturbation, error) {
+	if err := m.Validate(s); err != nil {
+		return nil, core.Perturbation{}, err
+	}
+	counts := m.Counts(s)
+	nz := s.Sensors()
+
+	// Per-application effective model under this mapping: the complexity
+	// of the assigned machine scaled by the multitasking factor.
+	factors := make([]float64, s.Applications())
+	comps := make([]Complexity, s.Applications())
+	for a := range factors {
+		j := m[a]
+		factors[a] = MultitaskFactor(counts[j])
+		comps[a] = s.CompFuncs[a][j]
+	}
+
+	var features []core.Feature
+	// Throughput features for computations.
+	for a := 0; a < s.Applications(); a++ {
+		impact, err := scaledImpact(nz, []float64{factors[a]}, []Complexity{comps[a]}, nil)
+		if err != nil {
+			return nil, core.Perturbation{}, err
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("Tc(%s)", s.G.NameOf(s.AppNode(a))),
+			Impact: impact,
+			Bounds: core.NoMin(1 / s.Rate(a)),
+		})
+	}
+	// Throughput features for communications (only modelled transfers).
+	for e, coeffs := range s.CommCoeffs {
+		a := s.AppPos(e.From)
+		if a < 0 {
+			continue // sensor-side transfer: bounded through path latency only
+		}
+		impact, err := core.NewLinearImpact(coeffs, 0)
+		if err != nil {
+			return nil, core.Perturbation{}, err
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("Tn(%s->%s)", s.G.NameOf(e.From), s.G.NameOf(e.To)),
+			Impact: impact,
+			Bounds: core.NoMin(1 / s.Rate(a)),
+		})
+	}
+	// Latency features per path (Eq. 8): the sum of the member
+	// applications' computation models plus the modelled transfers.
+	for k, path := range s.Paths {
+		var fs []float64
+		var cs []Complexity
+		comm := make([]float64, nz)
+		for i := 0; i+1 < len(path.Nodes); i++ {
+			u, v := path.Nodes[i], path.Nodes[i+1]
+			if a := s.AppPos(u); a >= 0 {
+				fs = append(fs, factors[a])
+				cs = append(cs, comps[a])
+			}
+			if coeffs, ok := s.CommCoeffs[Edge{From: u, To: v}]; ok {
+				vecmath.Add(comm, comm, coeffs)
+			}
+		}
+		impact, err := scaledImpact(nz, fs, cs, comm)
+		if err != nil {
+			return nil, core.Perturbation{}, err
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("L(P%d)", k+1),
+			Impact: impact,
+			Bounds: core.NoMin(s.LatencyMax[k]),
+		})
+	}
+
+	p := core.Perturbation{
+		Name:     "λ",
+		Orig:     vecmath.Clone(s.OrigLoads),
+		Units:    "objects/data set",
+		Discrete: true,
+	}
+	return features, p, nil
+}
+
+// scaledImpact builds the impact Σ_i fs[i]·cs[i](λ) + comm·λ. When every
+// complexity is linear it collapses to an exact LinearImpact (hyperplane
+// analysis); otherwise it returns a convex FuncImpact with an analytic
+// gradient (positive multiples and sums of convex functions are convex —
+// §3.2).
+func scaledImpact(nz int, fs []float64, cs []Complexity, comm []float64) (core.Impact, error) {
+	allLinear := true
+	for _, c := range cs {
+		if !c.IsLinear() {
+			allLinear = false
+			break
+		}
+	}
+	if allLinear {
+		coeffs := make([]float64, nz)
+		if comm != nil {
+			copy(coeffs, comm)
+		}
+		for i, c := range cs {
+			for z, b := range c.LinearCoeffs(nz) {
+				coeffs[z] += fs[i] * b
+			}
+		}
+		return core.NewLinearImpact(coeffs, 0)
+	}
+	fsc := append([]float64(nil), fs...)
+	csc := append([]Complexity(nil), cs...)
+	var commc []float64
+	if comm != nil {
+		commc = vecmath.Clone(comm)
+	}
+	return &core.FuncImpact{
+		N: nz,
+		F: func(lambda []float64) float64 {
+			var sum vecmath.KahanSum
+			for i, c := range csc {
+				sum.Add(fsc[i] * c.Eval(lambda))
+			}
+			if commc != nil {
+				sum.Add(vecmath.Dot(commc, lambda))
+			}
+			return sum.Sum()
+		},
+		Grad: func(dst, lambda []float64) []float64 {
+			if len(dst) != len(lambda) {
+				dst = make([]float64, len(lambda))
+			} else {
+				for i := range dst {
+					dst[i] = 0
+				}
+			}
+			tmp := make([]float64, len(lambda))
+			for i, c := range csc {
+				tmp = c.Gradient(tmp, lambda)
+				vecmath.AddScaled(dst, dst, fsc[i], tmp)
+			}
+			if commc != nil {
+				vecmath.Add(dst, dst, commc)
+			}
+			return dst
+		},
+		Convex: true,
+	}, nil
+}
+
+// Slack computes the §4.3 system-wide percentage slack at λ^orig: the
+// minimum over all QoS constraints of one minus the constraint's fractional
+// value. Negative slack means some constraint is already violated at the
+// assumed loads.
+func Slack(s *System, m Mapping) float64 {
+	if err := m.Validate(s); err != nil {
+		return math.NaN()
+	}
+	counts := m.Counts(s)
+	lambda := s.OrigLoads
+	slack := math.Inf(1)
+
+	comp := make([]float64, s.Applications())
+	for a := 0; a < s.Applications(); a++ {
+		j := m[a]
+		comp[a] = MultitaskFactor(counts[j]) * s.CompFuncs[a][j].Eval(lambda)
+	}
+	// Throughput slack: 1 − max(T_i^c, max_p T_ip^n)·R(a_i).
+	for a := 0; a < s.Applications(); a++ {
+		worst := comp[a]
+		node := s.AppNode(a)
+		for _, succ := range s.G.Successors(node) {
+			if coeffs, ok := s.CommCoeffs[Edge{From: node, To: succ}]; ok {
+				worst = math.Max(worst, vecmath.Dot(coeffs, lambda))
+			}
+		}
+		slack = math.Min(slack, 1-worst*s.Rate(a))
+	}
+	// Latency slack: 1 − L_k/L_k^max.
+	for k, path := range s.Paths {
+		var lat vecmath.KahanSum
+		for i := 0; i+1 < len(path.Nodes); i++ {
+			u, v := path.Nodes[i], path.Nodes[i+1]
+			if a := s.AppPos(u); a >= 0 {
+				lat.Add(comp[a])
+			}
+			if coeffs, ok := s.CommCoeffs[Edge{From: u, To: v}]; ok {
+				lat.Add(vecmath.Dot(coeffs, lambda))
+			}
+		}
+		slack = math.Min(slack, 1-lat.Sum()/s.LatencyMax[k])
+	}
+	return slack
+}

@@ -1,0 +1,38 @@
+package hiperd
+
+import (
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+// FuzzUnmarshalSystem checks that arbitrary bytes never panic the system
+// decoder and that every accepted system is actually evaluable.
+func FuzzUnmarshalSystem(f *testing.F) {
+	// Seed with a real serialised instance plus structural mutations.
+	sys, err := GenerateSystem(stats.NewRNG(99), PaperGenParams())
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := MarshalSystem(sys)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"machines":1,"sensor_rates":[1],"orig_loads":[1],
+	  "nodes":[{"kind":"sensor"},{"kind":"application"},{"kind":"actuator"}],
+	  "edges":[[0,1],[1,2]],"latency_max":[5],
+	  "complexities":[[[{"kind":"linear","index":0,"coeff":1}]]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSystem(data)
+		if err != nil {
+			return
+		}
+		// Accepted systems must be evaluable end to end.
+		m := RandomMapping(stats.NewRNG(1), s)
+		if _, err := Evaluate(s, m); err != nil {
+			t.Fatalf("accepted system not evaluable: %v", err)
+		}
+	})
+}

@@ -1,0 +1,413 @@
+package hiperd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/dag"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// tinySystem builds a hand-checkable instance:
+//
+//	s0 (rate 1e-3, load 100) → a0 → act0
+//	s1 (rate 1e-4, load 50)  → a1 → a2 → act1
+//
+// 2 machines; simple coefficients; 2 trigger paths, no update paths.
+func tinySystem(t *testing.T) (*System, *dag.Graph) {
+	t.Helper()
+	g := &dag.Graph{}
+	s0 := g.AddNode(dag.Sensor, "s0")
+	s1 := g.AddNode(dag.Sensor, "s1")
+	a0 := g.AddNode(dag.Application, "a0")
+	a1 := g.AddNode(dag.Application, "a1")
+	a2 := g.AddNode(dag.Application, "a2")
+	act0 := g.AddNode(dag.Actuator, "act0")
+	act1 := g.AddNode(dag.Actuator, "act1")
+	for _, e := range [][2]int{{s0, a0}, {a0, act0}, {s1, a1}, {a1, a2}, {a2, act1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Coefficients b[app][machine][sensor]: a0 depends on s0 only; a1, a2
+	// on s1 only. Machine 1 is twice as slow.
+	coeffs := [][][]float64{
+		{{2, 0}, {4, 0}}, // a0
+		{{0, 3}, {0, 6}}, // a1
+		{{0, 1}, {0, 2}}, // a2
+	}
+	sys, err := NewSystem(g, 2,
+		[]float64{1e-3, 1e-4},
+		[]float64{100, 50},
+		coeffs, nil,
+		[]float64{1000, 20000}, // paths enumerate s0-chain first
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, g
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	g := &dag.Graph{}
+	s0 := g.AddNode(dag.Sensor, "s0")
+	a0 := g.AddNode(dag.Application, "a0")
+	act := g.AddNode(dag.Actuator, "act")
+	if err := g.AddEdge(s0, a0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a0, act); err != nil {
+		t.Fatal(err)
+	}
+	good := [][][]float64{{{1}, {1}}}
+	if _, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, good, nil, []float64{100}); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"zero machines", func() error {
+			_, err := NewSystem(g, 0, []float64{1e-3}, []float64{10}, good, nil, []float64{100})
+			return err
+		}},
+		{"wrong rate count", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3, 1}, []float64{10}, good, nil, []float64{100})
+			return err
+		}},
+		{"negative rate", func() error {
+			_, err := NewSystem(g, 2, []float64{-1}, []float64{10}, good, nil, []float64{100})
+			return err
+		}},
+		{"negative load", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{-10}, good, nil, []float64{100})
+			return err
+		}},
+		{"wrong coeff app count", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, nil, nil, []float64{100})
+			return err
+		}},
+		{"wrong coeff machine count", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, [][][]float64{{{1}}}, nil, []float64{100})
+			return err
+		}},
+		{"negative coefficient", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, [][][]float64{{{-1}, {1}}}, nil, []float64{100})
+			return err
+		}},
+		{"wrong latency count", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, good, nil, []float64{100, 100})
+			return err
+		}},
+		{"non-positive latency", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, good, nil, []float64{0})
+			return err
+		}},
+		{"comm coeffs on non-edge", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, good,
+				map[Edge][]float64{{From: a0, To: s0}: {1}}, []float64{100})
+			return err
+		}},
+		{"comm coeffs wrong arity", func() error {
+			_, err := NewSystem(g, 2, []float64{1e-3}, []float64{10}, good,
+				map[Edge][]float64{{From: s0, To: a0}: {1, 2}}, []float64{100})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.f() == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestMultitaskFactor(t *testing.T) {
+	if MultitaskFactor(0) != 1 || MultitaskFactor(1) != 1 {
+		t.Errorf("dedicated machine factor must be 1")
+	}
+	if MultitaskFactor(2) != 2.6 || MultitaskFactor(5) != 6.5 {
+		t.Errorf("factor(2)=%v factor(5)=%v", MultitaskFactor(2), MultitaskFactor(5))
+	}
+}
+
+func TestRates(t *testing.T) {
+	sys, _ := tinySystem(t)
+	// a0 driven by s0 (rate 1e-3); a1, a2 by s1 (rate 1e-4).
+	if sys.Rate(0) != 1e-3 || sys.Rate(1) != 1e-4 || sys.Rate(2) != 1e-4 {
+		t.Errorf("rates = %v %v %v", sys.Rate(0), sys.Rate(1), sys.Rate(2))
+	}
+	if sys.Applications() != 3 || sys.Sensors() != 2 {
+		t.Errorf("counts wrong")
+	}
+	if sys.AppPos(sys.AppNode(1)) != 1 {
+		t.Errorf("AppPos/AppNode inconsistent")
+	}
+	if sys.AppPos(0) != -1 {
+		t.Errorf("AppPos of sensor should be −1")
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	sys, _ := tinySystem(t)
+	if err := (Mapping{0, 1}).Validate(sys); err == nil {
+		t.Errorf("short mapping accepted")
+	}
+	if err := (Mapping{0, 1, 5}).Validate(sys); err == nil {
+		t.Errorf("out-of-range machine accepted")
+	}
+	if err := (Mapping{0, 1, 0}).Validate(sys); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+	counts := Mapping{0, 1, 0}.Counts(sys)
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestEvaluateHandChecked(t *testing.T) {
+	sys, _ := tinySystem(t)
+	// Mapping: a0→m0, a1→m1, a2→m0. Counts: m0=2, m1=1. Factors: 2.6, 1.
+	m := Mapping{0, 1, 0}
+	res, err := Evaluate(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective computation coefficient vectors:
+	//   a0: 2.6·(2,0)   = (5.2, 0);   T = 520 at λ=(100,50); bound 1/1e-3 = 1000.
+	//   a1: 1.0·(0,6)   = (0, 6);     T = 300;               bound 1/1e-4 = 10000.
+	//   a2: 2.6·(0,1)   = (0, 2.6);   T = 130;               bound 10000.
+	// Radii (hyperplane distances along single axes):
+	//   r(a0) = (1000−520)/5.2   ≈ 92.31
+	//   r(a1) = (10000−300)/6    ≈ 1616.7
+	//   r(a2) = (10000−130)/2.6  ≈ 3796.2
+	// Latency paths: P1 = s0→a0→act0: L = T(a0) = 520, bound 1000 →
+	//   r = 480/5.2 ≈ 92.31 (same plane as a0's throughput… different bound:
+	//   (1000−520)/5.2 — equal by construction here).
+	// P2 = s1→a1→a2→act1: L = 300+130 = 430, coeffs (0,8.6), bound 20000 →
+	//   r = (20000−430)/8.6 ≈ 2275.6.
+	// ρ = floor(min) = floor(92.307…) = 92.
+	if res.Robustness != 92 {
+		t.Errorf("ρ = %v want 92", res.Robustness)
+	}
+	if got := res.Analysis.CriticalFeature().Feature; got != "Tc(a0)" && got != "L(P1)" {
+		t.Errorf("critical feature = %s", got)
+	}
+	// Slack: fractional uses: a0: 520/1000 = 0.52 → 0.48; a1: 0.03; a2:
+	// 0.013; P1: 0.52 → 0.48; P2: 430/20000 → ~0.98. Min slack = 0.48.
+	if math.Abs(res.Slack-0.48) > 1e-12 {
+		t.Errorf("slack = %v want 0.48", res.Slack)
+	}
+	// λ* for the binding constraint moves only λ₁ (a0 depends on s0 only):
+	// 5.2·λ₁ = 1000 → λ₁* ≈ 192.3, λ₂* = 50.
+	if res.BoundaryLoads == nil {
+		t.Fatal("no boundary loads")
+	}
+	if math.Abs(res.BoundaryLoads[0]-1000/5.2) > 1e-9 || math.Abs(res.BoundaryLoads[1]-50) > 1e-9 {
+		t.Errorf("λ* = %v", res.BoundaryLoads)
+	}
+}
+
+func TestEvaluateWithCommCoeffs(t *testing.T) {
+	sys, g := tinySystem(t)
+	// Rebuild with a communication time on a1→a2 that dominates.
+	a1, a2 := g.Applications()[1], g.Applications()[2]
+	comm := map[Edge][]float64{{From: a1, To: a2}: {0, 100}}
+	sys2, err := NewSystem(g, 2, sys.SensorRates, sys.OrigLoads, sys.CompCoeffs, comm, sys.LatencyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mapping{0, 1, 0}
+	res, err := Evaluate(sys2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tn(a1→a2) = 100λ₂ = 5000 at λ^orig; bound 1/R(a1) = 10000 →
+	// r = 5000/100 = 50 — now the critical feature (50 < 92.3).
+	if res.Robustness != 50 {
+		t.Errorf("ρ = %v want 50", res.Robustness)
+	}
+	if cf := res.Analysis.CriticalFeature().Feature; !strings.Contains(cf, "Tn(a1->a2)") {
+		t.Errorf("critical = %s", cf)
+	}
+	// Slack must now be dominated by the comm fraction 5000/10000 = 0.5 …
+	// but a0's 0.48 is still smaller. Check the comm fraction is included:
+	// raising comm to 150 flips the slack to 1−7500/10000 = 0.25.
+	comm[Edge{From: a1, To: a2}] = []float64{0, 150}
+	sys3, err := NewSystem(g, 2, sys.SensorRates, sys.OrigLoads, sys.CompCoeffs, comm, sys.LatencyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Slack(sys3, m); math.Abs(s-0.25) > 1e-12 {
+		t.Errorf("slack with comm = %v want 0.25", s)
+	}
+}
+
+func TestFeaturesMatchDirectEvaluation(t *testing.T) {
+	// The generic analysis must agree with an independent brute check: the
+	// feature values at λ^orig equal the hand-computed times.
+	sys, _ := tinySystem(t)
+	m := Mapping{1, 0, 1}
+	features, p, err := Features(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts: m0=1 (a1), m1=2 (a0,a2); factors 1 and 2.6.
+	// a0 on m1: 2.6·4 = 10.4·λ₁ → 1040.
+	// a1 on m0: 1·3 = 3·λ₂ → 150.
+	// a2 on m1: 2.6·2 = 5.2·λ₂ → 260.
+	wantVals := map[string]float64{
+		"Tc(a0)": 1040,
+		"Tc(a1)": 150,
+		"Tc(a2)": 260,
+		"L(P1)":  1040,
+		"L(P2)":  410,
+	}
+	for _, f := range features {
+		want, ok := wantVals[f.Name]
+		if !ok {
+			t.Fatalf("unexpected feature %s", f.Name)
+		}
+		if got := f.Impact.Eval(p.Orig); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s at λ^orig = %v want %v", f.Name, got, want)
+		}
+	}
+	if len(features) != len(wantVals) {
+		t.Errorf("feature count = %d want %d", len(features), len(wantVals))
+	}
+}
+
+func TestSlackInvalidMapping(t *testing.T) {
+	sys, _ := tinySystem(t)
+	if !math.IsNaN(Slack(sys, Mapping{0})) {
+		t.Errorf("invalid mapping should give NaN slack")
+	}
+}
+
+func TestGenerateSystemPaperParams(t *testing.T) {
+	rng := stats.NewRNG(42)
+	sys, err := GenerateSystem(rng, PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Paths) != 19 {
+		t.Errorf("paths = %d want 19", len(sys.Paths))
+	}
+	if sys.Applications() != 20 || sys.Sensors() != 3 || sys.Machines != 5 {
+		t.Errorf("instance shape wrong")
+	}
+	// Coefficients of unrouted sensors must be zero.
+	routes := sys.G.Routes()
+	for a := 0; a < sys.Applications(); a++ {
+		node := sys.AppNode(a)
+		for z := 0; z < sys.Sensors(); z++ {
+			for j := 0; j < sys.Machines; j++ {
+				if !routes[z][node] && sys.CompCoeffs[a][j][z] != 0 {
+					t.Fatalf("unrouted coefficient b[%d][%d][%d] = %v", a, j, z, sys.CompCoeffs[a][j][z])
+				}
+			}
+		}
+	}
+	// The calibrated instance must be feasible for most random mappings.
+	feasible := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		m := RandomMapping(rng, sys)
+		if Slack(sys, m) > 0 {
+			feasible++
+		}
+	}
+	if feasible < n*5/10 {
+		t.Errorf("only %d/%d random mappings feasible; calibration off", feasible, n)
+	}
+}
+
+func TestGenerateSystemValidation(t *testing.T) {
+	bad := PaperGenParams()
+	bad.Machines = 0
+	if _, err := GenerateSystem(stats.NewRNG(1), bad); err == nil {
+		t.Errorf("bad machine count accepted")
+	}
+	bad = PaperGenParams()
+	bad.SensorRates = []float64{1}
+	if _, err := GenerateSystem(stats.NewRNG(1), bad); err == nil {
+		t.Errorf("rate/sensor mismatch accepted")
+	}
+	bad = PaperGenParams()
+	bad.ThroughputTarget = 1.5
+	if _, err := GenerateSystem(stats.NewRNG(1), bad); err == nil {
+		t.Errorf("bad throughput target accepted")
+	}
+}
+
+func TestRobustnessCertificate(t *testing.T) {
+	// Any load increase with norm ≤ ρ must not violate any constraint;
+	// the boundary point of the critical feature must sit on its bound.
+	rng := stats.NewRNG(7)
+	sys, err := GenerateSystem(rng, PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		m := RandomMapping(rng, sys)
+		res, err := Evaluate(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slack <= 0 {
+			if res.Robustness != 0 {
+				t.Fatalf("violated mapping with positive ρ = %v", res.Robustness)
+			}
+			continue
+		}
+		features, p, err := Features(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 200; probe++ {
+			dir := make([]float64, sys.Sensors())
+			for i := range dir {
+				dir[i] = math.Abs(rng.NormFloat64()) // loads increase
+			}
+			u, norm := vecmath.Normalize(nil, dir)
+			if norm == 0 {
+				continue
+			}
+			lam := vecmath.AddScaled(nil, p.Orig, rng.Float64()*res.Robustness, u)
+			for _, f := range features {
+				if v := f.Impact.Eval(lam); !f.Bounds.Contains(v) && v > f.Bounds.Max*(1+1e-9) {
+					t.Fatalf("feature %s violated at distance ≤ ρ: %v ∉ %v", f.Name, v, f.Bounds)
+				}
+			}
+		}
+	}
+}
+
+func TestEvaluateAgreesWithCoreAnalyze(t *testing.T) {
+	// ρ from Evaluate must equal a from-scratch core.Analyze of Features.
+	rng := stats.NewRNG(9)
+	sys, err := GenerateSystem(rng, PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		m := RandomMapping(rng, sys)
+		res, err := Evaluate(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		features, p, err := Features(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(features, p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Robustness != res.Robustness {
+			t.Fatalf("trial %d: %v != %v", trial, a.Robustness, res.Robustness)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package hiperd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fepia/internal/dag"
+)
+
+// systemJSON is the self-contained wire form of a System: the graph, the
+// QoS parameters, and the computation/communication models. Node order is
+// preserved so application positions and path indices are stable across a
+// round trip.
+type systemJSON struct {
+	Machines    int            `json:"machines"`
+	SensorRates []float64      `json:"sensor_rates"`
+	OrigLoads   []float64      `json:"orig_loads"`
+	Nodes       []nodeJSON     `json:"nodes"`
+	Edges       [][2]int       `json:"edges"`
+	LatencyMax  []float64      `json:"latency_max"`
+	Comps       [][]Complexity `json:"complexities"` // [app position][machine]
+	Comm        []commJSON     `json:"comm,omitempty"`
+}
+
+type nodeJSON struct {
+	Kind string `json:"kind"` // "sensor", "application", "actuator"
+	Name string `json:"name,omitempty"`
+}
+
+type commJSON struct {
+	From   int       `json:"from"`
+	To     int       `json:"to"`
+	Coeffs []float64 `json:"coeffs"`
+}
+
+// MarshalSystem serialises a System to JSON.
+func MarshalSystem(s *System) ([]byte, error) {
+	doc := systemJSON{
+		Machines:    s.Machines,
+		SensorRates: s.SensorRates,
+		OrigLoads:   s.OrigLoads,
+		LatencyMax:  s.LatencyMax,
+		Comps:       s.CompFuncs,
+	}
+	for i := 0; i < s.G.Len(); i++ {
+		doc.Nodes = append(doc.Nodes, nodeJSON{Kind: s.G.KindOf(i).String(), Name: s.G.NameOf(i)})
+		for _, succ := range s.G.Successors(i) {
+			doc.Edges = append(doc.Edges, [2]int{i, succ})
+		}
+	}
+	for e, coeffs := range s.CommCoeffs {
+		doc.Comm = append(doc.Comm, commJSON{From: e.From, To: e.To, Coeffs: coeffs})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalSystem rebuilds (and fully re-validates) a System from JSON.
+func UnmarshalSystem(data []byte) (*System, error) {
+	var doc systemJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("hiperd: %w", err)
+	}
+	g := &dag.Graph{}
+	for i, n := range doc.Nodes {
+		var kind dag.Kind
+		switch n.Kind {
+		case "sensor":
+			kind = dag.Sensor
+		case "application":
+			kind = dag.Application
+		case "actuator":
+			kind = dag.Actuator
+		default:
+			return nil, fmt.Errorf("hiperd: node %d has unknown kind %q", i, n.Kind)
+		}
+		g.AddNode(kind, n.Name)
+	}
+	for _, e := range doc.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("hiperd: %w", err)
+		}
+	}
+	var comm map[Edge][]float64
+	if len(doc.Comm) > 0 {
+		comm = make(map[Edge][]float64, len(doc.Comm))
+		for _, c := range doc.Comm {
+			comm[Edge{From: c.From, To: c.To}] = c.Coeffs
+		}
+	}
+	return NewSystemComplex(g, doc.Machines, doc.SensorRates, doc.OrigLoads, doc.Comps, comm, doc.LatencyMax)
+}

@@ -1,0 +1,116 @@
+package hiperd
+
+import (
+	"strings"
+	"testing"
+
+	"fepia/internal/stats"
+)
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(13)
+	params := PaperGenParams()
+	params.NonlinearFraction = 0.3 // exercise term serialisation too
+	sys, err := GenerateSystem(rng, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure preserved.
+	if back.Machines != sys.Machines || back.Applications() != sys.Applications() ||
+		back.Sensors() != sys.Sensors() || len(back.Paths) != len(sys.Paths) {
+		t.Fatalf("structure changed: %d/%d apps, %d/%d paths",
+			back.Applications(), sys.Applications(), len(back.Paths), len(sys.Paths))
+	}
+	// Rates preserved per application.
+	for a := 0; a < sys.Applications(); a++ {
+		if back.Rate(a) != sys.Rate(a) {
+			t.Fatalf("rate of app %d changed: %v vs %v", a, back.Rate(a), sys.Rate(a))
+		}
+	}
+	// The analysis of an identical mapping must be bit-identical.
+	m := RandomMapping(stats.NewRNG(5), sys)
+	orig, err := Evaluate(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := Evaluate(back, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Robustness != round.Robustness || orig.Slack != round.Slack {
+		t.Errorf("analysis changed: ρ %v→%v slack %v→%v",
+			orig.Robustness, round.Robustness, orig.Slack, round.Slack)
+	}
+}
+
+func TestSystemJSONWithComm(t *testing.T) {
+	sys, g := tinySystem(t)
+	a1, a2 := g.Applications()[1], g.Applications()[2]
+	comm := map[Edge][]float64{{From: a1, To: a2}: {0, 100}}
+	sys2, err := NewSystemComplex(g, 2, sys.SensorRates, sys.OrigLoads, sys.CompFuncs, comm, sys.LatencyMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalSystem(sys2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.CommCoeffs) != 1 {
+		t.Fatalf("comm coefficients lost: %v", back.CommCoeffs)
+	}
+	m := Mapping{0, 1, 0}
+	origRes, err := Evaluate(sys2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundRes, err := Evaluate(back, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origRes.Robustness != roundRes.Robustness {
+		t.Errorf("comm analysis changed: %v vs %v", origRes.Robustness, roundRes.Robustness)
+	}
+}
+
+func TestUnmarshalSystemErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed":    `{`,
+		"unknown kind": `{"machines":1,"sensor_rates":[1],"orig_loads":[1],"nodes":[{"kind":"widget"}],"latency_max":[]}`,
+		"bad edge":     `{"machines":1,"sensor_rates":[1],"orig_loads":[1],"nodes":[{"kind":"sensor"},{"kind":"application"}],"edges":[[5,0]],"latency_max":[]}`,
+		"bad term": `{"machines":1,"sensor_rates":[1],"orig_loads":[1],
+			"nodes":[{"kind":"sensor"},{"kind":"application"},{"kind":"actuator"}],
+			"edges":[[0,1],[1,2]],"latency_max":[1],
+			"complexities":[[[{"kind":"quux","index":0,"coeff":1}]]]}`,
+		"invalid system": `{"machines":0,"sensor_rates":[],"orig_loads":[],"nodes":[],"latency_max":[]}`,
+	}
+	for name, doc := range cases {
+		if _, err := UnmarshalSystem([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMarshalSystemIsReadable(t *testing.T) {
+	sys, _ := tinySystem(t)
+	data, err := MarshalSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"machines"`, `"sensor_rates"`, `"complexities"`, `"kind": "sensor"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("serialisation missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package hiperd derives the robustness metric for the paper's second
+// example system (§3.2): a HiPer-D-like platform of continuously executing,
+// communicating applications fed by sensors, mapped onto multitasking
+// machines. The mapping must be robust with respect to two QoS attributes —
+// the minimum-throughput and maximum end-to-end latency constraints —
+// against unforeseen increases in the sensor loads λ.
+//
+// Following the FePIA procedure:
+//
+//   - Features (Eq. 9): the computation times T_i^c, the communication
+//     times T_ip^n, and the path latencies L_k.
+//   - Perturbation: the sensor-load vector λ with operating point λ^orig.
+//     λ counts objects per data set, so it is discrete: the aggregate
+//     metric is floored (§3.2).
+//   - Impact: T_i^c(λ) and T_ip^n(λ) are complexity functions of the load;
+//     the §4.3 experiments use the linear form
+//     factor(n(m_j)) · Σ_z b_ijz λ_z with the multitasking factor
+//     1.3·n(m_j) for n ≥ 2. L_k(λ) follows from Eq. 8.
+//   - Analysis (Eqs. 10–11): minimum-norm distances from λ^orig to each
+//     boundary relationship; all impacts here are affine, so the radii are
+//     exact hyperplane distances.
+package hiperd
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/dag"
+)
+
+// Edge identifies a data transfer from one node to another (graph node
+// indices).
+type Edge struct {
+	From, To int
+}
+
+// System is an immutable HiPer-D problem instance. Build one with
+// NewSystem (validating) or GenerateSystem (random, §4.3-distributed).
+type System struct {
+	// G is the application graph.
+	G *dag.Graph
+	// Paths is the enumerated path set P (fixed at construction so path
+	// indices are stable).
+	Paths []dag.Path
+	// Machines is |M|.
+	Machines int
+	// SensorRates[z] is the output data rate R of the z-th sensor (in
+	// G.Sensors() order). The throughput constraint for an application
+	// driven by sensor z is T ≤ 1/SensorRates[z].
+	SensorRates []float64
+	// OrigLoads is λ^orig, the assumed objects-per-data-set of each
+	// sensor.
+	OrigLoads []float64
+	// CompCoeffs[a][j][z] is b_ijz: the load coefficient of application
+	// position a (in G.Applications() order) on machine j against sensor
+	// z, before the multitasking factor. Zero when no route exists from
+	// the sensor to the application. Nil when the system was built from
+	// non-linear complexity functions — use CompFuncs then.
+	CompCoeffs [][][]float64
+	// CompFuncs[a][j] is the complexity function of application a on
+	// machine j, before the multitasking factor. Always populated; for a
+	// linear system it mirrors CompCoeffs. The §3.2 text allows any convex
+	// complexity function of the load — see the Term kinds.
+	CompFuncs [][]Complexity
+	// CommCoeffs maps a data-transfer edge to its per-sensor load
+	// coefficients. Missing edges have zero communication time (the §4.3
+	// experiments set all of them to zero).
+	CommCoeffs map[Edge][]float64
+	// LatencyMax[k] is L_k^max for path k.
+	LatencyMax []float64
+
+	// appPos maps a graph node index to its position in G.Applications().
+	appPos map[int]int
+	// sensorPos maps a graph node index to its position in G.Sensors().
+	sensorPos map[int]int
+	// rateOf[a] is R(a_i): the highest driving-sensor rate over the paths
+	// containing the application (the binding throughput requirement when
+	// an application lies on several paths).
+	rateOf []float64
+}
+
+// validateCommon checks everything except the computation-time model and
+// returns the enumerated path set.
+func validateCommon(g *dag.Graph, machines int, sensorRates, origLoads []float64,
+	commCoeffs map[Edge][]float64, latencyMax []float64) ([]dag.Path, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("hiperd: %w", err)
+	}
+	if machines < 1 {
+		return nil, fmt.Errorf("hiperd: machines = %d must be ≥ 1", machines)
+	}
+	sensors := g.Sensors()
+	if len(sensorRates) != len(sensors) {
+		return nil, fmt.Errorf("hiperd: %d sensor rates for %d sensors", len(sensorRates), len(sensors))
+	}
+	for z, r := range sensorRates {
+		if !(r > 0) {
+			return nil, fmt.Errorf("hiperd: sensor rate %d = %v must be positive", z, r)
+		}
+	}
+	if len(origLoads) != len(sensors) {
+		return nil, fmt.Errorf("hiperd: %d initial loads for %d sensors", len(origLoads), len(sensors))
+	}
+	for z, l := range origLoads {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return nil, fmt.Errorf("hiperd: initial load %d = %v must be finite and ≥ 0", z, l)
+		}
+	}
+	paths, err := g.Paths(0)
+	if err != nil {
+		return nil, fmt.Errorf("hiperd: %w", err)
+	}
+	if len(latencyMax) != len(paths) {
+		return nil, fmt.Errorf("hiperd: %d latency bounds for %d paths", len(latencyMax), len(paths))
+	}
+	for k, l := range latencyMax {
+		if !(l > 0) {
+			return nil, fmt.Errorf("hiperd: latency bound %d = %v must be positive", k, l)
+		}
+	}
+	for e, c := range commCoeffs {
+		if len(c) != len(sensors) {
+			return nil, fmt.Errorf("hiperd: comm coefficients of edge %v have %d entries, want %d", e, len(c), len(sensors))
+		}
+		if !validEdge(g, e) {
+			return nil, fmt.Errorf("hiperd: comm coefficients given for non-edge %v", e)
+		}
+	}
+	return paths, nil
+}
+
+// NewSystem validates and indexes a HiPer-D instance with the linear
+// computation-time model of §4.3. The path set is enumerated here;
+// latencyMax must have one entry per enumerated path (enumerate first with
+// (*dag.Graph).Paths if you need the count).
+func NewSystem(g *dag.Graph, machines int, sensorRates, origLoads []float64,
+	compCoeffs [][][]float64, commCoeffs map[Edge][]float64, latencyMax []float64) (*System, error) {
+	paths, err := validateCommon(g, machines, sensorRates, origLoads, commCoeffs, latencyMax)
+	if err != nil {
+		return nil, err
+	}
+	sensors := g.Sensors()
+	apps := g.Applications()
+	if len(compCoeffs) != len(apps) {
+		return nil, fmt.Errorf("hiperd: coefficients for %d applications, want %d", len(compCoeffs), len(apps))
+	}
+	compFuncs := make([][]Complexity, len(apps))
+	for a, byMachine := range compCoeffs {
+		if len(byMachine) != machines {
+			return nil, fmt.Errorf("hiperd: application %d has coefficients for %d machines, want %d", a, len(byMachine), machines)
+		}
+		compFuncs[a] = make([]Complexity, machines)
+		for j, bySensor := range byMachine {
+			if len(bySensor) != len(sensors) {
+				return nil, fmt.Errorf("hiperd: application %d machine %d has %d sensor coefficients, want %d", a, j, len(bySensor), len(sensors))
+			}
+			for z, b := range bySensor {
+				if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+					return nil, fmt.Errorf("hiperd: b[%d][%d][%d] = %v must be finite and ≥ 0", a, j, z, b)
+				}
+			}
+			compFuncs[a][j] = LinearComplexity(bySensor)
+		}
+	}
+
+	return assemble(g, paths, machines, sensorRates, origLoads, compCoeffs, compFuncs, commCoeffs, latencyMax)
+}
+
+// NewSystemComplex builds a HiPer-D instance whose computation times are
+// arbitrary convex complexity functions of the load (§3.2: "the
+// computation times of different applications … are likely to be of
+// different complexities with respect to λ"). compFuncs[a][j] gives the
+// complexity of application a on machine j before the multitasking
+// factor. CompCoeffs is populated only when every complexity is linear.
+func NewSystemComplex(g *dag.Graph, machines int, sensorRates, origLoads []float64,
+	compFuncs [][]Complexity, commCoeffs map[Edge][]float64, latencyMax []float64) (*System, error) {
+	paths, err := validateCommon(g, machines, sensorRates, origLoads, commCoeffs, latencyMax)
+	if err != nil {
+		return nil, err
+	}
+	sensors := g.Sensors()
+	apps := g.Applications()
+	if len(compFuncs) != len(apps) {
+		return nil, fmt.Errorf("hiperd: complexities for %d applications, want %d", len(compFuncs), len(apps))
+	}
+	allLinear := true
+	for a, byMachine := range compFuncs {
+		if len(byMachine) != machines {
+			return nil, fmt.Errorf("hiperd: application %d has complexities for %d machines, want %d", a, len(byMachine), machines)
+		}
+		for j, c := range byMachine {
+			if err := c.Validate(len(sensors)); err != nil {
+				return nil, fmt.Errorf("hiperd: application %d machine %d: %w", a, j, err)
+			}
+			if !c.IsLinear() {
+				allLinear = false
+			}
+		}
+	}
+	var compCoeffs [][][]float64
+	if allLinear {
+		compCoeffs = make([][][]float64, len(apps))
+		for a := range compFuncs {
+			compCoeffs[a] = make([][]float64, machines)
+			for j := range compFuncs[a] {
+				compCoeffs[a][j] = compFuncs[a][j].LinearCoeffs(len(sensors))
+			}
+		}
+	}
+	return assemble(g, paths, machines, sensorRates, origLoads, compCoeffs, compFuncs, commCoeffs, latencyMax)
+}
+
+// assemble builds the indexed System after all validation has passed.
+func assemble(g *dag.Graph, paths []dag.Path, machines int, sensorRates, origLoads []float64,
+	compCoeffs [][][]float64, compFuncs [][]Complexity, commCoeffs map[Edge][]float64, latencyMax []float64) (*System, error) {
+	sensors := g.Sensors()
+	apps := g.Applications()
+	s := &System{
+		G:           g,
+		Paths:       paths,
+		Machines:    machines,
+		SensorRates: append([]float64(nil), sensorRates...),
+		OrigLoads:   append([]float64(nil), origLoads...),
+		CompCoeffs:  compCoeffs,
+		CompFuncs:   compFuncs,
+		CommCoeffs:  commCoeffs,
+		LatencyMax:  append([]float64(nil), latencyMax...),
+		appPos:      make(map[int]int, len(apps)),
+		sensorPos:   make(map[int]int, len(sensors)),
+	}
+	for pos, node := range apps {
+		s.appPos[node] = pos
+	}
+	for pos, node := range sensors {
+		s.sensorPos[node] = pos
+	}
+	if err := s.computeRates(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// computeRates assigns R(a_i) to every application: the maximum driving-
+// sensor rate over all paths containing it. Every application must appear
+// in at least one path, otherwise no throughput requirement would cover it.
+func (s *System) computeRates() error {
+	s.rateOf = make([]float64, len(s.appPos))
+	for _, p := range s.Paths {
+		rate := s.SensorRates[s.sensorPos[p.DrivingSensor()]]
+		for _, node := range p.Applications(s.G) {
+			a := s.appPos[node]
+			if rate > s.rateOf[a] {
+				s.rateOf[a] = rate
+			}
+		}
+	}
+	for node, a := range s.appPos {
+		if s.rateOf[a] == 0 {
+			return fmt.Errorf("hiperd: application %s belongs to no path; no throughput requirement covers it", s.G.NameOf(node))
+		}
+	}
+	return nil
+}
+
+// Sensors returns |Π| — the dimension of the load vector.
+func (s *System) Sensors() int { return len(s.SensorRates) }
+
+// Applications returns |A|.
+func (s *System) Applications() int { return len(s.appPos) }
+
+// AppNode returns the graph node index of application position a.
+func (s *System) AppNode(a int) int { return s.G.Applications()[a] }
+
+// AppPos returns the application position of graph node index, or −1.
+func (s *System) AppPos(node int) int {
+	if p, ok := s.appPos[node]; ok {
+		return p
+	}
+	return -1
+}
+
+// Rate returns R(a_i) for application position a.
+func (s *System) Rate(a int) float64 { return s.rateOf[a] }
+
+// MultitaskFactor returns the §4.3 factor applied to computation times:
+// 1 for a dedicated machine, 1.3·n for a machine running n ≥ 2
+// applications round-robin.
+func MultitaskFactor(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1.3 * float64(n)
+}
+
+func validEdge(g *dag.Graph, e Edge) bool {
+	if e.From < 0 || e.From >= g.Len() {
+		return false
+	}
+	for _, t := range g.Successors(e.From) {
+		if t == e.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Mapping assigns each application position to a machine.
+type Mapping []int
+
+// Validate checks the mapping against the system.
+func (m Mapping) Validate(s *System) error {
+	if len(m) != s.Applications() {
+		return fmt.Errorf("hiperd: mapping length %d, want %d applications", len(m), s.Applications())
+	}
+	for a, j := range m {
+		if j < 0 || j >= s.Machines {
+			return fmt.Errorf("hiperd: application %d mapped to machine %d, want [0,%d)", a, j, s.Machines)
+		}
+	}
+	return nil
+}
+
+// Counts returns n(m_j) for every machine.
+func (m Mapping) Counts(s *System) []int {
+	counts := make([]int, s.Machines)
+	for _, j := range m {
+		counts[j]++
+	}
+	return counts
+}

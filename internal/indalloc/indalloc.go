@@ -1,0 +1,207 @@
+// Package indalloc derives the robustness metric for the paper's first
+// example system (§3.1): independent applications mapped to machines, with
+// the makespan required to stay within τ times its predicted value against
+// errors in the estimated times to compute (ETC).
+//
+// Following the FePIA procedure:
+//
+//   - Features (Eq. 3): the machine finishing times F_j.
+//
+//   - Perturbation: the vector C of actual execution times, with operating
+//     point C^orig (the ETC values of the applications on their assigned
+//     machines).
+//
+//   - Impact (Eq. 4): F_j(C) = Σ_{i: a_i on m_j} C_i — affine in C.
+//
+//   - Analysis (Eqs. 5–7): each boundary relationship F_j(C) = τ·M^orig is
+//     a hyperplane whose distance from C^orig has the closed form
+//
+//     r_μ(F_j, C) = (τ·M^orig − F_j(C^orig)) / √(n(m_j))      (Eq. 6)
+//
+//     and the robustness metric is ρ_μ(Φ, C) = min_j r_μ(F_j, C) (Eq. 7).
+package indalloc
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/hcs"
+	"fepia/internal/vecmath"
+)
+
+// Result is the complete robustness analysis of one mapping.
+type Result struct {
+	// Tau is the tolerance multiplier (τ = 1.2 means a 20% tolerance).
+	Tau float64
+	// PredictedMakespan is M^orig.
+	PredictedMakespan float64
+	// Radii[j] is r_μ(F_j, C) per machine; +Inf for machines with no
+	// applications (their finishing time is constant and can never
+	// violate).
+	Radii []float64
+	// Robustness is ρ_μ(Φ, C) — the paper's metric, in the units of C
+	// (time).
+	Robustness float64
+	// CriticalMachine is the machine attaining the minimum radius.
+	CriticalMachine int
+	// BoundaryETC is C*, the closest violating execution-time vector
+	// (observations 1 and 2 of §3.1: it differs from C^orig only on the
+	// critical machine, by an equal amount per application).
+	BoundaryETC []float64
+}
+
+// Evaluate computes the robustness analysis of a mapping for tolerance τ.
+// τ must be ≥ 1: the requirement is "actual makespan ≤ τ × predicted", and
+// a τ below 1 is violated at the operating point itself.
+func Evaluate(m *hcs.Mapping, tau float64) (Result, error) {
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return Result{}, fmt.Errorf("indalloc: tolerance τ = %v must be finite and ≥ 1", tau)
+	}
+	orig := m.ETCVector()
+	finish := m.FinishingTimes(orig)
+	mOrig, _ := vecmath.Max(finish)
+	bound := tau * mOrig
+
+	machines := m.Instance().Machines()
+	res := Result{
+		Tau:               tau,
+		PredictedMakespan: mOrig,
+		Radii:             make([]float64, machines),
+		Robustness:        math.Inf(1),
+		CriticalMachine:   -1,
+	}
+	for j := 0; j < machines; j++ {
+		n := m.Count(j)
+		if n == 0 {
+			res.Radii[j] = math.Inf(1)
+			continue
+		}
+		r := (bound - finish[j]) / math.Sqrt(float64(n))
+		if r < 0 {
+			r = 0 // already violating (only possible when τ < 1, excluded)
+		}
+		res.Radii[j] = r
+		if r < res.Robustness {
+			res.Robustness = r
+			res.CriticalMachine = j
+		}
+	}
+	if res.CriticalMachine >= 0 {
+		res.BoundaryETC = boundaryETC(m, orig, finish, bound, res.CriticalMachine)
+	}
+	return res, nil
+}
+
+// boundaryETC constructs C* for the binding machine: per observation (2) of
+// §3.1, every application on that machine absorbs the same error
+// (τM − F_j)/n_j, and per observation (1) all other applications keep their
+// estimated times.
+func boundaryETC(m *hcs.Mapping, orig, finish []float64, bound float64, j int) []float64 {
+	cstar := vecmath.Clone(orig)
+	n := m.Count(j)
+	delta := (bound - finish[j]) / float64(n)
+	for _, i := range m.OnMachine(j) {
+		cstar[i] += delta
+	}
+	return cstar
+}
+
+// Features expresses the same analysis in the generic FePIA vocabulary of
+// internal/core: one feature per non-empty machine with an affine impact
+// function (the 0/1 indicator row of Eq. 4) bounded above by τ·M^orig, and
+// the ETC vector as the perturbation parameter. Running core.Analyze on the
+// output must agree with Evaluate — the library's cross-validation of
+// Eq. 6 against the generic Eq. 1 machinery (tested in this package).
+func Features(m *hcs.Mapping, tau float64) ([]core.Feature, core.Perturbation, error) {
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return nil, core.Perturbation{}, fmt.Errorf("indalloc: tolerance τ = %v must be finite and ≥ 1", tau)
+	}
+	orig := m.ETCVector()
+	bound := tau * m.Makespan(orig)
+	nApps := m.Instance().Applications()
+	var features []core.Feature
+	for j := 0; j < m.Instance().Machines(); j++ {
+		apps := m.OnMachine(j)
+		if len(apps) == 0 {
+			continue
+		}
+		coeffs := make([]float64, nApps)
+		for _, i := range apps {
+			coeffs[i] = 1
+		}
+		impact, err := core.NewLinearImpact(coeffs, 0)
+		if err != nil {
+			return nil, core.Perturbation{}, err
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("F_%d", j),
+			Impact: impact,
+			// Eq. 3 bounds the finishing times above by τ·M^orig; execution
+			// times are non-negative, so the natural lower bound 0 of the
+			// makespan example (⟨0, 1.3·M⟩ in §2 step 1) can never bind
+			// for a mapping with positive ETCs — we keep the one-sided
+			// form the analysis in §3.1 actually uses.
+			Bounds: core.NoMin(bound),
+		})
+	}
+	p := core.Perturbation{Name: "C", Orig: orig, Units: "time"}
+	return features, p, nil
+}
+
+// ClusterInfo classifies a mapping for the §4.2 discussion of Figure 3's
+// linear clusters: S₁(x) contains the mappings whose makespan machine also
+// has the system-wide maximum application count x (for them, robustness is
+// exactly proportional to M^orig); the outliers below each line are the
+// mappings where some other machine determines the robustness.
+type ClusterInfo struct {
+	// MakespanMachine is m(C^orig).
+	MakespanMachine int
+	// X is n(m(C^orig)) — the application count of the makespan machine.
+	X int
+	// MaxCount is max_j n(m_j).
+	MaxCount int
+	// InS1 reports whether the mapping belongs to S₁(X), i.e.
+	// X == MaxCount.
+	InS1 bool
+	// CriticalMachine is the machine that determines the robustness.
+	CriticalMachine int
+}
+
+// Classify computes the cluster diagnostics of a mapping.
+func Classify(m *hcs.Mapping, tau float64) (ClusterInfo, error) {
+	res, err := Evaluate(m, tau)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	orig := m.ETCVector()
+	mk := m.CriticalMachine(orig)
+	x := m.Count(mk)
+	return ClusterInfo{
+		MakespanMachine: mk,
+		X:               x,
+		MaxCount:        m.MaxCount(),
+		InS1:            x == m.MaxCount(),
+		CriticalMachine: res.CriticalMachine,
+	}, nil
+}
+
+// VerifyRadius checks the defining property of the robustness metric for
+// this system: for any execution-time vector c with ‖c − C^orig‖₂ ≤ ρ, the
+// actual makespan is at most τ·M^orig. It returns an error describing the
+// violation if the property fails (used by the Monte-Carlo certification
+// tests).
+func VerifyRadius(m *hcs.Mapping, tau float64, c []float64) error {
+	res, err := Evaluate(m, tau)
+	if err != nil {
+		return err
+	}
+	dist := vecmath.Distance(c, m.ETCVector())
+	actual := m.Makespan(c)
+	bound := tau * res.PredictedMakespan
+	if dist <= res.Robustness && actual > bound+1e-9*bound {
+		return fmt.Errorf("indalloc: perturbation at distance %v ≤ ρ=%v violated the makespan bound: %v > %v",
+			dist, res.Robustness, actual, bound)
+	}
+	return nil
+}

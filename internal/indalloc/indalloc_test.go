@@ -1,0 +1,266 @@
+package indalloc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fepia/internal/core"
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// twoMachineMapping: a0,a1 → m0 (finish 3), a2,a3 → m1 (finish 7).
+func twoMachineMapping(t *testing.T) *hcs.Mapping {
+	t.Helper()
+	inst, err := hcs.NewInstance(etcgen.Matrix{
+		{1, 9}, {2, 9}, {9, 3}, {9, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hcs.NewMapping(inst, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEvaluateClosedForm(t *testing.T) {
+	m := twoMachineMapping(t)
+	// M^orig = 7, τ = 1.2 → bound 8.4.
+	// r(m0) = (8.4−3)/√2 = 3.8184; r(m1) = (8.4−7)/√2 = 0.9899.
+	res, err := Evaluate(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedMakespan != 7 {
+		t.Errorf("M^orig = %v", res.PredictedMakespan)
+	}
+	want0 := (8.4 - 3) / math.Sqrt2
+	want1 := (8.4 - 7) / math.Sqrt2
+	if math.Abs(res.Radii[0]-want0) > 1e-12 || math.Abs(res.Radii[1]-want1) > 1e-12 {
+		t.Errorf("radii = %v, want (%v, %v)", res.Radii, want0, want1)
+	}
+	if res.CriticalMachine != 1 {
+		t.Errorf("critical machine = %d", res.CriticalMachine)
+	}
+	if math.Abs(res.Robustness-want1) > 1e-12 {
+		t.Errorf("ρ = %v want %v", res.Robustness, want1)
+	}
+}
+
+func TestEvaluateRejectsBadTau(t *testing.T) {
+	m := twoMachineMapping(t)
+	for _, tau := range []float64{0.5, 0.99, math.Inf(1), math.NaN()} {
+		if _, err := Evaluate(m, tau); err == nil {
+			t.Errorf("τ = %v accepted", tau)
+		}
+	}
+	// τ = 1 is legal: zero tolerance means zero robustness.
+	res, err := Evaluate(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robustness != 0 {
+		t.Errorf("τ=1 robustness = %v, want 0", res.Robustness)
+	}
+}
+
+func TestBoundaryETCObservations(t *testing.T) {
+	// Observations (1) and (2) of §3.1: C* differs from C^orig only on the
+	// critical machine, equally per application, and lies exactly on the
+	// boundary F_j(C*) = τ·M^orig with ‖C*−C^orig‖₂ = ρ.
+	m := twoMachineMapping(t)
+	res, err := Evaluate(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.ETCVector()
+	cstar := res.BoundaryETC
+	// Applications on m0 (non-critical) unchanged.
+	if cstar[0] != orig[0] || cstar[1] != orig[1] {
+		t.Errorf("non-critical applications perturbed: %v vs %v", cstar, orig)
+	}
+	// Equal errors on the critical machine.
+	d2 := cstar[2] - orig[2]
+	d3 := cstar[3] - orig[3]
+	if math.Abs(d2-d3) > 1e-12 {
+		t.Errorf("unequal errors on critical machine: %v vs %v", d2, d3)
+	}
+	// On the boundary.
+	f := m.FinishingTimes(cstar)
+	if math.Abs(f[1]-1.2*7) > 1e-9 {
+		t.Errorf("C* not on boundary: F_1 = %v", f[1])
+	}
+	// At distance ρ.
+	if d := vecmath.Distance(cstar, orig); math.Abs(d-res.Robustness) > 1e-9 {
+		t.Errorf("‖C*−C^orig‖ = %v want ρ = %v", d, res.Robustness)
+	}
+}
+
+func TestEmptyMachineGetsInfiniteRadius(t *testing.T) {
+	inst, _ := hcs.NewInstance(etcgen.Matrix{{1, 1}, {1, 1}})
+	m, _ := hcs.NewMapping(inst, []int{0, 0})
+	res, err := Evaluate(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Radii[1], 1) {
+		t.Errorf("idle machine radius = %v", res.Radii[1])
+	}
+	if res.CriticalMachine != 0 {
+		t.Errorf("critical machine = %d", res.CriticalMachine)
+	}
+}
+
+func TestFeaturesMatchEvaluate(t *testing.T) {
+	// The generic core.Analyze on Features must reproduce Eq. 6/7 exactly.
+	etc, _ := etcgen.Generate(stats.NewRNG(1), etcgen.PaperParams())
+	inst, _ := hcs.NewInstance(etc)
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 25; trial++ {
+		m := hcs.RandomMapping(rng, inst)
+		res, err := Evaluate(m, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		features, p, err := Features(m, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(features, p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecmath.ScalarEqualApprox(a.Robustness, res.Robustness, 1e-9) {
+			t.Fatalf("trial %d: generic ρ = %v, closed form = %v", trial, a.Robustness, res.Robustness)
+		}
+	}
+	if _, _, err := Features(twoMachineMapping(t), 0.3); err == nil {
+		t.Errorf("bad τ accepted by Features")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	m := twoMachineMapping(t)
+	info, err := Classify(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan machine is m1 with 2 apps; max count is 2 → in S1.
+	if info.MakespanMachine != 1 || info.X != 2 || !info.InS1 {
+		t.Errorf("cluster info = %+v", info)
+	}
+	if info.CriticalMachine != 1 {
+		t.Errorf("critical machine = %d", info.CriticalMachine)
+	}
+	// An outlier case: makespan machine has fewer apps than another.
+	inst, _ := hcs.NewInstance(etcgen.Matrix{
+		{10, 1}, {1, 1}, {1, 1}, {1, 1},
+	})
+	m2, _ := hcs.NewMapping(inst, []int{0, 1, 1, 1})
+	info2, err := Classify(m2, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m0 finish = 10 (makespan machine, 1 app); m1 finish = 3 (3 apps).
+	if info2.MakespanMachine != 0 || info2.X != 1 || info2.MaxCount != 3 || info2.InS1 {
+		t.Errorf("outlier info = %+v", info2)
+	}
+	if _, err := Classify(m, 0.2); err == nil {
+		t.Errorf("bad τ accepted by Classify")
+	}
+}
+
+func TestVerifyRadiusHoldsOnRandomPerturbations(t *testing.T) {
+	etc, _ := etcgen.Generate(stats.NewRNG(3), etcgen.PaperParams())
+	inst, _ := hcs.NewInstance(etc)
+	rng := stats.NewRNG(4)
+	m := hcs.RandomMapping(rng, inst)
+	res, err := Evaluate(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.ETCVector()
+	n := len(orig)
+	for trial := 0; trial < 2000; trial++ {
+		// Random direction scaled to a random length ≤ ρ.
+		dir := make([]float64, n)
+		for i := range dir {
+			dir[i] = rng.NormFloat64()
+		}
+		u, norm := vecmath.Normalize(nil, dir)
+		if norm == 0 {
+			continue
+		}
+		c := vecmath.AddScaled(nil, orig, rng.Float64()*res.Robustness, u)
+		if err := VerifyRadius(m, 1.2, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And the boundary point itself violates just beyond ρ: scaling C*−C
+	// by (1+ε) must exceed the bound.
+	dir := vecmath.Sub(nil, res.BoundaryETC, orig)
+	c := vecmath.AddScaled(nil, orig, 1.0001, dir)
+	if m.Makespan(c) <= 1.2*res.PredictedMakespan {
+		t.Errorf("point beyond the radius did not violate")
+	}
+}
+
+// Property: robustness scales linearly with the ETC matrix — doubling all
+// execution times doubles ρ (the metric has the units of C).
+func TestQuickScaleInvariance(t *testing.T) {
+	etc, _ := etcgen.Generate(stats.NewRNG(5), etcgen.PaperParams())
+	inst, _ := hcs.NewInstance(etc)
+	scaled := etc.Clone()
+	for i := range scaled {
+		for j := range scaled[i] {
+			scaled[i][j] *= 2
+		}
+	}
+	inst2, _ := hcs.NewInstance(scaled)
+	rng := stats.NewRNG(6)
+	f := func(struct{}) bool {
+		m1 := hcs.RandomMapping(rng, inst)
+		m2, err := hcs.NewMapping(inst2, m1.Assign)
+		if err != nil {
+			return false
+		}
+		r1, err1 := Evaluate(m1, 1.2)
+		r2, err2 := Evaluate(m2, 1.2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return vecmath.ScalarEqualApprox(r2.Robustness, 2*r1.Robustness, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing τ never decreases any radius or the metric.
+func TestQuickTauMonotonicity(t *testing.T) {
+	etc, _ := etcgen.Generate(stats.NewRNG(7), etcgen.PaperParams())
+	inst, _ := hcs.NewInstance(etc)
+	rng := stats.NewRNG(8)
+	f := func(struct{}) bool {
+		m := hcs.RandomMapping(rng, inst)
+		lo, err1 := Evaluate(m, 1.1)
+		hi, err2 := Evaluate(m, 1.5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for j := range lo.Radii {
+			if hi.Radii[j] < lo.Radii[j] {
+				return false
+			}
+		}
+		return hi.Robustness >= lo.Robustness
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package indalloc
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/hcs"
+	"fepia/internal/vecmath"
+)
+
+// This file derives a second robustness metric for the §3.1 system, with a
+// different perturbation parameter: per-machine slowdown factors. It is a
+// worked demonstration that the FePIA procedure — not just its makespan
+// example — is what the library implements: same system, same features,
+// new step-2 parameter, new metric.
+//
+//   - Features: the machine finishing times F_j, bounded by τ·M^orig
+//     (unchanged from the ETC-error derivation).
+//   - Perturbation: s = (s_1 … s_|M|), machine slowdown factors with
+//     operating point s^orig = 1 (machine j at slowdown s_j completes its
+//     queue in s_j·F_j(C^orig)). Background daemons, thermal throttling,
+//     or co-scheduled work make s drift upward; the metric says how much
+//     collective drift is tolerable.
+//   - Impact: F_j(s) = s_j·W_j where W_j = Σ_{i on m_j} C_i^orig — affine
+//     in s with a single non-zero coefficient.
+//   - Analysis: the boundary F_j(s) = τ·M^orig is the axis-aligned plane
+//     s_j = τ·M^orig/W_j, so r(F_j) = τ·M^orig/W_j − 1 and
+//     ρ = τ·M^orig/max_j W_j − 1 = τ − 1: for THIS parameter the binding
+//     machine is always the makespan machine and the metric is constant!
+//     The per-machine radii still differentiate mappings (they show how
+//     far each non-critical machine is from mattering), which is why
+//     SlowdownResult reports them all.
+type SlowdownResult struct {
+	// Tau is the tolerance multiplier.
+	Tau float64
+	// PredictedMakespan is M^orig.
+	PredictedMakespan float64
+	// Radii[j] is r_μ(F_j, s): the tolerable slowdown of machine j alone
+	// is 1 + Radii[j]. +Inf for idle machines.
+	Radii []float64
+	// Robustness is ρ_μ(Φ, s) = min_j Radii[j] = τ − 1 for any mapping
+	// with work on the makespan machine.
+	Robustness float64
+	// CriticalMachine attains the minimum (the makespan machine).
+	CriticalMachine int
+}
+
+// EvaluateSlowdown computes the slowdown-robustness analysis of a mapping.
+func EvaluateSlowdown(m *hcs.Mapping, tau float64) (SlowdownResult, error) {
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return SlowdownResult{}, fmt.Errorf("indalloc: tolerance τ = %v must be finite and ≥ 1", tau)
+	}
+	finish := m.PredictedFinishingTimes()
+	mOrig, _ := vecmath.Max(finish)
+	bound := tau * mOrig
+	res := SlowdownResult{
+		Tau:               tau,
+		PredictedMakespan: mOrig,
+		Radii:             make([]float64, len(finish)),
+		Robustness:        math.Inf(1),
+		CriticalMachine:   -1,
+	}
+	for j, w := range finish {
+		if w == 0 {
+			res.Radii[j] = math.Inf(1)
+			continue
+		}
+		r := bound/w - 1
+		if r < 0 {
+			r = 0
+		}
+		res.Radii[j] = r
+		if r < res.Robustness {
+			res.Robustness = r
+			res.CriticalMachine = j
+		}
+	}
+	return res, nil
+}
+
+// SlowdownFeatures expresses the derivation in the generic FePIA
+// vocabulary, for cross-validation against core.Analyze (tested): one
+// affine feature per non-empty machine over the slowdown vector s.
+func SlowdownFeatures(m *hcs.Mapping, tau float64) ([]core.Feature, core.Perturbation, error) {
+	if !(tau >= 1) || math.IsInf(tau, 0) {
+		return nil, core.Perturbation{}, fmt.Errorf("indalloc: tolerance τ = %v must be finite and ≥ 1", tau)
+	}
+	finish := m.PredictedFinishingTimes()
+	mOrig, _ := vecmath.Max(finish)
+	bound := tau * mOrig
+	var features []core.Feature
+	for j, w := range finish {
+		if w == 0 {
+			continue
+		}
+		coeffs := make([]float64, len(finish))
+		coeffs[j] = w
+		impact, err := core.NewLinearImpact(coeffs, 0)
+		if err != nil {
+			return nil, core.Perturbation{}, err
+		}
+		features = append(features, core.Feature{
+			Name:   fmt.Sprintf("F_%d", j),
+			Impact: impact,
+			Bounds: core.NoMin(bound),
+		})
+	}
+	orig := make([]float64, len(finish))
+	for i := range orig {
+		orig[i] = 1
+	}
+	p := core.Perturbation{Name: "s", Orig: orig, Units: "slowdown factor"}
+	return features, p, nil
+}

@@ -1,0 +1,99 @@
+package indalloc
+
+import (
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+func TestEvaluateSlowdownClosedForm(t *testing.T) {
+	m := twoMachineMapping(t) // finish times (3, 7), M = 7.
+	res, err := EvaluateSlowdown(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r(F_0) = 1.2·7/3 − 1 = 1.8; r(F_1) = 1.2·7/7 − 1 = 0.2.
+	if math.Abs(res.Radii[0]-1.8) > 1e-12 || math.Abs(res.Radii[1]-0.2) > 1e-12 {
+		t.Errorf("radii = %v", res.Radii)
+	}
+	// ρ = τ − 1 with the makespan machine critical — always.
+	if math.Abs(res.Robustness-0.2) > 1e-12 || res.CriticalMachine != 1 {
+		t.Errorf("ρ = %v critical %d", res.Robustness, res.CriticalMachine)
+	}
+}
+
+func TestSlowdownRhoIsTauMinusOne(t *testing.T) {
+	// The §3.1 observation specific to this parameter: ρ is τ−1 for every
+	// mapping (the makespan machine always binds).
+	etc, _ := etcgen.Generate(stats.NewRNG(1), etcgen.PaperParams())
+	inst, _ := hcs.NewInstance(etc)
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 25; trial++ {
+		m := hcs.RandomMapping(rng, inst)
+		for _, tau := range []float64{1.0, 1.2, 1.5} {
+			res, err := EvaluateSlowdown(m, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Robustness-(tau-1)) > 1e-9 {
+				t.Fatalf("ρ = %v want τ−1 = %v", res.Robustness, tau-1)
+			}
+		}
+	}
+}
+
+func TestSlowdownFeaturesMatchClosedForm(t *testing.T) {
+	etc, _ := etcgen.Generate(stats.NewRNG(3), etcgen.PaperParams())
+	inst, _ := hcs.NewInstance(etc)
+	rng := stats.NewRNG(4)
+	for trial := 0; trial < 10; trial++ {
+		m := hcs.RandomMapping(rng, inst)
+		res, err := EvaluateSlowdown(m, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		features, p, err := SlowdownFeatures(m, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Analyze(features, p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecmath.ScalarEqualApprox(a.Robustness, res.Robustness, 1e-9) {
+			t.Fatalf("generic %v != closed form %v", a.Robustness, res.Robustness)
+		}
+	}
+}
+
+func TestSlowdownValidationAndIdle(t *testing.T) {
+	m := twoMachineMapping(t)
+	if _, err := EvaluateSlowdown(m, 0.9); err == nil {
+		t.Errorf("bad τ accepted")
+	}
+	if _, _, err := SlowdownFeatures(m, math.Inf(1)); err == nil {
+		t.Errorf("infinite τ accepted")
+	}
+	// Idle machine gets an infinite radius and no feature.
+	inst, _ := hcs.NewInstance(etcgen.Matrix{{1, 1}, {1, 1}})
+	mm, _ := hcs.NewMapping(inst, []int{0, 0})
+	res, err := EvaluateSlowdown(mm, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Radii[1], 1) {
+		t.Errorf("idle machine radius = %v", res.Radii[1])
+	}
+	features, _, err := SlowdownFeatures(mm, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(features) != 1 {
+		t.Errorf("features = %d, idle machine should be excluded", len(features))
+	}
+}

@@ -1,0 +1,381 @@
+// Package lattice computes the exact robustness radius for discrete
+// perturbation parameters. §3.2 of the paper treats the (integer-valued)
+// sensor loads as continuous and floors the resulting metric, deferring "a
+// different method for handling a discrete perturbation parameter" to the
+// first author's thesis [1]. This package implements that exact method for
+// integer lattices:
+//
+//	ρ_discrete = min ‖λ − λ^orig‖₂  over integer vectors λ that violate
+//	             some feature bound,
+//
+// found by best-first search over the lattice ordered by distance, with
+// per-feature hyperplane distances as an admissible pruning bound. Because
+// violating integer points are a subset of violating continuous points,
+//
+//	ρ_continuous ≤ ρ_discrete   and   floor(ρ_continuous) ≤ ρ_discrete,
+//
+// i.e. the paper's floored metric is a conservative (never over-promising)
+// approximation; this package quantifies how much robustness it gives
+// away.
+package lattice
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps lattice points expanded (default 2_000_000).
+	MaxNodes int
+	// MaxRadius stops the search beyond this distance; the result is then
+	// reported as +Inf (no violating point within range). Default 1e6.
+	MaxRadius float64
+	// NonNegative restricts the lattice to λ ≥ 0 (loads cannot be
+	// negative). Default false.
+	NonNegative bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 2_000_000
+	}
+	if o.MaxRadius == 0 {
+		o.MaxRadius = 1e6
+	}
+	return o
+}
+
+// Result reports the exact discrete analysis.
+type Result struct {
+	// Radius is the distance to the nearest violating integer point
+	// (+Inf when none exists within Options.MaxRadius).
+	Radius float64
+	// Witness is that point (nil when Radius is +Inf).
+	Witness []float64
+	// Feature names the violated feature at the witness.
+	Feature string
+	// Expanded counts lattice points visited.
+	Expanded int
+}
+
+// ErrBudget is returned when MaxNodes is exhausted before the search
+// completes — the reported radius would not be provably minimal.
+var ErrBudget = fmt.Errorf("lattice: node budget exhausted before the search front passed a violating point")
+
+// node is a lattice point in the best-first frontier.
+type node struct {
+	dist  float64
+	point []int
+}
+
+type frontier []*node
+
+func (f frontier) Len() int            { return len(f) }
+func (f frontier) Less(i, j int) bool  { return f[i].dist < f[j].dist }
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(*node)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	x := old[n-1]
+	*f = old[:n-1]
+	return x
+}
+
+// MinViolatingPoint computes the exact discrete radius: the distance from
+// the (rounded-to-integer) operating point to the nearest integer point
+// that strictly violates some feature bound.
+//
+// Two engines are used per feature and the minimum over features is
+// returned:
+//
+//   - Linear fast path — for an affine impact with non-negative
+//     coefficients and an upper bound only (the shape of every feature in
+//     both paper systems), the violating set {a·λ > c} is up-closed and
+//     the optimal offset δ is non-negative and lies within a provably
+//     sufficient box of half-width √(2ρ√n + n) around the continuous
+//     projection, which is enumerated exactly in all but the
+//     largest-coefficient dimension.
+//   - General fallback — best-first search over the lattice ordered by
+//     distance, for arbitrary impacts or two-sided bounds. This is exact
+//     but only practical when the answer is small (its node count grows
+//     with the ball volume); Options.MaxNodes bounds it.
+func MinViolatingPoint(features []core.Feature, p core.Perturbation, opts Options) (Result, error) {
+	if len(features) == 0 {
+		return Result{}, fmt.Errorf("lattice: empty feature set")
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	for _, f := range features {
+		if err := f.Validate(); err != nil {
+			return Result{}, err
+		}
+		if f.Impact.Dim() != len(p.Orig) {
+			return Result{}, fmt.Errorf("lattice: feature %q dimension %d != %d", f.Name, f.Impact.Dim(), len(p.Orig))
+		}
+	}
+	opts = opts.withDefaults()
+
+	n := len(p.Orig)
+	origin := make([]int, n)
+	coords := make([]float64, n)
+	for i, x := range p.Orig {
+		origin[i] = int(math.Round(x))
+		if opts.NonNegative && origin[i] < 0 {
+			origin[i] = 0
+		}
+		coords[i] = float64(origin[i])
+	}
+	// Violated at the origin itself → radius 0.
+	if name, bad := violatedFeature(features, coords); bad {
+		return Result{Radius: 0, Witness: vecmath.Clone(coords), Feature: name, Expanded: 1}, nil
+	}
+
+	best := Result{Radius: math.Inf(1)}
+	var fallback []core.Feature
+	for _, f := range features {
+		lin, ok := fastPathEligible(f)
+		if !ok {
+			fallback = append(fallback, f)
+			continue
+		}
+		r := solveLinearUpper(lin, f.Bounds.Max, origin, opts)
+		best.Expanded += r.Expanded
+		if r.Radius < best.Radius {
+			r.Expanded = best.Expanded
+			r.Feature = f.Name
+			best = r
+		}
+	}
+	if len(fallback) > 0 {
+		r, err := bestFirst(fallback, origin, opts, best.Radius)
+		best.Expanded += r.Expanded
+		if err != nil {
+			return best, err
+		}
+		if r.Radius < best.Radius {
+			r.Expanded = best.Expanded
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// fastPathEligible reports whether a feature qualifies for the linear
+// solver: affine impact, non-negative coefficients, upper bound only.
+func fastPathEligible(f core.Feature) (*core.LinearImpact, bool) {
+	lin, ok := f.Impact.(*core.LinearImpact)
+	if !ok {
+		return nil, false
+	}
+	if !math.IsInf(f.Bounds.Min, -1) || math.IsInf(f.Bounds.Max, 1) {
+		return nil, false
+	}
+	for _, a := range lin.Coeffs {
+		if a < 0 {
+			return nil, false
+		}
+	}
+	return lin, true
+}
+
+// solveLinearUpper finds the minimal-norm non-negative integer offset δ
+// with a·(origin+δ) + offset > max (strict violation). It enumerates every
+// dimension except the one with the largest coefficient within the
+// sufficient box and closes the constraint with a ceiling in that
+// dimension.
+func solveLinearUpper(lin *core.LinearImpact, max float64, origin []int, opts Options) Result {
+	n := len(lin.Coeffs)
+	base := lin.Offset
+	for i, a := range lin.Coeffs {
+		base += a * float64(origin[i])
+	}
+	r := max - base // need a·δ > r ≥ 0 (origin not violating)
+	aNorm := vecmath.Euclidean(lin.Coeffs)
+	if aNorm == 0 {
+		return Result{Radius: math.Inf(1)} // constant feature: unreachable
+	}
+	// Index of the largest coefficient — the "closing" dimension.
+	h := 0
+	for i, a := range lin.Coeffs {
+		if a > lin.Coeffs[h] {
+			h = i
+		}
+	}
+	if lin.Coeffs[h] == 0 {
+		return Result{Radius: math.Inf(1)}
+	}
+	rhoF := r / aNorm // continuous radius of this feature
+	if rhoF > opts.MaxRadius {
+		return Result{Radius: math.Inf(1)}
+	}
+	// Sufficient per-component search half-width (see package doc):
+	// ‖δ − δ*‖ ≤ √(2ρ√n + n) for any optimal candidate.
+	k := int(math.Ceil(math.Sqrt(2*rhoF*math.Sqrt(float64(n))+float64(n)))) + 1
+
+	free := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != h {
+			free = append(free, i)
+		}
+	}
+	delta := make([]int, n)
+	best := Result{Radius: math.Inf(1)}
+	const eps = 1e-9
+
+	var enumerate func(idx int, partial float64, norm2 float64)
+	enumerate = func(idx int, partial float64, norm2 float64) {
+		best.Expanded++
+		if idx == len(free) {
+			// Close with dimension h: smallest δ_h ≥ 0 making the value
+			// strictly exceed max.
+			need := r - partial
+			dh := 0
+			if need >= 0 {
+				dh = int(math.Floor(need/lin.Coeffs[h])) + 1
+				// floor+1 guarantees strictness; step back while still
+				// strictly violating (guards float rounding near exact
+				// multiples).
+				for dh > 0 && partial+lin.Coeffs[h]*float64(dh-1) > r+eps {
+					dh--
+				}
+			}
+			total := norm2 + float64(dh)*float64(dh)
+			if d := math.Sqrt(total); d < best.Radius {
+				delta[h] = dh
+				w := make([]float64, n)
+				for i := range w {
+					w[i] = float64(origin[i] + delta[i])
+				}
+				best.Radius = d
+				best.Witness = w
+			}
+			return
+		}
+		i := free[idx]
+		// Continuous projection component, as the box centre.
+		star := rhoF * lin.Coeffs[i] / aNorm
+		lo := int(math.Floor(star)) - k
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(math.Ceil(star)) + k
+		for v := lo; v <= hi; v++ {
+			nn := norm2 + float64(v)*float64(v)
+			if nn >= best.Radius*best.Radius {
+				continue // cannot beat the incumbent
+			}
+			delta[i] = v
+			enumerate(idx+1, partial+lin.Coeffs[i]*float64(v), nn)
+		}
+		delta[i] = 0
+	}
+	enumerate(0, 0, 0)
+	return best
+}
+
+// bestFirst is the general fallback: expand lattice points in order of
+// exact distance until one strictly violates a feature, pruning at prune
+// (the incumbent radius from the fast path) and opts.MaxRadius.
+func bestFirst(features []core.Feature, origin []int, opts Options, prune float64) (Result, error) {
+	n := len(origin)
+	seen := make(map[string]bool)
+	front := frontier{&node{point: append([]int(nil), origin...)}}
+	heap.Init(&front)
+	seen[key(origin)] = true
+
+	coords := make([]float64, n)
+	res := Result{Radius: math.Inf(1)}
+	limit := math.Min(opts.MaxRadius, prune)
+	for front.Len() > 0 {
+		nd := heap.Pop(&front).(*node)
+		res.Expanded++
+		if res.Expanded > opts.MaxNodes {
+			return res, ErrBudget
+		}
+		if nd.dist > limit {
+			break
+		}
+		for i, v := range nd.point {
+			coords[i] = float64(v)
+		}
+		if name, bad := violatedFeature(features, coords); bad {
+			res.Radius = nd.dist
+			res.Witness = vecmath.Clone(coords)
+			res.Feature = name
+			return res, nil
+		}
+		for i := 0; i < n; i++ {
+			for _, d := range [2]int{1, -1} {
+				next := append([]int(nil), nd.point...)
+				next[i] += d
+				if opts.NonNegative && next[i] < 0 {
+					continue
+				}
+				k := key(next)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				heap.Push(&front, &node{dist: distance(next, origin), point: next})
+			}
+		}
+	}
+	return res, nil
+}
+
+// ExactDiscreteRadius couples the continuous analysis with the exact
+// lattice search: it returns the continuous metric, its floored version
+// (the paper's approximation), and the exact discrete radius, so the
+// conservatism of flooring can be quantified.
+func ExactDiscreteRadius(features []core.Feature, p core.Perturbation, copts core.Options, lopts Options) (continuous, floored float64, exact Result, err error) {
+	// The continuous analysis must not itself floor — analyse a copy with
+	// Discrete unset.
+	pc := p
+	pc.Discrete = false
+	a, err := core.Analyze(features, pc, copts)
+	if err != nil {
+		return 0, 0, Result{}, err
+	}
+	continuous = a.Robustness
+	floored = math.Floor(continuous)
+	if math.IsInf(continuous, 1) {
+		floored = continuous
+	}
+	exact, err = MinViolatingPoint(features, p, lopts)
+	return continuous, floored, exact, err
+}
+
+// violatedFeature returns the first feature whose bound fails at x.
+func violatedFeature(features []core.Feature, x []float64) (string, bool) {
+	for _, f := range features {
+		if !f.Bounds.Contains(f.Impact.Eval(x)) {
+			return f.Name, true
+		}
+	}
+	return "", false
+}
+
+func distance(a []int, b []int) float64 {
+	var k vecmath.KahanSum
+	for i := range a {
+		d := float64(a[i] - b[i])
+		k.Add(d * d)
+	}
+	return math.Sqrt(k.Sum())
+}
+
+// key serialises a lattice point for the visited set.
+func key(p []int) string {
+	buf := make([]byte, 0, len(p)*3)
+	for _, v := range p {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}

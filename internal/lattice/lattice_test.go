@@ -1,0 +1,252 @@
+package lattice
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/hiperd"
+	"fepia/internal/stats"
+)
+
+func lin(t *testing.T, coeffs []float64, bound float64) core.Feature {
+	t.Helper()
+	imp, err := core.NewLinearImpact(coeffs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Feature{Name: "f", Impact: imp, Bounds: core.NoMin(bound)}
+}
+
+func TestMinViolating1D(t *testing.T) {
+	// f(λ) = λ ≤ 10.5 from λ=0: nearest violating integer is 11.
+	features := []core.Feature{lin(t, []float64{1}, 10.5)}
+	p := core.Perturbation{Name: "λ", Orig: []float64{0}}
+	res, err := MinViolatingPoint(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 11 || res.Witness[0] != 11 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Feature != "f" {
+		t.Errorf("feature = %q", res.Feature)
+	}
+}
+
+func TestMinViolating2DDiagonal(t *testing.T) {
+	// f(λ) = λ₁ + λ₂ ≤ 10.2 from (3,3): continuous radius = 4.2/√2 ≈ 2.97,
+	// but the nearest violating integer point must have λ₁+λ₂ ≥ 11,
+	// i.e. 5 more units split as evenly as possible: (6,5) or (5,6) at
+	// distance √(9+4) = √13 ≈ 3.606.
+	features := []core.Feature{lin(t, []float64{1, 1}, 10.2)}
+	p := core.Perturbation{Name: "λ", Orig: []float64{3, 3}}
+	res, err := MinViolatingPoint(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Radius-math.Sqrt(13)) > 1e-12 {
+		t.Errorf("radius = %v want √13", res.Radius)
+	}
+	sum := res.Witness[0] + res.Witness[1]
+	if sum < 10.2 {
+		t.Errorf("witness does not violate: %v", res.Witness)
+	}
+}
+
+func TestOrderingExactness(t *testing.T) {
+	// The discrete radius can strictly exceed both the continuous radius
+	// and its floor — brute-force verify minimality over a box.
+	features := []core.Feature{lin(t, []float64{2, 3}, 17.5)}
+	p := core.Perturbation{Name: "λ", Orig: []float64{1, 1}}
+	res, err := MinViolatingPoint(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for a := -20; a <= 20; a++ {
+		for b := -20; b <= 20; b++ {
+			if 2*float64(a)+3*float64(b) > 17.5 {
+				d := math.Hypot(float64(a-1), float64(b-1))
+				if d < best {
+					best = d
+				}
+			}
+		}
+	}
+	if math.Abs(res.Radius-best) > 1e-12 {
+		t.Errorf("search radius %v != brute force %v", res.Radius, best)
+	}
+}
+
+func TestNonNegativeRestriction(t *testing.T) {
+	// Bound violated only at negative λ; with NonNegative the search finds
+	// nothing within MaxRadius.
+	imp, err := core.NewLinearImpact([]float64{-1}, 0) // f = −λ ≤ 5 ⇔ λ ≥ −5
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := []core.Feature{{Name: "f", Impact: imp, Bounds: core.NoMin(5)}}
+	p := core.Perturbation{Name: "λ", Orig: []float64{0}}
+	res, err := MinViolatingPoint(features, p, Options{NonNegative: true, MaxRadius: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Radius, 1) {
+		t.Errorf("non-negative search should find nothing: %+v", res)
+	}
+	// Without the restriction the violating point is λ = −6.
+	res, err = MinViolatingPoint(features, p, Options{MaxRadius: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 6 {
+		t.Errorf("unrestricted radius = %v want 6", res.Radius)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A non-linear impact forces the best-first fallback, whose node count
+	// grows with the ball volume; a tiny budget must surface ErrBudget.
+	f := core.Feature{
+		Name: "g",
+		Impact: &core.FuncImpact{
+			N: 3,
+			F: func(x []float64) float64 { return x[0] + x[1] + x[2] },
+		},
+		Bounds: core.NoMin(30),
+	}
+	p := core.Perturbation{Name: "λ", Orig: []float64{0, 0, 0}}
+	_, err := MinViolatingPoint([]core.Feature{f}, p, Options{MaxNodes: 100})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLinearBeyondMaxRadius(t *testing.T) {
+	// A linear feature whose boundary is beyond MaxRadius reports +Inf
+	// without any search effort.
+	features := []core.Feature{lin(t, []float64{1, 1, 1}, 1e8)}
+	p := core.Perturbation{Name: "λ", Orig: []float64{0, 0, 0}}
+	res, err := MinViolatingPoint(features, p, Options{MaxNodes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Radius, 1) {
+		t.Errorf("radius = %v", res.Radius)
+	}
+}
+
+func TestQuickFastPathBruteForce(t *testing.T) {
+	// Randomised exactness: the fast path must match brute-force lattice
+	// enumeration over a box, for random non-negative coefficients,
+	// bounds, and origins in 2-D.
+	rng := stats.NewRNG(21)
+	for trial := 0; trial < 100; trial++ {
+		coeffs := []float64{0.5 + 3*rng.Float64(), 0.5 + 3*rng.Float64()}
+		orig := []float64{float64(rng.Intn(5)), float64(rng.Intn(5))}
+		base := coeffs[0]*orig[0] + coeffs[1]*orig[1]
+		bound := base + 1 + 20*rng.Float64() // reachable, not violated at orig
+		features := []core.Feature{lin(t, coeffs, bound)}
+		p := core.Perturbation{Name: "λ", Orig: orig}
+		res, err := MinViolatingPoint(features, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for a := -40; a <= 60; a++ {
+			for b := -40; b <= 60; b++ {
+				if coeffs[0]*float64(a)+coeffs[1]*float64(b) > bound {
+					d := math.Hypot(float64(a)-orig[0], float64(b)-orig[1])
+					if d < best {
+						best = d
+					}
+				}
+			}
+		}
+		if math.Abs(res.Radius-best) > 1e-9 {
+			t.Fatalf("trial %d: fast path %v != brute force %v (coeffs=%v bound=%v orig=%v)",
+				trial, res.Radius, best, coeffs, bound, orig)
+		}
+	}
+}
+
+func TestFastPathMatchesFallback(t *testing.T) {
+	// The linear fast path and the general best-first search must agree
+	// when both are exact. Force the fallback by wrapping the same linear
+	// function in a FuncImpact.
+	coeffs := []float64{2, 3}
+	const bound = 17.5
+	p := core.Perturbation{Name: "λ", Orig: []float64{1, 1}}
+	fast, err := MinViolatingPoint([]core.Feature{lin(t, coeffs, bound)}, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowF := core.Feature{
+		Name: "g",
+		Impact: &core.FuncImpact{
+			N: 2,
+			F: func(x []float64) float64 { return coeffs[0]*x[0] + coeffs[1]*x[1] },
+		},
+		Bounds: core.NoMin(bound),
+	}
+	slow, err := MinViolatingPoint([]core.Feature{slowF}, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.Radius-slow.Radius) > 1e-12 {
+		t.Errorf("fast %v != fallback %v", fast.Radius, slow.Radius)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := core.Perturbation{Name: "λ", Orig: []float64{0}}
+	if _, err := MinViolatingPoint(nil, p, Options{}); err == nil {
+		t.Errorf("empty features accepted")
+	}
+	if _, err := MinViolatingPoint([]core.Feature{lin(t, []float64{1}, 1)}, core.Perturbation{}, Options{}); err == nil {
+		t.Errorf("empty perturbation accepted")
+	}
+	if _, err := MinViolatingPoint([]core.Feature{lin(t, []float64{1, 2}, 1)}, p, Options{}); err == nil {
+		t.Errorf("dimension mismatch accepted")
+	}
+}
+
+func TestExactDiscreteRadiusOrdering(t *testing.T) {
+	// floor(ρ_cont) ≤ ρ_cont ≤ ρ_discrete on a real HiPer-D instance.
+	rng := stats.NewRNG(11)
+	sys, err := hiperd.GenerateSystem(rng, hiperd.PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for trial := 0; trial < 10 && checked < 3; trial++ {
+		m := hiperd.RandomMapping(rng, sys)
+		features, p, err := hiperd.Features(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name, bad := violatedFeature(features, p.Orig); bad {
+			_ = name
+			continue // infeasible mapping: all three quantities are 0
+		}
+		cont, floored, exact, err := ExactDiscreteRadius(features, p, core.Options{}, Options{MaxNodes: 500000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(floored <= cont+1e-9) {
+			t.Errorf("floor violated: %v > %v", floored, cont)
+		}
+		if !(cont <= exact.Radius+1e-9) {
+			t.Errorf("continuous radius %v exceeds exact discrete %v", cont, exact.Radius)
+		}
+		if exact.Witness == nil {
+			t.Errorf("no witness found")
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("no feasible mapping sampled")
+	}
+}

@@ -1,0 +1,209 @@
+// Package montecarlo provides statistical certification of computed
+// robustness radii: samplers for perturbations in ℝⁿ and checks that (a) no
+// sampled perturbation within the claimed radius violates any feature bound
+// and (b) the empirical violation distance found by directional search is
+// no smaller than the claimed radius. Together these give evidence that an
+// implementation of Eq. 1/2 is sound (never over-promises) and tight
+// (the boundary is actually attained).
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// SampleDirection stores a uniformly random unit direction in dst
+// (allocating when nil) and returns it.
+func SampleDirection(rng *stats.RNG, dst []float64, n int) []float64 {
+	if len(dst) != n {
+		dst = make([]float64, n)
+	}
+	for {
+		for i := range dst {
+			dst[i] = rng.NormFloat64()
+		}
+		if _, norm := vecmath.Normalize(dst, dst); norm > 0 {
+			return dst
+		}
+	}
+}
+
+// SampleOnSphere returns a uniform point on the sphere of the given radius
+// around center.
+func SampleOnSphere(rng *stats.RNG, center []float64, radius float64) []float64 {
+	u := SampleDirection(rng, nil, len(center))
+	return vecmath.AddScaled(u, center, radius, u)
+}
+
+// SampleInBall returns a uniform point in the closed ball of the given
+// radius around center (radius scaled by U^{1/n} for uniform volume
+// density).
+func SampleInBall(rng *stats.RNG, center []float64, radius float64) []float64 {
+	r := radius * math.Pow(rng.Float64(), 1/float64(len(center)))
+	return SampleOnSphere(rng, center, r)
+}
+
+// SampleNonNegOnSphere returns a point on the sphere restricted to the
+// non-negative orthant of directions (each component of the offset ≥ 0) —
+// the "loads only increase" scenario of §3.2.
+func SampleNonNegOnSphere(rng *stats.RNG, center []float64, radius float64) []float64 {
+	u := SampleDirection(rng, nil, len(center))
+	for i := range u {
+		u[i] = math.Abs(u[i])
+	}
+	return vecmath.AddScaled(u, center, radius, u)
+}
+
+// Config tunes certification.
+type Config struct {
+	// InteriorSamples is the number of ball samples checked for
+	// non-violation (default 2000).
+	InteriorSamples int
+	// Directions is the number of directional searches for the empirical
+	// radius (default 200).
+	Directions int
+	// Slack is the relative tolerance applied when comparing against
+	// bounds and radii (default 1e-9).
+	Slack float64
+	// MaxExpand bounds the directional bracketing excursion as a multiple
+	// of the claimed radius (default 1e6).
+	MaxExpand float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InteriorSamples == 0 {
+		c.InteriorSamples = 2000
+	}
+	if c.Directions == 0 {
+		c.Directions = 200
+	}
+	if c.Slack == 0 {
+		c.Slack = 1e-9
+	}
+	if c.MaxExpand == 0 {
+		c.MaxExpand = 1e6
+	}
+	return c
+}
+
+// Report summarises a certification run.
+type Report struct {
+	// ClaimedRadius is the ρ under test.
+	ClaimedRadius float64
+	// InteriorSamples and InteriorViolations count the soundness check; a
+	// sound radius has zero violations.
+	InteriorSamples, InteriorViolations int
+	// EmpiricalRadius is the smallest violation distance found by
+	// directional search (+Inf when no direction violates within the
+	// excursion bound). A tight radius has EmpiricalRadius ≈ ρ; a sound
+	// one has EmpiricalRadius ≥ ρ (within Slack).
+	EmpiricalRadius float64
+	// Sound and Tight summarise the two properties. Tight uses a 5%
+	// relative margin: directional sampling only approaches the true
+	// minimising direction.
+	Sound, Tight bool
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("claimed ρ=%.6g empirical=%.6g interior %d/%d violations sound=%v tight=%v",
+		r.ClaimedRadius, r.EmpiricalRadius, r.InteriorViolations, r.InteriorSamples, r.Sound, r.Tight)
+}
+
+// violated reports whether any feature's bound fails at point x.
+func violated(features []core.Feature, x []float64, slack float64) bool {
+	for _, f := range features {
+		v := f.Impact.Eval(x)
+		if v > f.Bounds.Max+slack*math.Max(1, math.Abs(f.Bounds.Max)) ||
+			v < f.Bounds.Min-slack*math.Max(1, math.Abs(f.Bounds.Min)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Certify checks the claimed radius ρ of a feature set against the
+// perturbation's operating point. It is pure sampling — no use of the
+// analytic machinery being certified.
+func Certify(rng *stats.RNG, features []core.Feature, p core.Perturbation, rho float64, cfg Config) (Report, error) {
+	if len(features) == 0 {
+		return Report{}, fmt.Errorf("montecarlo: empty feature set")
+	}
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	if rho < 0 || math.IsNaN(rho) {
+		return Report{}, fmt.Errorf("montecarlo: invalid claimed radius %v", rho)
+	}
+	cfg = cfg.withDefaults()
+	rep := Report{ClaimedRadius: rho, EmpiricalRadius: math.Inf(1)}
+
+	// Soundness: no interior sample may violate.
+	if !math.IsInf(rho, 1) && rho > 0 {
+		for i := 0; i < cfg.InteriorSamples; i++ {
+			x := SampleInBall(rng, p.Orig, rho*(1-cfg.Slack))
+			rep.InteriorSamples++
+			if violated(features, x, cfg.Slack) {
+				rep.InteriorViolations++
+			}
+		}
+	}
+
+	// Tightness: directional first-violation search.
+	scale := math.Max(1, vecmath.Euclidean(p.Orig))
+	tMax := cfg.MaxExpand * math.Max(rho, scale)
+	if math.IsInf(rho, 1) {
+		tMax = cfg.MaxExpand * scale
+	}
+	buf := make([]float64, len(p.Orig))
+	for d := 0; d < cfg.Directions; d++ {
+		u := SampleDirection(rng, nil, len(p.Orig))
+		if t, ok := firstViolation(features, p.Orig, u, tMax, cfg.Slack, buf); ok && t < rep.EmpiricalRadius {
+			rep.EmpiricalRadius = t
+		}
+	}
+
+	rep.Sound = rep.InteriorViolations == 0 &&
+		(math.IsInf(rep.EmpiricalRadius, 1) || rep.EmpiricalRadius >= rho*(1-1e-6))
+	rep.Tight = math.IsInf(rho, 1) && math.IsInf(rep.EmpiricalRadius, 1) ||
+		(!math.IsInf(rho, 1) && rep.EmpiricalRadius <= rho*1.05)
+	return rep, nil
+}
+
+// firstViolation finds the smallest t ∈ (0, tMax] with a violation at
+// orig + t·u, by geometric bracketing followed by bisection. It returns
+// ok=false when the ray stays feasible up to tMax.
+func firstViolation(features []core.Feature, orig, u []float64, tMax, slack float64, buf []float64) (float64, bool) {
+	at := func(t float64) bool {
+		vecmath.AddScaled(buf, orig, t, u)
+		return violated(features, buf, slack)
+	}
+	if at(0) {
+		return 0, true
+	}
+	lo := 0.0
+	hi := tMax * 1e-9
+	if hi == 0 {
+		hi = 1e-9
+	}
+	for !at(hi) {
+		lo = hi
+		hi *= 2
+		if hi > tMax {
+			return 0, false
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*math.Max(1, hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if at(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}

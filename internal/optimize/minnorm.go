@@ -1,0 +1,265 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// Objective wraps an impact function f: ℝⁿ → ℝ and, optionally, its
+// gradient. When Grad is nil, central finite differences are used.
+type Objective struct {
+	// F evaluates the impact function.
+	F func(x []float64) float64
+	// Grad, if non-nil, stores ∇f(x) into dst (allocating when dst is nil)
+	// and returns it.
+	Grad func(dst, x []float64) []float64
+}
+
+// Gradient returns ∇f(x), using the analytic gradient when available and
+// central differences with step h otherwise. dst is reused when it has the
+// right length.
+func (o Objective) Gradient(dst, x []float64, h float64) []float64 {
+	if o.Grad != nil {
+		return o.Grad(dst, x)
+	}
+	if len(dst) != len(x) {
+		dst = make([]float64, len(x))
+	}
+	xx := vecmath.Clone(x)
+	for i := range x {
+		step := h * math.Max(1, math.Abs(x[i]))
+		xx[i] = x[i] + step
+		fp := o.F(xx)
+		xx[i] = x[i] - step
+		fm := o.F(xx)
+		xx[i] = x[i]
+		dst[i] = (fp - fm) / (2 * step)
+	}
+	return dst
+}
+
+// Options tunes the minimum-norm boundary solver. The zero value is not
+// usable; call DefaultOptions.
+type Options struct {
+	// Tol is the convergence tolerance on both the constraint residual
+	// (relative to |target|) and the distance improvement.
+	Tol float64
+	// MaxIter bounds the sequential-linearisation iterations per start.
+	MaxIter int
+	// Restarts is the number of additional random-direction starts used to
+	// escape poor initialisations (and to survive mild non-convexity).
+	Restarts int
+	// Seed drives the deterministic multistart direction sampling.
+	Seed int64
+	// GradStep is the relative finite-difference step for numeric
+	// gradients.
+	GradStep float64
+	// RayMax bounds the bracketing excursion along any ray, expressed as a
+	// multiple of (1 + ‖x₀‖). Level sets beyond it are treated as
+	// unreachable.
+	RayMax float64
+}
+
+// DefaultOptions returns solver settings that resolve the paper's systems
+// to ~1e-9 relative accuracy.
+func DefaultOptions() Options {
+	return Options{
+		Tol:      1e-10,
+		MaxIter:  200,
+		Restarts: 8,
+		Seed:     1,
+		GradStep: 1e-6,
+		RayMax:   1e9,
+	}
+}
+
+// Result reports a minimum-norm boundary solution.
+type Result struct {
+	// X is the boundary point found (f(X) = target within tolerance).
+	X []float64
+	// Distance is ‖X − x₀‖₂ — a robustness radius when x₀ = π^orig and
+	// target is a bound β.
+	Distance float64
+	// Iterations counts linearisation steps summed over restarts.
+	Iterations int
+	// Converged reports whether the last accepted iterate met the
+	// tolerance before hitting MaxIter.
+	Converged bool
+}
+
+// ErrUnreachable indicates that the level set f(x) = target could not be
+// reached from x₀ along any direction tried (e.g. a constant impact
+// function below its bound — the feature can never violate, so the
+// robustness radius is +Inf).
+var ErrUnreachable = errors.New("optimize: level set unreachable from the starting point")
+
+// MinNormToLevelSet solves min ‖x − x₀‖₂ s.t. f(x) = target using
+// sequential linearisation:
+//
+//  1. find any boundary point by searching along a ray from x₀ (the
+//     gradient direction first, then random restarts);
+//  2. at the current boundary point x_k, replace f by its tangent plane
+//     and project x₀ onto it (the exact solution for affine f);
+//  3. retract the projection back onto the true boundary along the ray
+//     from x₀ through it (scalar root find);
+//  4. repeat until the distance stops improving.
+//
+// For convex f this converges to the global minimum-norm point (the
+// iteration is a fixed point exactly at the KKT condition
+// x* − x₀ ∥ ∇f(x*)). For non-convex f, use AnnealMinDistance and take the
+// better of the two.
+//
+// If f(x₀) = target the distance is 0. The sign of f(x₀) − target selects
+// which side the boundary is approached from automatically.
+func MinNormToLevelSet(obj Objective, x0 []float64, target float64, opts Options) (Result, error) {
+	if opts.MaxIter <= 0 || opts.Tol <= 0 {
+		return Result{}, fmt.Errorf("optimize: invalid options %+v", opts)
+	}
+	f0 := obj.F(x0)
+	scale := math.Max(1, math.Abs(target))
+	if math.Abs(f0-target) <= opts.Tol*scale {
+		return Result{X: vecmath.Clone(x0), Distance: 0, Converged: true}, nil
+	}
+
+	rng := stats.NewRNG(opts.Seed)
+	n := len(x0)
+	best := Result{Distance: math.Inf(1)}
+	totalIter := 0
+
+	// Initial search directions: ±gradient at x₀, then random unit vectors.
+	grad0 := obj.Gradient(nil, x0, opts.GradStep)
+	dirs := make([][]float64, 0, opts.Restarts+2)
+	if g, norm := vecmath.Normalize(nil, grad0); norm > 0 {
+		dirs = append(dirs, g, vecmath.Scale(nil, -1, g))
+	}
+	for len(dirs) < opts.Restarts+2 {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		if u, norm := vecmath.Normalize(nil, d); norm > 0 {
+			dirs = append(dirs, u)
+		}
+	}
+
+	rayMax := opts.RayMax * (1 + vecmath.Euclidean(x0))
+	for _, dir := range dirs {
+		x, err := boundaryOnRay(obj, x0, dir, target, rayMax, opts)
+		if err != nil {
+			continue
+		}
+		res := refineBoundary(obj, x0, x, target, opts)
+		totalIter += res.Iterations
+		if res.Distance < best.Distance {
+			best = res
+		}
+		if best.Converged && best.Distance == 0 {
+			break
+		}
+	}
+	best.Iterations = totalIter
+	if math.IsInf(best.Distance, 1) {
+		return Result{}, ErrUnreachable
+	}
+	return best, nil
+}
+
+// boundaryOnRay finds the smallest t > 0 with f(x₀ + t·dir) = target.
+func boundaryOnRay(obj Objective, x0, dir []float64, target, rayMax float64, opts Options) ([]float64, error) {
+	buf := make([]float64, len(x0))
+	h := func(t float64) float64 {
+		vecmath.AddScaled(buf, x0, t, dir)
+		return obj.F(buf) - target
+	}
+	sign := 1.0
+	if h(0) > 0 {
+		sign = -1.0 // approach the level set from above
+	}
+	hi, err := BracketAbove(func(t float64) float64 { return sign * h(t) }, 1e-6, rayMax)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Bisect(h, 0, hi, opts.Tol*math.Max(1, math.Abs(target)), 200)
+	if err != nil && !errors.Is(err, ErrMaxIter) {
+		return nil, err
+	}
+	// Never hand back a point that is not actually on the level set: a
+	// bracketing interval can close onto a jump discontinuity (the level
+	// is skipped entirely) without |h| ever getting small.
+	if math.Abs(h(t)) > 1e-6*math.Max(1, math.Abs(target)) {
+		return nil, fmt.Errorf("%w: ray crossing is a discontinuity, |f−target|=%v", ErrNoBracket, math.Abs(h(t)))
+	}
+	return vecmath.AddScaled(nil, x0, t, dir), nil
+}
+
+// refineBoundary runs the linearise-project-retract loop from boundary
+// point x.
+func refineBoundary(obj Objective, x0, x []float64, target float64, opts Options) Result {
+	scale := math.Max(1, math.Abs(target))
+	rayMax := opts.RayMax * (1 + vecmath.Euclidean(x0))
+	dist := vecmath.Distance(x0, x)
+	grad := make([]float64, len(x))
+	converged := false
+	iters := 0
+	for ; iters < opts.MaxIter; iters++ {
+		grad = obj.Gradient(grad, x, opts.GradStep)
+		gnorm := vecmath.Euclidean(grad)
+		if gnorm == 0 {
+			break // flat spot: cannot linearise further
+		}
+		// Tangent plane at x: ∇f(x)·(y − x) = 0 shifted to pass through the
+		// level set, i.e. ∇f·y = ∇f·x + (target − f(x)).
+		c := vecmath.Dot(grad, x) + (target - obj.F(x))
+		plane := vecmath.Hyperplane{A: grad, C: c}
+		proj := plane.Project(nil, x0)
+		// Retract the projection onto the true boundary along the ray
+		// x₀ → proj.
+		dir := vecmath.Sub(nil, proj, x0)
+		u, norm := vecmath.Normalize(nil, dir)
+		var next []float64
+		if norm == 0 {
+			next = proj
+		} else {
+			var err error
+			next, err = boundaryOnRay(obj, x0, u, target, rayMax, opts)
+			if err != nil {
+				break
+			}
+		}
+		nd := vecmath.Distance(x0, next)
+		improved := nd < dist-opts.Tol*math.Max(1, dist)
+		if nd < dist {
+			x, dist = next, nd
+		}
+		onBoundary := math.Abs(obj.F(x)-target) <= 1e3*opts.Tol*scale
+		// KKT: at the optimum, (x−x₀) is parallel to ∇f(x).
+		if onBoundary && aligned(x0, x, obj.Gradient(grad, x, opts.GradStep), opts.Tol) {
+			converged = true
+			break
+		}
+		if !improved {
+			// Stalled without alignment (e.g. non-smooth boundary): accept
+			// the best point found as near-optimal if it is feasible.
+			converged = onBoundary
+			break
+		}
+	}
+	return Result{X: x, Distance: dist, Iterations: iters, Converged: converged}
+}
+
+// aligned reports whether x−x₀ and g point along the same line to within a
+// loose angular tolerance.
+func aligned(x0, x, g []float64, tol float64) bool {
+	d := vecmath.Sub(nil, x, x0)
+	nd := vecmath.Euclidean(d)
+	ng := vecmath.Euclidean(g)
+	if nd == 0 || ng == 0 {
+		return true
+	}
+	cos := math.Abs(vecmath.Dot(d, g)) / (nd * ng)
+	return cos >= 1-1e2*tol
+}

@@ -1,0 +1,124 @@
+// Package optimize implements the optimisation substrate behind step 4 of
+// the FePIA procedure: finding the minimum-Euclidean-norm perturbation that
+// drives an impact function onto a boundary relationship
+//
+//	min_x ‖x − x₀‖₂   subject to   f(x) = target.
+//
+// The paper observes (§3.2) that when f is convex this is a convex program
+// with an attainable global minimum; for affine f it collapses to the
+// point-to-hyperplane formula. This package provides
+//
+//   - scalar root finding (bracketing + hybrid bisection/secant),
+//   - golden-section minimisation,
+//   - numerical gradients,
+//   - a sequential-linearisation solver for the minimum-norm boundary
+//     problem with ray-retraction and multistart, and
+//   - a simulated-annealing fallback for non-convex impact functions,
+//     which the paper explicitly permits ("heuristic techniques can be
+//     used to find near-optimal solutions").
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket indicates a sign change could not be established for root
+// finding — typically the level set is unreachable along the ray searched.
+var ErrNoBracket = errors.New("optimize: could not bracket a root")
+
+// ErrMaxIter indicates an iteration limit was hit before reaching the
+// requested tolerance.
+var ErrMaxIter = errors.New("optimize: iteration limit exceeded")
+
+// Bisect finds a root of g in [lo, hi], where g(lo) and g(hi) must have
+// opposite signs (zero endpoints are returned immediately). It uses plain
+// bisection with a secant acceleration step when safe, achieving |g| ≤ tol
+// or an interval of width ≤ tol. It returns ErrMaxIter if maxIter halvings
+// do not suffice.
+func Bisect(g func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	glo, ghi := g(lo), g(hi)
+	if glo == 0 {
+		return lo, nil
+	}
+	if ghi == 0 {
+		return hi, nil
+	}
+	if math.IsNaN(glo) || math.IsNaN(ghi) || glo*ghi > 0 {
+		return 0, fmt.Errorf("%w: g(%v)=%v, g(%v)=%v", ErrNoBracket, lo, glo, hi, ghi)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		mid := 0.5 * (lo + hi)
+		// Secant candidate on alternate iterations only, and only when it
+		// lands strictly inside the bracket: a lone secant step can stall
+		// against a bracket endpoint of much larger magnitude (e.g. a
+		// saturation plateau), while alternating with bisection guarantees
+		// the interval halves at least every other iteration.
+		if d := ghi - glo; d != 0 && iter%2 == 1 {
+			sec := lo - glo*(hi-lo)/d
+			if sec > lo && sec < hi {
+				mid = sec
+			}
+		}
+		gm := g(mid)
+		if math.Abs(gm) <= tol || hi-lo <= tol {
+			return mid, nil
+		}
+		if glo*gm < 0 {
+			hi, ghi = mid, gm
+		} else {
+			lo, glo = mid, gm
+		}
+	}
+	return 0.5 * (lo + hi), ErrMaxIter
+}
+
+// BracketAbove expands an interval [0, t] geometrically until
+// g(t) ≥ 0 (given g(0) < 0), returning the bracketing t. It is used to find
+// where an increasing excursion crosses a boundary level. It fails with
+// ErrNoBracket if the level is not reached before tMax.
+func BracketAbove(g func(float64) float64, t0, tMax float64) (float64, error) {
+	if t0 <= 0 {
+		t0 = 1
+	}
+	for t := t0; t <= tMax; t *= 2 {
+		v := g(t)
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("%w: g(%v) is NaN", ErrNoBracket, t)
+		}
+		if v >= 0 {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no crossing before t=%v", ErrNoBracket, tMax)
+}
+
+// GoldenSection minimises a unimodal scalar function on [lo, hi] to within
+// tol, returning the minimiser. For non-unimodal functions it returns a
+// local minimiser.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	const invPhi = 0.6180339887498949 // 1/φ
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return 0.5 * (a + b)
+}

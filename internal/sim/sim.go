@@ -1,0 +1,294 @@
+// Package sim provides an event-driven execution simulator for the
+// independent-application system of §3.1 and Monte-Carlo experiments that
+// connect the robustness metric to empirical violation behaviour.
+//
+// The simulator is deliberately independent of the analytic code: machines
+// process their queues through a time-ordered event loop rather than by
+// summing vectors, so agreement between simulated makespans and Eq. 4's
+// finishing times is genuine cross-validation. On top of it, the violation
+// experiments demonstrate the metric's defining property empirically: ETC
+// error vectors with ‖δ‖₂ ≤ ρ never push the makespan past τ·M^orig,
+// while the violation probability rises once ‖δ‖₂ exceeds ρ.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"fepia/internal/hcs"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// Start marks an application beginning execution on its machine.
+	Start EventKind = iota
+	// Complete marks an application finishing.
+	Complete
+)
+
+// String returns "start" or "complete".
+func (k EventKind) String() string {
+	if k == Start {
+		return "start"
+	}
+	return "complete"
+}
+
+// Event is one entry of the execution trace.
+type Event struct {
+	// Time is the simulation clock at the event.
+	Time float64
+	// App and Machine identify the work.
+	App, Machine int
+	// Kind is Start or Complete.
+	Kind EventKind
+}
+
+// Trace is the outcome of one simulated execution.
+type Trace struct {
+	// StartTime and FinishTime are per-application clocks.
+	StartTime, FinishTime []float64
+	// MachineFinish is F_j per machine.
+	MachineFinish []float64
+	// Makespan is the completion time of the whole set.
+	Makespan float64
+	// Events is the time-ordered log.
+	Events []Event
+}
+
+// machineItem orders machines by their next idle time in the event loop.
+type machineItem struct {
+	idleAt  float64
+	machine int
+	queue   []int // remaining applications, in assignment order
+}
+
+type machineHeap []*machineItem
+
+func (h machineHeap) Len() int { return len(h) }
+func (h machineHeap) Less(i, j int) bool {
+	if h[i].idleAt != h[j].idleAt {
+		return h[i].idleAt < h[j].idleAt
+	}
+	return h[i].machine < h[j].machine
+}
+func (h machineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *machineHeap) Push(x interface{}) { *h = append(*h, x.(*machineItem)) }
+func (h *machineHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the mapping under the actual execution-time vector c
+// (len |A|): each machine executes its assigned applications one at a time
+// in assignment order, exactly the §3.1 model. It returns the full trace.
+func Run(m *hcs.Mapping, c []float64) (*Trace, error) {
+	inst := m.Instance()
+	if len(c) != inst.Applications() {
+		return nil, fmt.Errorf("sim: execution-time vector length %d, want %d", len(c), inst.Applications())
+	}
+	for i, x := range c {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("sim: execution time %d = %v must be finite and ≥ 0", i, x)
+		}
+	}
+	tr := &Trace{
+		StartTime:     make([]float64, inst.Applications()),
+		FinishTime:    make([]float64, inst.Applications()),
+		MachineFinish: make([]float64, inst.Machines()),
+	}
+	var mh machineHeap
+	for j := 0; j < inst.Machines(); j++ {
+		q := m.OnMachine(j)
+		if len(q) == 0 {
+			continue
+		}
+		mh = append(mh, &machineItem{machine: j, queue: q})
+	}
+	heap.Init(&mh)
+	for mh.Len() > 0 {
+		it := heap.Pop(&mh).(*machineItem)
+		app := it.queue[0]
+		it.queue = it.queue[1:]
+		start := it.idleAt
+		finish := start + c[app]
+		tr.StartTime[app] = start
+		tr.FinishTime[app] = finish
+		tr.MachineFinish[it.machine] = finish
+		tr.Events = append(tr.Events,
+			Event{Time: start, App: app, Machine: it.machine, Kind: Start},
+			Event{Time: finish, App: app, Machine: it.machine, Kind: Complete},
+		)
+		if finish > tr.Makespan {
+			tr.Makespan = finish
+		}
+		if len(it.queue) > 0 {
+			it.idleAt = finish
+			heap.Push(&mh, it)
+		}
+	}
+	return tr, nil
+}
+
+// ErrorModel samples actual execution-time vectors around the estimates.
+type ErrorModel interface {
+	// Sample returns the actual times given the estimates. Times are
+	// clamped at 0 (an application cannot take negative time).
+	Sample(rng *stats.RNG, orig []float64) []float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// GaussianError adds independent N(0, σ²) noise per application;
+// Relative scales σ by each estimate.
+type GaussianError struct {
+	Sigma    float64
+	Relative bool
+}
+
+// Name implements ErrorModel.
+func (g GaussianError) Name() string {
+	if g.Relative {
+		return fmt.Sprintf("gaussian-rel(%.3g)", g.Sigma)
+	}
+	return fmt.Sprintf("gaussian(%.3g)", g.Sigma)
+}
+
+// Sample implements ErrorModel.
+func (g GaussianError) Sample(rng *stats.RNG, orig []float64) []float64 {
+	out := make([]float64, len(orig))
+	for i, x := range orig {
+		s := g.Sigma
+		if g.Relative {
+			s *= x
+		}
+		out[i] = math.Max(0, x+s*rng.NormFloat64())
+	}
+	return out
+}
+
+// SphereError places the error vector uniformly on the sphere of the given
+// radius — the exact geometry of the robustness radius.
+type SphereError struct {
+	Radius float64
+}
+
+// Name implements ErrorModel.
+func (s SphereError) Name() string { return fmt.Sprintf("sphere(%.4g)", s.Radius) }
+
+// Sample implements ErrorModel.
+func (s SphereError) Sample(rng *stats.RNG, orig []float64) []float64 {
+	dir := make([]float64, len(orig))
+	for {
+		for i := range dir {
+			dir[i] = rng.NormFloat64()
+		}
+		if _, n := vecmath.Normalize(dir, dir); n > 0 {
+			break
+		}
+	}
+	out := make([]float64, len(orig))
+	for i, x := range orig {
+		out[i] = math.Max(0, x+s.Radius*dir[i])
+	}
+	return out
+}
+
+// ViolationStats summarises a Monte-Carlo violation experiment.
+type ViolationStats struct {
+	// Samples is the number of simulated executions.
+	Samples int
+	// Violations counts makespans exceeding τ·M^orig.
+	Violations int
+	// WithinRadius counts samples whose error norm was ≤ ρ.
+	WithinRadius int
+	// WithinRadiusViolations counts violations among those — the metric
+	// guarantees this is zero.
+	WithinRadiusViolations int
+	// MeanMakespan is the average simulated makespan.
+	MeanMakespan float64
+}
+
+// Probability returns Violations/Samples.
+func (v ViolationStats) Probability() float64 {
+	if v.Samples == 0 {
+		return math.NaN()
+	}
+	return float64(v.Violations) / float64(v.Samples)
+}
+
+// Violation runs n simulated executions under the error model and counts
+// makespan violations relative to tolerance tau, tracking the ρ-ball
+// guarantee separately (rho is the precomputed robustness metric of the
+// mapping; pass math.Inf(1) to skip the tracking).
+func Violation(rng *stats.RNG, m *hcs.Mapping, tau, rho float64, model ErrorModel, n int) (ViolationStats, error) {
+	if n <= 0 {
+		return ViolationStats{}, fmt.Errorf("sim: sample count %d must be positive", n)
+	}
+	if !(tau >= 1) {
+		return ViolationStats{}, fmt.Errorf("sim: tau = %v must be ≥ 1", tau)
+	}
+	orig := m.ETCVector()
+	bound := tau * m.PredictedMakespan()
+	var out ViolationStats
+	var meansum vecmath.KahanSum
+	for i := 0; i < n; i++ {
+		c := model.Sample(rng, orig)
+		tr, err := Run(m, c)
+		if err != nil {
+			return ViolationStats{}, err
+		}
+		out.Samples++
+		meansum.Add(tr.Makespan)
+		violated := tr.Makespan > bound*(1+1e-12)
+		if violated {
+			out.Violations++
+		}
+		if vecmath.Distance(c, orig) <= rho {
+			out.WithinRadius++
+			if violated {
+				out.WithinRadiusViolations++
+			}
+		}
+	}
+	out.MeanMakespan = meansum.Sum() / float64(out.Samples)
+	return out, nil
+}
+
+// CurvePoint is one point of the violation-probability curve.
+type CurvePoint struct {
+	// Radius is the error-sphere radius ‖δ‖₂.
+	Radius float64
+	// Probability is the estimated P(violation | ‖δ‖₂ = Radius).
+	Probability float64
+}
+
+// ViolationCurve estimates P(violation) as a function of the error norm by
+// sampling on spheres of the given radii. The defining property of the
+// robustness metric shows as a step: exactly 0 for radii ≤ ρ, positive
+// beyond (approaching 1 as the sphere leaves the robust region entirely).
+func ViolationCurve(rng *stats.RNG, m *hcs.Mapping, tau float64, radii []float64, perRadius int) ([]CurvePoint, error) {
+	if perRadius <= 0 {
+		return nil, fmt.Errorf("sim: perRadius = %d must be positive", perRadius)
+	}
+	curve := make([]CurvePoint, 0, len(radii))
+	for _, r := range radii {
+		if r < 0 {
+			return nil, fmt.Errorf("sim: negative radius %v", r)
+		}
+		st, err := Violation(rng, m, tau, math.Inf(1), SphereError{Radius: r}, perRadius)
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, CurvePoint{Radius: r, Probability: st.Probability()})
+	}
+	return curve, nil
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+func paperMapping(t *testing.T, seed int64) *hcs.Mapping {
+	t.Helper()
+	etc, err := etcgen.Generate(stats.NewRNG(seed), etcgen.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := hcs.NewInstance(etc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hcs.RandomMapping(stats.NewRNG(seed+1), inst)
+}
+
+func TestRunMatchesAnalyticFinishingTimes(t *testing.T) {
+	// The event loop and Eq. 4 must agree on every machine finish time.
+	m := paperMapping(t, 1)
+	c := m.ETCVector()
+	tr, err := Run(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.FinishingTimes(c)
+	for j := range want {
+		if math.Abs(tr.MachineFinish[j]-want[j]) > 1e-9 {
+			t.Errorf("machine %d: simulated %v analytic %v", j, tr.MachineFinish[j], want[j])
+		}
+	}
+	if math.Abs(tr.Makespan-m.Makespan(c)) > 1e-9 {
+		t.Errorf("makespan: simulated %v analytic %v", tr.Makespan, m.Makespan(c))
+	}
+}
+
+func TestRunTraceStructure(t *testing.T) {
+	inst, _ := hcs.NewInstance(etcgen.Matrix{{2, 9}, {3, 9}, {9, 4}})
+	m, _ := hcs.NewMapping(inst, []int{0, 0, 1})
+	tr, err := Run(m, m.ETCVector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a0 on m0: [0,2); a1 on m0: [2,5); a2 on m1: [0,4).
+	if tr.StartTime[0] != 0 || tr.FinishTime[0] != 2 {
+		t.Errorf("a0 times = %v,%v", tr.StartTime[0], tr.FinishTime[0])
+	}
+	if tr.StartTime[1] != 2 || tr.FinishTime[1] != 5 {
+		t.Errorf("a1 times = %v,%v", tr.StartTime[1], tr.FinishTime[1])
+	}
+	if tr.StartTime[2] != 0 || tr.FinishTime[2] != 4 {
+		t.Errorf("a2 times = %v,%v", tr.StartTime[2], tr.FinishTime[2])
+	}
+	if tr.Makespan != 5 {
+		t.Errorf("makespan = %v", tr.Makespan)
+	}
+	// Each application gets exactly one Start and one Complete, start ≤
+	// complete, and per-machine intervals do not overlap.
+	starts := map[int]float64{}
+	completes := map[int]float64{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case Start:
+			starts[e.App] = e.Time
+		case Complete:
+			completes[e.App] = e.Time
+		}
+		if e.Kind.String() == "" {
+			t.Errorf("empty kind string")
+		}
+	}
+	if len(starts) != 3 || len(completes) != 3 {
+		t.Fatalf("event counts: %d starts %d completes", len(starts), len(completes))
+	}
+	for j := 0; j < inst.Machines(); j++ {
+		apps := m.OnMachine(j)
+		sort.Slice(apps, func(a, b int) bool { return starts[apps[a]] < starts[apps[b]] })
+		for i := 1; i < len(apps); i++ {
+			if starts[apps[i]] < completes[apps[i-1]]-1e-12 {
+				t.Errorf("machine %d overlap between a%d and a%d", j, apps[i-1], apps[i])
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := paperMapping(t, 2)
+	if _, err := Run(m, []float64{1}); err == nil {
+		t.Errorf("short vector accepted")
+	}
+	bad := m.ETCVector()
+	bad[0] = -1
+	if _, err := Run(m, bad); err == nil {
+		t.Errorf("negative time accepted")
+	}
+	bad[0] = math.NaN()
+	if _, err := Run(m, bad); err == nil {
+		t.Errorf("NaN time accepted")
+	}
+}
+
+func TestErrorModels(t *testing.T) {
+	rng := stats.NewRNG(3)
+	orig := []float64{10, 20, 30}
+	g := GaussianError{Sigma: 1}
+	c := g.Sample(rng, orig)
+	if len(c) != 3 {
+		t.Fatalf("sample length %d", len(c))
+	}
+	for _, x := range c {
+		if x < 0 {
+			t.Errorf("negative sampled time")
+		}
+	}
+	gr := GaussianError{Sigma: 0.1, Relative: true}
+	if gr.Name() == g.Name() || gr.Name() == "" {
+		t.Errorf("names: %q vs %q", g.Name(), gr.Name())
+	}
+	s := SphereError{Radius: 2}
+	c = s.Sample(rng, orig)
+	var norm2 float64
+	for i := range c {
+		d := c[i] - orig[i]
+		norm2 += d * d
+	}
+	// Clamping can only shrink the norm; with these magnitudes it should
+	// be exact.
+	if math.Abs(math.Sqrt(norm2)-2) > 1e-9 {
+		t.Errorf("sphere sample norm = %v", math.Sqrt(norm2))
+	}
+	if s.Name() == "" {
+		t.Errorf("empty sphere name")
+	}
+}
+
+func TestViolationGuarantee(t *testing.T) {
+	// Within the ρ-ball there must be zero violations; the experiment
+	// tracks that directly.
+	m := paperMapping(t, 4)
+	res, err := indalloc.Evaluate(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	st, err := Violation(rng, m, 1.2, res.Robustness, GaussianError{Sigma: res.Robustness / 4}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WithinRadius == 0 {
+		t.Fatalf("no samples landed inside the radius; test is vacuous")
+	}
+	if st.WithinRadiusViolations != 0 {
+		t.Errorf("%d violations inside the ρ-ball", st.WithinRadiusViolations)
+	}
+	if st.Samples != 3000 {
+		t.Errorf("samples = %d", st.Samples)
+	}
+	if math.IsNaN(st.Probability()) {
+		t.Errorf("probability NaN")
+	}
+	if st.MeanMakespan <= 0 {
+		t.Errorf("mean makespan = %v", st.MeanMakespan)
+	}
+}
+
+func TestViolationCurveStepsAtRho(t *testing.T) {
+	m := paperMapping(t, 6)
+	res, err := indalloc.Evaluate(m, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := res.Robustness
+	radii := []float64{0.25 * rho, 0.5 * rho, 0.99 * rho, 1.5 * rho, 3 * rho, 10 * rho}
+	rng := stats.NewRNG(7)
+	curve, err := ViolationCurve(rng, m, 1.2, radii, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly zero at and below ρ.
+	for _, pt := range curve[:3] {
+		if pt.Probability != 0 {
+			t.Errorf("violation probability %v at radius %v ≤ ρ=%v", pt.Probability, pt.Radius, rho)
+		}
+	}
+	// Positive well beyond ρ (10ρ spheres almost surely cross a boundary
+	// in at least one of 400 draws).
+	if curve[len(curve)-1].Probability == 0 {
+		t.Errorf("no violations at 10ρ")
+	}
+	// Monotone non-decreasing in radius (within sampling noise we just
+	// require the last point to dominate the first positive one).
+	first := -1.0
+	for _, pt := range curve {
+		if pt.Probability > 0 {
+			first = pt.Probability
+			break
+		}
+	}
+	if first > 0 && curve[len(curve)-1].Probability < first {
+		t.Errorf("violation curve decreased: %v", curve)
+	}
+}
+
+func TestViolationValidation(t *testing.T) {
+	m := paperMapping(t, 8)
+	rng := stats.NewRNG(9)
+	if _, err := Violation(rng, m, 1.2, 1, GaussianError{Sigma: 1}, 0); err == nil {
+		t.Errorf("zero samples accepted")
+	}
+	if _, err := Violation(rng, m, 0.5, 1, GaussianError{Sigma: 1}, 10); err == nil {
+		t.Errorf("bad tau accepted")
+	}
+	if _, err := ViolationCurve(rng, m, 1.2, []float64{-1}, 10); err == nil {
+		t.Errorf("negative radius accepted")
+	}
+	if _, err := ViolationCurve(rng, m, 1.2, []float64{1}, 0); err == nil {
+		t.Errorf("zero perRadius accepted")
+	}
+}

@@ -1,0 +1,285 @@
+// Package spec parses JSON descriptions of arbitrary systems into the
+// FePIA vocabulary, so the robustness analysis can be run from the command
+// line without writing Go (cmd/fepia and cmd/certify build on it). A spec
+// captures the outcome of FePIA steps 1–3 — features with bounds,
+// perturbation parameter, impact functions — and the tool performs step 4.
+//
+// Format:
+//
+//	{
+//	  "name": "web farm",
+//	  "perturbation": {
+//	    "name": "λ", "orig": [300, 200], "units": "req/s", "discrete": false
+//	  },
+//	  "norm": "l2",                      // optional: l2 (default), l1, linf
+//	  "features": [
+//	    {
+//	      "name": "T(edge)",
+//	      "max": 0.01,                   // omit min/max for one-sided bounds
+//	      "impact": {"type": "linear", "coeffs": [0.9, 1.1], "offset": 0}
+//	    },
+//	    {
+//	      "name": "T(db)",
+//	      "max": 0.05,
+//	      "impact": {"type": "terms", "terms": [
+//	        {"kind": "power", "index": 0, "coeff": 2.5, "p": 2},
+//	        {"kind": "xlogx", "index": 1, "coeff": 0.3}
+//	      ]}
+//	    }
+//	  ]
+//	}
+//
+// "terms" impacts are built from the §3.2 convex forms (linear, power with
+// p ≥ 1, exp with p > 0, xlogx) and are therefore convex and analysed with
+// the global convex solver.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"fepia/internal/convexfn"
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	// Name labels reports.
+	Name string `json:"name"`
+	// Perturbation is FePIA step 2.
+	Perturbation PerturbationSpec `json:"perturbation"`
+	// Norm selects the perturbation-space norm: "l2" (default), "l1",
+	// "linf".
+	Norm string `json:"norm,omitempty"`
+	// Features is FePIA steps 1 and 3.
+	Features []FeatureSpec `json:"features"`
+}
+
+// PerturbationSpec mirrors core.Perturbation.
+type PerturbationSpec struct {
+	Name     string    `json:"name"`
+	Orig     []float64 `json:"orig"`
+	Units    string    `json:"units,omitempty"`
+	Discrete bool      `json:"discrete,omitempty"`
+}
+
+// FeatureSpec is one performance feature. Min/Max are pointers so "absent"
+// (one-sided bound) is distinguishable from zero.
+type FeatureSpec struct {
+	Name   string     `json:"name"`
+	Min    *float64   `json:"min,omitempty"`
+	Max    *float64   `json:"max,omitempty"`
+	Impact ImpactSpec `json:"impact"`
+}
+
+// ImpactSpec describes an impact function.
+type ImpactSpec struct {
+	// Type is "linear" or "terms".
+	Type string `json:"type"`
+	// Coeffs and Offset apply to "linear".
+	Coeffs []float64 `json:"coeffs,omitempty"`
+	Offset float64   `json:"offset,omitempty"`
+	// Terms applies to "terms".
+	Terms []TermSpec `json:"terms,omitempty"`
+}
+
+// TermSpec is one convex term.
+type TermSpec struct {
+	// Kind is "linear", "power", "exp", or "xlogx".
+	Kind string `json:"kind"`
+	// Index is the perturbation component the term depends on.
+	Index int `json:"index"`
+	// Coeff is the non-negative multiplier.
+	Coeff float64 `json:"coeff"`
+	// P is the exponent/rate for "power" and "exp".
+	P float64 `json:"p,omitempty"`
+}
+
+// System is a parsed, validated spec ready for analysis.
+type System struct {
+	// Name labels reports.
+	Name string
+	// Features is Φ.
+	Features []core.Feature
+	// Perturbation is π with its operating point.
+	Perturbation core.Perturbation
+	// Options carries the norm selection.
+	Options core.Options
+}
+
+// Parse decodes and validates a JSON spec.
+func Parse(data []byte) (*System, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return Build(f)
+}
+
+// Build validates a decoded File and assembles the analysable system.
+func Build(f File) (*System, error) {
+	p := core.Perturbation{
+		Name:     f.Perturbation.Name,
+		Orig:     vecmath.Clone(f.Perturbation.Orig),
+		Units:    f.Perturbation.Units,
+		Discrete: f.Perturbation.Discrete,
+	}
+	if p.Name == "" {
+		p.Name = "π"
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dim := len(p.Orig)
+
+	var opts core.Options
+	switch f.Norm {
+	case "", "l2":
+		opts.Norm = vecmath.L2{}
+	case "l1":
+		opts.Norm = vecmath.L1{}
+	case "linf":
+		opts.Norm = vecmath.LInf{}
+	default:
+		return nil, fmt.Errorf("spec: unknown norm %q (want l2, l1, or linf)", f.Norm)
+	}
+
+	if len(f.Features) == 0 {
+		return nil, fmt.Errorf("spec: no features")
+	}
+	features := make([]core.Feature, 0, len(f.Features))
+	for i, fs := range f.Features {
+		name := fs.Name
+		if name == "" {
+			name = fmt.Sprintf("phi_%d", i+1)
+		}
+		bounds := core.Bounds{Min: math.Inf(-1), Max: math.Inf(1)}
+		if fs.Min != nil {
+			bounds.Min = *fs.Min
+		}
+		if fs.Max != nil {
+			bounds.Max = *fs.Max
+		}
+		if fs.Min == nil && fs.Max == nil {
+			return nil, fmt.Errorf("spec: feature %q has neither min nor max", name)
+		}
+		impact, err := buildImpact(fs.Impact, dim)
+		if err != nil {
+			return nil, fmt.Errorf("spec: feature %q: %w", name, err)
+		}
+		feature := core.Feature{Name: name, Impact: impact, Bounds: bounds}
+		if err := feature.Validate(); err != nil {
+			return nil, err
+		}
+		features = append(features, feature)
+	}
+	return &System{Name: f.Name, Features: features, Perturbation: p, Options: opts}, nil
+}
+
+// buildImpact assembles the impact function of one feature.
+func buildImpact(is ImpactSpec, dim int) (core.Impact, error) {
+	switch is.Type {
+	case "linear":
+		if len(is.Coeffs) != dim {
+			return nil, fmt.Errorf("%d coefficients for a %d-dimensional perturbation", len(is.Coeffs), dim)
+		}
+		return core.NewLinearImpact(is.Coeffs, is.Offset)
+	case "terms":
+		if len(is.Terms) == 0 {
+			return nil, fmt.Errorf("empty term list")
+		}
+		var c convexfn.Complexity
+		for _, ts := range is.Terms {
+			kind, err := parseKind(ts.Kind)
+			if err != nil {
+				return nil, err
+			}
+			c = append(c, convexfn.Term{Kind: kind, Index: ts.Index, Coeff: ts.Coeff, P: ts.P})
+		}
+		if err := c.Validate(dim); err != nil {
+			return nil, err
+		}
+		if c.IsLinear() {
+			return core.NewLinearImpact(c.LinearCoeffs(dim), 0)
+		}
+		cc := c
+		return &core.FuncImpact{
+			N:      dim,
+			F:      cc.Eval,
+			Grad:   cc.Gradient,
+			Convex: true,
+		}, nil
+	case "":
+		return nil, fmt.Errorf("impact type missing")
+	default:
+		return nil, fmt.Errorf("unknown impact type %q (want linear or terms)", is.Type)
+	}
+}
+
+// parseKind maps the JSON kind strings onto TermKind.
+func parseKind(s string) (convexfn.TermKind, error) {
+	switch s {
+	case "linear":
+		return convexfn.LinearTerm, nil
+	case "power":
+		return convexfn.PowerTerm, nil
+	case "exp":
+		return convexfn.ExpTerm, nil
+	case "xlogx":
+		return convexfn.XLogXTerm, nil
+	default:
+		return 0, fmt.Errorf("unknown term kind %q (want linear, power, exp, or xlogx)", s)
+	}
+}
+
+// ResultJSON is the machine-readable analysis output of cmd/fepia.
+type ResultJSON struct {
+	Name         string       `json:"name,omitempty"`
+	Perturbation string       `json:"perturbation"`
+	Units        string       `json:"units,omitempty"`
+	Robustness   float64      `json:"robustness"`
+	Critical     string       `json:"critical_feature,omitempty"`
+	Radii        []RadiusJSON `json:"radii"`
+}
+
+// RadiusJSON is one feature's radius.
+type RadiusJSON struct {
+	Feature  string    `json:"feature"`
+	Radius   float64   `json:"radius"`
+	Kind     string    `json:"bound"`
+	Boundary []float64 `json:"boundary,omitempty"`
+}
+
+// Encode converts an analysis into the JSON result document.
+// Non-finite radii are serialised as the string "inf" by the caller's
+// encoder settings; to stay plain-JSON compatible they are emitted as −1
+// with the bound "unreachable".
+func Encode(name string, a core.Analysis) ResultJSON {
+	out := ResultJSON{
+		Name:         name,
+		Perturbation: a.Perturbation,
+		Units:        a.Units,
+		Robustness:   finiteOr(a.Robustness, -1),
+	}
+	if cf := a.CriticalFeature(); cf != nil {
+		out.Critical = cf.Feature
+	}
+	for _, r := range a.Radii {
+		out.Radii = append(out.Radii, RadiusJSON{
+			Feature:  r.Feature,
+			Radius:   finiteOr(r.Radius, -1),
+			Kind:     r.Kind.String(),
+			Boundary: r.Boundary,
+		})
+	}
+	return out
+}
+
+func finiteOr(x, alt float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return alt
+	}
+	return x
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v, or NaN for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	var sum, c float64
+	for _, x := range v {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			c += (sum - t) + x
+		} else {
+			c += (x - t) + sum
+		}
+		sum = t
+	}
+	return (sum + c) / float64(len(v))
+}
+
+// Variance returns the unbiased sample variance of v (n−1 denominator),
+// or NaN when fewer than two samples are provided.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return math.NaN()
+	}
+	m := Mean(v)
+	var ss float64
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(v)-1)
+}
+
+// StdDev returns the sample standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// CV returns the coefficient of variation (std-dev / mean) — the
+// "heterogeneity" measure of reference [3]. NaN if the mean is zero or
+// fewer than two samples are given.
+func CV(v []float64) float64 {
+	m := Mean(v)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(v) / m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of v using linear
+// interpolation between order statistics. It panics on an empty slice or an
+// out-of-range q.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile of v.
+func Median(v []float64) float64 { return Quantile(v, 0.5) }
+
+// Pearson returns the Pearson product-moment correlation of the paired
+// samples x and y. It panics on mismatched lengths and returns NaN when
+// either series has zero variance or fewer than two points.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of the paired samples,
+// using average ranks for ties.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Spearman length mismatch %d vs %d", len(x), len(y)))
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns the 1-based ranks of v with ties assigned their average
+// rank (fractional ranks).
+func Ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Summary bundles the descriptive statistics reported in EXPERIMENTS.md.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Max         float64
+	Median           float64
+	Q1, Q3           float64
+	CoefficientOfVar float64
+}
+
+// Describe computes a Summary of v. It panics on an empty slice.
+func Describe(v []float64) Summary {
+	if len(v) == 0 {
+		panic("stats: Describe of empty slice")
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return Summary{
+		N:                len(v),
+		Mean:             Mean(v),
+		StdDev:           StdDev(v),
+		Min:              s[0],
+		Max:              s[len(s)-1],
+		Median:           Quantile(s, 0.5),
+		Q1:               Quantile(s, 0.25),
+		Q3:               Quantile(s, 0.75),
+		CoefficientOfVar: CV(v),
+	}
+}
+
+// String renders the summary on one line for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g cv=%.3g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.CoefficientOfVar)
+}
+
+// Histogram counts v into nbins equal-width bins spanning [min, max]. Values
+// exactly at max land in the last bin. It returns the bin edges
+// (nbins+1 values) and counts (nbins values). It panics if nbins < 1 or v is
+// empty.
+func Histogram(v []float64, nbins int) (edges []float64, counts []int) {
+	if nbins < 1 {
+		panic("stats: Histogram needs nbins >= 1")
+	}
+	if len(v) == 0 {
+		panic("stats: Histogram of empty slice")
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo == hi { // degenerate: single-valued data
+		hi = lo + 1
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range v {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := Variance(v); !approx(s, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Errorf("degenerate inputs should be NaN")
+	}
+}
+
+func TestCV(t *testing.T) {
+	// CV of a constant-plus-spread set around mean 10.
+	v := []float64{8, 12}
+	want := StdDev(v) / 10
+	if got := CV(v); !approx(got, want, 1e-12) {
+		t.Errorf("CV = %v want %v", got, want)
+	}
+	if !math.IsNaN(CV([]float64{-1, 1})) {
+		t.Errorf("CV with zero mean should be NaN")
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if q := Median(v); q != 2 {
+		t.Errorf("Median = %v", q)
+	}
+	if q := Quantile(v, 0); q != 1 {
+		t.Errorf("Q0 = %v", q)
+	}
+	if q := Quantile(v, 1); q != 3 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if q := Quantile([]float64{1, 2}, 0.5); q != 1.5 {
+		t.Errorf("interpolated median = %v", q)
+	}
+	if q := Quantile([]float64{7}, 0.9); q != 7 {
+		t.Errorf("single-element quantile = %v", q)
+	}
+	// Input must not be reordered.
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Errorf("Quantile mutated its input: %v", v)
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	yUp := []float64{2, 4, 6, 8}
+	yDown := []float64{8, 6, 4, 2}
+	if r := Pearson(x, yUp); !approx(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", r)
+	}
+	if r := Pearson(x, yDown); !approx(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", r)
+	}
+	if !math.IsNaN(Pearson(x, []float64{5, 5, 5, 5})) {
+		t.Errorf("zero-variance series should give NaN")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly increasing transform has Spearman exactly 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if r := Spearman(x, y); !approx(r, 1, 1e-12) {
+		t.Errorf("Spearman of monotone transform = %v", r)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v want %v", r, want)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if s.String() == "" {
+		t.Errorf("empty summary string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 0.5, 1, 1.5, 2}, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("Histogram shapes: %v %v", edges, counts)
+	}
+	if counts[0]+counts[1] != 5 {
+		t.Errorf("Histogram lost samples: %v", counts)
+	}
+	if counts[1] == 0 {
+		t.Errorf("max value not in last bin: %v", counts)
+	}
+	// Degenerate single-value input still bins everything.
+	_, c := Histogram([]float64{3, 3, 3}, 4)
+	total := 0
+	for _, x := range c {
+		total += x
+	}
+	if total != 3 {
+		t.Errorf("degenerate histogram lost samples: %v", c)
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	// The mean always lies within [min, max].
+	f := func(raw []float64) bool {
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, math.Mod(x, 1e9))
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		m := Mean(v)
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPearsonRange(t *testing.T) {
+	f := func(rawX, rawY []float64) bool {
+		n := len(rawX)
+		if len(rawY) < n {
+			n = len(rawY)
+		}
+		if n < 2 {
+			return true
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = math.Mod(sanitize(rawX[i]), 1e6)
+			y[i] = math.Mod(sanitize(rawY[i]), 1e6)
+		}
+		r := Pearson(x, y)
+		return math.IsNaN(r) || (r >= -1-1e-9 && r <= 1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return x
+}

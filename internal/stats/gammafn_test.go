@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegIncGammaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, x, want float64
+	}{
+		// P(1, x) = 1 − e^{−x} (exponential).
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 2, 1 - math.Exp(-2)},
+		// P(0.5, x) = erf(√x).
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		// P(2, x) = 1 − (1+x)e^{−x}.
+		{2, 3, 1 - 4*math.Exp(-3)},
+		// Continued-fraction branch (x ≥ a+1).
+		{3, 10, 1 - (1+10+50)*math.Exp(-10)},
+	}
+	for _, c := range cases {
+		got, err := RegIncGamma(c.a, c.x)
+		if err != nil {
+			t.Fatalf("P(%v,%v): %v", c.a, c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P(%v,%v) = %.15f want %.15f", c.a, c.x, got, c.want)
+		}
+	}
+	// Edges.
+	if p, _ := RegIncGamma(2, 0); p != 0 {
+		t.Errorf("P(2,0) = %v", p)
+	}
+	if p, _ := RegIncGamma(2, math.Inf(1)); p != 1 {
+		t.Errorf("P(2,∞) = %v", p)
+	}
+	for _, bad := range [][2]float64{{0, 1}, {-1, 1}, {1, -1}, {1, math.NaN()}} {
+		if _, err := RegIncGamma(bad[0], bad[1]); err == nil {
+			t.Errorf("P(%v,%v) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestRegIncGammaMonotone(t *testing.T) {
+	// P(a, ·) is a CDF: non-decreasing from 0 to 1.
+	for _, a := range []float64{0.3, 1, 2.04, 7, 25} {
+		prev := 0.0
+		for x := 0.0; x <= 80; x += 0.25 {
+			p, err := RegIncGamma(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				t.Fatalf("P(%v,%v) = %v not monotone in [0,1]", a, x, p)
+			}
+			prev = p
+		}
+		if prev < 0.999 {
+			t.Errorf("P(%v, 80) = %v, should be ≈1", a, prev)
+		}
+	}
+}
+
+func TestGammaCDF(t *testing.T) {
+	// Median of Gamma(1, θ) is θ·ln 2.
+	p, err := GammaCDF(1, 3, 3*math.Ln2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("CDF at median = %v", p)
+	}
+	if p, _ := GammaCDF(2, 1, -5); p != 0 {
+		t.Errorf("negative x CDF = %v", p)
+	}
+	if _, err := GammaCDF(0, 1, 1); err == nil {
+		t.Errorf("bad shape accepted")
+	}
+}
+
+func TestKSAcceptsTrueDistribution(t *testing.T) {
+	// Samples from Gamma(shape, scale) must pass the KS test against
+	// their own CDF at any sane significance level.
+	g := NewRNG(31)
+	const shape, scale = 1 / (0.7 * 0.7), 10 * 0.7 * 0.7 // the paper's mean-10, CV-0.7
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = g.Gamma(shape, scale)
+	}
+	d, p, err := KSOneSample(samples, func(x float64) (float64, error) {
+		return GammaCDF(shape, scale, x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("true distribution rejected: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	// Exponential samples tested against a Gamma(3, ·) CDF must fail.
+	g := NewRNG(32)
+	samples := make([]float64, 3000)
+	for i := range samples {
+		samples[i] = g.ExpFloat64() * 10
+	}
+	d, p, err := KSOneSample(samples, func(x float64) (float64, error) {
+		return GammaCDF(3, 10.0/3, x) // same mean, wrong shape
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("wrong distribution not rejected: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	if _, _, err := KSOneSample(nil, func(x float64) (float64, error) { return 0, nil }); err == nil {
+		t.Errorf("empty samples accepted")
+	}
+	if _, _, err := KSOneSample([]float64{1}, func(x float64) (float64, error) { return 2, nil }); err == nil {
+		t.Errorf("out-of-range CDF accepted")
+	}
+	if _, _, err := KSOneSample([]float64{math.NaN()}, func(x float64) (float64, error) {
+		return GammaCDF(1, 1, x)
+	}); err == nil {
+		t.Errorf("NaN sample accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package stats provides the statistical substrate for the robustness
+// experiments: a deterministic random source, Gamma sampling parameterised
+// by mean and heterogeneity (the coefficient-of-variation-based method of
+// Ali, Siegel, Maheswaran, Hensgen, and Sedigh-Ali, 2000 — reference [3] of
+// the paper), and the descriptive statistics used to analyse Figures 3
+// and 4.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand.Rand so experiments are reproducible from a single
+// seed and so the sampling helpers live on one type.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample from [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform sample from [lo,hi). It panics if hi < lo.
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("stats: Uniform bounds inverted: [%v,%v)", lo, hi))
+	}
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Intn returns a uniform sample from {0, …, n−1}.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns a rate-1 exponential sample.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Perm returns a random permutation of {0, …, n−1}.
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomises the order of n elements using the provided swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Gamma returns a sample from the Gamma distribution with the given shape
+// (α > 0) and scale (θ > 0), using the Marsaglia–Tsang squeeze method with
+// the standard boost for shape < 1.
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if !(shape > 0) || !(scale > 0) {
+		panic(fmt.Sprintf("stats: Gamma requires shape, scale > 0; got %v, %v", shape, scale))
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1) and U ~ U(0,1) then
+		// X·U^(1/shape) ~ Gamma(shape).
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = g.r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// GammaMeanCV returns a Gamma sample parameterised by its mean and its
+// coefficient of variation V (standard deviation divided by mean) — the
+// "heterogeneity" of reference [3]. Shape = 1/V², scale = mean·V².
+func (g *RNG) GammaMeanCV(mean, cv float64) float64 {
+	if !(mean > 0) || !(cv > 0) {
+		panic(fmt.Sprintf("stats: GammaMeanCV requires mean, cv > 0; got %v, %v", mean, cv))
+	}
+	shape := 1 / (cv * cv)
+	scale := mean * cv * cv
+	return g.Gamma(shape, scale)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(750, 1250)
+		if x < 750 || x >= 1250 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("inverted bounds accepted")
+		}
+	}()
+	g.Uniform(2, 1)
+}
+
+func TestGammaMoments(t *testing.T) {
+	g := NewRNG(2)
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2.0},  // shape < 1 exercises the boost path
+		{1.0, 3.0},  // exponential
+		{2.04, 4.9}, // paper-like: 1/0.7² ≈ 2.04
+		{9.0, 0.5},
+	}
+	const n = 200000
+	for _, c := range cases {
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := g.Gamma(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("negative Gamma sample %v", x)
+			}
+			sum += x
+			sq += x * x
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean {
+			t.Errorf("shape=%v scale=%v: mean=%v want %v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.08*wantVar {
+			t.Errorf("shape=%v scale=%v: var=%v want %v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaMeanCVHitsTargets(t *testing.T) {
+	// The paper's workloads use mean 10, heterogeneity (CV) 0.7.
+	g := NewRNG(3)
+	const n = 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = g.GammaMeanCV(10, 0.7)
+	}
+	if m := Mean(samples); math.Abs(m-10) > 0.15 {
+		t.Errorf("mean = %v, want ≈10", m)
+	}
+	if cv := CV(samples); math.Abs(cv-0.7) > 0.02 {
+		t.Errorf("cv = %v, want ≈0.7", cv)
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	g := NewRNG(4)
+	for _, f := range []func(){
+		func() { g.Gamma(0, 1) },
+		func() { g.Gamma(1, -1) },
+		func() { g.GammaMeanCV(-5, 0.7) },
+		func() { g.GammaMeanCV(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad Gamma parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	g := NewRNG(5)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, x := range p {
+		if x < 0 || x >= 10 || seen[x] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[x] = true
+	}
+	v := []int{1, 2, 3, 4, 5}
+	sum := 0
+	g.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	for _, x := range v {
+		sum += x
+	}
+	if sum != 15 {
+		t.Fatalf("Shuffle lost elements: %v", v)
+	}
+}

@@ -1,0 +1,96 @@
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Hyperplane represents the affine set {x : a·x = c} in ℝⁿ. The paper's
+// step-4 analysis for linear impact functions reduces the robustness radius
+// to the distance from the assumed operating point to such a hyperplane
+// (Eq. 5 → Eq. 6).
+type Hyperplane struct {
+	// A is the normal (coefficient) vector; it must contain at least one
+	// non-zero entry.
+	A []float64
+	// C is the offset: the plane is a·x = c.
+	C float64
+}
+
+// ErrDegenerateHyperplane is returned when the normal vector is zero (the
+// constraint is either vacuous or infeasible, never a hyperplane).
+var ErrDegenerateHyperplane = errors.New("vecmath: zero normal vector does not define a hyperplane")
+
+// NewHyperplane validates the normal vector and returns the hyperplane
+// a·x = c.
+func NewHyperplane(a []float64, c float64) (*Hyperplane, error) {
+	if !AllFinite(a) || math.IsNaN(c) || math.IsInf(c, 0) {
+		return nil, fmt.Errorf("vecmath: hyperplane coefficients must be finite")
+	}
+	if Euclidean(a) == 0 {
+		return nil, ErrDegenerateHyperplane
+	}
+	return &Hyperplane{A: Clone(a), C: c}, nil
+}
+
+// Distance returns the Euclidean distance from x to the hyperplane:
+// |a·x − c| / ‖a‖₂ (the point-to-plane formula the paper cites from [23]).
+// It panics if x and the normal differ in length.
+func (h *Hyperplane) Distance(x []float64) float64 {
+	return math.Abs(h.SignedDistance(x))
+}
+
+// SignedDistance returns (a·x − c)/‖a‖₂; the sign tells which side of the
+// plane x lies on (positive on the side the normal points to).
+func (h *Hyperplane) SignedDistance(x []float64) float64 {
+	return (Dot(h.A, x) - h.C) / Euclidean(h.A)
+}
+
+// Project stores in dst the closest point on the hyperplane to x — the
+// boundary point π*(φ) of Figure 1 when the boundary relationship is
+// affine — and returns it.
+func (h *Hyperplane) Project(dst, x []float64) []float64 {
+	t := (h.C - Dot(h.A, x)) / Dot(h.A, h.A)
+	return AddScaled(dst, x, t, h.A)
+}
+
+// Contains reports whether x satisfies a·x = c to within tol of Euclidean
+// distance.
+func (h *Hyperplane) Contains(x []float64, tol float64) bool {
+	return h.Distance(x) <= tol
+}
+
+// DistanceSubset returns the distance from x to the hyperplane defined by
+// restricting the constraint a·x = c to the coordinates listed in idx,
+// holding every other coordinate of x fixed. Equivalently it is the
+// distance in the |idx|-dimensional subspace from the sub-vector x[idx] to
+// the plane Σ_{i∈idx} a_i y_i = c − Σ_{i∉idx} a_i x_i.
+//
+// This is exactly the situation of Eq. 6: only the applications mapped to
+// machine m_j appear in F_j, so the closest boundary point leaves every
+// other component of the ETC vector unchanged.
+func (h *Hyperplane) DistanceSubset(x []float64, idx []int) (float64, error) {
+	if err := checkSameLen(h.A, x); err != nil {
+		return 0, err
+	}
+	in := make([]bool, len(x))
+	var sub KahanSum // ‖a[idx]‖² accumulator
+	for _, i := range idx {
+		if i < 0 || i >= len(x) {
+			return 0, fmt.Errorf("vecmath: subset index %d out of range [0,%d)", i, len(x))
+		}
+		if in[i] {
+			return 0, fmt.Errorf("vecmath: duplicate subset index %d", i)
+		}
+		in[i] = true
+		sub.Add(h.A[i] * h.A[i])
+	}
+	norm2 := sub.Sum()
+	if norm2 == 0 {
+		return 0, fmt.Errorf("vecmath: constraint does not involve the chosen coordinates: %w", ErrDegenerateHyperplane)
+	}
+	// residual = c − a·x ; moving only coordinates in idx must absorb all of it.
+	residual := h.C - Dot(h.A, x)
+	return math.Abs(residual) / math.Sqrt(norm2), nil
+}

@@ -1,0 +1,179 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHyperplaneValidation(t *testing.T) {
+	if _, err := NewHyperplane([]float64{0, 0}, 1); !errors.Is(err, ErrDegenerateHyperplane) {
+		t.Errorf("zero normal: err = %v", err)
+	}
+	if _, err := NewHyperplane([]float64{math.NaN()}, 1); err == nil {
+		t.Errorf("NaN normal accepted")
+	}
+	if _, err := NewHyperplane([]float64{1}, math.Inf(1)); err == nil {
+		t.Errorf("Inf offset accepted")
+	}
+	h, err := NewHyperplane([]float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constructor must copy the normal.
+	a := h.A
+	a[0] = 100
+	if h.A[0] != 100 {
+		t.Skip() // unreachable; silence linters about unused write
+	}
+}
+
+func TestHyperplaneDistanceKnown(t *testing.T) {
+	// Plane x + y = 2; point at origin. Distance = 2/sqrt(2) = sqrt(2).
+	h, _ := NewHyperplane([]float64{1, 1}, 2)
+	if got := h.Distance([]float64{0, 0}); !ScalarEqualApprox(got, math.Sqrt2, 1e-15) {
+		t.Errorf("distance = %v", got)
+	}
+	// Signed distance is negative below the plane, positive above.
+	if got := h.SignedDistance([]float64{0, 0}); got >= 0 {
+		t.Errorf("signed distance should be negative, got %v", got)
+	}
+	if got := h.SignedDistance([]float64{3, 3}); got <= 0 {
+		t.Errorf("signed distance should be positive, got %v", got)
+	}
+	// A point on the plane.
+	if got := h.Distance([]float64{1, 1}); got != 0 {
+		t.Errorf("on-plane distance = %v", got)
+	}
+}
+
+func TestProjectLandsOnPlaneAndIsClosest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		if Euclidean(a) == 0 {
+			continue
+		}
+		c := rng.NormFloat64() * 10
+		h, err := NewHyperplane(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		p := h.Project(nil, x)
+		if !h.Contains(p, 1e-9) {
+			t.Fatalf("projection not on plane: residual %v", h.Distance(p))
+		}
+		// The projection distance must equal the analytic distance.
+		if got, want := Distance(x, p), h.Distance(x); !ScalarEqualApprox(got, want, 1e-9) {
+			t.Fatalf("‖x−proj‖=%v want %v", got, want)
+		}
+		// No random on-plane point may be closer (optimality check).
+		for k := 0; k < 10; k++ {
+			q := make([]float64, n)
+			for i := range q {
+				q[i] = rng.NormFloat64() * 5
+			}
+			q = h.Project(nil, q)
+			if Distance(x, q) < h.Distance(x)-1e-9 {
+				t.Fatalf("found closer on-plane point than projection")
+			}
+		}
+	}
+}
+
+func TestDistanceSubsetMatchesEq6(t *testing.T) {
+	// Machine m with 3 of 5 applications mapped to it; plane Σ_{i∈idx} C_i = τM.
+	// Eq. 6: radius = (τM − F(C^orig))/sqrt(3).
+	a := []float64{1, 0, 1, 1, 0} // indicator of apps on machine m
+	tauM := 120.0
+	h, _ := NewHyperplane(a, tauM)
+	orig := []float64{10, 99, 20, 30, 42} // apps 1 and 4 belong to other machines
+	idx := []int{0, 2, 3}
+	got, err := h.DistanceSubset(orig, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (tauM - (10 + 20 + 30)) / math.Sqrt(3)
+	if !ScalarEqualApprox(got, want, 1e-12) {
+		t.Errorf("subset distance = %v want %v", got, want)
+	}
+	// With all coordinates free, the subset distance equals the plain distance.
+	all := []int{0, 1, 2, 3, 4}
+	full := []float64{1, 1, 1, 1, 1}
+	h2, _ := NewHyperplane(full, 300)
+	gotAll, err := h2.DistanceSubset(orig, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := h2.Distance(orig); !ScalarEqualApprox(gotAll, want, 1e-12) {
+		t.Errorf("full-subset distance = %v want %v", gotAll, want)
+	}
+}
+
+func TestDistanceSubsetErrors(t *testing.T) {
+	h, _ := NewHyperplane([]float64{1, 1}, 1)
+	if _, err := h.DistanceSubset([]float64{0, 0, 0}, []int{0}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if _, err := h.DistanceSubset([]float64{0, 0}, []int{5}); err == nil {
+		t.Errorf("out-of-range index accepted")
+	}
+	if _, err := h.DistanceSubset([]float64{0, 0}, []int{0, 0}); err == nil {
+		t.Errorf("duplicate index accepted")
+	}
+	// Constraint with no weight on the chosen coordinate is degenerate.
+	h3, _ := NewHyperplane([]float64{0, 1}, 1)
+	if _, err := h3.DistanceSubset([]float64{0, 0}, []int{0}); err == nil {
+		t.Errorf("degenerate subset accepted")
+	}
+}
+
+func TestQuickSubsetDistanceAtLeastFull(t *testing.T) {
+	// Restricting which coordinates may move can never shorten the path to
+	// the plane, so subset distance ≥ full distance.
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := 2 + rng.Intn(8)
+		a := make([]float64, n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			x[i] = rng.NormFloat64() * 3
+		}
+		if Euclidean(a) == 0 {
+			return true
+		}
+		h, err := NewHyperplane(a, rng.NormFloat64()*5)
+		if err != nil {
+			return true
+		}
+		// Choose a random non-empty subset that has at least one non-zero coeff.
+		var idx []int
+		for i := range a {
+			if rng.Intn(2) == 0 {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			idx = []int{0}
+		}
+		sub, err := h.DistanceSubset(x, idx)
+		if err != nil {
+			return true // degenerate subset; nothing to compare
+		}
+		return sub >= h.Distance(x)-1e-9
+	}
+	if err := quick.Check(func(struct{}) bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

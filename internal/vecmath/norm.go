@@ -1,0 +1,158 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Norm computes a vector norm and exposes enough structure (a unit "dual"
+// direction) for the minimum-norm boundary computations in the robustness
+// analysis. The paper fixes the Euclidean norm; the interface lets the
+// library study how the metric changes under other choices (an extension
+// flagged in DESIGN.md).
+type Norm interface {
+	// Of returns the norm of v.
+	Of(v []float64) float64
+	// Name returns a short identifier such as "l2".
+	Name() string
+}
+
+// L2 is the Euclidean norm used throughout the paper (Eq. 1).
+type L2 struct{}
+
+// Of returns sqrt(sum v_i^2), computed with scaling to avoid overflow.
+func (L2) Of(v []float64) float64 { return Euclidean(v) }
+
+// Name returns "l2".
+func (L2) Name() string { return "l2" }
+
+// L1 is the Manhattan norm.
+type L1 struct{}
+
+// Of returns sum |v_i|.
+func (L1) Of(v []float64) float64 {
+	var k KahanSum
+	for _, x := range v {
+		k.Add(math.Abs(x))
+	}
+	return k.Sum()
+}
+
+// Name returns "l1".
+func (L1) Name() string { return "l1" }
+
+// LInf is the maximum norm.
+type LInf struct{}
+
+// Of returns max |v_i|.
+func (LInf) Of(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Name returns "linf".
+func (LInf) Name() string { return "linf" }
+
+// WeightedL2 is a diagonally weighted Euclidean norm
+// ‖v‖_W = sqrt(sum w_i v_i^2) with w_i > 0. It lets a robustness analysis
+// express that some perturbation components are more likely to move than
+// others.
+type WeightedL2 struct {
+	// W holds the strictly positive per-component weights.
+	W []float64
+}
+
+// NewWeightedL2 validates the weights and returns the norm. It returns an
+// error if any weight is non-positive or non-finite.
+func NewWeightedL2(w []float64) (*WeightedL2, error) {
+	for i, x := range w {
+		if !(x > 0) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("vecmath: weight %d = %v must be finite and > 0", i, x)
+		}
+	}
+	return &WeightedL2{W: Clone(w)}, nil
+}
+
+// Of returns sqrt(sum w_i v_i^2). It panics if v and the weight vector have
+// different lengths.
+func (n *WeightedL2) Of(v []float64) float64 {
+	if err := checkSameLen(n.W, v); err != nil {
+		panic(err)
+	}
+	var k KahanSum
+	for i, x := range v {
+		k.Add(n.W[i] * x * x)
+	}
+	return math.Sqrt(k.Sum())
+}
+
+// Name returns "wl2".
+func (n *WeightedL2) Name() string { return "wl2" }
+
+// Euclidean returns the ℓ₂ norm of v using the two-pass scaled algorithm,
+// which is immune to overflow/underflow of the squared terms.
+func Euclidean(v []float64) float64 {
+	var scale float64
+	for _, x := range v {
+		if a := math.Abs(x); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	if math.IsInf(scale, 0) {
+		return math.Inf(1)
+	}
+	var k KahanSum
+	for _, x := range v {
+		r := x / scale
+		k.Add(r * r)
+	}
+	return scale * math.Sqrt(k.Sum())
+}
+
+// Distance returns ‖a−b‖₂ without allocating.
+func Distance(a, b []float64) float64 {
+	if err := checkSameLen(a, b); err != nil {
+		panic(err)
+	}
+	var scale float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > scale {
+			scale = d
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	if math.IsInf(scale, 0) {
+		return math.Inf(1)
+	}
+	var k KahanSum
+	for i := range a {
+		r := (a[i] - b[i]) / scale
+		k.Add(r * r)
+	}
+	return scale * math.Sqrt(k.Sum())
+}
+
+// Normalize stores v/‖v‖₂ in dst and returns dst together with the norm.
+// If v has zero norm, dst is filled with zeros and the returned norm is 0.
+func Normalize(dst, v []float64) ([]float64, float64) {
+	n := Euclidean(v)
+	dst = ensure(dst, len(v))
+	if n == 0 {
+		Fill(dst, 0)
+		return dst, 0
+	}
+	for i := range v {
+		dst[i] = v[i] / n
+	}
+	return dst, n
+}

@@ -1,0 +1,218 @@
+// Package vecmath provides the small amount of dense linear algebra needed
+// by the robustness-metric computations: vector arithmetic, norms, Kahan
+// summation, and point-to-hyperplane geometry.
+//
+// Everything operates on []float64 without hidden allocation where the
+// caller provides a destination slice. The package is deliberately free of
+// external dependencies so that the repository builds with the standard
+// library alone.
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned (or wrapped) when two vectors of
+// different lengths are combined.
+var ErrDimensionMismatch = errors.New("vecmath: dimension mismatch")
+
+// checkSameLen returns ErrDimensionMismatch if the two slices differ in length.
+func checkSameLen(a, b []float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	return nil
+}
+
+// Clone returns a copy of v. A nil input yields a nil output.
+func Clone(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add stores a+b in dst and returns dst. If dst is nil a new slice is
+// allocated. Add panics if the lengths of a and b differ.
+func Add(dst, a, b []float64) []float64 {
+	if err := checkSameLen(a, b); err != nil {
+		panic(err)
+	}
+	dst = ensure(dst, len(a))
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub stores a-b in dst and returns dst. If dst is nil a new slice is
+// allocated. Sub panics if the lengths of a and b differ.
+func Sub(dst, a, b []float64) []float64 {
+	if err := checkSameLen(a, b); err != nil {
+		panic(err)
+	}
+	dst = ensure(dst, len(a))
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale stores s*a in dst and returns dst. If dst is nil a new slice is
+// allocated.
+func Scale(dst []float64, s float64, a []float64) []float64 {
+	dst = ensure(dst, len(a))
+	for i := range a {
+		dst[i] = s * a[i]
+	}
+	return dst
+}
+
+// AddScaled stores a + s*b in dst and returns dst (the BLAS "axpy"
+// operation). It panics if the lengths of a and b differ.
+func AddScaled(dst, a []float64, s float64, b []float64) []float64 {
+	if err := checkSameLen(a, b); err != nil {
+		panic(err)
+	}
+	dst = ensure(dst, len(a))
+	for i := range a {
+		dst[i] = a[i] + s*b[i]
+	}
+	return dst
+}
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+// Kahan–Babuška compensated summation keeps the result stable for the long,
+// similarly-signed sums that arise when accumulating execution times.
+func Dot(a, b []float64) float64 {
+	if err := checkSameLen(a, b); err != nil {
+		panic(err)
+	}
+	var k KahanSum
+	for i := range a {
+		k.Add(a[i] * b[i])
+	}
+	return k.Sum()
+}
+
+// Sum returns the compensated sum of the elements of v.
+func Sum(v []float64) float64 {
+	var k KahanSum
+	for _, x := range v {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Max returns the maximum element of v and its index. It panics if v is
+// empty. NaN elements are ignored unless all elements are NaN, in which case
+// the first element is returned.
+func Max(v []float64) (float64, int) {
+	if len(v) == 0 {
+		panic("vecmath: Max of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x > best || (math.IsNaN(best) && !math.IsNaN(x)) {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Min returns the minimum element of v and its index. It panics if v is
+// empty. NaN elements are ignored unless all elements are NaN, in which case
+// the first element is returned.
+func Min(v []float64) (float64, int) {
+	if len(v) == 0 {
+		panic("vecmath: Min of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x < best || (math.IsNaN(best) && !math.IsNaN(x)) {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// AllFinite reports whether every element of v is finite (neither NaN nor
+// ±Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether a and b have the same length and each pair of
+// elements differs by at most tol in absolute value or relative value
+// (whichever bound is looser).
+func EqualApprox(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ScalarEqualApprox(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// ScalarEqualApprox reports whether x and y are within tol of each other,
+// absolutely or relative to the larger magnitude.
+func ScalarEqualApprox(x, y, tol float64) bool {
+	d := math.Abs(x - y)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(x), math.Abs(y))
+	return d <= tol*m
+}
+
+// ensure returns dst if it has length n, otherwise a freshly allocated
+// slice of length n.
+func ensure(dst []float64, n int) []float64 {
+	if len(dst) == n {
+		return dst
+	}
+	return make([]float64, n)
+}
+
+// KahanSum accumulates float64 values with Kahan–Babuška (Neumaier)
+// compensation. The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates x into the running sum.
+func (k *KahanSum) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator to zero.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }

@@ -1,0 +1,256 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatalf("Clone shares backing array")
+	}
+	if Clone(nil) != nil {
+		t.Fatalf("Clone(nil) should be nil")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Add(nil, a, b); !EqualApprox(got, []float64{5, 7, 9}, 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(nil, b, a); !EqualApprox(got, []float64{3, 3, 3}, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(nil, 2, a); !EqualApprox(got, []float64{2, 4, 6}, 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := AddScaled(nil, a, -1, b); !EqualApprox(got, []float64{-3, -3, -3}, 0) {
+		t.Errorf("AddScaled = %v", got)
+	}
+}
+
+func TestAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on dimension mismatch")
+		}
+	}()
+	Add(nil, []float64{1}, []float64{1, 2})
+}
+
+func TestDstReuse(t *testing.T) {
+	a := []float64{1, 2}
+	dst := make([]float64, 2)
+	got := Add(dst, a, a)
+	if &got[0] != &dst[0] {
+		t.Fatalf("Add should reuse dst when it has the right length")
+	}
+}
+
+func TestDotAndSum(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, -5, 6}
+	if got := Dot(a, b); got != 1*4-2*5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Sum(a); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestKahanSumCancellation(t *testing.T) {
+	// Naive summation of [1e16, 1, -1e16] loses the 1; Kahan keeps it.
+	var k KahanSum
+	for _, x := range []float64{1e16, 1, -1e16} {
+		k.Add(x)
+	}
+	if got := k.Sum(); got != 1 {
+		t.Errorf("KahanSum = %v, want 1", got)
+	}
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Errorf("Reset did not clear accumulator")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	v := []float64{3, -1, 7, 7, 2}
+	if x, i := Max(v); x != 7 || i != 2 {
+		t.Errorf("Max = %v,%d", x, i)
+	}
+	if x, i := Min(v); x != -1 || i != 1 {
+		t.Errorf("Min = %v,%d", x, i)
+	}
+	nan := math.NaN()
+	if x, _ := Max([]float64{nan, 2, 1}); x != 2 {
+		t.Errorf("Max with leading NaN = %v", x)
+	}
+	if x, _ := Min([]float64{nan, 2, 1}); x != 1 {
+		t.Errorf("Min with leading NaN = %v", x)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Errorf("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) || AllFinite([]float64{math.Inf(1)}) {
+		t.Errorf("non-finite vector reported finite")
+	}
+}
+
+func TestScalarEqualApprox(t *testing.T) {
+	if !ScalarEqualApprox(1e12, 1e12*(1+1e-12), 1e-9) {
+		t.Errorf("relative comparison failed")
+	}
+	if ScalarEqualApprox(0, 1, 1e-9) {
+		t.Errorf("distinct values compared equal")
+	}
+}
+
+func TestEuclideanExtremes(t *testing.T) {
+	if got := Euclidean([]float64{3, 4}); got != 5 {
+		t.Errorf("Euclidean(3,4) = %v", got)
+	}
+	if got := Euclidean(nil); got != 0 {
+		t.Errorf("Euclidean(nil) = %v", got)
+	}
+	// Components near sqrt(MaxFloat64) would overflow a naive sum of squares.
+	big := math.Sqrt(math.MaxFloat64)
+	got := Euclidean([]float64{big, big})
+	want := big * math.Sqrt2
+	if math.IsInf(got, 0) || !ScalarEqualApprox(got, want, 1e-12) {
+		t.Errorf("Euclidean overflowed: got %v want %v", got, want)
+	}
+	if !math.IsInf(Euclidean([]float64{math.Inf(1)}), 1) {
+		t.Errorf("Euclidean of Inf should be +Inf")
+	}
+}
+
+func TestDistanceMatchesSubNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 100
+			b[i] = rng.NormFloat64() * 100
+		}
+		want := Euclidean(Sub(nil, a, b))
+		if got := Distance(a, b); !ScalarEqualApprox(got, want, 1e-12) {
+			t.Fatalf("Distance=%v want %v", got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	u, n := Normalize(nil, v)
+	if n != 5 || !EqualApprox(u, []float64{0.6, 0.8}, 1e-15) {
+		t.Errorf("Normalize = %v, %v", u, n)
+	}
+	z, n := Normalize(nil, []float64{0, 0})
+	if n != 0 || !EqualApprox(z, []float64{0, 0}, 0) {
+		t.Errorf("Normalize zero vector = %v, %v", z, n)
+	}
+}
+
+// clampVec maps arbitrary quick-generated values into a sane finite range.
+func clampVec(v []float64) []float64 {
+	out := make([]float64, 0, len(v))
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 1
+		}
+		out = append(out, math.Mod(x, 1e6))
+	}
+	if len(out) == 0 {
+		out = []float64{1}
+	}
+	return out
+}
+
+func TestQuickNormAxioms(t *testing.T) {
+	norms := []Norm{L1{}, L2{}, LInf{}}
+	for _, nm := range norms {
+		nm := nm
+		// Absolute homogeneity: ‖s v‖ = |s| ‖v‖.
+		homog := func(raw []float64, s float64) bool {
+			v := clampVec(raw)
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				s = 2
+			}
+			s = math.Mod(s, 1e3)
+			lhs := nm.Of(Scale(nil, s, v))
+			rhs := math.Abs(s) * nm.Of(v)
+			return ScalarEqualApprox(lhs, rhs, 1e-9)
+		}
+		if err := quick.Check(homog, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s homogeneity: %v", nm.Name(), err)
+		}
+		// Triangle inequality: ‖a+b‖ ≤ ‖a‖+‖b‖ (+ slack for rounding).
+		tri := func(rawA, rawB []float64) bool {
+			a := clampVec(rawA)
+			b := clampVec(rawB)
+			if len(a) != len(b) {
+				if len(a) > len(b) {
+					a = a[:len(b)]
+				} else {
+					b = b[:len(a)]
+				}
+			}
+			return nm.Of(Add(nil, a, b)) <= nm.Of(a)+nm.Of(b)+1e-6
+		}
+		if err := quick.Check(tri, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s triangle inequality: %v", nm.Name(), err)
+		}
+		// Positivity: ‖v‖ ≥ 0 and ‖0‖ = 0.
+		if nm.Of(make([]float64, 7)) != 0 {
+			t.Errorf("%s of zero vector != 0", nm.Name())
+		}
+	}
+}
+
+func TestNormOrdering(t *testing.T) {
+	// ‖v‖∞ ≤ ‖v‖₂ ≤ ‖v‖₁ for every vector.
+	f := func(raw []float64) bool {
+		v := clampVec(raw)
+		linf := LInf{}.Of(v)
+		l2 := L2{}.Of(v)
+		l1 := L1{}.Of(v)
+		return linf <= l2*(1+1e-12)+1e-12 && l2 <= l1*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedL2(t *testing.T) {
+	if _, err := NewWeightedL2([]float64{1, 0}); err == nil {
+		t.Errorf("zero weight accepted")
+	}
+	if _, err := NewWeightedL2([]float64{1, -2}); err == nil {
+		t.Errorf("negative weight accepted")
+	}
+	w, err := NewWeightedL2([]float64{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Of([]float64{1, 1}); !ScalarEqualApprox(got, math.Sqrt(13), 1e-12) {
+		t.Errorf("weighted norm = %v", got)
+	}
+	// Unit weights must reduce to the plain Euclidean norm.
+	u, _ := NewWeightedL2([]float64{1, 1, 1})
+	v := []float64{1, -2, 2}
+	if got, want := u.Of(v), Euclidean(v); !ScalarEqualApprox(got, want, 1e-12) {
+		t.Errorf("unit-weighted = %v want %v", got, want)
+	}
+}

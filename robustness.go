@@ -1,0 +1,205 @@
+// Package robustness is the public facade of this repository: a Go
+// implementation of the FePIA procedure and the robustness metric of
+//
+//	S. Ali, A. A. Maciejewski, H. J. Siegel, and J.-K. Kim,
+//	"Definition of a Robustness Metric for Resource Allocation",
+//	IPPS/IPDPS 2003.
+//
+// A mapping of applications to machines is robust, with respect to a set
+// of performance features Φ and against a perturbation parameter π, when
+// every feature stays within its tolerable bounds as π drifts from its
+// assumed value. The paper quantifies "how robust": the robustness radius
+// r_μ(φ, π) (Eq. 1) is the smallest Euclidean distance from the assumed
+// operating point π^orig to any boundary relationship f(π) = β, and the
+// robustness metric ρ_μ(Φ, π) (Eq. 2) is the minimum radius over Φ.
+//
+// # Deriving a metric (the FePIA procedure)
+//
+//  1. Fe — list the performance features as Feature values with their
+//     tolerable bounds ⟨β^min, β^max⟩;
+//  2. P  — describe the uncertain quantity as a Perturbation with its
+//     assumed operating point;
+//  3. I  — give each feature an Impact function f(π) (use LinearImpact for
+//     affine relationships, FuncImpact otherwise);
+//  4. A  — call Analyze; the result carries every radius, the binding
+//     ("critical") feature, the boundary point π*, and ρ.
+//
+// Affine impacts are solved exactly with the point-to-hyperplane formula;
+// convex impacts with a sequential-linearisation solver; declared
+// non-convex impacts additionally run a simulated-annealing fallback, as
+// §3.2 of the paper sanctions.
+//
+// The two systems the paper derives metrics for are available as
+// sub-analyses: the independent-application allocation of §3.1 through
+// EvaluateIndependentAllocation (closed-form Eq. 6/7) and the HiPer-D
+// model of §3.2 through the HiPerD* aliases. The experiment harness that
+// regenerates the paper's figures and table lives in internal/experiments
+// with runnable front-ends under cmd/.
+package robustness
+
+import (
+	"fepia/internal/core"
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/hiperd"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+	"fepia/internal/vecmath"
+)
+
+// Core FePIA vocabulary (step 1–3 inputs, step 4 outputs).
+type (
+	// Feature is a performance feature φ ∈ Φ with bounds and impact.
+	Feature = core.Feature
+	// Bounds is the tolerable variation ⟨β^min, β^max⟩.
+	Bounds = core.Bounds
+	// Perturbation is a perturbation parameter π ∈ Π.
+	Perturbation = core.Perturbation
+	// Impact is the relationship φ = f(π).
+	Impact = core.Impact
+	// LinearImpact is an affine impact function (exact analysis).
+	LinearImpact = core.LinearImpact
+	// FuncImpact adapts an arbitrary function as an impact.
+	FuncImpact = core.FuncImpact
+	// Options tunes the analysis (norm choice, solver budgets).
+	Options = core.Options
+	// RadiusResult is one feature's robustness radius r_μ(φ, π).
+	RadiusResult = core.RadiusResult
+	// Analysis is the aggregate step-4 outcome with ρ_μ(Φ, π).
+	Analysis = core.Analysis
+	// BoundKind says which boundary relationship binds a radius.
+	BoundKind = core.BoundKind
+	// ParameterSet couples a perturbation with the features it affects.
+	ParameterSet = core.ParameterSet
+	// MultiAnalysis aggregates analyses over several parameters.
+	MultiAnalysis = core.MultiAnalysis
+	// JointPerturbation concatenates several perturbation parameters for
+	// simultaneous analysis (the case the paper defers to [1]).
+	JointPerturbation = core.JointPerturbation
+	// BlockImpact lifts a single-parameter impact into a joint space.
+	BlockImpact = core.BlockImpact
+)
+
+// Re-exported BoundKind values.
+const (
+	AtMax           = core.AtMax
+	AtMin           = core.AtMin
+	AlreadyViolated = core.AlreadyViolated
+	Unreachable     = core.Unreachable
+)
+
+// NewLinearImpact validates and builds the affine impact
+// f(π) = coeffs·π + offset.
+func NewLinearImpact(coeffs []float64, offset float64) (*LinearImpact, error) {
+	return core.NewLinearImpact(coeffs, offset)
+}
+
+// NoMin returns one-sided bounds with only an upper limit β^max.
+func NoMin(max float64) Bounds { return core.NoMin(max) }
+
+// NoMax returns one-sided bounds with only a lower limit β^min.
+func NoMax(min float64) Bounds { return core.NoMax(min) }
+
+// ComputeRadius evaluates Eq. 1 for a single feature.
+func ComputeRadius(f Feature, p Perturbation, opts Options) (RadiusResult, error) {
+	return core.ComputeRadius(f, p, opts)
+}
+
+// Analyze evaluates Eq. 2: every feature's radius and their minimum ρ.
+func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error) {
+	return core.Analyze(features, p, opts)
+}
+
+// MultiAnalyze runs Analyze per perturbation parameter — the
+// multi-parameter extension the paper defers to [1].
+func MultiAnalyze(sets []ParameterSet, opts Options) (MultiAnalysis, error) {
+	return core.MultiAnalyze(sets, opts)
+}
+
+// ConcatPerturbations builds a joint perturbation parameter from several
+// components, enabling genuinely simultaneous variation (features may mix
+// blocks freely). See JointWeights for making blocks with different units
+// commensurable.
+func ConcatPerturbations(name string, ps ...Perturbation) (JointPerturbation, error) {
+	return core.ConcatPerturbations(name, ps...)
+}
+
+// NewBlockImpact reuses a single-parameter impact inside a joint analysis
+// (all other components are ignored).
+func NewBlockImpact(j JointPerturbation, block int, inner Impact) (*BlockImpact, error) {
+	return core.NewBlockImpact(j, block, inner)
+}
+
+// JointWeights builds a weighted ℓ₂ norm that makes a joint parameter's
+// blocks commensurable: distance 1 ≈ one characteristic unit of relative
+// change in any block.
+func JointWeights(j JointPerturbation) (Norm, error) {
+	return core.JointWeights(j)
+}
+
+// Norm is the perturbation-space norm interface accepted by Options.
+type Norm = vecmath.Norm
+
+// Norms accepted by Options.Norm. The paper fixes ℓ₂; the others are an
+// extension for sensitivity studies (supported analytically for linear
+// impacts via dual norms).
+type (
+	// L2 is the Euclidean norm of Eq. 1.
+	L2 = vecmath.L2
+	// L1 is the Manhattan norm.
+	L1 = vecmath.L1
+	// LInf is the maximum norm.
+	LInf = vecmath.LInf
+)
+
+// IndependentAllocation is the §3.1 analysis of one mapping.
+type IndependentAllocation = indalloc.Result
+
+// EvaluateIndependentAllocation runs the §3.1 closed-form analysis
+// (Eqs. 6–7): applications with the given ETC matrix (etc[i][j] = time of
+// application i on machine j), assignment assign[i] = machine of
+// application i, and tolerance τ ≥ 1 on the predicted makespan.
+func EvaluateIndependentAllocation(etc [][]float64, assign []int, tau float64) (IndependentAllocation, error) {
+	inst, err := hcs.NewInstance(etcgen.Matrix(etc))
+	if err != nil {
+		return IndependentAllocation{}, err
+	}
+	m, err := hcs.NewMapping(inst, assign)
+	if err != nil {
+		return IndependentAllocation{}, err
+	}
+	return indalloc.Evaluate(m, tau)
+}
+
+// HiPer-D (§3.2) vocabulary.
+type (
+	// HiPerDSystem is a HiPer-D problem instance.
+	HiPerDSystem = hiperd.System
+	// HiPerDMapping assigns applications to machines.
+	HiPerDMapping = hiperd.Mapping
+	// HiPerDResult is the §3.2 analysis: ρ, slack, λ*.
+	HiPerDResult = hiperd.Result
+	// HiPerDGenParams configures the §4.3 instance generator.
+	HiPerDGenParams = hiperd.GenParams
+)
+
+// PaperHiPerDParams returns the §4.3 instance configuration (3 sensors
+// with the published rates and loads, 20 applications, 19 paths,
+// 5 machines).
+func PaperHiPerDParams() HiPerDGenParams { return hiperd.PaperGenParams() }
+
+// GenerateHiPerD samples a HiPer-D instance deterministically from seed.
+func GenerateHiPerD(seed int64, params HiPerDGenParams) (*HiPerDSystem, error) {
+	return hiperd.GenerateSystem(stats.NewRNG(seed), params)
+}
+
+// RandomHiPerDMapping draws a uniformly random mapping (the §4.1
+// generator).
+func RandomHiPerDMapping(seed int64, s *HiPerDSystem) HiPerDMapping {
+	return hiperd.RandomMapping(stats.NewRNG(seed), s)
+}
+
+// EvaluateHiPerD runs the full §3.2 analysis of a mapping.
+func EvaluateHiPerD(s *HiPerDSystem, m HiPerDMapping) (HiPerDResult, error) {
+	return hiperd.Evaluate(s, m)
+}

@@ -1,0 +1,122 @@
+package robustness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeMakespanExample walks the paper's running example (§2) through
+// the public API alone: machine finishing times bounded by 1.3× the
+// predicted makespan against ETC uncertainty.
+func TestFacadeMakespanExample(t *testing.T) {
+	// Two machines: m0 runs a0 (ETC 6) and a1 (ETC 4); m1 runs a2 (ETC 8).
+	// Predicted makespan = 10; bound = 1.3 × 10 = 13.
+	f0, err := NewLinearImpact([]float64{1, 1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NewLinearImpact([]float64{0, 0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := []Feature{
+		{Name: "F_0", Impact: f0, Bounds: NoMin(13)},
+		{Name: "F_1", Impact: f1, Bounds: NoMin(13)},
+	}
+	p := Perturbation{Name: "C", Orig: []float64{6, 4, 8}, Units: "seconds"}
+	a, err := Analyze(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r(F_0) = (13−10)/√2 ≈ 2.121; r(F_1) = (13−8)/1 = 5 → ρ = 2.121.
+	want := 3 / math.Sqrt2
+	if math.Abs(a.Robustness-want) > 1e-12 {
+		t.Errorf("ρ = %v want %v", a.Robustness, want)
+	}
+	if a.CriticalFeature().Feature != "F_0" {
+		t.Errorf("critical = %s", a.CriticalFeature().Feature)
+	}
+	if a.Radii[0].Kind != AtMax {
+		t.Errorf("bound kind = %v", a.Radii[0].Kind)
+	}
+}
+
+func TestFacadeIndependentAllocation(t *testing.T) {
+	etc := [][]float64{
+		{1, 9},
+		{2, 9},
+		{9, 3},
+		{9, 4},
+	}
+	res, err := EvaluateIndependentAllocation(etc, []int{0, 0, 1, 1}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.2*7 - 7) / math.Sqrt2
+	if math.Abs(res.Robustness-want) > 1e-12 {
+		t.Errorf("ρ = %v want %v", res.Robustness, want)
+	}
+	if _, err := EvaluateIndependentAllocation(etc, []int{0}, 1.2); err == nil {
+		t.Errorf("bad assignment accepted")
+	}
+	if _, err := EvaluateIndependentAllocation([][]float64{{-1}}, []int{0}, 1.2); err == nil {
+		t.Errorf("bad ETC accepted")
+	}
+}
+
+func TestFacadeHiPerD(t *testing.T) {
+	sys, err := GenerateHiPerD(2003, PaperHiPerDParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RandomHiPerDMapping(7, sys)
+	res, err := EvaluateHiPerD(sys, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Robustness < 0 || math.IsNaN(res.Robustness) {
+		t.Errorf("ρ = %v", res.Robustness)
+	}
+	if res.Robustness != math.Floor(res.Robustness) {
+		t.Errorf("HiPer-D ρ should be floored (discrete loads): %v", res.Robustness)
+	}
+	if math.IsNaN(res.Slack) {
+		t.Errorf("slack is NaN")
+	}
+}
+
+func TestFacadeMultiAnalyze(t *testing.T) {
+	imp, err := NewLinearImpact([]float64{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := []ParameterSet{
+		{
+			Perturbation: Perturbation{Name: "x", Orig: []float64{0}},
+			Features:     []Feature{{Name: "f", Impact: imp, Bounds: NoMin(3)}},
+		},
+	}
+	m, err := MultiAnalyze(sets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ByParameter[0].Robustness != 3 {
+		t.Errorf("ρ = %v", m.ByParameter[0].Robustness)
+	}
+}
+
+func TestFacadeNonL2Norm(t *testing.T) {
+	imp, err := NewLinearImpact([]float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Feature{Name: "f", Impact: imp, Bounds: NoMin(10)}
+	p := Perturbation{Name: "π", Orig: []float64{0, 0}}
+	r, err := ComputeRadius(f, p, Options{Norm: L1{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Radius != 5 { // |10|/‖(1,2)‖∞
+		t.Errorf("ℓ₁ radius = %v want 5", r.Radius)
+	}
+}
