@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet bench report tier1 tier2
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the whole module, with an explicit pass over the
+# concurrent batch engine (worker pool + shared radius cache).
+race:
+	$(GO) test -race ./internal/batch/...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+report:
+	$(GO) run ./cmd/report
+
+# tier1: the gate every change must keep green.
+tier1: build test
+
+# tier2: static analysis plus the race detector across the module.
+tier2: vet race

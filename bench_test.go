@@ -11,6 +11,8 @@ package robustness
 //	similar slack; BenchmarkTable2 reports the A/B robustness ratio.
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"fepia/internal/core"
@@ -261,6 +263,100 @@ func BenchmarkHeuristics(b *testing.B) {
 			b.ReportMetric(rho, "rho")
 		})
 	}
+}
+
+// BenchmarkAnalyzeBatch measures the batch engine on 64 random mappings
+// of the §4.3 HiPer-D instance: the one-worker baseline vs the full
+// GOMAXPROCS pool, and a cold vs warm radius cache. Setup asserts the
+// acceptance contract — the parallel results are byte-identical to the
+// sequential ones — before any timing starts.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	sys, err := hiperd.GenerateSystem(stats.NewRNG(2003), hiperd.PaperGenParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	ms := make([]hiperd.Mapping, 64)
+	for i := range ms {
+		ms[i] = hiperd.RandomMapping(rng, sys)
+	}
+	jobs, err := hiperd.Jobs(sys, ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	seq, err := AnalyzeBatch(ctx, jobs, BatchOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := AnalyzeBatch(ctx, jobs, BatchOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		b.Fatal("parallel AnalyzeBatch results differ from the sequential baseline")
+	}
+	run := func(opts func() BatchOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeBatch(ctx, jobs, opts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", run(func() BatchOptions { return BatchOptions{Workers: 1} }))
+	b.Run("parallel", run(func() BatchOptions { return BatchOptions{} }))
+	b.Run("parallel-coldcache", run(func() BatchOptions {
+		return BatchOptions{Cache: NewRadiusCache(0)}
+	}))
+	warm := NewRadiusCache(0)
+	if _, err := AnalyzeBatch(ctx, jobs, BatchOptions{Cache: warm}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parallel-warmcache", run(func() BatchOptions { return BatchOptions{Cache: warm} }))
+}
+
+// BenchmarkRadiusCacheConvex isolates the cache's payoff regime: radii
+// that need the iterative convex solver rather than the closed
+// hyperplane formula. All 32 jobs share the same (pointer-keyed) convex
+// feature, so a warm cache answers every radius from the map — whereas
+// on cheap affine radii (BenchmarkAnalyzeBatch) the key-building
+// overhead can exceed the solve and the cache is rightly a loss.
+func BenchmarkRadiusCacheConvex(b *testing.B) {
+	f := Feature{
+		Name: "phi",
+		Impact: &FuncImpact{
+			N:      2,
+			F:      func(pi []float64) float64 { return pi[0]*pi[0] + pi[0]*pi[1] + pi[1]*pi[1] },
+			Convex: true,
+		},
+		Bounds: NoMin(25),
+	}
+	job := BatchJob{
+		Features:     []Feature{f},
+		Perturbation: Perturbation{Name: "π", Orig: []float64{1.5, 1.0}},
+	}
+	jobs := make([]BatchJob, 32)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	ctx := context.Background()
+	run := func(opts BatchOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeBatch(ctx, jobs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("nocache", run(BatchOptions{}))
+	warm := NewRadiusCache(0)
+	if _, err := AnalyzeBatch(ctx, jobs, BatchOptions{Cache: warm}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warmcache", run(BatchOptions{Cache: warm}))
 }
 
 // BenchmarkMonteCarloCertify measures the sampling certification of one

@@ -24,12 +24,14 @@ func main() {
 	trials := flag.Int("trials", 20, "number of workloads to average over")
 	tau := flag.Float64("tau", 1.2, "tolerance for the conditional radii")
 	csvPath := flag.String("csv", "", "also write the table as CSV to this path")
+	workers := flag.Int("workers", 0, "worker goroutines for the trial×heuristic grid (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := experiments.PaperDynStudyConfig()
 	cfg.Seed = *seed
 	cfg.Trials = *trials
 	cfg.Tau = *tau
+	cfg.Workers = *workers
 	res, err := experiments.RunDynStudy(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -23,12 +23,14 @@ func main() {
 	n := flag.Int("n", 1000, "number of random mappings")
 	tau := flag.Float64("tau", 1.2, "makespan tolerance multiplier")
 	csvPath := flag.String("csv", "", "also write the per-mapping series as CSV to this path")
+	workers := flag.Int("workers", 0, "worker goroutines for the mapping evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := experiments.PaperFig3Config()
 	cfg.Seed = *seed
 	cfg.Mappings = *n
 	cfg.Tau = *tau
+	cfg.Workers = *workers
 	res, err := experiments.RunFig3(cfg)
 	if err != nil {
 		log.Fatal(err)

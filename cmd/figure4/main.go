@@ -22,11 +22,13 @@ func main() {
 	seed := flag.Int64("seed", 2003, "experiment seed")
 	n := flag.Int("n", 1000, "number of random mappings")
 	csvPath := flag.String("csv", "", "also write the per-mapping series as CSV to this path")
+	workers := flag.Int("workers", 0, "worker goroutines for the mapping evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := experiments.PaperFig4Config()
 	cfg.Seed = *seed
 	cfg.Mappings = *n
+	cfg.Workers = *workers
 	res, err := experiments.RunFig4(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -26,12 +26,14 @@ func main() {
 	trials := flag.Int("trials", 10, "number of random instances to average over")
 	tau := flag.Float64("tau", 1.2, "makespan tolerance multiplier")
 	csvPath := flag.String("csv", "", "also write the table as CSV to this path")
+	workers := flag.Int("workers", 0, "worker goroutines for the trial×heuristic grid (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := experiments.PaperHeurStudyConfig()
 	cfg.Seed = *seed
 	cfg.Trials = *trials
 	cfg.Tau = *tau
+	cfg.Workers = *workers
 	res, err := experiments.RunHeurStudy(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -27,6 +27,7 @@ func main() {
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	quick := flag.Bool("quick", false, "reduced sample counts")
 	seed := flag.Int64("seed", 2003, "experiment seed")
+	workers := flag.Int("workers", 0, "worker goroutines for the batch experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -65,6 +66,7 @@ func main() {
 	section("E3 — Figure 3: robustness vs makespan (1000 random mappings)")
 	fig3cfg := experiments.PaperFig3Config()
 	fig3cfg.Seed = *seed
+	fig3cfg.Workers = *workers
 	if *quick {
 		fig3cfg.Mappings = 200
 	}
@@ -77,6 +79,7 @@ func main() {
 	section("E4 — Figure 4: robustness vs slack (1000 random mappings)")
 	fig4cfg := experiments.PaperFig4Config()
 	fig4cfg.Seed = *seed
+	fig4cfg.Workers = *workers
 	if *quick {
 		fig4cfg.Mappings = 200
 	}
@@ -132,6 +135,7 @@ func main() {
 	section("X4 — Heuristic ablation: makespan-greedy vs robustness-greedy")
 	hcfg := experiments.PaperHeurStudyConfig()
 	hcfg.Seed = *seed
+	hcfg.Workers = *workers
 	if *quick {
 		hcfg.Trials = 2
 	}
@@ -144,6 +148,7 @@ func main() {
 	section("X5 — Dynamic mapping: online robustness timeline")
 	dyncfg := experiments.PaperDynStudyConfig()
 	dyncfg.Seed = *seed
+	dyncfg.Workers = *workers
 	if *quick {
 		dyncfg.Trials = 5
 	}

@@ -1,0 +1,161 @@
+// Package batch is the concurrent batch-analysis engine: it evaluates
+// many robustness analyses (N mappings × M perturbation parameters) over
+// a bounded worker pool with deterministic result ordering and context
+// cancellation, and memoises individual robustness radii in an LRU cache
+// so repeated evaluations of identical subproblems — the same impact
+// function against the same bounds at the same operating point — are
+// solved once.
+//
+// The paper's evaluation (§4) is embarrassingly parallel: every radius
+// r_μ(φ_i, π_j) of Eq. 1 is an independent minimum-norm problem, and the
+// §4.2/§4.3 experiments evaluate 1000 random mappings whose feature sets
+// overlap heavily (two mappings that place the same applications on some
+// machine induce the identical hyperplane for that machine). This package
+// exploits both facts. It underlies robustness.AnalyzeBatch on the public
+// facade, the experiment harness in internal/experiments, the Monte-Carlo
+// certifier's CertifyAll, and the population evaluation inside the
+// robustness-aware heuristics.
+//
+// Determinism: Analyze returns results indexed exactly like its input —
+// result i is byte-identical to what core.Analyze would have produced for
+// job i — regardless of worker count, cache state, or scheduling order.
+// All engine state (the worker pool, the cache) is safe for concurrent
+// use from multiple goroutines.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fepia/internal/core"
+)
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers bounds the number of concurrent analysis goroutines;
+	// values ≤ 0 select runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, memoises per-feature radius computations
+	// across the whole batch (and across batches — the cache is shared
+	// state). A nil cache disables memoisation.
+	Cache *Cache
+	// Core configures every underlying radius computation (norm choice,
+	// solver budgets).
+	Core core.Options
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Job is one analysis unit: a feature set Φ against one perturbation
+// parameter π — exactly the input of core.Analyze.
+type Job struct {
+	// Features is Φ: the features with their impact functions against
+	// this job's parameter.
+	Features []core.Feature
+	// Perturbation is π with its operating point π^orig.
+	Perturbation core.Perturbation
+}
+
+// ForEach runs fn(0) … fn(n−1) over a pool of at most `workers`
+// goroutines (≤ 0 selects GOMAXPROCS) and returns the first error
+// encountered, cancelling the remaining work. It is the scheduling
+// substrate of Analyze and of the experiment harness: callers write
+// result i into slot i of a preallocated slice, so output order never
+// depends on scheduling.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Analyze evaluates every job concurrently and returns one core.Analysis
+// per job, in input order. Each result is identical to what
+// core.Analyze(job.Features, job.Perturbation, opts.Core) would return;
+// only the schedule (and, with opts.Cache set, the amount of repeated
+// solving) differs. The first failing job aborts the batch.
+func Analyze(ctx context.Context, jobs []Job, opts Options) ([]core.Analysis, error) {
+	out := make([]core.Analysis, len(jobs))
+	err := ForEach(ctx, len(jobs), opts.workers(), func(i int) error {
+		a, err := AnalyzeOne(jobs[i], opts)
+		if err != nil {
+			return fmt.Errorf("batch: job %d (%s): %w", i, jobs[i].Perturbation.Name, err)
+		}
+		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnalyzeOne evaluates a single job through the engine's cached radius
+// path without spawning workers. It exists so callers with their own
+// per-item pipelines (e.g. hiperd.EvaluateBatch, which interleaves
+// feature construction and slack computation) can still share one radius
+// cache; it is safe to call concurrently.
+func AnalyzeOne(job Job, opts Options) (core.Analysis, error) {
+	if len(job.Features) == 0 {
+		return core.Analysis{}, fmt.Errorf("core: empty feature set Φ")
+	}
+	copts := opts.Core.WithDefaults()
+	radii := make([]core.RadiusResult, len(job.Features))
+	for i, f := range job.Features {
+		r, err := opts.Cache.Radius(f, job.Perturbation, copts)
+		if err != nil {
+			return core.Analysis{}, err
+		}
+		radii[i] = r
+	}
+	return core.NewAnalysis(job.Perturbation, radii), nil
+}

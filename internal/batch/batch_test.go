@@ -1,0 +1,177 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/etcgen"
+	"fepia/internal/hcs"
+	"fepia/internal/indalloc"
+	"fepia/internal/stats"
+)
+
+// paperJobs builds n analysis jobs from random §3.1 mappings of one
+// paper-distribution instance.
+func paperJobs(t testing.TB, n int, seed int64) []Job {
+	t.Helper()
+	etc, err := etcgen.Generate(stats.NewRNG(seed), etcgen.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := hcs.NewInstance(etc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed + 1)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		m := hcs.RandomMapping(rng, inst)
+		features, p, err := indalloc.Features(m, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Job{Features: features, Perturbation: p}
+	}
+	return jobs
+}
+
+// TestAnalyzeMatchesSequential is the engine's core contract: for every
+// worker count and cache configuration, batch results must be
+// byte-identical to core.Analyze run job by job.
+func TestAnalyzeMatchesSequential(t *testing.T) {
+	jobs := paperJobs(t, 40, 7)
+	want := make([]core.Analysis, len(jobs))
+	for i, j := range jobs {
+		a, err := core.Analyze(j.Features, j.Perturbation, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = a
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sequential", Options{Workers: 1}},
+		{"parallel", Options{Workers: 8}},
+		{"parallel-cached", Options{Workers: 8, Cache: NewCache(0)}},
+		{"default-workers", Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Analyze(context.Background(), jobs, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("batch results differ from sequential core.Analyze")
+			}
+			// A second pass over the same jobs must also be identical —
+			// this is the warm-cache path when a cache is configured.
+			again, err := Analyze(context.Background(), jobs, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, want) {
+				t.Fatalf("second (warm) batch pass differs from sequential results")
+			}
+		})
+	}
+}
+
+func TestAnalyzeEmptyAndInvalid(t *testing.T) {
+	if out, err := Analyze(context.Background(), nil, Options{}); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	// An empty feature set must fail exactly like core.Analyze.
+	_, err := Analyze(context.Background(), []Job{{Perturbation: core.Perturbation{Name: "π", Orig: []float64{1}}}}, Options{})
+	if err == nil {
+		t.Fatal("empty feature set should fail")
+	}
+}
+
+func TestAnalyzeCancellation(t *testing.T) {
+	jobs := paperJobs(t, 16, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, jobs, Options{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 257
+	counts := make([]int32, n)
+	var mu sync.Mutex
+	err := ForEach(context.Background(), n, 7, func(i int) error {
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	err := ForEach(context.Background(), 100, 4, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return boom }); err != nil {
+		t.Fatalf("n=0 should be a no-op, got %v", err)
+	}
+}
+
+// TestAnalyzeBatchRaceHammer drives one shared engine + cache from many
+// goroutines with a mix of identical and distinct inputs. Run under the
+// race detector by the tier-2 target (go test -race ./internal/batch/...).
+func TestAnalyzeBatchRaceHammer(t *testing.T) {
+	shared := paperJobs(t, 6, 23) // identical across goroutines → cache contention
+	distinct := make([][]Job, 16) // per-goroutine inputs
+	for g := range distinct {
+		distinct[g] = paperJobs(t, 4, int64(100+g))
+	}
+	cache := NewCache(64) // small: forces concurrent eviction too
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for _, jobs := range [][]Job{shared, distinct[g]} {
+					if _, err := Analyze(context.Background(), jobs, Options{Workers: 2, Cache: cache}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("expected cache hits under contention, got %+v", st)
+	}
+}

@@ -1,0 +1,194 @@
+package batch
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"sync"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// DefaultCacheCapacity bounds a zero-configured cache. At ~50 features per
+// HiPer-D mapping it holds the working set of several full §4.3 sweeps.
+const DefaultCacheCapacity = 8192
+
+// Cache memoises per-feature radius computations. The key identifies the
+// complete subproblem of Eq. 1: the impact function, the bounds
+// ⟨β^min, β^max⟩, the operating point π^orig, and the analysis options
+// (norm plus solver/anneal budgets). Affine impacts are keyed by value
+// (coefficients and offset), so structurally identical hyperplanes hit
+// across distinct mappings; all other impacts are keyed by pointer
+// identity, which is sound because the cached entry pins the impact and
+// its result cannot go stale while the entry lives.
+//
+// Eviction is LRU with a fixed entry capacity. All methods are safe for
+// concurrent use; a nil *Cache is valid and simply computes every radius.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// cacheEntry is one memoised radius. The impact reference keeps
+// pointer-keyed impacts alive so their addresses cannot be recycled into
+// a colliding key by the garbage collector.
+type cacheEntry struct {
+	key    string
+	impact core.Impact
+	result core.RadiusResult
+}
+
+// NewCache returns a cache bounded to the given number of entries;
+// capacity ≤ 0 selects DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count Radius calls served from / added to the
+	// cache. Uncacheable impacts (exotic non-pointer Impact
+	// implementations) appear in neither count.
+	Hits, Misses uint64
+	// Size and Capacity describe current occupancy.
+	Size, Capacity int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len(), Capacity: c.capacity}
+}
+
+// Radius returns core.ComputeRadius(f, p, opts), memoised. On a hit the
+// boundary point is cloned so callers may mutate their copy freely. A nil
+// receiver computes directly. opts should be pre-normalised with
+// WithDefaults when the caller loops, so equal configurations key
+// equally; Radius normalises again only for key construction, never for
+// semantics (core.ComputeRadius applies its own defaults).
+func (c *Cache) Radius(f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, error) {
+	if c == nil {
+		return core.ComputeRadius(f, p, opts)
+	}
+	key, ok := radiusKey(f, p, opts.WithDefaults())
+	if !ok {
+		return core.ComputeRadius(f, p, opts)
+	}
+
+	c.mu.Lock()
+	if el, found := c.entries[key]; found {
+		c.order.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).result
+		c.mu.Unlock()
+		res.Boundary = vecmath.Clone(res.Boundary)
+		// The key identifies the subproblem, not the feature's display
+		// name: re-stamp the caller's name so a hit is indistinguishable
+		// from a fresh core.ComputeRadius call.
+		res.Feature = f.Name
+		return res, nil
+	}
+	c.mu.Unlock()
+
+	res, err := core.ComputeRadius(f, p, opts)
+	if err != nil {
+		return core.RadiusResult{}, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, found := c.entries[key]; !found {
+		// First writer wins; concurrent solvers of the same key computed
+		// identical results, so dropping duplicates is harmless.
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, impact: f.Impact, result: res})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.misses++
+	stored := res
+	stored.Boundary = vecmath.Clone(stored.Boundary)
+	return stored, nil
+}
+
+// radiusKey builds the memoisation key, reporting ok=false for impacts it
+// cannot identify (non-pointer Impact implementations other than
+// LinearImpact).
+func radiusKey(f core.Feature, p core.Perturbation, opts core.Options) (string, bool) {
+	b := make([]byte, 0, 64+8*len(p.Orig))
+
+	switch imp := f.Impact.(type) {
+	case *core.LinearImpact:
+		b = append(b, 'L')
+		b = appendFloats(b, imp.Coeffs)
+		b = appendFloat(b, imp.Offset)
+	default:
+		v := reflect.ValueOf(f.Impact)
+		switch v.Kind() {
+		case reflect.Pointer, reflect.Func, reflect.Map, reflect.Chan, reflect.UnsafePointer:
+			b = append(b, 'P')
+			b = binary.LittleEndian.AppendUint64(b, uint64(v.Pointer()))
+		default:
+			return "", false
+		}
+	}
+
+	b = append(b, '|')
+	b = appendFloat(b, f.Bounds.Min)
+	b = appendFloat(b, f.Bounds.Max)
+	b = append(b, '|')
+	b = appendFloats(b, p.Orig)
+	b = append(b, '|')
+	b = append(b, opts.Norm.Name()...)
+	if w, ok := opts.Norm.(*vecmath.WeightedL2); ok {
+		b = appendFloats(b, w.W)
+	}
+	b = append(b, '|')
+	s := opts.Solver
+	b = appendFloats(b, []float64{s.Tol, float64(s.MaxIter), float64(s.Restarts), float64(s.Seed), s.GradStep, s.RayMax})
+	a := opts.Anneal
+	b = appendFloats(b, []float64{float64(a.Steps), a.InitialTemp, a.FinalTemp, a.Sigma, float64(a.Seed), a.Tol, a.RayMax})
+	return string(b), true
+}
+
+// appendFloat appends the IEEE-754 bit pattern (distinguishes ±0 and
+// preserves every finite and infinite value exactly).
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendFloats(b []byte, vs []float64) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = appendFloat(b, v)
+	}
+	return b
+}

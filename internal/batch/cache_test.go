@@ -1,0 +1,195 @@
+package batch
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fepia/internal/core"
+)
+
+func linFeature(t *testing.T, name string, coeffs []float64, max float64) core.Feature {
+	t.Helper()
+	imp, err := core.NewLinearImpact(coeffs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Feature{Name: name, Impact: imp, Bounds: core.NoMin(max)}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(16)
+	f := linFeature(t, "F", []float64{1, 1}, 10)
+	p := core.Perturbation{Name: "π", Orig: []float64{1, 2}}
+
+	first, err := c.Radius(f, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Radius(f, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached result differs: %+v vs %+v", first, second)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+
+	// A hit's boundary is an independent clone: mutating it must not
+	// corrupt later lookups.
+	second.Boundary[0] = math.Inf(1)
+	third, err := c.Radius(f, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Fatalf("boundary mutation leaked into the cache: %+v", third)
+	}
+}
+
+// Structurally identical affine impacts must hit even when they are
+// distinct objects — this is the cross-mapping sharing that makes the
+// cache pay off in the §4.3 sweep.
+func TestCacheValueKeyedLinearImpacts(t *testing.T) {
+	c := NewCache(16)
+	p := core.Perturbation{Name: "π", Orig: []float64{1, 2}}
+	fa := linFeature(t, "A", []float64{3, 4}, 25)
+	fb := linFeature(t, "B", []float64{3, 4}, 25) // same hyperplane, new object
+
+	ra, err := c.Radius(fa, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c.Radius(fb, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the second distinct object to hit", st)
+	}
+	// The memo stores the radius computation, which does not depend on
+	// the feature's display name — but the hit must carry the caller's
+	// name, not the name of the feature that populated the entry.
+	if ra.Radius != rb.Radius || ra.Kind != rb.Kind {
+		t.Fatalf("radii differ: %+v vs %+v", ra, rb)
+	}
+	if ra.Feature != "A" || rb.Feature != "B" {
+		t.Fatalf("feature names not re-stamped on hit: %q / %q", ra.Feature, rb.Feature)
+	}
+
+	// Different bounds on the same impact is a different subproblem.
+	fc := linFeature(t, "C", []float64{3, 4}, 26)
+	if _, err := c.Radius(fc, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// ... and so is a different operating point.
+	p2 := core.Perturbation{Name: "π", Orig: []float64{0, 0}}
+	if _, err := c.Radius(fa, p2, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("stats = %+v, want 3 misses (distinct bounds / operating point)", st)
+	}
+}
+
+// Non-linear impacts are keyed by pointer identity: the same object hits,
+// a behaviourally identical clone does not.
+func TestCachePointerKeyedFuncImpacts(t *testing.T) {
+	c := NewCache(16)
+	p := core.Perturbation{Name: "π", Orig: []float64{1, 1}}
+	square := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	fa := core.Feature{Name: "q", Impact: &core.FuncImpact{N: 2, F: square, Convex: true}, Bounds: core.NoMin(9)}
+	fb := core.Feature{Name: "q", Impact: &core.FuncImpact{N: 2, F: square, Convex: true}, Bounds: core.NoMin(9)}
+
+	if _, err := c.Radius(fa, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Radius(fa, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Radius(fb, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want same-object hit and clone miss", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	p := core.Perturbation{Name: "π", Orig: []float64{0, 0}}
+	f1 := linFeature(t, "1", []float64{1, 0}, 1)
+	f2 := linFeature(t, "2", []float64{0, 1}, 1)
+	f3 := linFeature(t, "3", []float64{1, 1}, 1)
+
+	for _, f := range []core.Feature{f1, f2} {
+		if _, err := c.Radius(f, p, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch f1 so f2 becomes least-recently used, then insert f3.
+	if _, err := c.Radius(f1, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Radius(f3, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Fatalf("size = %d, want capacity 2", st.Size)
+	}
+	// f1 must still be cached (hit), f2 must have been evicted (miss).
+	before := c.Stats()
+	if _, err := c.Radius(f1, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != before.Hits+1 {
+		t.Fatalf("f1 should have survived eviction: %+v", st)
+	}
+	before = c.Stats()
+	if _, err := c.Radius(f2, p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != before.Misses+1 {
+		t.Fatalf("f2 should have been evicted: %+v", st)
+	}
+}
+
+// valueImpact is an Impact implemented by a value type: it has no stable
+// identity, so the cache must bypass it rather than risk collisions.
+type valueImpact struct{ c float64 }
+
+func (v valueImpact) Eval(pi []float64) float64 { return v.c * pi[0] }
+func (v valueImpact) Dim() int                  { return 1 }
+
+func TestCacheBypassesUncacheableAndNil(t *testing.T) {
+	p := core.Perturbation{Name: "π", Orig: []float64{1}}
+	f := core.Feature{Name: "v", Impact: valueImpact{c: 2}, Bounds: core.NoMin(4)}
+
+	var nilCache *Cache
+	r, err := nilCache.Radius(f, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Radius-1) > 1e-6 {
+		t.Fatalf("radius = %v, want ≈1 (2x = 4 at x=2, distance 1)", r.Radius)
+	}
+	if st := nilCache.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+
+	c := NewCache(4)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Radius(f, p, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Size != 0 {
+		t.Fatalf("uncacheable impact should bypass entirely, got %+v", st)
+	}
+}

@@ -32,19 +32,31 @@ func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error)
 	if len(features) == 0 {
 		return Analysis{}, fmt.Errorf("core: empty feature set Φ")
 	}
-	a := Analysis{
-		Perturbation: p.Name,
-		Units:        p.Units,
-		Radii:        make([]RadiusResult, len(features)),
-		Robustness:   math.Inf(1),
-		Critical:     -1,
-	}
+	radii := make([]RadiusResult, len(features))
 	for i, f := range features {
 		r, err := ComputeRadius(f, p, opts)
 		if err != nil {
 			return Analysis{}, err
 		}
-		a.Radii[i] = r
+		radii[i] = r
+	}
+	return NewAnalysis(p, radii), nil
+}
+
+// NewAnalysis aggregates precomputed per-feature radii into the Eq. 2
+// metric: the minimum radius, the index of the binding feature, and the
+// §3.2 floor for discrete parameters. It is the shared final step of
+// Analyze and of the concurrent batch engine, which computes the radii
+// out of band (possibly cached) and must aggregate identically.
+func NewAnalysis(p Perturbation, radii []RadiusResult) Analysis {
+	a := Analysis{
+		Perturbation: p.Name,
+		Units:        p.Units,
+		Radii:        radii,
+		Robustness:   math.Inf(1),
+		Critical:     -1,
+	}
+	for i, r := range radii {
 		if r.Radius < a.Robustness {
 			a.Robustness = r.Radius
 			a.Critical = i
@@ -53,7 +65,7 @@ func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error)
 	if p.Discrete && !math.IsInf(a.Robustness, 1) {
 		a.Robustness = math.Floor(a.Robustness)
 	}
-	return a, nil
+	return a
 }
 
 // CriticalFeature returns the result for the binding feature, or nil when

@@ -72,8 +72,11 @@ type Options struct {
 	Anneal optimize.AnnealOptions
 }
 
-// withDefaults fills zero-valued fields.
-func (o Options) withDefaults() Options {
+// WithDefaults returns a copy with every zero-valued field replaced by its
+// default (ℓ₂ norm, optimize.DefaultOptions, optimize.DefaultAnnealOptions).
+// ComputeRadius applies it internally; callers that need a stable identity
+// for a configuration — the batch cache keys on it — can normalise first.
+func (o Options) WithDefaults() Options {
 	if o.Norm == nil {
 		o.Norm = vecmath.L2{}
 	}
@@ -120,7 +123,7 @@ func ComputeRadius(f Feature, p Perturbation, opts Options) (RadiusResult, error
 	if d := f.Impact.Dim(); d != len(p.Orig) {
 		return RadiusResult{}, fmt.Errorf("core: feature %q impact dimension %d != perturbation dimension %d", f.Name, d, len(p.Orig))
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 
 	v0 := f.Impact.Eval(p.Orig)
 	if math.IsNaN(v0) {

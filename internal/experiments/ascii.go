@@ -2,9 +2,20 @@
 // Figure 1 (the boundary-curve concept), Figure 2 (the HiPer-D DAG),
 // Figure 3 (robustness vs makespan, 1000 random mappings), Figure 4
 // (robustness vs slack, 1000 random mappings), and Table 2 (two mappings
-// with similar slack but very different robustness). Each experiment has a
-// deterministic Run function returning plain data plus helpers to render
-// ASCII scatter plots and CSV for external plotting.
+// with similar slack but very different robustness). Beyond the paper it
+// adds the extension studies X1–X6: the simulation-backed violation curve
+// (X1), floor(ρ) vs the exact discrete lattice radius (X2), ρ under
+// alternative norms (X3), the mapping-heuristic ablation (X4), the
+// dynamic-mapping robustness timeline (X5), and the ETC consistency
+// ablation (X6).
+//
+// Each experiment has a deterministic Run function returning plain data
+// plus helpers to render ASCII scatter plots and CSV for external
+// plotting. The population-scale experiments (Figures 3–4, X4, X5)
+// dispatch their per-mapping work through internal/batch; every config
+// exposes a Workers knob, and results are bit-identical for any worker
+// count because RNG draws stay sequential and accumulation order is
+// fixed.
 package experiments
 
 import (

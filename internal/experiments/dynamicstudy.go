@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 
+	batchengine "fepia/internal/batch"
 	"fepia/internal/dynamic"
 	"fepia/internal/stats"
 )
@@ -23,6 +25,10 @@ type DynStudyConfig struct {
 	Tau float64
 	// Gen parameterises workload generation.
 	Gen dynamic.GenParams
+	// Workers bounds the concurrent (trial × heuristic) simulations
+	// (≤ 0 selects GOMAXPROCS). Each simulation owns its RNG, so results
+	// are independent of the worker count.
+	Workers int
 }
 
 // PaperDynStudyConfig averages 20 paper-scale workloads at τ = 1.2.
@@ -75,25 +81,43 @@ func RunDynStudy(cfg DynStudyConfig) (*DynStudyResult, error) {
 		}
 	}
 
+	// Generate the workloads sequentially (shared RNG stream), then run
+	// the trial × heuristic grid concurrently; each simulation seeds its
+	// own RNG. Results land in a fixed grid and are accumulated in the
+	// sequential order afterwards, so the averages are bit-identical to a
+	// serial run.
 	rng := stats.NewRNG(cfg.Seed)
-	for trial := 0; trial < cfg.Trials; trial++ {
+	workloads := make([]dynamic.Workload, cfg.Trials)
+	for trial := range workloads {
 		w, err := dynamic.Generate(rng, cfg.Gen)
 		if err != nil {
 			return nil, err
 		}
-		for i, h := range immediate {
-			res, err := dynamic.Run(stats.NewRNG(cfg.Seed+int64(trial)), w, h, cfg.Tau)
-			if err != nil {
-				return nil, err
-			}
-			accumulate(i, res)
+		workloads[trial] = w
+	}
+	grid := make([]*dynamic.Result, cfg.Trials*total)
+	err := batchengine.ForEach(context.Background(), len(grid), cfg.Workers, func(c int) error {
+		trial, i := c/total, c%total
+		w := workloads[trial]
+		var res *dynamic.Result
+		var err error
+		if i < len(immediate) {
+			res, err = dynamic.Run(stats.NewRNG(cfg.Seed+int64(trial)), w, immediate[i], cfg.Tau)
+		} else {
+			res, err = dynamic.RunBatch(stats.NewRNG(cfg.Seed+int64(trial)), w, batch[i-len(immediate)], interval, cfg.Tau)
 		}
-		for i, h := range batch {
-			res, err := dynamic.RunBatch(stats.NewRNG(cfg.Seed+int64(trial)), w, h, interval, cfg.Tau)
-			if err != nil {
-				return nil, err
-			}
-			accumulate(len(immediate)+i, res)
+		if err != nil {
+			return err
+		}
+		grid[c] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for i := 0; i < total; i++ {
+			accumulate(i, grid[trial*total+i])
 		}
 	}
 	out := &DynStudyResult{Config: cfg}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strings"
 
+	"fepia/internal/batch"
 	"fepia/internal/etcgen"
 	"fepia/internal/hcs"
 	"fepia/internal/indalloc"
@@ -24,6 +26,9 @@ type Fig3Config struct {
 	Tau float64
 	// ETC parameterises the workload generator.
 	ETC etcgen.Params
+	// Workers bounds the concurrent mapping evaluations (≤ 0 selects
+	// GOMAXPROCS). Results are independent of the worker count.
+	Workers int
 }
 
 // PaperFig3Config reproduces §4.2: 1000 random mappings of 20 applications
@@ -77,24 +82,35 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig3Result{Config: cfg, Rows: make([]Fig3Row, 0, cfg.Mappings)}
-	for i := 0; i < cfg.Mappings; i++ {
-		m := hcs.RandomMapping(rng, inst)
+	// Draw the population sequentially so the sampled mappings are
+	// independent of the worker count, then evaluate it in parallel:
+	// every per-mapping analysis is an independent Eq. 6/7 computation.
+	mappings := make([]*hcs.Mapping, cfg.Mappings)
+	for i := range mappings {
+		mappings[i] = hcs.RandomMapping(rng, inst)
+	}
+	res := &Fig3Result{Config: cfg, Rows: make([]Fig3Row, cfg.Mappings)}
+	err = batch.ForEach(context.Background(), cfg.Mappings, cfg.Workers, func(i int) error {
+		m := mappings[i]
 		ev, err := indalloc.Evaluate(m, cfg.Tau)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		info, err := indalloc.Classify(m, cfg.Tau)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Fig3Row{
+		res.Rows[i] = Fig3Row{
 			Makespan:    ev.PredictedMakespan,
 			Robustness:  ev.Robustness,
 			LoadBalance: m.LoadBalanceIndex(),
 			X:           info.X,
 			InS1:        info.InS1,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.summarise()
 	return res, nil

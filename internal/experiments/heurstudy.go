@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
+	"fepia/internal/batch"
 	"fepia/internal/etcgen"
 	"fepia/internal/hcs"
 	"fepia/internal/heuristics"
@@ -25,6 +27,11 @@ type HeurStudyConfig struct {
 	Tau float64
 	// ETC parameterises the workload.
 	ETC etcgen.Params
+	// Workers bounds the concurrent (trial × heuristic) evaluations
+	// (≤ 0 selects GOMAXPROCS). Every cell of the grid runs a heuristic
+	// with its own deterministic RNG, so results are independent of the
+	// worker count.
+	Workers int
 }
 
 // PaperHeurStudyConfig averages over 10 paper-distribution instances at
@@ -64,8 +71,13 @@ func RunHeurStudy(cfg HeurStudyConfig) (*HeurStudyResult, error) {
 	type agg struct{ makespan, rho, lbi float64 }
 	sums := make([]agg, len(suite))
 
+	// Generate the instances sequentially (the shared RNG stream fixes
+	// them regardless of scheduling), then evaluate the full
+	// trial × heuristic grid concurrently: every cell seeds its own RNG,
+	// so each run is bitwise reproducible in isolation.
 	rng := stats.NewRNG(cfg.Seed)
-	for trial := 0; trial < cfg.Trials; trial++ {
+	instances := make([]*hcs.Instance, cfg.Trials)
+	for trial := range instances {
 		etc, err := etcgen.Generate(rng, cfg.ETC)
 		if err != nil {
 			return nil, err
@@ -74,18 +86,34 @@ func RunHeurStudy(cfg HeurStudyConfig) (*HeurStudyResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i, h := range suite {
-			m, err := h.Map(stats.NewRNG(cfg.Seed+int64(trial)), inst)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", h.Name(), err)
-			}
-			res, err := indalloc.Evaluate(m, cfg.Tau)
-			if err != nil {
-				return nil, err
-			}
-			sums[i].makespan += res.PredictedMakespan
-			sums[i].rho += res.Robustness
-			sums[i].lbi += m.LoadBalanceIndex()
+		instances[trial] = inst
+	}
+	cells := make([]agg, cfg.Trials*len(suite))
+	err := batch.ForEach(context.Background(), len(cells), cfg.Workers, func(c int) error {
+		trial, i := c/len(suite), c%len(suite)
+		h := suite[i]
+		m, err := h.Map(stats.NewRNG(cfg.Seed+int64(trial)), instances[trial])
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", h.Name(), err)
+		}
+		res, err := indalloc.Evaluate(m, cfg.Tau)
+		if err != nil {
+			return err
+		}
+		cells[c] = agg{makespan: res.PredictedMakespan, rho: res.Robustness, lbi: m.LoadBalanceIndex()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate in the fixed (trial, heuristic) order so floating-point
+	// summation matches the sequential implementation exactly.
+	for trial := 0; trial < cfg.Trials; trial++ {
+		for i := range suite {
+			cell := cells[trial*len(suite)+i]
+			sums[i].makespan += cell.makespan
+			sums[i].rho += cell.rho
+			sums[i].lbi += cell.lbi
 		}
 	}
 

@@ -1,10 +1,12 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"fepia/internal/batch"
 	"fepia/internal/hcs"
 	"fepia/internal/indalloc"
 	"fepia/internal/stats"
@@ -272,8 +274,15 @@ func (g RobustGA) Map(rng *stats.RNG, inst *hcs.Instance) (*hcs.Mapping, error) 
 	for gen := 0; gen < gens; gen++ {
 		scores := make([]float64, pop)
 		order := make([]int, pop)
-		for p := range population {
+		// Fitness is a pure function of the chromosome, so the population
+		// evaluates concurrently over the batch engine's worker pool;
+		// scores land in chromosome order, keeping selection (and hence
+		// the whole GA trajectory) identical to a sequential evaluation.
+		_ = batch.ForEach(context.Background(), pop, 0, func(p int) error {
 			scores[p] = fitness(population[p])
+			return nil
+		})
+		for p := range order {
 			order[p] = p
 		}
 		sort.Slice(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })

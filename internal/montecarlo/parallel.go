@@ -1,0 +1,48 @@
+package montecarlo
+
+import (
+	"context"
+
+	"fepia/internal/batch"
+	"fepia/internal/core"
+	"fepia/internal/stats"
+)
+
+// Case is one certification unit for CertifyAll: a claimed radius with
+// the feature set and perturbation it was computed for, plus the seed of
+// the case's private sampling stream. Giving every case its own RNG is
+// what makes the parallel run deterministic: reports do not depend on
+// worker count or scheduling order.
+type Case struct {
+	// Seed initialises the case's sampling stream.
+	Seed int64
+	// Features is the feature set whose bounds define violation.
+	Features []core.Feature
+	// Perturbation supplies the operating point.
+	Perturbation core.Perturbation
+	// Rho is the claimed robustness metric under test.
+	Rho float64
+}
+
+// CertifyAll certifies many claimed radii concurrently over the batch
+// engine's worker pool (opts.Workers; the cache is not consulted —
+// certification is pure sampling by design, independent of the analytic
+// machinery it audits). Reports are returned in case order and are
+// identical to calling Certify sequentially with each case's seed. The
+// first failing case aborts the run.
+func CertifyAll(ctx context.Context, cases []Case, cfg Config, opts batch.Options) ([]Report, error) {
+	out := make([]Report, len(cases))
+	err := batch.ForEach(ctx, len(cases), opts.Workers, func(i int) error {
+		c := cases[i]
+		rep, err := Certify(stats.NewRNG(c.Seed), c.Features, c.Perturbation, c.Rho, cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

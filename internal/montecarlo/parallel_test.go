@@ -1,0 +1,53 @@
+package montecarlo
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fepia/internal/batch"
+	"fepia/internal/core"
+	"fepia/internal/stats"
+)
+
+// TestCertifyAllMatchesSequential checks that the parallel certifier is
+// deterministic: per-case seeds make every report identical to a
+// sequential Certify run, for any worker count.
+func TestCertifyAllMatchesSequential(t *testing.T) {
+	impact, err := core.NewLinearImpact([]float64{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := []core.Feature{{Name: "F", Impact: impact, Bounds: core.NoMin(10)}}
+	p := core.Perturbation{Name: "π", Orig: []float64{3, 3}}
+	cfg := Config{InteriorSamples: 200, Directions: 40}
+
+	cases := make([]Case, 8)
+	for i := range cases {
+		cases[i] = Case{Seed: int64(i + 1), Features: features, Perturbation: p, Rho: 4 / 1.4142135623730951}
+	}
+	want := make([]Report, len(cases))
+	for i, c := range cases {
+		rep, err := Certify(stats.NewRNG(c.Seed), c.Features, c.Perturbation, c.Rho, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	for _, workers := range []int{1, 4, 0} {
+		got, err := CertifyAll(context.Background(), cases, cfg, batch.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("CertifyAll(workers=%d) differs from sequential Certify", workers)
+		}
+	}
+}
+
+func TestCertifyAllPropagatesErrors(t *testing.T) {
+	cases := []Case{{Seed: 1, Features: nil, Perturbation: core.Perturbation{Name: "π", Orig: []float64{1}}, Rho: 1}}
+	if _, err := CertifyAll(context.Background(), cases, Config{}, batch.Options{}); err == nil {
+		t.Fatal("empty feature set should fail")
+	}
+}

@@ -29,6 +29,23 @@
 // non-convex impacts additionally run a simulated-annealing fallback, as
 // §3.2 of the paper sanctions.
 //
+// # Batch analysis and concurrency
+//
+// Comparing many mappings is the metric's whole point (§4 evaluates 1000
+// random mappings per experiment), and every radius of Eq. 1 is an
+// independent subproblem. AnalyzeBatch evaluates many analyses over a
+// bounded worker pool with deterministic, input-ordered results and
+// context cancellation; an optional RadiusCache memoises structurally
+// identical radius subproblems across the batch with LRU eviction and
+// hit/miss accounting.
+//
+// Concurrency safety: Analyze, ComputeRadius, and AnalyzeBatch are safe
+// to call from multiple goroutines, and a single *RadiusCache may be
+// shared across concurrent AnalyzeBatch calls. The inputs themselves must
+// not be mutated while an analysis is running, and custom Impact
+// implementations must be safe for concurrent Eval/Gradient calls (pure
+// functions — the paper's impacts all are).
+//
 // The two systems the paper derives metrics for are available as
 // sub-analyses: the independent-application allocation of §3.1 through
 // EvaluateIndependentAllocation (closed-form Eq. 6/7) and the HiPer-D
@@ -38,6 +55,9 @@
 package robustness
 
 import (
+	"context"
+
+	"fepia/internal/batch"
 	"fepia/internal/core"
 	"fepia/internal/etcgen"
 	"fepia/internal/hcs"
@@ -114,6 +134,34 @@ func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error)
 // multi-parameter extension the paper defers to [1].
 func MultiAnalyze(sets []ParameterSet, opts Options) (MultiAnalysis, error) {
 	return core.MultiAnalyze(sets, opts)
+}
+
+// Batch-analysis vocabulary (see the package comment's batch section).
+type (
+	// BatchJob is one analysis unit for AnalyzeBatch: a feature set Φ
+	// against one perturbation parameter π.
+	BatchJob = batch.Job
+	// BatchOptions tunes AnalyzeBatch: worker count, radius cache, and
+	// the per-analysis core options.
+	BatchOptions = batch.Options
+	// RadiusCache memoises per-feature radius computations with LRU
+	// eviction; safe for concurrent use and for sharing across batches.
+	RadiusCache = batch.Cache
+	// CacheStats reports a cache's hit/miss counters and occupancy.
+	CacheStats = batch.CacheStats
+)
+
+// NewRadiusCache returns a radius memoization cache bounded to the given
+// number of entries (≤ 0 selects the default capacity).
+func NewRadiusCache(capacity int) *RadiusCache { return batch.NewCache(capacity) }
+
+// AnalyzeBatch evaluates every job concurrently over a bounded worker
+// pool and returns one Analysis per job, in input order. Each result is
+// identical to Analyze(job.Features, job.Perturbation, opts.Core) — only
+// the schedule (and, with a cache, the amount of repeated solving)
+// differs. The first failing job cancels the batch, as does ctx.
+func AnalyzeBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) ([]Analysis, error) {
+	return batch.Analyze(ctx, jobs, opts)
 }
 
 // ConcatPerturbations builds a joint perturbation parameter from several
