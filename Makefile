@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench report tier1 tier2
+.PHONY: all build test race vet bench report tier1 tier2 serve loadtest fuzz
 
 all: tier1
 
@@ -24,6 +24,26 @@ bench:
 
 report:
 	$(GO) run ./cmd/report
+
+# serve: run the fepiad HTTP robustness-analysis service on :8080
+# (see docs/SERVICE.md for the endpoint reference).
+serve:
+	$(GO) run ./cmd/fepiad
+
+# loadtest: hammer a fepiad with generated report-style specs. By default
+# it spins up its own in-process server; set LOADTEST_URL to target a
+# running instance (e.g. one started with `make serve`).
+LOADTEST_URL ?=
+loadtest:
+ifeq ($(LOADTEST_URL),)
+	$(GO) run ./cmd/loadgen -self -n 2000 -c 32 -batch 8
+else
+	$(GO) run ./cmd/loadgen -url $(LOADTEST_URL) -n 2000 -c 32 -batch 8
+endif
+
+# fuzz: a bounded fuzzing smoke over the spec parser (CI runs this).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/spec
 
 # tier1: the gate every change must keep green.
 tier1: build test

@@ -1,0 +1,69 @@
+// Command fepiad serves the robustness analysis over HTTP: the FePIA
+// step-4 oracle as an online service, for scheduler loops and experiment
+// harnesses that score many candidate mappings on demand (see
+// docs/SERVICE.md for the endpoint reference).
+//
+//	fepiad                       # serve on :8080
+//	fepiad -addr :9090 -pprof    # custom port, pprof enabled
+//
+// Endpoints: POST /v1/analyze (one spec document), POST /v1/batch (many
+// systems over the worker pool and shared radius cache), GET /healthz,
+// GET /debug/vars. The process drains gracefully on SIGTERM/SIGINT:
+// in-flight analyses get -drain to finish, then are force-cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fepia/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fepiad: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "analysis workers per batch request (0 = GOMAXPROCS)")
+		cacheCap    = flag.Int("cache", 0, "shared radius-cache capacity in entries (0 = default)")
+		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body in bytes")
+		timeout     = flag.Duration("timeout", server.DefaultTimeout, "per-request analysis deadline")
+		maxInFlight = flag.Int("max-inflight", server.DefaultMaxInFlight, "admitted concurrent requests before shedding with 503")
+		retryAfter  = flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint on 503 responses")
+		drain       = flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain budget")
+		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		MaxBodyBytes:  *maxBody,
+		Timeout:       *timeout,
+		MaxInFlight:   *maxInFlight,
+		RetryAfter:    *retryAfter,
+		Workers:       *workers,
+		CacheCapacity: *cacheCap,
+		DrainTimeout:  *drain,
+		EnablePprof:   *enablePprof,
+		Log:           log.Default(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (timeout %v, max in-flight %d)", l.Addr(), *timeout, *maxInFlight)
+	start := time.Now()
+	if err := s.Run(ctx, l); err != nil {
+		log.Fatal(err)
+	}
+	cs := s.CacheStats()
+	log.Printf("drained cleanly after %v (cache: %d hits / %d misses)", time.Since(start).Round(time.Millisecond), cs.Hits, cs.Misses)
+}

@@ -1,0 +1,247 @@
+// Command loadgen hammers a fepiad instance with generated spec documents
+// in the style of the paper's §3.1/§3.2 systems (random machine
+// finishing-time hyperplanes plus occasional convex queueing features) and
+// reports throughput and latency percentiles — the `make loadtest` target.
+//
+//	loadgen -self                      # spin up an in-process fepiad and hammer it
+//	loadgen -url http://host:8080      # hammer a running instance
+//	loadgen -n 5000 -c 64 -batch 16    # 5000 requests, 64 clients, 16 systems each
+//
+// The generator is seeded, so two runs with the same flags submit the
+// identical workload. Systems are drawn from a bounded pool (default 64
+// distinct systems) to exercise the server's shared radius cache the way
+// the paper's 1000-mapping experiments do: heavy structural overlap.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fepia/internal/server"
+	"fepia/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		url     = flag.String("url", "http://localhost:8080", "fepiad base URL")
+		self    = flag.Bool("self", false, "start an in-process fepiad on a random port and hammer it")
+		n       = flag.Int("n", 2000, "total requests")
+		c       = flag.Int("c", 32, "concurrent clients")
+		batch   = flag.Int("batch", 8, "systems per request (1 = POST /v1/analyze, else /v1/batch)")
+		pool    = flag.Int("pool", 64, "distinct systems in the workload pool")
+		seed    = flag.Int64("seed", 1, "workload RNG seed")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+
+	base := *url
+	if *self {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := server.New(server.Config{MaxInFlight: 2 * *c, Log: log.New(os.Stderr, "fepiad: ", 0)})
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done := make(chan error, 1)
+		go func() { done <- s.Run(ctx, l) }()
+		defer func() {
+			cancel()
+			<-done
+			cs := s.CacheStats()
+			log.Printf("server cache: %d hits / %d misses (%.1f%% hit rate), %d/%d entries",
+				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Size, cs.Capacity)
+		}()
+		base = "http://" + l.Addr().String()
+	}
+
+	bodies := buildWorkload(rand.New(rand.NewSource(*seed)), *n, *batch, *pool)
+	endpoint := base + "/v1/batch"
+	if *batch <= 1 {
+		endpoint = base + "/v1/analyze"
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	var (
+		next      atomic.Int64
+		okCount   atomic.Int64
+		failCount atomic.Int64
+		mu        sync.Mutex
+		durations []time.Duration
+	)
+	log.Printf("%d requests × %d systems → %s over %d clients", *n, *batch, endpoint, *c)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, *n / *c)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bodies) {
+					break
+				}
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", strings.NewReader(bodies[i]))
+				if err != nil {
+					failCount.Add(1)
+					continue
+				}
+				drain(resp)
+				if resp.StatusCode == http.StatusOK {
+					okCount.Add(1)
+					local = append(local, time.Since(t0))
+				} else {
+					failCount.Add(1)
+				}
+			}
+			mu.Lock()
+			durations = append(durations, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok, fail := okCount.Load(), failCount.Load()
+	fmt.Printf("requests: %d ok, %d failed in %v\n", ok, fail, elapsed.Round(time.Millisecond))
+	if ok > 0 {
+		fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n",
+			float64(ok)/elapsed.Seconds(), float64(ok)*float64(*batch)/elapsed.Seconds())
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		pct := func(p float64) time.Duration { return durations[int(p*float64(len(durations)-1))] }
+		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), durations[len(durations)-1].Round(time.Microsecond))
+	}
+	printServerCache(client, base)
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+// drain empties and closes a response body so connections are reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// buildWorkload pre-serialises every request body: n requests of `batch`
+// systems each, drawn from a pool of `pool` distinct generated systems.
+func buildWorkload(rng *rand.Rand, n, batch, pool int) []string {
+	systems := make([]string, pool)
+	for i := range systems {
+		doc, err := json.Marshal(genSystem(rng, i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		systems[i] = string(doc)
+	}
+	bodies := make([]string, n)
+	for i := range bodies {
+		if batch <= 1 {
+			bodies[i] = systems[rng.Intn(pool)]
+			continue
+		}
+		picks := make([]string, batch)
+		for j := range picks {
+			picks[j] = systems[rng.Intn(pool)]
+		}
+		bodies[i] = `{"systems": [` + strings.Join(picks, ",") + `]}`
+	}
+	return bodies
+}
+
+// genSystem draws one report-style system: a handful of machines whose
+// finishing times are 0/1 sums of ETC entries bounded by τ·makespan
+// (§3.1), plus one convex queueing-style feature in every fourth system
+// (§3.2 forms).
+func genSystem(rng *rand.Rand, id int) spec.File {
+	apps := 4 + rng.Intn(5)
+	machines := 2 + rng.Intn(3)
+	orig := make([]float64, apps)
+	for i := range orig {
+		orig[i] = 1 + 9*rng.Float64()
+	}
+	assign := make([]int, apps)
+	finish := make([]float64, machines)
+	for i := range assign {
+		assign[i] = rng.Intn(machines)
+		finish[assign[i]] += orig[i]
+	}
+	makespan := 0.0
+	for _, f := range finish {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	tau := 1.2 + 0.3*rng.Float64()
+	f := spec.File{
+		Name:         fmt.Sprintf("gen-%d", id),
+		Perturbation: spec.PerturbationSpec{Name: "C", Orig: orig, Units: "s"},
+	}
+	for m := 0; m < machines; m++ {
+		coeffs := make([]float64, apps)
+		for i, mi := range assign {
+			if mi == m {
+				coeffs[i] = 1
+			}
+		}
+		max := tau * makespan
+		f.Features = append(f.Features, spec.FeatureSpec{
+			Name:   fmt.Sprintf("finish(m%d)", m),
+			Max:    &max,
+			Impact: spec.ImpactSpec{Type: "linear", Coeffs: coeffs},
+		})
+	}
+	if id%4 == 0 {
+		max := 100 * makespan * makespan
+		f.Features = append(f.Features, spec.FeatureSpec{
+			Name: "queue",
+			Max:  &max,
+			Impact: spec.ImpactSpec{Type: "terms", Terms: []spec.TermSpec{
+				{Kind: "power", Index: 0, Coeff: 1 + rng.Float64(), P: 2},
+				{Kind: "xlogx", Index: 1 % apps, Coeff: 1 + rng.Float64()},
+			}},
+		})
+	}
+	return f
+}
+
+// printServerCache fetches /debug/vars and prints the shared-cache line,
+// best-effort (a load test against a remote instance may not expose it).
+func printServerCache(client *http.Client, base string) {
+	resp, err := client.Get(base + "/debug/vars")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Cache struct {
+			Hits, Misses   uint64
+			Size, Capacity int
+			HitRate        float64 `json:"hit_rate"`
+		} `json:"fepiad.cache"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&vars) != nil {
+		return
+	}
+	fmt.Printf("server cache: %d hits / %d misses (%.1f%% hit rate), %d/%d entries\n",
+		vars.Cache.Hits, vars.Cache.Misses, 100*vars.Cache.HitRate, vars.Cache.Size, vars.Cache.Capacity)
+}

@@ -147,3 +147,32 @@ func ExampleConcatPerturbations() {
 	// joint parameter C⊕s has 3 components
 	// joint rho is positive and below the pure-slowdown excursion 0.3: true
 }
+
+// A system described as JSON data instead of Go code: the same schema the
+// fepia CLI reads and the fepiad HTTP service serves, so a spec document
+// analysed in-process, on the command line, or over POST /v1/analyze
+// yields the identical result.
+func ExampleParseSpec() {
+	doc := []byte(`{
+	  "name": "two machines",
+	  "perturbation": {"name": "C", "orig": [6, 4, 8], "units": "seconds"},
+	  "features": [
+	    {"name": "finish(m0)", "max": 13, "impact": {"type": "linear", "coeffs": [1, 1, 0]}},
+	    {"name": "finish(m1)", "max": 13, "impact": {"type": "linear", "coeffs": [0, 0, 1]}}
+	  ]
+	}`)
+	sys, err := robustness.ParseSpec(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := robustness.Analyze(sys.Features, sys.Perturbation, sys.Options)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := robustness.EncodeAnalysis(sys.Name, a)
+	fmt.Printf("rho = %.4f %s\n", out.Robustness, out.Units)
+	fmt.Printf("critical feature: %s\n", out.Critical)
+	// Output:
+	// rho = 2.1213 seconds
+	// critical feature: finish(m0)
+}

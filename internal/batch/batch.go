@@ -126,7 +126,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 func Analyze(ctx context.Context, jobs []Job, opts Options) ([]core.Analysis, error) {
 	out := make([]core.Analysis, len(jobs))
 	err := ForEach(ctx, len(jobs), opts.workers(), func(i int) error {
-		a, err := AnalyzeOne(jobs[i], opts)
+		a, err := AnalyzeOneContext(ctx, jobs[i], opts)
 		if err != nil {
 			return fmt.Errorf("batch: job %d (%s): %w", i, jobs[i].Perturbation.Name, err)
 		}
@@ -143,14 +143,27 @@ func Analyze(ctx context.Context, jobs []Job, opts Options) ([]core.Analysis, er
 // path without spawning workers. It exists so callers with their own
 // per-item pipelines (e.g. hiperd.EvaluateBatch, which interleaves
 // feature construction and slack computation) can still share one radius
-// cache; it is safe to call concurrently.
+// cache; it is safe to call concurrently. It delegates to
+// AnalyzeOneContext with context.Background().
 func AnalyzeOne(job Job, opts Options) (core.Analysis, error) {
+	return AnalyzeOneContext(context.Background(), job, opts)
+}
+
+// AnalyzeOneContext is AnalyzeOne under a context: like
+// core.AnalyzeContext, cancellation is observed between per-feature
+// radius computations and the ctx error is returned verbatim. It is the
+// per-request entry point of the fepiad server, which must never run an
+// uncancellable solve.
+func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysis, error) {
 	if len(job.Features) == 0 {
 		return core.Analysis{}, fmt.Errorf("core: empty feature set Φ")
 	}
 	copts := opts.Core.WithDefaults()
 	radii := make([]core.RadiusResult, len(job.Features))
 	for i, f := range job.Features {
+		if err := ctx.Err(); err != nil {
+			return core.Analysis{}, err
+		}
 		r, err := opts.Cache.Radius(f, job.Perturbation, copts)
 		if err != nil {
 			return core.Analysis{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,13 +28,27 @@ type Analysis struct {
 
 // Analyze evaluates Eq. 2: it computes the robustness radius of every
 // feature in Φ against the perturbation parameter and aggregates them by
-// taking the minimum. The feature set must be non-empty.
+// taking the minimum. The feature set must be non-empty. It delegates to
+// AnalyzeContext with context.Background(); callers that need to bound or
+// cancel an analysis should call AnalyzeContext directly.
 func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error) {
+	return AnalyzeContext(context.Background(), features, p, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation or deadline
+// expiry is observed between per-feature radius computations (a single
+// radius solve is never interrupted mid-flight), and the ctx error is
+// returned verbatim so callers can match context.Canceled and
+// context.DeadlineExceeded with errors.Is.
+func AnalyzeContext(ctx context.Context, features []Feature, p Perturbation, opts Options) (Analysis, error) {
 	if len(features) == 0 {
 		return Analysis{}, fmt.Errorf("core: empty feature set Φ")
 	}
 	radii := make([]RadiusResult, len(features))
 	for i, f := range features {
+		if err := ctx.Err(); err != nil {
+			return Analysis{}, err
+		}
 		r, err := ComputeRadius(f, p, opts)
 		if err != nil {
 			return Analysis{}, err
@@ -127,14 +142,21 @@ type MultiAnalysis struct {
 	ByParameter []Analysis
 }
 
-// MultiAnalyze runs Analyze for every parameter set.
+// MultiAnalyze runs Analyze for every parameter set. It delegates to
+// MultiAnalyzeContext with context.Background().
 func MultiAnalyze(sets []ParameterSet, opts Options) (MultiAnalysis, error) {
+	return MultiAnalyzeContext(context.Background(), sets, opts)
+}
+
+// MultiAnalyzeContext is MultiAnalyze under a context, threading ctx into
+// every per-parameter AnalyzeContext call.
+func MultiAnalyzeContext(ctx context.Context, sets []ParameterSet, opts Options) (MultiAnalysis, error) {
 	if len(sets) == 0 {
 		return MultiAnalysis{}, fmt.Errorf("core: empty parameter set Π")
 	}
 	out := MultiAnalysis{ByParameter: make([]Analysis, len(sets))}
 	for i, s := range sets {
-		a, err := Analyze(s.Features, s.Perturbation, opts)
+		a, err := AnalyzeContext(ctx, s.Features, s.Perturbation, opts)
 		if err != nil {
 			return MultiAnalysis{}, fmt.Errorf("core: parameter %q: %w", s.Perturbation.Name, err)
 		}

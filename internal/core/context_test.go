@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fepia/internal/vecmath"
+)
+
+// twoFeatures builds a minimal valid analysis input.
+func twoFeatures(t *testing.T) ([]Feature, Perturbation) {
+	t.Helper()
+	f0, err := NewLinearImpact([]float64{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NewLinearImpact([]float64{2, -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := []Feature{
+		{Name: "a", Impact: f0, Bounds: NoMin(10)},
+		{Name: "b", Impact: f1, Bounds: NoMin(10)},
+	}
+	return features, Perturbation{Name: "π", Orig: []float64{1, 1}}
+}
+
+// TestAnalyzeContextCancelled: a cancelled context aborts the analysis
+// with the verbatim ctx error.
+func TestAnalyzeContextCancelled(t *testing.T) {
+	features, p := twoFeatures(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeContext(ctx, features, p, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// MultiAnalyzeContext threads the same context.
+	sets := []ParameterSet{{Perturbation: p, Features: features}}
+	if _, err := MultiAnalyzeContext(ctx, sets, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("multi err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeDelegates: the context-free path stays byte-identical to the
+// context path under a live context.
+func TestAnalyzeDelegates(t *testing.T) {
+	features, p := twoFeatures(t)
+	plain, err := Analyze(features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := AnalyzeContext(context.Background(), features, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Robustness != withCtx.Robustness || plain.Critical != withCtx.Critical {
+		t.Fatalf("Analyze %+v != AnalyzeContext %+v", plain, withCtx)
+	}
+}
+
+// TestSolveErrorTyped: engine-side failures surface as *SolveError with
+// the underlying cause reachable through errors.Is.
+func TestSolveErrorTyped(t *testing.T) {
+	imp := &FuncImpact{
+		N:      2,
+		F:      func(x []float64) float64 { return x[0]*x[0] + x[1] },
+		Convex: true,
+	}
+	f := Feature{Name: "q", Impact: imp, Bounds: NoMin(10)}
+	p := Perturbation{Name: "π", Orig: []float64{1, 1}}
+	// A non-linear impact under a non-ℓ₂ norm is unsolvable by design.
+	_, err := ComputeRadius(f, p, Options{Norm: vecmath.L1{}})
+	if err == nil {
+		t.Fatal("non-ℓ₂ norm with a non-linear impact was accepted")
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("%T is not a *SolveError: %v", err, err)
+	}
+	if se.Feature != "q" || se.Kind != AtMax {
+		t.Errorf("SolveError fields: %+v", se)
+	}
+	if !errors.Is(err, ErrNormUnsupported) {
+		t.Errorf("underlying cause not reachable: %v", err)
+	}
+}

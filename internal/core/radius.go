@@ -109,6 +109,29 @@ type RadiusResult struct {
 // non-linear impact function.
 var ErrNormUnsupported = errors.New("core: non-ℓ₂ norms are only supported for linear impact functions")
 
+// SolveError reports that the minimum-norm solver failed while computing a
+// robustness radius — an engine-side failure on a valid input, as opposed
+// to the validation errors ComputeRadius returns for malformed features.
+// Callers that relay analyses (cmd/fepiad maps it to HTTP 500) detect it
+// with errors.As; the underlying optimize error stays reachable through
+// errors.Is/As via Unwrap.
+type SolveError struct {
+	// Feature names the feature whose radius was being computed.
+	Feature string
+	// Kind says which boundary relationship was being solved.
+	Kind BoundKind
+	// Err is the underlying solver error.
+	Err error
+}
+
+// Error renders "core: feature %q at <bound>: <cause>".
+func (e *SolveError) Error() string {
+	return fmt.Sprintf("core: feature %q at %s: %v", e.Feature, e.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying solver error.
+func (e *SolveError) Unwrap() error { return e.Err }
+
 // ComputeRadius evaluates Eq. 1 for a single feature: the smallest
 // variation of the perturbation parameter (measured by opts.Norm, ℓ₂ by
 // default) that drives the feature onto either boundary of its tolerable
@@ -156,7 +179,7 @@ func ComputeRadius(f Feature, p Perturbation, opts Options) (RadiusResult, error
 			if errors.Is(err, optimize.ErrUnreachable) {
 				continue
 			}
-			return RadiusResult{}, fmt.Errorf("core: feature %q at %s: %w", f.Name, side.kind, err)
+			return RadiusResult{}, &SolveError{Feature: f.Name, Kind: side.kind, Err: err}
 		}
 		if r < best.Radius {
 			best = RadiusResult{Feature: f.Name, Radius: r, Boundary: x, Kind: side.kind, Method: method}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds, in milliseconds, of the request
+// latency histogram exported on /debug/vars (the last bucket is +Inf).
+var latencyBuckets = [...]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metrics is the server's operational counter set. Everything is atomic so
+// handlers update it without locking; /debug/vars reads a point-in-time
+// snapshot.
+type metrics struct {
+	// requests counts every request to a /v1/ endpoint.
+	requests atomic.Uint64
+	// analyses counts systems analysed (a batch of n counts n).
+	analyses atomic.Uint64
+	// rejected counts requests turned away by the admission gate (503).
+	rejected atomic.Uint64
+	// errs counts non-2xx responses on /v1/ endpoints.
+	errs atomic.Uint64
+	// inFlight gauges requests currently holding an admission slot.
+	inFlight atomic.Int64
+	// latency histograms /v1/ request durations: latency[i] counts
+	// requests that finished within latencyBuckets[i] ms; the final slot
+	// is the +Inf overflow. latencyCount/latencySumMS aggregate totals.
+	latency      [len(latencyBuckets) + 1]atomic.Uint64
+	latencyCount atomic.Uint64
+	latencySumMS atomic.Uint64
+}
+
+// observe records one finished /v1/ request.
+func (m *metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(latencyBuckets[:], ms)
+	m.latency[i].Add(1)
+	m.latencyCount.Add(1)
+	m.latencySumMS.Add(uint64(ms + 0.5))
+}
+
+// writeVars emits the expvar-compatible JSON document served on
+// /debug/vars: every variable of the process-global expvar registry
+// (cmdline, memstats, …) plus the server-local fepiad.* counters. The
+// server publishes its own document instead of expvar.Publish because
+// expvar's registry is process-global and would collide across the many
+// Server instances the test suite creates.
+func (s *Server) writeVars(w io.Writer) {
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value)
+	})
+	m := &s.metrics
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.requests", m.requests.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.analyses", m.analyses.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.rejected", m.rejected.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.errors", m.errs.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.in_flight", m.inFlight.Load())
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g},\n",
+		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate())
+
+	fmt.Fprintf(w, "%q: {", "fepiad.latency_ms")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "\"le_%g\": %d, ", ub, m.latency[i].Load())
+	}
+	fmt.Fprintf(w, "\"inf\": %d, ", m.latency[len(latencyBuckets)].Load())
+	fmt.Fprintf(w, "\"count\": %d, \"sum_ms\": %d}\n", m.latencyCount.Load(), m.latencySumMS.Load())
+	fmt.Fprintf(w, "}\n")
+}

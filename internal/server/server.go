@@ -1,0 +1,368 @@
+// Package server is fepiad's HTTP layer: a stdlib-only service that
+// evaluates the robustness metric ρ_μ(Φ, π) on demand over the concurrent
+// batch engine. It accepts internal/spec JSON system descriptions on
+// POST /v1/analyze (one system) and POST /v1/batch (many systems, fanned
+// over the worker pool), shares one process-wide radius cache across every
+// request so structurally identical subproblems are solved once, and
+// answers with the same spec.ResultJSON documents the CLIs emit — served
+// and in-process analyses are byte-identical.
+//
+// Production posture: every request runs under a deadline and a body-size
+// limit; a bounded admission gate sheds load with 503 + Retry-After
+// instead of queueing unboundedly; Run drains in-flight analyses on
+// shutdown and force-cancels them via context if the drain budget runs
+// out; /healthz answers liveness probes; /debug/vars serves
+// expvar-compatible operational counters; /debug/pprof is available
+// behind Config.EnablePprof.
+//
+// Error discipline: client mistakes (spec.ValidationError) map to 400
+// with the offending JSON field path; unsupported analysis combinations
+// (core.ErrNormUnsupported) to 400; deadline expiry to 504; shutdown and
+// overload to 503; engine failures (core.SolveError) to 500. Every
+// non-2xx body is a spec.ErrorJSON envelope.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"fepia/internal/batch"
+	"fepia/internal/core"
+	"fepia/internal/spec"
+)
+
+// Defaults applied by New for zero-valued Config fields.
+const (
+	DefaultMaxBodyBytes = 4 << 20
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxInFlight  = 64
+	DefaultRetryAfter   = 1 * time.Second
+	DefaultDrainTimeout = 10 * time.Second
+)
+
+// Config tunes a Server. The zero value is production-safe: every limit
+// falls back to the package defaults above.
+type Config struct {
+	// MaxBodyBytes bounds a request body; larger bodies are rejected
+	// with 400 before parsing.
+	MaxBodyBytes int64
+	// Timeout is the per-request analysis deadline.
+	Timeout time.Duration
+	// MaxInFlight bounds concurrently admitted /v1/ requests; excess
+	// requests are shed immediately with 503 + Retry-After.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint attached to 503 responses.
+	RetryAfter time.Duration
+	// Workers bounds the analysis worker pool of one /v1/batch request
+	// (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// CacheCapacity bounds the shared radius cache (≤ 0 selects
+	// batch.DefaultCacheCapacity).
+	CacheCapacity int
+	// DrainTimeout is how long Run waits for in-flight requests after
+	// shutdown is requested before force-cancelling their analyses.
+	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Log receives request-independent server events; nil selects the
+	// default logger.
+	Log *log.Logger
+}
+
+// withDefaults fills zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the fepiad HTTP service. Create one with New; it is safe for
+// concurrent use and all its state (the radius cache, the admission gate,
+// the counters) is shared across every request it serves.
+type Server struct {
+	cfg     Config
+	cache   *batch.Cache
+	gate    chan struct{}
+	metrics metrics
+	mux     *http.ServeMux
+
+	// baseCtx is the ancestor of every request context; baseCancel
+	// force-cancels all in-flight analyses when the drain budget is
+	// exhausted during shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// beforeAnalyze, when non-nil, runs after a request is admitted and
+	// parsed but before its analysis starts. Tests use it to hold
+	// requests in flight deterministically.
+	beforeAnalyze func()
+}
+
+// New builds a Server from cfg (zero value ok).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: batch.NewCache(cfg.CacheCapacity),
+		gate:  make(chan struct{}, cfg.MaxInFlight),
+		mux:   http.NewServeMux(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the server's route table, ready to mount on any
+// http.Server (or an httptest.Server in tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats snapshots the shared radius cache's counters.
+func (s *Server) CacheStats() batch.CacheStats { return s.cache.Stats() }
+
+// Run serves on l until ctx is cancelled (SIGTERM in cmd/fepiad), then
+// shuts down gracefully: the listener closes, in-flight requests get
+// Config.DrainTimeout to finish, and any analysis still running after the
+// drain budget is force-cancelled through its context. It returns nil on
+// a clean drain.
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+		ErrorLog:          s.cfg.Log,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		s.baseCancel()
+		return err
+	case <-ctx.Done():
+	}
+
+	s.cfg.Log.Printf("shutting down, draining for up to %v", s.cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(drainCtx)
+	if err != nil {
+		// Drain budget exhausted: cancel every in-flight analysis via the
+		// request contexts and close remaining connections.
+		s.cfg.Log.Printf("drain timed out, cancelling in-flight analyses")
+		s.baseCancel()
+		err = errors.Join(err, hs.Close())
+	}
+	s.baseCancel()
+	<-serveErr // always http.ErrServerClosed after Shutdown/Close
+	return err
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\": \"ok\", \"in_flight\": %d}\n", s.metrics.inFlight.Load())
+}
+
+// handleVars serves the expvar-compatible counter document.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	s.writeVars(w)
+}
+
+// admit reserves an in-flight slot, or sheds the request with 503 +
+// Retry-After when the gate is saturated. The returned release func must
+// be called exactly once iff admitted.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.gate <- struct{}{}:
+		s.metrics.inFlight.Add(1)
+		return func() {
+			s.metrics.inFlight.Add(-1)
+			<-s.gate
+		}, true
+	default:
+		s.metrics.rejected.Add(1)
+		s.metrics.errs.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+		writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{
+			Error: "server saturated: too many analyses in flight",
+			Kind:  "overloaded",
+		})
+		return nil, false
+	}
+}
+
+// readBody reads a size-capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.metrics.errs.Add(1)
+		status, kind := http.StatusBadRequest, "invalid_spec"
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status, kind = http.StatusRequestEntityTooLarge, "invalid_spec"
+		}
+		writeError(w, status, spec.ErrorJSON{Error: "reading body: " + err.Error(), Kind: kind})
+		return nil, false
+	}
+	return body, true
+}
+
+// handleAnalyze serves POST /v1/analyze: one spec document in, one
+// ResultJSON out, identical to the in-process library path.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	sys, err := spec.Parse(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func() { s.metrics.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	if s.beforeAnalyze != nil {
+		s.beforeAnalyze()
+	}
+	a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
+		batch.Options{Cache: s.cache, Core: sys.Options})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.analyses.Add(1)
+	writeJSON(w, http.StatusOK, spec.Encode(sys.Name, a))
+}
+
+// handleBatch serves POST /v1/batch: many systems fanned over the batch
+// engine's worker pool against the shared radius cache, results in
+// request order. Each system keeps its own norm/options, so the fan-out
+// runs per-system jobs (batch.AnalyzeOneContext) over the engine's
+// scheduling substrate rather than one homogeneous batch.Analyze call.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	systems, err := spec.ParseBatch(body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func() { s.metrics.observe(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	if s.beforeAnalyze != nil {
+		s.beforeAnalyze()
+	}
+	results := make([]spec.ResultJSON, len(systems))
+	err = batch.ForEach(ctx, len(systems), s.cfg.Workers, func(i int) error {
+		sys := systems[i]
+		a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
+			batch.Options{Cache: s.cache, Core: sys.Options})
+		if err != nil {
+			return fmt.Errorf("systems[%d] (%s): %w", i, sys.Name, err)
+		}
+		results[i] = spec.Encode(sys.Name, a)
+		return nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.analyses.Add(uint64(len(systems)))
+	writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
+}
+
+// fail maps an analysis error onto the HTTP error contract (see the
+// package comment) and writes the ErrorJSON envelope.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.metrics.errs.Add(1)
+	status, kind, path := http.StatusInternalServerError, "internal", ""
+	var ve *spec.ValidationError
+	var se *core.SolveError
+	switch {
+	case errors.As(err, &ve):
+		status, kind, path = http.StatusBadRequest, "invalid_spec", ve.Path
+	case errors.Is(err, core.ErrNormUnsupported):
+		status, kind = http.StatusBadRequest, "unsupported"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, kind = http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		// The client went away or the server is force-draining; the
+		// status is mostly for the access log.
+		status, kind = http.StatusServiceUnavailable, "shutting_down"
+	case errors.As(err, &se):
+		status, kind = http.StatusInternalServerError, "solver_failure"
+	}
+	writeError(w, status, spec.ErrorJSON{Error: err.Error(), Kind: kind, Path: path})
+}
+
+// writeJSON writes a 2xx JSON document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the ErrorJSON envelope.
+func writeError(w http.ResponseWriter, status int, e spec.ErrorJSON) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}

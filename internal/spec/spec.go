@@ -109,11 +109,14 @@ type System struct {
 	Options core.Options
 }
 
-// Parse decodes and validates a JSON spec.
+// Parse decodes and validates a JSON spec. Every failure is a
+// *ValidationError carrying the JSON field path of the offending value
+// (and matching ErrInvalidSpec), so callers can distinguish client
+// mistakes from engine failures with errors.As.
 func Parse(data []byte) (*System, error) {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("spec: %w", err)
+		return nil, &ValidationError{Msg: "malformed JSON: " + err.Error(), Err: err}
 	}
 	return Build(f)
 }
@@ -130,7 +133,7 @@ func Build(f File) (*System, error) {
 		p.Name = "π"
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, invalidErr("perturbation", err)
 	}
 	dim := len(p.Orig)
 
@@ -143,14 +146,15 @@ func Build(f File) (*System, error) {
 	case "linf":
 		opts.Norm = vecmath.LInf{}
 	default:
-		return nil, fmt.Errorf("spec: unknown norm %q (want l2, l1, or linf)", f.Norm)
+		return nil, invalidf("norm", "unknown norm %q (want l2, l1, or linf)", f.Norm)
 	}
 
 	if len(f.Features) == 0 {
-		return nil, fmt.Errorf("spec: no features")
+		return nil, invalidf("features", "no features")
 	}
 	features := make([]core.Feature, 0, len(f.Features))
 	for i, fs := range f.Features {
+		fpath := fmt.Sprintf("features[%d]", i)
 		name := fs.Name
 		if name == "" {
 			name = fmt.Sprintf("phi_%d", i+1)
@@ -163,46 +167,55 @@ func Build(f File) (*System, error) {
 			bounds.Max = *fs.Max
 		}
 		if fs.Min == nil && fs.Max == nil {
-			return nil, fmt.Errorf("spec: feature %q has neither min nor max", name)
+			return nil, invalidf(fpath, "feature %q has neither min nor max", name)
 		}
-		impact, err := buildImpact(fs.Impact, dim)
+		impact, err := buildImpact(fs.Impact, dim, fpath+".impact")
 		if err != nil {
-			return nil, fmt.Errorf("spec: feature %q: %w", name, err)
+			return nil, err
 		}
 		feature := core.Feature{Name: name, Impact: impact, Bounds: bounds}
 		if err := feature.Validate(); err != nil {
-			return nil, err
+			return nil, invalidErr(fpath, err)
 		}
 		features = append(features, feature)
 	}
 	return &System{Name: f.Name, Features: features, Perturbation: p, Options: opts}, nil
 }
 
-// buildImpact assembles the impact function of one feature.
-func buildImpact(is ImpactSpec, dim int) (core.Impact, error) {
+// buildImpact assembles the impact function of one feature; path locates
+// the impact object in the document for error reporting.
+func buildImpact(is ImpactSpec, dim int, path string) (core.Impact, error) {
 	switch is.Type {
 	case "linear":
 		if len(is.Coeffs) != dim {
-			return nil, fmt.Errorf("%d coefficients for a %d-dimensional perturbation", len(is.Coeffs), dim)
+			return nil, invalidf(path+".coeffs", "%d coefficients for a %d-dimensional perturbation", len(is.Coeffs), dim)
 		}
-		return core.NewLinearImpact(is.Coeffs, is.Offset)
+		imp, err := core.NewLinearImpact(is.Coeffs, is.Offset)
+		if err != nil {
+			return nil, invalidErr(path, err)
+		}
+		return imp, nil
 	case "terms":
 		if len(is.Terms) == 0 {
-			return nil, fmt.Errorf("empty term list")
+			return nil, invalidf(path+".terms", "empty term list")
 		}
 		var c convexfn.Complexity
-		for _, ts := range is.Terms {
+		for j, ts := range is.Terms {
 			kind, err := parseKind(ts.Kind)
 			if err != nil {
-				return nil, err
+				return nil, invalidErr(fmt.Sprintf("%s.terms[%d].kind", path, j), err)
 			}
 			c = append(c, convexfn.Term{Kind: kind, Index: ts.Index, Coeff: ts.Coeff, P: ts.P})
 		}
 		if err := c.Validate(dim); err != nil {
-			return nil, err
+			return nil, invalidErr(path+".terms", err)
 		}
 		if c.IsLinear() {
-			return core.NewLinearImpact(c.LinearCoeffs(dim), 0)
+			imp, err := core.NewLinearImpact(c.LinearCoeffs(dim), 0)
+			if err != nil {
+				return nil, invalidErr(path+".terms", err)
+			}
+			return imp, nil
 		}
 		cc := c
 		return &core.FuncImpact{
@@ -212,9 +225,9 @@ func buildImpact(is ImpactSpec, dim int) (core.Impact, error) {
 			Convex: true,
 		}, nil
 	case "":
-		return nil, fmt.Errorf("impact type missing")
+		return nil, invalidf(path+".type", "impact type missing")
 	default:
-		return nil, fmt.Errorf("unknown impact type %q (want linear or terms)", is.Type)
+		return nil, invalidf(path+".type", "unknown impact type %q (want linear or terms)", is.Type)
 	}
 }
 

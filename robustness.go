@@ -46,6 +46,17 @@
 // implementations must be safe for concurrent Eval/Gradient calls (pure
 // functions — the paper's impacts all are).
 //
+// # Contexts, typed errors, and the wire format
+//
+// Every analysis entry point has a context-aware form (AnalyzeContext,
+// MultiAnalyzeContext, AnalyzeBatch) — the plain functions delegate with
+// context.Background(). Failures split into two typed families: client
+// mistakes are ValidationError values matching ErrInvalidSpec, engine
+// failures are SolveError values; classify with errors.As. ParseSpec and
+// EncodeAnalysis expose the JSON schema shared by the CLIs and the fepiad
+// HTTP service (cmd/fepiad, docs/SERVICE.md), which serves this exact
+// analysis — byte-identical results — as an online oracle.
+//
 // The two systems the paper derives metrics for are available as
 // sub-analyses: the independent-application allocation of §3.1 through
 // EvaluateIndependentAllocation (closed-form Eq. 6/7) and the HiPer-D
@@ -63,6 +74,7 @@ import (
 	"fepia/internal/hcs"
 	"fepia/internal/hiperd"
 	"fepia/internal/indalloc"
+	"fepia/internal/spec"
 	"fepia/internal/stats"
 	"fepia/internal/vecmath"
 )
@@ -126,14 +138,32 @@ func ComputeRadius(f Feature, p Perturbation, opts Options) (RadiusResult, error
 }
 
 // Analyze evaluates Eq. 2: every feature's radius and their minimum ρ.
+// It delegates to AnalyzeContext with context.Background(); callers that
+// need to bound or cancel a solve (servers, schedulers) should pass their
+// own context to AnalyzeContext.
 func Analyze(features []Feature, p Perturbation, opts Options) (Analysis, error) {
 	return core.Analyze(features, p, opts)
 }
 
+// AnalyzeContext is Analyze under a context: cancellation or deadline
+// expiry is observed between per-feature radius computations, and the ctx
+// error is returned verbatim (match it with errors.Is against
+// context.Canceled / context.DeadlineExceeded).
+func AnalyzeContext(ctx context.Context, features []Feature, p Perturbation, opts Options) (Analysis, error) {
+	return core.AnalyzeContext(ctx, features, p, opts)
+}
+
 // MultiAnalyze runs Analyze per perturbation parameter — the
-// multi-parameter extension the paper defers to [1].
+// multi-parameter extension the paper defers to [1]. It delegates to
+// MultiAnalyzeContext with context.Background().
 func MultiAnalyze(sets []ParameterSet, opts Options) (MultiAnalysis, error) {
 	return core.MultiAnalyze(sets, opts)
+}
+
+// MultiAnalyzeContext is MultiAnalyze under a context, threaded into every
+// per-parameter analysis.
+func MultiAnalyzeContext(ctx context.Context, sets []ParameterSet, opts Options) (MultiAnalysis, error) {
+	return core.MultiAnalyzeContext(ctx, sets, opts)
 }
 
 // Batch-analysis vocabulary (see the package comment's batch section).
@@ -184,6 +214,56 @@ func NewBlockImpact(j JointPerturbation, block int, inner Impact) (*BlockImpact,
 func JointWeights(j JointPerturbation) (Norm, error) {
 	return core.JointWeights(j)
 }
+
+// Typed errors. Every analysis failure is one of two families: the input
+// was wrong (ValidationError, matching ErrInvalidSpec — a client mistake),
+// or the engine failed on a valid input (SolveError — the minimum-norm
+// solver could not finish). Services map the first to HTTP 400 and the
+// second to HTTP 500 with errors.As; cmd/fepiad does exactly that.
+type (
+	// ValidationError is a spec parse/validation failure with the JSON
+	// field path of the offending value.
+	ValidationError = spec.ValidationError
+	// SolveError is an engine-side solver failure while computing a
+	// robustness radius.
+	SolveError = core.SolveError
+)
+
+// Error sentinels, matched with errors.Is.
+var (
+	// ErrInvalidSpec matches every ValidationError.
+	ErrInvalidSpec = spec.ErrInvalidSpec
+	// ErrNormUnsupported is returned when a non-ℓ₂ norm is combined with
+	// a non-linear impact function.
+	ErrNormUnsupported = core.ErrNormUnsupported
+)
+
+// Wire format. ParseSpec and EncodeAnalysis are the JSON schema shared by
+// library users, the CLIs, and the fepiad HTTP service: a SystemSpec
+// document in, an AnalysisJSON result out (see internal/spec for the
+// format reference, docs/SERVICE.md for the HTTP endpoints).
+type (
+	// SystemSpec is a parsed, validated system description ready for
+	// analysis (Features, Perturbation, Options).
+	SystemSpec = spec.System
+	// SpecFile is the raw decoded form of a spec document, useful for
+	// assembling batch requests programmatically.
+	SpecFile = spec.File
+	// AnalysisJSON is the machine-readable analysis result document.
+	AnalysisJSON = spec.ResultJSON
+	// RadiusJSON is one feature's radius inside an AnalysisJSON.
+	RadiusJSON = spec.RadiusJSON
+)
+
+// ParseSpec decodes and validates a JSON system description (FePIA steps
+// 1–3 as data). Failures are *ValidationError values carrying the JSON
+// field path of the offending value.
+func ParseSpec(data []byte) (*SystemSpec, error) { return spec.Parse(data) }
+
+// EncodeAnalysis converts an analysis into the machine-readable JSON
+// result document — the same shape fepiad serves. Infinite radii are
+// emitted as −1 with the bound "unreachable" to stay plain-JSON.
+func EncodeAnalysis(name string, a Analysis) AnalysisJSON { return spec.Encode(name, a) }
 
 // Norm is the perturbation-space norm interface accepted by Options.
 type Norm = vecmath.Norm

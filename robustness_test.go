@@ -1,7 +1,10 @@
 package robustness
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -118,5 +121,66 @@ func TestFacadeNonL2Norm(t *testing.T) {
 	}
 	if r.Radius != 5 { // |10|/‖(1,2)‖∞
 		t.Errorf("ℓ₁ radius = %v want 5", r.Radius)
+	}
+}
+
+// TestFacadeTypedErrors checks the two public error families: client
+// mistakes (ValidationError / ErrInvalidSpec) and engine failures
+// (SolveError), distinguishable with errors.As exactly as cmd/fepiad
+// distinguishes HTTP 400 from 500.
+func TestFacadeTypedErrors(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"perturbation":{"orig":[1]},"norm":"l9","features":[{"max":1,"impact":{"type":"linear","coeffs":[1]}}]}`))
+	if !errors.Is(err, ErrInvalidSpec) {
+		t.Fatalf("parse error %v does not match ErrInvalidSpec", err)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) || ve.Path != "norm" {
+		t.Fatalf("validation error without field path: %+v", err)
+	}
+
+	f := Feature{Name: "q", Bounds: NoMin(10), Impact: &FuncImpact{
+		N: 2, F: func(x []float64) float64 { return x[0] * x[0] }, Convex: true,
+	}}
+	p := Perturbation{Name: "π", Orig: []float64{1, 1}}
+	_, err = Analyze([]Feature{f}, p, Options{Norm: L1{}})
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("engine failure %v is not a SolveError", err)
+	}
+	if errors.Is(err, ErrInvalidSpec) {
+		t.Error("a SolveError must not match ErrInvalidSpec")
+	}
+	if !errors.Is(err, ErrNormUnsupported) {
+		t.Errorf("underlying cause lost: %v", err)
+	}
+}
+
+// TestFacadeAnalyzeContext checks cancellation and that the wire-format
+// round trip (ParseSpec → AnalyzeContext → EncodeAnalysis) matches the
+// plain library path.
+func TestFacadeAnalyzeContext(t *testing.T) {
+	doc := []byte(`{"name":"ctx","perturbation":{"name":"C","orig":[6,4,8],"units":"s"},
+	  "features":[{"name":"m0","max":13,"impact":{"type":"linear","coeffs":[1,1,0]}},
+	              {"name":"m1","max":13,"impact":{"type":"linear","coeffs":[0,0,1]}}]}`)
+	sys, err := ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeContext(cancelled, sys.Features, sys.Perturbation, sys.Options); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	a, err := AnalyzeContext(context.Background(), sys.Features, sys.Perturbation, sys.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Analyze(sys.Features, sys.Perturbation, sys.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(EncodeAnalysis(sys.Name, a), EncodeAnalysis(sys.Name, plain)) {
+		t.Fatalf("context path diverged from plain path")
 	}
 }
