@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench report tier1 tier2 serve loadtest fuzz
+.PHONY: all build test race vet bench report tier1 tier2 serve loadtest fuzz chaos
 
 all: tier1
 
@@ -41,9 +41,19 @@ else
 	$(GO) run ./cmd/loadgen -url $(LOADTEST_URL) -n 2000 -c 32 -batch 8
 endif
 
-# fuzz: a bounded fuzzing smoke over the spec parser (CI runs this).
+# fuzz: a bounded fuzzing smoke over the spec parser and the retryable-
+# error classifier (CI runs this).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/spec
+	$(GO) test -fuzz=FuzzRetryable -fuzztime=30s ./internal/faults
+
+# chaos: the seeded fault-injection suite under the race detector —
+# injected errors/panics/latency/cancels through the batch engine, the
+# radius cache under concurrent eviction, breaker transitions, and
+# degraded serving. Set FEPIA_CHAOS_SEED=<n> to pin the seeded schedule
+# when reproducing a failure.
+chaos:
+	$(GO) test -race -run 'Chaos|Breaker|Degraded|Fault|Retry' ./internal/faults ./internal/batch ./internal/server
 
 # tier1: the gate every change must keep green.
 tier1: build test

@@ -10,6 +10,14 @@
 // systems over the worker pool and shared radius cache), GET /healthz,
 // GET /debug/vars. The process drains gracefully on SIGTERM/SIGINT:
 // in-flight analyses get -drain to finish, then are force-cancelled.
+//
+// Resilience (docs/SERVICE.md, "Failure modes & degraded serving"):
+// transient solve failures retry up to -retry-max attempts, each /v1/
+// endpoint sits behind a -breaker-window circuit breaker, and with
+// -degraded (on by default) an open breaker or engine failure is served
+// from the radius cache with a "degraded": true marker. The
+// FEPIAD_FAULTS env knob activates the seeded fault-injection harness
+// for chaos drills.
 package main
 
 import (
@@ -17,10 +25,12 @@ import (
 	"flag"
 	"log"
 	"net"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"fepia/internal/faults"
 	"fepia/internal/server"
 )
 
@@ -37,8 +47,34 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint on 503 responses")
 		drain       = flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain budget")
 		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+
+		retryMax        = flag.Int("retry-max", server.DefaultRetryAttempts, "attempts per feature solve for transient failures (1 disables retrying)")
+		breakerWindow   = flag.Int("breaker-window", server.DefaultBreakerWindow, "sliding outcome window of each endpoint's circuit breaker (0 disables)")
+		breakerCooldown = flag.Duration("breaker-cooldown", server.DefaultBreakerCooldown, "how long an open breaker rejects before probing half-open")
+		degraded        = flag.Bool("degraded", true, "serve cached analyses with a degraded marker when the engine is unavailable")
 	)
 	flag.Parse()
+
+	// Flag semantics use 0/1 for "off"; the Config zero value means
+	// "default", so off is passed as a negative.
+	rm, bw := *retryMax, *breakerWindow
+	if rm <= 1 {
+		rm = -1
+	}
+	if bw <= 0 {
+		bw = -1
+	}
+
+	// FEPIAD_FAULTS activates the chaos harness on a running instance,
+	// e.g. FEPIAD_FAULTS="seed=7;max=100;solve:error=0.05". Empty (the
+	// production default) leaves every injection point a no-op.
+	injector, err := faults.ParseSchedule(os.Getenv("FEPIAD_FAULTS"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if injector != nil {
+		log.Printf("FAULT INJECTION ACTIVE: FEPIAD_FAULTS=%q", os.Getenv("FEPIAD_FAULTS"))
+	}
 
 	s := server.New(server.Config{
 		MaxBodyBytes:  *maxBody,
@@ -50,6 +86,12 @@ func main() {
 		DrainTimeout:  *drain,
 		EnablePprof:   *enablePprof,
 		Log:           log.Default(),
+
+		RetryMax:        rm,
+		BreakerWindow:   bw,
+		BreakerCooldown: *breakerCooldown,
+		Degraded:        *degraded,
+		Injector:        injector,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -11,6 +11,11 @@
 // identical workload. Systems are drawn from a bounded pool (default 64
 // distinct systems) to exercise the server's shared radius cache the way
 // the paper's 1000-mapping experiments do: heavy structural overlap.
+//
+// Shed requests (503) are treated as back-pressure, not failures: the
+// client honors the server's Retry-After hint and re-submits up to
+// -retry-503 times, so saturation reports real serving latency. Degraded
+// responses (Warning header) are counted separately.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,14 +44,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	var (
-		url     = flag.String("url", "http://localhost:8080", "fepiad base URL")
-		self    = flag.Bool("self", false, "start an in-process fepiad on a random port and hammer it")
-		n       = flag.Int("n", 2000, "total requests")
-		c       = flag.Int("c", 32, "concurrent clients")
-		batch   = flag.Int("batch", 8, "systems per request (1 = POST /v1/analyze, else /v1/batch)")
-		pool    = flag.Int("pool", 64, "distinct systems in the workload pool")
-		seed    = flag.Int64("seed", 1, "workload RNG seed")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		url      = flag.String("url", "http://localhost:8080", "fepiad base URL")
+		self     = flag.Bool("self", false, "start an in-process fepiad on a random port and hammer it")
+		n        = flag.Int("n", 2000, "total requests")
+		c        = flag.Int("c", 32, "concurrent clients")
+		batch    = flag.Int("batch", 8, "systems per request (1 = POST /v1/analyze, else /v1/batch)")
+		pool     = flag.Int("pool", 64, "distinct systems in the workload pool")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		retry503 = flag.Int("retry-503", 3, "re-submissions of a shed (503) request after honoring Retry-After (0 = fail immediately)")
+		maxWait  = flag.Duration("max-retry-after", 5*time.Second, "cap on a single honored Retry-After wait")
 	)
 	flag.Parse()
 
@@ -81,6 +89,8 @@ func main() {
 		next      atomic.Int64
 		okCount   atomic.Int64
 		failCount atomic.Int64
+		shedCount atomic.Int64
+		degCount  atomic.Int64
 		mu        sync.Mutex
 		durations []time.Duration
 	)
@@ -97,18 +107,34 @@ func main() {
 				if i >= len(bodies) {
 					break
 				}
-				t0 := time.Now()
-				resp, err := client.Post(endpoint, "application/json", strings.NewReader(bodies[i]))
-				if err != nil {
-					failCount.Add(1)
-					continue
-				}
-				drain(resp)
-				if resp.StatusCode == http.StatusOK {
-					okCount.Add(1)
-					local = append(local, time.Since(t0))
-				} else {
-					failCount.Add(1)
+				// A 503 is back-pressure, not an outcome: honor the
+				// server's Retry-After hint before re-submitting, so a
+				// saturated run reports the latency of served requests
+				// instead of a wall of instant failures. Only the serving
+				// attempt's own duration enters the latency report.
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					resp, err := client.Post(endpoint, "application/json", strings.NewReader(bodies[i]))
+					if err != nil {
+						failCount.Add(1)
+						break
+					}
+					drain(resp)
+					if resp.StatusCode == http.StatusServiceUnavailable && attempt < *retry503 {
+						shedCount.Add(1)
+						time.Sleep(retryAfterDelay(resp, *maxWait))
+						continue
+					}
+					if resp.StatusCode == http.StatusOK {
+						if resp.Header.Get("Warning") != "" {
+							degCount.Add(1) // served degraded from the radius cache
+						}
+						okCount.Add(1)
+						local = append(local, time.Since(t0))
+					} else {
+						failCount.Add(1)
+					}
+					break
 				}
 			}
 			mu.Lock()
@@ -121,6 +147,12 @@ func main() {
 
 	ok, fail := okCount.Load(), failCount.Load()
 	fmt.Printf("requests: %d ok, %d failed in %v\n", ok, fail, elapsed.Round(time.Millisecond))
+	if shed := shedCount.Load(); shed > 0 {
+		fmt.Printf("back-pressure: %d sheds (503) honored via Retry-After\n", shed)
+	}
+	if deg := degCount.Load(); deg > 0 {
+		fmt.Printf("degraded: %d responses served from the radius cache\n", deg)
+	}
 	if ok > 0 {
 		fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n",
 			float64(ok)/elapsed.Seconds(), float64(ok)*float64(*batch)/elapsed.Seconds())
@@ -140,6 +172,19 @@ func main() {
 func drain(resp *http.Response) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+}
+
+// retryAfterDelay decodes a 503's Retry-After hint (delta-seconds form),
+// bounded by max; an absent or malformed header waits 100ms.
+func retryAfterDelay(resp *http.Response, max time.Duration) time.Duration {
+	d := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > max {
+		d = max
+	}
+	return d
 }
 
 // buildWorkload pre-serialises every request body: n requests of `batch`

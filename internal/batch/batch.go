@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"fepia/internal/core"
+	"fepia/internal/faults"
 )
 
 // Options tunes a batch run.
@@ -45,6 +46,13 @@ type Options struct {
 	// Core configures every underlying radius computation (norm choice,
 	// solver budgets).
 	Core core.Options
+	// Retry, when non-nil, re-attempts transiently failing per-feature
+	// radius solves (injected faults, flaky delegated backends) with
+	// decorrelated-jitter backoff. Permanent failures — validation,
+	// cancellation, unsupported norms — are never retried, so a nil
+	// policy and the default classifier behave identically on fault-free
+	// runs.
+	Retry *faults.Policy
 }
 
 // workers resolves the effective worker count.
@@ -94,7 +102,26 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 		errOnce.Do(func() { firstErr = err })
 		cancel()
 	}
+	// run isolates a stray task panic (one that escaped the per-feature
+	// recovery in solveFeature, e.g. from a caller-supplied fn) into the
+	// batch's first error instead of tearing down the process.
+	run := func(i int) (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("batch: task %d panicked: %v", i, rec)
+			}
+		}()
+		return fn(i)
+	}
 	for w := 0; w < workers; w++ {
+		if w > 0 {
+			// Chaos harness worker_spawn point: a fault means this worker
+			// is never born and the survivors drain the queue. Worker 0 is
+			// exempt, so the pool always makes progress.
+			if err := faults.Inject(ctx, faults.WorkerSpawn); err != nil {
+				continue
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -107,7 +134,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 					fail(err)
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					fail(err)
 					return
 				}
@@ -154,6 +181,12 @@ func AnalyzeOne(job Job, opts Options) (core.Analysis, error) {
 // radius computations and the ctx error is returned verbatim. It is the
 // per-request entry point of the fepiad server, which must never run an
 // uncancellable solve.
+//
+// Resilience: every per-feature solve is panic-isolated (a crash becomes
+// a typed *core.SolveError wrapping core.ErrSolvePanic for this job only)
+// and, with opts.Retry set, transient failures are re-attempted under the
+// policy. The faults.Solve / faults.CacheGet / faults.CachePut injection
+// points fire when ctx carries an injector.
 func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysis, error) {
 	if len(job.Features) == 0 {
 		return core.Analysis{}, fmt.Errorf("core: empty feature set Φ")
@@ -164,11 +197,85 @@ func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysi
 		if err := ctx.Err(); err != nil {
 			return core.Analysis{}, err
 		}
-		r, err := opts.Cache.Radius(f, job.Perturbation, copts)
+		r, err := solveFeature(ctx, f, job.Perturbation, copts, opts)
 		if err != nil {
 			return core.Analysis{}, err
 		}
 		radii[i] = r
 	}
 	return core.NewAnalysis(job.Perturbation, radii), nil
+}
+
+// solveFeature computes one radius through the cached path under the
+// retry policy, converting a panicking attempt (an Impact.Eval crash, or
+// an injected panic fault) into a typed *core.SolveError so the rest of
+// the batch is never lost to a single bad item.
+func solveFeature(ctx context.Context, f core.Feature, p core.Perturbation, copts core.Options, opts Options) (core.RadiusResult, error) {
+	var r core.RadiusResult
+	attempt := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = core.RecoveredSolveError(f.Name, rec)
+			}
+		}()
+		if err := faults.Inject(ctx, faults.Solve); err != nil {
+			return err
+		}
+		r, err = opts.Cache.RadiusContext(ctx, f, p, copts)
+		return err
+	}
+	if err := opts.Retry.Do(ctx, attempt); err != nil {
+		return core.RadiusResult{}, err
+	}
+	return r, nil
+}
+
+// Result pairs one job's analysis with its error: the item-isolated
+// output of AnalyzeAll. Exactly one of Analysis and Err is meaningful.
+type Result struct {
+	Analysis core.Analysis
+	Err      error
+}
+
+// AnalyzeAll evaluates every job like Analyze but never aborts the
+// batch: each item's failure — including a recovered panic — lands in
+// its own Result slot while every other item completes normally, in
+// input order. Only context cancellation stops the sweep early, in which
+// case the unvisited items carry the context error.
+func AnalyzeAll(ctx context.Context, jobs []Job, opts Options) []Result {
+	out := make([]Result, len(jobs))
+	err := ForEach(ctx, len(jobs), opts.workers(), func(i int) error {
+		a, err := AnalyzeOneContext(ctx, jobs[i], opts)
+		out[i] = Result{Analysis: a, Err: err}
+		return nil // item failures stay in their slot; only ctx aborts
+	})
+	if err != nil {
+		for i := range out {
+			if out[i].Err == nil && out[i].Analysis.Radii == nil {
+				out[i].Err = err
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzeCached evaluates a job purely from the cache: ok is false
+// (with a zero Analysis) unless every feature's radius is already
+// memoised. No solve is ever started and no injection point fires — this
+// is the degraded serving path of the fepiad server when its engine
+// breaker is open or the engine just failed.
+func AnalyzeCached(job Job, opts Options) (core.Analysis, bool) {
+	if opts.Cache == nil || len(job.Features) == 0 {
+		return core.Analysis{}, false
+	}
+	copts := opts.Core.WithDefaults()
+	radii := make([]core.RadiusResult, len(job.Features))
+	for i, f := range job.Features {
+		r, ok := opts.Cache.Lookup(f, job.Perturbation, copts)
+		if !ok {
+			return core.Analysis{}, false
+		}
+		radii[i] = r
+	}
+	return core.NewAnalysis(job.Perturbation, radii), true
 }

@@ -2,12 +2,15 @@ package batch
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"math"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"fepia/internal/core"
+	"fepia/internal/faults"
 	"fepia/internal/vecmath"
 )
 
@@ -33,6 +36,9 @@ type Cache struct {
 	entries  map[string]*list.Element
 	hits     uint64
 	misses   uint64
+	// putFails counts inserts skipped because a cache_put fault fired; a
+	// put failure only costs future hits, never the computed result.
+	putFails atomic.Uint64
 }
 
 // cacheEntry is one memoised radius. The impact reference keeps
@@ -65,6 +71,9 @@ type CacheStats struct {
 	Hits, Misses uint64
 	// Size and Capacity describe current occupancy.
 	Size, Capacity int
+	// PutFailures counts inserts dropped by injected cache_put faults
+	// (the computed result was still returned to the caller).
+	PutFailures uint64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -83,7 +92,8 @@ func (c *Cache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len(), Capacity: c.capacity}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len(), Capacity: c.capacity,
+		PutFailures: c.putFails.Load()}
 }
 
 // Radius returns core.ComputeRadius(f, p, opts), memoised. On a hit the
@@ -91,14 +101,28 @@ func (c *Cache) Stats() CacheStats {
 // receiver computes directly. opts should be pre-normalised with
 // WithDefaults when the caller loops, so equal configurations key
 // equally; Radius normalises again only for key construction, never for
-// semantics (core.ComputeRadius applies its own defaults).
+// semantics (core.ComputeRadius applies its own defaults). It delegates
+// to RadiusContext with context.Background(), so no fault-injection
+// points fire.
 func (c *Cache) Radius(f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, error) {
+	return c.RadiusContext(context.Background(), f, p, opts)
+}
+
+// RadiusContext is Radius under a context: the harness's cache_get and
+// cache_put injection points fire around the lookup and the insert. A
+// get-side fault fails the call (the retry layer re-attempts transient
+// ones); a put-side fault is absorbed — the computed result is returned
+// and only the memoisation is lost, counted in CacheStats.PutFailures.
+func (c *Cache) RadiusContext(ctx context.Context, f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, error) {
 	if c == nil {
 		return core.ComputeRadius(f, p, opts)
 	}
 	key, ok := radiusKey(f, p, opts.WithDefaults())
 	if !ok {
 		return core.ComputeRadius(f, p, opts)
+	}
+	if err := faults.Inject(ctx, faults.CacheGet); err != nil {
+		return core.RadiusResult{}, err
 	}
 
 	c.mu.Lock()
@@ -121,6 +145,11 @@ func (c *Cache) Radius(f core.Feature, p core.Perturbation, opts core.Options) (
 		return core.RadiusResult{}, err
 	}
 
+	if err := faults.Inject(ctx, faults.CachePut); err != nil {
+		c.putFails.Add(1)
+		return res, nil
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, found := c.entries[key]; !found {
@@ -137,6 +166,35 @@ func (c *Cache) Radius(f core.Feature, p core.Perturbation, opts core.Options) (
 	stored := res
 	stored.Boundary = vecmath.Clone(stored.Boundary)
 	return stored, nil
+}
+
+// Lookup returns the memoised radius for the subproblem, or ok=false when
+// it is absent or uncacheable. It never starts a solve and no injection
+// point fires — this is the degraded serving path of the fepiad server,
+// which must answer from whatever the cache already holds when the engine
+// is unavailable. A successful lookup refreshes the entry's LRU position
+// but moves neither the hit nor the miss counter, so degraded serving
+// does not distort the cache-effectiveness statistics.
+func (c *Cache) Lookup(f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, bool) {
+	if c == nil {
+		return core.RadiusResult{}, false
+	}
+	key, ok := radiusKey(f, p, opts.WithDefaults())
+	if !ok {
+		return core.RadiusResult{}, false
+	}
+	c.mu.Lock()
+	el, found := c.entries[key]
+	if !found {
+		c.mu.Unlock()
+		return core.RadiusResult{}, false
+	}
+	c.order.MoveToFront(el)
+	res := el.Value.(*cacheEntry).result
+	c.mu.Unlock()
+	res.Boundary = vecmath.Clone(res.Boundary)
+	res.Feature = f.Name
+	return res, true
 }
 
 // radiusKey builds the memoisation key, reporting ok=false for impacts it

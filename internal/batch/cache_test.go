@@ -1,11 +1,15 @@
 package batch
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 
 	"fepia/internal/core"
+	"fepia/internal/faults"
 )
 
 func linFeature(t *testing.T, name string, coeffs []float64, max float64) core.Feature {
@@ -192,4 +196,85 @@ func TestCacheBypassesUncacheableAndNil(t *testing.T) {
 	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Size != 0 {
 		t.Fatalf("uncacheable impact should bypass entirely, got %+v", st)
 	}
+}
+
+// TestCacheConcurrentEvictionWithPutFaults hammers a deliberately tiny
+// cache — so inserts and LRU evictions race constantly — from many
+// goroutines while a seeded schedule fails half the cache_put calls. The
+// contract under test: every call still returns the correct radius (no
+// result is ever lost to a put fault or duplicated into the wrong key),
+// the dropped inserts are accounted in PutFailures, and the whole dance is
+// race-clean (this test is the reason `make chaos` runs under -race).
+func TestCacheConcurrentEvictionWithPutFaults(t *testing.T) {
+	const (
+		distinct   = 24 // feature variants, 3× the cache capacity
+		workers    = 8
+		iterations = 40
+	)
+	p := core.Perturbation{Name: "π", Orig: []float64{1, 2}}
+	features := make([]core.Feature, distinct)
+	want := make([]core.RadiusResult, distinct)
+	for i := range features {
+		features[i] = linFeature(t, fmt.Sprintf("F%d", i), []float64{1 + float64(i%5), 1}, float64(10+i))
+		var err error
+		want[i], err = core.ComputeRadius(features[i], p, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCache(distinct / 3)
+	inj := faults.NewSeeded(11, faults.Config{
+		Rates: map[faults.Point]map[faults.Kind]float64{
+			faults.CachePut: {faults.KindError: 0.5},
+		},
+	})
+	ctx := faults.With(context.Background(), inj)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				i := (w*13 + it*7) % distinct // per-worker stride over all keys
+				got, err := c.RadiusContext(ctx, features[i], p, core.Options{})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: feature %d: %v", w, i, err)
+					return
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					errs <- fmt.Errorf("worker %d: feature %d: result diverged from direct ComputeRadius", w, i)
+					return
+				}
+				// Lookup must agree with Radius whenever it reports a hit,
+				// even while other workers are evicting around it.
+				if cached, ok := c.Lookup(features[i], p, core.Options{}); ok {
+					if !reflect.DeepEqual(cached, want[i]) {
+						errs <- fmt.Errorf("worker %d: feature %d: Lookup returned a wrong result", w, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.PutFailures == 0 {
+		t.Fatalf("no cache_put faults delivered (stats %+v) — schedule exercised nothing", st)
+	}
+	if st.Size > st.Capacity {
+		t.Fatalf("cache overflowed its capacity: %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses under churn, got %+v", st)
+	}
+	t.Logf("churn stats: %+v, injected put faults: %d", st, inj.Delivered())
 }

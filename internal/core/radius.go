@@ -132,6 +132,27 @@ func (e *SolveError) Error() string {
 // Unwrap exposes the underlying solver error.
 func (e *SolveError) Unwrap() error { return e.Err }
 
+// ErrSolvePanic marks SolveErrors recovered from a panic inside a radius
+// solve: errors.Is(err, ErrSolvePanic) distinguishes a crashed solve from
+// one that failed with an ordinary solver error.
+var ErrSolvePanic = errors.New("panic during radius solve")
+
+// RecoveredSolveError converts a recovered panic value into the typed
+// engine failure for the one item whose solve crashed — the batch
+// engine's per-task panic isolation. The result wraps ErrSolvePanic, and
+// when the panic value is itself an error (e.g. an injected fault) it
+// stays reachable through errors.Is/As so retry classification and HTTP
+// mapping see through the recovery.
+func RecoveredSolveError(feature string, rec any) *SolveError {
+	var err error
+	if cause, ok := rec.(error); ok {
+		err = fmt.Errorf("%w: %w", ErrSolvePanic, cause)
+	} else {
+		err = fmt.Errorf("%w: %v", ErrSolvePanic, rec)
+	}
+	return &SolveError{Feature: feature, Err: err}
+}
+
 // ComputeRadius evaluates Eq. 1 for a single feature: the smallest
 // variation of the perturbation parameter (measured by opts.Norm, ℓ₂ by
 // default) that drives the feature onto either boundary of its tolerable

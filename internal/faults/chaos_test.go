@@ -1,0 +1,249 @@
+// Chaos suite for the batch engine: seeded fault schedules driven through
+// the real analysis pipeline, asserting the resilience layer's central
+// contract — wherever a result is produced, it is byte-identical to the
+// fault-free run, and a failing item never takes the rest of the batch
+// with it. FEPIA_CHAOS_SEED pins the seeded schedule for reproducing a
+// failure (`make chaos` sets it).
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"fepia/internal/batch"
+	"fepia/internal/core"
+	"fepia/internal/faults"
+)
+
+// chaosJobs builds n small linear-feature jobs (finish-time style
+// hyperplanes) cheap enough to re-solve many times under fault schedules.
+func chaosJobs(t testing.TB, n int) []batch.Job {
+	t.Helper()
+	jobs := make([]batch.Job, n)
+	for i := range jobs {
+		feats := make([]core.Feature, 3)
+		for j := range feats {
+			imp, err := core.NewLinearImpact([]float64{
+				1 + float64((i+j)%4), 0.5 * float64(1+j), 2,
+			}, 0.25*float64(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			feats[j] = core.Feature{
+				Name:   fmt.Sprintf("finish(m%d)", j),
+				Impact: imp,
+				Bounds: core.NoMin(40 + float64(5*i+j)),
+			}
+		}
+		jobs[i] = batch.Job{
+			Features: feats,
+			Perturbation: core.Perturbation{
+				Name: fmt.Sprintf("C%d", i),
+				Orig: []float64{1 + 0.1*float64(i), 2, 3},
+			},
+		}
+	}
+	return jobs
+}
+
+// baseline runs the batch fault-free.
+func baseline(t testing.TB, jobs []batch.Job) []core.Analysis {
+	t.Helper()
+	want, err := batch.Analyze(context.Background(), jobs, batch.Options{Workers: 4, Cache: batch.NewCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// chaosSeeds returns the seeds to sweep; FEPIA_CHAOS_SEED pins one.
+func chaosSeeds(t testing.TB) []int64 {
+	if v := os.Getenv("FEPIA_CHAOS_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("FEPIA_CHAOS_SEED=%q: %v", v, err)
+		}
+		return []int64{seed}
+	}
+	return []int64{1, 7, 42}
+}
+
+// noSleep removes backoff wall-clock time from chaos runs.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+// TestChaosSeededConvergesToBaseline is the headline invariant: under any
+// bounded schedule of error, panic, and latency faults at every engine
+// injection point, the batch — with retry enabled — still produces results
+// byte-identical to the fault-free run. MaxFaults bounds the schedule so
+// the injector eventually goes quiet; a retry budget above that bound
+// guarantees convergence for any seed.
+func TestChaosSeededConvergesToBaseline(t *testing.T) {
+	jobs := chaosJobs(t, 12)
+	want := baseline(t, jobs)
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const maxFaults = 40
+			inj := faults.NewSeeded(seed, faults.Config{
+				Rates: map[faults.Point]map[faults.Kind]float64{
+					faults.Solve:       {faults.KindError: 0.2, faults.KindPanic: 0.1, faults.KindLatency: 0.05},
+					faults.CacheGet:    {faults.KindError: 0.15},
+					faults.CachePut:    {faults.KindError: 0.15},
+					faults.WorkerSpawn: {faults.KindError: 0.5},
+				},
+				Latency:   50 * time.Microsecond,
+				MaxFaults: maxFaults,
+			})
+			opts := batch.Options{
+				Workers: 4,
+				Cache:   batch.NewCache(0),
+				Retry:   &faults.Policy{MaxAttempts: maxFaults + 2, Sleep: noSleep, Seed: seed},
+			}
+			ctx := faults.With(context.Background(), inj)
+			got, err := batch.Analyze(ctx, jobs, opts)
+			if err != nil {
+				t.Fatalf("batch did not converge under schedule: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("results under faults differ from fault-free baseline")
+			}
+			if inj.Delivered() == 0 {
+				t.Fatalf("schedule delivered no faults — test exercised nothing")
+			}
+			t.Logf("converged through %d injected faults: %v", inj.Delivered(), inj.Stats())
+		})
+	}
+}
+
+// TestChaosPanicIsolation pins a panic fault to one known item (Workers: 1
+// and one injection per feature make the per-point call order
+// deterministic) and asserts, via AnalyzeAll, that only that item fails —
+// with a typed, fully unwrappable error — while every other slot is
+// byte-identical to the baseline.
+func TestChaosPanicIsolation(t *testing.T) {
+	jobs := chaosJobs(t, 6)
+	want := baseline(t, jobs)
+	// Features are solved in order, 3 per job: solve call 8 is job 2's
+	// second feature.
+	const victim = 2
+	script := faults.NewScript().At(faults.Solve, victim*3+2, faults.KindPanic)
+	ctx := faults.With(context.Background(), script)
+	results := batch.AnalyzeAll(ctx, jobs, batch.Options{Workers: 1})
+	for i, r := range results {
+		if i == victim {
+			if r.Err == nil {
+				t.Fatalf("item %d: scripted panic produced no error", i)
+			}
+			if !errors.Is(r.Err, core.ErrSolvePanic) {
+				t.Fatalf("item %d: error does not wrap ErrSolvePanic: %v", i, r.Err)
+			}
+			var se *core.SolveError
+			if !errors.As(r.Err, &se) || se.Feature != jobs[i].Features[1].Name {
+				t.Fatalf("item %d: want *core.SolveError for feature %q, got %v", i, jobs[i].Features[1].Name, r.Err)
+			}
+			var ie *faults.InjectedError
+			if !errors.As(r.Err, &ie) || ie.Kind != faults.KindPanic {
+				t.Fatalf("item %d: injected cause lost through recovery: %v", i, r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("item %d: bystander failed: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(r.Analysis, want[i]) {
+			t.Fatalf("item %d: bystander result differs from baseline", i)
+		}
+	}
+	// The same schedule through fail-fast Analyze aborts with the typed
+	// error instead of crashing the process.
+	script2 := faults.NewScript().At(faults.Solve, victim*3+2, faults.KindPanic)
+	_, err := batch.Analyze(faults.With(context.Background(), script2), jobs, batch.Options{Workers: 1})
+	if !errors.Is(err, core.ErrSolvePanic) {
+		t.Fatalf("Analyze under scripted panic: %v", err)
+	}
+}
+
+// TestChaosWorkerSpawnStarvation kills every spawnable worker (rate 1.0):
+// the exempt worker 0 must drain the whole queue alone and the results
+// must still match the baseline exactly.
+func TestChaosWorkerSpawnStarvation(t *testing.T) {
+	jobs := chaosJobs(t, 8)
+	want := baseline(t, jobs)
+	inj := faults.NewSeeded(1, faults.Config{
+		Rates: map[faults.Point]map[faults.Kind]float64{
+			faults.WorkerSpawn: {faults.KindError: 1.0},
+		},
+	})
+	got, err := batch.Analyze(faults.With(context.Background(), inj), jobs, batch.Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("starved pool failed the batch: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("starved-pool results differ from baseline")
+	}
+	if got := inj.Stats()[faults.WorkerSpawn][faults.KindError]; got != 7 {
+		t.Fatalf("delivered %d worker_spawn faults, want 7 (workers 1..7)", got)
+	}
+}
+
+// TestChaosCancelFaultNotRetried: a cancel-kind fault is a permanent
+// failure — it must surface as context.Canceled without consuming retry
+// budget.
+func TestChaosCancelFaultNotRetried(t *testing.T) {
+	jobs := chaosJobs(t, 1)
+	script := faults.NewScript().At(faults.Solve, 1, faults.KindCancel)
+	retried := 0
+	opts := batch.Options{
+		Workers: 1,
+		Retry: &faults.Policy{
+			MaxAttempts: 5,
+			Sleep:       noSleep,
+			OnRetry:     func(int, time.Duration, error) { retried++ },
+		},
+	}
+	_, err := batch.AnalyzeOneContext(faults.With(context.Background(), script), jobs[0], opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel fault did not surface context.Canceled: %v", err)
+	}
+	var ie *faults.InjectedError
+	if !errors.As(err, &ie) || ie.Kind != faults.KindCancel {
+		t.Fatalf("injected cancel fault not reachable: %v", err)
+	}
+	if retried != 0 {
+		t.Fatalf("cancel fault consumed %d retries, want 0", retried)
+	}
+	if calls := script.Calls(faults.Solve); calls != 1 {
+		t.Fatalf("solve point consulted %d times, want 1", calls)
+	}
+}
+
+// TestChaosLatencyOnlyIsInvisible: a schedule of pure latency spikes must
+// not change results, error anything, or require retries.
+func TestChaosLatencyOnlyIsInvisible(t *testing.T) {
+	jobs := chaosJobs(t, 6)
+	want := baseline(t, jobs)
+	inj := faults.NewSeeded(3, faults.Config{
+		Rates: map[faults.Point]map[faults.Kind]float64{
+			faults.Solve:    {faults.KindLatency: 0.5},
+			faults.CacheGet: {faults.KindLatency: 0.5},
+		},
+		Latency:   20 * time.Microsecond,
+		MaxFaults: 30,
+	})
+	got, err := batch.Analyze(faults.With(context.Background(), inj), jobs, batch.Options{Workers: 4, Cache: batch.NewCache(0)})
+	if err != nil {
+		t.Fatalf("latency-only schedule errored: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("latency-only schedule changed results")
+	}
+	if inj.Delivered() == 0 {
+		t.Fatal("schedule delivered no latency spikes")
+	}
+}

@@ -1,0 +1,173 @@
+// Package faults is the deterministic, seeded fault-injection harness of
+// the analysis stack — the perturbation generator the serving pipeline
+// applies to *itself*. The paper quantifies how an allocation tolerates
+// perturbation of its inputs (Eq. 1–2); this package perturbs the system
+// that computes the metric, so the resilience layer around it (per-task
+// panic isolation in internal/batch, the retry policy below, the circuit
+// breaker and degraded mode in internal/server) can be driven through
+// reproducible fault schedules and held to the engine's determinism
+// contract: wherever a response is produced, it is byte-identical to the
+// fault-free run.
+//
+// Injection sites are named Points. Production code marks a site with one
+// call — faults.Inject(ctx, faults.Solve) — which is a no-op unless an
+// Injector was attached to the context with faults.With; without one the
+// cost is a single context lookup, so the harness stays out of the hot
+// path in production builds.
+//
+// A firing fault takes one of four Kinds: an injected transient error, a
+// panic (recovered per-task by the batch engine), a latency spike, or a
+// simulated context cancellation. Errors and recovered panics surface as
+// *InjectedError values, which the retry classifier recognises as
+// transient; cancel faults wrap context.Canceled and must never be
+// retried.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Point names an injection site in the analysis stack.
+type Point string
+
+const (
+	// Solve fires before each per-feature radius computation
+	// (batch.AnalyzeOneContext).
+	Solve Point = "solve"
+	// CacheGet fires before a radius-cache lookup (batch.Cache).
+	CacheGet Point = "cache_get"
+	// CachePut fires before a radius-cache insert; a put fault costs only
+	// future hits — the computed result is still returned.
+	CachePut Point = "cache_put"
+	// WorkerSpawn fires as the batch worker pool starts each worker past
+	// the first; a fault means that worker is never born and the
+	// remaining workers drain the queue.
+	WorkerSpawn Point = "worker_spawn"
+	// Admission fires in the fepiad admission gate; a fault sheds the
+	// request with 503 + Retry-After exactly like saturation.
+	Admission Point = "admission"
+)
+
+// Points lists every injection site, in a fixed order.
+var Points = []Point{Solve, CacheGet, CachePut, WorkerSpawn, Admission}
+
+// Kind is the failure mode a firing fault takes.
+type Kind string
+
+const (
+	// KindError delivers a transient *InjectedError.
+	KindError Kind = "error"
+	// KindPanic panics with an *InjectedError value. At panic-unsafe
+	// points (WorkerSpawn, Admission) injectors downgrade it to KindError.
+	KindPanic Kind = "panic"
+	// KindLatency sleeps for the configured spike, then succeeds.
+	KindLatency Kind = "latency"
+	// KindCancel delivers an *InjectedError wrapping context.Canceled —
+	// a permanent failure the retry layer must not retry.
+	KindCancel Kind = "cancel"
+)
+
+// kindOrder fixes the draw order of the seeded injector so a schedule is
+// reproducible for a given seed.
+var kindOrder = []Kind{KindError, KindPanic, KindLatency, KindCancel}
+
+// InjectedError is the failure delivered by error-, panic-, and
+// cancel-kind faults. The batch engine recovers panic-kind values into
+// typed *core.SolveError wrappers, so an InjectedError stays reachable
+// with errors.As from every layer above the injection site.
+type InjectedError struct {
+	// Point is the site that fired.
+	Point Point
+	// Kind is the delivered failure mode.
+	Kind Kind
+	// Seq is the injector's 1-based call sequence number that fired, for
+	// correlating a failure with a schedule.
+	Seq uint64
+	// Transient reports whether a retry may succeed; the Retryable
+	// classifier keys on it.
+	Transient bool
+	// Err is the underlying error for faults that simulate one
+	// (context.Canceled for KindCancel), nil otherwise.
+	Err error
+}
+
+// Error renders "faults: injected <kind> at <point> (call <n>)".
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected %s at %s (call %d)", e.Kind, e.Point, e.Seq)
+}
+
+// Unwrap exposes the simulated underlying error, if any.
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// Temporary reports Transient — the net-package convention the retry
+// classifier also accepts from foreign error types.
+func (e *InjectedError) Temporary() bool { return e.Transient }
+
+// Injector decides, per call, whether a fault fires at an injection
+// point. Inject returns nil (no fault, or a latency spike that already
+// elapsed), returns an error (error/cancel fault), or panics with an
+// *InjectedError (panic fault). Implementations must be safe for
+// concurrent use and must deliver panic-kind faults at WorkerSpawn and
+// Admission as errors instead — those sites cannot recover a panic
+// per-task.
+type Injector interface {
+	Inject(ctx context.Context, p Point) error
+}
+
+// ctxKey carries the context's injector.
+type ctxKey struct{}
+
+// With returns a context carrying inj; a nil inj returns ctx unchanged.
+// Every downstream Inject call on the returned context consults inj.
+func With(ctx context.Context, inj Injector) context.Context {
+	if inj == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, inj)
+}
+
+// From returns the context's injector, or nil when none is attached.
+func From(ctx context.Context) Injector {
+	inj, _ := ctx.Value(ctxKey{}).(Injector)
+	return inj
+}
+
+// Inject fires the context's injector at p. Without an injector it is a
+// no-op — the production fast path.
+func Inject(ctx context.Context, p Point) error {
+	if inj := From(ctx); inj != nil {
+		return inj.Inject(ctx, p)
+	}
+	return nil
+}
+
+// deliver realises a chosen fault kind at a point: the shared action of
+// every injector in this package.
+func deliver(ctx context.Context, p Point, k Kind, seq uint64, latency time.Duration) error {
+	switch k {
+	case KindLatency:
+		if latency <= 0 {
+			latency = time.Millisecond
+		}
+		t := time.NewTimer(latency)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	case KindCancel:
+		return &InjectedError{Point: p, Kind: KindCancel, Seq: seq, Err: context.Canceled}
+	case KindPanic:
+		if p == WorkerSpawn || p == Admission {
+			// Panic-unsafe sites: downgrade (see Injector contract).
+			return &InjectedError{Point: p, Kind: KindError, Seq: seq, Transient: true}
+		}
+		panic(&InjectedError{Point: p, Kind: KindPanic, Seq: seq, Transient: true})
+	default:
+		return &InjectedError{Point: p, Kind: KindError, Seq: seq, Transient: true}
+	}
+}

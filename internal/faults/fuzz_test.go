@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/spec"
+)
+
+// FuzzRetryable drives the transient-failure classifier with arbitrary
+// error chains assembled from fuzz input: leaf errors of every class the
+// stack produces, combined by %w wrapping, errors.Join, and the typed
+// wrappers (core.SolveError, core.RecoveredSolveError). The invariants
+// under test are the safety guarantees of the retry layer:
+//
+//  1. a chain containing context.Canceled (or DeadlineExceeded) is never
+//     retryable — a cancelled request must not be re-run;
+//  2. a chain containing a *spec.ValidationError (or spec.ErrInvalidSpec)
+//     is never retryable — resubmitting an invalid document cannot help;
+//  3. a chain with no transient marker anywhere is never retryable — the
+//     classifier stays conservative by default.
+func FuzzRetryable(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{8, 0, 9, 1, 10})      // wrap(canceled), join(validation, transient)
+	f.Add([]byte{10, 10, 10, 10})      // deep join of transients
+	f.Add([]byte{12, 4, 11, 0, 13, 2}) // typed wrappers around permanents
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 64 {
+			program = program[:64]
+		}
+		err, hasPermanent := buildChain(program)
+		if err == nil {
+			return
+		}
+		got := Retryable(err)
+		if hasPermanent && got {
+			t.Fatalf("chain with a permanent class classified retryable: %v", err)
+		}
+		// Independent of how the chain was built: Is/As see through every
+		// combinator used above, so these must agree with the classifier.
+		var ve *spec.ValidationError
+		if (errors.Is(err, context.Canceled) || errors.As(err, &ve)) && got {
+			t.Fatalf("canceled/validation present yet retryable: %v", err)
+		}
+		if !hasTransientMarker(err) && got {
+			t.Fatalf("no transient marker in chain yet retryable: %v", err)
+		}
+	})
+}
+
+// buildChain interprets the fuzz bytes as a tiny stack program: opcodes
+// 0–7 push leaf errors, 8+ combine what is on the stack. It returns the
+// resulting chain and whether any permanent-class leaf went into it.
+func buildChain(program []byte) (error, bool) {
+	var (
+		stack     []error
+		permanent bool
+	)
+	push := func(e error, perm bool) {
+		stack = append(stack, e)
+		permanent = permanent || perm
+	}
+	pop := func() error {
+		if len(stack) == 0 {
+			return nil
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return e
+	}
+	for _, op := range program {
+		switch op % 14 {
+		case 0:
+			push(context.Canceled, true)
+		case 1:
+			push(context.DeadlineExceeded, true)
+		case 2:
+			push(&spec.ValidationError{Path: "features[0]", Msg: "fuzz"}, true)
+		case 3:
+			push(spec.ErrInvalidSpec, true)
+		case 4:
+			push(core.ErrNormUnsupported, true)
+		case 5:
+			push(errors.New("opaque"), false)
+		case 6:
+			push(&InjectedError{Point: Solve, Kind: KindError, Transient: true}, false)
+		case 7:
+			push(&InjectedError{Point: Solve, Kind: KindCancel, Err: context.Canceled}, true)
+		case 8: // %w-wrap top of stack
+			if e := pop(); e != nil {
+				push(fmt.Errorf("layer: %w", e), false)
+			}
+		case 9, 10: // join top two (order differs by opcode)
+			a, b := pop(), pop()
+			switch {
+			case a != nil && b != nil && op%14 == 9:
+				push(errors.Join(a, b), false)
+			case a != nil && b != nil:
+				push(errors.Join(b, a), false)
+			case a != nil:
+				push(a, false)
+			case b != nil:
+				push(b, false)
+			}
+		case 11: // typed solve wrapper
+			if e := pop(); e != nil {
+				push(&core.SolveError{Feature: "f", Err: e}, false)
+			}
+		case 12: // recovered panic carrying the top error
+			if e := pop(); e != nil {
+				push(core.RecoveredSolveError("f", e), false)
+			}
+		case 13: // recovered panic with a non-error payload
+			push(core.RecoveredSolveError("f", "slice bounds"), false)
+		}
+	}
+	// Fold whatever is left into one chain.
+	var out error
+	for _, e := range stack {
+		if out == nil {
+			out = e
+		} else {
+			out = errors.Join(out, e)
+		}
+	}
+	return out, permanent
+}
+
+// hasTransientMarker walks the full chain (including Join fan-out)
+// looking for anything the classifier could legitimately treat as
+// transient.
+func hasTransientMarker(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ie *InjectedError
+	if errors.As(err, &ie) && ie.Transient {
+		return true
+	}
+	var tmp temporary
+	if errors.As(err, &tmp) && tmp.Temporary() {
+		return true
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		return hasTransientMarker(u.Unwrap())
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			if hasTransientMarker(e) {
+				return true
+			}
+		}
+	}
+	return false
+}

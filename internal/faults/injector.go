@@ -1,0 +1,258 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config schedules faults for a Seeded injector.
+type Config struct {
+	// Rates maps an injection point to the per-call probability, in
+	// [0, 1], of each fault kind firing there. Kinds at one point are
+	// mutually exclusive per call; their rates should sum to ≤ 1.
+	Rates map[Point]map[Kind]float64
+	// Latency is the sleep applied by latency faults (≤ 0 selects 1ms).
+	Latency time.Duration
+	// MaxFaults, when > 0, bounds the total faults delivered; afterwards
+	// the injector goes quiet. Chaos tests use it so every schedule
+	// eventually lets the run converge to the fault-free result.
+	MaxFaults int
+}
+
+// Stats counts delivered faults by point and kind.
+type Stats map[Point]map[Kind]uint64
+
+// Total sums every counter.
+func (s Stats) Total() uint64 {
+	var n uint64
+	for _, kinds := range s {
+		for _, c := range kinds {
+			n += c
+		}
+	}
+	return n
+}
+
+// Seeded is a probabilistic injector whose decision sequence is drawn
+// from one seeded PRNG: the k-th Inject call that consults the schedule
+// makes the same decision for a given seed, regardless of which goroutine
+// makes it (a mutex serialises draws; placement across goroutines still
+// follows the scheduler, which is why chaos assertions are phrased as
+// invariants, not positions). Safe for concurrent use.
+type Seeded struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	cfg       Config
+	seq       uint64
+	delivered int
+	counts    Stats
+}
+
+// NewSeeded builds a Seeded injector for the given schedule.
+func NewSeeded(seed int64, cfg Config) *Seeded {
+	return &Seeded{rng: rand.New(rand.NewSource(seed)), cfg: cfg, counts: make(Stats)}
+}
+
+// Inject implements Injector.
+func (s *Seeded) Inject(ctx context.Context, p Point) error {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	rates := s.cfg.Rates[p]
+	if len(rates) == 0 || (s.cfg.MaxFaults > 0 && s.delivered >= s.cfg.MaxFaults) {
+		s.mu.Unlock()
+		return nil
+	}
+	u := s.rng.Float64()
+	kind, fired := Kind(""), false
+	for _, k := range kindOrder {
+		r := rates[k]
+		if r <= 0 {
+			continue
+		}
+		if u < r {
+			kind, fired = k, true
+			break
+		}
+		u -= r
+	}
+	if fired {
+		s.delivered++
+		if s.counts[p] == nil {
+			s.counts[p] = make(map[Kind]uint64)
+		}
+		s.counts[p][kind]++
+	}
+	latency := s.cfg.Latency
+	s.mu.Unlock()
+	if !fired {
+		return nil
+	}
+	return deliver(ctx, p, kind, seq, latency)
+}
+
+// Stats returns a copy of the delivered-fault counters.
+func (s *Seeded) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(Stats, len(s.counts))
+	for p, kinds := range s.counts {
+		out[p] = make(map[Kind]uint64, len(kinds))
+		for k, c := range kinds {
+			out[p][k] = c
+		}
+	}
+	return out
+}
+
+// Delivered returns the total number of faults delivered so far.
+func (s *Seeded) Delivered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// Script is an exact-schedule injector for tests: the n-th Inject call at
+// point p (1-based, counted per point) delivers the planned kind. With a
+// single worker the per-point call order is deterministic, so a Script
+// pins a fault to a known task. Safe for concurrent use.
+type Script struct {
+	// Latency is the latency-fault sleep (≤ 0 selects 1ms).
+	Latency time.Duration
+
+	mu    sync.Mutex
+	plan  map[Point]map[uint64]Kind
+	calls map[Point]uint64
+}
+
+// NewScript returns an empty script; populate it with At.
+func NewScript() *Script {
+	return &Script{plan: make(map[Point]map[uint64]Kind), calls: make(map[Point]uint64)}
+}
+
+// At schedules kind k on the call-th Inject call at p and returns the
+// script for chaining.
+func (s *Script) At(p Point, call int, k Kind) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan[p] == nil {
+		s.plan[p] = make(map[uint64]Kind)
+	}
+	s.plan[p][uint64(call)] = k
+	return s
+}
+
+// Calls reports how many times point p has been consulted.
+func (s *Script) Calls(p Point) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[p]
+}
+
+// Inject implements Injector.
+func (s *Script) Inject(ctx context.Context, p Point) error {
+	s.mu.Lock()
+	s.calls[p]++
+	n := s.calls[p]
+	kind, fired := s.plan[p][n]
+	latency := s.Latency
+	s.mu.Unlock()
+	if !fired {
+		return nil
+	}
+	return deliver(ctx, p, kind, n, latency)
+}
+
+// ParseSchedule builds a Seeded injector from a compact schedule string —
+// the FEPIAD_FAULTS env knob of cmd/fepiad. The format is
+// semicolon-separated tokens:
+//
+//	seed=7;max=100;latency=5ms;solve:error=0.05;cache_put:panic=0.01
+//
+// where point:kind=rate schedules a fault and seed/max/latency set the
+// PRNG seed, the delivered-fault bound, and the latency spike. An empty
+// string returns (nil, nil): injection disabled.
+func ParseSchedule(s string) (*Seeded, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var (
+		seed int64 = 1
+		cfg        = Config{Rates: make(map[Point]map[Kind]float64)}
+	)
+	for _, tok := range strings.Split(s, ";") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: schedule token %q: want name=value", tok)
+		}
+		switch name {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: schedule seed %q: %v", val, err)
+			}
+			seed = n
+		case "max":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: schedule max %q: want a non-negative integer", val)
+			}
+			cfg.MaxFaults = n
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("faults: schedule latency %q: %v", val, err)
+			}
+			cfg.Latency = d
+		default:
+			pt, kd, ok := strings.Cut(name, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: schedule token %q: want point:kind=rate", tok)
+			}
+			point, kind := Point(pt), Kind(kd)
+			if !validPoint(point) {
+				return nil, fmt.Errorf("faults: unknown injection point %q", pt)
+			}
+			if !validKind(kind) {
+				return nil, fmt.Errorf("faults: unknown fault kind %q", kd)
+			}
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("faults: rate %q for %s: want a probability in [0, 1]", val, name)
+			}
+			if cfg.Rates[point] == nil {
+				cfg.Rates[point] = make(map[Kind]float64)
+			}
+			cfg.Rates[point][kind] = rate
+		}
+	}
+	return NewSeeded(seed, cfg), nil
+}
+
+func validPoint(p Point) bool {
+	for _, q := range Points {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+func validKind(k Kind) bool {
+	for _, q := range kindOrder {
+		if k == q {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"fepia/internal/core"
+	"fepia/internal/spec"
+)
+
+// noSleep stubs backoff so policy tests run without wall-clock delay.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func transientErr() error {
+	return &InjectedError{Point: Solve, Kind: KindError, Transient: true}
+}
+
+func TestPolicyRetriesTransientUntilSuccess(t *testing.T) {
+	p := &Policy{MaxAttempts: 5, Sleep: noSleep}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return transientErr()
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+}
+
+func TestPolicyStopsOnPermanentError(t *testing.T) {
+	perm := &spec.ValidationError{Path: "features", Msg: "bad"}
+	p := &Policy{MaxAttempts: 5, Sleep: noSleep}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return perm })
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls-1)
+	}
+	var ve *spec.ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("typed error lost through the policy: %v", err)
+	}
+}
+
+func TestPolicyRespectsAttemptCap(t *testing.T) {
+	p := &Policy{MaxAttempts: 4, Sleep: noSleep}
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return transientErr() })
+	if calls != 4 {
+		t.Fatalf("calls = %d, want exactly MaxAttempts", calls)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("last error not returned verbatim: %v", err)
+	}
+}
+
+func TestPolicyNilAndDisabledRunOnce(t *testing.T) {
+	var nilPolicy *Policy
+	calls := 0
+	if err := nilPolicy.Do(context.Background(), func() error { calls++; return transientErr() }); err == nil || calls != 1 {
+		t.Fatalf("nil policy: err=%v calls=%d", err, calls)
+	}
+	calls = 0
+	p := &Policy{MaxAttempts: 1, Sleep: noSleep}
+	if err := p.Do(context.Background(), func() error { calls++; return transientErr() }); err == nil || calls != 1 {
+		t.Fatalf("MaxAttempts=1: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestPolicyCancelledBackoffAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Policy{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func() error { calls++; return transientErr() })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in the chain", err)
+		}
+		// The attempt's own failure must survive the join.
+		var ie *InjectedError
+		if !errors.As(err, &ie) {
+			t.Fatalf("attempt error lost on cancelled backoff: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not abort when the backoff sleep was cancelled")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 before the hour-long backoff", calls)
+	}
+}
+
+// TestPolicyDecorrelatedJitterBounds: every backoff delay stays within
+// [base, cap], and the same seed reproduces the same delay sequence.
+func TestPolicyDecorrelatedJitterBounds(t *testing.T) {
+	const base, cap = 2 * time.Millisecond, 20 * time.Millisecond
+	sequence := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		p := &Policy{
+			MaxAttempts: 12, BaseDelay: base, MaxDelay: cap, Seed: seed,
+			Sleep:   noSleep,
+			OnRetry: func(_ int, d time.Duration, _ error) { delays = append(delays, d) },
+		}
+		_ = p.Do(context.Background(), func() error { return transientErr() })
+		return delays
+	}
+	a, b, c := sequence(7), sequence(7), sequence(8)
+	if len(a) != 11 {
+		t.Fatalf("%d delays, want MaxAttempts-1", len(a))
+	}
+	for i, d := range a {
+		if d < base || d > cap {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, base, cap)
+		}
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different delay sequences:\n%v\n%v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical delay sequences: %v", a)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	transient := transientErr()
+	cancelFault := &InjectedError{Point: Solve, Kind: KindCancel, Err: context.Canceled}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped canceled", fmt.Errorf("rpc: %w", context.Canceled), false},
+		{"validation", &spec.ValidationError{Path: "norm", Msg: "bad"}, false},
+		{"wrapped validation", fmt.Errorf("parse: %w", &spec.ValidationError{Msg: "bad"}), false},
+		{"norm unsupported", core.ErrNormUnsupported, false},
+		{"plain error", errors.New("boom"), false},
+		{"transient injected", transient, true},
+		{"wrapped transient", fmt.Errorf("solve: %w", transient), true},
+		{"transient inside SolveError", &core.SolveError{Feature: "f", Err: transient}, true},
+		{"recovered transient panic", core.RecoveredSolveError("f", transient), true},
+		{"cancel fault", cancelFault, false},
+		{"join transient+canceled", errors.Join(transient, context.Canceled), false},
+		{"join canceled+transient", errors.Join(context.Canceled, transient), false},
+		{"join transient+validation", errors.Join(transient, &spec.ValidationError{Msg: "x"}), false},
+		{"join transient+plain", errors.Join(transient, errors.New("boom")), true},
+		{"recovered plain panic", core.RecoveredSolveError("f", "index out of range"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("%s: Retryable = %v, want %v (err: %v)", tc.name, got, tc.want, tc.err)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	if inj, err := ParseSchedule(""); inj != nil || err != nil {
+		t.Fatalf("empty schedule: %v %v", inj, err)
+	}
+	inj, err := ParseSchedule("seed=7;max=3;latency=5ms;solve:error=1;cache_put:panic=0.5")
+	if err != nil || inj == nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// rate 1 at solve: the first three calls fire, then MaxFaults mutes it.
+	for i := 0; i < 3; i++ {
+		if err := inj.Inject(context.Background(), Solve); err == nil {
+			t.Fatalf("call %d: rate-1 schedule did not fire", i)
+		}
+	}
+	if err := inj.Inject(context.Background(), Solve); err != nil {
+		t.Fatalf("max=3 not honored: %v", err)
+	}
+	if got := inj.Stats().Total(); got != 3 {
+		t.Fatalf("delivered %d faults, want 3", got)
+	}
+	for _, bad := range []string{"solve", "nowhere:error=0.1", "solve:explode=0.1", "solve:error=2", "seed=x", "max=-1", "latency=fast"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker defaults applied by Config.withDefaults.
+const (
+	DefaultBreakerWindow    = 20
+	DefaultBreakerThreshold = 0.5
+	DefaultBreakerCooldown  = 5 * time.Second
+	// defaultHalfOpenProbes is how many consecutive successful probes
+	// close a half-open breaker.
+	defaultHalfOpenProbes = 1
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state as exported on /debug/vars.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig tunes one endpoint's breaker.
+type breakerConfig struct {
+	// window is the sliding outcome window; the breaker trips only once
+	// the window is full.
+	window int
+	// threshold is the failure rate in [0, 1] that opens the breaker.
+	threshold float64
+	// cooldown is how long an open breaker rejects before probing.
+	cooldown time.Duration
+	// probes is how many consecutive half-open successes close it.
+	probes int
+	// now is the clock, stubbed by tests; nil selects time.Now.
+	now func() time.Time
+}
+
+// breaker is a per-endpoint circuit breaker over a sliding failure-rate
+// window. Engine outcomes are reported with report; allow gates each
+// request. Closed: everything passes and outcomes fill the ring. Open:
+// everything is rejected until cooldown elapses. Half-open: one probe at
+// a time reaches the engine; a probe failure reopens, enough successes
+// close and reset the window. Safe for concurrent use.
+type breaker struct {
+	cfg breakerConfig
+
+	mu            sync.Mutex
+	state         breakerState
+	ring          []bool // true = failure
+	ringN         int    // outcomes recorded, ≤ len(ring)
+	ringI         int    // next write position
+	fails         int    // failures currently in the ring
+	openedAt      time.Time
+	probeOK       int  // consecutive successful probes while half-open
+	probeInFlight bool // a half-open probe is at the engine
+	opens         uint64
+}
+
+// newBreaker builds a breaker; cfg must be pre-defaulted.
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.probes <= 0 {
+		cfg.probes = defaultHalfOpenProbes
+	}
+	return &breaker{cfg: cfg, ring: make([]bool, cfg.window)}
+}
+
+// allow reports whether a request may reach the engine. In the open
+// state it flips to half-open once the cooldown has elapsed and admits a
+// single probe; callers that are let through must call report with the
+// engine outcome.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probeOK = 0
+		b.probeInFlight = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probeInFlight {
+			return false
+		}
+		b.probeInFlight = true
+		return true
+	}
+}
+
+// report records one engine outcome. In the closed state it advances the
+// sliding window and trips to open when the full window's failure rate
+// reaches the threshold. In the half-open state it resolves the probe:
+// failure reopens immediately, success counts toward closing. Reports
+// landing while open (stragglers admitted before the trip) are dropped.
+func (b *breaker) report(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if b.ringN == len(b.ring) {
+			if b.ring[b.ringI] {
+				b.fails--
+			}
+		} else {
+			b.ringN++
+		}
+		b.ring[b.ringI] = failure
+		if failure {
+			b.fails++
+		}
+		b.ringI = (b.ringI + 1) % len(b.ring)
+		if b.ringN == len(b.ring) && float64(b.fails) >= b.cfg.threshold*float64(len(b.ring)) {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.probeInFlight = false
+		if failure {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.probes {
+			b.state = breakerClosed
+			b.reset()
+		}
+	}
+}
+
+// trip opens the breaker and clears the window for the next closed era.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.cfg.now()
+	b.opens++
+	b.probeInFlight = false
+	b.reset()
+}
+
+// reset clears the sliding window (caller holds the lock).
+func (b *breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.ringN, b.ringI, b.fails = 0, 0, 0
+}
+
+// breakerSnapshot is the /debug/vars view of one breaker.
+type breakerSnapshot struct {
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+	Samples  int    `json:"samples"`
+	Window   int    `json:"window"`
+	Opens    uint64 `json:"opens"`
+}
+
+// snapshot returns a consistent point-in-time view.
+func (b *breaker) snapshot() breakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerSnapshot{
+		State:    b.state.String(),
+		Failures: b.fails,
+		Samples:  b.ringN,
+		Window:   len(b.ring),
+		Opens:    b.opens,
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock for driving breaker cooldowns
+// without sleeping.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(window int, threshold float64, cooldown time.Duration) (*breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b := newBreaker(breakerConfig{window: window, threshold: threshold, cooldown: cooldown, now: clk.now})
+	return b, clk
+}
+
+func TestBreakerTripsOnlyOnFullWindow(t *testing.T) {
+	b, _ := testBreaker(4, 0.5, time.Minute)
+	// Three straight failures: window not yet full, must stay closed.
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.report(true)
+	}
+	if snap := b.snapshot(); snap.State != "closed" || snap.Failures != 3 || snap.Samples != 3 {
+		t.Fatalf("before full window: %+v", snap)
+	}
+	// The fourth outcome fills the window; even though it is a success,
+	// 3/4 ≥ 0.5 trips the breaker.
+	b.report(false)
+	if snap := b.snapshot(); snap.State != "open" || snap.Opens != 1 {
+		t.Fatalf("full failing window did not open the breaker: %+v", snap)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
+	b, _ := testBreaker(4, 0.5, time.Minute)
+	// Alternate success/failure: 1/4 and 2/4 windows briefly, but keep the
+	// rate below threshold by reporting 1 failure per 4 outcomes.
+	outcomes := []bool{true, false, false, false, true, false, false, false}
+	for i, f := range outcomes {
+		if !b.allow() {
+			t.Fatalf("request %d rejected", i)
+		}
+		b.report(f)
+	}
+	if snap := b.snapshot(); snap.State != "closed" {
+		t.Fatalf("25%% failure rate tripped a 50%% threshold: %+v", snap)
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b, _ := testBreaker(4, 0.5, time.Minute)
+	// An early failure scrolls out of the window as successes keep
+	// arriving; the breaker must never open and the failure count must
+	// return to zero once the failure has slid out.
+	for _, f := range []bool{true, false, false, false, false} {
+		b.report(f)
+	}
+	if snap := b.snapshot(); snap.State != "closed" || snap.Failures != 0 {
+		t.Fatalf("old failures did not slide out: %+v", snap)
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	b, clk := testBreaker(2, 0.5, time.Minute)
+	b.report(true)
+	b.report(true)
+	if snap := b.snapshot(); snap.State != "open" {
+		t.Fatalf("want open, got %+v", snap)
+	}
+	if b.allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.advance(time.Minute)
+	// Cooldown elapsed: exactly one probe is admitted.
+	if !b.allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if snap := b.snapshot(); snap.State != "half_open" {
+		t.Fatalf("want half_open, got %+v", snap)
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: straight back to open, new cooldown era.
+	b.report(true)
+	if snap := b.snapshot(); snap.State != "open" || snap.Opens != 2 {
+		t.Fatalf("failed probe did not reopen: %+v", snap)
+	}
+	if b.allow() {
+		t.Fatal("admitted right after reopening")
+	}
+	clk.advance(time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe not admitted")
+	}
+	// Probe succeeds: closed with a clean window.
+	b.report(false)
+	snap := b.snapshot()
+	if snap.State != "closed" || snap.Failures != 0 || snap.Samples != 0 {
+		t.Fatalf("successful probe did not close and reset: %+v", snap)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerDropsStragglersWhileOpen(t *testing.T) {
+	b, _ := testBreaker(2, 0.5, time.Minute)
+	b.report(true)
+	b.report(true) // trips
+	// A request admitted before the trip reports late: must not disturb
+	// the open state or the next closed era's window.
+	b.report(false)
+	b.report(true)
+	if snap := b.snapshot(); snap.State != "open" || snap.Samples != 0 || snap.Failures != 0 {
+		t.Fatalf("straggler reports disturbed the open breaker: %+v", snap)
+	}
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fepia/internal/faults"
+	"fepia/internal/spec"
+)
+
+// gatedInjector wraps an injector behind an on/off switch so a test can
+// warm the server's radius cache fault-free, then turn the weather bad.
+type gatedInjector struct {
+	enabled atomic.Bool
+	inner   faults.Injector
+}
+
+func (g *gatedInjector) Inject(ctx context.Context, p faults.Point) error {
+	if !g.enabled.Load() {
+		return nil
+	}
+	return g.inner.Inject(ctx, p)
+}
+
+// engineKiller returns an injector that fails every cache_get — the first
+// engine touch of each feature solve — so analyses fail while the cache
+// content itself stays intact for degraded serving.
+func engineKiller() *gatedInjector {
+	return &gatedInjector{inner: faults.NewSeeded(1, faults.Config{
+		Rates: map[faults.Point]map[faults.Kind]float64{
+			faults.CacheGet: {faults.KindError: 1.0},
+		},
+	})}
+}
+
+// getVars fetches and decodes /debug/vars.
+func getVars(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	return vars
+}
+
+func breakerStateVar(t *testing.T, vars map[string]any, key string) string {
+	t.Helper()
+	b, ok := vars[key].(map[string]any)
+	if !ok {
+		t.Fatalf("%s missing from /debug/vars", key)
+	}
+	state, _ := b["state"].(string)
+	return state
+}
+
+// TestChaosDegradedServingAndBreakerOpen drives the full degraded-mode
+// story on /v1/analyze: a healthy warm-up, an engine failure answered
+// byte-identically from the cache with the degraded marker, the breaker
+// tripping into open — observable on /debug/vars — and, while open, a
+// cache-missing document shedding with 503 "circuit_open" + Retry-After.
+func TestChaosDegradedServingAndBreakerOpen(t *testing.T) {
+	inj := engineKiller()
+	s := New(quietConfig(Config{
+		RetryMax:        -1, // injected faults fire on every attempt; retrying is noise here
+		BreakerWindow:   2,
+		BreakerCooldown: time.Hour, // no recovery inside this test
+		Degraded:        true,
+		Injector:        inj,
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Healthy warm-up fills the radius cache and records the baseline.
+	// The document is all-linear: affine impacts are value-keyed in the
+	// radius cache, so a later request parsing the same JSON reaches the
+	// same entries. (Pointer-keyed impacts — "terms", "func" — cannot be
+	// served degraded across requests by design.)
+	doc := linearSpec(1)
+	resp, baselineBody := postJSON(t, ts.URL+"/v1/analyze", doc)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") != "" {
+		t.Fatalf("warm-up: status %d, Warning %q", resp.StatusCode, resp.Header.Get("Warning"))
+	}
+	var baseline spec.ResultJSON
+	if err := json.Unmarshal(baselineBody, &baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.enabled.Store(true)
+
+	// Two engine failures: both answered degraded from the cache, and with
+	// window 2 the second one trips the breaker.
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", doc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if w := resp.Header.Get("Warning"); w == "" {
+			t.Fatalf("degraded request %d: no Warning header", i)
+		}
+		var got spec.ResultJSON
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Degraded {
+			t.Fatalf("degraded request %d: marker missing: %s", i, body)
+		}
+		// Byte-identical modulo the marker: clearing it must reproduce the
+		// fault-free document exactly.
+		got.Degraded = false
+		if !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("degraded result differs from fault-free baseline:\n got %+v\nwant %+v", got, baseline)
+		}
+	}
+
+	vars := getVars(t, ts.URL)
+	if state := breakerStateVar(t, vars, "fepiad.breaker.analyze"); state != "open" {
+		t.Fatalf("breaker state = %q after a full failing window, want open", state)
+	}
+	if got := vars["fepiad.degraded"].(float64); got != 2 {
+		t.Fatalf("fepiad.degraded = %v, want 2", got)
+	}
+
+	// Open breaker, cached document: still served degraded — the engine is
+	// never touched (the injector would fail it anyway).
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", doc)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") == "" {
+		t.Fatalf("open-breaker cached request: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Open breaker, never-seen document: true cache miss → 503 with the
+	// circuit_open kind and a Retry-After hint.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", linearSpec(99))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker cache miss: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if e := decodeError(t, body); e.Kind != "circuit_open" {
+		t.Fatalf("error kind = %q, want circuit_open", e.Kind)
+	}
+}
+
+// TestChaosBreakerRecovers closes the loop: after the cooldown a healthy
+// probe flips the breaker half-open → closed, visible on /debug/vars.
+func TestChaosBreakerRecovers(t *testing.T) {
+	inj := engineKiller()
+	s := New(quietConfig(Config{
+		RetryMax:        -1,
+		BreakerWindow:   2,
+		BreakerCooldown: 50 * time.Millisecond,
+		Degraded:        true,
+		Injector:        inj,
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/analyze", webFarm) // warm
+	inj.enabled.Store(true)
+	postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	postJSON(t, ts.URL+"/v1/analyze", webFarm) // trips (window 2)
+	if state := breakerStateVar(t, getVars(t, ts.URL), "fepiad.breaker.analyze"); state != "open" {
+		t.Fatalf("breaker state = %q, want open", state)
+	}
+
+	// Engine heals; after the cooldown the next request is the half-open
+	// probe, succeeds, and closes the breaker.
+	inj.enabled.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") != "" {
+		t.Fatalf("probe after cooldown: status %d, Warning %q: %s", resp.StatusCode, resp.Header.Get("Warning"), body)
+	}
+	vars := getVars(t, ts.URL)
+	if state := breakerStateVar(t, vars, "fepiad.breaker.analyze"); state != "closed" {
+		t.Fatalf("breaker state = %q after healthy probe, want closed", state)
+	}
+	b := vars["fepiad.breaker.analyze"].(map[string]any)
+	if opens := b["opens"].(float64); opens != 1 {
+		t.Fatalf("opens = %v, want exactly 1 trip", opens)
+	}
+}
+
+// TestChaosTransientSolveRetried: with the default retry policy a
+// transient injected solve fault is retried away — the response is
+// byte-identical to the fault-free one and the retry shows on
+// /debug/vars.
+func TestChaosTransientSolveRetried(t *testing.T) {
+	script := faults.NewScript().At(faults.Solve, 1, faults.KindError)
+	s := New(quietConfig(Config{Injector: script})) // default RetryMax = 3
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Warning") != "" {
+		t.Fatal("retried request must not be marked degraded")
+	}
+	var got spec.ResultJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := libraryResult(t, webFarm)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("retried result differs from library path:\n got %+v\nwant %+v", got, want)
+	}
+	if retries := getVars(t, ts.URL)["fepiad.retries"].(float64); retries < 1 {
+		t.Fatalf("fepiad.retries = %v, want ≥ 1", retries)
+	}
+}
+
+// TestChaosAdmissionFaultSheds: an injected admission fault sheds the
+// request exactly like saturation — 503, "overloaded", Retry-After — and
+// the next request is unaffected.
+func TestChaosAdmissionFaultSheds(t *testing.T) {
+	script := faults.NewScript().At(faults.Admission, 1, faults.KindError)
+	s := New(quietConfig(Config{Injector: script}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if e := decodeError(t, body); e.Kind != "overloaded" {
+		t.Fatalf("error kind = %q, want overloaded", e.Kind)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after admission fault: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestChaosBatchDegraded: the same degraded contract on /v1/batch — a
+// warm cache answers a failing batch with per-result degraded markers, in
+// request order, byte-identical modulo the markers.
+func TestChaosBatchDegraded(t *testing.T) {
+	inj := engineKiller()
+	s := New(quietConfig(Config{
+		RetryMax: -1,
+		Degraded: true,
+		Injector: inj,
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	batchBody := `{"systems": [` + linearSpec(1) + `,` + linearSpec(2) + `]}`
+	resp, baselineBody := postJSON(t, ts.URL+"/v1/batch", batchBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up: status %d: %s", resp.StatusCode, baselineBody)
+	}
+	var baseline spec.BatchResponse
+	if err := json.Unmarshal(baselineBody, &baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.enabled.Store(true)
+	resp, body := postJSON(t, ts.URL+"/v1/batch", batchBody)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") == "" {
+		t.Fatalf("degraded batch: status %d, Warning %q: %s", resp.StatusCode, resp.Header.Get("Warning"), body)
+	}
+	var got spec.BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(baseline.Results) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(baseline.Results))
+	}
+	for i := range got.Results {
+		if !got.Results[i].Degraded {
+			t.Fatalf("results[%d] missing degraded marker", i)
+		}
+		got.Results[i].Degraded = false
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Fatalf("degraded batch differs from baseline:\n got %+v\nwant %+v", got, baseline)
+	}
+
+	// A batch containing an uncached system cannot be assembled: 503 with
+	// the degraded kind (batch breaker still closed at window default 20).
+	resp, body = postJSON(t, ts.URL+"/v1/batch", `{"systems": [`+linearSpec(1)+`,`+linearSpec(42)+`]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("partial-cache batch: status %d: %s", resp.StatusCode, body)
+	}
+	if e := decodeError(t, body); e.Kind != "degraded" {
+		t.Fatalf("error kind = %q, want degraded", e.Kind)
+	}
+}

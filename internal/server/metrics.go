@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -27,6 +28,12 @@ type metrics struct {
 	errs atomic.Uint64
 	// inFlight gauges requests currently holding an admission slot.
 	inFlight atomic.Int64
+	// retries counts per-feature solve re-attempts by the transient-
+	// failure retry policy.
+	retries atomic.Uint64
+	// degraded counts responses served from the radius cache in degraded
+	// mode (breaker open or engine failure).
+	degraded atomic.Uint64
 	// latency histograms /v1/ request durations: latency[i] counts
 	// requests that finished within latencyBuckets[i] ms; the final slot
 	// is the +Inf overflow. latencyCount/latencySumMS aggregate totals.
@@ -61,10 +68,14 @@ func (s *Server) writeVars(w io.Writer) {
 	fmt.Fprintf(w, "%q: %d,\n", "fepiad.rejected", m.rejected.Load())
 	fmt.Fprintf(w, "%q: %d,\n", "fepiad.errors", m.errs.Load())
 	fmt.Fprintf(w, "%q: %d,\n", "fepiad.in_flight", m.inFlight.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.retries", m.retries.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.degraded", m.degraded.Load())
+	writeBreakerVar(w, "fepiad.breaker.analyze", s.analyzeBreaker)
+	writeBreakerVar(w, "fepiad.breaker.batch", s.batchBreaker)
 
 	cs := s.cache.Stats()
-	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g},\n",
-		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate())
+	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g, \"put_failures\": %d},\n",
+		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate(), cs.PutFailures)
 
 	fmt.Fprintf(w, "%q: {", "fepiad.latency_ms")
 	for i, ub := range latencyBuckets {
@@ -73,4 +84,16 @@ func (s *Server) writeVars(w io.Writer) {
 	fmt.Fprintf(w, "\"inf\": %d, ", m.latency[len(latencyBuckets)].Load())
 	fmt.Fprintf(w, "\"count\": %d, \"sum_ms\": %d}\n", m.latencyCount.Load(), m.latencySumMS.Load())
 	fmt.Fprintf(w, "}\n")
+}
+
+// writeBreakerVar emits one endpoint breaker's state object; a nil
+// breaker (Config.BreakerWindow < 0) reports state "disabled" so the
+// variable is always present for dashboards.
+func writeBreakerVar(w io.Writer, name string, b *breaker) {
+	if b == nil {
+		fmt.Fprintf(w, "%q: {\"state\": \"disabled\"},\n", name)
+		return
+	}
+	snap, _ := json.Marshal(b.snapshot())
+	fmt.Fprintf(w, "%q: %s,\n", name, snap)
 }

@@ -20,6 +20,16 @@
 // (core.ErrNormUnsupported) to 400; deadline expiry to 504; shutdown and
 // overload to 503; engine failures (core.SolveError) to 500. Every
 // non-2xx body is a spec.ErrorJSON envelope.
+//
+// Resilience (docs/SERVICE.md, "Failure modes & degraded serving"): each
+// /v1/ endpoint sits behind a circuit breaker over a sliding
+// failure-rate window; transient solve failures are retried under a
+// decorrelated-jitter policy; and with Config.Degraded set, an open
+// breaker or an engine failure is answered from the shared radius cache
+// with a "degraded": true marker and a Warning header, falling through
+// to 503 + Retry-After only on a true cache miss. The faults.Injector in
+// Config drives the chaos test suite and the FEPIAD_FAULTS knob; it is
+// nil — a no-op — in production.
 package server
 
 import (
@@ -37,6 +47,7 @@ import (
 
 	"fepia/internal/batch"
 	"fepia/internal/core"
+	"fepia/internal/faults"
 	"fepia/internal/spec"
 )
 
@@ -47,6 +58,9 @@ const (
 	DefaultMaxInFlight  = 64
 	DefaultRetryAfter   = 1 * time.Second
 	DefaultDrainTimeout = 10 * time.Second
+	// DefaultRetryAttempts is the per-feature solve attempt budget for
+	// transient failures.
+	DefaultRetryAttempts = 3
 )
 
 // Config tunes a Server. The zero value is production-safe: every limit
@@ -76,6 +90,30 @@ type Config struct {
 	// Log receives request-independent server events; nil selects the
 	// default logger.
 	Log *log.Logger
+
+	// RetryMax is the total attempt budget per feature solve for
+	// transient failures (0 selects DefaultRetryAttempts, < 0 or 1
+	// disables retrying). Permanent failures are never retried.
+	RetryMax int
+	// BreakerWindow is the sliding outcome window of each endpoint's
+	// circuit breaker (0 selects DefaultBreakerWindow, < 0 disables the
+	// breakers).
+	BreakerWindow int
+	// BreakerThreshold is the failure rate over a full window that opens
+	// a breaker (0 selects DefaultBreakerThreshold).
+	BreakerThreshold float64
+	// BreakerCooldown is how long an open breaker rejects before probing
+	// half-open (0 selects DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Degraded enables degraded-mode serving: when a breaker is open or
+	// the engine fails, /v1/ endpoints answer from the shared radius
+	// cache with a "degraded": true marker instead of failing, and 503
+	// only on a true cache miss.
+	Degraded bool
+	// Injector, when non-nil, activates the fault-injection harness on
+	// every request path (chaos tests, the FEPIAD_FAULTS env knob). Nil
+	// in production: every injection point is a no-op.
+	Injector faults.Injector
 }
 
 // withDefaults fills zero-valued fields.
@@ -98,6 +136,18 @@ func (c Config) withDefaults() Config {
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
+	if c.RetryMax == 0 {
+		c.RetryMax = DefaultRetryAttempts
+	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = DefaultBreakerWindow
+	}
+	if c.BreakerThreshold <= 0 || c.BreakerThreshold > 1 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return c
 }
 
@@ -110,6 +160,14 @@ type Server struct {
 	gate    chan struct{}
 	metrics metrics
 	mux     *http.ServeMux
+
+	// retry is the per-feature transient-failure policy threaded into
+	// every engine call; nil when retrying is disabled.
+	retry *faults.Policy
+	// analyzeBreaker / batchBreaker are the per-endpoint circuit
+	// breakers; nil when Config.BreakerWindow < 0.
+	analyzeBreaker *breaker
+	batchBreaker   *breaker
 
 	// baseCtx is the ancestor of every request context; baseCancel
 	// force-cancels all in-flight analyses when the drain budget is
@@ -131,6 +189,17 @@ func New(cfg Config) *Server {
 		cache: batch.NewCache(cfg.CacheCapacity),
 		gate:  make(chan struct{}, cfg.MaxInFlight),
 		mux:   http.NewServeMux(),
+	}
+	if cfg.RetryMax > 1 {
+		s.retry = &faults.Policy{
+			MaxAttempts: cfg.RetryMax,
+			OnRetry:     func(int, time.Duration, error) { s.metrics.retries.Add(1) },
+		}
+	}
+	if cfg.BreakerWindow > 0 {
+		bcfg := breakerConfig{window: cfg.BreakerWindow, threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown}
+		s.analyzeBreaker = newBreaker(bcfg)
+		s.batchBreaker = newBreaker(bcfg)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -205,9 +274,20 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 }
 
 // admit reserves an in-flight slot, or sheds the request with 503 +
-// Retry-After when the gate is saturated. The returned release func must
-// be called exactly once iff admitted.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+// Retry-After when the gate is saturated (or an admission fault is
+// injected). The returned release func must be called exactly once iff
+// admitted.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if err := faults.Inject(faults.With(r.Context(), s.cfg.Injector), faults.Admission); err != nil {
+		s.metrics.rejected.Add(1)
+		s.metrics.errs.Add(1)
+		s.retryAfterHeader(w)
+		writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{
+			Error: "admission refused: " + err.Error(),
+			Kind:  "overloaded",
+		})
+		return nil, false
+	}
 	select {
 	case s.gate <- struct{}{}:
 		s.metrics.inFlight.Add(1)
@@ -218,13 +298,18 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	default:
 		s.metrics.rejected.Add(1)
 		s.metrics.errs.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+		s.retryAfterHeader(w)
 		writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{
 			Error: "server saturated: too many analyses in flight",
 			Kind:  "overloaded",
 		})
 		return nil, false
 	}
+}
+
+// retryAfterHeader attaches the Retry-After hint every 503 carries.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 }
 
 // readBody reads a size-capped request body.
@@ -244,7 +329,9 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 }
 
 // handleAnalyze serves POST /v1/analyze: one spec document in, one
-// ResultJSON out, identical to the in-process library path.
+// ResultJSON out, identical to the in-process library path. When the
+// endpoint's breaker is open or the engine fails, degraded mode (if
+// enabled) answers from the radius cache instead; see answerDegraded.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.requests.Add(1)
@@ -257,7 +344,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	release, ok := s.admit(w)
+	if !s.breakerAllow(s.analyzeBreaker) {
+		s.answerDegraded(w, []*spec.System{sys}, false, "circuit_open",
+			"analyze engine circuit open: recent solves kept failing")
+		return
+	}
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -266,12 +358,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	ctx = faults.With(ctx, s.cfg.Injector)
 	if s.beforeAnalyze != nil {
 		s.beforeAnalyze()
 	}
 	a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-		batch.Options{Cache: s.cache, Core: sys.Options})
+		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry})
+	s.breakerReport(s.analyzeBreaker, err)
 	if err != nil {
+		if s.cfg.Degraded && degradable(err) {
+			s.answerDegraded(w, []*spec.System{sys}, false, "degraded",
+				"engine failed and no cached answer exists: "+err.Error())
+			return
+		}
 		s.fail(w, err)
 		return
 	}
@@ -296,7 +395,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	release, ok := s.admit(w)
+	if !s.breakerAllow(s.batchBreaker) {
+		s.answerDegraded(w, systems, true, "circuit_open",
+			"batch engine circuit open: recent solves kept failing")
+		return
+	}
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -305,6 +409,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	ctx = faults.With(ctx, s.cfg.Injector)
 	if s.beforeAnalyze != nil {
 		s.beforeAnalyze()
 	}
@@ -312,19 +417,97 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	err = batch.ForEach(ctx, len(systems), s.cfg.Workers, func(i int) error {
 		sys := systems[i]
 		a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-			batch.Options{Cache: s.cache, Core: sys.Options})
+			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry})
 		if err != nil {
 			return fmt.Errorf("systems[%d] (%s): %w", i, sys.Name, err)
 		}
 		results[i] = spec.Encode(sys.Name, a)
 		return nil
 	})
+	s.breakerReport(s.batchBreaker, err)
 	if err != nil {
+		if s.cfg.Degraded && degradable(err) {
+			s.answerDegraded(w, systems, true, "degraded",
+				"engine failed and no complete cached answer exists: "+err.Error())
+			return
+		}
 		s.fail(w, err)
 		return
 	}
 	s.metrics.analyses.Add(uint64(len(systems)))
 	writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
+}
+
+// breakerAllow consults an endpoint breaker; a nil breaker always allows.
+func (s *Server) breakerAllow(b *breaker) bool {
+	return b == nil || b.allow()
+}
+
+// breakerReport records an engine outcome on an endpoint breaker. Only
+// engine-side failures count: client mistakes and client cancellations
+// say nothing about engine health.
+func (s *Server) breakerReport(b *breaker, err error) {
+	if b != nil {
+		b.report(degradable(err))
+	}
+}
+
+// degradable reports whether an analysis failure is an engine-side
+// condition a cached answer can stand in for — solver failures, injected
+// faults, deadline expiry — as opposed to a client mistake (validation,
+// unsupported norm) or the client going away.
+func degradable(err error) bool {
+	var ve *spec.ValidationError
+	switch {
+	case err == nil,
+		errors.As(err, &ve),
+		errors.Is(err, core.ErrNormUnsupported),
+		errors.Is(err, context.Canceled):
+		return false
+	}
+	return true
+}
+
+// answerDegraded is the degraded-mode responder: with Config.Degraded
+// set it tries to assemble the full answer from the shared radius cache
+// — every feature of every submitted system must be memoised — and
+// serves it with "degraded": true markers and a Warning header. The
+// cached values are exactly what a healthy engine would recompute, so a
+// degraded 200 is byte-identical to the fault-free response modulo the
+// marker. On a true cache miss (or with degraded mode off) it sheds with
+// 503 + Retry-After and the given error kind.
+func (s *Server) answerDegraded(w http.ResponseWriter, systems []*spec.System, batchShape bool, kind, reason string) {
+	if s.cfg.Degraded {
+		if results, ok := s.cachedResults(systems); ok {
+			s.metrics.degraded.Add(1)
+			w.Header().Set("Warning", `199 fepiad "degraded: served from radius cache"`)
+			if batchShape {
+				writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
+			} else {
+				writeJSON(w, http.StatusOK, results[0])
+			}
+			return
+		}
+	}
+	s.metrics.errs.Add(1)
+	s.retryAfterHeader(w)
+	writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{Error: reason, Kind: kind})
+}
+
+// cachedResults assembles one degraded ResultJSON per system purely from
+// the radius cache, or reports ok=false when any feature misses.
+func (s *Server) cachedResults(systems []*spec.System) ([]spec.ResultJSON, bool) {
+	results := make([]spec.ResultJSON, len(systems))
+	for i, sys := range systems {
+		a, ok := batch.AnalyzeCached(batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
+			batch.Options{Cache: s.cache, Core: sys.Options})
+		if !ok {
+			return nil, false
+		}
+		results[i] = spec.Encode(sys.Name, a)
+		results[i].Degraded = true
+	}
+	return results, true
 }
 
 // fail maps an analysis error onto the HTTP error contract (see the

@@ -462,6 +462,25 @@ func TestHealthzAndVars(t *testing.T) {
 	if _, ok := vars["memstats"]; !ok {
 		t.Error("global expvar variables (memstats) not re-exported")
 	}
+	// Resilience counters are always present (zero on a healthy run) so
+	// dashboards can rely on them.
+	for _, key := range []string{"fepiad.retries", "fepiad.degraded"} {
+		if got, ok := vars[key].(float64); !ok {
+			t.Errorf("%s missing from /debug/vars", key)
+		} else if got != 0 {
+			t.Errorf("%s = %v on a healthy run, want 0", key, got)
+		}
+	}
+	for _, key := range []string{"fepiad.breaker.analyze", "fepiad.breaker.batch"} {
+		b, ok := vars[key].(map[string]any)
+		if !ok {
+			t.Errorf("%s missing from /debug/vars", key)
+			continue
+		}
+		if state := b["state"]; state != "closed" {
+			t.Errorf("%s.state = %v on a healthy run, want closed", key, state)
+		}
+	}
 }
 
 // TestBodyLimit rejects oversized bodies before parsing.

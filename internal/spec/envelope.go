@@ -30,8 +30,8 @@ type ErrorJSON struct {
 	// Error is the human-readable message.
 	Error string `json:"error"`
 	// Kind classifies the failure: "invalid_spec", "unsupported",
-	// "solver_failure", "timeout", "overloaded", "shutting_down", or
-	// "internal".
+	// "solver_failure", "timeout", "overloaded", "shutting_down",
+	// "circuit_open", "degraded", or "internal".
 	Kind string `json:"kind"`
 	// Path is the JSON field path of the offending value for
 	// "invalid_spec" errors (e.g. "systems[3].features[0].impact").

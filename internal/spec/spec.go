@@ -255,6 +255,13 @@ type ResultJSON struct {
 	Robustness   float64      `json:"robustness"`
 	Critical     string       `json:"critical_feature,omitempty"`
 	Radii        []RadiusJSON `json:"radii"`
+	// Degraded marks an analysis served from the fepiad radius cache
+	// while the engine was unavailable (circuit open or a solve failure):
+	// the values are exact memoised results, but they were not recomputed
+	// for this request. Absent (false) on every normal response, so
+	// fault-free documents are byte-identical with or without the
+	// resilience layer.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RadiusJSON is one feature's radius.
