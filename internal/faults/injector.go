@@ -236,6 +236,18 @@ func ParseSchedule(s string) (*Seeded, error) {
 			cfg.Rates[point][kind] = rate
 		}
 	}
+	// Kinds at one point are mutually exclusive per call (the Config
+	// contract): rates summing past 1 would silently starve later kinds
+	// in the draw order rather than fire as written.
+	for point, kinds := range cfg.Rates {
+		var sum float64
+		for _, r := range kinds {
+			sum += r
+		}
+		if sum > 1+1e-9 {
+			return nil, fmt.Errorf("faults: rates at point %s sum to %g: want ≤ 1", point, sum)
+		}
+	}
 	return NewSeeded(seed, cfg), nil
 }
 

@@ -185,9 +185,17 @@ func TestParseSchedule(t *testing.T) {
 	if got := inj.Stats().Total(); got != 3 {
 		t.Fatalf("delivered %d faults, want 3", got)
 	}
-	for _, bad := range []string{"solve", "nowhere:error=0.1", "solve:explode=0.1", "solve:error=2", "seed=x", "max=-1", "latency=fast"} {
+	for _, bad := range []string{"solve", "nowhere:error=0.1", "solve:explode=0.1", "solve:error=2", "seed=x", "max=-1", "latency=fast",
+		// Kind rates at one point must sum to ≤ 1; oversubscribed
+		// schedules would silently starve later kinds in the draw order.
+		"solve:error=0.8;solve:panic=0.8", "cache_get:error=0.5;cache_get:latency=0.3;cache_get:cancel=0.3"} {
 		if _, err := ParseSchedule(bad); err == nil {
 			t.Errorf("schedule %q accepted", bad)
 		}
+	}
+	// A point whose rates sum to exactly 1 is fine, as are rates split
+	// across different points.
+	if _, err := ParseSchedule("solve:error=0.5;solve:panic=0.5;cache_put:error=0.9"); err != nil {
+		t.Fatalf("rates summing to 1 rejected: %v", err)
 	}
 }

@@ -149,6 +149,19 @@ func (b *breaker) report(failure bool) {
 	}
 }
 
+// cancelProbe returns a half-open probe slot without counting an
+// outcome: the request allow() admitted never produced an engine
+// verdict (it was shed at admission, or failed for a client-side
+// reason). A no-op in every other state, so stragglers from a previous
+// era cannot disturb a later probe.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probeInFlight = false
+	}
+}
+
 // trip opens the breaker and clears the window for the next closed era.
 func (b *breaker) trip() {
 	b.state = breakerOpen

@@ -114,6 +114,50 @@ func TestBreakerHalfOpenProbeCycle(t *testing.T) {
 	}
 }
 
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	b, clk := testBreaker(2, 0.5, time.Minute)
+	b.report(true)
+	b.report(true) // trips
+	clk.advance(time.Minute)
+	if !b.allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// The probe never reached the engine (shed at admission, or the
+	// client went away): cancelProbe must return the slot with no
+	// outcome counted, or the breaker wedges half-open forever.
+	b.cancelProbe()
+	if snap := b.snapshot(); snap.State != "half_open" {
+		t.Fatalf("cancelProbe changed state: %+v", snap)
+	}
+	if !b.allow() {
+		t.Fatal("probe slot not released by cancelProbe")
+	}
+	// The re-admitted probe still resolves the half-open era normally.
+	b.report(false)
+	if snap := b.snapshot(); snap.State != "closed" {
+		t.Fatalf("probe after cancel did not close the breaker: %+v", snap)
+	}
+}
+
+func TestBreakerCancelProbeNoopOutsideHalfOpen(t *testing.T) {
+	b, _ := testBreaker(2, 0.5, time.Minute)
+	// Closed: nothing to release.
+	b.cancelProbe()
+	if !b.allow() {
+		t.Fatal("closed breaker rejected after cancelProbe")
+	}
+	b.report(true)
+	b.report(true) // trips
+	// Open, cooldown running: a straggler's cancel must not admit early.
+	b.cancelProbe()
+	if b.allow() {
+		t.Fatal("cancelProbe while open admitted a request before cooldown")
+	}
+}
+
 func TestBreakerDropsStragglersWhileOpen(t *testing.T) {
 	b, _ := testBreaker(2, 0.5, time.Minute)
 	b.report(true)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -37,6 +38,44 @@ func engineKiller() *gatedInjector {
 			faults.CacheGet: {faults.KindError: 1.0},
 		},
 	})}
+}
+
+// swapInjector delegates to whatever injector is currently installed;
+// nil means healthy. Tests use it to change the weather between phases
+// of one breaker story.
+type swapInjector struct {
+	mu    sync.Mutex
+	inner faults.Injector
+}
+
+func (s *swapInjector) set(inj faults.Injector) {
+	s.mu.Lock()
+	s.inner = inj
+	s.mu.Unlock()
+}
+
+func (s *swapInjector) Inject(ctx context.Context, p faults.Point) error {
+	s.mu.Lock()
+	inner := s.inner
+	s.mu.Unlock()
+	if inner == nil {
+		return nil
+	}
+	return inner.Inject(ctx, p)
+}
+
+// tripAnalyzeBreaker drives two engine failures through /v1/analyze so a
+// window-2 breaker opens.
+func tripAnalyzeBreaker(t *testing.T, url string, sw *swapInjector) {
+	t.Helper()
+	kill := engineKiller()
+	kill.enabled.Store(true)
+	sw.set(kill)
+	postJSON(t, url+"/v1/analyze", webFarm)
+	postJSON(t, url+"/v1/analyze", webFarm)
+	if state := breakerStateVar(t, getVars(t, url), "fepiad.breaker.analyze"); state != "open" {
+		t.Fatalf("breaker state = %q after a full failing window, want open", state)
+	}
 }
 
 // getVars fetches and decodes /debug/vars.
@@ -244,6 +283,87 @@ func TestChaosAdmissionFaultSheds(t *testing.T) {
 	resp, body = postJSON(t, ts.URL+"/v1/analyze", webFarm)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("request after admission fault: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestChaosProbeShedAtAdmissionDoesNotWedgeBreaker: a half-open probe
+// shed before it reaches the engine (here by an injected admission
+// fault) must return its probe slot; otherwise the breaker would reject
+// every future request with no path back to closed short of a restart.
+func TestChaosProbeShedAtAdmissionDoesNotWedgeBreaker(t *testing.T) {
+	sw := &swapInjector{}
+	s := New(quietConfig(Config{
+		RetryMax:        -1,
+		BreakerWindow:   2,
+		BreakerCooldown: 50 * time.Millisecond,
+		Injector:        sw,
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tripAnalyzeBreaker(t, ts.URL, sw)
+
+	// Cooldown elapses; the next request becomes the half-open probe but
+	// is shed at admission before touching the engine.
+	time.Sleep(80 * time.Millisecond)
+	sw.set(faults.NewScript().At(faults.Admission, 1, faults.KindError))
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed probe: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if e := decodeError(t, body); e.Kind != "overloaded" {
+		t.Fatalf("shed probe: kind %q, want overloaded", e.Kind)
+	}
+
+	// The slot came back: the engine is healthy again, so the very next
+	// request is admitted as a fresh probe and closes the breaker.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after shed probe: status %d (breaker wedged half-open): %s", resp.StatusCode, body)
+	}
+	if state := breakerStateVar(t, getVars(t, ts.URL), "fepiad.breaker.analyze"); state != "closed" {
+		t.Fatalf("breaker state = %q after healthy probe, want closed", state)
+	}
+}
+
+// TestChaosCancelledProbeDoesNotCloseBreaker: a probe whose solve is
+// cancelled client-side yields no engine verdict — the breaker must stay
+// half-open (slot released, outcome uncounted) rather than close on
+// fabricated success, and the next healthy probe closes it for real.
+func TestChaosCancelledProbeDoesNotCloseBreaker(t *testing.T) {
+	sw := &swapInjector{}
+	s := New(quietConfig(Config{
+		RetryMax:        -1,
+		BreakerWindow:   2,
+		BreakerCooldown: 50 * time.Millisecond,
+		Injector:        sw,
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tripAnalyzeBreaker(t, ts.URL, sw)
+
+	// Cooldown elapses; the probe's solve is cancelled (the injected
+	// cancel fault wraps context.Canceled, exactly like a client gone
+	// away mid-solve).
+	time.Sleep(80 * time.Millisecond)
+	sw.set(faults.NewScript().At(faults.Solve, 1, faults.KindCancel))
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled probe: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if state := breakerStateVar(t, getVars(t, ts.URL), "fepiad.breaker.analyze"); state != "half_open" {
+		t.Fatalf("breaker state = %q after cancelled probe, want half_open (no fabricated success)", state)
+	}
+
+	// Only a real engine success closes it.
+	sw.set(nil)
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", webFarm)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy probe: status %d: %s", resp.StatusCode, body)
+	}
+	if state := breakerStateVar(t, getVars(t, ts.URL), "fepiad.breaker.analyze"); state != "closed" {
+		t.Fatalf("breaker state = %q after healthy probe, want closed", state)
 	}
 }
 

@@ -351,6 +351,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	release, ok := s.admit(w, r)
 	if !ok {
+		// The request never reached the engine; return any half-open
+		// probe slot breakerAllow reserved or the breaker wedges.
+		s.breakerCancel(s.analyzeBreaker)
 		return
 	}
 	defer release()
@@ -402,6 +405,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	release, ok := s.admit(w, r)
 	if !ok {
+		// The request never reached the engine; return any half-open
+		// probe slot breakerAllow reserved or the breaker wedges.
+		s.breakerCancel(s.batchBreaker)
 		return
 	}
 	defer release()
@@ -444,11 +450,26 @@ func (s *Server) breakerAllow(b *breaker) bool {
 }
 
 // breakerReport records an engine outcome on an endpoint breaker. Only
-// engine-side failures count: client mistakes and client cancellations
-// say nothing about engine health.
+// engine verdicts count: a client mistake or a client cancellation says
+// nothing about engine health, so it is recorded neither as a failure
+// nor as a success — it only returns the probe slot it may have been
+// holding while half-open.
 func (s *Server) breakerReport(b *breaker, err error) {
+	if b == nil {
+		return
+	}
+	if err != nil && !degradable(err) {
+		b.cancelProbe()
+		return
+	}
+	b.report(err != nil)
+}
+
+// breakerCancel returns a probe slot reserved by breakerAllow when the
+// request never reached the engine; a nil breaker is a no-op.
+func (s *Server) breakerCancel(b *breaker) {
 	if b != nil {
-		b.report(degradable(err))
+		b.cancelProbe()
 	}
 }
 
