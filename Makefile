@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench report tier1 tier2 serve loadtest fuzz chaos
+.PHONY: all build test race vet lint bench report tier1 tier2 serve loadtest fuzz chaos smoke
 
 all: tier1
 
@@ -12,6 +12,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint: go vet always; staticcheck when installed (CI installs it, local
+# runs skip it gracefully rather than demand a tool download).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go vet ran)"; \
+	fi
 
 # Race-detector run over the whole module, with an explicit pass over the
 # concurrent batch engine (worker pool + shared radius cache).
@@ -54,6 +63,11 @@ fuzz:
 # when reproducing a failure.
 chaos:
 	$(GO) test -race -run 'Chaos|Breaker|Degraded|Fault|Retry' ./internal/faults ./internal/batch ./internal/server
+
+# smoke: boot a real fepiad, drive one analysis, and curl the
+# observability endpoints (/metrics, /debug/vars, /debug/traces).
+smoke:
+	./scripts/smoke.sh
 
 # tier1: the gate every change must keep green.
 tier1: build test

@@ -8,7 +8,11 @@
 //
 // Endpoints: POST /v1/analyze (one spec document), POST /v1/batch (many
 // systems over the worker pool and shared radius cache), GET /healthz,
-// GET /debug/vars. The process drains gracefully on SIGTERM/SIGINT:
+// GET /metrics (Prometheus text exposition), GET /debug/vars, and
+// GET /debug/traces (recent and slowest request traces with per-stage
+// spans); see docs/OBSERVABILITY.md. Logs are structured (-log-format
+// json|text, -log-level) with one access line per request carrying its
+// X-Request-Id. The process drains gracefully on SIGTERM/SIGINT:
 // in-flight analyses get -drain to finish, then are force-cancelled.
 //
 // Resilience (docs/SERVICE.md, "Failure modes & degraded serving"):
@@ -23,7 +27,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -31,12 +35,11 @@ import (
 	"time"
 
 	"fepia/internal/faults"
+	"fepia/internal/obs"
 	"fepia/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fepiad: ")
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "analysis workers per batch request (0 = GOMAXPROCS)")
@@ -47,6 +50,9 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint on 503 responses")
 		drain       = flag.Duration("drain", server.DefaultDrainTimeout, "graceful-shutdown drain budget")
 		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+		traceCap    = flag.Int("trace-cap", server.DefaultTraceCapacity, "request traces retained per /debug/traces list (recent, slowest)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "json", "log format: json or text")
 
 		retryMax        = flag.Int("retry-max", server.DefaultRetryAttempts, "attempts per feature solve for transient failures (1 disables retrying)")
 		breakerWindow   = flag.Int("breaker-window", server.DefaultBreakerWindow, "sliding outcome window of each endpoint's circuit breaker (0 disables)")
@@ -54,6 +60,14 @@ func main() {
 		degraded        = flag.Bool("degraded", true, "serve cached analyses with a degraded marker when the engine is unavailable")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		slog.Error("bad -log-level", "error", err.Error())
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level).With("service", "fepiad")
+	slog.SetDefault(logger)
 
 	// Flag semantics use 0/1 for "off"; the Config zero value means
 	// "default", so off is passed as a negative.
@@ -70,13 +84,14 @@ func main() {
 	// production default) leaves every injection point a no-op.
 	injector, err := faults.ParseSchedule(os.Getenv("FEPIAD_FAULTS"))
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("bad FEPIAD_FAULTS", "error", err.Error())
+		os.Exit(2)
 	}
 	if injector != nil {
-		log.Printf("FAULT INJECTION ACTIVE: FEPIAD_FAULTS=%q", os.Getenv("FEPIAD_FAULTS"))
+		logger.Warn("FAULT INJECTION ACTIVE", "schedule", os.Getenv("FEPIAD_FAULTS"))
 	}
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		MaxBodyBytes:  *maxBody,
 		Timeout:       *timeout,
 		MaxInFlight:   *maxInFlight,
@@ -84,28 +99,44 @@ func main() {
 		Workers:       *workers,
 		CacheCapacity: *cacheCap,
 		DrainTimeout:  *drain,
+		TraceCapacity: *traceCap,
 		EnablePprof:   *enablePprof,
-		Log:           log.Default(),
+		Log:           logger,
 
 		RetryMax:        rm,
 		BreakerWindow:   bw,
 		BreakerCooldown: *breakerCooldown,
 		Degraded:        *degraded,
-		Injector:        injector,
-	})
+	}
+	// Assign only a live injector: a typed-nil *Seeded in the interface
+	// field would read as "injection active" and crash the first request.
+	if injector != nil {
+		cfg.Injector = injector
+	}
+	s := server.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *addr, "error", err.Error())
+		os.Exit(1)
 	}
-	log.Printf("serving on %s (timeout %v, max in-flight %d)", l.Addr(), *timeout, *maxInFlight)
+	logger.Info("serving",
+		"addr", l.Addr().String(),
+		"timeout", timeout.String(),
+		"max_in_flight", *maxInFlight,
+		"workers", *workers,
+		"degraded_mode", *degraded)
 	start := time.Now()
 	if err := s.Run(ctx, l); err != nil {
-		log.Fatal(err)
+		logger.Error("server exited", "error", err.Error())
+		os.Exit(1)
 	}
 	cs := s.CacheStats()
-	log.Printf("drained cleanly after %v (cache: %d hits / %d misses)", time.Since(start).Round(time.Millisecond), cs.Hits, cs.Misses)
+	logger.Info("drained cleanly",
+		"uptime", time.Since(start).Round(time.Millisecond).String(),
+		"cache_hits", cs.Hits,
+		"cache_misses", cs.Misses)
 }

@@ -25,17 +25,18 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fepia/internal/obs"
 	"fepia/internal/server"
 	"fepia/internal/spec"
 )
@@ -54,6 +55,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		retry503 = flag.Int("retry-503", 3, "re-submissions of a shed (503) request after honoring Retry-After (0 = fail immediately)")
 		maxWait  = flag.Duration("max-retry-after", 5*time.Second, "cap on a single honored Retry-After wait")
+		jsonOut  = flag.Bool("json", false, "emit the report as one JSON document on stdout (for CI and dashboards)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := server.New(server.Config{MaxInFlight: 2 * *c, Log: log.New(os.Stderr, "fepiad: ", 0)})
+		s := server.New(server.Config{MaxInFlight: 2 * *c,
+			Log: obs.NewLogger(os.Stderr, "text", slog.LevelWarn).With("service", "fepiad")})
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		done := make(chan error, 1)
@@ -85,14 +88,16 @@ func main() {
 	}
 	client := &http.Client{Timeout: *timeout}
 
+	// All clients observe into one shared lock-free histogram — the same
+	// obs instrument the server's own latency metrics use — and the
+	// percentiles below come from its bucket interpolation.
 	var (
 		next      atomic.Int64
 		okCount   atomic.Int64
 		failCount atomic.Int64
 		shedCount atomic.Int64
 		degCount  atomic.Int64
-		mu        sync.Mutex
-		durations []time.Duration
+		latency   = obs.NewHistogram(nil)
 	)
 	log.Printf("%d requests × %d systems → %s over %d clients", *n, *batch, endpoint, *c)
 	start := time.Now()
@@ -101,7 +106,6 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]time.Duration, 0, *n / *c)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(bodies) {
@@ -130,42 +134,85 @@ func main() {
 							degCount.Add(1) // served degraded from the radius cache
 						}
 						okCount.Add(1)
-						local = append(local, time.Since(t0))
+						latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 					} else {
 						failCount.Add(1)
 					}
 					break
 				}
 			}
-			mu.Lock()
-			durations = append(durations, local...)
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	ok, fail := okCount.Load(), failCount.Load()
-	fmt.Printf("requests: %d ok, %d failed in %v\n", ok, fail, elapsed.Round(time.Millisecond))
-	if shed := shedCount.Load(); shed > 0 {
-		fmt.Printf("back-pressure: %d sheds (503) honored via Retry-After\n", shed)
+	snap := latency.Snapshot()
+	rep := report{
+		Requests:  *n,
+		OK:        okCount.Load(),
+		Failed:    failCount.Load(),
+		Shed:      shedCount.Load(),
+		Degraded:  degCount.Load(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 	}
-	if deg := degCount.Load(); deg > 0 {
-		fmt.Printf("degraded: %d responses served from the radius cache\n", deg)
+	if rep.OK > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+		rep.Analyses = rep.Throughput * float64(*batch)
+		rep.Latency = &latencyReport{
+			P50MS:  snap.Quantile(0.50),
+			P90MS:  snap.Quantile(0.90),
+			P99MS:  snap.Quantile(0.99),
+			MaxMS:  snap.Max,
+			MeanMS: snap.Mean(),
+		}
 	}
-	if ok > 0 {
-		fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n",
-			float64(ok)/elapsed.Seconds(), float64(ok)*float64(*batch)/elapsed.Seconds())
-		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
-		pct := func(p float64) time.Duration { return durations[int(p*float64(len(durations)-1))] }
-		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), durations[len(durations)-1].Round(time.Microsecond))
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("requests: %d ok, %d failed in %v\n", rep.OK, rep.Failed, elapsed.Round(time.Millisecond))
+		if rep.Shed > 0 {
+			fmt.Printf("back-pressure: %d sheds (503) honored via Retry-After\n", rep.Shed)
+		}
+		if rep.Degraded > 0 {
+			fmt.Printf("degraded: %d responses served from the radius cache\n", rep.Degraded)
+		}
+		if lr := rep.Latency; lr != nil {
+			fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n", rep.Throughput, rep.Analyses)
+			fmt.Printf("latency: p50 %.3gms  p90 %.3gms  p99 %.3gms  mean %.3gms  max %.3gms\n",
+				lr.P50MS, lr.P90MS, lr.P99MS, lr.MeanMS, lr.MaxMS)
+		}
+		printServerCache(client, base)
 	}
-	printServerCache(client, base)
-	if fail > 0 {
+	if rep.Failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// report is the machine-readable run summary (-json). Latency quantiles
+// are bucket-interpolated estimates from the shared obs histogram, in
+// milliseconds; Max and Mean are exact over the served requests.
+type report struct {
+	Requests   int            `json:"requests"`
+	OK         int64          `json:"ok"`
+	Failed     int64          `json:"failed"`
+	Shed       int64          `json:"shed"`
+	Degraded   int64          `json:"degraded"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
+	Throughput float64        `json:"throughput_rps,omitempty"`
+	Analyses   float64        `json:"analyses_per_sec,omitempty"`
+	Latency    *latencyReport `json:"latency,omitempty"`
+}
+
+type latencyReport struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
 }
 
 // drain empties and closes a response body so connections are reused.

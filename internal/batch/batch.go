@@ -27,11 +27,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"fepia/internal/core"
 	"fepia/internal/faults"
+	"fepia/internal/obs"
 )
 
 // Options tunes a batch run.
@@ -123,8 +126,12 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 			}
 		}
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Inherit the caller's pprof label set (the fepiad handlers
+			// attach endpoint=…) and add the worker index, so CPU profiles
+			// attribute engine time to the endpoint and worker that spent it.
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("batch_worker", strconv.Itoa(w))))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -139,7 +146,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr
@@ -197,7 +204,7 @@ func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysi
 		if err := ctx.Err(); err != nil {
 			return core.Analysis{}, err
 		}
-		r, err := solveFeature(ctx, f, job.Perturbation, copts, opts)
+		r, err := solveFeature(ctx, i, f, job.Perturbation, copts, opts)
 		if err != nil {
 			return core.Analysis{}, err
 		}
@@ -209,10 +216,23 @@ func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysi
 // solveFeature computes one radius through the cached path under the
 // retry policy, converting a panicking attempt (an Impact.Eval crash, or
 // an injected panic fault) into a typed *core.SolveError so the rest of
-// the batch is never lost to a single bad item.
-func solveFeature(ctx context.Context, f core.Feature, p core.Perturbation, copts core.Options, opts Options) (core.RadiusResult, error) {
+// the batch is never lost to a single bad item. On a traced request it
+// records a per-feature solve span carrying the retry attempts the
+// policy spent; on an untraced one the instrumentation is a no-op.
+func solveFeature(ctx context.Context, idx int, f core.Feature, p core.Perturbation, copts core.Options, opts Options) (core.RadiusResult, error) {
+	sp := obs.StartSpan(ctx, "solve").Set("feature", f.Name)
+	if sp != nil {
+		sp.Set("feature_index", strconv.Itoa(idx))
+		// Traced requests also label their profile samples per feature,
+		// so a CPU profile of a slow request names the feature that burned
+		// the time. Untraced requests skip the label copy.
+		defer pprof.SetGoroutineLabels(ctx)
+		pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("feature", f.Name)))
+	}
 	var r core.RadiusResult
+	attempts := 0
 	attempt := func() (err error) {
+		attempts++
 		defer func() {
 			if rec := recover(); rec != nil {
 				err = core.RecoveredSolveError(f.Name, rec)
@@ -224,7 +244,10 @@ func solveFeature(ctx context.Context, f core.Feature, p core.Perturbation, copt
 		r, err = opts.Cache.RadiusContext(ctx, f, p, copts)
 		return err
 	}
-	if err := opts.Retry.Do(ctx, attempt); err != nil {
+	err := opts.Retry.Do(ctx, attempt)
+	sp.AddRetries(attempts - 1)
+	sp.End(err)
+	if err != nil {
 		return core.RadiusResult{}, err
 	}
 	return r, nil

@@ -11,6 +11,7 @@ import (
 
 	"fepia/internal/core"
 	"fepia/internal/faults"
+	"fepia/internal/obs"
 	"fepia/internal/vecmath"
 )
 
@@ -121,7 +122,9 @@ func (c *Cache) RadiusContext(ctx context.Context, f core.Feature, p core.Pertur
 	if !ok {
 		return core.ComputeRadius(f, p, opts)
 	}
+	gsp := obs.StartSpan(ctx, "cache_get")
 	if err := faults.Inject(ctx, faults.CacheGet); err != nil {
+		gsp.End(err)
 		return core.RadiusResult{}, err
 	}
 
@@ -131,6 +134,8 @@ func (c *Cache) RadiusContext(ctx context.Context, f core.Feature, p core.Pertur
 		c.hits++
 		res := el.Value.(*cacheEntry).result
 		c.mu.Unlock()
+		gsp.Set("hit", "true")
+		gsp.End(nil)
 		res.Boundary = vecmath.Clone(res.Boundary)
 		// The key identifies the subproblem, not the feature's display
 		// name: re-stamp the caller's name so a hit is indistinguishable
@@ -139,14 +144,19 @@ func (c *Cache) RadiusContext(ctx context.Context, f core.Feature, p core.Pertur
 		return res, nil
 	}
 	c.mu.Unlock()
+	gsp.Set("hit", "false")
+	gsp.End(nil)
 
 	res, err := core.ComputeRadius(f, p, opts)
 	if err != nil {
 		return core.RadiusResult{}, err
 	}
 
+	psp := obs.StartSpan(ctx, "cache_put")
 	if err := faults.Inject(ctx, faults.CachePut); err != nil {
 		c.putFails.Add(1)
+		psp.Set("dropped", "true")
+		psp.End(err)
 		return res, nil
 	}
 
@@ -165,6 +175,7 @@ func (c *Cache) RadiusContext(ctx context.Context, f core.Feature, p core.Pertur
 	c.misses++
 	stored := res
 	stored.Boundary = vecmath.Clone(stored.Boundary)
+	psp.End(nil)
 	return stored, nil
 }
 

@@ -1,0 +1,48 @@
+package batch
+
+import (
+	"context"
+	"testing"
+
+	"fepia/internal/obs"
+)
+
+// BenchmarkAnalyzeOneObs prices the observability instrumentation on the
+// engine's warm path (every radius served from the cache, so the obs
+// plumbing dominates). "untraced" is the production steady state —
+// StartSpan finds no trace in the context and every span call no-ops —
+// and must stay within a few percent of the pre-instrumentation engine.
+// "traced" records the full per-feature span set the way a request with
+// an X-Request-Id does, and prices what /debug/traces retention costs.
+func BenchmarkAnalyzeOneObs(b *testing.B) {
+	jobs := paperJobs(b, 8, 2003)
+	cache := NewCache(0)
+	opts := Options{Cache: cache}
+	ctx := context.Background()
+	for _, job := range jobs {
+		if _, err := AnalyzeOneContext(ctx, job, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeOneContext(ctx, jobs[i%len(jobs)], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		ring := obs.NewTraceRing(64)
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace(obs.NewID(), "bench")
+			tctx := obs.WithTrace(ctx, tr)
+			if _, err := AnalyzeOneContext(tctx, jobs[i%len(jobs)], opts); err != nil {
+				b.Fatal(err)
+			}
+			ring.Add(tr.Finish(200))
+		}
+	})
+}

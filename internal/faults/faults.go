@@ -69,9 +69,14 @@ const (
 	KindCancel Kind = "cancel"
 )
 
-// kindOrder fixes the draw order of the seeded injector so a schedule is
-// reproducible for a given seed.
-var kindOrder = []Kind{KindError, KindPanic, KindLatency, KindCancel}
+// Kinds lists every fault kind, in a fixed order. The seeded injector
+// draws in this order so a schedule is reproducible for a given seed,
+// and the fepiad metrics registry enumerates it to expose
+// injected-fault counters by point and kind.
+var Kinds = []Kind{KindError, KindPanic, KindLatency, KindCancel}
+
+// kindOrder is the internal alias the injectors iterate.
+var kindOrder = Kinds
 
 // InjectedError is the failure delivered by error-, panic-, and
 // cancel-kind faults. The batch engine recovers panic-kind values into

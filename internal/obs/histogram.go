@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBucketsMS is a log-ish spread of request-latency bucket
+// upper bounds in milliseconds, from sub-millisecond cache hits to
+// multi-second cold solves. cmd/loadgen and the fepiad per-endpoint
+// request histograms use it.
+var DefaultLatencyBucketsMS = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// Histogram is a fixed-bucket histogram with atomic counters: Observe
+// never locks, so parallel writers (batch workers, load-generator
+// clients) record without contention. Obtain registered histograms from
+// Registry.Histogram, or standalone ones from NewHistogram.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; the +Inf bucket is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+	max    atomic.Uint64 // float64 bits, CAS-maxed
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (sorted copies are taken; nil selects DefaultLatencyBucketsMS).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBucketsMS
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	// The zero bits decode to +0.0, so any non-negative observation
+	// (latencies always are) takes the max slot on first touch.
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the number of
+	// observations ≤ Bounds[i] (non-cumulative), with Counts[len(Bounds)]
+	// the +Inf overflow bucket.
+	Bounds []float64
+	Counts []uint64
+	// Count, Sum, and Max aggregate every observation.
+	Count uint64
+	Sum   float64
+	Max   float64
+}
+
+// Snapshot copies the current state. Concurrent Observe calls may land
+// between counter reads; the snapshot is internally consistent enough
+// for exposition (bucket totals may trail Count by in-flight updates).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Max:    math.Float64frombits(h.max.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns Sum/Count, or 0 before any observation.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the p-quantile (p in [0, 1]) by linear
+// interpolation inside the bucket containing the target rank. The
+// estimate is capped by Max (observed exactly), so p=1 is exact and high
+// quantiles never report beyond the largest observation.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	cum := 0.0
+	lo := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			if i < len(s.Bounds) {
+				lo = s.Bounds[i]
+			}
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			hi := s.Max
+			if i < len(s.Bounds) && s.Bounds[i] < hi {
+				hi = s.Bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			v := lo + frac*(hi-lo)
+			if v > s.Max && s.Max > 0 {
+				v = s.Max
+			}
+			return v
+		}
+		cum = next
+		if i < len(s.Bounds) {
+			lo = s.Bounds[i]
+		}
+	}
+	return s.Max
+}
+
+// Merge returns the element-wise sum of two snapshots over identical
+// bounds; it panics on mismatched bucket layouts. The fepiad /debug/vars
+// aggregate latency histogram merges the per-endpoint series.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if len(s.Bounds) != len(o.Bounds) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Max:    math.Max(s.Max, o.Max),
+	}
+	for i := range out.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}

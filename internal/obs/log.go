@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. format selects the
+// handler: "json" (the production default — one object per line, ready
+// for log shippers) or "text" (human-readable key=value). Unknown
+// formats select json.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "text") {
+		return slog.New(slog.NewTextHandler(w, opts))
+	}
+	return slog.New(slog.NewJSONHandler(w, opts))
+}
+
+// ParseLevel maps the -log-level flag values onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// loggerKey carries the context's request-scoped logger.
+type loggerKey struct{}
+
+// WithLogger attaches a request-scoped logger (carrying request_id,
+// endpoint, …) to the context.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// Logger returns the context's request-scoped logger, or slog.Default()
+// when none is attached — call sites never receive nil.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return slog.Default()
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition of a registry with
+// one instrument of every type: families sorted by name, series by label
+// signature, histograms as cumulative _bucket/_sum/_count triplets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fepiad_requests_total", "Requests by endpoint.", L("endpoint", "analyze")).Add(3)
+	r.Counter("fepiad_requests_total", "Requests by endpoint.", L("endpoint", "batch")).Add(2)
+	r.Gauge("fepiad_in_flight", "Admitted requests currently running.").Set(1)
+	r.GaugeFunc("app_static", "A scrape-time gauge.", func() float64 { return 2.5 })
+	h := r.Histogram("fepiad_request_duration_ms", "Latency by endpoint.", []float64{1, 5, 10}, L("endpoint", "analyze"))
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+
+	want := `# HELP app_static A scrape-time gauge.
+# TYPE app_static gauge
+app_static 2.5
+# HELP fepiad_in_flight Admitted requests currently running.
+# TYPE fepiad_in_flight gauge
+fepiad_in_flight 1
+# HELP fepiad_request_duration_ms Latency by endpoint.
+# TYPE fepiad_request_duration_ms histogram
+fepiad_request_duration_ms_bucket{endpoint="analyze",le="1"} 1
+fepiad_request_duration_ms_bucket{endpoint="analyze",le="5"} 3
+fepiad_request_duration_ms_bucket{endpoint="analyze",le="10"} 3
+fepiad_request_duration_ms_bucket{endpoint="analyze",le="+Inf"} 4
+fepiad_request_duration_ms_sum{endpoint="analyze"} 106.5
+fepiad_request_duration_ms_count{endpoint="analyze"} 4
+# HELP fepiad_requests_total Requests by endpoint.
+# TYPE fepiad_requests_total counter
+fepiad_requests_total{endpoint="analyze"} 3
+fepiad_requests_total{endpoint="batch"} 2
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRegistryIdempotentAndEscaped: re-registering returns the same
+// instrument, and label values are escaped in the exposition.
+func TestRegistryIdempotentAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", L("k", `va"l\ue`))
+	b := r.Counter("c_total", "", L("k", `va"l\ue`))
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	a.Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `c_total{k="va\"l\\ue"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+// TestRegistryTypeMismatchPanics: one name cannot be two metric types.
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on counter/gauge name collision")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestRegistryConcurrent hammers registration, updates, and exposition
+// from parallel goroutines; run under -race this is the registry's
+// thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	endpoints := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ep := endpoints[(w+i)%len(endpoints)]
+				r.Counter("req_total", "", L("endpoint", ep)).Inc()
+				r.Gauge("inflight", "", L("endpoint", ep)).Add(1)
+				r.Histogram("lat_ms", "", []float64{1, 10, 100}, L("endpoint", ep)).Observe(float64(i % 200))
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, ep := range endpoints {
+		total += r.Counter("req_total", "", L("endpoint", ep)).Value()
+	}
+	if total != 8*500 {
+		t.Errorf("req_total sums to %d, want %d", total, 8*500)
+	}
+	var hcount uint64
+	for _, ep := range endpoints {
+		hcount += r.Histogram("lat_ms", "", nil, L("endpoint", ep)).Snapshot().Count
+	}
+	if hcount != 8*500 {
+		t.Errorf("lat_ms count sums to %d, want %d", hcount, 8*500)
+	}
+}
+
+// TestHistogramQuantile checks interpolation, the Max cap, and Merge.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	for v := 1.0; v <= 30; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 30 || s.Max != 30 {
+		t.Fatalf("count %d max %g, want 30 / 30", s.Count, s.Max)
+	}
+	if p50 := s.Quantile(0.5); p50 < 10 || p50 > 20 {
+		t.Errorf("p50 = %g, want within (10, 20]", p50)
+	}
+	if p100 := s.Quantile(1); p100 != 30 {
+		t.Errorf("p100 = %g, want exactly max 30", p100)
+	}
+	if p99 := s.Quantile(0.99); p99 > 30 {
+		t.Errorf("p99 = %g exceeds the observed max", p99)
+	}
+	if mean := s.Mean(); mean < 15 || mean > 16 {
+		t.Errorf("mean = %g, want 15.5", mean)
+	}
+
+	other := NewHistogram([]float64{10, 20, 40})
+	other.Observe(100)
+	m := s.Merge(other.Snapshot())
+	if m.Count != 31 || m.Max != 100 {
+		t.Errorf("merge: count %d max %g, want 31 / 100", m.Count, m.Max)
+	}
+}
+
+// TestHistogramConcurrent: parallel observers under -race, with
+// snapshots taken mid-write.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 10))
+				if i%100 == 0 {
+					_ = h.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}

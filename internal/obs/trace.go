@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's span list so a pathological batch
+// (thousands of features) cannot balloon the ring; overflow is counted
+// in TraceData.SpansDropped.
+const maxSpansPerTrace = 512
+
+// NewID returns a 16-hex-char request ID. It never fails: if the system
+// entropy source is unavailable it falls back to a process-local counter,
+// which is still unique within the process.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := fallbackID.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+// SpanData is one finished pipeline-stage span as served on
+// /debug/traces. Offsets are relative to the trace start so a span list
+// reads as a timeline.
+type SpanData struct {
+	Name       string            `json:"name"`
+	StartUS    int64             `json:"start_us"`
+	DurationUS int64             `json:"duration_us"`
+	Error      string            `json:"error,omitempty"`
+	Retries    int               `json:"retries,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceData is one finished request trace: the JSON document of
+// /debug/traces.
+type TraceData struct {
+	ID           string            `json:"id"`
+	Endpoint     string            `json:"endpoint"`
+	Start        time.Time         `json:"start"`
+	DurationUS   int64             `json:"duration_us"`
+	Status       int               `json:"status"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Spans        []SpanData        `json:"spans"`
+	SpansDropped int               `json:"spans_dropped,omitempty"`
+}
+
+// Trace accumulates the spans of one in-flight request. Create one with
+// NewTrace, attach it to the request context with WithTrace, and seal it
+// with Finish. All methods are safe for concurrent use — batch workers
+// append spans to the same trace from many goroutines.
+type Trace struct {
+	id       string
+	endpoint string
+	start    time.Time
+
+	mu      sync.Mutex
+	spans   []SpanData
+	dropped int
+	attrs   map[string]string
+}
+
+// NewTrace starts a trace for one request. id is the request ID
+// (accepted from or emitted as X-Request-Id); endpoint names the route.
+func NewTrace(id, endpoint string) *Trace {
+	return &Trace{id: id, endpoint: endpoint, start: time.Now()}
+}
+
+// ID returns the trace's request ID.
+func (t *Trace) ID() string { return t.id }
+
+// SetAttr records a trace-level attribute (outcome, degraded, breaker
+// state, …); the access logger and /debug/traces both surface it.
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string, 4)
+	}
+	t.attrs[key] = value
+	t.mu.Unlock()
+}
+
+// Attrs returns a sorted copy of the trace-level attributes as key/value
+// pairs, for structured access logging.
+func (t *Trace) Attrs() []Label {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Label, 0, len(t.attrs))
+	for k, v := range t.attrs {
+		out = append(out, Label{Name: k, Value: v})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// add appends one finished span.
+func (t *Trace) add(sd SpanData) {
+	t.mu.Lock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, sd)
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace with the response status and returns the
+// finished document. Spans are sorted by start offset so concurrent
+// workers' spans read as a timeline.
+func (t *Trace) Finish(status int) TraceData {
+	d := time.Since(t.start)
+	t.mu.Lock()
+	spans := t.spans
+	t.spans = nil
+	attrs := t.attrs
+	dropped := t.dropped
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+	return TraceData{
+		ID:           t.id,
+		Endpoint:     t.endpoint,
+		Start:        t.start,
+		DurationUS:   d.Microseconds(),
+		Status:       status,
+		Attrs:        attrs,
+		Spans:        spans,
+		SpansDropped: dropped,
+	}
+}
+
+// traceKey carries the context's trace.
+type traceKey struct{}
+
+// WithTrace attaches t to the context; a nil t returns ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when the request is not
+// traced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Span is an in-flight pipeline-stage span. A nil *Span (from an
+// untraced context) is valid and every method is a no-op, so
+// instrumentation sites never branch on whether tracing is active.
+type Span struct {
+	trace   *Trace
+	name    string
+	start   time.Time
+	retries int
+	attrs   map[string]string
+}
+
+// StartSpan opens a span named after a pipeline stage (parse, admit,
+// breaker, cache_get, solve, encode, …) on the context's trace; it
+// returns nil — a no-op span — when the context is untraced.
+func StartSpan(ctx context.Context, name string) *Span {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return nil
+	}
+	return &Span{trace: t, name: name, start: time.Now()}
+}
+
+// Set records a span attribute and returns the span for chaining.
+func (s *Span) Set(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// AddRetries adds n to the span's retry-attempt count (per-feature solve
+// spans carry the retries the policy spent on them).
+func (s *Span) AddRetries(n int) {
+	if s != nil {
+		s.retries += n
+	}
+}
+
+// End seals the span onto its trace; err, when non-nil, is recorded on
+// the span.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	sd := SpanData{
+		Name:       s.name,
+		StartUS:    s.start.Sub(s.trace.start).Microseconds(),
+		DurationUS: time.Since(s.start).Microseconds(),
+		Retries:    s.retries,
+		Attrs:      s.attrs,
+	}
+	if err != nil {
+		sd.Error = err.Error()
+	}
+	s.trace.add(sd)
+}
+
+// TraceRing retains finished traces two ways: a ring of the most recent
+// N, and the slowest N seen since the process started — the requests a
+// post-mortem actually wants. Both lists are bounded, so memory is fixed
+// no matter the traffic. Safe for concurrent use; Add takes one short
+// lock per finished request, never on the request hot path.
+type TraceRing struct {
+	mu      sync.Mutex
+	recent  []TraceData // ring buffer
+	next    int         // write position
+	filled  bool
+	slowest []TraceData // sorted by DurationUS descending, ≤ slowCap
+	slowCap int
+	total   uint64
+}
+
+// NewTraceRing builds a ring retaining the given number of recent traces
+// and, separately, the same number of slowest traces (capacity ≤ 0
+// selects 64).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TraceRing{recent: make([]TraceData, capacity), slowCap: capacity}
+}
+
+// Add records one finished trace.
+func (r *TraceRing) Add(td TraceData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	r.recent[r.next] = td
+	r.next++
+	if r.next == len(r.recent) {
+		r.next, r.filled = 0, true
+	}
+	// Insertion-sort into the slowest list (small, fixed capacity).
+	i := sort.Search(len(r.slowest), func(i int) bool { return r.slowest[i].DurationUS < td.DurationUS })
+	if i < r.slowCap {
+		if len(r.slowest) < r.slowCap {
+			r.slowest = append(r.slowest, TraceData{})
+		}
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = td
+	}
+}
+
+// RingSnapshot is the /debug/traces document.
+type RingSnapshot struct {
+	// Capacity bounds both retention lists; Total counts every trace
+	// ever added.
+	Capacity int    `json:"capacity"`
+	Total    uint64 `json:"total"`
+	// Recent holds the last traces in most-recent-first order; Slowest
+	// the slowest-ever, slowest first.
+	Recent  []TraceData `json:"recent"`
+	Slowest []TraceData `json:"slowest"`
+}
+
+// Snapshot copies both retention lists.
+func (r *TraceRing) Snapshot() RingSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.recent)
+	}
+	recent := make([]TraceData, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the last write so the list is newest-first.
+		j := r.next - 1 - i
+		if j < 0 {
+			j += len(r.recent)
+		}
+		recent = append(recent, r.recent[j])
+	}
+	return RingSnapshot{
+		Capacity: len(r.recent),
+		Total:    r.total,
+		Recent:   recent,
+		Slowest:  append([]TraceData(nil), r.slowest...),
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpanNoopWithoutTrace: instrumentation on an untraced context must
+// be safe and free of side effects.
+func TestSpanNoopWithoutTrace(t *testing.T) {
+	sp := StartSpan(context.Background(), "solve")
+	if sp != nil {
+		t.Fatal("StartSpan on an untraced context returned a live span")
+	}
+	sp.Set("k", "v") // nil-safe chain
+	sp.AddRetries(2)
+	sp.End(errors.New("x"))
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on a bare context is not nil")
+	}
+}
+
+// TestTraceSpansTimeline: spans land on the trace with attributes,
+// retries, and errors, sorted by start offset at Finish.
+func TestTraceSpansTimeline(t *testing.T) {
+	tr := NewTrace("req-1", "analyze")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not return the attached trace")
+	}
+
+	parse := StartSpan(ctx, "parse")
+	parse.End(nil)
+	solve := StartSpan(ctx, "solve").Set("feature", "finish(m0)")
+	solve.AddRetries(2)
+	solve.End(errors.New("injected"))
+	tr.SetAttr("outcome", "error")
+
+	td := tr.Finish(500)
+	if td.ID != "req-1" || td.Endpoint != "analyze" || td.Status != 500 {
+		t.Fatalf("trace header wrong: %+v", td)
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(td.Spans))
+	}
+	if td.Spans[0].Name != "parse" || td.Spans[1].Name != "solve" {
+		t.Fatalf("span order wrong: %+v", td.Spans)
+	}
+	s := td.Spans[1]
+	if s.Retries != 2 || s.Error != "injected" || s.Attrs["feature"] != "finish(m0)" {
+		t.Fatalf("solve span lost annotations: %+v", s)
+	}
+	if td.Attrs["outcome"] != "error" {
+		t.Fatalf("trace attrs lost: %+v", td.Attrs)
+	}
+}
+
+// TestTraceConcurrentSpans: many workers annotate one trace while
+// attrs are read — the batch fan-out pattern — under -race.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("req-2", "batch")
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := StartSpan(ctx, "solve").Set("worker", fmt.Sprint(w))
+				sp.End(nil)
+				tr.SetAttr("last_worker", fmt.Sprint(w))
+				_ = tr.Attrs()
+			}
+		}(w)
+	}
+	wg.Wait()
+	td := tr.Finish(200)
+	if len(td.Spans) != 8*50 {
+		t.Fatalf("%d spans, want %d", len(td.Spans), 8*50)
+	}
+}
+
+// TestTraceSpanCap: overflow spans are dropped and counted, not
+// accumulated without bound.
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("req-3", "batch")
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		StartSpan(ctx, "solve").End(nil)
+	}
+	td := tr.Finish(200)
+	if len(td.Spans) != maxSpansPerTrace || td.SpansDropped != 10 {
+		t.Fatalf("spans %d dropped %d, want %d / 10", len(td.Spans), td.SpansDropped, maxSpansPerTrace)
+	}
+}
+
+// TestTraceRingRetention: the recent list is newest-first and bounded;
+// the slowest list keeps the slowest-ever in descending order.
+func TestTraceRingRetention(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Add(TraceData{ID: fmt.Sprint(i), DurationUS: int64(i % 7)})
+	}
+	s := r.Snapshot()
+	if s.Capacity != 4 || s.Total != 10 {
+		t.Fatalf("capacity %d total %d, want 4 / 10", s.Capacity, s.Total)
+	}
+	if len(s.Recent) != 4 || s.Recent[0].ID != "10" || s.Recent[3].ID != "7" {
+		t.Fatalf("recent list wrong: %+v", s.Recent)
+	}
+	if len(s.Slowest) != 4 {
+		t.Fatalf("slowest list has %d entries, want 4", len(s.Slowest))
+	}
+	for i := 1; i < len(s.Slowest); i++ {
+		if s.Slowest[i].DurationUS > s.Slowest[i-1].DurationUS {
+			t.Fatalf("slowest list not descending: %+v", s.Slowest)
+		}
+	}
+	// 6 and 5 (from i=6,5 and i=13? no: durations are i%7 → max 6) lead.
+	if s.Slowest[0].DurationUS != 6 {
+		t.Fatalf("slowest[0] duration %d, want 6", s.Slowest[0].DurationUS)
+	}
+}
+
+// TestTraceRingConcurrent: parallel writers with snapshots mid-write,
+// under -race.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(TraceData{ID: fmt.Sprintf("%d-%d", w, i), DurationUS: int64(i)})
+				if i%20 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Total != 8*200 {
+		t.Fatalf("total %d, want %d", s.Total, 8*200)
+	}
+	if len(s.Recent) != 32 || len(s.Slowest) != 32 {
+		t.Fatalf("retention sizes %d/%d, want 32/32", len(s.Recent), len(s.Slowest))
+	}
+}
+
+// TestNewID: IDs are 16 hex chars and unique enough in a quick sample.
+func TestNewID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestParseLevel covers the -log-level surface.
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]string{"debug": "DEBUG", "info": "INFO", "warn": "WARN", "error": "ERROR", "": "INFO"} {
+		lv, err := ParseLevel(s)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", s, err)
+		}
+		if lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %v, want %s", s, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}

@@ -5,71 +5,188 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"sort"
-	"sync/atomic"
+	"net/http"
 	"time"
+
+	"fepia/internal/faults"
+	"fepia/internal/obs"
 )
 
-// latencyBuckets are the upper bounds, in milliseconds, of the request
-// latency histogram exported on /debug/vars (the last bucket is +Inf).
-var latencyBuckets = [...]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+// Endpoint label values of the per-endpoint metric series.
+const (
+	epAnalyze = "analyze"
+	epBatch   = "batch"
+)
 
-// metrics is the server's operational counter set. Everything is atomic so
-// handlers update it without locking; /debug/vars reads a point-in-time
-// snapshot.
-type metrics struct {
-	// requests counts every request to a /v1/ endpoint.
-	requests atomic.Uint64
-	// analyses counts systems analysed (a batch of n counts n).
-	analyses atomic.Uint64
-	// rejected counts requests turned away by the admission gate (503).
-	rejected atomic.Uint64
-	// errs counts non-2xx responses on /v1/ endpoints.
-	errs atomic.Uint64
-	// inFlight gauges requests currently holding an admission slot.
-	inFlight atomic.Int64
-	// retries counts per-feature solve re-attempts by the transient-
-	// failure retry policy.
-	retries atomic.Uint64
-	// degraded counts responses served from the radius cache in degraded
-	// mode (breaker open or engine failure).
-	degraded atomic.Uint64
-	// latency histograms /v1/ request durations: latency[i] counts
-	// requests that finished within latencyBuckets[i] ms; the final slot
-	// is the +Inf overflow. latencyCount/latencySumMS aggregate totals.
-	latency      [len(latencyBuckets) + 1]atomic.Uint64
-	latencyCount atomic.Uint64
-	latencySumMS atomic.Uint64
+// endpoints lists every labelled /v1/ endpoint, in exposition order.
+var endpoints = []string{epAnalyze, epBatch}
+
+// latencyBuckets are the upper bounds, in milliseconds, of the
+// per-endpoint request latency histograms (the last bucket is +Inf).
+// /debug/vars renders them as le_<bound> keys; /metrics as cumulative
+// le="<bound>" buckets.
+var latencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// telemetry is the server's observability state: one obs.Registry that
+// feeds BOTH exposition surfaces — the Prometheus text document on
+// /metrics and the expvar-compatible JSON on /debug/vars — so the two
+// can never disagree, plus the trace ring behind /debug/traces. Every
+// instrument is atomic; handlers never lock to record.
+type telemetry struct {
+	reg    *obs.Registry
+	traces *obs.TraceRing
+
+	// requests / errs / latency are per-endpoint series; analyses,
+	// rejected, retries, degraded, inFlight are process-wide.
+	requests map[string]*obs.Counter
+	errs     map[string]*obs.Counter
+	latency  map[string]*obs.Histogram
+	analyses *obs.Counter
+	rejected *obs.Counter
+	retries  *obs.Counter
+	degraded *obs.Counter
+	inFlight *obs.Gauge
 }
 
-// observe records one finished /v1/ request.
-func (m *metrics) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := sort.SearchFloat64s(latencyBuckets[:], ms)
-	m.latency[i].Add(1)
-	m.latencyCount.Add(1)
-	m.latencySumMS.Add(uint64(ms + 0.5))
+// newTelemetry builds the registry and registers every serving metric,
+// the cache and breaker gauge sources, the runtime gauges, and — when
+// the injector keeps stats — the injected-fault counters by point/kind.
+func newTelemetry(s *Server) telemetry {
+	reg := obs.NewRegistry()
+	t := telemetry{
+		reg:      reg,
+		traces:   obs.NewTraceRing(s.cfg.TraceCapacity),
+		requests: make(map[string]*obs.Counter, len(endpoints)),
+		errs:     make(map[string]*obs.Counter, len(endpoints)),
+		latency:  make(map[string]*obs.Histogram, len(endpoints)),
+		analyses: reg.Counter("fepiad_analyses_total", "Systems analysed (a batch of n counts n)."),
+		rejected: reg.Counter("fepiad_rejected_total", "Requests shed by the admission gate (503)."),
+		retries:  reg.Counter("fepiad_retries_total", "Per-feature solve re-attempts by the transient-failure retry policy."),
+		degraded: reg.Counter("fepiad_degraded_total", "Responses served from the radius cache in degraded mode."),
+		inFlight: reg.Gauge("fepiad_in_flight", "Requests currently holding an admission slot."),
+	}
+	for _, ep := range endpoints {
+		t.requests[ep] = reg.Counter("fepiad_requests_total", "Requests by endpoint.", obs.L("endpoint", ep))
+		t.errs[ep] = reg.Counter("fepiad_errors_total", "Non-2xx responses by endpoint.", obs.L("endpoint", ep))
+		t.latency[ep] = reg.Histogram("fepiad_request_duration_ms", "Request latency by endpoint, in milliseconds.",
+			latencyBuckets, obs.L("endpoint", ep))
+	}
+
+	cache := s.cache
+	reg.GaugeFunc("fepiad_cache_hits", "Radius-cache lookups served from memory.",
+		func() float64 { return float64(cache.Stats().Hits) })
+	reg.GaugeFunc("fepiad_cache_misses", "Radius-cache lookups that had to solve.",
+		func() float64 { return float64(cache.Stats().Misses) })
+	reg.GaugeFunc("fepiad_cache_entries", "Radius-cache current occupancy.",
+		func() float64 { return float64(cache.Stats().Size) })
+	reg.GaugeFunc("fepiad_cache_capacity", "Radius-cache entry capacity.",
+		func() float64 { return float64(cache.Stats().Capacity) })
+	reg.GaugeFunc("fepiad_cache_put_failures", "Radius-cache inserts dropped by injected cache_put faults.",
+		func() float64 { return float64(cache.Stats().PutFailures) })
+
+	registerBreaker(reg, epAnalyze, s.analyzeBreaker)
+	registerBreaker(reg, epBatch, s.batchBreaker)
+
+	if fs, ok := s.cfg.Injector.(interface{ Stats() faults.Stats }); ok {
+		for _, p := range faults.Points {
+			for _, k := range faults.Kinds {
+				p, k := p, k
+				reg.GaugeFunc("fepiad_faults_injected", "Faults delivered by the injection harness, by point and kind.",
+					func() float64 { return float64(fs.Stats()[p][k]) },
+					obs.L("point", string(p)), obs.L("kind", string(k)))
+			}
+		}
+	}
+
+	obs.RegisterRuntime(reg)
+	return t
+}
+
+// registerBreaker exposes one endpoint breaker as scrape-time gauges:
+// state (0 closed, 1 half-open, 2 open, -1 disabled) and trip count.
+func registerBreaker(reg *obs.Registry, ep string, b *breaker) {
+	reg.GaugeFunc("fepiad_breaker_state", "Circuit-breaker state by endpoint: 0 closed, 1 half-open, 2 open, -1 disabled.",
+		func() float64 {
+			if b == nil {
+				return -1
+			}
+			switch b.snapshot().State {
+			case "open":
+				return 2
+			case "half_open":
+				return 1
+			}
+			return 0
+		}, obs.L("endpoint", ep))
+	reg.GaugeFunc("fepiad_breaker_opens", "Circuit-breaker trips by endpoint.",
+		func() float64 {
+			if b == nil {
+				return 0
+			}
+			return float64(b.snapshot().Opens)
+		}, obs.L("endpoint", ep))
+}
+
+// requestsTotal sums the per-endpoint request counters: the
+// backward-compatible fepiad.requests expvar.
+func (t *telemetry) requestsTotal() uint64 {
+	var n uint64
+	for _, ep := range endpoints {
+		n += t.requests[ep].Value()
+	}
+	return n
+}
+
+// errsTotal sums the per-endpoint error counters.
+func (t *telemetry) errsTotal() uint64 {
+	var n uint64
+	for _, ep := range endpoints {
+		n += t.errs[ep].Value()
+	}
+	return n
+}
+
+// observe records one finished request on its endpoint's histogram.
+func (t *telemetry) observe(ep string, d time.Duration) {
+	t.latency[ep].Observe(float64(d) / float64(time.Millisecond))
+}
+
+// handleMetrics serves the Prometheus text exposition. The counters here
+// and the /debug/vars document read the same registry instruments.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// handleTraces serves the trace ring: the most recent and the
+// slowest-ever request traces, with per-stage spans.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.metrics.traces.Snapshot())
 }
 
 // writeVars emits the expvar-compatible JSON document served on
 // /debug/vars: every variable of the process-global expvar registry
-// (cmdline, memstats, …) plus the server-local fepiad.* counters. The
-// server publishes its own document instead of expvar.Publish because
-// expvar's registry is process-global and would collide across the many
-// Server instances the test suite creates.
+// (cmdline, memstats, …) plus the server-local fepiad.* counters, all
+// sourced from the same obs.Registry instruments as /metrics. The server
+// publishes its own document instead of expvar.Publish because expvar's
+// registry is process-global and would collide across the many Server
+// instances the test suite creates.
 func (s *Server) writeVars(w io.Writer) {
 	fmt.Fprintf(w, "{\n")
 	expvar.Do(func(kv expvar.KeyValue) {
 		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value)
 	})
 	m := &s.metrics
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.requests", m.requests.Load())
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.analyses", m.analyses.Load())
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.rejected", m.rejected.Load())
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.errors", m.errs.Load())
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.in_flight", m.inFlight.Load())
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.retries", m.retries.Load())
-	fmt.Fprintf(w, "%q: %d,\n", "fepiad.degraded", m.degraded.Load())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.requests", m.requestsTotal())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.analyses", m.analyses.Value())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.rejected", m.rejected.Value())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.errors", m.errsTotal())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.in_flight", int64(m.inFlight.Value()))
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.retries", m.retries.Value())
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.degraded", m.degraded.Value())
 	writeBreakerVar(w, "fepiad.breaker.analyze", s.analyzeBreaker)
 	writeBreakerVar(w, "fepiad.breaker.batch", s.batchBreaker)
 
@@ -77,13 +194,35 @@ func (s *Server) writeVars(w io.Writer) {
 	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g, \"put_failures\": %d},\n",
 		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate(), cs.PutFailures)
 
-	fmt.Fprintf(w, "%q: {", "fepiad.latency_ms")
-	for i, ub := range latencyBuckets {
-		fmt.Fprintf(w, "\"le_%g\": %d, ", ub, m.latency[i].Load())
+	// Per-endpoint latency histograms plus the merged aggregate the
+	// pre-split dashboards read.
+	var agg obs.HistogramSnapshot
+	for i, ep := range endpoints {
+		snap := m.latency[ep].Snapshot()
+		writeLatencyVar(w, "fepiad.latency_ms."+ep, snap, true)
+		if i == 0 {
+			agg = snap
+		} else {
+			agg = agg.Merge(snap)
+		}
 	}
-	fmt.Fprintf(w, "\"inf\": %d, ", m.latency[len(latencyBuckets)].Load())
-	fmt.Fprintf(w, "\"count\": %d, \"sum_ms\": %d}\n", m.latencyCount.Load(), m.latencySumMS.Load())
+	writeLatencyVar(w, "fepiad.latency_ms", agg, false)
 	fmt.Fprintf(w, "}\n")
+}
+
+// writeLatencyVar renders one latency histogram in the expvar document's
+// le_<bound> object shape.
+func writeLatencyVar(w io.Writer, name string, snap obs.HistogramSnapshot, comma bool) {
+	fmt.Fprintf(w, "%q: {", name)
+	for i, ub := range snap.Bounds {
+		fmt.Fprintf(w, "\"le_%g\": %d, ", ub, snap.Counts[i])
+	}
+	fmt.Fprintf(w, "\"inf\": %d, ", snap.Counts[len(snap.Bounds)])
+	fmt.Fprintf(w, "\"count\": %d, \"sum_ms\": %d}", snap.Count, uint64(snap.Sum+0.5))
+	if comma {
+		fmt.Fprintf(w, ",")
+	}
+	fmt.Fprintf(w, "\n")
 }
 
 // writeBreakerVar emits one endpoint breaker's state object; a nil

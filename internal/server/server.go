@@ -11,9 +11,18 @@
 // limit; a bounded admission gate sheds load with 503 + Retry-After
 // instead of queueing unboundedly; Run drains in-flight analyses on
 // shutdown and force-cancels them via context if the drain budget runs
-// out; /healthz answers liveness probes; /debug/vars serves
-// expvar-compatible operational counters; /debug/pprof is available
-// behind Config.EnablePprof.
+// out; /healthz answers liveness probes.
+//
+// Observability (docs/OBSERVABILITY.md): one internal/obs registry feeds
+// both the Prometheus text exposition on /metrics and the
+// expvar-compatible /debug/vars, so the two can never disagree. Every
+// /v1/ request carries a request ID (accepted from or emitted as
+// X-Request-Id), is logged as one structured slog line, and is traced
+// with per-stage spans — parse, breaker, admit, cache get/put,
+// per-feature solve (with retry-attempt counts), encode — retained in a
+// bounded ring served on /debug/traces (most recent plus slowest-ever).
+// /debug/pprof is available behind Config.EnablePprof, with endpoint and
+// per-feature profiler labels on the analysis goroutines.
 //
 // Error discipline: client mistakes (spec.ValidationError) map to 400
 // with the offending JSON field path; unsupported analysis combinations
@@ -38,16 +47,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	rpprof "runtime/pprof"
 	"strconv"
 	"time"
 
 	"fepia/internal/batch"
 	"fepia/internal/core"
 	"fepia/internal/faults"
+	"fepia/internal/obs"
 	"fepia/internal/spec"
 )
 
@@ -61,6 +72,9 @@ const (
 	// DefaultRetryAttempts is the per-feature solve attempt budget for
 	// transient failures.
 	DefaultRetryAttempts = 3
+	// DefaultTraceCapacity bounds each retention list of the trace ring
+	// (most recent N, slowest-ever N).
+	DefaultTraceCapacity = 64
 )
 
 // Config tunes a Server. The zero value is production-safe: every limit
@@ -85,11 +99,16 @@ type Config struct {
 	// DrainTimeout is how long Run waits for in-flight requests after
 	// shutdown is requested before force-cancelling their analyses.
 	DrainTimeout time.Duration
+	// TraceCapacity bounds each retention list of the /debug/traces ring
+	// (0 selects DefaultTraceCapacity).
+	TraceCapacity int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
-	// Log receives request-independent server events; nil selects the
-	// default logger.
-	Log *log.Logger
+	// Log is the structured logger: server events and one access-log
+	// line per /v1/ request; nil selects slog.Default(). Per-request
+	// lines carry request_id, endpoint, status, duration, and outcome
+	// attributes.
+	Log *slog.Logger
 
 	// RetryMax is the total attempt budget per feature solve for
 	// transient failures (0 selects DefaultRetryAttempts, < 0 or 1
@@ -112,7 +131,9 @@ type Config struct {
 	Degraded bool
 	// Injector, when non-nil, activates the fault-injection harness on
 	// every request path (chaos tests, the FEPIAD_FAULTS env knob). Nil
-	// in production: every injection point is a no-op.
+	// in production: every injection point is a no-op. An injector that
+	// also keeps stats (faults.Seeded) feeds the fepiad_faults_injected
+	// metric series.
 	Injector faults.Injector
 }
 
@@ -133,8 +154,11 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = DefaultTraceCapacity
+	}
 	if c.Log == nil {
-		c.Log = log.Default()
+		c.Log = slog.Default()
 	}
 	if c.RetryMax == 0 {
 		c.RetryMax = DefaultRetryAttempts
@@ -158,7 +182,7 @@ type Server struct {
 	cfg     Config
 	cache   *batch.Cache
 	gate    chan struct{}
-	metrics metrics
+	metrics telemetry
 	mux     *http.ServeMux
 
 	// retry is the per-feature transient-failure policy threaded into
@@ -193,7 +217,7 @@ func New(cfg Config) *Server {
 	if cfg.RetryMax > 1 {
 		s.retry = &faults.Policy{
 			MaxAttempts: cfg.RetryMax,
-			OnRetry:     func(int, time.Duration, error) { s.metrics.retries.Add(1) },
+			OnRetry:     func(int, time.Duration, error) { s.metrics.retries.Inc() },
 		}
 	}
 	if cfg.BreakerWindow > 0 {
@@ -201,11 +225,14 @@ func New(cfg Config) *Server {
 		s.analyzeBreaker = newBreaker(bcfg)
 		s.batchBreaker = newBreaker(bcfg)
 	}
+	s.metrics = newTelemetry(s)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/analyze", s.instrument(epAnalyze, s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -223,17 +250,83 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // CacheStats snapshots the shared radius cache's counters.
 func (s *Server) CacheStats() batch.CacheStats { return s.cache.Stats() }
 
+// Registry exposes the server's metrics registry so embedding processes
+// (cmd/loadgen -self) can read the same instruments /metrics serves.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// statusWriter captures the response status and size for the access log
+// and the trace record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a /v1/ handler with the per-request observability
+// envelope: request-ID assignment (accepted from or emitted as
+// X-Request-Id), a trace recorded into the ring, pprof endpoint labels,
+// the per-endpoint request counter and latency histogram, and one
+// structured access-log line carrying the trace's outcome attributes.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = obs.NewID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+
+		tr := obs.NewTrace(rid, endpoint)
+		reqLog := s.cfg.Log.With("request_id", rid, "endpoint", endpoint)
+		ctx := obs.WithTrace(r.Context(), tr)
+		ctx = obs.WithLogger(ctx, reqLog)
+		// Endpoint profiler labels: batch workers add their own worker and
+		// per-feature labels underneath (internal/batch).
+		ctx = rpprof.WithLabels(ctx, rpprof.Labels("endpoint", endpoint))
+		rpprof.SetGoroutineLabels(ctx)
+		defer rpprof.SetGoroutineLabels(r.Context())
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.requests[endpoint].Inc()
+		h(sw, r.WithContext(ctx))
+
+		d := time.Since(start)
+		s.metrics.observe(endpoint, d)
+		s.metrics.traces.Add(tr.Finish(sw.status))
+
+		attrs := []any{"status", sw.status, "duration_ms", float64(d) / float64(time.Millisecond), "bytes", sw.bytes}
+		for _, a := range tr.Attrs() {
+			attrs = append(attrs, a.Name, a.Value)
+		}
+		reqLog.Info("request", attrs...)
+	}
+}
+
 // Run serves on l until ctx is cancelled (SIGTERM in cmd/fepiad), then
 // shuts down gracefully: the listener closes, in-flight requests get
 // Config.DrainTimeout to finish, and any analysis still running after the
 // drain budget is force-cancelled through its context. It returns nil on
-// a clean drain.
+// a clean drain. The shutdown sequence is logged structurally — drain
+// start with the in-flight count, a force-cancel event if the budget
+// runs out, and a final metrics flush — so a post-mortem can see how the
+// process died.
 func (s *Server) Run(ctx context.Context, l net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
-		ErrorLog:          s.cfg.Log,
+		ErrorLog:          slog.NewLogLogger(s.cfg.Log.Handler(), slog.LevelWarn),
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(l) }()
@@ -245,26 +338,49 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 	case <-ctx.Done():
 	}
 
-	s.cfg.Log.Printf("shutting down, draining for up to %v", s.cfg.DrainTimeout)
+	s.cfg.Log.Info("drain start",
+		"in_flight", int64(s.metrics.inFlight.Value()),
+		"budget", s.cfg.DrainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := hs.Shutdown(drainCtx)
 	if err != nil {
 		// Drain budget exhausted: cancel every in-flight analysis via the
 		// request contexts and close remaining connections.
-		s.cfg.Log.Printf("drain timed out, cancelling in-flight analyses")
+		s.cfg.Log.Warn("drain timed out, force-cancelling in-flight analyses",
+			"in_flight", int64(s.metrics.inFlight.Value()),
+			"error", err.Error())
 		s.baseCancel()
 		err = errors.Join(err, hs.Close())
 	}
 	s.baseCancel()
 	<-serveErr // always http.ErrServerClosed after Shutdown/Close
+	s.flushFinalMetrics(err == nil)
 	return err
+}
+
+// flushFinalMetrics emits the end-of-life counter summary: the last
+// structured line a pod writes, so post-mortems see its totals even when
+// the scraper missed the final interval.
+func (s *Server) flushFinalMetrics(clean bool) {
+	m := &s.metrics
+	cs := s.cache.Stats()
+	s.cfg.Log.Info("final metrics",
+		"clean_drain", clean,
+		"requests", m.requestsTotal(),
+		"analyses", m.analyses.Value(),
+		"errors", m.errsTotal(),
+		"rejected", m.rejected.Value(),
+		"retries", m.retries.Value(),
+		"degraded", m.degraded.Value(),
+		"cache_hits", cs.Hits,
+		"cache_misses", cs.Misses)
 }
 
 // handleHealthz is the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\": \"ok\", \"in_flight\": %d}\n", s.metrics.inFlight.Load())
+	fmt.Fprintf(w, "{\"status\": \"ok\", \"in_flight\": %d}\n", int64(s.metrics.inFlight.Value()))
 }
 
 // handleVars serves the expvar-compatible counter document.
@@ -277,10 +393,14 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 // Retry-After when the gate is saturated (or an admission fault is
 // injected). The returned release func must be called exactly once iff
 // admitted.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+func (s *Server) admit(endpoint string, w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	sp := obs.StartSpan(r.Context(), "admit")
 	if err := faults.Inject(faults.With(r.Context(), s.cfg.Injector), faults.Admission); err != nil {
-		s.metrics.rejected.Add(1)
-		s.metrics.errs.Add(1)
+		sp.Set("admitted", "false")
+		sp.End(err)
+		obs.TraceFrom(r.Context()).SetAttr("outcome", "shed")
+		s.metrics.rejected.Inc()
+		s.metrics.errs[endpoint].Inc()
 		s.retryAfterHeader(w)
 		writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{
 			Error: "admission refused: " + err.Error(),
@@ -290,14 +410,19 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	}
 	select {
 	case s.gate <- struct{}{}:
+		sp.Set("admitted", "true")
+		sp.End(nil)
 		s.metrics.inFlight.Add(1)
 		return func() {
 			s.metrics.inFlight.Add(-1)
 			<-s.gate
 		}, true
 	default:
-		s.metrics.rejected.Add(1)
-		s.metrics.errs.Add(1)
+		sp.Set("admitted", "false")
+		sp.End(nil)
+		obs.TraceFrom(r.Context()).SetAttr("outcome", "shed")
+		s.metrics.rejected.Inc()
+		s.metrics.errs[endpoint].Inc()
 		s.retryAfterHeader(w)
 		writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{
 			Error: "server saturated: too many analyses in flight",
@@ -313,10 +438,11 @@ func (s *Server) retryAfterHeader(w http.ResponseWriter) {
 }
 
 // readBody reads a size-capped request body.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+func (s *Server) readBody(endpoint string, w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		s.metrics.errs.Add(1)
+		s.metrics.errs[endpoint].Inc()
+		obs.TraceFrom(r.Context()).SetAttr("outcome", "invalid_spec")
 		status, kind := http.StatusBadRequest, "invalid_spec"
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -333,23 +459,24 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 // endpoint's breaker is open or the engine fails, degraded mode (if
 // enabled) answers from the radius cache instead; see answerDegraded.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.metrics.requests.Add(1)
-	body, ok := s.readBody(w, r)
+	psp := obs.StartSpan(r.Context(), "parse")
+	body, ok := s.readBody(epAnalyze, w, r)
 	if !ok {
+		psp.End(errors.New("body rejected"))
 		return
 	}
 	sys, err := spec.Parse(body)
+	psp.End(err)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(epAnalyze, w, r, err)
 		return
 	}
-	if !s.breakerAllow(s.analyzeBreaker) {
-		s.answerDegraded(w, []*spec.System{sys}, false, "circuit_open",
+	if !s.allowEndpoint(s.analyzeBreaker, r) {
+		s.answerDegraded(epAnalyze, w, r, []*spec.System{sys}, false, "circuit_open",
 			"analyze engine circuit open: recent solves kept failing")
 		return
 	}
-	release, ok := s.admit(w, r)
+	release, ok := s.admit(epAnalyze, w, r)
 	if !ok {
 		// The request never reached the engine; return any half-open
 		// probe slot breakerAllow reserved or the breaker wedges.
@@ -357,7 +484,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	defer func() { s.metrics.observe(time.Since(start)) }()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -370,15 +496,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.breakerReport(s.analyzeBreaker, err)
 	if err != nil {
 		if s.cfg.Degraded && degradable(err) {
-			s.answerDegraded(w, []*spec.System{sys}, false, "degraded",
+			s.answerDegraded(epAnalyze, w, r, []*spec.System{sys}, false, "degraded",
 				"engine failed and no cached answer exists: "+err.Error())
 			return
 		}
-		s.fail(w, err)
+		s.fail(epAnalyze, w, r, err)
 		return
 	}
-	s.metrics.analyses.Add(1)
+	s.metrics.analyses.Inc()
+	esp := obs.StartSpan(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, spec.Encode(sys.Name, a))
+	esp.End(nil)
 }
 
 // handleBatch serves POST /v1/batch: many systems fanned over the batch
@@ -387,23 +515,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // runs per-system jobs (batch.AnalyzeOneContext) over the engine's
 // scheduling substrate rather than one homogeneous batch.Analyze call.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.metrics.requests.Add(1)
-	body, ok := s.readBody(w, r)
+	psp := obs.StartSpan(r.Context(), "parse")
+	body, ok := s.readBody(epBatch, w, r)
 	if !ok {
+		psp.End(errors.New("body rejected"))
 		return
 	}
 	systems, err := spec.ParseBatch(body)
+	psp.End(err)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(epBatch, w, r, err)
 		return
 	}
-	if !s.breakerAllow(s.batchBreaker) {
-		s.answerDegraded(w, systems, true, "circuit_open",
+	if !s.allowEndpoint(s.batchBreaker, r) {
+		s.answerDegraded(epBatch, w, r, systems, true, "circuit_open",
 			"batch engine circuit open: recent solves kept failing")
 		return
 	}
-	release, ok := s.admit(w, r)
+	release, ok := s.admit(epBatch, w, r)
 	if !ok {
 		// The request never reached the engine; return any half-open
 		// probe slot breakerAllow reserved or the breaker wedges.
@@ -411,7 +540,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	defer func() { s.metrics.observe(time.Since(start)) }()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -433,20 +561,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.breakerReport(s.batchBreaker, err)
 	if err != nil {
 		if s.cfg.Degraded && degradable(err) {
-			s.answerDegraded(w, systems, true, "degraded",
+			s.answerDegraded(epBatch, w, r, systems, true, "degraded",
 				"engine failed and no complete cached answer exists: "+err.Error())
 			return
 		}
-		s.fail(w, err)
+		s.fail(epBatch, w, r, err)
 		return
 	}
 	s.metrics.analyses.Add(uint64(len(systems)))
+	esp := obs.StartSpan(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
+	esp.End(nil)
 }
 
-// breakerAllow consults an endpoint breaker; a nil breaker always allows.
-func (s *Server) breakerAllow(b *breaker) bool {
-	return b == nil || b.allow()
+// allowEndpoint consults an endpoint breaker under a trace span; a nil
+// breaker always allows.
+func (s *Server) allowEndpoint(b *breaker, r *http.Request) bool {
+	sp := obs.StartSpan(r.Context(), "breaker")
+	allowed := b == nil || b.allow()
+	sp.Set("allowed", strconv.FormatBool(allowed))
+	sp.End(nil)
+	if !allowed {
+		obs.TraceFrom(r.Context()).SetAttr("breaker", "open")
+	}
+	return allowed
 }
 
 // breakerReport records an engine outcome on an endpoint breaker. Only
@@ -497,10 +635,18 @@ func degradable(err error) bool {
 // degraded 200 is byte-identical to the fault-free response modulo the
 // marker. On a true cache miss (or with degraded mode off) it sheds with
 // 503 + Retry-After and the given error kind.
-func (s *Server) answerDegraded(w http.ResponseWriter, systems []*spec.System, batchShape bool, kind, reason string) {
+func (s *Server) answerDegraded(endpoint string, w http.ResponseWriter, r *http.Request, systems []*spec.System, batchShape bool, kind, reason string) {
+	tr := obs.TraceFrom(r.Context())
 	if s.cfg.Degraded {
-		if results, ok := s.cachedResults(systems); ok {
-			s.metrics.degraded.Add(1)
+		sp := obs.StartSpan(r.Context(), "degraded_lookup")
+		results, ok := s.cachedResults(systems)
+		sp.Set("served", strconv.FormatBool(ok))
+		sp.End(nil)
+		if ok {
+			s.metrics.degraded.Inc()
+			tr.SetAttr("outcome", "degraded")
+			tr.SetAttr("degraded", "true")
+			obs.Logger(r.Context()).Warn("serving degraded from radius cache", "reason", kind)
 			w.Header().Set("Warning", `199 fepiad "degraded: served from radius cache"`)
 			if batchShape {
 				writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
@@ -510,7 +656,8 @@ func (s *Server) answerDegraded(w http.ResponseWriter, systems []*spec.System, b
 			return
 		}
 	}
-	s.metrics.errs.Add(1)
+	tr.SetAttr("outcome", kind)
+	s.metrics.errs[endpoint].Inc()
 	s.retryAfterHeader(w)
 	writeError(w, http.StatusServiceUnavailable, spec.ErrorJSON{Error: reason, Kind: kind})
 }
@@ -533,8 +680,8 @@ func (s *Server) cachedResults(systems []*spec.System) ([]spec.ResultJSON, bool)
 
 // fail maps an analysis error onto the HTTP error contract (see the
 // package comment) and writes the ErrorJSON envelope.
-func (s *Server) fail(w http.ResponseWriter, err error) {
-	s.metrics.errs.Add(1)
+func (s *Server) fail(endpoint string, w http.ResponseWriter, r *http.Request, err error) {
+	s.metrics.errs[endpoint].Inc()
 	status, kind, path := http.StatusInternalServerError, "internal", ""
 	var ve *spec.ValidationError
 	var se *core.SolveError
@@ -551,6 +698,10 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status, kind = http.StatusServiceUnavailable, "shutting_down"
 	case errors.As(err, &se):
 		status, kind = http.StatusInternalServerError, "solver_failure"
+	}
+	obs.TraceFrom(r.Context()).SetAttr("outcome", kind)
+	if status >= http.StatusInternalServerError {
+		obs.Logger(r.Context()).Error("analysis failed", "kind", kind, "error", err.Error())
 	}
 	writeError(w, status, spec.ErrorJSON{Error: err.Error(), Kind: kind, Path: path})
 }

@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -52,7 +52,7 @@ func linearSpec(k int) string {
 
 // quietConfig silences server logs during tests.
 func quietConfig(c Config) Config {
-	c.Log = log.New(io.Discard, "", 0)
+	c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	return c
 }
 
@@ -295,7 +295,7 @@ func TestSaturation503(t *testing.T) {
 	if err := <-first; err != nil {
 		t.Fatal(err)
 	}
-	if s.metrics.rejected.Load() == 0 {
+	if s.metrics.rejected.Value() == 0 {
 		t.Error("rejected counter did not move")
 	}
 }
@@ -401,7 +401,7 @@ func TestDrainTimeoutCancelsAnalyses(t *testing.T) {
 	close(release)
 	<-clientDone
 	deadline := time.Now().Add(2 * time.Second)
-	for s.metrics.errs.Load() == 0 {
+	for s.metrics.errsTotal() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("in-flight analysis was never cancelled")
 		}

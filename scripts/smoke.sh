@@ -1,0 +1,98 @@
+#!/bin/sh
+# smoke.sh — boot a real fepiad binary, drive one analysis through it,
+# and verify the observability surfaces answer: /healthz, /metrics
+# (Prometheus text exposition), /debug/vars, and /debug/traces with the
+# request's spans. Exits non-zero on the first failed check.
+set -eu
+
+PORT="${FEPIAD_SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "smoke: building fepiad"
+go build -o "$TMP/fepiad" ./cmd/fepiad
+
+echo "smoke: starting fepiad on :$PORT"
+"$TMP/fepiad" -addr "127.0.0.1:$PORT" -log-format text >"$TMP/fepiad.log" 2>&1 &
+SERVER_PID=$!
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" != 1 ]; then
+    echo "smoke: fepiad never became healthy" >&2
+    cat "$TMP/fepiad.log" >&2
+    exit 1
+fi
+
+echo "smoke: POST /v1/analyze"
+cat >"$TMP/spec.json" <<'EOF'
+{
+  "name": "smoke",
+  "perturbation": {"name": "λ", "orig": [300, 200], "units": "req/s"},
+  "features": [
+    {"name": "load(edge)", "max": 1100,
+     "impact": {"type": "linear", "coeffs": [1, 1], "offset": 0}}
+  ]
+}
+EOF
+curl -fsS -X POST -H "Content-Type: application/json" -H "X-Request-Id: smoke-1" \
+    --data-binary @"$TMP/spec.json" "$BASE/v1/analyze" >"$TMP/result.json"
+grep -q '"robustness"' "$TMP/result.json" || {
+    echo "smoke: analysis result missing robustness radius" >&2
+    cat "$TMP/result.json" >&2
+    exit 1
+}
+
+echo "smoke: GET /metrics"
+curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+for series in \
+    '# TYPE fepiad_requests_total counter' \
+    'fepiad_requests_total{endpoint="analyze"} 1' \
+    'fepiad_request_duration_ms_count{endpoint="analyze"} 1' \
+    'fepiad_analyses_total 1' \
+    'go_goroutines'; do
+    grep -qF "$series" "$TMP/metrics.txt" || {
+        echo "smoke: /metrics missing: $series" >&2
+        cat "$TMP/metrics.txt" >&2
+        exit 1
+    }
+done
+
+echo "smoke: GET /debug/vars"
+curl -fsS "$BASE/debug/vars" >"$TMP/vars.json"
+for key in '"fepiad.requests": 1' '"fepiad.latency_ms.analyze"' '"fepiad.cache"'; do
+    grep -qF "$key" "$TMP/vars.json" || {
+        echo "smoke: /debug/vars missing: $key" >&2
+        cat "$TMP/vars.json" >&2
+        exit 1
+    }
+done
+
+echo "smoke: GET /debug/traces"
+curl -fsS "$BASE/debug/traces" >"$TMP/traces.json"
+for field in '"id": "smoke-1"' '"name": "parse"' '"name": "solve"' '"name": "encode"'; do
+    grep -qF "$field" "$TMP/traces.json" || {
+        echo "smoke: /debug/traces missing: $field" >&2
+        cat "$TMP/traces.json" >&2
+        exit 1
+    }
+done
+
+echo "smoke: graceful shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || {
+    echo "smoke: fepiad exited non-zero on SIGTERM" >&2
+    cat "$TMP/fepiad.log" >&2
+    exit 1
+}
+grep -q 'final metrics' "$TMP/fepiad.log" || {
+    echo "smoke: no final metrics flush line in shutdown log" >&2
+    cat "$TMP/fepiad.log" >&2
+    exit 1
+}
+
+echo "smoke: OK"
