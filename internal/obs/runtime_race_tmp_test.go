@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuntimeGaugeRaceTmp(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	// Force the cached sample to expire constantly so concurrent scrapes
+	// interleave ReadMemStats writes with field reads.
+	var wg sync.WaitGroup
+	stop := time.After(200 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
