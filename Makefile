@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench report tier1 tier2 serve loadtest fuzz chaos smoke
+.PHONY: all build test race vet lint bench microbench report tier1 tier2 serve loadtest fuzz chaos smoke
 
 all: tier1
 
@@ -28,7 +28,14 @@ race:
 	$(GO) test -race ./internal/batch/...
 	$(GO) test -race ./...
 
+# bench: the reproducible cache benchmark harness — pinned seeds, frozen
+# single-mutex baseline vs the live sharded cache, BENCH_5.json artifact
+# with a >=2x contended-speedup gate (see cmd/bench).
 bench:
+	./scripts/bench.sh
+
+# microbench: one pass over the go-test micro benchmarks.
+microbench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 report:

@@ -44,6 +44,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "analysis workers per batch request (0 = GOMAXPROCS)")
 		cacheCap    = flag.Int("cache", 0, "shared radius-cache capacity in entries (0 = default)")
+		cacheShards = flag.Int("cache-shards", 0, "radius-cache shard count, rounded up to a power of two (0 = derived from GOMAXPROCS)")
 		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body in bytes")
 		timeout     = flag.Duration("timeout", server.DefaultTimeout, "per-request analysis deadline")
 		maxInFlight = flag.Int("max-inflight", server.DefaultMaxInFlight, "admitted concurrent requests before shedding with 503")
@@ -98,6 +99,7 @@ func main() {
 		RetryAfter:    *retryAfter,
 		Workers:       *workers,
 		CacheCapacity: *cacheCap,
+		CacheShards:   *cacheShards,
 		DrainTimeout:  *drain,
 		TraceCapacity: *traceCap,
 		EnablePprof:   *enablePprof,

@@ -56,6 +56,14 @@ type Options struct {
 	// policy and the default classifier behave identically on fault-free
 	// runs.
 	Retry *faults.Policy
+	// ShareBoundaries skips the defensive per-hit clone of each cached
+	// RadiusResult.Boundary: results may alias cache-owned memory, so the
+	// caller must treat Boundary slices as read-only. The fepiad server
+	// sets it — its results are JSON-encoded and dropped — which makes
+	// the warm cache-hit path allocation-free. Leave it false whenever
+	// results escape to callers that might mutate them (the public
+	// facade).
+	ShareBoundaries bool
 }
 
 // workers resolves the effective worker count.
@@ -241,7 +249,11 @@ func solveFeature(ctx context.Context, idx int, f core.Feature, p core.Perturbat
 		if err := faults.Inject(ctx, faults.Solve); err != nil {
 			return err
 		}
-		r, err = opts.Cache.RadiusContext(ctx, f, p, copts)
+		if opts.ShareBoundaries {
+			r, err = opts.Cache.RadiusContextShared(ctx, f, p, copts)
+		} else {
+			r, err = opts.Cache.RadiusContext(ctx, f, p, copts)
+		}
 		return err
 	}
 	err := opts.Retry.Do(ctx, attempt)
@@ -294,7 +306,15 @@ func AnalyzeCached(job Job, opts Options) (core.Analysis, bool) {
 	copts := opts.Core.WithDefaults()
 	radii := make([]core.RadiusResult, len(job.Features))
 	for i, f := range job.Features {
-		r, ok := opts.Cache.Lookup(f, job.Perturbation, copts)
+		var (
+			r  core.RadiusResult
+			ok bool
+		)
+		if opts.ShareBoundaries {
+			r, ok = opts.Cache.LookupShared(f, job.Perturbation, copts)
+		} else {
+			r, ok = opts.Cache.Lookup(f, job.Perturbation, copts)
+		}
 		if !ok {
 			return core.Analysis{}, false
 		}

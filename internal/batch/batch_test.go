@@ -60,6 +60,10 @@ func TestAnalyzeMatchesSequential(t *testing.T) {
 		{"sequential", Options{Workers: 1}},
 		{"parallel", Options{Workers: 8}},
 		{"parallel-cached", Options{Workers: 8, Cache: NewCache(0)}},
+		{"parallel-cached-1shard", Options{Workers: 8, Cache: NewCacheSharded(0, 1)}},
+		{"parallel-cached-4shards", Options{Workers: 8, Cache: NewCacheSharded(0, 4)}},
+		{"parallel-cached-64shards", Options{Workers: 8, Cache: NewCacheSharded(0, 64)}},
+		{"parallel-cached-shared", Options{Workers: 8, Cache: NewCacheSharded(0, 4), ShareBoundaries: true}},
 		{"default-workers", Options{}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,8 +4,11 @@ import (
 	"container/list"
 	"context"
 	"encoding/binary"
+	"fmt"
 	"math"
+	"math/bits"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +22,10 @@ import (
 // HiPer-D mapping it holds the working set of several full §4.3 sweeps.
 const DefaultCacheCapacity = 8192
 
+// maxShards bounds the shard count: past a few hundred shards the
+// per-shard maps cost more memory than the contention they remove.
+const maxShards = 256
+
 // Cache memoises per-feature radius computations. The key identifies the
 // complete subproblem of Eq. 1: the impact function, the bounds
 // ⟨β^min, β^max⟩, the operating point π^orig, and the analysis options
@@ -28,53 +35,197 @@ const DefaultCacheCapacity = 8192
 // identity, which is sound because the cached entry pins the impact and
 // its result cannot go stale while the entry lives.
 //
-// Eviction is LRU with a fixed entry capacity. All methods are safe for
-// concurrent use; a nil *Cache is valid and simply computes every radius.
+// Scaling: the cache is split into a power-of-two number of shards, each
+// its own mutex + LRU list + map, selected by a 64-bit FNV-1a hash of the
+// byte key. The hash only routes — it never decides equality; the shard
+// map is keyed by the full byte key, so a hash collision merely co-locates
+// two subproblems on one shard. Concurrent misses on the same key are
+// deduplicated (singleflight): the first caller becomes the leader and
+// runs core.ComputeRadius once, every concurrent caller of the same key
+// parks until the leader publishes, and a leader failure propagates to
+// the waiters without anything being cached.
+//
+// Eviction is LRU per shard with a fixed per-shard entry capacity. All
+// methods are safe for concurrent use; a nil *Cache is valid and simply
+// computes every radius.
 type Cache struct {
+	shards []*cacheShard
+	mask   uint64
+
+	// putFails counts inserts skipped because a cache_put fault fired; a
+	// put failure only costs future hits, never the computed result.
+	putFails atomic.Uint64
+	// contended counts shard-lock acquisitions that found the lock held
+	// (TryLock failed before the blocking Lock): a cheap proxy for how
+	// often the sharding actually had to absorb contention.
+	contended atomic.Uint64
+}
+
+// cacheShard is one independently locked slice of the key space.
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used
 	entries  map[string]*list.Element
+	inflight map[string]*flight
 	hits     uint64
 	misses   uint64
-	// putFails counts inserts skipped because a cache_put fault fired; a
-	// put failure only costs future hits, never the computed result.
-	putFails atomic.Uint64
+	dup      uint64
+}
+
+// flight is one in-progress radius computation being shared by every
+// concurrent caller of its key. res and err are written exactly once,
+// before done is closed; the close is the publication barrier.
+type flight struct {
+	done chan struct{}
+	res  core.RadiusResult
+	err  error
 }
 
 // cacheEntry is one memoised radius. The impact reference keeps
 // pointer-keyed impacts alive so their addresses cannot be recycled into
-// a colliding key by the garbage collector.
+// a colliding key by the garbage collector. key retains the full byte key
+// for exact-equality eviction bookkeeping (the shard hash never decides
+// identity).
 type cacheEntry struct {
 	key    string
 	impact core.Impact
 	result core.RadiusResult
 }
 
-// NewCache returns a cache bounded to the given number of entries;
-// capacity ≤ 0 selects DefaultCacheCapacity.
+// keyBuf is a pooled key-construction buffer: the radius hot path builds
+// its byte key in one of these and returns it, so a cache hit allocates
+// nothing for the key (map lookups index with string(b), which Go
+// compiles without a copy).
+type keyBuf struct{ b []byte }
+
+var keyPool = sync.Pool{New: func() any { return &keyBuf{b: make([]byte, 0, 256)} }}
+
+// NewCache returns a cache bounded to the given number of entries with a
+// shard count derived from GOMAXPROCS; capacity ≤ 0 selects
+// DefaultCacheCapacity.
 func NewCache(capacity int) *Cache {
+	return NewCacheSharded(capacity, 0)
+}
+
+// NewCacheSharded returns a cache bounded to ~capacity entries split over
+// the given number of shards. shards is rounded up to a power of two,
+// clamped so every shard holds at least one entry, and ≤ 0 selects a
+// default derived from GOMAXPROCS. The effective total capacity is
+// shards × ceil(capacity/shards), so it may exceed the request by less
+// than one entry per shard.
+func NewCacheSharded(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Cache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[string]*list.Element, capacity),
+	if shards <= 0 {
+		shards = defaultShardCount()
 	}
+	shards = nextPowerOfTwo(shards)
+	for shards > 1 && shards > capacity {
+		shards >>= 1
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &Cache{shards: make([]*cacheShard, shards), mask: uint64(shards - 1)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: perShard,
+			order:    list.New(),
+			entries:  make(map[string]*list.Element, perShard),
+			inflight: make(map[string]*flight),
+		}
+	}
+	return c
 }
 
-// CacheStats reports cache effectiveness.
+// defaultShardCount sizes the shard set for the machine: enough shards
+// that GOMAXPROCS concurrent lookups rarely collide, clamped to
+// [8, maxShards].
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0) * 8
+	if n < 8 {
+		n = 8
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return nextPowerOfTwo(n)
+}
+
+// nextPowerOfTwo rounds n up to the next power of two (min 1).
+func nextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// fnv1a is a 64-bit FNV-1a hash of the byte key, folding eight bytes per
+// round instead of one: radius keys run ~300 bytes and the byte-wise
+// loop was over half the warm-hit cost under profile. FNV's multiply
+// only propagates entropy upward, so a final avalanche spreads the high
+// bits back into the low bits the shard mask reads. The hash only
+// selects a shard — equality is always decided by the full key — so a
+// collision costs distribution, never correctness.
+func fnv1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * prime64
+		b = b[8:]
+	}
+	var tail uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(b[i])
+	}
+	h = (h ^ tail) * prime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// shardFor routes a key to its shard.
+func (c *Cache) shardFor(b []byte) *cacheShard {
+	return c.shards[fnv1a(b)&c.mask]
+}
+
+// lock acquires a shard's mutex, counting the acquisitions that had to
+// wait as the cache's contention proxy.
+func (c *Cache) lock(s *cacheShard) {
+	if s.mu.TryLock() {
+		return
+	}
+	c.contended.Add(1)
+	s.mu.Lock()
+}
+
+// CacheStats reports cache effectiveness, merged across every shard.
+// The merge locks one shard at a time, so under concurrent traffic it is
+// a consistent-per-shard (not globally atomic) snapshot.
 type CacheStats struct {
-	// Hits and Misses count Radius calls served from / added to the
-	// cache. Uncacheable impacts (exotic non-pointer Impact
-	// implementations) appear in neither count.
+	// Hits counts Radius calls served from the cache. Misses counts
+	// singleflight leaders: concurrent duplicate solvers of one key count
+	// one miss (the leader) with the duplicates in DupSuppressed, so
+	// HitRate prices real solver work, not queueing. Uncacheable impacts
+	// (exotic non-pointer Impact implementations) appear in no count.
 	Hits, Misses uint64
-	// Size and Capacity describe current occupancy.
+	// DupSuppressed counts calls that coalesced onto another caller's
+	// in-flight computation instead of solving (or missing) themselves.
+	DupSuppressed uint64
+	// Size and Capacity describe current occupancy, summed over shards.
 	Size, Capacity int
+	// Shards is the shard count (a power of two).
+	Shards int
 	// PutFailures counts inserts dropped by injected cache_put faults
 	// (the computed result was still returned to the caller).
 	PutFailures uint64
+	// Contended counts shard-lock acquisitions that found the lock held —
+	// the contention the sharding did not manage to spread.
+	Contended uint64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -86,15 +237,55 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Stats returns a consistent snapshot of the counters.
+// Stats returns the merged counters.
 func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len(), Capacity: c.capacity,
-		PutFailures: c.putFails.Load()}
+	st := CacheStats{
+		Shards:      len(c.shards),
+		PutFailures: c.putFails.Load(),
+		Contended:   c.contended.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.DupSuppressed += s.dup
+		st.Size += s.order.Len()
+		st.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ShardSizes returns the current entry count of every shard, in shard
+// order — the per-shard occupancy the fepiad metrics export.
+func (c *Cache) ShardSizes() []int {
+	if c == nil {
+		return nil
+	}
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.order.Len()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardSize returns the entry count of one shard, or 0 for an index out
+// of range. Scrape-time gauges call this per shard so a scrape stays
+// O(shards) rather than rebuilding the full ShardSizes slice per gauge.
+func (c *Cache) ShardSize(i int) int {
+	if c == nil || i < 0 || i >= len(c.shards) {
+		return 0
+	}
+	s := c.shards[i]
+	s.mu.Lock()
+	n := s.order.Len()
+	s.mu.Unlock()
+	return n
 }
 
 // Radius returns core.ComputeRadius(f, p, opts), memoised. On a hit the
@@ -106,7 +297,7 @@ func (c *Cache) Stats() CacheStats {
 // to RadiusContext with context.Background(), so no fault-injection
 // points fire.
 func (c *Cache) Radius(f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, error) {
-	return c.RadiusContext(context.Background(), f, p, opts)
+	return c.radius(context.Background(), f, p, opts, true)
 }
 
 // RadiusContext is Radius under a context: the harness's cache_get and
@@ -115,105 +306,221 @@ func (c *Cache) Radius(f core.Feature, p core.Perturbation, opts core.Options) (
 // ones); a put-side fault is absorbed — the computed result is returned
 // and only the memoisation is lost, counted in CacheStats.PutFailures.
 func (c *Cache) RadiusContext(ctx context.Context, f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, error) {
+	return c.radius(ctx, f, p, opts, true)
+}
+
+// RadiusContextShared is RadiusContext without the defensive boundary
+// clone: on a hit (or a coalesced miss) the result's Boundary aliases
+// cache-owned memory, so the caller must treat it as read-only. It exists
+// for pipelines that only read the result — the fepiad handlers encode it
+// to JSON and drop it — where the clone is the last allocation on the
+// warm path.
+func (c *Cache) RadiusContextShared(ctx context.Context, f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, error) {
+	return c.radius(ctx, f, p, opts, false)
+}
+
+func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation, opts core.Options, clone bool) (core.RadiusResult, error) {
 	if c == nil {
 		return core.ComputeRadius(f, p, opts)
 	}
-	key, ok := radiusKey(f, p, opts.WithDefaults())
+	kb := keyPool.Get().(*keyBuf)
+	b, ok := appendRadiusKey(kb.b[:0], f, p, opts.WithDefaults())
+	kb.b = b // keep the grown buffer when it goes back to the pool
 	if !ok {
+		keyPool.Put(kb)
 		return core.ComputeRadius(f, p, opts)
 	}
 	gsp := obs.StartSpan(ctx, "cache_get")
 	if err := faults.Inject(ctx, faults.CacheGet); err != nil {
+		keyPool.Put(kb)
 		gsp.End(err)
 		return core.RadiusResult{}, err
 	}
 
-	c.mu.Lock()
-	if el, found := c.entries[key]; found {
-		c.order.MoveToFront(el)
-		c.hits++
+	s := c.shardFor(b)
+	c.lock(s)
+	if el, found := s.entries[string(b)]; found {
+		s.order.MoveToFront(el)
+		s.hits++
 		res := el.Value.(*cacheEntry).result
-		c.mu.Unlock()
+		s.mu.Unlock()
+		keyPool.Put(kb)
 		gsp.Set("hit", "true")
 		gsp.End(nil)
-		res.Boundary = vecmath.Clone(res.Boundary)
+		if clone {
+			res.Boundary = vecmath.Clone(res.Boundary)
+		}
 		// The key identifies the subproblem, not the feature's display
 		// name: re-stamp the caller's name so a hit is indistinguishable
 		// from a fresh core.ComputeRadius call.
 		res.Feature = f.Name
 		return res, nil
 	}
-	c.mu.Unlock()
+	if fl, found := s.inflight[string(b)]; found {
+		// Another caller is already solving this key: park on its flight
+		// instead of duplicating the solve. The leader's verdict — result
+		// or failure — is shared verbatim.
+		s.dup++
+		s.mu.Unlock()
+		keyPool.Put(kb)
+		gsp.Set("hit", "false").Set("coalesced", "true")
+		select {
+		case <-ctx.Done():
+			gsp.End(ctx.Err())
+			return core.RadiusResult{}, ctx.Err()
+		case <-fl.done:
+		}
+		if fl.err != nil {
+			gsp.End(fl.err)
+			return core.RadiusResult{}, fl.err
+		}
+		gsp.End(nil)
+		res := fl.res
+		if clone {
+			res.Boundary = vecmath.Clone(res.Boundary)
+		}
+		res.Feature = f.Name
+		return res, nil
+	}
+	// Miss with no flight in progress: become the leader. The map key is
+	// materialised as a string exactly once, here — never on the hit path.
+	key := string(b)
+	keyPool.Put(kb)
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.misses++
+	s.mu.Unlock()
 	gsp.Set("hit", "false")
 	gsp.End(nil)
+	return c.lead(ctx, s, key, fl, f, p, opts, clone)
+}
+
+// lead runs the computation a singleflight leader owes its waiters and
+// publishes the outcome exactly once. Publication must survive every exit
+// path — including a panicking solve or an injected panic fault at the
+// cache_put point — or parked waiters would deadlock, so the panic path
+// publishes the failure before re-panicking into the caller's per-feature
+// recovery (solveFeature converts it into a typed *core.SolveError).
+func (c *Cache) lead(ctx context.Context, s *cacheShard, key string, fl *flight, f core.Feature, p core.Perturbation, opts core.Options, clone bool) (core.RadiusResult, error) {
+	published := false
+	publish := func(res core.RadiusResult, err error) {
+		fl.res, fl.err = res, err
+		c.lock(s)
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		published = true
+		close(fl.done)
+	}
+	defer func() {
+		if published {
+			return
+		}
+		rec := recover()
+		err := fmt.Errorf("batch: radius singleflight leader exited without publishing")
+		if e, ok := rec.(error); ok {
+			err = e // keep injected faults classifiable by the retry layer
+		} else if rec != nil {
+			err = fmt.Errorf("batch: radius singleflight leader panicked: %v", rec)
+		}
+		publish(core.RadiusResult{}, err)
+		if rec != nil {
+			panic(rec)
+		}
+	}()
 
 	res, err := core.ComputeRadius(f, p, opts)
 	if err != nil {
+		// A failed solve is never cached: the next caller leads a fresh
+		// attempt. Waiters receive this leader's error verbatim.
+		publish(core.RadiusResult{}, err)
 		return core.RadiusResult{}, err
 	}
 
 	psp := obs.StartSpan(ctx, "cache_put")
-	if err := faults.Inject(ctx, faults.CachePut); err != nil {
+	if ferr := faults.Inject(ctx, faults.CachePut); ferr != nil {
+		// A put fault costs only the memoisation — the result still
+		// reaches this caller and every parked waiter.
 		c.putFails.Add(1)
 		psp.Set("dropped", "true")
-		psp.End(err)
-		return res, nil
+		psp.End(ferr)
+		publish(res, nil)
+	} else {
+		c.lock(s)
+		if _, found := s.entries[key]; !found {
+			s.entries[key] = s.order.PushFront(&cacheEntry{key: key, impact: f.Impact, result: res})
+			for s.order.Len() > s.capacity {
+				oldest := s.order.Back()
+				s.order.Remove(oldest)
+				delete(s.entries, oldest.Value.(*cacheEntry).key)
+			}
+		}
+		s.mu.Unlock()
+		psp.End(nil)
+		publish(res, nil)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, found := c.entries[key]; !found {
-		// First writer wins; concurrent solvers of the same key computed
-		// identical results, so dropping duplicates is harmless.
-		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, impact: f.Impact, result: res})
-		for c.order.Len() > c.capacity {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-		}
+	out := res
+	if clone {
+		out.Boundary = vecmath.Clone(out.Boundary)
 	}
-	c.misses++
-	stored := res
-	stored.Boundary = vecmath.Clone(stored.Boundary)
-	psp.End(nil)
-	return stored, nil
+	out.Feature = f.Name
+	return out, nil
 }
 
 // Lookup returns the memoised radius for the subproblem, or ok=false when
-// it is absent or uncacheable. It never starts a solve and no injection
-// point fires — this is the degraded serving path of the fepiad server,
-// which must answer from whatever the cache already holds when the engine
-// is unavailable. A successful lookup refreshes the entry's LRU position
-// but moves neither the hit nor the miss counter, so degraded serving
-// does not distort the cache-effectiveness statistics.
+// it is absent or uncacheable. It never starts a solve, never joins a
+// flight, and no injection point fires — this is the degraded serving
+// path of the fepiad server, which must answer from whatever the cache
+// already holds when the engine is unavailable. A successful lookup
+// refreshes the entry's LRU position but moves neither the hit nor the
+// miss counter, so degraded serving does not distort the
+// cache-effectiveness statistics.
 func (c *Cache) Lookup(f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, bool) {
+	return c.lookup(f, p, opts, true)
+}
+
+// LookupShared is Lookup without the defensive boundary clone; the
+// returned Boundary aliases cache-owned memory and must be treated as
+// read-only (see RadiusContextShared).
+func (c *Cache) LookupShared(f core.Feature, p core.Perturbation, opts core.Options) (core.RadiusResult, bool) {
+	return c.lookup(f, p, opts, false)
+}
+
+func (c *Cache) lookup(f core.Feature, p core.Perturbation, opts core.Options, clone bool) (core.RadiusResult, bool) {
 	if c == nil {
 		return core.RadiusResult{}, false
 	}
-	key, ok := radiusKey(f, p, opts.WithDefaults())
+	kb := keyPool.Get().(*keyBuf)
+	b, ok := appendRadiusKey(kb.b[:0], f, p, opts.WithDefaults())
+	kb.b = b
 	if !ok {
+		keyPool.Put(kb)
 		return core.RadiusResult{}, false
 	}
-	c.mu.Lock()
-	el, found := c.entries[key]
+	s := c.shardFor(b)
+	c.lock(s)
+	el, found := s.entries[string(b)]
 	if !found {
-		c.mu.Unlock()
+		s.mu.Unlock()
+		keyPool.Put(kb)
 		return core.RadiusResult{}, false
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	res := el.Value.(*cacheEntry).result
-	c.mu.Unlock()
-	res.Boundary = vecmath.Clone(res.Boundary)
+	s.mu.Unlock()
+	keyPool.Put(kb)
+	if clone {
+		res.Boundary = vecmath.Clone(res.Boundary)
+	}
 	res.Feature = f.Name
 	return res, true
 }
 
-// radiusKey builds the memoisation key, reporting ok=false for impacts it
-// cannot identify (non-pointer Impact implementations other than
-// LinearImpact).
-func radiusKey(f core.Feature, p core.Perturbation, opts core.Options) (string, bool) {
-	b := make([]byte, 0, 64+8*len(p.Orig))
-
+// appendRadiusKey appends the memoisation key of the subproblem to b,
+// reporting ok=false for impacts it cannot identify (non-pointer Impact
+// implementations other than LinearImpact). Callers pass a pooled buffer
+// so a cache hit constructs its key without allocating.
+func appendRadiusKey(b []byte, f core.Feature, p core.Perturbation, opts core.Options) ([]byte, bool) {
 	switch imp := f.Impact.(type) {
 	case *core.LinearImpact:
 		b = append(b, 'L')
@@ -226,7 +533,7 @@ func radiusKey(f core.Feature, p core.Perturbation, opts core.Options) (string, 
 			b = append(b, 'P')
 			b = binary.LittleEndian.AppendUint64(b, uint64(v.Pointer()))
 		default:
-			return "", false
+			return b, false
 		}
 	}
 
@@ -245,7 +552,7 @@ func radiusKey(f core.Feature, p core.Perturbation, opts core.Options) (string, 
 	b = appendFloats(b, []float64{s.Tol, float64(s.MaxIter), float64(s.Restarts), float64(s.Seed), s.GradStep, s.RayMax})
 	a := opts.Anneal
 	b = appendFloats(b, []float64{float64(a.Steps), a.InitialTemp, a.FinalTemp, a.Sigma, float64(a.Seed), a.Tol, a.RayMax})
-	return string(b), true
+	return b, true
 }
 
 // appendFloat appends the IEEE-754 bit pattern (distinguishes ±0 and

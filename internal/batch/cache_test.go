@@ -126,7 +126,9 @@ func TestCachePointerKeyedFuncImpacts(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
+	// One shard pins the global-LRU semantics this test asserts; the
+	// per-shard variant lives in TestCachePerShardLRUEviction.
+	c := NewCacheSharded(2, 1)
 	p := core.Perturbation{Name: "π", Orig: []float64{0, 0}}
 	f1 := linFeature(t, "1", []float64{1, 0}, 1)
 	f2 := linFeature(t, "2", []float64{0, 1}, 1)

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRuntimeGaugeConcurrentScrapes forces the runtime gauges' cached
+// memstats sample to expire constantly while several scrapers render the
+// registry, so ReadMemStats refreshes interleave with field reads — a
+// race-detector story. A closed channel broadcasts the deadline to every
+// scraper (time.After delivers to only one receiver).
+func TestRuntimeGaugeConcurrentScrapes(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	stop := make(chan struct{})
+	time.AfterFunc(200*time.Millisecond, func() { close(stop) })
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -83,6 +83,18 @@ func newTelemetry(s *Server) telemetry {
 		func() float64 { return float64(cache.Stats().Capacity) })
 	reg.GaugeFunc("fepiad_cache_put_failures", "Radius-cache inserts dropped by injected cache_put faults.",
 		func() float64 { return float64(cache.Stats().PutFailures) })
+	reg.GaugeFunc("fepiad_cache_shards", "Radius-cache shard count (fixed at construction).",
+		func() float64 { return float64(cache.Stats().Shards) })
+	reg.GaugeFunc("fepiad_cache_dup_suppressed", "Radius-cache lookups coalesced onto an in-flight identical solve.",
+		func() float64 { return float64(cache.Stats().DupSuppressed) })
+	reg.GaugeFunc("fepiad_cache_contended", "Radius-cache shard-lock acquisitions that had to wait (contention proxy).",
+		func() float64 { return float64(cache.Stats().Contended) })
+	for i := 0; i < cache.Stats().Shards; i++ {
+		i := i
+		reg.GaugeFunc("fepiad_cache_shard_entries", "Radius-cache occupancy by shard.",
+			func() float64 { return float64(cache.ShardSize(i)) },
+			obs.L("shard", fmt.Sprintf("%d", i)))
+	}
 
 	registerBreaker(reg, epAnalyze, s.analyzeBreaker)
 	registerBreaker(reg, epBatch, s.batchBreaker)
@@ -191,8 +203,10 @@ func (s *Server) writeVars(w io.Writer) {
 	writeBreakerVar(w, "fepiad.breaker.batch", s.batchBreaker)
 
 	cs := s.cache.Stats()
-	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g, \"put_failures\": %d},\n",
-		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate(), cs.PutFailures)
+	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g, \"put_failures\": %d, "+
+		"\"shards\": %d, \"dup_suppressed\": %d, \"contended\": %d},\n",
+		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate(), cs.PutFailures,
+		cs.Shards, cs.DupSuppressed, cs.Contended)
 
 	// Per-endpoint latency histograms plus the merged aggregate the
 	// pre-split dashboards read.

@@ -96,6 +96,11 @@ type Config struct {
 	// CacheCapacity bounds the shared radius cache (≤ 0 selects
 	// batch.DefaultCacheCapacity).
 	CacheCapacity int
+	// CacheShards is the shard count of the shared radius cache, rounded
+	// up to a power of two (≤ 0 selects a default derived from
+	// GOMAXPROCS). Results are identical for any shard count; only
+	// multi-core contention changes.
+	CacheShards int
 	// DrainTimeout is how long Run waits for in-flight requests after
 	// shutdown is requested before force-cancelling their analyses.
 	DrainTimeout time.Duration
@@ -210,7 +215,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		cache: batch.NewCache(cfg.CacheCapacity),
+		cache: batch.NewCacheSharded(cfg.CacheCapacity, cfg.CacheShards),
 		gate:  make(chan struct{}, cfg.MaxInFlight),
 		mux:   http.NewServeMux(),
 	}
@@ -491,8 +496,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.beforeAnalyze != nil {
 		s.beforeAnalyze()
 	}
+	// ShareBoundaries: the analysis is encoded to JSON and dropped, so
+	// cached boundary points need no defensive clone — the warm-hit path
+	// stays allocation-free.
 	a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry})
+		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true})
 	s.breakerReport(s.analyzeBreaker, err)
 	if err != nil {
 		if s.cfg.Degraded && degradable(err) {
@@ -551,7 +559,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	err = batch.ForEach(ctx, len(systems), s.cfg.Workers, func(i int) error {
 		sys := systems[i]
 		a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry})
+			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true})
 		if err != nil {
 			return fmt.Errorf("systems[%d] (%s): %w", i, sys.Name, err)
 		}
@@ -668,7 +676,7 @@ func (s *Server) cachedResults(systems []*spec.System) ([]spec.ResultJSON, bool)
 	results := make([]spec.ResultJSON, len(systems))
 	for i, sys := range systems {
 		a, ok := batch.AnalyzeCached(batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-			batch.Options{Cache: s.cache, Core: sys.Options})
+			batch.Options{Cache: s.cache, Core: sys.Options, ShareBoundaries: true})
 		if !ok {
 			return nil, false
 		}

@@ -182,8 +182,20 @@ type (
 )
 
 // NewRadiusCache returns a radius memoization cache bounded to the given
-// number of entries (≤ 0 selects the default capacity).
+// number of entries (≤ 0 selects the default capacity). The cache is
+// sharded for multi-core scaling with a shard count derived from
+// GOMAXPROCS; use NewRadiusCacheSharded to pin it.
 func NewRadiusCache(capacity int) *RadiusCache { return batch.NewCache(capacity) }
+
+// NewRadiusCacheSharded returns a radius cache with an explicit shard
+// count (rounded up to a power of two, clamped to the entry budget;
+// ≤ 0 selects the GOMAXPROCS-derived default). Results are identical
+// for any shard count — sharding only spreads lock contention —
+// and concurrent misses on one subproblem are coalesced into a single
+// solve regardless of sharding.
+func NewRadiusCacheSharded(capacity, shards int) *RadiusCache {
+	return batch.NewCacheSharded(capacity, shards)
+}
 
 // AnalyzeBatch evaluates every job concurrently over a bounded worker
 // pool and returns one Analysis per job, in input order. Each result is

@@ -54,6 +54,9 @@ for series in \
     'fepiad_requests_total{endpoint="analyze"} 1' \
     'fepiad_request_duration_ms_count{endpoint="analyze"} 1' \
     'fepiad_analyses_total 1' \
+    'fepiad_cache_shards' \
+    'fepiad_cache_dup_suppressed' \
+    'fepiad_cache_shard_entries{shard="0"}' \
     'go_goroutines'; do
     grep -qF "$series" "$TMP/metrics.txt" || {
         echo "smoke: /metrics missing: $series" >&2
@@ -64,7 +67,7 @@ done
 
 echo "smoke: GET /debug/vars"
 curl -fsS "$BASE/debug/vars" >"$TMP/vars.json"
-for key in '"fepiad.requests": 1' '"fepiad.latency_ms.analyze"' '"fepiad.cache"'; do
+for key in '"fepiad.requests": 1' '"fepiad.latency_ms.analyze"' '"fepiad.cache"' '"dup_suppressed"' '"shards"'; do
     grep -qF "$key" "$TMP/vars.json" || {
         echo "smoke: /debug/vars missing: $key" >&2
         cat "$TMP/vars.json" >&2
