@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench microbench report tier1 tier2 serve loadtest fuzz chaos smoke
+.PHONY: all build test race vet lint lintdoc checklinks bench microbench report tier1 tier2 serve loadtest fuzz chaos smoke
 
 all: tier1
 
@@ -13,14 +13,25 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint: go vet always; staticcheck when installed (CI installs it, local
-# runs skip it gracefully rather than demand a tool download).
-lint: vet
+# lint: go vet and the exported-identifier doc-comment audit always;
+# staticcheck when installed (CI installs it, local runs skip it
+# gracefully rather than demand a tool download).
+lint: vet lintdoc
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed, skipping (go vet ran)"; \
 	fi
+
+# lintdoc: fail when an exported identifier in the audited packages
+# (internal/vecmath, internal/batch, internal/kernel) has no doc comment.
+lintdoc:
+	./scripts/lintdoc.sh
+
+# checklinks: verify intra-repo markdown links in README.md and docs/
+# resolve to existing files (CI docs job).
+checklinks:
+	./scripts/checklinks.sh
 
 # Race-detector run over the whole module, with an explicit pass over the
 # concurrent batch engine (worker pool + shared radius cache).
@@ -28,9 +39,11 @@ race:
 	$(GO) test -race ./internal/batch/...
 	$(GO) test -race ./...
 
-# bench: the reproducible cache benchmark harness — pinned seeds, frozen
-# single-mutex baseline vs the live sharded cache, BENCH_5.json artifact
-# with a >=2x contended-speedup gate (see cmd/bench).
+# bench: the reproducible benchmark harness — pinned seeds, frozen
+# single-mutex baseline vs the live sharded cache, SoA kernel vs the
+# per-feature analytic loop, BENCH_6.json artifact with >=2x contended
+# and >=4x kernel speedup gates plus byte-identity checks (see cmd/bench
+# and docs/PERFORMANCE.md).
 bench:
 	./scripts/bench.sh
 

@@ -1,9 +1,10 @@
-// Command bench is the reproducible cache benchmark harness behind
+// Command bench is the reproducible benchmark harness behind
 // `make bench`. It times the radius cache on a fixed-seed workload in
 // three scenarios — cold (every key a first-touch miss), warm
 // (single-threaded re-reads of a resident working set, with allocation
 // counts), and contended (1..NumCPU workers hammering one shared cache) —
-// and writes the series to a JSON report (BENCH_5.json in CI).
+// plus the vectorized SoA kernel series, and writes everything to a JSON
+// report (BENCH_6.json in CI).
 //
 // To make the speedup claims auditable from the report alone, the
 // harness embeds a frozen copy of the pre-sharding cache — one global
@@ -13,7 +14,16 @@
 // the comparison isolates exactly what changed: shard routing,
 // singleflight, and the allocation-free hit path.
 //
-//	bench -out BENCH_5.json -seed 2003 -keys 512 -dim 8
+// The kernel series compare internal/kernel against the per-feature
+// analytic loop it replaces, on the identical workload: kernel_warm
+// (pack reused across sweeps — the steady-state shape), kernel_cold
+// (Pack plus one sweep from nothing), and mixed (linear + convex
+// features through batch.AnalyzeOneContext with the kernel on and off).
+// Byte-identity between the two paths is verified inside the harness and
+// recorded in the summary, so the speedup figures are only ever claimed
+// for bit-equal results.
+//
+//	bench -out BENCH_6.json -seed 2003 -keys 512 -dim 8
 //
 // The workload is deterministic for a given flag set; timings move with
 // the machine, allocation counts do not.
@@ -37,13 +47,14 @@ import (
 	"fepia/internal/batch"
 	"fepia/internal/core"
 	"fepia/internal/faults"
+	"fepia/internal/kernel"
 	"fepia/internal/obs"
 	"fepia/internal/vecmath"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_5.json", "report path")
+		out     = flag.String("out", "BENCH_6.json", "report path")
 		seed    = flag.Int64("seed", 2003, "workload seed")
 		keys    = flag.Int("keys", 512, "distinct radius subproblems in the working set")
 		dim     = flag.Int("dim", 8, "perturbation dimensionality")
@@ -51,6 +62,7 @@ func main() {
 		reps    = flag.Int("reps", 5, "repetitions per scenario; the report keeps the fastest")
 		workers = flag.Int("workers", 0, "max contended worker count (0 = NumCPU)")
 		shards  = flag.Int("shards", 0, "shard count of the live cache (0 = default)")
+		sweeps  = flag.Int("sweeps", 100, "full working-set sweeps per warm-kernel measurement")
 	)
 	flag.Parse()
 
@@ -65,7 +77,7 @@ func main() {
 	rep := report{
 		Meta: meta{
 			Seed: *seed, Keys: *keys, Dim: *dim, Iters: *iters, Reps: *reps,
-			MaxWorkers: maxWorkers, Shards: *shards,
+			MaxWorkers: maxWorkers, Shards: *shards, Sweeps: *sweeps,
 			NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
 		},
 	}
@@ -145,6 +157,94 @@ func main() {
 		})...)
 	}
 
+	// Kernel: the vectorized SoA analytic kernel against the per-feature
+	// analytic loop it replaces, on the identical all-linear workload.
+	// Byte-identity is asserted before anything is timed: a speedup over
+	// results that differ would be meaningless.
+	copts := opts.WithDefaults()
+	kb, err := kernel.Pack(features, *dim, copts.Norm)
+	if err != nil {
+		fatal(err)
+	}
+	scalarOut := make([]core.RadiusResult, len(features))
+	kernelOut := make([]core.RadiusResult, len(features))
+	for k, f := range features {
+		scalarOut[k] = mustRadiusResult(core.ComputeRadius(f, p, opts))
+	}
+	fb, err := kb.Compute(p.Orig, kernelOut)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Summary.KernelIdentical = len(fb) == 0 && resultsIdentical(scalarOut, kernelOut)
+
+	// Warm: the steady-state sweep shape — one pack reused across
+	// operating-point sweeps, head-to-head with the scalar loop.
+	kOps := *sweeps * len(features)
+	rep.add(measureInterleaved("kernel_warm", 1, *reps, kOps, []contender{
+		{"perfeature", func() {
+			for s := 0; s < *sweeps; s++ {
+				for i, f := range features {
+					scalarOut[i] = mustRadiusResult(core.ComputeRadius(f, p, opts))
+				}
+			}
+		}},
+		{"kernel", func() {
+			for s := 0; s < *sweeps; s++ {
+				if _, err := kb.Compute(p.Orig, kernelOut); err != nil {
+					fatal(err)
+				}
+			}
+		}},
+	})...)
+
+	// Cold: Pack from nothing plus a single sweep — what one engine
+	// request pays — against one scalar pass over the same features.
+	rep.add(measureInterleaved("kernel_cold", 1, *reps, len(features), []contender{
+		{"perfeature", func() {
+			for i, f := range features {
+				scalarOut[i] = mustRadiusResult(core.ComputeRadius(f, p, opts))
+			}
+		}},
+		{"kernel", func() {
+			b, err := kernel.Pack(features, *dim, copts.Norm)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := b.Compute(p.Orig, kernelOut); err != nil {
+				fatal(err)
+			}
+		}},
+	})...)
+
+	// Mixed: one in four features is a convex quadratic the kernel must
+	// route to internal/optimize, driven through the real engine entry
+	// point with the kernel on and off. The identity check covers the
+	// whole analysis, proving routing loses nothing.
+	mixedFeatures := mixedWorkload(features, *dim)
+	mixedJob := batch.Job{Features: mixedFeatures, Perturbation: p}
+	aOff, err := batch.AnalyzeOneContext(context.Background(), mixedJob, batch.Options{Core: opts})
+	if err != nil {
+		fatal(err)
+	}
+	aOn, err := batch.AnalyzeOneContext(context.Background(), mixedJob, batch.Options{Core: opts, Kernel: true})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Summary.KernelMixedIdentical = math.Float64bits(aOn.Robustness) == math.Float64bits(aOff.Robustness) &&
+		resultsIdentical(aOn.Radii, aOff.Radii)
+	rep.add(measureInterleaved("mixed", 1, *reps, len(mixedFeatures), []contender{
+		{"perfeature", func() {
+			if _, err := batch.AnalyzeOneContext(context.Background(), mixedJob, batch.Options{Core: opts}); err != nil {
+				fatal(err)
+			}
+		}},
+		{"kernel", func() {
+			if _, err := batch.AnalyzeOneContext(context.Background(), mixedJob, batch.Options{Core: opts, Kernel: true}); err != nil {
+				fatal(err)
+			}
+		}},
+	})...)
+
 	rep.summarise(maxWorkers)
 
 	f, err := os.Create(*out)
@@ -159,8 +259,71 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: contended x%d speedup %.2fx, warm shared allocs/op %.2f\n",
-		*out, rep.Summary.ContendedWorkers, rep.Summary.ContendedSpeedup, rep.Summary.WarmSharedAllocs)
+	fmt.Printf("wrote %s: contended x%d speedup %.2fx, warm shared allocs/op %.2f, kernel warm %.2fx cold %.2fx identical %v mixed-identical %v\n",
+		*out, rep.Summary.ContendedWorkers, rep.Summary.ContendedSpeedup, rep.Summary.WarmSharedAllocs,
+		rep.Summary.KernelSpeedup, rep.Summary.KernelColdSpeedup, rep.Summary.KernelIdentical, rep.Summary.KernelMixedIdentical)
+}
+
+// mixedWorkload replaces every fourth feature of the linear working set
+// with a convex quadratic FuncImpact of the same dimension, keeping the
+// rest untouched — the shape of a real request where the kernel takes
+// the linear majority and internal/optimize keeps the remainder.
+func mixedWorkload(features []core.Feature, dim int) []core.Feature {
+	mixed := make([]core.Feature, len(features))
+	copy(mixed, features)
+	for k := 3; k < len(mixed); k += 4 {
+		mixed[k] = core.Feature{
+			Name: mixed[k].Name,
+			Impact: &core.FuncImpact{
+				N: dim,
+				F: func(pi []float64) float64 {
+					s := 0.0
+					for _, v := range pi {
+						s += v * v
+					}
+					return s
+				},
+				Convex: true,
+			},
+			// orig entries sit in [0.5, 1.5], so ‖π^orig‖² ≤ 2.25·dim: a
+			// bound at 4·dim is feasible and reachable for every feature.
+			Bounds: core.NoMin(4 * float64(dim)),
+		}
+	}
+	return mixed
+}
+
+// resultsIdentical compares two result slices by IEEE-754 bit pattern —
+// the same predicate the kernel's property tests use.
+func resultsIdentical(a, b []core.RadiusResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Feature != y.Feature || x.Kind != y.Kind || x.Method != y.Method {
+			return false
+		}
+		if math.Float64bits(x.Radius) != math.Float64bits(y.Radius) {
+			return false
+		}
+		if (x.Boundary == nil) != (y.Boundary == nil) || len(x.Boundary) != len(y.Boundary) {
+			return false
+		}
+		for j := range x.Boundary {
+			if math.Float64bits(x.Boundary[j]) != math.Float64bits(y.Boundary[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mustRadiusResult(r core.RadiusResult, err error) core.RadiusResult {
+	if err != nil {
+		fatal(err)
+	}
+	return r
 }
 
 // workload builds the fixed-seed working set: keys distinct affine
@@ -239,6 +402,7 @@ type meta struct {
 	Reps       int    `json:"reps"`
 	MaxWorkers int    `json:"max_workers"`
 	Shards     int    `json:"shards"`
+	Sweeps     int    `json:"sweeps"`
 	NumCPU     int    `json:"num_cpu"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
@@ -258,6 +422,20 @@ type summary struct {
 	WarmBaselineAllocs float64 `json:"warm_hit_allocs_baseline"`
 	WarmClonedAllocs   float64 `json:"warm_hit_allocs_sharded"`
 	WarmSharedAllocs   float64 `json:"warm_hit_allocs_sharded_shared"`
+	// KernelSpeedup is per-feature ns/op divided by SoA-kernel ns/op on
+	// the warm sweep — the ≥4x acceptance figure of the kernel series.
+	// KernelColdSpeedup is the same ratio when the kernel also pays for
+	// Pack. Both ratios are only claimed when KernelIdentical held.
+	KernelSpeedup      float64 `json:"kernel_speedup"`
+	KernelColdSpeedup  float64 `json:"kernel_cold_speedup"`
+	KernelPerFeatureNs float64 `json:"kernel_perfeature_ns_per_op"`
+	KernelNsPerOp      float64 `json:"kernel_ns_per_op"`
+	// KernelIdentical records that the kernel reproduced the scalar
+	// path's RadiusResults bit for bit on the all-linear workload;
+	// KernelMixedIdentical the same through batch.AnalyzeOneContext on
+	// the mixed linear/convex workload (routing included).
+	KernelIdentical      bool `json:"kernel_identical"`
+	KernelMixedIdentical bool `json:"kernel_mixed_identical"`
 }
 
 type report struct {
@@ -295,6 +473,14 @@ func (r *report) summarise(maxWorkers int) {
 	}
 	if s := r.find("warm_hit_shared", "sharded", 1); s != nil {
 		r.Summary.WarmSharedAllocs = s.AllocsPerOp
+	}
+	if pf, k := r.find("kernel_warm", "perfeature", 1), r.find("kernel_warm", "kernel", 1); pf != nil && k != nil && k.NsPerOp > 0 {
+		r.Summary.KernelSpeedup = pf.NsPerOp / k.NsPerOp
+		r.Summary.KernelPerFeatureNs = pf.NsPerOp
+		r.Summary.KernelNsPerOp = k.NsPerOp
+	}
+	if pf, k := r.find("kernel_cold", "perfeature", 1), r.find("kernel_cold", "kernel", 1); pf != nil && k != nil && k.NsPerOp > 0 {
+		r.Summary.KernelColdSpeedup = pf.NsPerOp / k.NsPerOp
 	}
 }
 

@@ -1,26 +1,3 @@
-// Package batch is the concurrent batch-analysis engine: it evaluates
-// many robustness analyses (N mappings × M perturbation parameters) over
-// a bounded worker pool with deterministic result ordering and context
-// cancellation, and memoises individual robustness radii in an LRU cache
-// so repeated evaluations of identical subproblems — the same impact
-// function against the same bounds at the same operating point — are
-// solved once.
-//
-// The paper's evaluation (§4) is embarrassingly parallel: every radius
-// r_μ(φ_i, π_j) of Eq. 1 is an independent minimum-norm problem, and the
-// §4.2/§4.3 experiments evaluate 1000 random mappings whose feature sets
-// overlap heavily (two mappings that place the same applications on some
-// machine induce the identical hyperplane for that machine). This package
-// exploits both facts. It underlies robustness.AnalyzeBatch on the public
-// facade, the experiment harness in internal/experiments, the Monte-Carlo
-// certifier's CertifyAll, and the population evaluation inside the
-// robustness-aware heuristics.
-//
-// Determinism: Analyze returns results indexed exactly like its input —
-// result i is byte-identical to what core.Analyze would have produced for
-// job i — regardless of worker count, cache state, or scheduling order.
-// All engine state (the worker pool, the cache) is safe for concurrent
-// use from multiple goroutines.
 package batch
 
 import (
@@ -64,6 +41,21 @@ type Options struct {
 	// results escape to callers that might mutate them (the public
 	// facade).
 	ShareBoundaries bool
+	// Kernel routes eligible features — valid linear impacts under an
+	// ℓ₂/ℓ₁/ℓ∞/weighted-ℓ₂ norm — through the vectorized SoA analytic
+	// kernel (internal/kernel): all their radii are computed in one
+	// cache-friendly sweep with results bit-identical to the per-feature
+	// path. Ineligible features (non-linear impacts, unsupported or
+	// mismatched norms, invalid inputs) keep the exact per-feature path,
+	// as does the whole job on a fault-injected request, so chaos
+	// injection points never silently disappear. Traced requests use the
+	// kernel and record one "kernel" span for the sweep in place of
+	// per-feature solve spans. Kernel-computed radii bypass the radius
+	// cache in both directions: they are cheaper than a warm hit, but
+	// they also do not populate entries for degraded serving (see
+	// docs/PERFORMANCE.md for the routing rules and the measured
+	// trade-off).
+	Kernel bool
 }
 
 // workers resolves the effective worker count.
@@ -208,7 +200,15 @@ func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysi
 	}
 	copts := opts.Core.WithDefaults()
 	radii := make([]core.RadiusResult, len(job.Features))
+	// With Options.Kernel set, the vectorized analytic kernel fills the
+	// slots of every eligible linear feature in one SoA sweep; the loop
+	// below then only visits what the kernel could not take (solved is
+	// nil when the kernel is off or nothing was eligible).
+	solved := kernelSolve(ctx, job, copts, opts, radii)
 	for i, f := range job.Features {
+		if solved != nil && solved[i] {
+			continue
+		}
 		if err := ctx.Err(); err != nil {
 			return core.Analysis{}, err
 		}

@@ -1,0 +1,99 @@
+package batch
+
+import (
+	"context"
+	"strconv"
+
+	"fepia/internal/core"
+	"fepia/internal/faults"
+	"fepia/internal/kernel"
+	"fepia/internal/obs"
+)
+
+// kernelSolve is the engine's routing step for Options.Kernel: it packs
+// the kernel-eligible subset of the job's features into one SoA batch,
+// computes their radii in a single sweep, scatters the results into
+// their input-ordered slots, and returns a mask of the slots it filled.
+// A nil return means "kernel took nothing" — the caller's per-feature
+// loop then behaves exactly as if Kernel were off.
+//
+// Routing rules (the full table lives in docs/PERFORMANCE.md):
+//
+//   - a request carrying a fault injector keeps the per-feature path
+//     wholesale, so the solve/cache_get/cache_put injection points fire
+//     per feature exactly as the chaos suite expects;
+//   - an invalid perturbation keeps the per-feature path so the scalar
+//     validation error is surfaced verbatim;
+//   - per feature, only valid linear impacts of matching dimension under
+//     a supported norm are packed (kernel.Eligible); everything else —
+//     convex/non-convex impacts headed for internal/optimize, exotic
+//     norms, malformed features — keeps the per-feature path;
+//   - a feature whose impact evaluates to NaN at the operating point is
+//     handed back by the kernel and re-routed through the scalar path,
+//     which owns that error's wording.
+//
+// Traced requests DO use the kernel (fepiad traces every request into
+// the /debug/traces ring, so falling back on trace presence would
+// disable the kernel for the whole serving surface); the sweep records
+// one "kernel" span carrying the solved/fallback counts, and only the
+// features re-routed to the per-feature path get individual solve
+// spans.
+//
+// The kernel path consults no cache and fires no injection point; its
+// results are nevertheless bit-identical to the cached per-feature path
+// because the cache stores exactly what core.ComputeRadius returns.
+func kernelSolve(ctx context.Context, job Job, copts core.Options, opts Options, radii []core.RadiusResult) []bool {
+	if !opts.Kernel {
+		return nil
+	}
+	if faults.From(ctx) != nil {
+		return nil
+	}
+	if job.Perturbation.Validate() != nil {
+		return nil
+	}
+	dim := len(job.Perturbation.Orig)
+	if !kernel.SupportedNorm(copts.Norm) {
+		return nil
+	}
+	idx := make([]int, 0, len(job.Features))
+	for i, f := range job.Features {
+		if kernel.Eligible(f, dim, copts.Norm) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	sp := obs.StartSpan(ctx, "kernel")
+	eligible := make([]core.Feature, len(idx))
+	for j, i := range idx {
+		eligible[j] = job.Features[i]
+	}
+	b, err := kernel.Pack(eligible, dim, copts.Norm)
+	if err != nil {
+		// Defensive: Eligible vetted every feature, so Pack cannot fail;
+		// if it ever does, the per-feature path still produces a correct
+		// answer (or the authoritative error).
+		sp.End(err)
+		return nil
+	}
+	out := make([]core.RadiusResult, len(idx))
+	fallback, err := b.Compute(job.Perturbation.Orig, out)
+	if err != nil {
+		sp.End(err)
+		return nil
+	}
+	solved := make([]bool, len(job.Features))
+	for j, i := range idx {
+		solved[i] = true
+		radii[i] = out[j]
+	}
+	for _, j := range fallback {
+		solved[idx[j]] = false
+	}
+	sp.Set("features", strconv.Itoa(len(idx)-len(fallback)))
+	sp.Set("fallback", strconv.Itoa(len(fallback)))
+	sp.End(nil)
+	return solved
+}

@@ -245,7 +245,7 @@ func distanceToLevel(imp Impact, orig []float64, beta float64, opts Options) (fl
 // form of the point-to-plane formula.
 func linearDistance(lin *LinearImpact, orig []float64, beta float64, norm vecmath.Norm) (float64, []float64, Method, error) {
 	residual := beta - lin.Eval(orig)
-	dual, err := dualNorm(lin.Coeffs, norm)
+	dual, err := DualNorm(lin.Coeffs, norm)
 	if err != nil {
 		return 0, nil, MethodNone, err
 	}
@@ -266,9 +266,15 @@ func linearDistance(lin *LinearImpact, orig []float64, beta float64, norm vecmat
 	return dist, x, MethodHyperplane, nil
 }
 
-// dualNorm returns ‖a‖_* for the dual of the chosen norm:
-// ℓ₂↔ℓ₂, ℓ₁↔ℓ∞, ℓ∞↔ℓ₁, weighted-ℓ₂(w) ↔ sqrt(Σ a_i²/w_i).
-func dualNorm(a []float64, norm vecmath.Norm) (float64, error) {
+// DualNorm returns ‖a‖_* for the dual of the chosen norm:
+// ℓ₂↔ℓ₂, ℓ₁↔ℓ∞, ℓ∞↔ℓ₁, weighted-ℓ₂(w) ↔ sqrt(Σ a_i²/w_i). It is the
+// single source of truth for the dual-norm factor of the linear radius
+// formula — internal/kernel precomputes it per feature at pack time, so
+// kernel and scalar path agree bit for bit by construction. It errors on
+// a weighted norm whose weight vector does not match the coefficient
+// dimension, and wraps ErrNormUnsupported for norms with no analytic
+// dual here.
+func DualNorm(a []float64, norm vecmath.Norm) (float64, error) {
 	switch n := norm.(type) {
 	case vecmath.L2:
 		return vecmath.Euclidean(a), nil

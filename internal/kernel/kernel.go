@@ -1,0 +1,312 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// SupportedNorm reports whether the kernel has an analytic dual for the
+// norm: ℓ₂ (nil selects it, matching core.Options), ℓ₁, ℓ∞, and
+// weighted-ℓ₂. Any other norm keeps the scalar path, which rejects it
+// with core.ErrNormUnsupported for linear impacts it cannot handle.
+func SupportedNorm(n vecmath.Norm) bool {
+	switch n.(type) {
+	case nil, vecmath.L2, vecmath.L1, vecmath.LInf, *vecmath.WeightedL2:
+		return true
+	default:
+		return false
+	}
+}
+
+// Eligible reports whether one feature can be routed through the kernel
+// for a perturbation of the given dimension: a valid linear impact of
+// matching dimension under a supported norm (a weighted norm must also
+// match the dimension — a mismatch must surface the scalar path's
+// SolveError, not a kernel guess). Ineligible features keep the exact
+// per-feature path, so routing never changes results or error text.
+func Eligible(f core.Feature, dim int, norm vecmath.Norm) bool {
+	lin, ok := f.Impact.(*core.LinearImpact)
+	if !ok || lin == nil {
+		return false
+	}
+	if len(lin.Coeffs) != dim {
+		return false
+	}
+	if f.Validate() != nil {
+		return false
+	}
+	if !SupportedNorm(norm) {
+		return false
+	}
+	if w, ok := norm.(*vecmath.WeightedL2); ok && len(w.W) != dim {
+		return false
+	}
+	return true
+}
+
+// Batch is the packed struct-of-arrays form of n linear features: flat
+// per-feature blocks built once per mapping (Pack) and swept per
+// operating point (Compute). The coefficient block plus the offset,
+// bound, dual-norm, and squared-norm arrays fully determine every radius
+// except the dot product a_k·π^orig, which is the only per-point work.
+//
+// A Batch is immutable after Pack except for its internal dot-product
+// scratch, so it may be shared for reading but Compute must not be
+// called concurrently on one Batch. The batch engine builds one Batch
+// per job; sweep drivers reuse one Batch across operating points from a
+// single goroutine.
+type Batch struct {
+	n, dim int
+	// coeffs is the flat row-major coefficient block: feature k's
+	// coefficients occupy coeffs[k*dim : (k+1)*dim].
+	coeffs []float64
+	// offsets, minB, maxB are the affine constants and the tolerable
+	// bounds ⟨β^min, β^max⟩, one entry per feature.
+	offsets, minB, maxB []float64
+	// dual is ‖a_k‖_* under the pack norm (core.DualNorm), hoisted out of
+	// the per-point sweep; aa is the compensated ‖a_k‖₂² the boundary
+	// projection divides by.
+	dual, aa []float64
+	// names re-stamps results with the caller's feature names.
+	names []string
+	// dots is the per-Compute scratch holding a_k·π^orig.
+	dots []float64
+}
+
+// Len returns the packed feature count.
+func (b *Batch) Len() int { return b.n }
+
+// Dim returns the perturbation dimension the pack was built for.
+func (b *Batch) Dim() int { return b.dim }
+
+// Pack builds the SoA form of the features for perturbations of the
+// given dimension under the given norm (nil selects ℓ₂, matching
+// core.Options.WithDefaults). Every feature must satisfy Eligible; Pack
+// errors on any that does not, because silently keeping it would change
+// which path computes its radius. The pack is reusable across operating
+// points: nothing in it depends on π^orig.
+func Pack(features []core.Feature, dim int, norm vecmath.Norm) (*Batch, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("kernel: non-positive perturbation dimension %d", dim)
+	}
+	if norm == nil {
+		norm = vecmath.L2{}
+	}
+	n := len(features)
+	b := &Batch{
+		n: n, dim: dim,
+		coeffs:  make([]float64, n*dim),
+		offsets: make([]float64, n),
+		minB:    make([]float64, n),
+		maxB:    make([]float64, n),
+		dual:    make([]float64, n),
+		aa:      make([]float64, n),
+		names:   make([]string, n),
+		dots:    make([]float64, n),
+	}
+	for k, f := range features {
+		if !Eligible(f, dim, norm) {
+			return nil, fmt.Errorf("kernel: feature %q is not kernel-eligible", f.Name)
+		}
+		lin := f.Impact.(*core.LinearImpact)
+		copy(b.coeffs[k*dim:(k+1)*dim], lin.Coeffs)
+		b.offsets[k] = lin.Offset
+		b.minB[k] = f.Bounds.Min
+		b.maxB[k] = f.Bounds.Max
+		b.names[k] = f.Name
+		// The dual-norm factor and the squared ℓ₂ norm are computed by the
+		// same code the scalar path runs (core.DualNorm, vecmath.Dot), so
+		// the per-point sweep starts from bit-identical constants.
+		d, err := core.DualNorm(lin.Coeffs, norm)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: feature %q: %w", f.Name, err)
+		}
+		b.dual[k] = d
+		b.aa[k] = vecmath.Dot(lin.Coeffs, lin.Coeffs)
+	}
+	return b, nil
+}
+
+// Compute evaluates every packed feature's robustness radius at the
+// operating point and writes out[k] for feature k. Results are
+// bit-identical to core.ComputeRadius on the same inputs. The rare
+// features whose impact evaluates to NaN at the operating point (an
+// overflowing dot product) are NOT written; their indices are returned
+// in fallback so the caller can route them through the scalar path,
+// which owns the error wording for that case. Boundary witnesses are
+// carved from one backing allocation per sweep (full-capacity slices, so
+// appends never alias a neighbour); callers that let results escape to
+// mutating consumers get the same value semantics as the scalar path.
+//
+// Compute is not safe for concurrent use on one Batch (it reuses the
+// dot-product scratch); use one Batch per goroutine.
+func (b *Batch) Compute(orig []float64, out []core.RadiusResult) (fallback []int, err error) {
+	if len(orig) != b.dim {
+		return nil, fmt.Errorf("kernel: operating-point dimension %d != pack dimension %d", len(orig), b.dim)
+	}
+	if len(out) < b.n {
+		return nil, fmt.Errorf("kernel: result slice length %d < feature count %d", len(out), b.n)
+	}
+	b.dotSweep(orig)
+	// One backing block for every boundary witness of the sweep: the
+	// per-feature make([]float64, dim) of the scalar path amortises to
+	// one allocation per batch.
+	block := make([]float64, 0, b.n*b.dim)
+	for k := 0; k < b.n; k++ {
+		if !b.result(k, orig, &block, &out[k]) {
+			fallback = append(fallback, k)
+		}
+	}
+	return fallback, nil
+}
+
+// dotSweep fills dots[k] = a_k·π^orig for every feature, four features
+// per iteration. Each feature owns an independent Kahan–Babuška
+// accumulator pair held in registers, so the per-feature accumulation
+// order — and therefore every rounding and compensation step — is
+// exactly vecmath.Dot's, while the four independent carry chains let the
+// CPU overlap what the scalar path serialises.
+func (b *Batch) dotSweep(orig []float64) {
+	dim := b.dim
+	k := 0
+	for ; k+4 <= b.n; k += 4 {
+		r0 := b.coeffs[(k+0)*dim : (k+1)*dim]
+		r1 := b.coeffs[(k+1)*dim : (k+2)*dim]
+		r2 := b.coeffs[(k+2)*dim : (k+3)*dim]
+		r3 := b.coeffs[(k+3)*dim : (k+4)*dim]
+		var s0, c0, s1, c1, s2, c2, s3, c3 float64
+		for i, x := range orig {
+			s0, c0 = kahanAdd(s0, c0, r0[i]*x)
+			s1, c1 = kahanAdd(s1, c1, r1[i]*x)
+			s2, c2 = kahanAdd(s2, c2, r2[i]*x)
+			s3, c3 = kahanAdd(s3, c3, r3[i]*x)
+		}
+		b.dots[k+0] = s0 + c0
+		b.dots[k+1] = s1 + c1
+		b.dots[k+2] = s2 + c2
+		b.dots[k+3] = s3 + c3
+	}
+	for ; k < b.n; k++ {
+		row := b.coeffs[k*dim : (k+1)*dim]
+		var s, c float64
+		for i, x := range orig {
+			s, c = kahanAdd(s, c, row[i]*x)
+		}
+		b.dots[k] = s + c
+	}
+}
+
+// kahanAdd is one Kahan–Babuška (Neumaier) accumulation step, term for
+// term the arithmetic of vecmath.KahanSum.Add, in a form the compiler
+// inlines with the state in registers.
+func kahanAdd(s, c, x float64) (float64, float64) {
+	t := s + x
+	if math.Abs(s) >= math.Abs(x) {
+		c += (s - t) + x
+	} else {
+		c += (x - t) + s
+	}
+	return t, c
+}
+
+// result assembles feature k's RadiusResult from the precomputed pack
+// constants and the swept dot product, replaying core.ComputeRadius's
+// decision sequence exactly: NaN check, already-violated check, then the
+// β^max side followed by the β^min side with a strictly-smaller
+// comparison (so ties keep the β^max witness, like the scalar loop). It
+// reports false — compute nothing — for the NaN case, whose error text
+// belongs to the scalar path.
+func (b *Batch) result(k int, orig []float64, block *[]float64, out *core.RadiusResult) bool {
+	dot := b.dots[k]
+	v0 := dot + b.offsets[k]
+	if math.IsNaN(v0) {
+		return false
+	}
+	if !(v0 >= b.minB[k] && v0 <= b.maxB[k]) {
+		// Already violated at the operating point: radius zero, the
+		// operating point itself is the witness.
+		*out = core.RadiusResult{
+			Feature:  b.names[k],
+			Radius:   0,
+			Boundary: b.carve(block, orig),
+			Kind:     core.AlreadyViolated,
+			Method:   core.MethodNone,
+		}
+		return true
+	}
+
+	bestR := math.Inf(1)
+	bestKind := core.Unreachable
+	bestBeta := 0.0
+	found := false
+	dual := b.dual[k]
+	for side := 0; side < 2; side++ {
+		var beta float64
+		var kind core.BoundKind
+		if side == 0 {
+			beta, kind = b.maxB[k], core.AtMax
+		} else {
+			beta, kind = b.minB[k], core.AtMin
+		}
+		if math.IsInf(beta, 0) {
+			continue // one-sided requirement
+		}
+		residual := beta - v0
+		var r float64
+		if dual == 0 {
+			// Constant impact: on the boundary exactly (distance zero) or
+			// unreachable from everywhere.
+			if residual != 0 {
+				continue
+			}
+			r = 0
+		} else {
+			r = math.Abs(residual) / dual
+		}
+		if r < bestR {
+			bestR, bestKind, bestBeta, found = r, kind, beta, true
+		}
+	}
+	if !found {
+		*out = core.RadiusResult{Feature: b.names[k], Radius: math.Inf(1), Kind: core.Unreachable, Method: core.MethodNone}
+		return true
+	}
+
+	var x []float64
+	if dual == 0 {
+		// residual == 0 on the winning side: the operating point already
+		// sits on the boundary.
+		x = b.carve(block, orig)
+	} else {
+		// The ℓ₂ projection witness, computed exactly as
+		// vecmath.Hyperplane.Project: t = (C − a·π)/‖a‖₂² with C = β − b.
+		t := ((bestBeta - b.offsets[k]) - dot) / b.aa[k]
+		row := b.coeffs[k*b.dim : (k+1)*b.dim]
+		x = b.grow(block)
+		for i, o := range orig {
+			x[i] = o + t*row[i]
+		}
+	}
+	*out = core.RadiusResult{Feature: b.names[k], Radius: bestR, Boundary: x, Kind: bestKind, Method: core.MethodHyperplane}
+	return true
+}
+
+// grow carves one dim-length, full-capacity slice off the sweep's shared
+// backing block (capacity n*dim covers the at-most-one witness each
+// feature produces). Full-capacity slicing means appending to one
+// witness can never overwrite a neighbour's.
+func (b *Batch) grow(block *[]float64) []float64 {
+	n := len(*block)
+	*block = (*block)[:n+b.dim]
+	return (*block)[n : n+b.dim : n+b.dim]
+}
+
+// carve is grow plus a copy of the operating point.
+func (b *Batch) carve(block *[]float64, orig []float64) []float64 {
+	x := b.grow(block)
+	copy(x, orig)
+	return x
+}

@@ -1,0 +1,294 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// bitsEqual compares two floats by IEEE-754 bit pattern, so ±0, NaN
+// payloads, and infinities all compare exactly.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// assertSame fails unless the kernel result is bit-identical to the
+// scalar one in every field.
+func assertSame(t *testing.T, tag string, got, want core.RadiusResult) {
+	t.Helper()
+	if got.Feature != want.Feature {
+		t.Fatalf("%s: Feature = %q, want %q", tag, got.Feature, want.Feature)
+	}
+	if !bitsEqual(got.Radius, want.Radius) {
+		t.Fatalf("%s: Radius = %x (%g), want %x (%g)", tag,
+			math.Float64bits(got.Radius), got.Radius, math.Float64bits(want.Radius), want.Radius)
+	}
+	if got.Kind != want.Kind {
+		t.Fatalf("%s: Kind = %v, want %v", tag, got.Kind, want.Kind)
+	}
+	if got.Method != want.Method {
+		t.Fatalf("%s: Method = %v, want %v", tag, got.Method, want.Method)
+	}
+	if (got.Boundary == nil) != (want.Boundary == nil) || len(got.Boundary) != len(want.Boundary) {
+		t.Fatalf("%s: Boundary shape %v, want %v", tag, got.Boundary, want.Boundary)
+	}
+	for i := range got.Boundary {
+		if !bitsEqual(got.Boundary[i], want.Boundary[i]) {
+			t.Fatalf("%s: Boundary[%d] = %x (%g), want %x (%g)", tag, i,
+				math.Float64bits(got.Boundary[i]), got.Boundary[i],
+				math.Float64bits(want.Boundary[i]), want.Boundary[i])
+		}
+	}
+}
+
+// norms lists every supported norm for a given dimension; the nil entry
+// exercises the "zero Options selects ℓ₂" path.
+func norms(t *testing.T, rng *rand.Rand, dim int) map[string]vecmath.Norm {
+	t.Helper()
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = 0.25 + 2*rng.Float64()
+	}
+	wl2, err := vecmath.NewWeightedL2(w)
+	if err != nil {
+		t.Fatalf("NewWeightedL2: %v", err)
+	}
+	return map[string]vecmath.Norm{
+		"default": nil,
+		"l2":      vecmath.L2{},
+		"l1":      vecmath.L1{},
+		"linf":    vecmath.LInf{},
+		"wl2":     wl2,
+	}
+}
+
+// randomFeature draws one linear feature covering the interesting
+// regimes: dense/sparse/zero coefficients; two-sided, one-sided, and
+// degenerate (min == max) bounds; operating points inside, on, and
+// outside the tolerable range.
+func randomFeature(rng *rand.Rand, name string, dim int, orig []float64) core.Feature {
+	coeffs := make([]float64, dim)
+	switch rng.Intn(10) {
+	case 0: // all-zero: a feature the parameter cannot move
+	case 1: // sparse
+		coeffs[rng.Intn(dim)] = -3 + 6*rng.Float64()
+	default:
+		for i := range coeffs {
+			coeffs[i] = -3 + 6*rng.Float64()
+		}
+	}
+	offset := -5 + 10*rng.Float64()
+	imp, err := core.NewLinearImpact(coeffs, offset)
+	if err != nil {
+		panic(err)
+	}
+	v0 := imp.Eval(orig)
+	var b core.Bounds
+	switch rng.Intn(8) {
+	case 0: // already violated below
+		b = core.Bounds{Min: v0 + 1 + rng.Float64(), Max: v0 + 3}
+	case 1: // already violated above
+		b = core.Bounds{Min: v0 - 3, Max: v0 - 1 - rng.Float64()}
+	case 2: // one-sided max
+		b = core.NoMin(v0 + rng.Float64()*4)
+	case 3: // one-sided min
+		b = core.NoMax(v0 - rng.Float64()*4)
+	case 4: // sitting exactly on the boundary
+		b = core.Bounds{Min: v0, Max: v0}
+	case 5: // unbounded both sides: always unreachable
+		b = core.Bounds{Min: math.Inf(-1), Max: math.Inf(1)}
+	default: // two-sided, feasible, often asymmetric
+		b = core.Bounds{Min: v0 - 0.1 - 5*rng.Float64(), Max: v0 + 0.1 + 5*rng.Float64()}
+	}
+	return core.Feature{Name: name, Impact: imp, Bounds: b}
+}
+
+// TestKernelMatchesScalar is the byte-identity property: across seeded
+// random mappings, every supported norm, and every bound regime, the SoA
+// kernel reproduces core.ComputeRadius bit for bit — radius, kind,
+// method, and boundary witness.
+func TestKernelMatchesScalar(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 5, 8, 17} {
+		for trial := 0; trial < 8; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*dim + trial)))
+			orig := make([]float64, dim)
+			for i := range orig {
+				orig[i] = -2 + 4*rng.Float64()
+			}
+			p := core.Perturbation{Name: "π", Orig: orig}
+			n := 1 + rng.Intn(40)
+			features := make([]core.Feature, n)
+			for k := range features {
+				features[k] = randomFeature(rng, fmt.Sprintf("F%d", k), dim, orig)
+			}
+			for name, norm := range norms(t, rng, dim) {
+				opts := core.Options{Norm: norm}.WithDefaults()
+				b, err := Pack(features, dim, opts.Norm)
+				if err != nil {
+					t.Fatalf("dim=%d trial=%d norm=%s: Pack: %v", dim, trial, name, err)
+				}
+				out := make([]core.RadiusResult, n)
+				fb, err := b.Compute(orig, out)
+				if err != nil {
+					t.Fatalf("dim=%d trial=%d norm=%s: Compute: %v", dim, trial, name, err)
+				}
+				if len(fb) != 0 {
+					t.Fatalf("dim=%d trial=%d norm=%s: unexpected fallback %v", dim, trial, name, fb)
+				}
+				for k := range features {
+					want, err := core.ComputeRadius(features[k], p, opts)
+					if err != nil {
+						t.Fatalf("scalar ComputeRadius(%s): %v", features[k].Name, err)
+					}
+					assertSame(t, fmt.Sprintf("dim=%d trial=%d norm=%s feature=%d", dim, trial, name, k), out[k], want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelPackReuse pins the "built once per mapping, reusable across
+// perturbations" contract: one Pack swept at many operating points keeps
+// matching the scalar path at each of them.
+func TestKernelPackReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dim, n = 6, 24
+	orig := make([]float64, dim)
+	for i := range orig {
+		orig[i] = 1 + rng.Float64()
+	}
+	features := make([]core.Feature, n)
+	for k := range features {
+		features[k] = randomFeature(rng, fmt.Sprintf("F%d", k), dim, orig)
+	}
+	opts := core.Options{}.WithDefaults()
+	b, err := Pack(features, dim, opts.Norm)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	out := make([]core.RadiusResult, n)
+	for sweep := 0; sweep < 16; sweep++ {
+		pt := make([]float64, dim)
+		for i := range pt {
+			pt[i] = -4 + 8*rng.Float64()
+		}
+		if _, err := b.Compute(pt, out); err != nil {
+			t.Fatalf("sweep %d: Compute: %v", sweep, err)
+		}
+		p := core.Perturbation{Name: "π", Orig: pt}
+		for k := range features {
+			want, err := core.ComputeRadius(features[k], p, opts)
+			if err != nil {
+				t.Fatalf("sweep %d scalar: %v", sweep, err)
+			}
+			assertSame(t, fmt.Sprintf("sweep=%d feature=%d", sweep, k), out[k], want)
+		}
+	}
+}
+
+// TestKernelNaNFallback: a dot product that overflows to NaN at the
+// operating point is not the kernel's to answer — the feature comes back
+// in the fallback list so the scalar path can produce its canonical
+// error.
+func TestKernelNaNFallback(t *testing.T) {
+	big := math.MaxFloat64
+	imp, err := core.NewLinearImpact([]float64{big, big}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := core.NewLinearImpact([]float64{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := []core.Feature{
+		{Name: "fine", Impact: ok, Bounds: core.NoMin(10)},
+		{Name: "overflows", Impact: imp, Bounds: core.NoMin(10)},
+	}
+	// big*2 → +Inf, big*-2 → −Inf, sum → NaN.
+	orig := []float64{2, -2}
+	b, err := Pack(features, 2, vecmath.L2{})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	out := make([]core.RadiusResult, 2)
+	fb, err := b.Compute(orig, out)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if len(fb) != 1 || fb[0] != 1 {
+		t.Fatalf("fallback = %v, want [1]", fb)
+	}
+	// The scalar path errors on the same feature, which is exactly why
+	// the kernel refuses to answer for it.
+	if _, err := core.ComputeRadius(features[1], core.Perturbation{Name: "π", Orig: orig}, core.Options{}); err == nil {
+		t.Fatalf("scalar path unexpectedly succeeded on the NaN feature")
+	}
+	// The well-behaved slot is still filled and still identical.
+	want, err := core.ComputeRadius(features[0], core.Perturbation{Name: "π", Orig: orig}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSame(t, "fine", out[0], want)
+}
+
+// TestEligible rejects everything the kernel must not touch.
+func TestEligible(t *testing.T) {
+	lin, err := core.NewLinearImpact([]float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := &core.FuncImpact{N: 2, F: func(pi []float64) float64 { return pi[0] * pi[0] }, Convex: true}
+	w3, err := vecmath.NewWeightedL2([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := core.Feature{Name: "ok", Impact: lin, Bounds: core.NoMin(5)}
+	cases := []struct {
+		name string
+		f    core.Feature
+		dim  int
+		norm vecmath.Norm
+		want bool
+	}{
+		{"linear-l2", good, 2, vecmath.L2{}, true},
+		{"linear-nil-norm", good, 2, nil, true},
+		{"non-linear", core.Feature{Name: "fn", Impact: fn, Bounds: core.NoMin(5)}, 2, vecmath.L2{}, false},
+		{"nil-impact", core.Feature{Name: "none", Bounds: core.NoMin(5)}, 2, vecmath.L2{}, false},
+		{"dim-mismatch", good, 3, vecmath.L2{}, false},
+		{"inverted-bounds", core.Feature{Name: "bad", Impact: lin, Bounds: core.Bounds{Min: 2, Max: 1}}, 2, vecmath.L2{}, false},
+		{"weighted-dim-mismatch", good, 2, w3, false},
+	}
+	for _, c := range cases {
+		if got := Eligible(c.f, c.dim, c.norm); got != c.want {
+			t.Errorf("Eligible(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if _, err := Pack([]core.Feature{{Name: "fn", Impact: fn, Bounds: core.NoMin(5)}}, 2, vecmath.L2{}); err == nil {
+		t.Errorf("Pack accepted an ineligible feature")
+	}
+}
+
+// TestComputeShapeErrors pins the two defensive errors.
+func TestComputeShapeErrors(t *testing.T) {
+	lin, err := core.NewLinearImpact([]float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pack([]core.Feature{{Name: "f", Impact: lin, Bounds: core.NoMin(5)}}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Compute([]float64{1}, make([]core.RadiusResult, 1)); err == nil {
+		t.Errorf("Compute accepted a mismatched operating point")
+	}
+	if _, err := b.Compute([]float64{1, 2}, nil); err == nil {
+		t.Errorf("Compute accepted a short result slice")
+	}
+	if b.Len() != 1 || b.Dim() != 2 {
+		t.Errorf("Len/Dim = %d/%d, want 1/2", b.Len(), b.Dim())
+	}
+}

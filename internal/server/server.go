@@ -134,6 +134,15 @@ type Config struct {
 	// cache with a "degraded": true marker instead of failing, and 503
 	// only on a true cache miss.
 	Degraded bool
+	// Kernel routes kernel-eligible linear features through the
+	// vectorized SoA analytic kernel (batch.Options.Kernel). Results are
+	// bit-identical to the per-feature path, but kernel-solved features
+	// bypass the shared radius cache — they neither read nor populate it
+	// — so Degraded serving has fewer cached answers to fall back on,
+	// and request traces show one "kernel" span in place of per-feature
+	// solve spans. Fault-injected requests keep the per-feature path
+	// regardless. See docs/PERFORMANCE.md.
+	Kernel bool
 	// Injector, when non-nil, activates the fault-injection harness on
 	// every request path (chaos tests, the FEPIAD_FAULTS env knob). Nil
 	// in production: every injection point is a no-op. An injector that
@@ -500,7 +509,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// cached boundary points need no defensive clone — the warm-hit path
 	// stays allocation-free.
 	a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true})
+		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true, Kernel: s.cfg.Kernel})
 	s.breakerReport(s.analyzeBreaker, err)
 	if err != nil {
 		if s.cfg.Degraded && degradable(err) {
@@ -559,7 +568,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	err = batch.ForEach(ctx, len(systems), s.cfg.Workers, func(i int) error {
 		sys := systems[i]
 		a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true})
+			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true, Kernel: s.cfg.Kernel})
 		if err != nil {
 			return fmt.Errorf("systems[%d] (%s): %w", i, sys.Name, err)
 		}

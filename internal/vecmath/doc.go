@@ -1,0 +1,17 @@
+// Package vecmath provides the small amount of dense linear algebra needed
+// by the robustness-metric computations: vector arithmetic, norms, Kahan
+// summation, and point-to-hyperplane geometry.
+//
+// Everything operates on []float64 without hidden allocation where the
+// caller provides a destination slice. The package is deliberately free of
+// external dependencies so that the repository builds with the standard
+// library alone.
+//
+// Numerical contract: the compensated accumulation here (KahanSum, Dot,
+// the two-pass scaled Euclidean norm) is the single source of truth for
+// floating-point results across the repository. Any alternative
+// evaluation path — notably the vectorized SoA sweep in internal/kernel —
+// must replay these exact operations in the exact order to honour the
+// engine's byte-identical results guarantee, which is why their doc
+// comments call out accumulation order explicitly.
+package vecmath

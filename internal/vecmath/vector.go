@@ -1,11 +1,3 @@
-// Package vecmath provides the small amount of dense linear algebra needed
-// by the robustness-metric computations: vector arithmetic, norms, Kahan
-// summation, and point-to-hyperplane geometry.
-//
-// Everything operates on []float64 without hidden allocation where the
-// caller provides a destination slice. The package is deliberately free of
-// external dependencies so that the repository builds with the standard
-// library alone.
 package vecmath
 
 import (

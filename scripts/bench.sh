@@ -1,13 +1,14 @@
 #!/usr/bin/env sh
-# bench.sh — reproducible radius-cache benchmark run behind `make bench`.
+# bench.sh — reproducible benchmark run behind `make bench`.
 #
 # Builds cmd/bench and runs it with pinned seeds and workload shape, so
 # two runs on the same machine measure the same byte-identical key
-# stream. Writes BENCH_5.json (cold / warm / contended series for the
-# frozen single-mutex baseline and the live sharded cache, plus the
-# derived speedup summary) to the repo root; CI uploads it as an
-# artifact. Override the output path with BENCH_OUT, the workload with
-# BENCH_FLAGS.
+# stream. Writes BENCH_6.json (cold / warm / contended cache series for
+# the frozen single-mutex baseline and the live sharded cache, the
+# kernel_warm / kernel_cold / mixed series for the SoA analytic kernel,
+# plus the derived speedup summary) to the repo root; CI uploads it as
+# an artifact. Override the output path with BENCH_OUT, the workload
+# with BENCH_FLAGS.
 #
 #   ./scripts/bench.sh
 #   BENCH_OUT=/tmp/b.json BENCH_FLAGS="-keys 1024 -dim 16" ./scripts/bench.sh
@@ -15,8 +16,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_5.json}"
-FLAGS="${BENCH_FLAGS:--seed 2003 -keys 512 -dim 8 -iters 20000 -reps 5}"
+OUT="${BENCH_OUT:-BENCH_6.json}"
+FLAGS="${BENCH_FLAGS:--seed 2003 -keys 512 -dim 8 -iters 20000 -reps 5 -sweeps 100}"
 
 go build -o "${TMPDIR:-/tmp}/fepia-bench" ./cmd/bench
 # shellcheck disable=SC2086  # FLAGS is intentionally word-split
@@ -24,7 +25,10 @@ go build -o "${TMPDIR:-/tmp}/fepia-bench" ./cmd/bench
 
 # Gate the headline claims so a regression fails the target, not just
 # drifts the artifact: contended speedup over the single-mutex baseline
-# must hold >= 2x, and the shared warm-hit path must not allocate.
+# must hold >= 2x, the shared warm-hit path must not allocate, the SoA
+# kernel must hold >= 4x over the per-feature analytic loop, and both
+# byte-identity checks (all-linear and mixed routing through the engine)
+# must have passed inside the harness.
 python3 - "$OUT" <<'EOF'
 import json, sys
 rep = json.load(open(sys.argv[1]))
@@ -36,8 +40,19 @@ if s["contended_speedup"] < 2.0:
 if s["warm_hit_allocs_sharded_shared"] >= 0.5:
     print(f"FAIL: shared warm-hit path allocates ({s['warm_hit_allocs_sharded_shared']}/op)", file=sys.stderr)
     ok = False
+if s["kernel_speedup"] < 4.0:
+    print(f"FAIL: kernel warm speedup {s['kernel_speedup']:.2f}x < 4x", file=sys.stderr)
+    ok = False
+if not s["kernel_identical"]:
+    print("FAIL: kernel results are not byte-identical to the scalar path", file=sys.stderr)
+    ok = False
+if not s["kernel_mixed_identical"]:
+    print("FAIL: mixed-batch kernel routing changed the analysis", file=sys.stderr)
+    ok = False
 print(f"bench: contended x{s['contended_workers']} speedup {s['contended_speedup']:.2f}x, "
       f"warm allocs/op baseline={s['warm_hit_allocs_baseline']:.1f} "
-      f"shared={s['warm_hit_allocs_sharded_shared']:.2f}")
+      f"shared={s['warm_hit_allocs_sharded_shared']:.2f}, "
+      f"kernel warm {s['kernel_speedup']:.2f}x cold {s['kernel_cold_speedup']:.2f}x "
+      f"identical={s['kernel_identical']} mixed={s['kernel_mixed_identical']}")
 sys.exit(0 if ok else 1)
 EOF
