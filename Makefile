@@ -41,9 +41,11 @@ race:
 
 # bench: the reproducible benchmark harness — pinned seeds, frozen
 # single-mutex baseline vs the live sharded cache, SoA kernel vs the
-# per-feature analytic loop, BENCH_6.json artifact with >=2x contended
-# and >=4x kernel speedup gates plus byte-identity checks (see cmd/bench
-# and docs/PERFORMANCE.md).
+# per-feature analytic loop, plus the loadgen-driven multi-node cluster
+# series (warm-hit scaling at 3 in-process nodes, kill-a-node chaos
+# story). BENCH_7.json artifact with >=2x contended, >=4x kernel, and
+# >=2.2x cluster-scaling gates plus byte-identity and zero-dropped
+# checks (see cmd/bench, cmd/loadgen, and docs/PERFORMANCE.md).
 bench:
 	./scripts/bench.sh
 
@@ -78,11 +80,12 @@ fuzz:
 
 # chaos: the seeded fault-injection suite under the race detector —
 # injected errors/panics/latency/cancels through the batch engine, the
-# radius cache under concurrent eviction, breaker transitions, and
-# degraded serving. Set FEPIA_CHAOS_SEED=<n> to pin the seeded schedule
-# when reproducing a failure.
+# radius cache under concurrent eviction, breaker transitions, degraded
+# serving, and the cluster kill-a-node story (a peer dies mid-run and
+# every request still answers). Set FEPIA_CHAOS_SEED=<n> to pin the
+# seeded schedule when reproducing a failure.
 chaos:
-	$(GO) test -race -run 'Chaos|Breaker|Degraded|Fault|Retry' ./internal/faults ./internal/batch ./internal/server
+	$(GO) test -race -run 'Chaos|Breaker|Degraded|Fault|Retry|Cluster' ./internal/faults ./internal/batch ./internal/server ./internal/cluster
 
 # smoke: boot a real fepiad, drive one analysis, and curl the
 # observability endpoints (/metrics, /debug/vars, /debug/traces).

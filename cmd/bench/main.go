@@ -4,7 +4,8 @@
 // (single-threaded re-reads of a resident working set, with allocation
 // counts), and contended (1..NumCPU workers hammering one shared cache) —
 // plus the vectorized SoA kernel series, and writes everything to a JSON
-// report (BENCH_6.json in CI).
+// report (BENCH_7.json in CI; scripts/bench.sh merges in the
+// loadgen-driven multi-node cluster series alongside).
 //
 // To make the speedup claims auditable from the report alone, the
 // harness embeds a frozen copy of the pre-sharding cache — one global
@@ -23,7 +24,7 @@
 // recorded in the summary, so the speedup figures are only ever claimed
 // for bit-equal results.
 //
-//	bench -out BENCH_6.json -seed 2003 -keys 512 -dim 8
+//	bench -out BENCH_7.json -seed 2003 -keys 512 -dim 8
 //
 // The workload is deterministic for a given flag set; timings move with
 // the machine, allocation counts do not.
@@ -54,7 +55,7 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_6.json", "report path")
+		out     = flag.String("out", "BENCH_7.json", "report path")
 		seed    = flag.Int64("seed", 2003, "workload seed")
 		keys    = flag.Int("keys", 512, "distinct radius subproblems in the working set")
 		dim     = flag.Int("dim", 8, "perturbation dimensionality")

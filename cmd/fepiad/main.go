@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"fepia/internal/cluster"
 	"fepia/internal/faults"
 	"fepia/internal/obs"
 	"fepia/internal/server"
@@ -45,7 +46,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "analysis workers per batch request (0 = GOMAXPROCS)")
 		cacheCap    = flag.Int("cache", 0, "shared radius-cache capacity in entries (0 = default)")
 		cacheShards = flag.Int("cache-shards", 0, "radius-cache shard count, rounded up to a power of two (0 = derived from GOMAXPROCS)")
-		useKernel   = flag.Bool("kernel", false, "route linear features through the vectorized SoA analytic kernel (bit-identical results; kernel-solved features bypass the radius cache)")
+		useKernel   = flag.Bool("kernel", false, "route linear features through the vectorized SoA analytic kernel (bit-identical results, shared radius cache on both paths)")
 		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body in bytes")
 		timeout     = flag.Duration("timeout", server.DefaultTimeout, "per-request analysis deadline")
 		maxInFlight = flag.Int("max-inflight", server.DefaultMaxInFlight, "admitted concurrent requests before shedding with 503")
@@ -60,6 +61,12 @@ func main() {
 		breakerWindow   = flag.Int("breaker-window", server.DefaultBreakerWindow, "sliding outcome window of each endpoint's circuit breaker (0 disables)")
 		breakerCooldown = flag.Duration("breaker-cooldown", server.DefaultBreakerCooldown, "how long an open breaker rejects before probing half-open")
 		degraded        = flag.Bool("degraded", true, "serve cached analyses with a degraded marker when the engine is unavailable")
+
+		nodeID         = flag.String("node-id", "", "this node's identity on the cluster ring (required with -peers)")
+		peersFlag      = flag.String("peers", "", "full ring membership as id=url,id=url,... including this node (empty = solo); see docs/CLUSTER.md")
+		peerReplicas   = flag.Int("peer-replicas", 0, "virtual points per node on the consistent-hash ring (0 = default; all nodes must agree)")
+		forwardTimeout = flag.Duration("forward-timeout", 0, "per-attempt deadline for forwarding a request to its ring owner (0 = default)")
+		compatDegraded = flag.Bool("compat-v1-degraded", false, "re-emit the deprecated top-level \"degraded\" result marker alongside meta.degraded (one release of grace)")
 	)
 	flag.Parse()
 
@@ -93,6 +100,34 @@ func main() {
 		logger.Warn("FAULT INJECTION ACTIVE", "schedule", os.Getenv("FEPIAD_FAULTS"))
 	}
 
+	// Cluster membership: -peers names every node of the ring (this one
+	// included); -node-id says which entry is us. Validation happens here
+	// so a bad flag is a clean exit 2, not a server.New panic.
+	peers, err := cluster.ParsePeers(*peersFlag)
+	if err != nil {
+		logger.Error("bad -peers", "error", err.Error())
+		os.Exit(2)
+	}
+	if len(peers) > 0 {
+		found := false
+		for _, p := range peers {
+			if p.ID == *nodeID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			logger.Error("-node-id must name one of the -peers entries", "node_id", *nodeID)
+			os.Exit(2)
+		}
+		// Dry-run the router construction to catch the rest (malformed
+		// peer URLs, bad replica counts) with a clean exit too.
+		if _, err := cluster.New(cluster.Config{Self: *nodeID, Peers: peers, Replicas: *peerReplicas}); err != nil {
+			logger.Error("bad cluster config", "error", err.Error())
+			os.Exit(2)
+		}
+	}
+
 	cfg := server.Config{
 		MaxBodyBytes:  *maxBody,
 		Timeout:       *timeout,
@@ -111,6 +146,12 @@ func main() {
 		BreakerWindow:   bw,
 		BreakerCooldown: *breakerCooldown,
 		Degraded:        *degraded,
+
+		NodeID:           *nodeID,
+		Peers:            peers,
+		PeerReplicas:     *peerReplicas,
+		ForwardTimeout:   *forwardTimeout,
+		CompatV1Degraded: *compatDegraded,
 	}
 	// Assign only a live injector: a typed-nil *Seeded in the interface
 	// field would read as "injection active" and crash the first request.
@@ -132,7 +173,9 @@ func main() {
 		"timeout", timeout.String(),
 		"max_in_flight", *maxInFlight,
 		"workers", *workers,
-		"degraded_mode", *degraded)
+		"degraded_mode", *degraded,
+		"node_id", *nodeID,
+		"cluster_peers", len(peers))
 	start := time.Now()
 	if err := s.Run(ctx, l); err != nil {
 		logger.Error("server exited", "error", err.Error())

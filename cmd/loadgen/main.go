@@ -4,13 +4,22 @@
 // reports throughput and latency percentiles — the `make loadtest` target.
 //
 //	loadgen -self                      # spin up an in-process fepiad and hammer it
+//	loadgen -self -nodes 3             # spin up a 3-node in-process ring
 //	loadgen -url http://host:8080      # hammer a running instance
+//	loadgen -url http://a:8080,http://b:8080   # spray a cluster, failover on node death
 //	loadgen -n 5000 -c 64 -batch 16    # 5000 requests, 64 clients, 16 systems each
 //
 // The generator is seeded, so two runs with the same flags submit the
 // identical workload. Systems are drawn from a bounded pool (default 64
 // distinct systems) to exercise the server's shared radius cache the way
 // the paper's 1000-mapping experiments do: heavy structural overlap.
+//
+// Cluster mode (docs/CLUSTER.md): -self -nodes N boots an in-process
+// consistent-hash ring; -url takes a comma-separated list of node base
+// URLs and spreads requests round-robin, failing over to the next node
+// when one stops answering — so killing a node mid-run sheds no client
+// requests. The report counts forwarded responses (X-Fepiad-Forwarded)
+// and per-node serving totals (X-Fepiad-Node).
 //
 // Shed requests (503) are treated as back-pressure, not failures: the
 // client honors the server's Retry-After hint and re-submits up to
@@ -36,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fepia/internal/cluster"
 	"fepia/internal/obs"
 	"fepia/internal/server"
 	"fepia/internal/spec"
@@ -45,12 +55,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	var (
-		url      = flag.String("url", "http://localhost:8080", "fepiad base URL")
+		url      = flag.String("url", "http://localhost:8080", "fepiad base URL, or a comma-separated list of cluster node URLs (round-robin with failover)")
 		self     = flag.Bool("self", false, "start an in-process fepiad on a random port and hammer it")
+		nodes    = flag.Int("nodes", 1, "with -self: boot this many in-process fepiad nodes as a consistent-hash ring")
+		cacheCap = flag.Int("cache", 0, "with -self: per-node radius-cache capacity in entries (0 = default)")
 		n        = flag.Int("n", 2000, "total requests")
 		c        = flag.Int("c", 32, "concurrent clients")
 		batch    = flag.Int("batch", 8, "systems per request (1 = POST /v1/analyze, else /v1/batch)")
 		pool     = flag.Int("pool", 64, "distinct systems in the workload pool")
+		heavy    = flag.Int("heavy", 0, "convex terms features added to every generated system (makes cache misses pay the numeric solver; the cluster bench workload)")
+		cycle    = flag.Bool("cycle", false, "draw systems round-robin from the pool instead of randomly (deterministic LRU thrash when the pool outsizes the cache)")
+		warmup   = flag.Bool("warmup", false, "submit each pooled system once, untimed, before the run (measures warm-cache serving)")
+		kill     = flag.String("kill", "", "with -self: kill node i once a fraction f of requests have been issued, as i@f (e.g. 1@0.5) — the chaos story")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		retry503 = flag.Int("retry-503", 3, "re-submissions of a shed (503) request after honoring Retry-After (0 = fail immediately)")
@@ -59,34 +75,42 @@ func main() {
 	)
 	flag.Parse()
 
-	base := *url
+	bases := splitURLs(*url)
+	var killNode func(int)
 	if *self {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		s := server.New(server.Config{MaxInFlight: 2 * *c,
-			Log: obs.NewLogger(os.Stderr, "text", slog.LevelWarn).With("service", "fepiad")})
-		ctx, cancel := context.WithCancel(context.Background())
-		defer cancel()
-		done := make(chan error, 1)
-		go func() { done <- s.Run(ctx, l) }()
-		defer func() {
-			cancel()
-			<-done
-			cs := s.CacheStats()
-			log.Printf("server cache: %d hits / %d misses (%.1f%% hit rate), %d/%d entries",
-				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Size, cs.Capacity)
-		}()
-		base = "http://" + l.Addr().String()
+		ring, killFn, stop := startSelfRing(*nodes, *cacheCap, 2**c)
+		defer stop()
+		bases, killNode = ring, killFn
 	}
+	if len(bases) == 0 {
+		log.Fatal("no fepiad URL to hammer")
+	}
+	killIdx, killAt := parseKill(*kill, *n, *nodes, killNode != nil)
 
-	bodies := buildWorkload(rand.New(rand.NewSource(*seed)), *n, *batch, *pool)
-	endpoint := base + "/v1/batch"
+	bodies, poolDocs := buildWorkload(rand.New(rand.NewSource(*seed)), *n, *batch, *pool, *heavy, *cycle)
+	path := "/v1/batch"
 	if *batch <= 1 {
-		endpoint = base + "/v1/analyze"
+		path = "/v1/analyze"
 	}
 	client := &http.Client{Timeout: *timeout}
+
+	if *warmup {
+		// One untimed pass over the distinct systems so the run measures
+		// warm serving. Spraying round-robin warms whichever node owns
+		// each key: forwarding routes the document to its ring arc.
+		var noFailover atomic.Int64
+		for i, doc := range poolDocs {
+			if *batch > 1 {
+				doc = `{"systems": [` + doc + `]}`
+			}
+			resp, err := postAny(client, bases, i, path, doc, &noFailover)
+			if err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
+			drain(resp)
+		}
+		log.Printf("warmed %d distinct systems", len(poolDocs))
+	}
 
 	// All clients observe into one shared lock-free histogram — the same
 	// obs instrument the server's own latency metrics use — and the
@@ -97,9 +121,13 @@ func main() {
 		failCount atomic.Int64
 		shedCount atomic.Int64
 		degCount  atomic.Int64
+		fwdCount  atomic.Int64
+		failovers atomic.Int64
 		latency   = obs.NewHistogram(nil)
+		nodeMu    sync.Mutex
+		perNode   = map[string]int64{}
 	)
-	log.Printf("%d requests × %d systems → %s over %d clients", *n, *batch, endpoint, *c)
+	log.Printf("%d requests × %d systems → %s on %d node(s) over %d clients", *n, *batch, path, len(bases), *c)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *c; w++ {
@@ -111,6 +139,13 @@ func main() {
 				if i >= len(bodies) {
 					break
 				}
+				// The chaos story: exactly one worker claims the kill
+				// index and takes the node down mid-run; every other
+				// client rides through on failover + degraded serving.
+				if killAt > 0 && i == killAt {
+					log.Printf("killing node n%d at request %d", killIdx, i)
+					killNode(killIdx)
+				}
 				// A 503 is back-pressure, not an outcome: honor the
 				// server's Retry-After hint before re-submitting, so a
 				// saturated run reports the latency of served requests
@@ -118,7 +153,7 @@ func main() {
 				// attempt's own duration enters the latency report.
 				for attempt := 0; ; attempt++ {
 					t0 := time.Now()
-					resp, err := client.Post(endpoint, "application/json", strings.NewReader(bodies[i]))
+					resp, err := postAny(client, bases, i+attempt, path, bodies[i], &failovers)
 					if err != nil {
 						failCount.Add(1)
 						break
@@ -132,6 +167,14 @@ func main() {
 					if resp.StatusCode == http.StatusOK {
 						if resp.Header.Get("Warning") != "" {
 							degCount.Add(1) // served degraded from the radius cache
+						}
+						if resp.Header.Get(cluster.ForwardedHeader) == "true" {
+							fwdCount.Add(1) // relayed to its ring owner
+						}
+						if node := resp.Header.Get(cluster.NodeHeader); node != "" {
+							nodeMu.Lock()
+							perNode[node]++
+							nodeMu.Unlock()
 						}
 						okCount.Add(1)
 						latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
@@ -153,7 +196,13 @@ func main() {
 		Failed:    failCount.Load(),
 		Shed:      shedCount.Load(),
 		Degraded:  degCount.Load(),
+		Forwarded: fwdCount.Load(),
+		Failovers: failovers.Load(),
+		PerNode:   perNode,
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if killAt > 0 {
+		rep.Killed = fmt.Sprintf("n%d@%d", killIdx, killAt)
 	}
 	if rep.OK > 0 {
 		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
@@ -180,12 +229,18 @@ func main() {
 		if rep.Degraded > 0 {
 			fmt.Printf("degraded: %d responses served from the radius cache\n", rep.Degraded)
 		}
+		if rep.Forwarded > 0 || len(rep.PerNode) > 1 {
+			fmt.Printf("cluster: %d forwarded to their ring owner, %d client failovers\n", rep.Forwarded, rep.Failovers)
+			for node, served := range rep.PerNode {
+				fmt.Printf("  node %s served %d\n", node, served)
+			}
+		}
 		if lr := rep.Latency; lr != nil {
 			fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n", rep.Throughput, rep.Analyses)
 			fmt.Printf("latency: p50 %.3gms  p90 %.3gms  p99 %.3gms  mean %.3gms  max %.3gms\n",
 				lr.P50MS, lr.P90MS, lr.P99MS, lr.MeanMS, lr.MaxMS)
 		}
-		printServerCache(client, base)
+		printServerCache(client, bases[0])
 	}
 	if rep.Failed > 0 {
 		os.Exit(1)
@@ -196,15 +251,23 @@ func main() {
 // are bucket-interpolated estimates from the shared obs histogram, in
 // milliseconds; Max and Mean are exact over the served requests.
 type report struct {
-	Requests   int            `json:"requests"`
-	OK         int64          `json:"ok"`
-	Failed     int64          `json:"failed"`
-	Shed       int64          `json:"shed"`
-	Degraded   int64          `json:"degraded"`
-	ElapsedMS  float64        `json:"elapsed_ms"`
-	Throughput float64        `json:"throughput_rps,omitempty"`
-	Analyses   float64        `json:"analyses_per_sec,omitempty"`
-	Latency    *latencyReport `json:"latency,omitempty"`
+	Requests int   `json:"requests"`
+	OK       int64 `json:"ok"`
+	Failed   int64 `json:"failed"`
+	Shed     int64 `json:"shed"`
+	Degraded int64 `json:"degraded"`
+	// Forwarded counts responses relayed to their ring owner
+	// (X-Fepiad-Forwarded); Failovers counts requests the client re-aimed
+	// at another node after one stopped answering; PerNode tallies served
+	// responses by the node that answered (X-Fepiad-Node).
+	Forwarded  int64            `json:"forwarded,omitempty"`
+	Failovers  int64            `json:"failovers,omitempty"`
+	PerNode    map[string]int64 `json:"per_node,omitempty"`
+	Killed     string           `json:"killed,omitempty"`
+	ElapsedMS  float64          `json:"elapsed_ms"`
+	Throughput float64          `json:"throughput_rps,omitempty"`
+	Analyses   float64          `json:"analyses_per_sec,omitempty"`
+	Latency    *latencyReport   `json:"latency,omitempty"`
 }
 
 type latencyReport struct {
@@ -213,6 +276,137 @@ type latencyReport struct {
 	P99MS  float64 `json:"p99_ms"`
 	MeanMS float64 `json:"mean_ms"`
 	MaxMS  float64 `json:"max_ms"`
+}
+
+// splitURLs parses the -url flag: a comma-separated list of base URLs,
+// trimmed of whitespace and trailing slashes. Blanks are dropped.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// postAny submits one request, starting at a deterministic node (start
+// rotates per request for round-robin spread) and failing over to the
+// next node on transport errors — so a killed node costs the client a
+// failover, never a dropped request.
+func postAny(client *http.Client, bases []string, start int, path, body string, failovers *atomic.Int64) (*http.Response, error) {
+	var lastErr error
+	for k := 0; k < len(bases); k++ {
+		resp, err := client.Post(bases[(start+k)%len(bases)]+path, "application/json", strings.NewReader(body))
+		if err == nil {
+			if k > 0 {
+				failovers.Add(1)
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// selfNode is one in-process fepiad of a -self ring; killing it cancels
+// its private context and waits for the drain, exactly once.
+type selfNode struct {
+	id     string
+	srv    *server.Server
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// startSelfRing boots n in-process fepiad nodes on loopback listeners.
+// With n > 1 the nodes form a consistent-hash ring (every node gets the
+// full membership, exactly as -peers would wire it); with n == 1 it is
+// the classic single-instance -self mode. Returns the node base URLs, a
+// kill function that takes one node down (the -kill chaos story), and a
+// stop function that drains every surviving node and logs per-node
+// cache stats.
+func startSelfRing(n, cacheCap, maxInFlight int) ([]string, func(int), func()) {
+	if n < 1 {
+		n = 1
+	}
+	// Listen first so every node's URL is known before any server starts:
+	// ring membership must be complete and identical on all nodes.
+	listeners := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	bases := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = l
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("n%d", i), URL: "http://" + l.Addr().String()}
+		bases[i] = peers[i].URL
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	nodes := make([]*selfNode, n)
+	for i := range nodes {
+		cfg := server.Config{
+			MaxInFlight:   maxInFlight,
+			CacheCapacity: cacheCap,
+			Degraded:      true, // match the fepiad flag default
+			Log:           quiet,
+		}
+		if n > 1 {
+			cfg.NodeID = peers[i].ID
+			cfg.Peers = peers
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		node := &selfNode{id: peers[i].ID, srv: server.New(cfg), cancel: cancel, done: make(chan struct{})}
+		nodes[i] = node
+		go func(l net.Listener) {
+			if err := node.srv.Run(ctx, l); err != nil {
+				log.Printf("self node %s exited: %v", node.id, err)
+			}
+			close(node.done)
+		}(listeners[i])
+	}
+	kill := func(i int) {
+		nodes[i].once.Do(func() {
+			nodes[i].cancel()
+			<-nodes[i].done
+		})
+	}
+	stop := func() {
+		for i := range nodes {
+			kill(i)
+		}
+		for _, node := range nodes {
+			cs := node.srv.CacheStats()
+			log.Printf("node %s cache: %d hits / %d misses", node.id, cs.Hits, cs.Misses)
+		}
+	}
+	return bases, kill, stop
+}
+
+// parseKill decodes -kill's i@f form into a node index and the request
+// ordinal at which that node dies. A zero killAt disables the story.
+func parseKill(s string, n, nodes int, selfRing bool) (killIdx, killAt int) {
+	if s == "" {
+		return 0, 0
+	}
+	if !selfRing {
+		log.Fatal("-kill requires -self (the client cannot kill a remote node)")
+	}
+	var frac float64
+	if _, err := fmt.Sscanf(s, "%d@%f", &killIdx, &frac); err != nil {
+		log.Fatalf("bad -kill %q (want i@f, e.g. 1@0.5)", s)
+	}
+	if killIdx < 0 || killIdx >= nodes || frac <= 0 || frac >= 1 {
+		log.Fatalf("bad -kill %q: node index in [0,%d), fraction in (0,1)", s, nodes)
+	}
+	killAt = int(frac * float64(n))
+	if killAt < 1 {
+		killAt = 1
+	}
+	return killIdx, killAt
 }
 
 // drain empties and closes a response body so connections are reused.
@@ -235,37 +429,58 @@ func retryAfterDelay(resp *http.Response, max time.Duration) time.Duration {
 }
 
 // buildWorkload pre-serialises every request body: n requests of `batch`
-// systems each, drawn from a pool of `pool` distinct generated systems.
-func buildWorkload(rng *rand.Rand, n, batch, pool int) []string {
+// systems each, drawn from a pool of `pool` distinct generated systems —
+// randomly by default, round-robin with -cycle (the deterministic
+// LRU-thrash shape of the cluster bench). It also returns the distinct
+// pooled documents for -warmup.
+func buildWorkload(rng *rand.Rand, n, batch, pool, heavy int, cycle bool) (bodies, poolDocs []string) {
 	systems := make([]string, pool)
 	for i := range systems {
-		doc, err := json.Marshal(genSystem(rng, i))
+		doc, err := json.Marshal(genSystem(rng, i, heavy))
 		if err != nil {
 			log.Fatal(err)
 		}
 		systems[i] = string(doc)
 	}
-	bodies := make([]string, n)
+	pick := func(i int) string {
+		if cycle {
+			return systems[i%pool]
+		}
+		return systems[rng.Intn(pool)]
+	}
+	bodies = make([]string, n)
+	at := 0
 	for i := range bodies {
 		if batch <= 1 {
-			bodies[i] = systems[rng.Intn(pool)]
+			bodies[i] = pick(at)
+			at++
 			continue
 		}
 		picks := make([]string, batch)
 		for j := range picks {
-			picks[j] = systems[rng.Intn(pool)]
+			picks[j] = pick(at)
+			at++
 		}
 		bodies[i] = `{"systems": [` + strings.Join(picks, ",") + `]}`
 	}
-	return bodies
+	return bodies, systems
 }
 
 // genSystem draws one report-style system: a handful of machines whose
 // finishing times are 0/1 sums of ETC entries bounded by τ·makespan
 // (§3.1), plus one convex queueing-style feature in every fourth system
-// (§3.2 forms).
-func genSystem(rng *rand.Rand, id int) spec.File {
+// (§3.2 forms). With heavy > 0 every system instead carries that many
+// distinct convex features, so a radius-cache miss pays the numeric
+// convex solver — the workload whose serving cost the cluster's
+// aggregate cache capacity actually moves.
+func genSystem(rng *rand.Rand, id, heavy int) spec.File {
 	apps := 4 + rng.Intn(5)
+	if heavy > 0 {
+		// Heavier systems are higher-dimensional too: the convex solver's
+		// per-miss cost grows with dim, which is the contrast the cluster
+		// warm-vs-thrash series measures.
+		apps = 12 + rng.Intn(5)
+	}
 	machines := 2 + rng.Intn(3)
 	orig := make([]float64, apps)
 	for i := range orig {
@@ -302,7 +517,22 @@ func genSystem(rng *rand.Rand, id int) spec.File {
 			Impact: spec.ImpactSpec{Type: "linear", Coeffs: coeffs},
 		})
 	}
-	if id%4 == 0 {
+	switch {
+	case heavy > 0:
+		for q := 0; q < heavy; q++ {
+			max := 100 * makespan * makespan
+			f.Features = append(f.Features, spec.FeatureSpec{
+				Name: fmt.Sprintf("queue-%d", q),
+				Max:  &max,
+				Impact: spec.ImpactSpec{Type: "terms", Terms: []spec.TermSpec{
+					{Kind: "power", Index: q % apps, Coeff: 1 + rng.Float64(), P: 2},
+					{Kind: "power", Index: (q + 1) % apps, Coeff: 1 + rng.Float64(), P: 3},
+					{Kind: "xlogx", Index: (q + 2) % apps, Coeff: 1 + rng.Float64()},
+					{Kind: "exp", Index: (q + 3) % apps, Coeff: 0.1 + 0.1*rng.Float64(), P: 0.5},
+				}},
+			})
+		}
+	case id%4 == 0:
 		max := 100 * makespan * makespan
 		f.Features = append(f.Features, spec.FeatureSpec{
 			Name: "queue",

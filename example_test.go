@@ -176,3 +176,41 @@ func ExampleParseSpec() {
 	// rho = 2.1213 seconds
 	// critical feature: finish(m0)
 }
+
+// A client's view of a fepiad cluster: the same ring arithmetic the
+// nodes use (any membership order yields the same ring) plus the
+// ResponseMeta block every /v1 result carries, so a caller can tell
+// which node answered, whether the request was relayed to its ring
+// owner, and whether the answer came warm from the radius cache.
+func ExampleNewClusterRing() {
+	peers, err := robustness.ParseClusterPeers("n0=http://a:8080,n1=http://b:8080,n2=http://c:8080")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]string, len(peers))
+	for i, p := range peers {
+		ids[i] = p.ID
+	}
+	ring, err := robustness.NewClusterRing(ids, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The route key of a parsed spec document decides the owning node —
+	// structurally identical systems always land on the same warm cache.
+	sys, err := robustness.ParseSpec([]byte(`{
+	  "perturbation": {"orig": [300, 200]},
+	  "features": [{"max": 1000, "impact": {"type": "linear", "coeffs": [1, 1]}}]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owner stays fixed: %v\n", ring.Owner(sys.RouteKey) == ring.Owner(sys.RouteKey))
+
+	// Decoding the meta block of a forwarded /v1/analyze response.
+	meta := robustness.ResponseMeta{Node: "n2", Forwarded: true, Cache: "hit"}
+	fmt.Printf("served by %s (forwarded=%v, cache=%s)\n", meta.Node, meta.Forwarded, meta.Cache)
+	// Output:
+	// owner stays fixed: true
+	// served by n2 (forwarded=true, cache=hit)
+}

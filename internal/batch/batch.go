@@ -50,11 +50,11 @@ type Options struct {
 	// as does the whole job on a fault-injected request, so chaos
 	// injection points never silently disappear. Traced requests use the
 	// kernel and record one "kernel" span for the sweep in place of
-	// per-feature solve spans. Kernel-computed radii bypass the radius
-	// cache in both directions: they are cheaper than a warm hit, but
-	// they also do not populate entries for degraded serving (see
-	// docs/PERFORMANCE.md for the routing rules and the measured
-	// trade-off).
+	// per-feature solve spans. Kernel-routed features flow through the
+	// radius cache in both directions: memoised radii are served from
+	// warm hits without sweeping, and every swept radius populates the
+	// cache — so degraded serving and cluster cache-affinity cover the
+	// kernel path too (see docs/PERFORMANCE.md for the routing rules).
 	Kernel bool
 }
 

@@ -337,6 +337,7 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 		return core.RadiusResult{}, err
 	}
 
+	rs := requestStats(ctx)
 	s := c.shardFor(b)
 	c.lock(s)
 	if el, found := s.entries[string(b)]; found {
@@ -345,6 +346,9 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 		res := el.Value.(*cacheEntry).result
 		s.mu.Unlock()
 		keyPool.Put(kb)
+		if rs != nil {
+			rs.Hits.Add(1)
+		}
 		gsp.Set("hit", "true")
 		gsp.End(nil)
 		if clone {
@@ -363,6 +367,9 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 		s.dup++
 		s.mu.Unlock()
 		keyPool.Put(kb)
+		if rs != nil {
+			rs.Coalesced.Add(1)
+		}
 		gsp.Set("hit", "false").Set("coalesced", "true")
 		select {
 		case <-ctx.Done():
@@ -390,6 +397,9 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 	s.inflight[key] = fl
 	s.misses++
 	s.mu.Unlock()
+	if rs != nil {
+		rs.Misses.Add(1)
+	}
 	gsp.Set("hit", "false")
 	gsp.End(nil)
 	return c.lead(ctx, s, key, fl, f, p, opts, clone)
@@ -516,6 +526,80 @@ func (c *Cache) lookup(f core.Feature, p core.Perturbation, opts core.Options, c
 	return res, true
 }
 
+// kernelGet is the kernel path's counting cache read: like Lookup it
+// never starts a solve and never joins a flight, but a hit moves the
+// shard's hit counter and the entry's LRU position exactly like Radius —
+// kernel-eligible traffic participates in the cache, so its hits must
+// show in the effectiveness statistics the bench and the cluster
+// affinity story read. clone governs the defensive Boundary copy (see
+// RadiusContextShared).
+func (c *Cache) kernelGet(f core.Feature, p core.Perturbation, opts core.Options, clone bool) (core.RadiusResult, bool) {
+	if c == nil {
+		return core.RadiusResult{}, false
+	}
+	kb := keyPool.Get().(*keyBuf)
+	b, ok := appendRadiusKey(kb.b[:0], f, p, opts.WithDefaults())
+	kb.b = b
+	if !ok {
+		keyPool.Put(kb)
+		return core.RadiusResult{}, false
+	}
+	s := c.shardFor(b)
+	c.lock(s)
+	el, found := s.entries[string(b)]
+	if !found {
+		s.mu.Unlock()
+		keyPool.Put(kb)
+		return core.RadiusResult{}, false
+	}
+	s.order.MoveToFront(el)
+	s.hits++
+	res := el.Value.(*cacheEntry).result
+	s.mu.Unlock()
+	keyPool.Put(kb)
+	if clone {
+		res.Boundary = vecmath.Clone(res.Boundary)
+	}
+	res.Feature = f.Name
+	return res, true
+}
+
+// Put inserts a radius the caller solved outside the cache's own miss
+// path — the vectorized kernel sweep, whose results are bit-identical to
+// core.ComputeRadius and therefore safe to serve to later scalar-path
+// callers. The cache stores a private clone of the Boundary so it owns
+// its memory exclusively regardless of what the caller does with the
+// original. One miss is counted per call: the caller did real solver
+// work, and CacheStats prices solver work, not map traffic. A nil
+// receiver or an uncacheable impact is a no-op.
+func (c *Cache) Put(f core.Feature, p core.Perturbation, opts core.Options, res core.RadiusResult) {
+	if c == nil {
+		return
+	}
+	kb := keyPool.Get().(*keyBuf)
+	b, ok := appendRadiusKey(kb.b[:0], f, p, opts.WithDefaults())
+	kb.b = b
+	if !ok {
+		keyPool.Put(kb)
+		return
+	}
+	res.Boundary = vecmath.Clone(res.Boundary)
+	s := c.shardFor(b)
+	c.lock(s)
+	s.misses++
+	if _, found := s.entries[string(b)]; !found {
+		key := string(b)
+		s.entries[key] = s.order.PushFront(&cacheEntry{key: key, impact: f.Impact, result: res})
+		for s.order.Len() > s.capacity {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.mu.Unlock()
+	keyPool.Put(kb)
+}
+
 // appendRadiusKey appends the memoisation key of the subproblem to b,
 // reporting ok=false for impacts it cannot identify (non-pointer Impact
 // implementations other than LinearImpact). Callers pass a pooled buffer
@@ -526,6 +610,20 @@ func appendRadiusKey(b []byte, f core.Feature, p core.Perturbation, opts core.Op
 		b = append(b, 'L')
 		b = appendFloats(b, imp.Coeffs)
 		b = appendFloat(b, imp.Offset)
+	case *core.FuncImpact:
+		// A fingerprinted FuncImpact carries its own content identity —
+		// spec-decoded convex features set one, so re-decoding the same
+		// document (or another node forwarding it) hits the cache instead
+		// of re-running the solver. Unfingerprinted closures keep pointer
+		// identity below.
+		if len(imp.Fingerprint) == 0 {
+			b = append(b, 'P')
+			b = binary.LittleEndian.AppendUint64(b, uint64(reflect.ValueOf(f.Impact).Pointer()))
+			break
+		}
+		b = append(b, 'T')
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(imp.Fingerprint)))
+		b = append(b, imp.Fingerprint...)
 	default:
 		v := reflect.ValueOf(f.Impact)
 		switch v.Kind() {

@@ -125,6 +125,44 @@ func TestCachePointerKeyedFuncImpacts(t *testing.T) {
 	}
 }
 
+// A FuncImpact with a Fingerprint is keyed by that content identity:
+// distinct objects with equal fingerprints share one cache entry (the
+// spec decoder sets one per terms impact, so re-decoded documents hit),
+// while differing fingerprints stay distinct subproblems.
+func TestCacheFingerprintKeyedFuncImpacts(t *testing.T) {
+	c := NewCache(16)
+	p := core.Perturbation{Name: "π", Orig: []float64{1, 1}}
+	square := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	mk := func(fp string) core.Feature {
+		return core.Feature{
+			Name:   "q",
+			Impact: &core.FuncImpact{N: 2, F: square, Convex: true, Fingerprint: []byte(fp)},
+			Bounds: core.NoMin(9),
+		}
+	}
+
+	a1, err := c.Radius(mk("sum-of-squares"), p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Radius(mk("sum-of-squares"), p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want equal fingerprints to share one entry", st)
+	}
+	if math.Float64bits(a1.Radius) != math.Float64bits(a2.Radius) {
+		t.Fatalf("fingerprint hit changed the radius: %v vs %v", a1.Radius, a2.Radius)
+	}
+	if _, err := c.Radius(mk("other-function"), p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want a different fingerprint to miss", st)
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	// One shard pins the global-LRU semantics this test asserts; the
 	// per-shard variant lives in TestCachePerShardLRUEviction.

@@ -179,23 +179,88 @@ type noopInjector struct{}
 
 func (noopInjector) Inject(context.Context, faults.Point) error { return nil }
 
-// TestKernelRoutingFidelity: the kernel path bypasses the cache, so cache
-// statistics make routing observable. A plain or traced request with
-// Kernel on must leave a fresh cache untouched (fepiad traces every
-// request, so the kernel must engage on traced requests too — recording
-// a "kernel" span for the sweep); a request carrying a fault injector
-// must fall back to the per-feature cached path so injection points keep
-// firing per feature.
+// TestKernelRoutingFidelity: the kernel path participates in the radius
+// cache (a cold sweep populates it, a warm request serves from it), so
+// cache statistics make routing observable. A plain or traced request
+// with Kernel on must populate a fresh cache from its sweep (fepiad
+// traces every request, so the kernel must engage on traced requests
+// too — recording a "kernel" span for the sweep); a request carrying a
+// fault injector must fall back to the per-feature cached path so
+// injection points keep firing per feature.
 func TestKernelRoutingFidelity(t *testing.T) {
 	job := kernelJob(t, 11, 12, 5, false)
 
-	t.Run("plain request bypasses cache", func(t *testing.T) {
+	t.Run("cold sweep populates cache", func(t *testing.T) {
 		c := NewCache(64)
 		if _, err := AnalyzeOneContext(context.Background(), job, Options{Kernel: true, Cache: c}); err != nil {
 			t.Fatal(err)
 		}
-		if s := c.Stats(); s.Hits+s.Misses != 0 || s.Size != 0 {
-			t.Fatalf("kernel path touched the cache: %+v", s)
+		if s := c.Stats(); s.Misses != 12 || s.Size != 12 || s.Hits != 0 {
+			t.Fatalf("cold kernel sweep did not populate the cache: %+v", s)
+		}
+	})
+
+	t.Run("warm request serves kernel-eligible features from cache", func(t *testing.T) {
+		c := NewCache(64)
+		cold, err := AnalyzeOneContext(context.Background(), job, Options{Kernel: true, Cache: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := AnalyzeOneContext(context.Background(), job, Options{Kernel: true, Cache: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := c.Stats(); s.Hits != 12 || s.Misses != 12 {
+			t.Fatalf("warm kernel request did not hit the cache: %+v", s)
+		}
+		assertAnalysesIdentical(t, "warm-vs-cold", warm, cold)
+	})
+
+	t.Run("scalar path hits kernel-populated entries", func(t *testing.T) {
+		// Cross-path affinity: radii swept by the kernel must be warm hits
+		// for a later Kernel-off request, byte-identical to a fresh solve.
+		c := NewCache(64)
+		if _, err := AnalyzeOneContext(context.Background(), job, Options{Kernel: true, Cache: c}); err != nil {
+			t.Fatal(err)
+		}
+		scalar, err := AnalyzeOneContext(context.Background(), job, Options{Cache: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := c.Stats(); s.Hits != 12 {
+			t.Fatalf("scalar path missed kernel-populated entries: %+v", s)
+		}
+		fresh, err := AnalyzeOneContext(context.Background(), job, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAnalysesIdentical(t, "scalar-vs-fresh", scalar, fresh)
+	})
+
+	t.Run("kernel path hits scalar-populated entries", func(t *testing.T) {
+		// And the other direction: radii solved per-feature are warm hits
+		// for a later kernel request, which then sweeps nothing.
+		c := NewCache(64)
+		if _, err := AnalyzeOneContext(context.Background(), job, Options{Cache: c}); err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTrace(obs.NewID(), "test")
+		ctx := obs.WithTrace(context.Background(), tr)
+		if _, err := AnalyzeOneContext(ctx, job, Options{Kernel: true, Cache: c}); err != nil {
+			t.Fatal(err)
+		}
+		if s := c.Stats(); s.Hits != 12 {
+			t.Fatalf("kernel path missed scalar-populated entries: %+v", s)
+		}
+		for _, sp := range tr.Finish(200).Spans {
+			if sp.Name == "kernel" {
+				if got := sp.Attrs["cache_hits"]; got != "12" {
+					t.Errorf("kernel span cache_hits = %q, want \"12\"", got)
+				}
+				if got := sp.Attrs["features"]; got != "0" {
+					t.Errorf("fully warm kernel span swept features = %q, want \"0\"", got)
+				}
+			}
 		}
 	})
 
@@ -206,8 +271,8 @@ func TestKernelRoutingFidelity(t *testing.T) {
 		if _, err := AnalyzeOneContext(ctx, job, Options{Kernel: true, Cache: c}); err != nil {
 			t.Fatal(err)
 		}
-		if s := c.Stats(); s.Hits+s.Misses != 0 {
-			t.Fatalf("traced kernel request touched the cache: %+v", s)
+		if s := c.Stats(); s.Misses != 12 || s.Size != 12 {
+			t.Fatalf("traced kernel sweep did not populate the cache: %+v", s)
 		}
 		td := tr.Finish(200)
 		var kernelSpans, solveSpans int
@@ -220,6 +285,9 @@ func TestKernelRoutingFidelity(t *testing.T) {
 				}
 				if got := sp.Attrs["fallback"]; got != "0" {
 					t.Errorf("kernel span fallback = %q, want \"0\"", got)
+				}
+				if got := sp.Attrs["cache_hits"]; got != "0" {
+					t.Errorf("cold kernel span cache_hits = %q, want \"0\"", got)
 				}
 			case "solve":
 				solveSpans++
@@ -241,6 +309,27 @@ func TestKernelRoutingFidelity(t *testing.T) {
 		}
 		if s := c.Stats(); s.Misses == 0 {
 			t.Fatalf("injected request skipped the per-feature path: %+v", s)
+		}
+	})
+
+	t.Run("request stats label kernel and hit provenance", func(t *testing.T) {
+		c := NewCache(64)
+		var coldStats RequestStats
+		ctx := WithRequestStats(context.Background(), &coldStats)
+		if _, err := AnalyzeOneContext(ctx, job, Options{Kernel: true, Cache: c}); err != nil {
+			t.Fatal(err)
+		}
+		if got := coldStats.Source(); got != "kernel" {
+			t.Fatalf("cold kernel request Source() = %q, want \"kernel\" (stats: kernel=%d hits=%d misses=%d)",
+				got, coldStats.Kernel.Load(), coldStats.Hits.Load(), coldStats.Misses.Load())
+		}
+		var warmStats RequestStats
+		ctx = WithRequestStats(context.Background(), &warmStats)
+		if _, err := AnalyzeOneContext(ctx, job, Options{Kernel: true, Cache: c}); err != nil {
+			t.Fatal(err)
+		}
+		if got := warmStats.Source(); got != "hit" {
+			t.Fatalf("warm kernel request Source() = %q, want \"hit\"", got)
 		}
 	})
 }

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64()
+		if oa, ob := a.Owner(k), b.Owner(k); oa != ob {
+			t.Fatalf("key %x: owner %q vs %q for permuted node lists", k, oa, ob)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 64); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+}
+
+func TestRingDistributionRoughlyEven(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r, err := NewRing(nodes, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(7))
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(rng.Uint64())]++
+	}
+	for _, id := range nodes {
+		frac := float64(counts[id]) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.1f%% of sampled keys, want roughly a third", id, 100*frac)
+		}
+		// Share must agree with the sampled ownership within a few points.
+		if share := r.Share(id); math.Abs(share-frac) > 0.05 {
+			t.Errorf("node %s: Share()=%.3f but sampled ownership %.3f", id, share, frac)
+		}
+	}
+}
+
+func TestRingShareSumsToOne(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, id := range r.Nodes() {
+		sum += r.Share(id)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+	if r.Share("ghost") != 0 {
+		t.Fatal("unknown node owns a share")
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner(0) != "solo" || r.Owner(^uint64(0)) != "solo" {
+		t.Fatal("single-node ring did not own every key")
+	}
+	if s := r.Share("solo"); s != 1 {
+		t.Fatalf("single node Share = %g, want 1", s)
+	}
+}
+
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	// Consistent hashing's point: removing one of three nodes must leave
+	// the other two nodes' keys where they were.
+	three, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewRing([]string{"n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		before := three.Owner(k)
+		after := two.Owner(k)
+		if before != "n3" && before != after {
+			moved++
+		}
+	}
+	if frac := float64(moved) / n; frac > 0.02 {
+		t.Fatalf("%.1f%% of surviving nodes' keys moved on membership change, want ~0", 100*frac)
+	}
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// twoNodeRouter builds a router for node "a" with remote peer "b"
+// backed by the given handler.
+func twoNodeRouter(t *testing.T, h http.Handler, tweak func(*Config)) (*Router, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	cfg := Config{
+		Self:  "a",
+		Peers: []Peer{{ID: "a"}, {ID: "b", URL: srv.URL}},
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, srv
+}
+
+func TestForwardRelaysVerbatim(t *testing.T) {
+	var gotFrom, gotCT, gotRID atomic.Value
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotFrom.Store(r.Header.Get(ForwardedFromHeader))
+		gotCT.Store(r.Header.Get("Content-Type"))
+		gotRID.Store(r.Header.Get("X-Request-Id"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"robustness": 1.5}` + "\n"))
+	}), nil)
+
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set("X-Request-Id", "rid-1")
+	resp, err := rt.Forward(context.Background(), "b", "/v1/analyze", []byte(`{"x":1}`), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status %d", resp.Status)
+	}
+	if string(resp.Body) != `{"robustness": 1.5}`+"\n" {
+		t.Fatalf("body not relayed verbatim: %q", resp.Body)
+	}
+	if gotFrom.Load() != "a" {
+		t.Fatalf("%s = %q, want \"a\"", ForwardedFromHeader, gotFrom.Load())
+	}
+	if gotCT.Load() != "application/json" || gotRID.Load() != "rid-1" {
+		t.Fatalf("headers not propagated: ct=%q rid=%q", gotCT.Load(), gotRID.Load())
+	}
+	st := rt.PeerStats("b")
+	if st.Forwards != 1 || st.ForwardHits != 1 || st.Failures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForwardRelays4xxWithoutRetry(t *testing.T) {
+	var calls atomic.Int64
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad","kind":"invalid_spec"}`))
+	}), nil)
+	resp, err := rt.Forward(context.Background(), "b", "/v1/analyze", []byte(`{}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 relayed", resp.Status)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("4xx was retried: %d calls", calls.Load())
+	}
+	// A relayed client error is a live peer: no forward-hit, no failure.
+	st := rt.PeerStats("b")
+	if st.ForwardHits != 0 || st.Failures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForwardRetries5xxThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	}), func(c *Config) { c.RetryMax = 3 })
+	// Stub the retry sleep to keep the test instant.
+	rt.peers["b"].retry.Sleep = func(context.Context, time.Duration) error { return nil }
+
+	resp, err := rt.Forward(context.Background(), "b", "/v1/analyze", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || calls.Load() != 2 {
+		t.Fatalf("status %d after %d calls, want 200 after 2", resp.Status, calls.Load())
+	}
+}
+
+func TestForwardExhaustedReturnsPeerError(t *testing.T) {
+	var calls atomic.Int64
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}), func(c *Config) { c.RetryMax = 2 })
+	rt.peers["b"].retry.Sleep = func(context.Context, time.Duration) error { return nil }
+
+	_, err := rt.Forward(context.Background(), "b", "/v1/analyze", nil, nil)
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PeerError, got %v", err)
+	}
+	if pe.Peer != "b" || pe.Attempts != 2 || pe.LastStatus != http.StatusBadGateway {
+		t.Fatalf("PeerError %+v", pe)
+	}
+	if errors.Is(err, ErrPeerOpen) {
+		t.Fatal("exhausted forward matched ErrPeerOpen")
+	}
+	if st := rt.PeerStats("b"); st.Failures != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestForwardDeadPeerOpensBreaker(t *testing.T) {
+	rt, srv := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}), func(c *Config) {
+		c.RetryMax = -1 // one attempt per forward
+		c.BreakerWindow = 2
+		c.BreakerCooldown = time.Minute
+	})
+	srv.Close() // kill the peer: every attempt dies in transport
+
+	for i := 0; i < 2; i++ {
+		if _, err := rt.Forward(context.Background(), "b", "/v1/analyze", nil, nil); err == nil {
+			t.Fatal("forward to dead peer succeeded")
+		}
+	}
+	st := rt.PeerStats("b")
+	if st.Breaker.State != "open" {
+		t.Fatalf("breaker %+v after window of transport failures, want open", st.Breaker)
+	}
+	// With the breaker open, the next forward is rejected locally.
+	_, err := rt.Forward(context.Background(), "b", "/v1/analyze", nil, nil)
+	var pe *PeerError
+	if !errors.As(err, &pe) || !errors.Is(err, ErrPeerOpen) {
+		t.Fatalf("want PeerError matching ErrPeerOpen, got %v", err)
+	}
+	if pe.Attempts != 0 {
+		t.Fatalf("breaker-rejected forward recorded %d attempts", pe.Attempts)
+	}
+}
+
+func TestForwardBreakerRecovers(t *testing.T) {
+	clk := time.Unix(1000, 0)
+	now := func() time.Time { return clk }
+	var healthy atomic.Bool
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	}), func(c *Config) {
+		c.RetryMax = -1
+		c.BreakerWindow = 2
+		c.BreakerCooldown = time.Second
+		c.Now = now
+	})
+
+	for i := 0; i < 2; i++ {
+		_, _ = rt.Forward(context.Background(), "b", "/v1/analyze", nil, nil)
+	}
+	if st := rt.PeerStats("b"); st.Breaker.State != "open" {
+		t.Fatalf("breaker %+v, want open", st.Breaker)
+	}
+	// Peer heals; after the cooldown the half-open probe closes it.
+	healthy.Store(true)
+	clk = clk.Add(2 * time.Second)
+	resp, err := rt.Forward(context.Background(), "b", "/v1/analyze", nil, nil)
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("probe forward: %v / %+v", err, resp)
+	}
+	if st := rt.PeerStats("b"); st.Breaker.State != "closed" {
+		t.Fatalf("breaker %+v after successful probe, want closed", st.Breaker)
+	}
+}
+
+func TestForwardCancelledContextReturnsCtxError(t *testing.T) {
+	block := make(chan struct{})
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}), nil)
+	defer close(block)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := rt.Forward(ctx, "b", "/v1/analyze", nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		t.Fatal("client cancellation blamed the peer")
+	}
+}
+
+func TestForwardUnknownPeer(t *testing.T) {
+	rt, _ := twoNodeRouter(t, http.NotFoundHandler(), nil)
+	_, err := rt.Forward(context.Background(), "ghost", "/v1/analyze", nil, nil)
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Peer != "ghost" {
+		t.Fatalf("want PeerError for ghost, got %v", err)
+	}
+}
+
+func TestNewValidatesMembership(t *testing.T) {
+	if _, err := New(Config{Peers: []Peer{{ID: "a"}}}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "x", Peers: []Peer{{ID: "a", URL: "http://h"}}}); err == nil {
+		t.Fatal("Self outside membership accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "b", URL: ":not-a-url"}}}); err == nil {
+		t.Fatal("malformed peer URL accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "a", URL: "http://h"}}}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:1, b=http://h2:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "a" || peers[0].URL != "http://h1:1" || peers[1].ID != "b" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	if got, _ := ParsePeers("  "); got != nil {
+		t.Fatal("blank peer list should parse to nil")
+	}
+	for _, bad := range []string{"a", "=http://h", "a=", "a=http://h,a=http://h2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}

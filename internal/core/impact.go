@@ -99,6 +99,14 @@ type FuncImpact struct {
 	// additionally run the simulated-annealing fallback and keep the
 	// smaller radius.
 	Convex bool
+	// Fingerprint, optional, is a content identity for memoisation: two
+	// FuncImpacts with equal non-empty fingerprints are treated as the
+	// same function by the radius cache, so decoding the same document
+	// twice hits the cache instead of re-solving. Leave nil for closures
+	// with no canonical encoding — identity then falls back to the
+	// pointer, which is always safe. Callers that set it own the
+	// contract: equal fingerprints MUST imply identical F (and Grad).
+	Fingerprint []byte
 }
 
 // Eval invokes F.

@@ -1,4 +1,4 @@
-package server
+package faults
 
 import (
 	"testing"
@@ -12,9 +12,9 @@ type testClock struct{ t time.Time }
 func (c *testClock) now() time.Time          { return c.t }
 func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
-func testBreaker(window int, threshold float64, cooldown time.Duration) (*breaker, *testClock) {
+func testBreaker(window int, threshold float64, cooldown time.Duration) (*Breaker, *testClock) {
 	clk := &testClock{t: time.Unix(1000, 0)}
-	b := newBreaker(breakerConfig{window: window, threshold: threshold, cooldown: cooldown, now: clk.now})
+	b := NewBreaker(BreakerConfig{Window: window, Threshold: threshold, Cooldown: cooldown, Now: clk.now})
 	return b, clk
 }
 
@@ -22,21 +22,21 @@ func TestBreakerTripsOnlyOnFullWindow(t *testing.T) {
 	b, _ := testBreaker(4, 0.5, time.Minute)
 	// Three straight failures: window not yet full, must stay closed.
 	for i := 0; i < 3; i++ {
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatalf("closed breaker rejected request %d", i)
 		}
-		b.report(true)
+		b.Report(true)
 	}
-	if snap := b.snapshot(); snap.State != "closed" || snap.Failures != 3 || snap.Samples != 3 {
+	if snap := b.Snapshot(); snap.State != "closed" || snap.Failures != 3 || snap.Samples != 3 {
 		t.Fatalf("before full window: %+v", snap)
 	}
 	// The fourth outcome fills the window; even though it is a success,
 	// 3/4 ≥ 0.5 trips the breaker.
-	b.report(false)
-	if snap := b.snapshot(); snap.State != "open" || snap.Opens != 1 {
+	b.Report(false)
+	if snap := b.Snapshot(); snap.State != "open" || snap.Opens != 1 {
 		t.Fatalf("full failing window did not open the breaker: %+v", snap)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("open breaker admitted a request before cooldown")
 	}
 }
@@ -47,12 +47,12 @@ func TestBreakerStaysClosedUnderThreshold(t *testing.T) {
 	// rate below threshold by reporting 1 failure per 4 outcomes.
 	outcomes := []bool{true, false, false, false, true, false, false, false}
 	for i, f := range outcomes {
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatalf("request %d rejected", i)
 		}
-		b.report(f)
+		b.Report(f)
 	}
-	if snap := b.snapshot(); snap.State != "closed" {
+	if snap := b.Snapshot(); snap.State != "closed" {
 		t.Fatalf("25%% failure rate tripped a 50%% threshold: %+v", snap)
 	}
 }
@@ -63,81 +63,81 @@ func TestBreakerWindowSlides(t *testing.T) {
 	// arriving; the breaker must never open and the failure count must
 	// return to zero once the failure has slid out.
 	for _, f := range []bool{true, false, false, false, false} {
-		b.report(f)
+		b.Report(f)
 	}
-	if snap := b.snapshot(); snap.State != "closed" || snap.Failures != 0 {
+	if snap := b.Snapshot(); snap.State != "closed" || snap.Failures != 0 {
 		t.Fatalf("old failures did not slide out: %+v", snap)
 	}
 }
 
 func TestBreakerHalfOpenProbeCycle(t *testing.T) {
 	b, clk := testBreaker(2, 0.5, time.Minute)
-	b.report(true)
-	b.report(true)
-	if snap := b.snapshot(); snap.State != "open" {
+	b.Report(true)
+	b.Report(true)
+	if snap := b.Snapshot(); snap.State != "open" {
 		t.Fatalf("want open, got %+v", snap)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("admitted during cooldown")
 	}
 	clk.advance(time.Minute)
 	// Cooldown elapsed: exactly one probe is admitted.
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("probe not admitted after cooldown")
 	}
-	if snap := b.snapshot(); snap.State != "half_open" {
+	if snap := b.Snapshot(); snap.State != "half_open" {
 		t.Fatalf("want half_open, got %+v", snap)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("second concurrent probe admitted")
 	}
 	// Probe fails: straight back to open, new cooldown era.
-	b.report(true)
-	if snap := b.snapshot(); snap.State != "open" || snap.Opens != 2 {
+	b.Report(true)
+	if snap := b.Snapshot(); snap.State != "open" || snap.Opens != 2 {
 		t.Fatalf("failed probe did not reopen: %+v", snap)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("admitted right after reopening")
 	}
 	clk.advance(time.Minute)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("second probe not admitted")
 	}
 	// Probe succeeds: closed with a clean window.
-	b.report(false)
-	snap := b.snapshot()
+	b.Report(false)
+	snap := b.Snapshot()
 	if snap.State != "closed" || snap.Failures != 0 || snap.Samples != 0 {
 		t.Fatalf("successful probe did not close and reset: %+v", snap)
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("closed breaker rejected")
 	}
 }
 
 func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
 	b, clk := testBreaker(2, 0.5, time.Minute)
-	b.report(true)
-	b.report(true) // trips
+	b.Report(true)
+	b.Report(true) // trips
 	clk.advance(time.Minute)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("probe not admitted after cooldown")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("second concurrent probe admitted")
 	}
-	// The probe never reached the engine (shed at admission, or the
-	// client went away): cancelProbe must return the slot with no
+	// The probe never reached the downstream (shed at admission, or the
+	// client went away): CancelProbe must return the slot with no
 	// outcome counted, or the breaker wedges half-open forever.
-	b.cancelProbe()
-	if snap := b.snapshot(); snap.State != "half_open" {
-		t.Fatalf("cancelProbe changed state: %+v", snap)
+	b.CancelProbe()
+	if snap := b.Snapshot(); snap.State != "half_open" {
+		t.Fatalf("CancelProbe changed state: %+v", snap)
 	}
-	if !b.allow() {
-		t.Fatal("probe slot not released by cancelProbe")
+	if !b.Allow() {
+		t.Fatal("probe slot not released by CancelProbe")
 	}
 	// The re-admitted probe still resolves the half-open era normally.
-	b.report(false)
-	if snap := b.snapshot(); snap.State != "closed" {
+	b.Report(false)
+	if snap := b.Snapshot(); snap.State != "closed" {
 		t.Fatalf("probe after cancel did not close the breaker: %+v", snap)
 	}
 }
@@ -145,28 +145,28 @@ func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
 func TestBreakerCancelProbeNoopOutsideHalfOpen(t *testing.T) {
 	b, _ := testBreaker(2, 0.5, time.Minute)
 	// Closed: nothing to release.
-	b.cancelProbe()
-	if !b.allow() {
-		t.Fatal("closed breaker rejected after cancelProbe")
+	b.CancelProbe()
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected after CancelProbe")
 	}
-	b.report(true)
-	b.report(true) // trips
+	b.Report(true)
+	b.Report(true) // trips
 	// Open, cooldown running: a straggler's cancel must not admit early.
-	b.cancelProbe()
-	if b.allow() {
-		t.Fatal("cancelProbe while open admitted a request before cooldown")
+	b.CancelProbe()
+	if b.Allow() {
+		t.Fatal("CancelProbe while open admitted a request before cooldown")
 	}
 }
 
 func TestBreakerDropsStragglersWhileOpen(t *testing.T) {
 	b, _ := testBreaker(2, 0.5, time.Minute)
-	b.report(true)
-	b.report(true) // trips
+	b.Report(true)
+	b.Report(true) // trips
 	// A request admitted before the trip reports late: must not disturb
 	// the open state or the next closed era's window.
-	b.report(false)
-	b.report(true)
-	if snap := b.snapshot(); snap.State != "open" || snap.Samples != 0 || snap.Failures != 0 {
+	b.Report(false)
+	b.Report(true)
+	if snap := b.Snapshot(); snap.State != "open" || snap.Samples != 0 || snap.Failures != 0 {
 		t.Fatalf("straggler reports disturbed the open breaker: %+v", snap)
 	}
 }

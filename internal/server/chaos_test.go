@@ -134,6 +134,7 @@ func TestChaosDegradedServingAndBreakerOpen(t *testing.T) {
 	if err := json.Unmarshal(baselineBody, &baseline); err != nil {
 		t.Fatal(err)
 	}
+	baseline.Meta = nil
 
 	inj.enabled.Store(true)
 
@@ -151,12 +152,18 @@ func TestChaosDegradedServingAndBreakerOpen(t *testing.T) {
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
-		if !got.Degraded {
-			t.Fatalf("degraded request %d: marker missing: %s", i, body)
+		if got.Meta == nil || !got.Meta.Degraded {
+			t.Fatalf("degraded request %d: meta.degraded missing: %s", i, body)
 		}
-		// Byte-identical modulo the marker: clearing it must reproduce the
-		// fault-free document exactly.
-		got.Degraded = false
+		if got.Meta.Cache != spec.CacheHit {
+			t.Fatalf("degraded request %d: meta.cache = %q, want %q", i, got.Meta.Cache, spec.CacheHit)
+		}
+		if got.Degraded {
+			t.Fatalf("degraded request %d: deprecated top-level marker emitted without -compat-v1-degraded: %s", i, body)
+		}
+		// Byte-identical modulo the meta block: clearing it must reproduce
+		// the fault-free document exactly.
+		got.Meta = nil
 		if !reflect.DeepEqual(got, baseline) {
 			t.Fatalf("degraded result differs from fault-free baseline:\n got %+v\nwant %+v", got, baseline)
 		}
@@ -252,6 +259,7 @@ func TestChaosTransientSolveRetried(t *testing.T) {
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
+	got.Meta = nil
 	want := libraryResult(t, webFarm)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("retried result differs from library path:\n got %+v\nwant %+v", got, want)
@@ -389,6 +397,10 @@ func TestChaosBatchDegraded(t *testing.T) {
 	if err := json.Unmarshal(baselineBody, &baseline); err != nil {
 		t.Fatal(err)
 	}
+	baseline.Meta = nil
+	for i := range baseline.Results {
+		baseline.Results[i].Meta = nil
+	}
 
 	inj.enabled.Store(true)
 	resp, body := postJSON(t, ts.URL+"/v1/batch", batchBody)
@@ -402,11 +414,18 @@ func TestChaosBatchDegraded(t *testing.T) {
 	if len(got.Results) != len(baseline.Results) {
 		t.Fatalf("%d results, want %d", len(got.Results), len(baseline.Results))
 	}
+	if got.Meta == nil || !got.Meta.Degraded || got.Meta.Cache != spec.CacheHit {
+		t.Fatalf("degraded batch top-level meta = %+v, want degraded with cache %q", got.Meta, spec.CacheHit)
+	}
+	got.Meta = nil
 	for i := range got.Results {
-		if !got.Results[i].Degraded {
-			t.Fatalf("results[%d] missing degraded marker", i)
+		if got.Results[i].Meta == nil || !got.Results[i].Meta.Degraded {
+			t.Fatalf("results[%d] missing meta.degraded marker", i)
 		}
-		got.Results[i].Degraded = false
+		if got.Results[i].Degraded {
+			t.Fatalf("results[%d] emitted deprecated top-level marker without -compat-v1-degraded", i)
+		}
+		got.Results[i].Meta = nil
 	}
 	if !reflect.DeepEqual(got, baseline) {
 		t.Fatalf("degraded batch differs from baseline:\n got %+v\nwant %+v", got, baseline)
@@ -420,5 +439,38 @@ func TestChaosBatchDegraded(t *testing.T) {
 	}
 	if e := decodeError(t, body); e.Kind != "degraded" {
 		t.Fatalf("error kind = %q, want degraded", e.Kind)
+	}
+}
+
+// TestChaosCompatV1DegradedMarker: the deprecated top-level "degraded"
+// marker is emitted only behind -compat-v1-degraded, and always
+// alongside the authoritative meta.degraded (docs/SERVICE.md).
+func TestChaosCompatV1DegradedMarker(t *testing.T) {
+	inj := engineKiller()
+	s := New(quietConfig(Config{
+		RetryMax:         -1,
+		Degraded:         true,
+		CompatV1Degraded: true,
+		Injector:         inj,
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc := linearSpec(1)
+	postJSON(t, ts.URL+"/v1/analyze", doc) // warm the cache
+	inj.enabled.Store(true)
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got spec.ResultJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta == nil || !got.Meta.Degraded {
+		t.Fatalf("meta.degraded missing: %s", body)
+	}
+	if !got.Degraded {
+		t.Fatalf("compat mode did not emit the deprecated top-level marker: %s", body)
 	}
 }

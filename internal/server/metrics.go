@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"fepia/internal/cluster"
 	"fepia/internal/faults"
 	"fepia/internal/obs"
 )
@@ -46,6 +47,10 @@ type telemetry struct {
 	retries  *obs.Counter
 	degraded *obs.Counter
 	inFlight *obs.Gauge
+	// clusterDegraded counts requests served locally because their ring
+	// owner was unreachable (cluster degraded fallback, not the cache
+	// fallback `degraded` counts).
+	clusterDegraded *obs.Counter
 }
 
 // newTelemetry builds the registry and registers every serving metric,
@@ -64,6 +69,8 @@ func newTelemetry(s *Server) telemetry {
 		retries:  reg.Counter("fepiad_retries_total", "Per-feature solve re-attempts by the transient-failure retry policy."),
 		degraded: reg.Counter("fepiad_degraded_total", "Responses served from the radius cache in degraded mode."),
 		inFlight: reg.Gauge("fepiad_in_flight", "Requests currently holding an admission slot."),
+		clusterDegraded: reg.Counter("fepiad_cluster_degraded_total",
+			"Requests served locally in degraded mode because their ring owner was unreachable."),
 	}
 	for _, ep := range endpoints {
 		t.requests[ep] = reg.Counter("fepiad_requests_total", "Requests by endpoint.", obs.L("endpoint", ep))
@@ -98,6 +105,7 @@ func newTelemetry(s *Server) telemetry {
 
 	registerBreaker(reg, epAnalyze, s.analyzeBreaker)
 	registerBreaker(reg, epBatch, s.batchBreaker)
+	registerCluster(reg, s.router)
 
 	if fs, ok := s.cfg.Injector.(interface{ Stats() faults.Stats }); ok {
 		for _, p := range faults.Points {
@@ -116,27 +124,74 @@ func newTelemetry(s *Server) telemetry {
 
 // registerBreaker exposes one endpoint breaker as scrape-time gauges:
 // state (0 closed, 1 half-open, 2 open, -1 disabled) and trip count.
-func registerBreaker(reg *obs.Registry, ep string, b *breaker) {
+func registerBreaker(reg *obs.Registry, ep string, b *faults.Breaker) {
 	reg.GaugeFunc("fepiad_breaker_state", "Circuit-breaker state by endpoint: 0 closed, 1 half-open, 2 open, -1 disabled.",
-		func() float64 {
-			if b == nil {
-				return -1
-			}
-			switch b.snapshot().State {
-			case "open":
-				return 2
-			case "half_open":
-				return 1
-			}
-			return 0
-		}, obs.L("endpoint", ep))
+		func() float64 { return breakerStateValue(b) }, obs.L("endpoint", ep))
 	reg.GaugeFunc("fepiad_breaker_opens", "Circuit-breaker trips by endpoint.",
 		func() float64 {
 			if b == nil {
 				return 0
 			}
-			return float64(b.snapshot().Opens)
+			return float64(b.Snapshot().Opens)
 		}, obs.L("endpoint", ep))
+}
+
+// registerCluster exposes the cluster peer layer as scrape-time gauges:
+// per-peer forward traffic (fepiad_cluster_forwards_total, _hits, and
+// _failures), per-peer breaker state on the same scale as the endpoint
+// breakers, and each ring member's key-space share. A nil router (solo
+// node) registers nothing — the series simply don't exist, matching how
+// Prometheus models absent subsystems.
+func registerCluster(reg *obs.Registry, rt *cluster.Router) {
+	if rt == nil {
+		return
+	}
+	for _, id := range rt.PeerIDs() {
+		id := id
+		reg.GaugeFunc("fepiad_cluster_forwards_total", "Requests forwarded to the peer (ring-owner routing).",
+			func() float64 { return float64(rt.PeerStats(id).Forwards) }, obs.L("peer", id))
+		reg.GaugeFunc("fepiad_cluster_forward_hits_total", "Forwards the peer answered 2xx.",
+			func() float64 { return float64(rt.PeerStats(id).ForwardHits) }, obs.L("peer", id))
+		reg.GaugeFunc("fepiad_cluster_forward_failures_total", "Forwards that failed after retries or were breaker-rejected.",
+			func() float64 { return float64(rt.PeerStats(id).Failures) }, obs.L("peer", id))
+		reg.GaugeFunc("fepiad_cluster_peer_breaker_state", "Per-peer circuit-breaker state: 0 closed, 1 half-open, 2 open, -1 disabled.",
+			func() float64 { return peerBreakerStateValue(rt.PeerStats(id).Breaker.State) }, obs.L("peer", id))
+	}
+	ring := rt.Ring()
+	for _, id := range ring.Nodes() {
+		share := ring.Share(id) // the ring is immutable; snapshot once
+		reg.GaugeFunc("fepiad_cluster_ring_share", "Fraction of the key space the ring member owns.",
+			func() float64 { return share }, obs.L("node", id))
+	}
+}
+
+// peerBreakerStateValue maps a breaker snapshot's state string onto the
+// same gauge scale as breakerStateValue.
+func peerBreakerStateValue(state string) float64 {
+	switch state {
+	case "open":
+		return 2
+	case "half_open":
+		return 1
+	case "disabled":
+		return -1
+	}
+	return 0
+}
+
+// breakerStateValue maps a breaker's state onto the gauge scale: 0
+// closed, 1 half-open, 2 open, -1 disabled (nil breaker).
+func breakerStateValue(b *faults.Breaker) float64 {
+	if b == nil {
+		return -1
+	}
+	switch b.Snapshot().State {
+	case "open":
+		return 2
+	case "half_open":
+		return 1
+	}
+	return 0
 }
 
 // requestsTotal sums the per-endpoint request counters: the
@@ -201,6 +256,7 @@ func (s *Server) writeVars(w io.Writer) {
 	fmt.Fprintf(w, "%q: %d,\n", "fepiad.degraded", m.degraded.Value())
 	writeBreakerVar(w, "fepiad.breaker.analyze", s.analyzeBreaker)
 	writeBreakerVar(w, "fepiad.breaker.batch", s.batchBreaker)
+	s.writeClusterVar(w)
 
 	cs := s.cache.Stats()
 	fmt.Fprintf(w, "%q: {\"hits\": %d, \"misses\": %d, \"size\": %d, \"capacity\": %d, \"hit_rate\": %g, \"put_failures\": %d, "+
@@ -239,14 +295,46 @@ func writeLatencyVar(w io.Writer, name string, snap obs.HistogramSnapshot, comma
 	fmt.Fprintf(w, "\n")
 }
 
+// writeClusterVar emits the fepiad.cluster object of /debug/vars: the
+// node's identity, the cluster-degraded counter, per-peer forward
+// traffic with breaker snapshots, and each ring member's key-space
+// share. Solo nodes emit a minimal object so the variable is always
+// present for dashboards.
+func (s *Server) writeClusterVar(w io.Writer) {
+	if s.router == nil {
+		fmt.Fprintf(w, "%q: {\"enabled\": false},\n", "fepiad.cluster")
+		return
+	}
+	fmt.Fprintf(w, "%q: {\"enabled\": true, \"self\": %q, \"degraded_local\": %d, \"peers\": {",
+		"fepiad.cluster", s.router.Self(), s.metrics.clusterDegraded.Value())
+	for i, id := range s.router.PeerIDs() {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		st := s.router.PeerStats(id)
+		snap, _ := json.Marshal(st.Breaker)
+		fmt.Fprintf(w, "%q: {\"forwards\": %d, \"hits\": %d, \"failures\": %d, \"breaker\": %s}",
+			id, st.Forwards, st.ForwardHits, st.Failures, snap)
+	}
+	fmt.Fprintf(w, "}, \"ring\": {")
+	ring := s.router.Ring()
+	for i, id := range ring.Nodes() {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%q: %g", id, ring.Share(id))
+	}
+	fmt.Fprintf(w, "}},\n")
+}
+
 // writeBreakerVar emits one endpoint breaker's state object; a nil
 // breaker (Config.BreakerWindow < 0) reports state "disabled" so the
 // variable is always present for dashboards.
-func writeBreakerVar(w io.Writer, name string, b *breaker) {
+func writeBreakerVar(w io.Writer, name string, b *faults.Breaker) {
 	if b == nil {
 		fmt.Fprintf(w, "%q: {\"state\": \"disabled\"},\n", name)
 		return
 	}
-	snap, _ := json.Marshal(b.snapshot())
+	snap, _ := json.Marshal(b.Snapshot())
 	fmt.Fprintf(w, "%q: %s,\n", name, snap)
 }

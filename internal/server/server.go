@@ -52,15 +52,26 @@ import (
 	"net/http"
 	"net/http/pprof"
 	rpprof "runtime/pprof"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"fepia/internal/batch"
+	"fepia/internal/cluster"
 	"fepia/internal/core"
 	"fepia/internal/faults"
 	"fepia/internal/obs"
 	"fepia/internal/spec"
 )
+
+// PeerError is the typed failure of a cluster forward — which peer, how
+// many attempts, the last HTTP status — re-exported so API users match
+// it with errors.As alongside spec.ValidationError and core.SolveError.
+// The server maps it to 503 ("peer_circuit_open", with Retry-After) when
+// the peer's breaker rejected locally and 502 ("peer_unreachable") when
+// the forward exhausted its attempts.
+type PeerError = cluster.PeerError
 
 // Defaults applied by New for zero-valued Config fields.
 const (
@@ -75,6 +86,14 @@ const (
 	// DefaultTraceCapacity bounds each retention list of the trace ring
 	// (most recent N, slowest-ever N).
 	DefaultTraceCapacity = 64
+)
+
+// Circuit-breaker defaults applied by Config.withDefaults, shared by the
+// per-endpoint breakers and the per-peer cluster breakers.
+const (
+	DefaultBreakerWindow    = 20
+	DefaultBreakerThreshold = 0.5
+	DefaultBreakerCooldown  = 5 * time.Second
 )
 
 // Config tunes a Server. The zero value is production-safe: every limit
@@ -136,12 +155,13 @@ type Config struct {
 	Degraded bool
 	// Kernel routes kernel-eligible linear features through the
 	// vectorized SoA analytic kernel (batch.Options.Kernel). Results are
-	// bit-identical to the per-feature path, but kernel-solved features
-	// bypass the shared radius cache — they neither read nor populate it
-	// — so Degraded serving has fewer cached answers to fall back on,
-	// and request traces show one "kernel" span in place of per-feature
-	// solve spans. Fault-injected requests keep the per-feature path
-	// regardless. See docs/PERFORMANCE.md.
+	// bit-identical to the per-feature path, and kernel-solved features
+	// flow through the shared radius cache in both directions — warm
+	// entries are served without re-solving and fresh solves are
+	// memoised for Degraded serving and for the scalar path. Request
+	// traces show one "kernel" span in place of per-feature solve spans;
+	// fault-injected requests keep the per-feature path regardless. See
+	// docs/PERFORMANCE.md.
 	Kernel bool
 	// Injector, when non-nil, activates the fault-injection harness on
 	// every request path (chaos tests, the FEPIAD_FAULTS env knob). Nil
@@ -149,6 +169,29 @@ type Config struct {
 	// also keeps stats (faults.Seeded) feeds the fepiad_faults_injected
 	// metric series.
 	Injector faults.Injector
+
+	// NodeID is this node's identity on the cluster ring (-node-id). It
+	// stamps every ResponseMeta and the X-Fepiad-Node header; required
+	// when Peers is non-empty, optional (purely informational) solo.
+	NodeID string
+	// Peers is the full ring membership including this node
+	// (cluster.ParsePeers parses the -peers flag format). Empty runs the
+	// node solo: no ring, no forwarding, every request served locally.
+	// With peers configured, each request's spec is consistent-hashed
+	// onto the ring (spec.System.RouteKey) and non-owned requests are
+	// forwarded to the owning peer; see docs/CLUSTER.md.
+	Peers []cluster.Peer
+	// PeerReplicas is the virtual-node count per peer on the ring (0
+	// selects cluster.DefaultReplicas). All nodes must agree on it.
+	PeerReplicas int
+	// ForwardTimeout bounds each forward attempt to a peer (0 selects
+	// cluster.DefaultForwardTimeout).
+	ForwardTimeout time.Duration
+	// CompatV1Degraded re-emits the deprecated top-level "degraded"
+	// result marker alongside ResponseMeta.Degraded for clients that
+	// have not migrated (-compat-v1-degraded; one release of grace, see
+	// docs/SERVICE.md).
+	CompatV1Degraded bool
 }
 
 // withDefaults fills zero-valued fields.
@@ -202,10 +245,13 @@ type Server struct {
 	// retry is the per-feature transient-failure policy threaded into
 	// every engine call; nil when retrying is disabled.
 	retry *faults.Policy
+	// router is the cluster peer layer; nil when Config.Peers is empty
+	// (solo node: every request is served locally).
+	router *cluster.Router
 	// analyzeBreaker / batchBreaker are the per-endpoint circuit
 	// breakers; nil when Config.BreakerWindow < 0.
-	analyzeBreaker *breaker
-	batchBreaker   *breaker
+	analyzeBreaker *faults.Breaker
+	batchBreaker   *faults.Breaker
 
 	// baseCtx is the ancestor of every request context; baseCancel
 	// force-cancels all in-flight analyses when the drain budget is
@@ -219,7 +265,11 @@ type Server struct {
 	beforeAnalyze func()
 }
 
-// New builds a Server from cfg (zero value ok).
+// New builds a Server from cfg (zero value ok). A non-empty Config.Peers
+// must describe a valid ring — NodeID listed, unique IDs, http(s) peer
+// URLs — or New panics; cmd/fepiad validates the flags with
+// cluster.ParsePeers before getting here, so a panic indicates a
+// programming error, not user input.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -235,14 +285,33 @@ func New(cfg Config) *Server {
 		}
 	}
 	if cfg.BreakerWindow > 0 {
-		bcfg := breakerConfig{window: cfg.BreakerWindow, threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown}
-		s.analyzeBreaker = newBreaker(bcfg)
-		s.batchBreaker = newBreaker(bcfg)
+		bcfg := faults.BreakerConfig{Window: cfg.BreakerWindow, Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+		s.analyzeBreaker = faults.NewBreaker(bcfg)
+		s.batchBreaker = faults.NewBreaker(bcfg)
+	}
+	if len(cfg.Peers) > 0 {
+		rt, err := cluster.New(cluster.Config{
+			Self:           cfg.NodeID,
+			Peers:          cfg.Peers,
+			Replicas:       cfg.PeerReplicas,
+			ForwardTimeout: cfg.ForwardTimeout,
+			RetryMax:       cfg.RetryMax,
+			// The per-peer breakers share the endpoint breakers' tuning:
+			// one set of knobs governs every circuit in the process.
+			BreakerWindow:    cfg.BreakerWindow,
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+		})
+		if err != nil {
+			panic("server: invalid cluster config: " + err.Error())
+		}
+		s.router = rt
 	}
 	s.metrics = newTelemetry(s)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument(epAnalyze, s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -469,9 +538,13 @@ func (s *Server) readBody(endpoint string, w http.ResponseWriter, r *http.Reques
 }
 
 // handleAnalyze serves POST /v1/analyze: one spec document in, one
-// ResultJSON out, identical to the in-process library path. When the
-// endpoint's breaker is open or the engine fails, degraded mode (if
-// enabled) answers from the radius cache instead; see answerDegraded.
+// ResultJSON out, identical to the in-process library path modulo the
+// ResponseMeta block. With a cluster configured, a spec whose RouteKey
+// hashes to another node is relayed verbatim to its ring owner; when the
+// owner is unreachable and degraded mode is on, the request is served
+// locally with meta.degraded set so killing a node drops zero requests.
+// When the endpoint's breaker is open or the engine fails, degraded mode
+// (if enabled) answers from the radius cache instead; see answerDegraded.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	psp := obs.StartSpan(r.Context(), "parse")
 	body, ok := s.readBody(epAnalyze, w, r)
@@ -485,8 +558,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(epAnalyze, w, r, err)
 		return
 	}
+
+	forwarded := r.Header.Get(cluster.ForwardedFromHeader) != ""
+	degradedPeer := false
+	if s.router != nil && !forwarded {
+		if owner := s.router.Owner(sys.RouteKey); owner != s.router.Self() {
+			if s.relay(epAnalyze, w, r, owner, "/v1/analyze", body) {
+				return
+			}
+			// Owner unreachable and degraded mode on: answer locally so
+			// the request is served, not dropped, and mark it degraded.
+			degradedPeer = true
+		}
+	}
+
 	if !s.allowEndpoint(s.analyzeBreaker, r) {
-		s.answerDegraded(epAnalyze, w, r, []*spec.System{sys}, false, "circuit_open",
+		s.answerDegraded(epAnalyze, w, r, []*spec.System{sys}, false, forwarded, "circuit_open",
 			"analyze engine circuit open: recent solves kept failing")
 		return
 	}
@@ -502,6 +589,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	ctx = faults.With(ctx, s.cfg.Injector)
+	rs := &batch.RequestStats{}
+	ctx = batch.WithRequestStats(ctx, rs)
 	if s.beforeAnalyze != nil {
 		s.beforeAnalyze()
 	}
@@ -513,7 +602,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.breakerReport(s.analyzeBreaker, err)
 	if err != nil {
 		if s.cfg.Degraded && degradable(err) {
-			s.answerDegraded(epAnalyze, w, r, []*spec.System{sys}, false, "degraded",
+			s.answerDegraded(epAnalyze, w, r, []*spec.System{sys}, false, forwarded, "degraded",
 				"engine failed and no cached answer exists: "+err.Error())
 			return
 		}
@@ -521,9 +610,113 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.analyses.Inc()
+	res := spec.Encode(sys.Name, a)
+	res.Meta = s.meta(forwarded, degradedPeer, rs.Source())
+	if s.cfg.CompatV1Degraded && degradedPeer {
+		res.Degraded = true
+	}
+	if degradedPeer {
+		s.noteClusterDegraded(w, r, 1)
+	}
 	esp := obs.StartSpan(r.Context(), "encode")
-	writeJSON(w, http.StatusOK, spec.Encode(sys.Name, a))
+	s.serveHeaders(w, forwarded)
+	writeJSON(w, http.StatusOK, res)
 	esp.End(nil)
+}
+
+// relay forwards a request's raw body to its ring owner and relays the
+// peer's verdict verbatim — status, body, and wire headers — so a
+// forwarded response is byte-identical to asking the owner directly. It
+// returns true when the response has been written (relayed, or failed
+// terminally) and false when the caller should fall back to serving the
+// request locally in degraded mode.
+func (s *Server) relay(endpoint string, w http.ResponseWriter, r *http.Request, owner, path string, body []byte) bool {
+	sp := obs.StartSpan(r.Context(), "forward")
+	sp.Set("peer", owner)
+	resp, err := s.router.Forward(r.Context(), owner, path, body, r.Header)
+	sp.End(err)
+	if err == nil {
+		obs.TraceFrom(r.Context()).SetAttr("forwarded_to", owner)
+		for _, h := range [...]string{"Content-Type", "Warning", "Retry-After", cluster.NodeHeader} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set(cluster.ForwardedHeader, "true")
+		w.WriteHeader(resp.Status)
+		_, _ = w.Write(resp.Body)
+		return true
+	}
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		// The client went away or the deadline expired while forwarding;
+		// the peer is not to blame and local serving cannot help.
+		s.fail(endpoint, w, r, ctxErr)
+		return true
+	}
+	if s.cfg.Degraded {
+		obs.Logger(r.Context()).Warn("peer forward failed, serving locally degraded",
+			"peer", owner, "error", err.Error())
+		return false
+	}
+	s.fail(endpoint, w, r, err)
+	return true
+}
+
+// meta assembles the shared ResponseMeta block every /v1 response
+// carries (docs/SERVICE.md, "Response metadata").
+func (s *Server) meta(forwarded, degraded bool, cache string) *spec.ResponseMeta {
+	return &spec.ResponseMeta{Node: s.cfg.NodeID, Forwarded: forwarded, Degraded: degraded, Cache: cache}
+}
+
+// serveHeaders stamps the wire headers of a locally served /v1 response:
+// the answering node's ID and, for requests that arrived via a peer
+// forward, the forwarded marker.
+func (s *Server) serveHeaders(w http.ResponseWriter, forwarded bool) {
+	if s.cfg.NodeID != "" {
+		w.Header().Set(cluster.NodeHeader, s.cfg.NodeID)
+	}
+	if forwarded {
+		w.Header().Set(cluster.ForwardedHeader, "true")
+	}
+}
+
+// noteClusterDegraded records n requests served locally because their
+// ring owner was unreachable: the cluster-degraded counter, the trace
+// marker, and the Warning header (set before the status is written).
+func (s *Server) noteClusterDegraded(w http.ResponseWriter, r *http.Request, n int) {
+	s.metrics.clusterDegraded.Add(uint64(n))
+	obs.TraceFrom(r.Context()).SetAttr("degraded", "true")
+	w.Header().Set("Warning", `199 fepiad "degraded: ring owner unreachable, served locally"`)
+}
+
+// handleRing serves GET /v1/ring: this node's view of the cluster — the
+// membership, each member's key-space share, and the virtual-point count.
+// Solo nodes report themselves as the only member with share 1.
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
+	type member struct {
+		ID    string  `json:"id"`
+		URL   string  `json:"url,omitempty"`
+		Self  bool    `json:"self,omitempty"`
+		Share float64 `json:"share"`
+	}
+	doc := struct {
+		Self     string   `json:"self,omitempty"`
+		Replicas int      `json:"replicas,omitempty"`
+		Members  []member `json:"members"`
+	}{Self: s.cfg.NodeID}
+	if s.router == nil {
+		doc.Members = []member{{ID: s.cfg.NodeID, Self: true, Share: 1}}
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
+	ring := s.router.Ring()
+	doc.Replicas = ring.Replicas()
+	for _, p := range s.router.Members() {
+		doc.Members = append(doc.Members, member{
+			ID: p.ID, URL: p.URL, Self: p.ID == s.router.Self(), Share: ring.Share(p.ID),
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleBatch serves POST /v1/batch: many systems fanned over the batch
@@ -531,6 +724,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // request order. Each system keeps its own norm/options, so the fan-out
 // runs per-system jobs (batch.AnalyzeOneContext) over the engine's
 // scheduling substrate rather than one homogeneous batch.Analyze call.
+//
+// With a cluster configured, the batch is partitioned by ring owner:
+// self-owned systems solve locally while each peer's systems travel as
+// one concurrent sub-batch (re-marshaled from the validated specs) and
+// scatter back into their request-order slots. A peer whose sub-batch
+// fails is covered by a local degraded solve — zero dropped systems —
+// unless degraded mode is off, in which case the whole batch fails with
+// the peer error. Forwarded-in batches (single-hop rule) solve entirely
+// locally.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	psp := obs.StartSpan(r.Context(), "parse")
 	body, ok := s.readBody(epBatch, w, r)
@@ -544,8 +746,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(epBatch, w, r, err)
 		return
 	}
+
+	forwarded := r.Header.Get(cluster.ForwardedFromHeader) != ""
+	var remote map[string][]int
+	if s.router != nil && !forwarded {
+		self := s.router.Self()
+		for i, sys := range systems {
+			if owner := s.router.Owner(sys.RouteKey); owner != self {
+				if remote == nil {
+					remote = make(map[string][]int)
+				}
+				remote[owner] = append(remote[owner], i)
+			}
+		}
+	}
+
 	if !s.allowEndpoint(s.batchBreaker, r) {
-		s.answerDegraded(epBatch, w, r, systems, true, "circuit_open",
+		s.answerDegraded(epBatch, w, r, systems, true, forwarded, "circuit_open",
 			"batch engine circuit open: recent solves kept failing")
 		return
 	}
@@ -565,37 +782,165 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.beforeAnalyze()
 	}
 	results := make([]spec.ResultJSON, len(systems))
-	err = batch.ForEach(ctx, len(systems), s.cfg.Workers, func(i int) error {
+
+	// Peer sub-batches travel concurrently with the local solve; each
+	// writes only its own request-order slots of results.
+	owners := make([]string, 0, len(remote))
+	for owner := range remote {
+		owners = append(owners, owner)
+	}
+	sort.Strings(owners)
+	groupErrs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for gi, owner := range owners {
+		wg.Add(1)
+		go func(gi int, owner string) {
+			defer wg.Done()
+			groupErrs[gi] = s.forwardSubBatch(ctx, r, owner, remote[owner], systems, results)
+		}(gi, owner)
+	}
+
+	local := make([]int, 0, len(systems))
+	isRemote := make([]bool, len(systems))
+	for _, idx := range remote {
+		for _, i := range idx {
+			isRemote[i] = true
+		}
+	}
+	for i := range systems {
+		if !isRemote[i] {
+			local = append(local, i)
+		}
+	}
+	lerr := s.solveLocal(ctx, systems, local, results, forwarded, false)
+	wg.Wait()
+	s.breakerReport(s.batchBreaker, lerr)
+	if lerr != nil {
+		if s.cfg.Degraded && degradable(lerr) {
+			s.answerDegraded(epBatch, w, r, systems, true, forwarded, "degraded",
+				"engine failed and no complete cached answer exists: "+lerr.Error())
+			return
+		}
+		s.fail(epBatch, w, r, lerr)
+		return
+	}
+
+	// Failed peer groups fall back to local degraded solves so a dead
+	// node never drops systems; with degraded mode off the peer failure
+	// is terminal for the whole batch.
+	degradedN, forwardedAny := 0, false
+	for gi, owner := range owners {
+		gerr := groupErrs[gi]
+		if gerr == nil {
+			forwardedAny = true
+			continue
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			s.fail(epBatch, w, r, ctxErr)
+			return
+		}
+		if !s.cfg.Degraded {
+			s.fail(epBatch, w, r, gerr)
+			return
+		}
+		obs.Logger(r.Context()).Warn("peer sub-batch failed, serving locally degraded",
+			"peer", owner, "error", gerr.Error())
+		if err := s.solveLocal(ctx, systems, remote[owner], results, forwarded, true); err != nil {
+			if degradable(err) {
+				s.answerDegraded(epBatch, w, r, systems, true, forwarded, "degraded",
+					"engine failed and no complete cached answer exists: "+err.Error())
+				return
+			}
+			s.fail(epBatch, w, r, err)
+			return
+		}
+		degradedN += len(remote[owner])
+	}
+
+	s.metrics.analyses.Add(uint64(len(local) + degradedN))
+	top := s.meta(forwarded || forwardedAny, false, "")
+	for i := range results {
+		if m := results[i].Meta; m != nil {
+			top.Cache = spec.WorstCache(top.Cache, m.Cache)
+			if m.Degraded {
+				top.Degraded = true
+			}
+		}
+	}
+	if degradedN > 0 {
+		s.noteClusterDegraded(w, r, degradedN)
+	}
+	esp := obs.StartSpan(r.Context(), "encode")
+	s.serveHeaders(w, forwarded)
+	writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results, Meta: top})
+	esp.End(nil)
+}
+
+// solveLocal runs the systems at idx through the engine on this node,
+// writing each result (with its meta block) into its request-order slot.
+func (s *Server) solveLocal(ctx context.Context, systems []*spec.System, idx []int, results []spec.ResultJSON, forwarded, degraded bool) error {
+	return batch.ForEach(ctx, len(idx), s.cfg.Workers, func(k int) error {
+		i := idx[k]
 		sys := systems[i]
-		a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
+		rs := &batch.RequestStats{}
+		a, err := batch.AnalyzeOneContext(batch.WithRequestStats(ctx, rs),
+			batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
 			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true, Kernel: s.cfg.Kernel})
 		if err != nil {
 			return fmt.Errorf("systems[%d] (%s): %w", i, sys.Name, err)
 		}
 		results[i] = spec.Encode(sys.Name, a)
+		results[i].Meta = s.meta(forwarded, degraded, rs.Source())
+		if s.cfg.CompatV1Degraded && degraded {
+			results[i].Degraded = true
+		}
 		return nil
 	})
-	s.breakerReport(s.batchBreaker, err)
-	if err != nil {
-		if s.cfg.Degraded && degradable(err) {
-			s.answerDegraded(epBatch, w, r, systems, true, "degraded",
-				"engine failed and no complete cached answer exists: "+err.Error())
-			return
-		}
-		s.fail(epBatch, w, r, err)
-		return
+}
+
+// forwardSubBatch re-marshals the systems at idx into one BatchRequest,
+// forwards it to the owning peer, and scatters the peer's results back
+// into their request-order slots. The peer sees the forwarded-from
+// header and stamps each result's meta itself, so the scatter is
+// verbatim — forwarded results are byte-identical to asking the owner.
+func (s *Server) forwardSubBatch(ctx context.Context, r *http.Request, owner string, idx []int, systems []*spec.System, results []spec.ResultJSON) error {
+	sub := spec.BatchRequest{Systems: make([]spec.File, len(idx))}
+	for j, i := range idx {
+		sub.Systems[j] = systems[i].File
 	}
-	s.metrics.analyses.Add(uint64(len(systems)))
-	esp := obs.StartSpan(r.Context(), "encode")
-	writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
-	esp.End(nil)
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return fmt.Errorf("marshaling sub-batch for peer %q: %w", owner, err)
+	}
+	sp := obs.StartSpan(r.Context(), "forward")
+	sp.Set("peer", owner)
+	sp.Set("systems", strconv.Itoa(len(idx)))
+	resp, err := s.router.Forward(ctx, owner, "/v1/batch", body, r.Header)
+	sp.End(err)
+	if err != nil {
+		return err
+	}
+	if resp.Status != http.StatusOK {
+		return fmt.Errorf("peer %q answered sub-batch with status %d", owner, resp.Status)
+	}
+	var br spec.BatchResponse
+	if err := json.Unmarshal(resp.Body, &br); err != nil {
+		return fmt.Errorf("decoding sub-batch answer from peer %q: %w", owner, err)
+	}
+	if len(br.Results) != len(idx) {
+		return fmt.Errorf("peer %q answered %d results for %d systems", owner, len(br.Results), len(idx))
+	}
+	for j, i := range idx {
+		results[i] = br.Results[j]
+	}
+	return nil
 }
 
 // allowEndpoint consults an endpoint breaker under a trace span; a nil
 // breaker always allows.
-func (s *Server) allowEndpoint(b *breaker, r *http.Request) bool {
+func (s *Server) allowEndpoint(b *faults.Breaker, r *http.Request) bool {
 	sp := obs.StartSpan(r.Context(), "breaker")
-	allowed := b == nil || b.allow()
+	allowed := b == nil || b.Allow()
 	sp.Set("allowed", strconv.FormatBool(allowed))
 	sp.End(nil)
 	if !allowed {
@@ -609,22 +954,22 @@ func (s *Server) allowEndpoint(b *breaker, r *http.Request) bool {
 // nothing about engine health, so it is recorded neither as a failure
 // nor as a success — it only returns the probe slot it may have been
 // holding while half-open.
-func (s *Server) breakerReport(b *breaker, err error) {
+func (s *Server) breakerReport(b *faults.Breaker, err error) {
 	if b == nil {
 		return
 	}
 	if err != nil && !degradable(err) {
-		b.cancelProbe()
+		b.CancelProbe()
 		return
 	}
-	b.report(err != nil)
+	b.Report(err != nil)
 }
 
 // breakerCancel returns a probe slot reserved by breakerAllow when the
 // request never reached the engine; a nil breaker is a no-op.
-func (s *Server) breakerCancel(b *breaker) {
+func (s *Server) breakerCancel(b *faults.Breaker) {
 	if b != nil {
-		b.cancelProbe()
+		b.CancelProbe()
 	}
 }
 
@@ -647,16 +992,17 @@ func degradable(err error) bool {
 // answerDegraded is the degraded-mode responder: with Config.Degraded
 // set it tries to assemble the full answer from the shared radius cache
 // — every feature of every submitted system must be memoised — and
-// serves it with "degraded": true markers and a Warning header. The
-// cached values are exactly what a healthy engine would recompute, so a
-// degraded 200 is byte-identical to the fault-free response modulo the
-// marker. On a true cache miss (or with degraded mode off) it sheds with
-// 503 + Retry-After and the given error kind.
-func (s *Server) answerDegraded(endpoint string, w http.ResponseWriter, r *http.Request, systems []*spec.System, batchShape bool, kind, reason string) {
+// serves it with meta.degraded set and a Warning header (plus the
+// deprecated top-level "degraded" marker when CompatV1Degraded is on).
+// The cached values are exactly what a healthy engine would recompute,
+// so a degraded 200 is byte-identical to the fault-free response modulo
+// the meta block. On a true cache miss (or with degraded mode off) it
+// sheds with 503 + Retry-After and the given error kind.
+func (s *Server) answerDegraded(endpoint string, w http.ResponseWriter, r *http.Request, systems []*spec.System, batchShape, forwarded bool, kind, reason string) {
 	tr := obs.TraceFrom(r.Context())
 	if s.cfg.Degraded {
 		sp := obs.StartSpan(r.Context(), "degraded_lookup")
-		results, ok := s.cachedResults(systems)
+		results, ok := s.cachedResults(systems, forwarded)
 		sp.Set("served", strconv.FormatBool(ok))
 		sp.End(nil)
 		if ok {
@@ -665,8 +1011,10 @@ func (s *Server) answerDegraded(endpoint string, w http.ResponseWriter, r *http.
 			tr.SetAttr("degraded", "true")
 			obs.Logger(r.Context()).Warn("serving degraded from radius cache", "reason", kind)
 			w.Header().Set("Warning", `199 fepiad "degraded: served from radius cache"`)
+			s.serveHeaders(w, forwarded)
 			if batchShape {
-				writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results})
+				writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results,
+					Meta: s.meta(forwarded, true, spec.CacheHit)})
 			} else {
 				writeJSON(w, http.StatusOK, results[0])
 			}
@@ -681,7 +1029,7 @@ func (s *Server) answerDegraded(endpoint string, w http.ResponseWriter, r *http.
 
 // cachedResults assembles one degraded ResultJSON per system purely from
 // the radius cache, or reports ok=false when any feature misses.
-func (s *Server) cachedResults(systems []*spec.System) ([]spec.ResultJSON, bool) {
+func (s *Server) cachedResults(systems []*spec.System, forwarded bool) ([]spec.ResultJSON, bool) {
 	results := make([]spec.ResultJSON, len(systems))
 	for i, sys := range systems {
 		a, ok := batch.AnalyzeCached(batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
@@ -690,7 +1038,10 @@ func (s *Server) cachedResults(systems []*spec.System) ([]spec.ResultJSON, bool)
 			return nil, false
 		}
 		results[i] = spec.Encode(sys.Name, a)
-		results[i].Degraded = true
+		results[i].Meta = s.meta(forwarded, true, spec.CacheHit)
+		if s.cfg.CompatV1Degraded {
+			results[i].Degraded = true
+		}
 	}
 	return results, true
 }
@@ -702,6 +1053,7 @@ func (s *Server) fail(endpoint string, w http.ResponseWriter, r *http.Request, e
 	status, kind, path := http.StatusInternalServerError, "internal", ""
 	var ve *spec.ValidationError
 	var se *core.SolveError
+	var pe *PeerError
 	switch {
 	case errors.As(err, &ve):
 		status, kind, path = http.StatusBadRequest, "invalid_spec", ve.Path
@@ -715,6 +1067,14 @@ func (s *Server) fail(endpoint string, w http.ResponseWriter, r *http.Request, e
 		status, kind = http.StatusServiceUnavailable, "shutting_down"
 	case errors.As(err, &se):
 		status, kind = http.StatusInternalServerError, "solver_failure"
+	case errors.As(err, &pe):
+		// A ring owner could not be reached and degraded serving is off.
+		if errors.Is(err, cluster.ErrPeerOpen) {
+			status, kind = http.StatusServiceUnavailable, "peer_circuit_open"
+			s.retryAfterHeader(w)
+		} else {
+			status, kind = http.StatusBadGateway, "peer_unreachable"
+		}
 	}
 	obs.TraceFrom(r.Context()).SetAttr("outcome", kind)
 	if status >= http.StatusInternalServerError {

@@ -96,7 +96,8 @@ func decodeError(t *testing.T, data []byte) spec.ErrorJSON {
 }
 
 // TestAnalyzeRoundTrip proves a served analysis is DeepEqual — and, after
-// re-marshalling, byte-identical — to the in-process library result.
+// re-marshalling, byte-identical — to the in-process library result,
+// modulo the ResponseMeta block only fepiad emits.
 func TestAnalyzeRoundTrip(t *testing.T) {
 	ts := httptest.NewServer(New(quietConfig(Config{})).Handler())
 	defer ts.Close()
@@ -109,6 +110,16 @@ func TestAnalyzeRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(body, &served); err != nil {
 		t.Fatalf("response not a ResultJSON: %v", err)
 	}
+	if served.Meta == nil {
+		t.Fatal("served result carries no meta block")
+	}
+	if served.Meta.Cache != spec.CacheMiss {
+		t.Fatalf("cold analyze meta.cache = %q, want %q", served.Meta.Cache, spec.CacheMiss)
+	}
+	if served.Meta.Forwarded || served.Meta.Degraded {
+		t.Fatalf("solo serve stamped cluster markers: %+v", served.Meta)
+	}
+	served.Meta = nil
 	want := libraryResult(t, webFarm)
 	if !reflect.DeepEqual(served, want) {
 		t.Fatalf("served result differs from library path:\n got %+v\nwant %+v", served, want)
@@ -171,6 +182,11 @@ func TestBatchConcurrentSharedCache(t *testing.T) {
 				return
 			}
 			for i, r := range br.Results {
+				if r.Meta == nil || r.Meta.Cache == "" {
+					errs <- fmt.Errorf("client %d result %d: missing meta/cache provenance: %+v", c, i, r.Meta)
+					return
+				}
+				r.Meta = nil
 				got, _ := json.Marshal(r)
 				if !bytes.Equal(got, want[(c+i)%len(want)]) {
 					errs <- fmt.Errorf("client %d result %d:\n got %s\nwant %s", c, i, got, want[(c+i)%len(want)])

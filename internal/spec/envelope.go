@@ -22,7 +22,13 @@ type BatchRequest struct {
 // BatchResponse is the POST /v1/batch answer.
 type BatchResponse struct {
 	// Results holds one analysis per submitted system, in request order.
+	// Each carries its own ResponseMeta when served by fepiad (systems in
+	// one batch may resolve on different cluster nodes).
 	Results []ResultJSON `json:"results"`
+	// Meta summarises the whole batch: the accepting node, whether ANY
+	// system was forwarded or degraded, and the coldest cache source any
+	// system needed. Nil on library output.
+	Meta *ResponseMeta `json:"meta,omitempty"`
 }
 
 // ErrorJSON is the error envelope of every non-2xx fepiad response.

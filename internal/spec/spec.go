@@ -35,8 +35,10 @@
 package spec
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"fepia/internal/convexfn"
@@ -107,6 +109,17 @@ type System struct {
 	Perturbation core.Perturbation
 	// Options carries the norm selection.
 	Options core.Options
+	// RouteKey is a deterministic 64-bit digest of the canonical spec
+	// document, identical for the same spec on every node regardless of
+	// request formatting. The cluster layer (internal/cluster) hashes it
+	// onto the consistent-hash ring to pick the owning fepiad node, so
+	// structurally identical systems always land on the same node's warm
+	// cache.
+	RouteKey uint64
+	// File is the decoded source document the system was built from,
+	// retained so cluster forwarding can re-marshal sub-batches without
+	// keeping the original request body around.
+	File File
 }
 
 // Parse decodes and validates a JSON spec. Every failure is a
@@ -179,7 +192,22 @@ func Build(f File) (*System, error) {
 		}
 		features = append(features, feature)
 	}
-	return &System{Name: f.Name, Features: features, Perturbation: p, Options: opts}, nil
+	return &System{Name: f.Name, Features: features, Perturbation: p, Options: opts,
+		RouteKey: routeKey(f), File: f}, nil
+}
+
+// routeKey digests the canonical re-marshaled form of a decoded File —
+// struct field order is fixed and request whitespace is gone, so two
+// nodes decoding the same spec always agree on the key.
+func routeKey(f File) uint64 {
+	doc, err := json.Marshal(f)
+	if err != nil {
+		// A decoded File always re-marshals; keep Build infallible here.
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(doc)
+	return h.Sum64()
 }
 
 // buildImpact assembles the impact function of one feature; path locates
@@ -223,12 +251,36 @@ func buildImpact(is ImpactSpec, dim int, path string) (core.Impact, error) {
 			F:      cc.Eval,
 			Grad:   cc.Gradient,
 			Convex: true,
+			// The term list fully determines the function, so encode it as
+			// the impact's content identity: decoding the same document
+			// twice — or on two cluster nodes — yields cache-equal
+			// impacts, and convex radii memoise across requests like
+			// linear ones do.
+			Fingerprint: termsFingerprint(dim, cc),
 		}, nil
 	case "":
 		return nil, invalidf(path+".type", "impact type missing")
 	default:
 		return nil, invalidf(path+".type", "unknown impact type %q (want linear or terms)", is.Type)
 	}
+}
+
+// termsFingerprint canonically encodes a validated term list (plus the
+// perturbation dimension) as the FuncImpact content identity. Every
+// field that changes the function's value enters the encoding, floats by
+// IEEE-754 bit pattern, so fingerprint equality is exactly functional
+// equality for terms-built impacts.
+func termsFingerprint(dim int, c convexfn.Complexity) []byte {
+	b := make([]byte, 0, 8+24*len(c))
+	b = append(b, 't', '1') // terms encoding, version 1
+	b = binary.LittleEndian.AppendUint64(b, uint64(dim))
+	for _, t := range c {
+		b = append(b, byte(t.Kind))
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.Index))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Coeff))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.P))
+	}
+	return b
 }
 
 // parseKind maps the JSON kind strings onto TermKind.
@@ -256,12 +308,20 @@ type ResultJSON struct {
 	Critical     string       `json:"critical_feature,omitempty"`
 	Radii        []RadiusJSON `json:"radii"`
 	// Degraded marks an analysis served from the fepiad radius cache
-	// while the engine was unavailable (circuit open or a solve failure):
-	// the values are exact memoised results, but they were not recomputed
-	// for this request. Absent (false) on every normal response, so
-	// fault-free documents are byte-identical with or without the
-	// resilience layer.
+	// while the engine was unavailable (circuit open or a solve failure).
+	//
+	// Deprecated: the top-level marker is superseded by Meta.Degraded and
+	// is only emitted by fepiad behind the -compat-v1-degraded flag (one
+	// release of grace; see docs/SERVICE.md). Library callers and the CLIs
+	// never set it.
 	Degraded bool `json:"degraded,omitempty"`
+	// Meta is the fepiad serving envelope: which node answered, whether
+	// the request was forwarded across the cluster ring, whether the
+	// answer was served degraded, and where the radii came from (cache
+	// hit, fresh solve, coalesced wait, or kernel sweep). Nil on library
+	// and CLI output, so in-process documents stay byte-identical to
+	// pre-cluster releases.
+	Meta *ResponseMeta `json:"meta,omitempty"`
 }
 
 // RadiusJSON is one feature's radius.

@@ -50,6 +50,36 @@ func TestParseAndAnalyze(t *testing.T) {
 	}
 }
 
+// Two decodes of the same document must produce terms impacts with the
+// same content fingerprint — that equality is what lets the radius cache
+// (and a peer node the request is forwarded to) reuse a convex solve
+// across requests. Different term lists must not collide.
+func TestTermsImpactFingerprintStable(t *testing.T) {
+	fp := func(doc string) []byte {
+		t.Helper()
+		sys, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, ok := sys.Features[1].Impact.(*core.FuncImpact)
+		if !ok {
+			t.Fatalf("terms impact decoded as %T, want *core.FuncImpact", sys.Features[1].Impact)
+		}
+		if len(fi.Fingerprint) == 0 {
+			t.Fatal("terms impact has no fingerprint")
+		}
+		return fi.Fingerprint
+	}
+	a, b := fp(webFarm), fp(webFarm)
+	if string(a) != string(b) {
+		t.Fatalf("same document, different fingerprints:\n%x\n%x", a, b)
+	}
+	other := strings.Replace(webFarm, `"coeff": 2, "p": 2`, `"coeff": 2, "p": 3`, 1)
+	if string(fp(other)) == string(a) {
+		t.Fatal("different term lists share a fingerprint")
+	}
+}
+
 func TestParseNorms(t *testing.T) {
 	base := `{"perturbation": {"orig": [0, 0]}, "norm": %q,
 	  "features": [{"max": 10, "impact": {"type": "linear", "coeffs": [1, 2]}}]}`

@@ -69,6 +69,7 @@ import (
 	"context"
 
 	"fepia/internal/batch"
+	"fepia/internal/cluster"
 	"fepia/internal/core"
 	"fepia/internal/etcgen"
 	"fepia/internal/hcs"
@@ -276,6 +277,47 @@ func ParseSpec(data []byte) (*SystemSpec, error) { return spec.Parse(data) }
 // result document — the same shape fepiad serves. Infinite radii are
 // emitted as −1 with the bound "unreachable" to stay plain-JSON.
 func EncodeAnalysis(name string, a Analysis) AnalysisJSON { return spec.Encode(name, a) }
+
+// Cluster serving. fepiad scales horizontally as a ring of nodes, each
+// owning a consistent-hash arc of radius-cache keys; requests for keys
+// a node does not own are forwarded to the owner, and every /v1 result
+// carries a ResponseMeta block attributing the serving node, relay, and
+// cache provenance (docs/CLUSTER.md). These aliases let clients of a
+// fepiad cluster decode response metadata, reason about ring placement,
+// and classify peer failures without importing internal packages.
+type (
+	// ResponseMeta is the serving-metadata block on every /v1 result:
+	// which node answered, whether the request was forwarded to its ring
+	// owner or served degraded, and how the radius cache was involved
+	// (miss, coalesced, kernel, hit).
+	ResponseMeta = spec.ResponseMeta
+	// ClusterPeer is one node of a fepiad ring: an identity plus the
+	// base URL peers reach it on.
+	ClusterPeer = cluster.Peer
+	// ClusterConfig describes a node's view of the ring — self identity,
+	// full membership, and the forwarding retry/breaker tuning.
+	ClusterConfig = cluster.Config
+	// ClusterRing is the consistent-hash ring assigning route keys to
+	// node identities; all nodes with the same membership agree on every
+	// assignment.
+	ClusterRing = cluster.Ring
+	// PeerError reports a failed forward to a ring peer, after retries.
+	// fepiad maps it to 502 (peer unreachable) or 503 (peer circuit
+	// open); match with errors.As.
+	PeerError = cluster.PeerError
+)
+
+// NewClusterRing builds the consistent-hash ring over the given node
+// identities with replicas virtual points per node (0 = default).
+// Membership order does not matter: every permutation yields the same
+// ring, which is what lets each node compute ownership locally.
+func NewClusterRing(nodes []string, replicas int) (*ClusterRing, error) {
+	return cluster.NewRing(nodes, replicas)
+}
+
+// ParseClusterPeers decodes the -peers flag form "id=url,id=url,..."
+// into ring membership.
+func ParseClusterPeers(s string) ([]ClusterPeer, error) { return cluster.ParsePeers(s) }
 
 // Norm is the perturbation-space norm interface accepted by Options.
 type Norm = vecmath.Norm

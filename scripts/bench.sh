@@ -1,14 +1,17 @@
 #!/usr/bin/env sh
 # bench.sh — reproducible benchmark run behind `make bench`.
 #
-# Builds cmd/bench and runs it with pinned seeds and workload shape, so
-# two runs on the same machine measure the same byte-identical key
-# stream. Writes BENCH_6.json (cold / warm / contended cache series for
-# the frozen single-mutex baseline and the live sharded cache, the
-# kernel_warm / kernel_cold / mixed series for the SoA analytic kernel,
-# plus the derived speedup summary) to the repo root; CI uploads it as
-# an artifact. Override the output path with BENCH_OUT, the workload
-# with BENCH_FLAGS.
+# Builds cmd/bench and cmd/loadgen and runs them with pinned seeds and
+# workload shape, so two runs on the same machine measure the same
+# byte-identical key stream. Writes BENCH_7.json (cold / warm /
+# contended cache series for the frozen single-mutex baseline and the
+# live sharded cache, the kernel_warm / kernel_cold / mixed series for
+# the SoA analytic kernel, the loadgen-driven cluster series — 1-node
+# LRU-thrash vs 3-node consistent-hash ring on the same per-node cache
+# capacity, plus the kill-a-node chaos story — and the derived speedup
+# summary) to the repo root; CI uploads it as an artifact. Override the
+# output path with BENCH_OUT, the cache/kernel workload with
+# BENCH_FLAGS, the cluster workload with BENCH_CLUSTER_FLAGS.
 #
 #   ./scripts/bench.sh
 #   BENCH_OUT=/tmp/b.json BENCH_FLAGS="-keys 1024 -dim 16" ./scripts/bench.sh
@@ -16,23 +19,58 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_6.json}"
+OUT="${BENCH_OUT:-BENCH_7.json}"
 FLAGS="${BENCH_FLAGS:--seed 2003 -keys 512 -dim 8 -iters 20000 -reps 5 -sweeps 100}"
+# The cluster workload: 96 distinct systems × ~13 cacheable radius
+# subproblems ≈ 1250 entries against a 1024-entry per-node cache, cycled
+# deterministically. One node thrashes its LRU (every request re-runs
+# the convex solver); three nodes each own an arc of ~420 entries that
+# stays resident, so the same capacity serves the whole set warm.
+CLUSTER_FLAGS="${BENCH_CLUSTER_FLAGS:--cache 1024 -pool 96 -heavy 10 -batch 1 -cycle -warmup -n 576 -c 8 -seed 2003}"
 
-go build -o "${TMPDIR:-/tmp}/fepia-bench" ./cmd/bench
+TMP="${TMPDIR:-/tmp}"
+go build -o "$TMP/fepia-bench" ./cmd/bench
+go build -o "$TMP/fepia-loadgen" ./cmd/loadgen
 # shellcheck disable=SC2086  # FLAGS is intentionally word-split
-"${TMPDIR:-/tmp}/fepia-bench" -out "$OUT" $FLAGS
+"$TMP/fepia-bench" -out "$OUT" $FLAGS
 
-# Gate the headline claims so a regression fails the target, not just
-# drifts the artifact: contended speedup over the single-mutex baseline
-# must hold >= 2x, the shared warm-hit path must not allocate, the SoA
-# kernel must hold >= 4x over the per-feature analytic loop, and both
-# byte-identity checks (all-linear and mixed routing through the engine)
-# must have passed inside the harness.
-python3 - "$OUT" <<'EOF'
+# The cluster series: identical workload against one node and against a
+# 3-node in-process ring, then the chaos story — same ring, node n1
+# killed halfway through the run. Client failover plus degraded serving
+# must keep every request answered.
+# shellcheck disable=SC2086
+"$TMP/fepia-loadgen" -self -nodes 1 $CLUSTER_FLAGS -json >"$TMP/fepia-cluster-1.json"
+# shellcheck disable=SC2086
+"$TMP/fepia-loadgen" -self -nodes 3 $CLUSTER_FLAGS -json >"$TMP/fepia-cluster-3.json"
+# shellcheck disable=SC2086
+"$TMP/fepia-loadgen" -self -nodes 3 $CLUSTER_FLAGS -kill 1@0.5 -json >"$TMP/fepia-cluster-chaos.json"
+
+# Merge the loadgen reports into the bench artifact and gate the
+# headline claims so a regression fails the target, not just drifts the
+# artifact: contended speedup over the single-mutex baseline must hold
+# >= 2x, the shared warm-hit path must not allocate, the SoA kernel must
+# hold >= 4x over the per-feature analytic loop, both byte-identity
+# checks (all-linear and mixed routing through the engine) must have
+# passed inside the harness, the 3-node ring must serve the warm workload
+# >= 2.2x faster than one node, and the chaos story must drop zero
+# requests.
+python3 - "$OUT" "$TMP/fepia-cluster-1.json" "$TMP/fepia-cluster-3.json" "$TMP/fepia-cluster-chaos.json" <<'EOF'
 import json, sys
 rep = json.load(open(sys.argv[1]))
+one = json.load(open(sys.argv[2]))
+three = json.load(open(sys.argv[3]))
+chaos = json.load(open(sys.argv[4]))
+
+rep["cluster"] = {"one_node": one, "three_node": three, "chaos": chaos}
 s = rep["summary"]
+s["cluster_scaling"] = three["throughput_rps"] / one["throughput_rps"]
+s["cluster_one_node_rps"] = one["throughput_rps"]
+s["cluster_three_node_rps"] = three["throughput_rps"]
+s["cluster_chaos_dropped"] = chaos["failed"]
+s["cluster_chaos_degraded"] = chaos.get("degraded", 0)
+s["cluster_chaos_failovers"] = chaos.get("failovers", 0)
+json.dump(rep, open(sys.argv[1], "w"), indent=2)
+
 ok = True
 if s["contended_speedup"] < 2.0:
     print(f"FAIL: contended speedup {s['contended_speedup']:.2f}x < 2x", file=sys.stderr)
@@ -49,10 +87,29 @@ if not s["kernel_identical"]:
 if not s["kernel_mixed_identical"]:
     print("FAIL: mixed-batch kernel routing changed the analysis", file=sys.stderr)
     ok = False
+if s["cluster_scaling"] < 2.2:
+    print(f"FAIL: 3-node warm-hit scaling {s['cluster_scaling']:.2f}x < 2.2x", file=sys.stderr)
+    ok = False
+if chaos["failed"] != 0 or chaos["ok"] != chaos["requests"]:
+    print(f"FAIL: chaos story dropped requests ({chaos['failed']} failed, "
+          f"{chaos['ok']}/{chaos['requests']} ok)", file=sys.stderr)
+    ok = False
+if not chaos.get("killed"):
+    print("FAIL: chaos story did not kill a node", file=sys.stderr)
+    ok = False
+if chaos.get("degraded", 0) <= 0 and chaos.get("failovers", 0) <= 0:
+    print("FAIL: chaos story shows no degraded serving and no failovers — "
+          "the kill had no observable effect", file=sys.stderr)
+    ok = False
 print(f"bench: contended x{s['contended_workers']} speedup {s['contended_speedup']:.2f}x, "
       f"warm allocs/op baseline={s['warm_hit_allocs_baseline']:.1f} "
       f"shared={s['warm_hit_allocs_sharded_shared']:.2f}, "
       f"kernel warm {s['kernel_speedup']:.2f}x cold {s['kernel_cold_speedup']:.2f}x "
       f"identical={s['kernel_identical']} mixed={s['kernel_mixed_identical']}")
+print(f"bench: cluster 3-node/1-node warm-hit {s['cluster_scaling']:.2f}x "
+      f"({one['throughput_rps']:.0f} -> {three['throughput_rps']:.0f} req/s), "
+      f"chaos killed {chaos.get('killed', '?')}: {chaos['ok']}/{chaos['requests']} ok, "
+      f"{chaos['failed']} dropped, {chaos.get('degraded', 0)} degraded, "
+      f"{chaos.get('failovers', 0)} failovers")
 sys.exit(0 if ok else 1)
 EOF

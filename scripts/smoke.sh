@@ -2,13 +2,19 @@
 # smoke.sh — boot a real fepiad binary, drive one analysis through it,
 # and verify the observability surfaces answer: /healthz, /metrics
 # (Prometheus text exposition), /debug/vars, and /debug/traces with the
-# request's spans. Exits non-zero on the first failed check.
+# request's spans. Then boot a 2-node consistent-hash ring and verify
+# cluster serving: /v1/ring membership, owner forwarding with the
+# X-Fepiad-Forwarded / X-Fepiad-Node headers, and the response meta
+# block (docs/CLUSTER.md). Exits non-zero on the first failed check.
 set -eu
 
 PORT="${FEPIAD_SMOKE_PORT:-18080}"
 BASE="http://127.0.0.1:$PORT"
 TMP="$(mktemp -d)"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+SERVER_PID=""
+RING_A_PID=""
+RING_B_PID=""
+trap 'kill "${SERVER_PID:-}" "${RING_A_PID:-}" "${RING_B_PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 echo "smoke: building fepiad"
 go build -o "$TMP/fepiad" ./cmd/fepiad
@@ -95,6 +101,80 @@ wait "$SERVER_PID" || {
 grep -q 'final metrics' "$TMP/fepiad.log" || {
     echo "smoke: no final metrics flush line in shutdown log" >&2
     cat "$TMP/fepiad.log" >&2
+    exit 1
+}
+
+echo "smoke: 2-node ring"
+PORT_A=$((PORT + 1))
+PORT_B=$((PORT + 2))
+BASE_A="http://127.0.0.1:$PORT_A"
+BASE_B="http://127.0.0.1:$PORT_B"
+PEERS="a=$BASE_A,b=$BASE_B"
+"$TMP/fepiad" -addr "127.0.0.1:$PORT_A" -node-id a -peers "$PEERS" -log-format text >"$TMP/ring-a.log" 2>&1 &
+RING_A_PID=$!
+"$TMP/fepiad" -addr "127.0.0.1:$PORT_B" -node-id b -peers "$PEERS" -log-format text >"$TMP/ring-b.log" 2>&1 &
+RING_B_PID=$!
+for node in "$BASE_A" "$BASE_B"; do
+    ok=0
+    for _ in $(seq 1 50); do
+        if curl -fsS "$node/healthz" >/dev/null 2>&1; then ok=1; break; fi
+        sleep 0.1
+    done
+    if [ "$ok" != 1 ]; then
+        echo "smoke: ring node $node never became healthy" >&2
+        cat "$TMP/ring-a.log" "$TMP/ring-b.log" >&2
+        exit 1
+    fi
+done
+
+echo "smoke: GET /v1/ring"
+curl -fsS "$BASE_A/v1/ring" >"$TMP/ring.json"
+for field in '"self": "a"' '"id": "a"' '"id": "b"' '"share"'; do
+    grep -qF "$field" "$TMP/ring.json" || {
+        echo "smoke: /v1/ring missing: $field" >&2
+        cat "$TMP/ring.json" >&2
+        exit 1
+    }
+done
+
+# The same document posted to both nodes: whichever node does not own
+# its route key must relay it to the owner and mark the relay with
+# X-Fepiad-Forwarded — exactly one of the two responses carries it.
+echo "smoke: owner forwarding + response meta"
+curl -fsS -D "$TMP/head-a.txt" -X POST -H "Content-Type: application/json" \
+    --data-binary @"$TMP/spec.json" "$BASE_A/v1/analyze" >"$TMP/res-a.json"
+curl -fsS -D "$TMP/head-b.txt" -X POST -H "Content-Type: application/json" \
+    --data-binary @"$TMP/spec.json" "$BASE_B/v1/analyze" >"$TMP/res-b.json"
+for res in "$TMP/res-a.json" "$TMP/res-b.json"; do
+    for field in '"robustness"' '"meta"' '"node"' '"cache"'; do
+        grep -qF "$field" "$res" || {
+            echo "smoke: ring analysis missing $field in $res" >&2
+            cat "$res" >&2
+            exit 1
+        }
+    done
+done
+forwarded=$(cat "$TMP/head-a.txt" "$TMP/head-b.txt" | grep -ci '^X-Fepiad-Forwarded: true' || true)
+if [ "$forwarded" != 1 ]; then
+    echo "smoke: expected exactly one forwarded response, saw $forwarded" >&2
+    cat "$TMP/head-a.txt" "$TMP/head-b.txt" >&2
+    exit 1
+fi
+grep -qi '^X-Fepiad-Node:' "$TMP/head-a.txt" || {
+    echo "smoke: response missing X-Fepiad-Node header" >&2
+    cat "$TMP/head-a.txt" >&2
+    exit 1
+}
+grep -qF '"forwarded": true' "$TMP/res-a.json" "$TMP/res-b.json" || {
+    echo "smoke: neither ring response carries meta.forwarded" >&2
+    cat "$TMP/res-a.json" "$TMP/res-b.json" >&2
+    exit 1
+}
+
+kill -TERM "$RING_A_PID" "$RING_B_PID"
+wait "$RING_A_PID" "$RING_B_PID" || {
+    echo "smoke: ring node exited non-zero on SIGTERM" >&2
+    cat "$TMP/ring-a.log" "$TMP/ring-b.log" >&2
     exit 1
 }
 
