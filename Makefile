@@ -41,11 +41,13 @@ race:
 
 # bench: the reproducible benchmark harness — pinned seeds, frozen
 # single-mutex baseline vs the live sharded cache, SoA kernel vs the
-# per-feature analytic loop, plus the loadgen-driven multi-node cluster
+# per-feature analytic loop, the loadgen-driven multi-node cluster
 # series (warm-hit scaling at 3 in-process nodes, kill-a-node chaos
-# story). BENCH_7.json artifact with >=2x contended, >=4x kernel, and
-# >=2.2x cluster-scaling gates plus byte-identity and zero-dropped
-# checks (see cmd/bench, cmd/loadgen, and docs/PERFORMANCE.md).
+# story), plus the restart series (warm boot from a cache snapshot vs
+# cold restart). BENCH_8.json artifact with >=2x contended, >=4x
+# kernel, >=2.2x cluster-scaling, and >=1.5x warm-boot-p99 gates plus
+# byte-identity, zero-dropped, and first-request-hit checks (see
+# cmd/bench, cmd/loadgen, and docs/PERFORMANCE.md).
 bench:
 	./scripts/bench.sh
 
@@ -72,11 +74,12 @@ else
 	$(GO) run ./cmd/loadgen -url $(LOADTEST_URL) -n 2000 -c 32 -batch 8
 endif
 
-# fuzz: a bounded fuzzing smoke over the spec parser and the retryable-
-# error classifier (CI runs this).
+# fuzz: a bounded fuzzing smoke over the spec parser, the retryable-
+# error classifier, and the cache-snapshot decoder (CI runs this).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/spec
 	$(GO) test -fuzz=FuzzRetryable -fuzztime=30s ./internal/faults
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/batch
 
 # chaos: the seeded fault-injection suite under the race detector —
 # injected errors/panics/latency/cancels through the batch engine, the

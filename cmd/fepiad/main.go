@@ -22,6 +22,12 @@
 // from the radius cache with a "degraded": true marker. The
 // FEPIAD_FAULTS env knob activates the seeded fault-injection harness
 // for chaos drills.
+//
+// Persistence & anytime serving (docs/SERVICE.md): -snapshot-path
+// persists the radius cache across restarts (periodic + on drain,
+// restored at boot; corrupt files boot cold, never crash), and -anytime
+// turns deadline expiries into certified lower-bound answers with
+// meta.anytime instead of 504s.
 package main
 
 import (
@@ -62,6 +68,10 @@ func main() {
 		breakerCooldown = flag.Duration("breaker-cooldown", server.DefaultBreakerCooldown, "how long an open breaker rejects before probing half-open")
 		degraded        = flag.Bool("degraded", true, "serve cached analyses with a degraded marker when the engine is unavailable")
 
+		snapshotPath     = flag.String("snapshot-path", "", "persist the radius cache here (periodic + on drain) and restore it at boot; empty disables persistence")
+		snapshotInterval = flag.Duration("snapshot-interval", server.DefaultSnapshotInterval, "periodic cache-snapshot cadence (<= 0 snapshots on drain only)")
+		anytime          = flag.Bool("anytime", false, "on deadline expiry answer with the best certified lower bound (meta.anytime) instead of 504; specs can also opt in per request")
+
 		nodeID         = flag.String("node-id", "", "this node's identity on the cluster ring (required with -peers)")
 		peersFlag      = flag.String("peers", "", "full ring membership as id=url,id=url,... including this node (empty = solo); see docs/CLUSTER.md")
 		peerReplicas   = flag.Int("peer-replicas", 0, "virtual points per node on the consistent-hash ring (0 = default; all nodes must agree)")
@@ -78,6 +88,46 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, *logFormat, level).With("service", "fepiad")
 	slog.SetDefault(logger)
 
+	// Reject nonsensical values early with a clean exit 2 instead of
+	// letting withDefaults silently paper over them. flag.Visit walks only
+	// flags the operator actually set, so the 0-as-default convention
+	// (-workers 0, -cache-shards omitted, …) stays legal while an explicit
+	// "-cache-shards 0" or "-timeout -1s" is a configuration error.
+	badFlag := ""
+	flag.Visit(func(f *flag.Flag) {
+		bad := false
+		switch f.Name {
+		case "timeout", "retry-after", "drain", "breaker-cooldown", "forward-timeout":
+			d, err := time.ParseDuration(f.Value.String())
+			bad = err != nil || d < 0
+		case "cache-shards":
+			bad = *cacheShards <= 0
+		case "peer-replicas":
+			bad = *peerReplicas < 1
+		case "cache":
+			bad = *cacheCap < 0
+		case "workers":
+			bad = *workers < 0
+		case "max-inflight":
+			bad = *maxInFlight < 1
+		case "max-body":
+			bad = *maxBody < 1
+		case "trace-cap":
+			bad = *traceCap < 0
+		case "retry-max":
+			bad = *retryMax < 1
+		case "breaker-window":
+			bad = *breakerWindow < 0
+		}
+		if bad && badFlag == "" {
+			badFlag = f.Name
+		}
+	})
+	if badFlag != "" {
+		logger.Error("invalid flag value", "flag", "-"+badFlag, "value", flag.Lookup(badFlag).Value.String())
+		os.Exit(2)
+	}
+
 	// Flag semantics use 0/1 for "off"; the Config zero value means
 	// "default", so off is passed as a negative.
 	rm, bw := *retryMax, *breakerWindow
@@ -86,6 +136,12 @@ func main() {
 	}
 	if bw <= 0 {
 		bw = -1
+	}
+	// A zero or negative -snapshot-interval means drain-only persistence;
+	// Config's zero value means "default cadence", so pass it as -1.
+	si := *snapshotInterval
+	if si <= 0 {
+		si = -1
 	}
 
 	// FEPIAD_FAULTS activates the chaos harness on a running instance,
@@ -146,6 +202,10 @@ func main() {
 		BreakerWindow:   bw,
 		BreakerCooldown: *breakerCooldown,
 		Degraded:        *degraded,
+
+		SnapshotPath:     *snapshotPath,
+		SnapshotInterval: si,
+		Anytime:          *anytime,
 
 		NodeID:           *nodeID,
 		Peers:            peers,

@@ -126,6 +126,10 @@ func main() {
 		latency   = obs.NewHistogram(nil)
 		nodeMu    sync.Mutex
 		perNode   = map[string]int64{}
+		// The first served response's meta.cache value ("hit" when the
+		// server booted from a warm snapshot) — the restart bench's signal.
+		firstTaken atomic.Bool
+		firstCache atomic.Value
 	)
 	log.Printf("%d requests × %d systems → %s on %d node(s) over %d clients", *n, *batch, path, len(bases), *c)
 	start := time.Now()
@@ -158,7 +162,13 @@ func main() {
 						failCount.Add(1)
 						break
 					}
-					drain(resp)
+					if resp.StatusCode == http.StatusOK && firstTaken.CompareAndSwap(false, true) {
+						body, _ := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						firstCache.Store(metaCache(body))
+					} else {
+						drain(resp)
+					}
 					if resp.StatusCode == http.StatusServiceUnavailable && attempt < *retry503 {
 						shedCount.Add(1)
 						time.Sleep(retryAfterDelay(resp, *maxWait))
@@ -204,6 +214,9 @@ func main() {
 	if killAt > 0 {
 		rep.Killed = fmt.Sprintf("n%d@%d", killIdx, killAt)
 	}
+	if fc, ok := firstCache.Load().(string); ok {
+		rep.FirstCache = fc
+	}
 	if rep.OK > 0 {
 		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
 		rep.Analyses = rep.Throughput * float64(*batch)
@@ -235,6 +248,9 @@ func main() {
 				fmt.Printf("  node %s served %d\n", node, served)
 			}
 		}
+		if rep.FirstCache != "" {
+			fmt.Printf("first response cache: %s\n", rep.FirstCache)
+		}
 		if lr := rep.Latency; lr != nil {
 			fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n", rep.Throughput, rep.Analyses)
 			fmt.Printf("latency: p50 %.3gms  p90 %.3gms  p99 %.3gms  mean %.3gms  max %.3gms\n",
@@ -264,6 +280,10 @@ type report struct {
 	Failovers  int64            `json:"failovers,omitempty"`
 	PerNode    map[string]int64 `json:"per_node,omitempty"`
 	Killed     string           `json:"killed,omitempty"`
+	// FirstCache is meta.cache of the first served response: "hit" means
+	// the server answered its very first request from a warm cache — the
+	// snapshot-restart bench asserts exactly this.
+	FirstCache string `json:"first_cache,omitempty"`
 	ElapsedMS  float64          `json:"elapsed_ms"`
 	Throughput float64          `json:"throughput_rps,omitempty"`
 	Analyses   float64          `json:"analyses_per_sec,omitempty"`
@@ -407,6 +427,21 @@ func parseKill(s string, n, nodes int, selfRing bool) (killIdx, killAt int) {
 		killAt = 1
 	}
 	return killIdx, killAt
+}
+
+// metaCache extracts meta.cache from a served response body. Both
+// /v1/analyze and /v1/batch answers carry a top-level meta block, so one
+// shape covers both endpoints; anything unparseable reports "".
+func metaCache(body []byte) string {
+	var doc struct {
+		Meta struct {
+			Cache string `json:"cache"`
+		} `json:"meta"`
+	}
+	if json.Unmarshal(body, &doc) != nil {
+		return ""
+	}
+	return doc.Meta.Cache
 }
 
 // drain empties and closes a response body so connections are reused.

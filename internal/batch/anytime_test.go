@@ -1,0 +1,111 @@
+package batch
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"fepia/internal/core"
+)
+
+// convexJob is one system whose only feature needs the numeric convex
+// solver — the workload where a deadline can actually expire mid-solve.
+func convexJob(fp []byte) Job {
+	return Job{
+		Features: []core.Feature{{
+			Name: "sphere",
+			Impact: &core.FuncImpact{
+				N:           2,
+				F:           func(pi []float64) float64 { return pi[0]*pi[0] + pi[1]*pi[1] },
+				Convex:      true,
+				Fingerprint: fp,
+			},
+			Bounds: core.NoMin(25),
+		}},
+		Perturbation: core.Perturbation{Name: "π", Orig: []float64{1, 0}},
+	}
+}
+
+// The anytime cache discipline: a partial answer is never cached; an
+// exact answer is; and a warm hit is served exact even when the request
+// deadline has already expired.
+func TestAnytimeCacheDiscipline(t *testing.T) {
+	c := NewCache(16)
+	job := convexJob([]byte("anytime-sphere"))
+	opts := Options{Cache: c, Anytime: true}
+
+	// 1. Expired deadline, cold cache → a certified partial, not cached.
+	expired, cancel := context.WithDeadline(context.Background(), time.Unix(0, 1))
+	defer cancel()
+	a, err := AnalyzeOneContext(expired, job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Radii[0].Kind != core.LowerBound {
+		t.Fatalf("cold expired analysis = %+v, want a LowerBound partial", a.Radii[0])
+	}
+	if got := c.Stats().Size; got != 0 {
+		t.Fatalf("partial result was cached (size %d)", got)
+	}
+
+	// 2. Live deadline → exact answer, inserted into the cache.
+	b, err := AnalyzeOneContext(context.Background(), job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Radii[0].Kind == core.LowerBound {
+		t.Fatalf("unhurried analysis degraded to a bound: %+v", b.Radii[0])
+	}
+	if got := c.Stats().Size; got != 1 {
+		t.Fatalf("exact result not cached (size %d)", got)
+	}
+
+	// 3. Expired deadline, warm cache → the exact cached answer, served
+	// as a hit.
+	hitsBefore := c.Stats().Hits
+	d, err := AnalyzeOneContext(expired, job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Radii[0].Kind == core.LowerBound {
+		t.Fatalf("warm expired analysis degraded to a bound: %+v", d.Radii[0])
+	}
+	if math.Float64bits(d.Radii[0].Radius) != math.Float64bits(b.Radii[0].Radius) {
+		t.Fatalf("warm radius %v != exact %v", d.Radii[0].Radius, b.Radii[0].Radius)
+	}
+	if got := c.Stats().Hits; got != hitsBefore+1 {
+		t.Fatalf("warm anytime serve not counted as a hit (%d → %d)", hitsBefore, got)
+	}
+}
+
+// Anytime mode with a healthy deadline must agree with the plain path
+// bit-for-bit, so opting in costs nothing when the solver is fast enough.
+func TestAnytimeMatchesPlainPath(t *testing.T) {
+	job := convexJob([]byte("anytime-parity"))
+	plain, err := AnalyzeOneContext(context.Background(), job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anytime, err := AnalyzeOneContext(context.Background(), job, Options{Anytime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(plain.Radii[0].Radius) != math.Float64bits(anytime.Radii[0].Radius) {
+		t.Fatalf("anytime radius %v != plain %v", anytime.Radii[0].Radius, plain.Radii[0].Radius)
+	}
+	if plain.Radii[0].Kind != anytime.Radii[0].Kind || plain.Radii[0].Method != anytime.Radii[0].Method {
+		t.Fatalf("kind/method diverge: %+v vs %+v", plain.Radii[0], anytime.Radii[0])
+	}
+}
+
+// Plain cancellation (no deadline) still fails an anytime request: the
+// partial-answer contract covers deadlines only.
+func TestAnytimeCancelledStillFails(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AnalyzeOneContext(ctx, convexJob(nil), Options{Anytime: true})
+	if err == nil {
+		t.Fatal("cancelled anytime analysis returned a result")
+	}
+}

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/pprof"
@@ -56,6 +57,17 @@ type Options struct {
 	// cache — so degraded serving and cluster cache-affinity cover the
 	// kernel path too (see docs/PERFORMANCE.md for the routing rules).
 	Kernel bool
+	// Anytime turns a mid-solve deadline expiry into a certified partial
+	// answer instead of an aborted analysis: per-feature solves run
+	// through core.ComputeRadiusAnytime, and a feature whose minimiser
+	// did not converge in time reports its best certified lower bound
+	// (Kind core.LowerBound) with a nil error. Cancellation that is not
+	// a deadline still aborts. Partial results never enter the cache or
+	// the singleflight — waiters under different deadlines must not
+	// inherit them — so anytime misses bypass flight coalescing: warm
+	// hits are still served (and counted) from the shared cache, and
+	// exact results still populate it.
+	Anytime bool
 }
 
 // workers resolves the effective worker count.
@@ -210,7 +222,11 @@ func AnalyzeOneContext(ctx context.Context, job Job, opts Options) (core.Analysi
 			continue
 		}
 		if err := ctx.Err(); err != nil {
-			return core.Analysis{}, err
+			// In anytime mode a passed deadline is not fatal: the solve
+			// below returns a certified partial bound for this feature.
+			if !opts.Anytime || !errors.Is(err, context.DeadlineExceeded) {
+				return core.Analysis{}, err
+			}
 		}
 		r, err := solveFeature(ctx, i, f, job.Perturbation, copts, opts)
 		if err != nil {
@@ -249,6 +265,10 @@ func solveFeature(ctx context.Context, idx int, f core.Feature, p core.Perturbat
 		if err := faults.Inject(ctx, faults.Solve); err != nil {
 			return err
 		}
+		if opts.Anytime {
+			r, err = anytimeRadius(ctx, f, p, copts, opts)
+			return err
+		}
 		if opts.ShareBoundaries {
 			r, err = opts.Cache.RadiusContextShared(ctx, f, p, copts)
 		} else {
@@ -258,9 +278,40 @@ func solveFeature(ctx context.Context, idx int, f core.Feature, p core.Perturbat
 	}
 	err := opts.Retry.Do(ctx, attempt)
 	sp.AddRetries(attempts - 1)
+	if err == nil && r.Kind == core.LowerBound {
+		sp.Set("anytime", "partial")
+	}
 	sp.End(err)
 	if err != nil {
 		return core.RadiusResult{}, err
+	}
+	return r, nil
+}
+
+// anytimeRadius is the anytime-mode cache discipline: a counting warm
+// lookup first (a hit is an exact answer regardless of the deadline),
+// then a direct certified solve outside the singleflight — a partial
+// result must never be published to coalesced waiters holding different
+// deadlines, nor cached. Exact results are inserted with Put so later
+// traffic still warms up; the trade-off is that concurrent anytime
+// misses on one key may solve it more than once.
+func anytimeRadius(ctx context.Context, f core.Feature, p core.Perturbation, copts core.Options, opts Options) (core.RadiusResult, error) {
+	rs := requestStats(ctx)
+	if r, ok := opts.Cache.kernelGet(f, p, copts, !opts.ShareBoundaries); ok {
+		if rs != nil {
+			rs.Hits.Add(1)
+		}
+		return r, nil
+	}
+	r, err := core.ComputeRadiusAnytime(ctx, f, p, copts, nil)
+	if err != nil {
+		return core.RadiusResult{}, err
+	}
+	if rs != nil {
+		rs.Misses.Add(1)
+	}
+	if r.Kind != core.LowerBound {
+		opts.Cache.Put(f, p, copts, r)
 	}
 	return r, nil
 }

@@ -24,6 +24,12 @@ const (
 	// its requirement for every value of the parameter, and the radius is
 	// +Inf.
 	Unreachable
+	// LowerBound marks an anytime partial answer: the deadline expired
+	// before the minimiser converged, and Radius is a certified lower
+	// bound on the true radius — the system is proven safe for every
+	// perturbation smaller than it, but larger perturbations are
+	// undecided. Only ComputeRadiusAnytime produces it.
+	LowerBound
 )
 
 // String names the bound kind.
@@ -37,6 +43,8 @@ func (k BoundKind) String() string {
 		return "already-violated"
 	case Unreachable:
 		return "unreachable"
+	case LowerBound:
+		return "lower"
 	default:
 		return fmt.Sprintf("BoundKind(%d)", int(k))
 	}
@@ -56,6 +64,9 @@ const (
 	MethodAnneal Method = "anneal"
 	// MethodNone means no optimisation was needed (violated / unreachable).
 	MethodNone Method = "none"
+	// MethodAnytime marks a partial result assembled from certified
+	// lower bounds after a deadline expired mid-solve (Kind LowerBound).
+	MethodAnytime Method = "anytime"
 )
 
 // Options tunes the analysis.
@@ -158,14 +169,8 @@ func RecoveredSolveError(feature string, rec any) *SolveError {
 // default) that drives the feature onto either boundary of its tolerable
 // range.
 func ComputeRadius(f Feature, p Perturbation, opts Options) (RadiusResult, error) {
-	if err := f.Validate(); err != nil {
+	if err := validateRadiusInputs(f, p); err != nil {
 		return RadiusResult{}, err
-	}
-	if err := p.Validate(); err != nil {
-		return RadiusResult{}, err
-	}
-	if d := f.Impact.Dim(); d != len(p.Orig) {
-		return RadiusResult{}, fmt.Errorf("core: feature %q impact dimension %d != perturbation dimension %d", f.Name, d, len(p.Orig))
 	}
 	opts = opts.WithDefaults()
 
@@ -207,6 +212,22 @@ func ComputeRadius(f Feature, p Perturbation, opts Options) (RadiusResult, error
 		}
 	}
 	return best, nil
+}
+
+// validateRadiusInputs is the shared input validation of ComputeRadius
+// and ComputeRadiusAnytime, so both reject malformed inputs with
+// identical errors.
+func validateRadiusInputs(f Feature, p Perturbation) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if d := f.Impact.Dim(); d != len(p.Orig) {
+		return fmt.Errorf("core: feature %q impact dimension %d != perturbation dimension %d", f.Name, d, len(p.Orig))
+	}
+	return nil
 }
 
 // distanceToLevel dispatches on the impact type: exact dual-norm hyperplane

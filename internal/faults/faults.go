@@ -48,10 +48,14 @@ const (
 	// Admission fires in the fepiad admission gate; a fault sheds the
 	// request with 503 + Retry-After exactly like saturation.
 	Admission Point = "admission"
+	// SnapshotWrite fires before the fepiad cache snapshotter persists
+	// to disk; a fault loses that snapshot (the previous good file
+	// survives untouched) and never affects request serving.
+	SnapshotWrite Point = "snapshot_write"
 )
 
 // Points lists every injection site, in a fixed order.
-var Points = []Point{Solve, CacheGet, CachePut, WorkerSpawn, Admission}
+var Points = []Point{Solve, CacheGet, CachePut, WorkerSpawn, Admission, SnapshotWrite}
 
 // Kind is the failure mode a firing fault takes.
 type Kind string
@@ -60,7 +64,8 @@ const (
 	// KindError delivers a transient *InjectedError.
 	KindError Kind = "error"
 	// KindPanic panics with an *InjectedError value. At panic-unsafe
-	// points (WorkerSpawn, Admission) injectors downgrade it to KindError.
+	// points (WorkerSpawn, Admission, SnapshotWrite — no per-task
+	// recovery scope above them) injectors downgrade it to KindError.
 	KindPanic Kind = "panic"
 	// KindLatency sleeps for the configured spike, then succeeds.
 	KindLatency Kind = "latency"
@@ -167,7 +172,7 @@ func deliver(ctx context.Context, p Point, k Kind, seq uint64, latency time.Dura
 	case KindCancel:
 		return &InjectedError{Point: p, Kind: KindCancel, Seq: seq, Err: context.Canceled}
 	case KindPanic:
-		if p == WorkerSpawn || p == Admission {
+		if p == WorkerSpawn || p == Admission || p == SnapshotWrite {
 			// Panic-unsafe sites: downgrade (see Injector contract).
 			return &InjectedError{Point: p, Kind: KindError, Seq: seq, Transient: true}
 		}

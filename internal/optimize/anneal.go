@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 
 	"fepia/internal/stats"
@@ -46,6 +47,17 @@ func DefaultAnnealOptions() AnnealOptions {
 //
 // It returns ErrUnreachable when no sampled ray ever crosses the level set.
 func AnnealMinDistance(obj Objective, x0 []float64, target float64, opts AnnealOptions) (Result, error) {
+	return AnnealMinDistanceCtx(context.Background(), obj, x0, target, opts)
+}
+
+// AnnealMinDistanceCtx is AnnealMinDistance under a context: the
+// proposal loop polls ctx every few steps and, on expiry, returns
+// whatever it has found so far together with ctx.Err(). A partial
+// annealing run is NOT a certified answer of any kind — callers that
+// need rigour (the anytime mode) must discard it. With a background
+// context the proposal stream and result are bit-identical to
+// AnnealMinDistance.
+func AnnealMinDistanceCtx(ctx context.Context, obj Objective, x0 []float64, target float64, opts AnnealOptions) (Result, error) {
 	n := len(x0)
 	rng := stats.NewRNG(opts.Seed)
 	innerOpts := Options{Tol: opts.Tol, MaxIter: 200, RayMax: opts.RayMax, GradStep: 1e-6}
@@ -85,7 +97,7 @@ func AnnealMinDistance(obj Objective, x0 []float64, target float64, opts AnnealO
 		cur = g
 	}
 	curE, curX := energy(cur)
-	for probe := 0; probe < 16 && math.IsInf(curE, 1); probe++ {
+	for probe := 0; probe < 16 && math.IsInf(curE, 1) && ctx.Err() == nil; probe++ {
 		cur = randUnit()
 		curE, curX = energy(cur)
 	}
@@ -108,6 +120,15 @@ func AnnealMinDistance(obj Objective, x0 []float64, target float64, opts AnnealO
 		scaleE = 1
 	}
 	for step := 0; step < opts.Steps; step++ {
+		// Poll coarsely: each energy() is itself many evaluations, so an
+		// every-8-steps check keeps expiry latency in the microseconds
+		// without a per-proposal syscall-free-but-branchy ctx load.
+		if step%8 == 0 && ctx.Err() != nil {
+			if math.IsInf(best.Distance, 1) {
+				return Result{}, ctx.Err()
+			}
+			return best, ctx.Err()
+		}
 		frac := float64(step) / float64(opts.Steps)
 		temp := scaleE * t0 * math.Pow(t1/t0, frac)
 		// Propose: jitter the direction and renormalise.

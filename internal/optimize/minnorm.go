@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -116,6 +117,28 @@ var ErrUnreachable = errors.New("optimize: level set unreachable from the starti
 // If f(x₀) = target the distance is 0. The sign of f(x₀) − target selects
 // which side the boundary is approached from automatically.
 func MinNormToLevelSet(obj Objective, x0 []float64, target float64, opts Options) (Result, error) {
+	return MinNormToLevelSetCtx(context.Background(), obj, x0, target, opts, nil)
+}
+
+// MinNormToLevelSetCtx is MinNormToLevelSet under a context with an
+// optional stream of certified lower bounds. With a background context
+// and a nil callback it performs exactly the same evaluations in the
+// same order as MinNormToLevelSet, so the results are bit-identical.
+//
+// onBound, when non-nil, receives a monotonically increasing stream of
+// certified lower bounds on the true minimum distance, derived from the
+// supporting-halfspace inequality at each iterate x with gradient g:
+// convexity puts the whole level set inside {y : g·(y−x) ≤ target−f(x)},
+// so whenever x₀ lies outside that halfspace its distance to it,
+// (f(x)+g·(x₀−x)−target)/‖g‖, bounds the answer from below. The bound is
+// only valid for convex f — pass nil otherwise. Approaching the level
+// from below (f(x₀) < target) the expression is never positive and the
+// callback simply never fires; CertifyLevelBelow covers that side.
+//
+// When ctx expires mid-search, the best result found so far is returned
+// together with ctx.Err(): the Result is a usable upper bound (or zero
+// with Distance +Inf when nothing was found) but not certified optimal.
+func MinNormToLevelSetCtx(ctx context.Context, obj Objective, x0 []float64, target float64, opts Options, onBound func(lower float64)) (Result, error) {
 	if opts.MaxIter <= 0 || opts.Tol <= 0 {
 		return Result{}, fmt.Errorf("optimize: invalid options %+v", opts)
 	}
@@ -132,6 +155,13 @@ func MinNormToLevelSet(obj Objective, x0 []float64, target float64, opts Options
 
 	// Initial search directions: ±gradient at x₀, then random unit vectors.
 	grad0 := obj.Gradient(nil, x0, opts.GradStep)
+	var track *boundTracker
+	if onBound != nil {
+		track = &boundTracker{x0: x0, target: target, report: onBound}
+		// The operating point itself is the first iterate: its halfspace
+		// bound costs nothing extra and certifies before any ray search.
+		track.observe(x0, grad0, f0, vecmath.Euclidean(grad0))
+	}
 	dirs := make([][]float64, 0, opts.Restarts+2)
 	if g, norm := vecmath.Normalize(nil, grad0); norm > 0 {
 		dirs = append(dirs, g, vecmath.Scale(nil, -1, g))
@@ -148,11 +178,14 @@ func MinNormToLevelSet(obj Objective, x0 []float64, target float64, opts Options
 
 	rayMax := opts.RayMax * (1 + vecmath.Euclidean(x0))
 	for _, dir := range dirs {
+		if ctx.Err() != nil {
+			break
+		}
 		x, err := boundaryOnRay(obj, x0, dir, target, rayMax, opts)
 		if err != nil {
 			continue
 		}
-		res := refineBoundary(obj, x0, x, target, opts)
+		res := refineBoundary(ctx, obj, x0, x, target, opts, track)
 		totalIter += res.Iterations
 		if res.Distance < best.Distance {
 			best = res
@@ -162,10 +195,41 @@ func MinNormToLevelSet(obj Objective, x0 []float64, target float64, opts Options
 		}
 	}
 	best.Iterations = totalIter
+	if cerr := ctx.Err(); cerr != nil {
+		if math.IsInf(best.Distance, 1) {
+			return Result{}, cerr
+		}
+		return best, cerr
+	}
 	if math.IsInf(best.Distance, 1) {
 		return Result{}, ErrUnreachable
 	}
 	return best, nil
+}
+
+// boundTracker turns solver iterates into the monotone certified
+// lower-bound stream of MinNormToLevelSetCtx: it keeps the best
+// halfspace bound seen and reports only improvements.
+type boundTracker struct {
+	x0     []float64
+	target float64
+	best   float64
+	report func(lower float64)
+}
+
+// observe evaluates the supporting-halfspace bound at iterate x, where
+// fx = f(x), grad = ∇f(x) and gnorm = ‖grad‖ are already in hand — the
+// certification reuses the solver's own evaluations and costs only two
+// dot products.
+func (t *boundTracker) observe(x, grad []float64, fx, gnorm float64) {
+	if t == nil || gnorm == 0 || math.IsNaN(gnorm) {
+		return
+	}
+	lb := (fx - t.target + vecmath.Dot(grad, t.x0) - vecmath.Dot(grad, x)) / gnorm
+	if lb > t.best && !math.IsInf(lb, 1) {
+		t.best = lb
+		t.report(lb)
+	}
 }
 
 // boundaryOnRay finds the smallest t > 0 with f(x₀ + t·dir) = target.
@@ -197,8 +261,9 @@ func boundaryOnRay(obj Objective, x0, dir []float64, target, rayMax float64, opt
 }
 
 // refineBoundary runs the linearise-project-retract loop from boundary
-// point x.
-func refineBoundary(obj Objective, x0, x []float64, target float64, opts Options) Result {
+// point x, reporting each iterate's halfspace bound to track (nil-safe)
+// and stopping early when ctx expires.
+func refineBoundary(ctx context.Context, obj Objective, x0, x []float64, target float64, opts Options, track *boundTracker) Result {
 	scale := math.Max(1, math.Abs(target))
 	rayMax := opts.RayMax * (1 + vecmath.Euclidean(x0))
 	dist := vecmath.Distance(x0, x)
@@ -206,14 +271,19 @@ func refineBoundary(obj Objective, x0, x []float64, target float64, opts Options
 	converged := false
 	iters := 0
 	for ; iters < opts.MaxIter; iters++ {
+		if ctx.Err() != nil {
+			break
+		}
 		grad = obj.Gradient(grad, x, opts.GradStep)
 		gnorm := vecmath.Euclidean(grad)
 		if gnorm == 0 {
 			break // flat spot: cannot linearise further
 		}
+		fx := obj.F(x)
+		track.observe(x, grad, fx, gnorm)
 		// Tangent plane at x: ∇f(x)·(y − x) = 0 shifted to pass through the
 		// level set, i.e. ∇f·y = ∇f·x + (target − f(x)).
-		c := vecmath.Dot(grad, x) + (target - obj.F(x))
+		c := vecmath.Dot(grad, x) + (target - fx)
 		plane := vecmath.Hyperplane{A: grad, C: c}
 		proj := plane.Project(nil, x0)
 		// Retract the projection onto the true boundary along the ray

@@ -51,6 +51,24 @@ type telemetry struct {
 	// owner was unreachable (cluster degraded fallback, not the cache
 	// fallback `degraded` counts).
 	clusterDegraded *obs.Counter
+
+	// Snapshot persistence instruments (internal/server/snapshot.go).
+	// Writes/loads count completed operations; the failure counters split
+	// out write errors (disk, injected snapshot_write faults) and load
+	// rejections (corrupt, truncated, version skew — a missing file on
+	// first boot is neither). The gauges describe the last successful
+	// write (entries, bytes) and the entry count restored at boot.
+	snapWrites        *obs.Counter
+	snapWriteFailures *obs.Counter
+	snapLoads         *obs.Counter
+	snapLoadFailures  *obs.Counter
+	snapLastEntries   *obs.Gauge
+	snapLastBytes     *obs.Gauge
+	snapRestored      *obs.Gauge
+
+	// anytimePartial counts responses containing at least one certified
+	// lower bound instead of a converged radius (meta.anytime=true).
+	anytimePartial *obs.Counter
 }
 
 // newTelemetry builds the registry and registers every serving metric,
@@ -71,6 +89,22 @@ func newTelemetry(s *Server) telemetry {
 		inFlight: reg.Gauge("fepiad_in_flight", "Requests currently holding an admission slot."),
 		clusterDegraded: reg.Counter("fepiad_cluster_degraded_total",
 			"Requests served locally in degraded mode because their ring owner was unreachable."),
+		snapWrites: reg.Counter("fepiad_snapshot_writes_total",
+			"Cache snapshots written to -snapshot-path (periodic and drain)."),
+		snapWriteFailures: reg.Counter("fepiad_snapshot_write_failures_total",
+			"Cache snapshot writes that failed; the previous good snapshot is kept."),
+		snapLoads: reg.Counter("fepiad_snapshot_loads_total",
+			"Cache snapshots restored at boot."),
+		snapLoadFailures: reg.Counter("fepiad_snapshot_load_failures_total",
+			"Boot-time snapshot loads rejected (corrupt, truncated, version skew); the node booted cold."),
+		snapLastEntries: reg.Gauge("fepiad_snapshot_last_entries",
+			"Entries in the most recent successful cache snapshot."),
+		snapLastBytes: reg.Gauge("fepiad_snapshot_last_bytes",
+			"Size in bytes of the most recent successful cache snapshot."),
+		snapRestored: reg.Gauge("fepiad_snapshot_restored_entries",
+			"Entries restored from the snapshot at boot (0 on a cold boot)."),
+		anytimePartial: reg.Counter("fepiad_anytime_partial_total",
+			"Responses carrying a certified lower bound instead of a converged radius (meta.anytime)."),
 	}
 	for _, ep := range endpoints {
 		t.requests[ep] = reg.Counter("fepiad_requests_total", "Requests by endpoint.", obs.L("endpoint", ep))
@@ -263,6 +297,15 @@ func (s *Server) writeVars(w io.Writer) {
 		"\"shards\": %d, \"dup_suppressed\": %d, \"contended\": %d},\n",
 		"fepiad.cache", cs.Hits, cs.Misses, cs.Size, cs.Capacity, cs.HitRate(), cs.PutFailures,
 		cs.Shards, cs.DupSuppressed, cs.Contended)
+
+	// Snapshot persistence and anytime serving: always present (zeroed
+	// when the features are off) so dashboards never branch on absence.
+	fmt.Fprintf(w, "%q: {\"writes\": %d, \"write_failures\": %d, \"loads\": %d, \"load_failures\": %d, "+
+		"\"last_entries\": %d, \"last_bytes\": %d, \"restored_entries\": %d},\n",
+		"fepiad.snapshot", m.snapWrites.Value(), m.snapWriteFailures.Value(),
+		m.snapLoads.Value(), m.snapLoadFailures.Value(),
+		int64(m.snapLastEntries.Value()), int64(m.snapLastBytes.Value()), int64(m.snapRestored.Value()))
+	fmt.Fprintf(w, "%q: %d,\n", "fepiad.anytime_partial", m.anytimePartial.Value())
 
 	// Per-endpoint latency histograms plus the merged aggregate the
 	// pre-split dashboards read.

@@ -163,6 +163,19 @@ type Config struct {
 	// fault-injected requests keep the per-feature path regardless. See
 	// docs/PERFORMANCE.md.
 	Kernel bool
+	// SnapshotPath, when non-empty, persists the radius cache across
+	// restarts: loaded once at boot (corrupt or missing files boot
+	// cold), written atomically every SnapshotInterval and on drain.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence (0 selects
+	// DefaultSnapshotInterval, < 0 disables the ticker — the snapshot is
+	// then written only on drain). Ignored without SnapshotPath.
+	SnapshotInterval time.Duration
+	// Anytime answers deadline-expired /v1 requests with certified
+	// partial lower bounds (meta.anytime, "bound": "lower") instead of
+	// 504 — see batch.Options.Anytime. Individual specs opt in with
+	// their "anytime" field even when this is false.
+	Anytime bool
 	// Injector, when non-nil, activates the fault-injection harness on
 	// every request path (chaos tests, the FEPIAD_FAULTS env knob). Nil
 	// in production: every injection point is a no-op. An injector that
@@ -228,6 +241,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = DefaultSnapshotInterval
 	}
 	return c
 }
@@ -308,6 +324,9 @@ func New(cfg Config) *Server {
 		s.router = rt
 	}
 	s.metrics = newTelemetry(s)
+	if cfg.SnapshotPath != "" {
+		s.loadSnapshot()
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument(epAnalyze, s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
@@ -413,13 +432,16 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(l) }()
+	stopSnapshots := s.startSnapshots()
 
 	select {
 	case err := <-serveErr:
+		stopSnapshots()
 		s.baseCancel()
 		return err
 	case <-ctx.Done():
 	}
+	stopSnapshots()
 
 	s.cfg.Log.Info("drain start",
 		"in_flight", int64(s.metrics.inFlight.Value()),
@@ -438,6 +460,7 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 	}
 	s.baseCancel()
 	<-serveErr // always http.ErrServerClosed after Shutdown/Close
+	s.drainSnapshot()
 	s.flushFinalMetrics(err == nil)
 	return err
 }
@@ -598,7 +621,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// cached boundary points need no defensive clone — the warm-hit path
 	// stays allocation-free.
 	a, err := batch.AnalyzeOneContext(ctx, batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true, Kernel: s.cfg.Kernel})
+		batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true,
+			Kernel: s.cfg.Kernel, Anytime: s.anytime(sys)})
 	s.breakerReport(s.analyzeBreaker, err)
 	if err != nil {
 		if s.cfg.Degraded && degradable(err) {
@@ -612,6 +636,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.metrics.analyses.Inc()
 	res := spec.Encode(sys.Name, a)
 	res.Meta = s.meta(forwarded, degradedPeer, rs.Source())
+	if anyLowerBound(a) {
+		res.Meta.Anytime = true
+		s.metrics.anytimePartial.Inc()
+		obs.TraceFrom(r.Context()).SetAttr("anytime", "partial")
+	}
 	if s.cfg.CompatV1Degraded && degradedPeer {
 		res.Degraded = true
 	}
@@ -666,6 +695,23 @@ func (s *Server) relay(endpoint string, w http.ResponseWriter, r *http.Request, 
 // carries (docs/SERVICE.md, "Response metadata").
 func (s *Server) meta(forwarded, degraded bool, cache string) *spec.ResponseMeta {
 	return &spec.ResponseMeta{Node: s.cfg.NodeID, Forwarded: forwarded, Degraded: degraded, Cache: cache}
+}
+
+// anytime reports whether a system is served in anytime mode: the
+// server-wide flag or the spec's own opt-in.
+func (s *Server) anytime(sys *spec.System) bool {
+	return s.cfg.Anytime || sys.File.Anytime
+}
+
+// anyLowerBound reports whether an analysis carries at least one
+// certified partial radius — the condition for meta.anytime.
+func anyLowerBound(a core.Analysis) bool {
+	for i := range a.Radii {
+		if a.Radii[i].Kind == core.LowerBound {
+			return true
+		}
+	}
+	return false
 }
 
 // serveHeaders stamps the wire headers of a locally served /v1 response:
@@ -865,6 +911,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if m.Degraded {
 				top.Degraded = true
 			}
+			if m.Anytime {
+				top.Anytime = true
+			}
 		}
 	}
 	if degradedN > 0 {
@@ -879,18 +928,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // solveLocal runs the systems at idx through the engine on this node,
 // writing each result (with its meta block) into its request-order slot.
 func (s *Server) solveLocal(ctx context.Context, systems []*spec.System, idx []int, results []spec.ResultJSON, forwarded, degraded bool) error {
-	return batch.ForEach(ctx, len(idx), s.cfg.Workers, func(k int) error {
+	// With any anytime system in the group, the scheduling loop must not
+	// abort at the deadline — every remaining system still gets its
+	// certified partial answer. The per-system calls keep the real ctx
+	// (closure below), so genuine cancellation still fails them, which
+	// fails ForEach through the returned error.
+	runCtx := ctx
+	for _, i := range idx {
+		if s.anytime(systems[i]) {
+			runCtx = context.WithoutCancel(ctx)
+			break
+		}
+	}
+	return batch.ForEach(runCtx, len(idx), s.cfg.Workers, func(k int) error {
 		i := idx[k]
 		sys := systems[i]
 		rs := &batch.RequestStats{}
 		a, err := batch.AnalyzeOneContext(batch.WithRequestStats(ctx, rs),
 			batch.Job{Features: sys.Features, Perturbation: sys.Perturbation},
-			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true, Kernel: s.cfg.Kernel})
+			batch.Options{Cache: s.cache, Core: sys.Options, Retry: s.retry, ShareBoundaries: true,
+				Kernel: s.cfg.Kernel, Anytime: s.anytime(sys)})
 		if err != nil {
 			return fmt.Errorf("systems[%d] (%s): %w", i, sys.Name, err)
 		}
 		results[i] = spec.Encode(sys.Name, a)
 		results[i].Meta = s.meta(forwarded, degraded, rs.Source())
+		if anyLowerBound(a) {
+			results[i].Meta.Anytime = true
+			s.metrics.anytimePartial.Inc()
+		}
 		if s.cfg.CompatV1Degraded && degraded {
 			results[i].Degraded = true
 		}

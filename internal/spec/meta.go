@@ -46,6 +46,13 @@ type ResponseMeta struct {
 	// "kernel" (see the Cache* constants). Empty when the engine did not
 	// consult the radius cache at all.
 	Cache string `json:"cache,omitempty"`
+	// Anytime marks a partial answer: the request deadline expired
+	// before every boundary solve converged, and at least one radius is
+	// a certified lower bound ("bound": "lower" on the radius) rather
+	// than a converged value. Only set when anytime serving was opted
+	// into (-anytime or the spec's "anytime" field); a batch's top-level
+	// meta sets it when any of its systems is partial.
+	Anytime bool `json:"anytime,omitempty"`
 }
 
 // WorstCache returns the colder of two cache-provenance values, using

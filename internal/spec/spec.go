@@ -57,6 +57,14 @@ type File struct {
 	Norm string `json:"norm,omitempty"`
 	// Features is FePIA steps 1 and 3.
 	Features []FeatureSpec `json:"features"`
+	// Anytime opts this document into anytime serving: if the request
+	// deadline expires before a numeric boundary solve converges, the
+	// response carries the best certified lower bound ("bound": "lower",
+	// meta.anytime true) instead of failing with a timeout. The fepiad
+	// -anytime flag enables the same behaviour server-wide. omitempty
+	// keeps the canonical route-key digest of non-anytime documents
+	// unchanged.
+	Anytime bool `json:"anytime,omitempty"`
 }
 
 // PerturbationSpec mirrors core.Perturbation.

@@ -1,17 +1,19 @@
 #!/usr/bin/env sh
 # bench.sh — reproducible benchmark run behind `make bench`.
 #
-# Builds cmd/bench and cmd/loadgen and runs them with pinned seeds and
-# workload shape, so two runs on the same machine measure the same
-# byte-identical key stream. Writes BENCH_7.json (cold / warm /
-# contended cache series for the frozen single-mutex baseline and the
-# live sharded cache, the kernel_warm / kernel_cold / mixed series for
-# the SoA analytic kernel, the loadgen-driven cluster series — 1-node
-# LRU-thrash vs 3-node consistent-hash ring on the same per-node cache
-# capacity, plus the kill-a-node chaos story — and the derived speedup
-# summary) to the repo root; CI uploads it as an artifact. Override the
-# output path with BENCH_OUT, the cache/kernel workload with
-# BENCH_FLAGS, the cluster workload with BENCH_CLUSTER_FLAGS.
+# Builds cmd/bench, cmd/loadgen, and cmd/fepiad and runs them with
+# pinned seeds and workload shape, so two runs on the same machine
+# measure the same byte-identical key stream. Writes BENCH_8.json (cold
+# / warm / contended cache series for the frozen single-mutex baseline
+# and the live sharded cache, the kernel_warm / kernel_cold / mixed
+# series for the SoA analytic kernel, the loadgen-driven cluster series
+# — 1-node LRU-thrash vs 3-node consistent-hash ring on the same
+# per-node cache capacity, plus the kill-a-node chaos story — the
+# restart series — warm boot from a cache snapshot vs cold restart —
+# and the derived speedup summary) to the repo root; CI uploads it as
+# an artifact. Override the output path with BENCH_OUT, the
+# cache/kernel workload with BENCH_FLAGS, the cluster workload with
+# BENCH_CLUSTER_FLAGS, the restart workload with BENCH_RESTART_FLAGS.
 #
 #   ./scripts/bench.sh
 #   BENCH_OUT=/tmp/b.json BENCH_FLAGS="-keys 1024 -dim 16" ./scripts/bench.sh
@@ -19,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_7.json}"
+OUT="${BENCH_OUT:-BENCH_8.json}"
 FLAGS="${BENCH_FLAGS:--seed 2003 -keys 512 -dim 8 -iters 20000 -reps 5 -sweeps 100}"
 # The cluster workload: 96 distinct systems × ~13 cacheable radius
 # subproblems ≈ 1250 entries against a 1024-entry per-node cache, cycled
@@ -27,10 +29,17 @@ FLAGS="${BENCH_FLAGS:--seed 2003 -keys 512 -dim 8 -iters 20000 -reps 5 -sweeps 1
 # the convex solver); three nodes each own an arc of ~420 entries that
 # stays resident, so the same capacity serves the whole set warm.
 CLUSTER_FLAGS="${BENCH_CLUSTER_FLAGS:--cache 1024 -pool 96 -heavy 10 -batch 1 -cycle -warmup -n 576 -c 8 -seed 2003}"
+# The restart workload: 48 heavy convex systems cycled over 192 requests
+# against a real fepiad process — small enough that the whole working set
+# fits the snapshot, heavy enough that every cold miss pays the numeric
+# solver the warm boot skips.
+RESTART_FLAGS="${BENCH_RESTART_FLAGS:--pool 48 -heavy 10 -batch 1 -cycle -n 192 -c 8 -seed 2003}"
+RESTART_PORT="${BENCH_RESTART_PORT:-18190}"
 
 TMP="${TMPDIR:-/tmp}"
 go build -o "$TMP/fepia-bench" ./cmd/bench
 go build -o "$TMP/fepia-loadgen" ./cmd/loadgen
+go build -o "$TMP/fepia-fepiad" ./cmd/fepiad
 # shellcheck disable=SC2086  # FLAGS is intentionally word-split
 "$TMP/fepia-bench" -out "$OUT" $FLAGS
 
@@ -45,6 +54,46 @@ go build -o "$TMP/fepia-loadgen" ./cmd/loadgen
 # shellcheck disable=SC2086
 "$TMP/fepia-loadgen" -self -nodes 3 $CLUSTER_FLAGS -kill 1@0.5 -json >"$TMP/fepia-cluster-chaos.json"
 
+# The restart series needs a real fepiad process (the snapshot must
+# survive the process, which -self cannot model). Three lives of one
+# node: a cold first life that drains a snapshot, a warm-boot second life
+# restored from it (its FIRST request must report meta.cache "hit"), and
+# a cold-restart control with the snapshot deleted.
+SNAP="$TMP/fepia-bench.snap"
+rm -f "$SNAP"
+BENCH_BASE="http://127.0.0.1:$RESTART_PORT"
+start_fepiad() {
+    "$TMP/fepia-fepiad" -addr "127.0.0.1:$RESTART_PORT" -cache 4096 "$@" >"$TMP/fepia-fepiad.log" 2>&1 &
+    FEPIAD_PID=$!
+    i=0
+    while ! curl -fsS "$BENCH_BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "bench: fepiad never became healthy" >&2
+            cat "$TMP/fepia-fepiad.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+stop_fepiad() {
+    kill -TERM "$FEPIAD_PID"
+    wait "$FEPIAD_PID"
+}
+start_fepiad -snapshot-path "$SNAP"
+# shellcheck disable=SC2086
+"$TMP/fepia-loadgen" -url "$BENCH_BASE" $RESTART_FLAGS -json >"$TMP/fepia-restart-first.json"
+stop_fepiad
+start_fepiad -snapshot-path "$SNAP"
+# shellcheck disable=SC2086
+"$TMP/fepia-loadgen" -url "$BENCH_BASE" $RESTART_FLAGS -json >"$TMP/fepia-restart-warm.json"
+stop_fepiad
+rm -f "$SNAP"
+start_fepiad
+# shellcheck disable=SC2086
+"$TMP/fepia-loadgen" -url "$BENCH_BASE" $RESTART_FLAGS -json >"$TMP/fepia-restart-cold.json"
+stop_fepiad
+
 # Merge the loadgen reports into the bench artifact and gate the
 # headline claims so a regression fails the target, not just drifts the
 # artifact: contended speedup over the single-mutex baseline must hold
@@ -52,16 +101,23 @@ go build -o "$TMP/fepia-loadgen" ./cmd/loadgen
 # hold >= 4x over the per-feature analytic loop, both byte-identity
 # checks (all-linear and mixed routing through the engine) must have
 # passed inside the harness, the 3-node ring must serve the warm workload
-# >= 2.2x faster than one node, and the chaos story must drop zero
-# requests.
-python3 - "$OUT" "$TMP/fepia-cluster-1.json" "$TMP/fepia-cluster-3.json" "$TMP/fepia-cluster-chaos.json" <<'EOF'
+# >= 2.2x faster than one node, the chaos story must drop zero requests,
+# the warm boot's FIRST request must be a snapshot-restored cache hit
+# while both cold lives open on a miss, and warm-boot p99 must beat the
+# cold restart by >= 1.5x.
+python3 - "$OUT" "$TMP/fepia-cluster-1.json" "$TMP/fepia-cluster-3.json" "$TMP/fepia-cluster-chaos.json" \
+    "$TMP/fepia-restart-first.json" "$TMP/fepia-restart-warm.json" "$TMP/fepia-restart-cold.json" <<'EOF'
 import json, sys
 rep = json.load(open(sys.argv[1]))
 one = json.load(open(sys.argv[2]))
 three = json.load(open(sys.argv[3]))
 chaos = json.load(open(sys.argv[4]))
+first = json.load(open(sys.argv[5]))
+warm = json.load(open(sys.argv[6]))
+cold = json.load(open(sys.argv[7]))
 
 rep["cluster"] = {"one_node": one, "three_node": three, "chaos": chaos}
+rep["restart"] = {"first_life": first, "warm_boot": warm, "cold_boot": cold}
 s = rep["summary"]
 s["cluster_scaling"] = three["throughput_rps"] / one["throughput_rps"]
 s["cluster_one_node_rps"] = one["throughput_rps"]
@@ -69,6 +125,11 @@ s["cluster_three_node_rps"] = three["throughput_rps"]
 s["cluster_chaos_dropped"] = chaos["failed"]
 s["cluster_chaos_degraded"] = chaos.get("degraded", 0)
 s["cluster_chaos_failovers"] = chaos.get("failovers", 0)
+s["restart_warm_first_cache"] = warm.get("first_cache", "")
+s["restart_cold_first_cache"] = cold.get("first_cache", "")
+s["restart_warm_p99_ms"] = warm["latency"]["p99_ms"]
+s["restart_cold_p99_ms"] = cold["latency"]["p99_ms"]
+s["restart_p99_speedup"] = cold["latency"]["p99_ms"] / warm["latency"]["p99_ms"]
 json.dump(rep, open(sys.argv[1], "w"), indent=2)
 
 ok = True
@@ -101,6 +162,23 @@ if chaos.get("degraded", 0) <= 0 and chaos.get("failovers", 0) <= 0:
     print("FAIL: chaos story shows no degraded serving and no failovers — "
           "the kill had no observable effect", file=sys.stderr)
     ok = False
+if first.get("first_cache") != "miss":
+    print(f"FAIL: first life opened warm ({first.get('first_cache')!r}) — "
+          "the snapshot story has no cold baseline", file=sys.stderr)
+    ok = False
+if warm.get("first_cache") != "hit":
+    print(f"FAIL: warm boot's first request was {warm.get('first_cache')!r}, "
+          "not a snapshot-restored hit", file=sys.stderr)
+    ok = False
+if cold.get("first_cache") != "miss":
+    print(f"FAIL: cold-restart control opened {cold.get('first_cache')!r}, "
+          "not a miss — the control is not cold", file=sys.stderr)
+    ok = False
+if s["restart_p99_speedup"] < 1.5:
+    print(f"FAIL: warm-boot p99 speedup {s['restart_p99_speedup']:.2f}x < 1.5x "
+          f"(cold {s['restart_cold_p99_ms']:.2f}ms / warm {s['restart_warm_p99_ms']:.2f}ms)",
+          file=sys.stderr)
+    ok = False
 print(f"bench: contended x{s['contended_workers']} speedup {s['contended_speedup']:.2f}x, "
       f"warm allocs/op baseline={s['warm_hit_allocs_baseline']:.1f} "
       f"shared={s['warm_hit_allocs_sharded_shared']:.2f}, "
@@ -111,5 +189,8 @@ print(f"bench: cluster 3-node/1-node warm-hit {s['cluster_scaling']:.2f}x "
       f"chaos killed {chaos.get('killed', '?')}: {chaos['ok']}/{chaos['requests']} ok, "
       f"{chaos['failed']} dropped, {chaos.get('degraded', 0)} degraded, "
       f"{chaos.get('failovers', 0)} failovers")
+print(f"bench: restart warm boot first_cache={s['restart_warm_first_cache']} "
+      f"p99 {s['restart_warm_p99_ms']:.2f}ms vs cold {s['restart_cold_p99_ms']:.2f}ms "
+      f"({s['restart_p99_speedup']:.2f}x)")
 sys.exit(0 if ok else 1)
 EOF

@@ -178,4 +178,65 @@ wait "$RING_A_PID" "$RING_B_PID" || {
     exit 1
 }
 
+# Restart persistence: boot with -snapshot-path, warm the cache with one
+# analysis (a miss), SIGTERM (the drain writes the snapshot), reboot on
+# the same path — the very first request of the new process must be
+# served warm: meta reports "cache": "hit", and the snapshot counters
+# show on both observability surfaces (docs/SERVICE.md, "Persistence &
+# anytime responses").
+echo "smoke: snapshot restart"
+PORT_R=$((PORT + 3))
+BASE_R="http://127.0.0.1:$PORT_R"
+SNAP="$TMP/cache.snap"
+"$TMP/fepiad" -addr "127.0.0.1:$PORT_R" -snapshot-path "$SNAP" -log-format text >"$TMP/restart-1.log" 2>&1 &
+SERVER_PID=$!
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE_R/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+[ "$ok" = 1 ] || { echo "smoke: snapshot node never became healthy" >&2; cat "$TMP/restart-1.log" >&2; exit 1; }
+curl -fsS -X POST -H "Content-Type: application/json" \
+    --data-binary @"$TMP/spec.json" "$BASE_R/v1/analyze" >"$TMP/warm.json"
+grep -qF '"cache": "miss"' "$TMP/warm.json" || {
+    echo "smoke: first-life request should be a cold miss" >&2
+    cat "$TMP/warm.json" >&2
+    exit 1
+}
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "smoke: snapshot node exited non-zero on SIGTERM" >&2; cat "$TMP/restart-1.log" >&2; exit 1; }
+[ -s "$SNAP" ] || { echo "smoke: drain wrote no snapshot at $SNAP" >&2; cat "$TMP/restart-1.log" >&2; exit 1; }
+grep -q 'cache snapshot written' "$TMP/restart-1.log" || {
+    echo "smoke: no snapshot-written log line on drain" >&2
+    cat "$TMP/restart-1.log" >&2
+    exit 1
+}
+
+"$TMP/fepiad" -addr "127.0.0.1:$PORT_R" -snapshot-path "$SNAP" -log-format text >"$TMP/restart-2.log" 2>&1 &
+SERVER_PID=$!
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE_R/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+[ "$ok" = 1 ] || { echo "smoke: restarted node never became healthy" >&2; cat "$TMP/restart-2.log" >&2; exit 1; }
+curl -fsS -X POST -H "Content-Type: application/json" \
+    --data-binary @"$TMP/spec.json" "$BASE_R/v1/analyze" >"$TMP/rewarm.json"
+grep -qF '"cache": "hit"' "$TMP/rewarm.json" || {
+    echo "smoke: first post-restart request was not served from the snapshot" >&2
+    cat "$TMP/rewarm.json" "$TMP/restart-2.log" >&2
+    exit 1
+}
+curl -fsS "$BASE_R/metrics" | grep -q '^fepiad_snapshot_loads_total 1' || {
+    echo "smoke: /metrics missing fepiad_snapshot_loads_total 1 after warm boot" >&2
+    exit 1
+}
+curl -fsS "$BASE_R/debug/vars" | grep -qF '"fepiad.snapshot"' || {
+    echo "smoke: /debug/vars missing fepiad.snapshot" >&2
+    exit 1
+}
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "smoke: restarted node exited non-zero on SIGTERM" >&2; cat "$TMP/restart-2.log" >&2; exit 1; }
+SERVER_PID=""
+
 echo "smoke: OK"
