@@ -8,9 +8,12 @@
 //
 // Endpoints: POST /v1/analyze (one spec document), POST /v1/batch (many
 // systems over the worker pool and shared radius cache), GET /healthz,
-// GET /metrics (Prometheus text exposition), GET /debug/vars, and
-// GET /debug/traces (recent and slowest request traces with per-stage
-// spans); see docs/OBSERVABILITY.md. Logs are structured (-log-format
+// GET /metrics (Prometheus text exposition, with SLO burn-rate gauges;
+// ?federate=1 merges ring peers' registries), GET /v1/cluster/status
+// (federated per-node health), GET /debug/vars, and GET /debug/traces
+// (recent and slowest request traces with per-stage spans — cross-node
+// trees on forwarded requests); see docs/OBSERVABILITY.md. Logs are
+// structured (-log-format
 // json|text, -log-level) with one access line per request carrying its
 // X-Request-Id. The process drains gracefully on SIGTERM/SIGINT:
 // in-flight analyses get -drain to finish, then are force-cancelled.
@@ -72,6 +75,11 @@ func main() {
 		snapshotInterval = flag.Duration("snapshot-interval", server.DefaultSnapshotInterval, "periodic cache-snapshot cadence (<= 0 snapshots on drain only)")
 		anytime          = flag.Bool("anytime", false, "on deadline expiry answer with the best certified lower bound (meta.anytime) instead of 504; specs can also opt in per request")
 
+		sloLatency      = flag.Float64("slo-latency-p99", 0, "p99 latency objective in milliseconds for the fepiad_slo_* burn-rate gauges (0 = default 500)")
+		sloAvailability = flag.Float64("slo-availability", 0, "availability objective in (0,1) for the fepiad_slo_* burn-rate gauges (0 = default 0.999)")
+		traceSlow       = flag.Duration("trace-slow-threshold", 0, "mark requests at or past this duration as slow: force-kept in /debug/traces and counted on fepiad_slow_requests_total (0 disables)")
+		traceSample     = flag.Int("trace-sample", 1, "keep 1-in-N finished traces in the /debug/traces recent ring (slow-marked traces always kept; 1 keeps all)")
+
 		nodeID         = flag.String("node-id", "", "this node's identity on the cluster ring (required with -peers)")
 		peersFlag      = flag.String("peers", "", "full ring membership as id=url,id=url,... including this node (empty = solo); see docs/CLUSTER.md")
 		peerReplicas   = flag.Int("peer-replicas", 0, "virtual points per node on the consistent-hash ring (0 = default; all nodes must agree)")
@@ -118,6 +126,15 @@ func main() {
 			bad = *retryMax < 1
 		case "breaker-window":
 			bad = *breakerWindow < 0
+		case "slo-latency-p99":
+			bad = *sloLatency <= 0
+		case "slo-availability":
+			bad = *sloAvailability <= 0 || *sloAvailability >= 1
+		case "trace-slow-threshold":
+			d, err := time.ParseDuration(f.Value.String())
+			bad = err != nil || d < 0
+		case "trace-sample":
+			bad = *traceSample < 1
 		}
 		if bad && badFlag == "" {
 			badFlag = f.Name
@@ -206,6 +223,11 @@ func main() {
 		SnapshotPath:     *snapshotPath,
 		SnapshotInterval: si,
 		Anytime:          *anytime,
+
+		SLOLatencyP99MS:    *sloLatency,
+		SLOAvailability:    *sloAvailability,
+		TraceSlowThreshold: *traceSlow,
+		TraceSample:        *traceSample,
 
 		NodeID:           *nodeID,
 		Peers:            peers,

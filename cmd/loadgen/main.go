@@ -25,6 +25,13 @@
 // client honors the server's Retry-After hint and re-submits up to
 // -retry-503 times, so saturation reports real serving latency. Degraded
 // responses (Warning header) are counted separately.
+//
+// Observability hooks: -report-traces N lists the N slowest served
+// requests with their request and trace IDs (X-Fepiad-Trace-Id) — paste
+// a trace ID into the server's /debug/traces to see the per-stage,
+// cross-node span tree — and the report scores the run against
+// client-side SLOs (-slo-availability, -slo-latency-p99) in the same
+// burn-rate shape as the server's fepiad_slo_burn_rate gauges.
 package main
 
 import (
@@ -72,6 +79,10 @@ func main() {
 		retry503 = flag.Int("retry-503", 3, "re-submissions of a shed (503) request after honoring Retry-After (0 = fail immediately)")
 		maxWait  = flag.Duration("max-retry-after", 5*time.Second, "cap on a single honored Retry-After wait")
 		jsonOut  = flag.Bool("json", false, "emit the report as one JSON document on stdout (for CI and dashboards)")
+
+		reportTraces = flag.Int("report-traces", 0, "include the N slowest served requests in the report, with their request ID, trace ID (X-Fepiad-Trace-Id), and serving node — paste the trace ID into /debug/traces")
+		sloLatency   = flag.Float64("slo-latency-p99", 500, "client-side p99 latency objective in milliseconds for the report's SLO burn rates")
+		sloAvail     = flag.Float64("slo-availability", 0.999, "client-side availability objective in (0,1) for the report's SLO burn rates")
 	)
 	flag.Parse()
 
@@ -124,6 +135,8 @@ func main() {
 		fwdCount  atomic.Int64
 		failovers atomic.Int64
 		latency   = obs.NewHistogram(nil)
+		slowOver  atomic.Int64 // served requests past the latency objective
+		slowest   = newSlowList(*reportTraces)
 		nodeMu    sync.Mutex
 		perNode   = map[string]int64{}
 		// The first served response's meta.cache value ("hit" when the
@@ -187,7 +200,17 @@ func main() {
 							nodeMu.Unlock()
 						}
 						okCount.Add(1)
-						latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+						durMS := float64(time.Since(t0)) / float64(time.Millisecond)
+						latency.Observe(durMS)
+						if durMS > *sloLatency {
+							slowOver.Add(1)
+						}
+						slowest.add(slowTrace{
+							RequestID:  resp.Header.Get("X-Request-Id"),
+							TraceID:    resp.Header.Get(cluster.TraceIDHeader),
+							Node:       resp.Header.Get(cluster.NodeHeader),
+							DurationMS: durMS,
+						})
 					} else {
 						failCount.Add(1)
 					}
@@ -227,7 +250,9 @@ func main() {
 			MaxMS:  snap.Max,
 			MeanMS: snap.Mean(),
 		}
+		rep.SLO = burnReport(rep.OK, rep.Failed, slowOver.Load(), *sloAvail, *sloLatency)
 	}
+	rep.SlowTraces = slowest.list()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -256,6 +281,15 @@ func main() {
 			fmt.Printf("latency: p50 %.3gms  p90 %.3gms  p99 %.3gms  mean %.3gms  max %.3gms\n",
 				lr.P50MS, lr.P90MS, lr.P99MS, lr.MeanMS, lr.MaxMS)
 		}
+		if sr := rep.SLO; sr != nil {
+			fmt.Printf("slo: availability %.5f (burn %.2f of %.4f objective), latency over %gms: %.3f%% (burn %.2f)\n",
+				sr.Availability, sr.AvailabilityBurn, sr.AvailabilityObjective,
+				sr.LatencyObjectiveMS, 100*sr.LatencyOverFraction, sr.LatencyBurn)
+		}
+		for _, st := range rep.SlowTraces {
+			fmt.Printf("slow: %.1fms request=%s trace=%s node=%s\n",
+				st.DurationMS, st.RequestID, st.TraceID, st.Node)
+		}
 		printServerCache(client, bases[0])
 	}
 	if rep.Failed > 0 {
@@ -276,18 +310,24 @@ type report struct {
 	// (X-Fepiad-Forwarded); Failovers counts requests the client re-aimed
 	// at another node after one stopped answering; PerNode tallies served
 	// responses by the node that answered (X-Fepiad-Node).
-	Forwarded  int64            `json:"forwarded,omitempty"`
-	Failovers  int64            `json:"failovers,omitempty"`
-	PerNode    map[string]int64 `json:"per_node,omitempty"`
-	Killed     string           `json:"killed,omitempty"`
+	Forwarded int64            `json:"forwarded,omitempty"`
+	Failovers int64            `json:"failovers,omitempty"`
+	PerNode   map[string]int64 `json:"per_node,omitempty"`
+	Killed    string           `json:"killed,omitempty"`
 	// FirstCache is meta.cache of the first served response: "hit" means
 	// the server answered its very first request from a warm cache — the
 	// snapshot-restart bench asserts exactly this.
-	FirstCache string `json:"first_cache,omitempty"`
-	ElapsedMS  float64          `json:"elapsed_ms"`
-	Throughput float64          `json:"throughput_rps,omitempty"`
-	Analyses   float64          `json:"analyses_per_sec,omitempty"`
-	Latency    *latencyReport   `json:"latency,omitempty"`
+	FirstCache string         `json:"first_cache,omitempty"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
+	Throughput float64        `json:"throughput_rps,omitempty"`
+	Analyses   float64        `json:"analyses_per_sec,omitempty"`
+	Latency    *latencyReport `json:"latency,omitempty"`
+	// SLO is the run scored against the client-side objectives
+	// (-slo-availability, -slo-latency-p99); SlowTraces are the
+	// -report-traces slowest served requests, slowest first, each with
+	// the trace ID to look up on the server's /debug/traces.
+	SLO        *sloReport  `json:"slo,omitempty"`
+	SlowTraces []slowTrace `json:"slow_traces,omitempty"`
 }
 
 type latencyReport struct {
@@ -296,6 +336,84 @@ type latencyReport struct {
 	P99MS  float64 `json:"p99_ms"`
 	MeanMS float64 `json:"mean_ms"`
 	MaxMS  float64 `json:"max_ms"`
+}
+
+// sloReport scores one run against the client-side objectives, in the
+// same burn-rate shape the server's fepiad_slo_burn_rate gauges use
+// (burn 1.0 = consuming exactly the error budget).
+type sloReport struct {
+	AvailabilityObjective float64 `json:"availability_objective"`
+	Availability          float64 `json:"availability"`
+	AvailabilityBurn      float64 `json:"availability_burn"`
+	LatencyObjectiveMS    float64 `json:"latency_objective_ms"`
+	LatencyOverFraction   float64 `json:"latency_over_fraction"`
+	LatencyBurn           float64 `json:"latency_burn"`
+}
+
+// burnReport computes the run's burn rates: failed requests against the
+// availability budget, served-but-slow requests against the 1% latency
+// budget of a p99 objective.
+func burnReport(ok, failed, slowOver int64, availObj, latObjMS float64) *sloReport {
+	total := ok + failed
+	if total == 0 || availObj <= 0 || availObj >= 1 {
+		return nil
+	}
+	avail := float64(ok) / float64(total)
+	overFrac := float64(slowOver) / float64(ok)
+	return &sloReport{
+		AvailabilityObjective: availObj,
+		Availability:          avail,
+		AvailabilityBurn:      (1 - avail) / (1 - availObj),
+		LatencyObjectiveMS:    latObjMS,
+		LatencyOverFraction:   overFrac,
+		LatencyBurn:           overFrac / 0.01,
+	}
+}
+
+// slowTrace is one entry of the -report-traces list: everything needed
+// to find the request again on the server side.
+type slowTrace struct {
+	RequestID  string  `json:"request_id"`
+	TraceID    string  `json:"trace_id"`
+	Node       string  `json:"node,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// slowList retains the N slowest served requests, slowest first, under
+// one mutex (insertion into a tiny sorted slice, same shape as the
+// server's slowest-trace ring).
+type slowList struct {
+	mu  sync.Mutex
+	cap int
+	top []slowTrace
+}
+
+func newSlowList(n int) *slowList { return &slowList{cap: n} }
+
+func (l *slowList) add(st slowTrace) {
+	if l.cap <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.top) && l.top[i].DurationMS >= st.DurationMS {
+		i++
+	}
+	if i >= l.cap {
+		return
+	}
+	if len(l.top) < l.cap {
+		l.top = append(l.top, slowTrace{})
+	}
+	copy(l.top[i+1:], l.top[i:])
+	l.top[i] = st
+}
+
+func (l *slowList) list() []slowTrace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]slowTrace(nil), l.top...)
 }
 
 // splitURLs parses the -url flag: a comma-separated list of base URLs,

@@ -50,6 +50,19 @@ const (
 	// ForwardedHeader is the response header ("true") on answers that
 	// crossed the ring.
 	ForwardedHeader = "X-Fepiad-Forwarded"
+	// TraceHeader carries distributed trace context on forwards, W3C
+	// traceparent style: "<trace-id>-<parent-span-id>", 16 lowercase hex
+	// chars each. The parent is the ingress node's forward span, so the
+	// owner's span tree hooks under it when stitched.
+	TraceHeader = "X-Fepiad-Trace"
+	// SpansHeader is the response header on which a forwarded-to owner
+	// returns its span tree (compact JSON, see obs.SpanData) so the
+	// ingress can stitch one cross-node trace.
+	SpansHeader = "X-Fepiad-Spans"
+	// TraceIDHeader is the response header echoing the trace ID on every
+	// /v1 answer, so clients (cmd/loadgen -report-traces) can link their
+	// slowest requests into /debug/traces without parsing bodies.
+	TraceIDHeader = "X-Fepiad-Trace-Id"
 )
 
 // ErrPeerOpen reports a forward rejected locally because the peer's
@@ -127,6 +140,9 @@ type peerState struct {
 	forwards atomic.Uint64 // forwards attempted to this peer
 	hits     atomic.Uint64 // forwards answered 2xx
 	failures atomic.Uint64 // forwards that failed (breaker open, retries exhausted)
+
+	fetches       atomic.Uint64 // federation GETs attempted to this peer
+	fetchFailures atomic.Uint64 // federation GETs that failed
 }
 
 // Router owns a node's view of the ring: key→owner lookup plus resilient
@@ -226,6 +242,9 @@ type PeerStats struct {
 	// 2xx; Failures the ones that failed (breaker open, retries
 	// exhausted, cancelled mid-forward).
 	Forwards, ForwardHits, Failures uint64
+	// Fetches counts federation GETs (cluster status / metrics fan-out);
+	// FetchFailures the ones that failed.
+	Fetches, FetchFailures uint64
 	// Breaker is the peer breaker's snapshot; State "disabled" when the
 	// peer breakers are off.
 	Breaker faults.BreakerSnapshot
@@ -239,10 +258,12 @@ func (rt *Router) PeerStats(id string) PeerStats {
 		return PeerStats{Breaker: faults.BreakerSnapshot{State: "disabled"}}
 	}
 	st := PeerStats{
-		Forwards:    ps.forwards.Load(),
-		ForwardHits: ps.hits.Load(),
-		Failures:    ps.failures.Load(),
-		Breaker:     faults.BreakerSnapshot{State: "disabled"},
+		Forwards:      ps.forwards.Load(),
+		ForwardHits:   ps.hits.Load(),
+		Failures:      ps.failures.Load(),
+		Fetches:       ps.fetches.Load(),
+		FetchFailures: ps.fetchFailures.Load(),
+		Breaker:       faults.BreakerSnapshot{State: "disabled"},
 	}
 	if ps.breaker != nil {
 		st.Breaker = ps.breaker.Snapshot()
@@ -308,11 +329,14 @@ func (e *statusError) Temporary() bool { return true }
 
 // Response is a relayed peer answer: status, selected headers, and the
 // verbatim body bytes (byte-identity across the ring is part of the API
-// contract, so the body is never re-encoded).
+// contract, so the body is never re-encoded). Attempts counts the HTTP
+// attempts spent obtaining it, so the forward span can carry the retry
+// story of a success too.
 type Response struct {
-	Status int
-	Header http.Header
-	Body   []byte
+	Status   int
+	Header   http.Header
+	Body     []byte
+	Attempts int
 }
 
 // Forward relays body to the peer's path (e.g. "/v1/analyze") under the
@@ -326,13 +350,34 @@ type Response struct {
 // directly (the peer is not at fault; any half-open probe slot is
 // returned unused).
 func (rt *Router) Forward(ctx context.Context, peerID, path string, body []byte, hdr http.Header) (*Response, error) {
+	return rt.do(ctx, peerID, http.MethodPost, path, body, hdr, false)
+}
+
+// Fetch GETs path from the peer under the same per-peer breaker and
+// retry machinery as Forward — the federation fan-out
+// (GET /v1/cluster/status, GET /metrics?federate=1). Responses below
+// 500 are returned verbatim; a 5xx or transport failure is retried,
+// then reported as a *PeerError. Fetches count on their own PeerStats
+// counters but share the breaker: a dead peer discovered by a status
+// poll also stops taking forwards.
+func (rt *Router) Fetch(ctx context.Context, peerID, path string) (*Response, error) {
+	return rt.do(ctx, peerID, http.MethodGet, path, nil, nil, true)
+}
+
+// do runs one resilient exchange with a peer: breaker gate, retry loop,
+// verdict accounting.
+func (rt *Router) do(ctx context.Context, peerID, method, path string, body []byte, hdr http.Header, fetch bool) (*Response, error) {
 	ps, ok := rt.peers[peerID]
 	if !ok {
 		return nil, &PeerError{Peer: peerID, Err: fmt.Errorf("unknown peer")}
 	}
-	ps.forwards.Add(1)
+	sent, failed := &ps.forwards, &ps.failures
+	if fetch {
+		sent, failed = &ps.fetches, &ps.fetchFailures
+	}
+	sent.Add(1)
 	if ps.breaker != nil && !ps.breaker.Allow() {
-		ps.failures.Add(1)
+		failed.Add(1)
 		return nil, &PeerError{Peer: peerID, Err: ErrPeerOpen}
 	}
 	var (
@@ -342,7 +387,7 @@ func (rt *Router) Forward(ctx context.Context, peerID, path string, body []byte,
 	)
 	attempt := func() error {
 		attempts++
-		r, status, err := rt.attempt(ctx, ps.peer, path, body, hdr)
+		r, status, err := rt.attempt(ctx, ps.peer, method, path, body, hdr)
 		if status != 0 {
 			lastStatus = status
 		}
@@ -361,43 +406,55 @@ func (rt *Router) Forward(ctx context.Context, peerID, path string, body []byte,
 			if ps.breaker != nil {
 				ps.breaker.CancelProbe()
 			}
-			ps.failures.Add(1)
+			failed.Add(1)
 			return nil, ctx.Err()
 		}
 		if ps.breaker != nil {
 			ps.breaker.Report(true)
 		}
-		ps.failures.Add(1)
+		failed.Add(1)
 		return nil, &PeerError{Peer: peerID, Attempts: attempts, LastStatus: lastStatus, Err: err}
 	}
 	if ps.breaker != nil {
 		ps.breaker.Report(false)
 	}
-	if resp.Status < 300 {
+	resp.Attempts = attempts
+	if !fetch && resp.Status < 300 {
 		ps.hits.Add(1)
 	}
 	return resp, nil
 }
 
-// attempt runs one forward attempt under the per-attempt timeout.
-func (rt *Router) attempt(ctx context.Context, peer Peer, path string, body []byte, hdr http.Header) (*Response, int, error) {
+// attempt runs one exchange attempt under the per-attempt timeout.
+func (rt *Router) attempt(ctx context.Context, peer Peer, method, path string, body []byte, hdr http.Header) (*Response, int, error) {
 	actx := ctx
 	if rt.cfg.ForwardTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, rt.cfg.ForwardTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, peer.URL+path, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer.URL+path, rd)
 	if err != nil {
 		return nil, 0, &transportError{err: err}
 	}
-	ct := hdr.Get("Content-Type")
-	if ct == "" {
-		ct = "application/json"
+	if method == http.MethodPost {
+		ct := hdr.Get("Content-Type")
+		if ct == "" {
+			ct = "application/json"
+		}
+		req.Header.Set("Content-Type", ct)
 	}
-	req.Header.Set("Content-Type", ct)
-	if rid := hdr.Get("X-Request-Id"); rid != "" {
-		req.Header.Set("X-Request-Id", rid)
+	if hdr != nil {
+		if rid := hdr.Get("X-Request-Id"); rid != "" {
+			req.Header.Set("X-Request-Id", rid)
+		}
+		if tc := hdr.Get(TraceHeader); tc != "" {
+			req.Header.Set(TraceHeader, tc)
+		}
 	}
 	req.Header.Set(ForwardedFromHeader, rt.cfg.Self)
 	res, err := rt.client.Do(req)

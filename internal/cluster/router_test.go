@@ -262,3 +262,92 @@ func TestParsePeers(t *testing.T) {
 		}
 	}
 }
+
+// TestForwardPropagatesTraceHeader: the X-Fepiad-Trace context rides
+// every forward attempt so the owner can continue the ingress trace.
+func TestForwardPropagatesTraceHeader(t *testing.T) {
+	var gotTrace atomic.Value
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTrace.Store(r.Header.Get(TraceHeader))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	}), nil)
+
+	hdr := http.Header{}
+	hdr.Set(TraceHeader, "0123456789abcdef-fedcba9876543210")
+	resp, err := rt.Forward(context.Background(), "b", "/v1/analyze", []byte(`{}`), hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Attempts != 1 {
+		t.Fatalf("attempts %d, want 1", resp.Attempts)
+	}
+	if gotTrace.Load() != "0123456789abcdef-fedcba9876543210" {
+		t.Fatalf("trace header not propagated: %q", gotTrace.Load())
+	}
+}
+
+// TestFetchRelaysAndCounts: GET fan-out shares the resilience machinery
+// but counts on its own PeerStats counters, leaving the forward
+// counters untouched.
+func TestFetchRelaysAndCounts(t *testing.T) {
+	var gotMethod, gotFrom atomic.Value
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotMethod.Store(r.Method)
+		gotFrom.Store(r.Header.Get(ForwardedFromHeader))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"node":"b"}`))
+	}), nil)
+
+	resp, err := rt.Fetch(context.Background(), "b", "/v1/cluster/status?local=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || string(resp.Body) != `{"node":"b"}` {
+		t.Fatalf("fetch response wrong: %d %q", resp.Status, resp.Body)
+	}
+	if gotMethod.Load() != http.MethodGet {
+		t.Fatalf("method %q, want GET", gotMethod.Load())
+	}
+	if gotFrom.Load() != "a" {
+		t.Fatalf("fetch missing %s: %q", ForwardedFromHeader, gotFrom.Load())
+	}
+	st := rt.PeerStats("b")
+	if st.Fetches != 1 || st.FetchFailures != 0 {
+		t.Fatalf("fetch counters wrong: %+v", st)
+	}
+	if st.Forwards != 0 || st.ForwardHits != 0 {
+		t.Fatalf("fetch polluted forward counters: %+v", st)
+	}
+}
+
+// TestFetchRetriesAndBreaker: a 5xx-answering peer exhausts the fetch
+// retry budget into a *PeerError, and repeated failures open the shared
+// breaker so forwards are rejected too.
+func TestFetchRetriesAndBreaker(t *testing.T) {
+	var calls atomic.Int64
+	rt, _ := twoNodeRouter(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}), func(c *Config) {
+		c.RetryMax = 2
+		c.BreakerWindow = 2
+		c.BreakerThreshold = 0.5
+	})
+
+	_, err := rt.Fetch(context.Background(), "b", "/v1/cluster/status")
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Peer != "b" || pe.LastStatus != http.StatusBadGateway {
+		t.Fatalf("want PeerError with last status 502, got %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("attempts %d, want 2 (RetryMax)", got)
+	}
+	// Enough failed verdicts to trip the shared breaker…
+	_, _ = rt.Fetch(context.Background(), "b", "/v1/cluster/status")
+	// …which now rejects forwards locally.
+	_, err = rt.Forward(context.Background(), "b", "/v1/analyze", []byte(`{}`), http.Header{})
+	if !errors.Is(err, ErrPeerOpen) {
+		t.Fatalf("want ErrPeerOpen after fetch failures, got %v", err)
+	}
+}

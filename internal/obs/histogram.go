@@ -17,11 +17,23 @@ var DefaultLatencyBucketsMS = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 1
 // clients) record without contention. Obtain registered histograms from
 // Registry.Histogram, or standalone ones from NewHistogram.
 type Histogram struct {
-	bounds []float64 // sorted upper bounds; the +Inf bucket is implicit
-	counts []atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-added
-	max    atomic.Uint64 // float64 bits, CAS-maxed
+	bounds    []float64 // sorted upper bounds; the +Inf bucket is implicit
+	counts    []atomic.Uint64
+	count     atomic.Uint64 // total observations
+	sum       atomic.Uint64 // float64 bits, CAS-added
+	max       atomic.Uint64 // float64 bits, CAS-maxed
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to the trace that most recently
+// landed in it, OpenMetrics-style: a slow latency bucket is one trace
+// ID away from its /debug/traces document.
+type Exemplar struct {
+	// Bucket indexes the bucket the observation fell in
+	// (len(Bounds) = the +Inf overflow bucket).
+	Bucket  int     `json:"bucket"`
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // NewHistogram builds a histogram over the given bucket upper bounds
@@ -32,12 +44,31 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// pins it as the bucket's exemplar (last writer wins — recency is the
+// point). The fepiad request-latency histograms use it so every bucket
+// links to a recent trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.observe(v, traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
 	i := sort.SearchFloat64s(h.bounds, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Bucket: i, Value: v, TraceID: traceID})
+	}
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -64,12 +95,15 @@ type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds; Counts[i] is the number of
 	// observations ≤ Bounds[i] (non-cumulative), with Counts[len(Bounds)]
 	// the +Inf overflow bucket.
-	Bounds []float64
-	Counts []uint64
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
 	// Count, Sum, and Max aggregate every observation.
-	Count uint64
-	Sum   float64
-	Max   float64
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+	// Exemplars holds at most one recent trace link per bucket, in
+	// bucket order; buckets without an exemplar are absent.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the current state. Concurrent Observe calls may land
@@ -85,6 +119,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			s.Exemplars = append(s.Exemplars, *ex)
+		}
 	}
 	return s
 }
@@ -162,5 +201,18 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	for i := range out.Counts {
 		out.Counts[i] = s.Counts[i] + o.Counts[i]
 	}
+	// Exemplars: keep one per bucket, receiver's first (both are "a
+	// recent trace in this bucket" — either serves the purpose).
+	have := make(map[int]bool, len(s.Exemplars))
+	for _, ex := range s.Exemplars {
+		out.Exemplars = append(out.Exemplars, ex)
+		have[ex.Bucket] = true
+	}
+	for _, ex := range o.Exemplars {
+		if !have[ex.Bucket] {
+			out.Exemplars = append(out.Exemplars, ex)
+		}
+	}
+	sort.Slice(out.Exemplars, func(i, j int) bool { return out.Exemplars[i].Bucket < out.Exemplars[j].Bucket })
 	return out
 }

@@ -27,7 +27,10 @@ import (
 )
 
 // Label is one name="value" pair attached to a metric series.
-type Label struct{ Name, Value string }
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
 
 // L is shorthand for constructing a Label.
 func L(name, value string) Label { return Label{Name: name, Value: value} }
@@ -188,60 +191,34 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4), deterministically: families sorted by name,
-// series sorted by label signature.
+// series sorted by label signature. It renders through Snapshot, so the
+// live registry and a wire snapshot produce the same document.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.RLock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	var b strings.Builder
-	for _, name := range names {
-		fam := r.families[name]
-		if fam.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(fam.help))
-		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", name, fam.typ)
-		sigs := make([]string, 0, len(fam.series))
-		for sig := range fam.series {
-			sigs = append(sigs, sig)
-		}
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			s := fam.series[sig]
-			switch fam.typ {
-			case typeCounter:
-				fmt.Fprintf(&b, "%s%s %d\n", name, renderLabels(s.labels), s.counter.Value())
-			case typeGauge:
-				v := 0.0
-				if s.fn != nil {
-					v = s.fn()
-				} else {
-					v = s.gauge.Value()
-				}
-				fmt.Fprintf(&b, "%s%s %s\n", name, renderLabels(s.labels), formatFloat(v))
-			case typeHistogram:
-				writeHistogram(&b, name, s.labels, s.hist.Snapshot())
-			}
-		}
-	}
-	r.mu.RUnlock()
-	_, err := io.WriteString(w, b.String())
-	return err
+	return r.Snapshot().WritePrometheus(w)
 }
 
 // writeHistogram emits the cumulative _bucket/_sum/_count triplet of one
-// histogram series.
+// histogram series. Buckets with a recorded exemplar carry it
+// OpenMetrics-style after the bucket value: `# {trace_id="…"} <v>`.
 func writeHistogram(b *strings.Builder, name string, labels []Label, snap HistogramSnapshot) {
+	exemplar := make(map[int]Exemplar, len(snap.Exemplars))
+	for _, ex := range snap.Exemplars {
+		exemplar[ex.Bucket] = ex
+	}
+	writeBucket := func(i int, le string, cum uint64) {
+		fmt.Fprintf(b, "%s_bucket%s %d", name, renderLabels(append(append([]Label(nil), labels...), L("le", le))), cum)
+		if ex, ok := exemplar[i]; ok {
+			fmt.Fprintf(b, " # {trace_id=\"%s\"} %s", escapeLabel(ex.TraceID), formatFloat(ex.Value))
+		}
+		b.WriteByte('\n')
+	}
 	cum := uint64(0)
 	for i, ub := range snap.Bounds {
 		cum += snap.Counts[i]
-		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(append(append([]Label(nil), labels...), L("le", formatFloat(ub)))), cum)
+		writeBucket(i, formatFloat(ub), cum)
 	}
 	cum += snap.Counts[len(snap.Bounds)]
-	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(append(append([]Label(nil), labels...), L("le", "+Inf"))), cum)
+	writeBucket(len(snap.Bounds), "+Inf", cum)
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(labels), formatFloat(snap.Sum))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(labels), snap.Count)
 }

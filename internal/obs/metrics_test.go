@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -175,5 +176,114 @@ func TestHistogramConcurrent(t *testing.T) {
 	wg.Wait()
 	if s := h.Snapshot(); s.Count != 8000 {
 		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}
+
+// TestHistogramExemplar: exemplars pin a recent trace ID per bucket,
+// survive snapshots, and render OpenMetrics-style on the text surface —
+// but only on buckets that have one, so exemplar-free output is
+// byte-identical to the pre-exemplar format.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ex_ms", "latency", []float64{1, 10, 100})
+	h.Observe(0.5) // no exemplar on this bucket
+	h.ObserveExemplar(5, "aaaa111122223333")
+	h.ObserveExemplar(7, "bbbb111122223333") // same bucket: last writer wins
+	s := h.Snapshot()
+	if len(s.Exemplars) != 1 {
+		t.Fatalf("%d exemplars, want 1: %+v", len(s.Exemplars), s.Exemplars)
+	}
+	ex := s.Exemplars[0]
+	if ex.Bucket != 1 || ex.Value != 7 || ex.TraceID != "bbbb111122223333" {
+		t.Fatalf("exemplar wrong: %+v", ex)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `lat_ex_ms_bucket{le="10"} 3 # {trace_id="bbbb111122223333"} 7`) {
+		t.Fatalf("exemplar not rendered:\n%s", out)
+	}
+	if strings.Contains(out, `le="1"} 1 #`) {
+		t.Fatalf("exemplar leaked onto a bucket without one:\n%s", out)
+	}
+}
+
+// TestRegistrySnapshotRoundTrip: Snapshot → JSON → Snapshot →
+// WritePrometheus must produce the identical document to rendering the
+// live registry — the federation wire cannot lose precision.
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_requests_total", "requests", L("endpoint", "analyze")).Add(42)
+	r.Gauge("rt_in_flight", "in flight").Set(2.5)
+	r.GaugeFunc("rt_share", "share", func() float64 { return 0.75 }, L("node", "a"))
+	h := r.Histogram("rt_lat_ms", "latency", []float64{1, 10})
+	h.ObserveExemplar(5, "cccc111122223333")
+
+	var live strings.Builder
+	if err := r.WritePrometheus(&live); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var wire strings.Builder
+	if err := snap.WritePrometheus(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != wire.String() {
+		t.Fatalf("snapshot round-trip diverged.\nlive:\n%s\nwire:\n%s", live.String(), wire.String())
+	}
+}
+
+// TestRegistrySnapshotMerge: the federation merge — counters and gauges
+// sum, histograms merge bucket-wise, peer-only series are adopted, and
+// a histogram with a different bucket layout is skipped instead of
+// panicking.
+func TestRegistrySnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("m_requests_total", "requests", L("endpoint", "analyze")).Add(10)
+	a.Gauge("m_in_flight", "in flight").Set(1)
+	a.Histogram("m_lat_ms", "latency", []float64{1, 10}).Observe(5)
+	a.Histogram("m_skew_ms", "skewed", []float64{1, 10}).Observe(5)
+
+	b := NewRegistry()
+	b.Counter("m_requests_total", "requests", L("endpoint", "analyze")).Add(32)
+	b.Counter("m_requests_total", "requests", L("endpoint", "batch")).Add(7)
+	b.Gauge("m_in_flight", "in flight").Set(3)
+	b.Histogram("m_lat_ms", "latency", []float64{1, 10}).Observe(0.5)
+	b.Histogram("m_skew_ms", "skewed", []float64{1, 5, 10}).Observe(5)
+	b.Counter("m_peer_only_total", "only on the peer").Add(9)
+
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+
+	var out strings.Builder
+	if err := merged.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	doc := out.String()
+	for _, line := range []string{
+		`m_requests_total{endpoint="analyze"} 42`,
+		`m_requests_total{endpoint="batch"} 7`,
+		`m_in_flight 4`,
+		`m_lat_ms_count 2`,
+		`m_lat_ms_bucket{le="1"} 1`,
+		`m_peer_only_total 9`,
+		// Mismatched layout: the local histogram wins untouched.
+		`m_skew_ms_count 1`,
+	} {
+		if !strings.Contains(doc, line) {
+			t.Fatalf("merged document missing %q in:\n%s", line, doc)
+		}
+	}
+	if strings.Contains(doc, `m_skew_ms_bucket{le="5"}`) {
+		t.Fatalf("mismatched-bucket histogram leaked peer layout:\n%s", doc)
 	}
 }

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracking: per-endpoint availability and latency objectives with
+// multi-window burn-rate gauges, the alerting shape Google's SRE
+// workbook recommends. Burn rate is the ratio between the observed
+// bad-event rate and the rate the error budget allows: 1.0 burns the
+// budget exactly over the window, 14.4 on the 1h window pages. The
+// windows are bucketed rings (no per-request allocation, one short
+// mutex per request), and the gauges are GaugeFuncs — evaluated only
+// when a scraper asks.
+
+// SLOConfig carries the objectives. Zero values select the defaults:
+// p99 latency 500ms, availability 99.9%.
+type SLOConfig struct {
+	// LatencyP99MS is the latency objective in milliseconds: at most 1%
+	// of successful requests may exceed it (a p99 target).
+	LatencyP99MS float64
+	// Availability is the availability objective in (0, 1), e.g. 0.999;
+	// non-5xx responses count as available.
+	Availability float64
+}
+
+// withDefaults fills zero fields and clamps the availability objective
+// away from 1.0 so the error budget never divides by zero.
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyP99MS <= 0 {
+		c.LatencyP99MS = 500
+	}
+	if c.Availability <= 0 {
+		c.Availability = 0.999
+	}
+	if c.Availability >= 1 {
+		c.Availability = 0.9999
+	}
+	return c
+}
+
+// latencyBudget is the allowed bad fraction for the latency objective:
+// a p99 target tolerates 1% of requests over the threshold.
+const latencyBudget = 0.01
+
+// sloWindowSpecs are the two burn-rate windows: a fast 5-minute window
+// that reacts to incidents and a slow 1-hour window that filters noise.
+var sloWindowSpecs = []struct {
+	name      string
+	bucketSec int64
+	buckets   int
+}{
+	{"5m", 5, 60},
+	{"1h", 60, 60},
+}
+
+// sloBucket is one time slice of a window.
+type sloBucket struct {
+	epoch     int64 // bucket epoch (unix seconds / bucketSec); stale slots are reused
+	good, bad uint64
+}
+
+// sloWindow is a ring of time-bucketed good/bad counts covering
+// bucketSec×len(buckets) seconds.
+type sloWindow struct {
+	bucketSec int64
+	buckets   []sloBucket
+}
+
+func newSloWindow(bucketSec int64, n int) sloWindow {
+	return sloWindow{bucketSec: bucketSec, buckets: make([]sloBucket, n)}
+}
+
+// record counts one event in the bucket covering nowSec.
+func (w *sloWindow) record(nowSec int64, good bool) {
+	epoch := nowSec / w.bucketSec
+	b := &w.buckets[epoch%int64(len(w.buckets))]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+}
+
+// totals sums the buckets still inside the window at nowSec.
+func (w *sloWindow) totals(nowSec int64) (good, bad uint64) {
+	epoch := nowSec / w.bucketSec
+	min := epoch - int64(len(w.buckets)) + 1
+	for _, b := range w.buckets {
+		if b.epoch >= min && b.epoch <= epoch {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// sloTracker is one endpoint's availability and latency windows, under
+// one mutex so Record costs a single lock on the request path.
+type sloTracker struct {
+	mu    sync.Mutex
+	avail []sloWindow // indexed like sloWindowSpecs
+	lat   []sloWindow
+}
+
+func newSloTracker() *sloTracker {
+	t := &sloTracker{}
+	for _, spec := range sloWindowSpecs {
+		t.avail = append(t.avail, newSloWindow(spec.bucketSec, spec.buckets))
+		t.lat = append(t.lat, newSloWindow(spec.bucketSec, spec.buckets))
+	}
+	return t
+}
+
+// SLO tracks availability and latency objectives per endpoint and
+// exposes burn-rate, error-budget, and objective gauges through a
+// Registry. Create one with NewSLO; call Record once per finished
+// request.
+type SLO struct {
+	cfg      SLOConfig
+	now      func() time.Time
+	trackers map[string]*sloTracker
+}
+
+// NewSLO builds the tracker set for the given endpoints and registers
+// its gauges: fepiad_slo_burn_rate{endpoint,slo,window} (windows 5m and
+// 1h), fepiad_slo_error_budget_remaining{endpoint,slo} (1h window), and
+// fepiad_slo_objective{endpoint,slo}. now is stubbable for tests; nil
+// selects time.Now.
+func NewSLO(reg *Registry, endpoints []string, cfg SLOConfig, now func() time.Time) *SLO {
+	if now == nil {
+		now = time.Now
+	}
+	s := &SLO{cfg: cfg.withDefaults(), now: now, trackers: make(map[string]*sloTracker, len(endpoints))}
+	for _, ep := range endpoints {
+		tr := newSloTracker()
+		s.trackers[ep] = tr
+		for wi, spec := range sloWindowSpecs {
+			wi := wi
+			reg.GaugeFunc("fepiad_slo_burn_rate",
+				"Error-budget burn rate per objective and window (1.0 = burning exactly the budget).",
+				func() float64 { return s.burn(tr, wi, false) },
+				L("endpoint", ep), L("slo", "availability"), L("window", spec.name))
+			reg.GaugeFunc("fepiad_slo_burn_rate",
+				"Error-budget burn rate per objective and window (1.0 = burning exactly the budget).",
+				func() float64 { return s.burn(tr, wi, true) },
+				L("endpoint", ep), L("slo", "latency"), L("window", spec.name))
+		}
+		longIdx := len(sloWindowSpecs) - 1
+		reg.GaugeFunc("fepiad_slo_error_budget_remaining",
+			"Fraction of the error budget left over the 1h window (1 = untouched, ≤0 = exhausted).",
+			func() float64 { return 1 - s.burn(tr, longIdx, false) },
+			L("endpoint", ep), L("slo", "availability"))
+		reg.GaugeFunc("fepiad_slo_error_budget_remaining",
+			"Fraction of the error budget left over the 1h window (1 = untouched, ≤0 = exhausted).",
+			func() float64 { return 1 - s.burn(tr, longIdx, true) },
+			L("endpoint", ep), L("slo", "latency"))
+		reg.GaugeFunc("fepiad_slo_objective",
+			"Configured objective: availability as a fraction, latency as the p99 threshold in ms.",
+			func() float64 { return s.cfg.Availability },
+			L("endpoint", ep), L("slo", "availability"))
+		reg.GaugeFunc("fepiad_slo_objective",
+			"Configured objective: availability as a fraction, latency as the p99 threshold in ms.",
+			func() float64 { return s.cfg.LatencyP99MS },
+			L("endpoint", ep), L("slo", "latency"))
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) objectives.
+func (s *SLO) Config() SLOConfig { return s.cfg }
+
+// Record accounts one finished request: availability counts every
+// response (good = non-5xx), latency counts only successful responses
+// (good = within the p99 threshold) so an outage doesn't double-bill
+// the latency budget. Unknown endpoints are ignored.
+func (s *SLO) Record(endpoint string, status int, durMS float64) {
+	tr := s.trackers[endpoint]
+	if tr == nil {
+		return
+	}
+	nowSec := s.now().Unix()
+	availGood := status < 500
+	tr.mu.Lock()
+	for i := range tr.avail {
+		tr.avail[i].record(nowSec, availGood)
+	}
+	if availGood {
+		latGood := durMS <= s.cfg.LatencyP99MS
+		for i := range tr.lat {
+			tr.lat[i].record(nowSec, latGood)
+		}
+	}
+	tr.mu.Unlock()
+}
+
+// burn computes the burn rate of one tracker window at scrape time.
+func (s *SLO) burn(tr *sloTracker, windowIdx int, latency bool) float64 {
+	nowSec := s.now().Unix()
+	tr.mu.Lock()
+	var good, bad uint64
+	if latency {
+		good, bad = tr.lat[windowIdx].totals(nowSec)
+	} else {
+		good, bad = tr.avail[windowIdx].totals(nowSec)
+	}
+	tr.mu.Unlock()
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - s.cfg.Availability
+	if latency {
+		budget = latencyBudget
+	}
+	return (float64(bad) / float64(total)) / budget
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloGauge digs one gauge value out of a registry snapshot by name and
+// label set.
+func sloGauge(t *testing.T, reg *Registry, name string, labels ...Label) float64 {
+	t.Helper()
+	want := labelSig(sortLabels(labels))
+	for _, fam := range reg.Snapshot().Families {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			if labelSig(s.Labels) == want && s.Gauge != nil {
+				return *s.Gauge
+			}
+		}
+	}
+	t.Fatalf("gauge %s%v not found", name, labels)
+	return 0
+}
+
+// TestSLOBurnRate: the burn-rate arithmetic — bad-rate over budget —
+// on both objectives, and the budget-remaining complement.
+func TestSLOBurnRate(t *testing.T) {
+	clock := time.Unix(1_000_000, 0)
+	now := func() time.Time { return clock }
+	reg := NewRegistry()
+	s := NewSLO(reg, []string{"analyze"}, SLOConfig{LatencyP99MS: 100, Availability: 0.999}, now)
+
+	// 99 good + 1 bad availability events: bad rate 1%, budget 0.1% →
+	// burn 10 on both windows.
+	for i := 0; i < 99; i++ {
+		s.Record("analyze", 200, 10)
+	}
+	s.Record("analyze", 500, 10)
+	for _, window := range []string{"5m", "1h"} {
+		got := sloGauge(t, reg, "fepiad_slo_burn_rate",
+			L("endpoint", "analyze"), L("slo", "availability"), L("window", window))
+		if got < 9.99 || got > 10.01 {
+			t.Fatalf("availability burn (%s) = %v, want 10", window, got)
+		}
+	}
+	// Latency: 99 fast + 1 over-threshold (the 500 above is excluded
+	// from the latency ledger). Add one slow success: 1 bad of 100,
+	// budget 1% → burn 1.
+	s.Record("analyze", 200, 250)
+	got := sloGauge(t, reg, "fepiad_slo_burn_rate",
+		L("endpoint", "analyze"), L("slo", "latency"), L("window", "1h"))
+	if got < 0.99 || got > 1.01 {
+		t.Fatalf("latency burn = %v, want 1", got)
+	}
+	remaining := sloGauge(t, reg, "fepiad_slo_error_budget_remaining",
+		L("endpoint", "analyze"), L("slo", "latency"))
+	if remaining < -0.01 || remaining > 0.01 {
+		t.Fatalf("latency budget remaining = %v, want 0 (burn exactly 1)", remaining)
+	}
+	if obj := sloGauge(t, reg, "fepiad_slo_objective",
+		L("endpoint", "analyze"), L("slo", "latency")); obj != 100 {
+		t.Fatalf("latency objective gauge = %v, want 100", obj)
+	}
+
+	// Two hours later every bucket has aged out of both windows.
+	clock = clock.Add(2 * time.Hour)
+	if got := sloGauge(t, reg, "fepiad_slo_burn_rate",
+		L("endpoint", "analyze"), L("slo", "availability"), L("window", "1h")); got != 0 {
+		t.Fatalf("burn after window expiry = %v, want 0", got)
+	}
+}
+
+// TestSLOWindowDivergence: a burst of errors shows on the fast 5m
+// window long after it aged out there but still weighs on the 1h one —
+// the multi-window shape that separates blips from incidents.
+func TestSLOWindowDivergence(t *testing.T) {
+	clock := time.Unix(2_000_000, 0)
+	now := func() time.Time { return clock }
+	reg := NewRegistry()
+	s := NewSLO(reg, []string{"analyze"}, SLOConfig{Availability: 0.999}, now)
+
+	for i := 0; i < 10; i++ {
+		s.Record("analyze", 503, 1)
+	}
+	clock = clock.Add(10 * time.Minute)
+	for i := 0; i < 10; i++ {
+		s.Record("analyze", 200, 1)
+	}
+	fast := sloGauge(t, reg, "fepiad_slo_burn_rate",
+		L("endpoint", "analyze"), L("slo", "availability"), L("window", "5m"))
+	slow := sloGauge(t, reg, "fepiad_slo_burn_rate",
+		L("endpoint", "analyze"), L("slo", "availability"), L("window", "1h"))
+	if fast != 0 {
+		t.Fatalf("5m burn = %v, want 0 (burst aged out)", fast)
+	}
+	if slow < 499 || slow > 501 {
+		t.Fatalf("1h burn = %v, want 500 (10 bad of 20, budget 0.1%%)", slow)
+	}
+}
+
+// TestSLODefaultsAndUnknownEndpoint: zero config selects the documented
+// defaults, availability 1.0 is clamped off the division-by-zero cliff,
+// and recording an unregistered endpoint is a no-op.
+func TestSLODefaultsAndUnknownEndpoint(t *testing.T) {
+	cfg := SLOConfig{}.withDefaults()
+	if cfg.LatencyP99MS != 500 || cfg.Availability != 0.999 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if c := (SLOConfig{Availability: 1.0}).withDefaults(); c.Availability >= 1 {
+		t.Fatalf("availability 1.0 not clamped: %+v", c)
+	}
+	reg := NewRegistry()
+	s := NewSLO(reg, []string{"analyze"}, SLOConfig{}, nil)
+	s.Record("nope", 200, 1) // must not panic
+	if s.Config().LatencyP99MS != 500 {
+		t.Fatalf("effective config not defaulted: %+v", s.Config())
+	}
+}
+
+// TestSLORenderOnMetrics: the gauges render on the Prometheus surface
+// with the documented names and label shape.
+func TestSLORenderOnMetrics(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, []string{"analyze", "batch"}, SLOConfig{}, nil)
+	s.Record("analyze", 200, 1)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`fepiad_slo_burn_rate{endpoint="analyze",slo="availability",window="5m"} 0`,
+		`fepiad_slo_burn_rate{endpoint="analyze",slo="latency",window="1h"} 0`,
+		`fepiad_slo_burn_rate{endpoint="batch",slo="availability",window="1h"} 0`,
+		`fepiad_slo_error_budget_remaining{endpoint="analyze",slo="availability"} 1`,
+		`fepiad_slo_objective{endpoint="analyze",slo="latency"} 500`,
+		`fepiad_slo_objective{endpoint="batch",slo="availability"} 0.999`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("metrics output missing %q in:\n%s", line, out)
+		}
+	}
+}

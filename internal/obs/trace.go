@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"sort"
 	"sync"
@@ -31,11 +32,70 @@ func NewID() string {
 
 var fallbackID atomic.Uint64
 
+// randUint64 draws one random 64-bit value, with the same counter
+// fallback as NewID when the entropy source is unavailable.
+func randUint64() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fallbackID.Add(1)
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// spanIDString renders a span ID as 16 lowercase hex chars — the same
+// shape as a trace or request ID, so every ID in a trace document greps
+// alike.
+func spanIDString(v uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return hex.EncodeToString(b[:])
+}
+
+// ParseTraceHeader parses an X-Fepiad-Trace value of the form
+// "<trace-id>-<parent-span-id>" (16 lowercase hex chars each, W3C
+// traceparent style). Anything malformed — wrong length, missing
+// separator, uppercase or non-hex bytes — returns ok=false so the
+// caller starts a fresh trace instead of erroring.
+func ParseTraceHeader(v string) (traceID, parentID string, ok bool) {
+	if len(v) != 33 || v[16] != '-' {
+		return "", "", false
+	}
+	traceID, parentID = v[:16], v[17:]
+	if !isHex16(traceID) || !isHex16(parentID) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+// FormatTraceHeader renders the X-Fepiad-Trace wire value for a forward:
+// the trace ID plus the span that becomes the remote server span's
+// parent (the ingress forward span).
+func FormatTraceHeader(traceID, parentID string) string {
+	return traceID + "-" + parentID
+}
+
+func isHex16(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // SpanData is one finished pipeline-stage span as served on
 // /debug/traces. Offsets are relative to the trace start so a span list
-// reads as a timeline.
+// reads as a timeline. SpanID/ParentID place the span in the cross-node
+// tree: local spans hang off the trace's root span, a forwarded
+// request's remote spans hang off the ingress forward span.
 type SpanData struct {
 	Name       string            `json:"name"`
+	SpanID     string            `json:"span_id,omitempty"`
+	ParentID   string            `json:"parent_id,omitempty"`
 	StartUS    int64             `json:"start_us"`
 	DurationUS int64             `json:"duration_us"`
 	Error      string            `json:"error,omitempty"`
@@ -44,16 +104,28 @@ type SpanData struct {
 }
 
 // TraceData is one finished request trace: the JSON document of
-// /debug/traces.
+// /debug/traces. TraceID is the cross-node trace identity (propagated
+// on forwards via X-Fepiad-Trace); SpanID is the trace's root span and
+// ParentID, when set, is the remote parent span this trace was stitched
+// under on the node that forwarded to us.
 type TraceData struct {
 	ID           string            `json:"id"`
+	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentID     string            `json:"parent_id,omitempty"`
 	Endpoint     string            `json:"endpoint"`
 	Start        time.Time         `json:"start"`
 	DurationUS   int64             `json:"duration_us"`
 	Status       int               `json:"status"`
+	Slow         bool              `json:"slow,omitempty"`
 	Attrs        map[string]string `json:"attrs,omitempty"`
 	Spans        []SpanData        `json:"spans"`
 	SpansDropped int               `json:"spans_dropped,omitempty"`
+
+	// SkipSlowest excludes this trace from the slowest-ever retention
+	// list (shed 503s record near-zero durations and must not occupy
+	// outlier slots). Never serialized.
+	SkipSlowest bool `json:"-"`
 }
 
 // Trace accumulates the spans of one in-flight request. Create one with
@@ -63,7 +135,12 @@ type TraceData struct {
 type Trace struct {
 	id       string
 	endpoint string
+	traceID  string
+	rootID   string // root span ID; local spans parent here
+	parent   string // remote parent span ID ("" when this node is the ingress)
 	start    time.Time
+	idBase   uint64
+	seq      atomic.Uint64
 
 	mu      sync.Mutex
 	spans   []SpanData
@@ -73,12 +150,53 @@ type Trace struct {
 
 // NewTrace starts a trace for one request. id is the request ID
 // (accepted from or emitted as X-Request-Id); endpoint names the route.
+// The trace gets a fresh 16-hex trace ID and a random root span ID.
 func NewTrace(id, endpoint string) *Trace {
-	return &Trace{id: id, endpoint: endpoint, start: time.Now()}
+	return NewTraceRemote(id, endpoint, "", "")
+}
+
+// NewTraceRemote starts a trace that continues a cross-node trace: the
+// forwarded-to node adopts the ingress trace ID and parents its root
+// span under parentID (the ingress forward span). Empty traceID starts
+// a fresh trace, exactly like NewTrace.
+func NewTraceRemote(id, endpoint, traceID, parentID string) *Trace {
+	base := randUint64()
+	if traceID == "" {
+		traceID = NewID()
+		parentID = ""
+	}
+	return &Trace{
+		id:       id,
+		endpoint: endpoint,
+		traceID:  traceID,
+		rootID:   spanIDString(base),
+		parent:   parentID,
+		start:    time.Now(),
+		idBase:   base,
+	}
 }
 
 // ID returns the trace's request ID.
 func (t *Trace) ID() string { return t.id }
+
+// TraceID returns the cross-node trace ID (16 hex chars).
+func (t *Trace) TraceID() string { return t.traceID }
+
+// RootSpanID returns the trace's root span ID — the parent of every
+// local span and, on a forwarded-to node, the span exported as the
+// remote "server" span.
+func (t *Trace) RootSpanID() string { return t.rootID }
+
+// Remote reports whether this trace continues a trace started on
+// another node (it was built from a valid X-Fepiad-Trace header).
+func (t *Trace) Remote() bool { return t.parent != "" }
+
+// nextSpanID allocates a span ID unique within the trace: sequential
+// offsets from the random per-trace base, so one entropy read covers
+// every span.
+func (t *Trace) nextSpanID() string {
+	return spanIDString(t.idBase + t.seq.Add(1))
+}
 
 // SetAttr records a trace-level attribute (outcome, degraded, breaker
 // state, …); the access logger and /debug/traces both surface it.
@@ -121,6 +239,49 @@ func (t *Trace) add(sd SpanData) {
 	t.mu.Unlock()
 }
 
+// Stitch merges spans exported by a remote node into this trace — the
+// ingress side of cross-node tracing. offsetUS shifts the remote
+// timeline onto this trace's clock (the forward span's start offset);
+// remote parent IDs are preserved, so the exported server span stays
+// hooked under the forward span that carried the X-Fepiad-Trace header.
+// Stitching respects the span cap like any local span.
+func (t *Trace) Stitch(spans []SpanData, offsetUS int64) {
+	if t == nil {
+		return
+	}
+	for _, sd := range spans {
+		sd.StartUS += offsetUS
+		t.add(sd)
+	}
+}
+
+// ExportSpans snapshots the spans recorded so far — the forwarded-to
+// node's side of cross-node tracing — prepended with a synthetic
+// "server" span (the trace's root, parented under the ingress forward
+// span) so the ingress stitches a rooted subtree. The list is sorted by
+// start offset and capped at limit (≤0 means no cap).
+func (t *Trace) ExportSpans(node string, limit int) []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]SpanData(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+	if limit > 0 && len(spans) > limit-1 {
+		spans = spans[:limit-1]
+	}
+	root := SpanData{
+		Name:       "server",
+		SpanID:     t.rootID,
+		ParentID:   t.parent,
+		StartUS:    0,
+		DurationUS: time.Since(t.start).Microseconds(),
+		Attrs:      map[string]string{"node": node, "endpoint": t.endpoint},
+	}
+	return append([]SpanData{root}, spans...)
+}
+
 // Finish seals the trace with the response status and returns the
 // finished document. Spans are sorted by start offset so concurrent
 // workers' spans read as a timeline.
@@ -135,6 +296,9 @@ func (t *Trace) Finish(status int) TraceData {
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
 	return TraceData{
 		ID:           t.id,
+		TraceID:      t.traceID,
+		SpanID:       t.rootID,
+		ParentID:     t.parent,
 		Endpoint:     t.endpoint,
 		Start:        t.start,
 		DurationUS:   d.Microseconds(),
@@ -169,6 +333,7 @@ func TraceFrom(ctx context.Context) *Trace {
 type Span struct {
 	trace   *Trace
 	name    string
+	id      string
 	start   time.Time
 	retries int
 	attrs   map[string]string
@@ -182,7 +347,27 @@ func StartSpan(ctx context.Context, name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{trace: t, name: name, start: time.Now()}
+	return &Span{trace: t, name: name, id: t.nextSpanID(), start: time.Now()}
+}
+
+// ID returns the span's ID (16 hex chars), or "" on a nil span. The
+// forward span's ID rides the X-Fepiad-Trace header so the remote
+// server span parents under it.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// StartOffsetUS returns the span's start offset on its trace's
+// timeline, in microseconds — the stitch offset for spans a remote node
+// recorded while this span (the forward) was in flight. 0 on a nil span.
+func (s *Span) StartOffsetUS() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.start.Sub(s.trace.start).Microseconds()
 }
 
 // Set records a span attribute and returns the span for chaining.
@@ -213,6 +398,8 @@ func (s *Span) End(err error) {
 	}
 	sd := SpanData{
 		Name:       s.name,
+		SpanID:     s.id,
+		ParentID:   s.trace.rootID,
 		StartUS:    s.start.Sub(s.trace.start).Microseconds(),
 		DurationUS: time.Since(s.start).Microseconds(),
 		Retries:    s.retries,
@@ -229,6 +416,12 @@ func (s *Span) End(err error) {
 // post-mortem actually wants. Both lists are bounded, so memory is fixed
 // no matter the traffic. Safe for concurrent use; Add takes one short
 // lock per finished request, never on the request hot path.
+//
+// Retention-side sampling (SetSample) thins the recent ring under heavy
+// traffic: 1-in-N traces are kept, except traces marked Slow, which
+// bypass sampling entirely (slow-request capture). The slowest-ever
+// list ignores sampling but honors TraceData.SkipSlowest, so shed 503s
+// with near-zero durations never evict genuine outliers.
 type TraceRing struct {
 	mu      sync.Mutex
 	recent  []TraceData // ring buffer
@@ -236,6 +429,7 @@ type TraceRing struct {
 	filled  bool
 	slowest []TraceData // sorted by DurationUS descending, ≤ slowCap
 	slowCap int
+	sample  int
 	total   uint64
 }
 
@@ -246,7 +440,18 @@ func NewTraceRing(capacity int) *TraceRing {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &TraceRing{recent: make([]TraceData, capacity), slowCap: capacity}
+	return &TraceRing{recent: make([]TraceData, capacity), slowCap: capacity, sample: 1}
+}
+
+// SetSample keeps 1-in-n traces in the recent ring (n ≤ 1 keeps all).
+// Slow-marked traces are always kept. Call before serving traffic.
+func (r *TraceRing) SetSample(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.sample = n
+	r.mu.Unlock()
 }
 
 // Add records one finished trace.
@@ -254,10 +459,15 @@ func (r *TraceRing) Add(td TraceData) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.total++
-	r.recent[r.next] = td
-	r.next++
-	if r.next == len(r.recent) {
-		r.next, r.filled = 0, true
+	if r.sample <= 1 || td.Slow || (r.total-1)%uint64(r.sample) == 0 {
+		r.recent[r.next] = td
+		r.next++
+		if r.next == len(r.recent) {
+			r.next, r.filled = 0, true
+		}
+	}
+	if td.SkipSlowest {
+		return
 	}
 	// Insertion-sort into the slowest list (small, fixed capacity).
 	i := sort.Search(len(r.slowest), func(i int) bool { return r.slowest[i].DurationUS < td.DurationUS })
@@ -273,7 +483,7 @@ func (r *TraceRing) Add(td TraceData) {
 // RingSnapshot is the /debug/traces document.
 type RingSnapshot struct {
 	// Capacity bounds both retention lists; Total counts every trace
-	// ever added.
+	// ever added (sampled-out traces still count).
 	Capacity int    `json:"capacity"`
 	Total    uint64 `json:"total"`
 	// Recent holds the last traces in most-recent-first order; Slowest

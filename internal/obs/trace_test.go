@@ -182,3 +182,184 @@ func TestParseLevel(t *testing.T) {
 		t.Error("ParseLevel accepted an unknown level")
 	}
 }
+
+// TestTraceSpanIDs: every trace carries a 16-hex trace ID and root span
+// ID, every span gets a unique ID parented at the root, and the
+// finished document exposes all three.
+func TestTraceSpanIDs(t *testing.T) {
+	tr := NewTrace("req-ids", "analyze")
+	if len(tr.TraceID()) != 16 || len(tr.RootSpanID()) != 16 {
+		t.Fatalf("trace/root IDs not 16 hex chars: %q / %q", tr.TraceID(), tr.RootSpanID())
+	}
+	if tr.Remote() {
+		t.Fatal("fresh trace claims a remote parent")
+	}
+	ctx := WithTrace(context.Background(), tr)
+	a := StartSpan(ctx, "parse")
+	b := StartSpan(ctx, "solve")
+	if a.ID() == "" || b.ID() == "" || a.ID() == b.ID() {
+		t.Fatalf("span IDs not unique: %q vs %q", a.ID(), b.ID())
+	}
+	a.End(nil)
+	b.End(nil)
+	td := tr.Finish(200)
+	if td.TraceID != tr.TraceID() || td.SpanID != tr.RootSpanID() || td.ParentID != "" {
+		t.Fatalf("trace document IDs wrong: %+v", td)
+	}
+	for _, sd := range td.Spans {
+		if sd.ParentID != tr.RootSpanID() {
+			t.Fatalf("span %q parented at %q, want root %q", sd.Name, sd.ParentID, tr.RootSpanID())
+		}
+		if len(sd.SpanID) != 16 {
+			t.Fatalf("span %q has malformed ID %q", sd.Name, sd.SpanID)
+		}
+	}
+}
+
+// TestParseTraceHeader: the strict wire grammar — 16 hex, dash, 16 hex —
+// and every malformed shape rejected without error.
+func TestParseTraceHeader(t *testing.T) {
+	tid, pid, ok := ParseTraceHeader("0123456789abcdef-fedcba9876543210")
+	if !ok || tid != "0123456789abcdef" || pid != "fedcba9876543210" {
+		t.Fatalf("valid header rejected: %q %q %v", tid, pid, ok)
+	}
+	if FormatTraceHeader(tid, pid) != "0123456789abcdef-fedcba9876543210" {
+		t.Fatal("FormatTraceHeader does not round-trip ParseTraceHeader")
+	}
+	for _, bad := range []string{
+		"",
+		"0123456789abcdef",                   // no parent
+		"0123456789abcdef-fedcba987654321",   // short parent
+		"0123456789abcdef-fedcba98765432100", // long parent
+		"0123456789abcdef_fedcba9876543210",  // wrong separator
+		"0123456789ABCDEF-fedcba9876543210",  // uppercase
+		"0123456789abcdeg-fedcba9876543210",  // non-hex
+		"0123456789abcdef-fedcba987654321g",  // non-hex parent
+		"x0123456789abcdef-fedcba9876543210", // leading junk
+	} {
+		if _, _, ok := ParseTraceHeader(bad); ok {
+			t.Fatalf("malformed header %q accepted", bad)
+		}
+	}
+}
+
+// TestTraceExportStitch: the cross-node handshake — the remote node
+// adopts the ingress trace ID, exports its spans rooted in a synthetic
+// server span parented under the forward span, and the ingress stitches
+// them onto its own timeline.
+func TestTraceExportStitch(t *testing.T) {
+	ingress := NewTrace("req-x", "analyze")
+	ictx := WithTrace(context.Background(), ingress)
+	fwd := StartSpan(ictx, "forward").Set("peer", "b")
+
+	// The wire: trace ID + forward span ID.
+	tid, pid, ok := ParseTraceHeader(FormatTraceHeader(ingress.TraceID(), fwd.ID()))
+	if !ok {
+		t.Fatal("wire header did not parse")
+	}
+
+	remote := NewTraceRemote("req-x", "analyze", tid, pid)
+	if remote.TraceID() != ingress.TraceID() {
+		t.Fatalf("remote trace ID %q, want adopted %q", remote.TraceID(), ingress.TraceID())
+	}
+	if !remote.Remote() {
+		t.Fatal("adopted trace does not report Remote")
+	}
+	rctx := WithTrace(context.Background(), remote)
+	StartSpan(rctx, "parse").End(nil)
+	StartSpan(rctx, "solve").End(nil)
+
+	exported := remote.ExportSpans("b", 64)
+	if len(exported) != 3 || exported[0].Name != "server" {
+		t.Fatalf("export shape wrong: %+v", exported)
+	}
+	if exported[0].SpanID != remote.RootSpanID() || exported[0].ParentID != fwd.ID() {
+		t.Fatalf("server span not parented under the forward span: %+v", exported[0])
+	}
+	if exported[0].Attrs["node"] != "b" {
+		t.Fatalf("server span missing node attr: %+v", exported[0])
+	}
+
+	ingress.Stitch(exported, 250)
+	fwd.End(nil)
+	td := ingress.Finish(200)
+	if len(td.Spans) != 4 {
+		t.Fatalf("%d spans after stitch, want 4 (forward + server + parse + solve)", len(td.Spans))
+	}
+	names := map[string]SpanData{}
+	for _, sd := range td.Spans {
+		names[sd.Name] = sd
+	}
+	if names["server"].ParentID != names["forward"].SpanID {
+		t.Fatalf("stitched server span parent %q, want forward span %q", names["server"].ParentID, names["forward"].SpanID)
+	}
+	if names["server"].StartUS != 250 {
+		t.Fatalf("stitched span not offset: start %d, want 250", names["server"].StartUS)
+	}
+	if names["parse"].ParentID != names["server"].SpanID {
+		t.Fatalf("remote parse span parent %q, want remote server span %q", names["parse"].ParentID, names["server"].SpanID)
+	}
+}
+
+// TestTraceExportCap: export respects the limit, always keeping the
+// synthetic server span as the first element.
+func TestTraceExportCap(t *testing.T) {
+	tr := NewTrace("req-cap", "batch")
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < 20; i++ {
+		StartSpan(ctx, "solve").End(nil)
+	}
+	exported := tr.ExportSpans("b", 8)
+	if len(exported) != 8 || exported[0].Name != "server" {
+		t.Fatalf("capped export has %d spans (first %q), want 8 with server first", len(exported), exported[0].Name)
+	}
+}
+
+// TestTraceRingShedExclusion: a shed 503 with a near-zero duration must
+// not occupy a slowest-ever slot (retention bias), while still counting
+// and appearing in the recent ring.
+func TestTraceRingShedExclusion(t *testing.T) {
+	r := NewTraceRing(2)
+	r.Add(TraceData{ID: "slow-1", DurationUS: 9000})
+	r.Add(TraceData{ID: "slow-2", DurationUS: 8000})
+	for i := 0; i < 10; i++ {
+		r.Add(TraceData{ID: fmt.Sprintf("shed-%d", i), DurationUS: 3, SkipSlowest: true})
+	}
+	s := r.Snapshot()
+	if s.Total != 12 {
+		t.Fatalf("total %d, want 12", s.Total)
+	}
+	if len(s.Slowest) != 2 || s.Slowest[0].ID != "slow-1" || s.Slowest[1].ID != "slow-2" {
+		t.Fatalf("shed traces evicted the slowest list: %+v", s.Slowest)
+	}
+	if s.Recent[0].ID != "shed-9" {
+		t.Fatalf("shed traces should still reach the recent ring: %+v", s.Recent)
+	}
+}
+
+// TestTraceRingSampling: 1-in-N retention for the recent ring; slow
+// traces bypass sampling; the slowest list ignores sampling entirely.
+func TestTraceRingSampling(t *testing.T) {
+	r := NewTraceRing(8)
+	r.SetSample(4)
+	for i := 1; i <= 16; i++ {
+		r.Add(TraceData{ID: fmt.Sprint(i), DurationUS: int64(i)})
+	}
+	s := r.Snapshot()
+	if s.Total != 16 {
+		t.Fatalf("total %d, want 16 (sampled-out traces still count)", s.Total)
+	}
+	if len(s.Recent) != 4 {
+		t.Fatalf("recent kept %d traces, want 4 (1-in-4 of 16)", len(s.Recent))
+	}
+	if s.Recent[0].ID != "13" || s.Recent[3].ID != "1" {
+		t.Fatalf("sampled recent list wrong: %+v", s.Recent)
+	}
+	if len(s.Slowest) != 8 || s.Slowest[0].ID != "16" {
+		t.Fatalf("slowest list must ignore sampling: %+v", s.Slowest)
+	}
+	r.Add(TraceData{ID: "slow", DurationUS: 99, Slow: true})
+	if s := r.Snapshot(); s.Recent[0].ID != "slow" {
+		t.Fatalf("slow trace did not bypass sampling: %+v", s.Recent[0])
+	}
+}

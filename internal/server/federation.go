@@ -1,0 +1,242 @@
+// Federated observability: one node answers for the fleet. GET
+// /v1/cluster/status fans out to every ring peer through the Router's
+// breaker/retry machinery and merges the per-node health documents into
+// one view; GET /metrics?federate=1 does the same with full metric
+// registries (obs.RegistrySnapshot merge). Both degrade per peer — a
+// dead node becomes an unhealthy entry with its error, never a 500 —
+// and both refuse to recurse: the fan-out requests carry ?local=1 and
+// the forwarded-from header, either of which pins the answer to the
+// receiving node. See docs/OBSERVABILITY.md, "Federation".
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/faults"
+	"fepia/internal/obs"
+)
+
+// NodeStatus is one node's entry in the /v1/cluster/status document.
+// Unreachable peers carry Healthy=false and Error; every other field is
+// the node's own self-report.
+type NodeStatus struct {
+	Node    string `json:"node"`
+	Healthy bool   `json:"healthy"`
+	Self    bool   `json:"self,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	UptimeSeconds int64   `json:"uptime_seconds,omitempty"`
+	InFlight      int64   `json:"in_flight"`
+	Requests      uint64  `json:"requests"`
+	Analyses      uint64  `json:"analyses"`
+	Errors        uint64  `json:"errors"`
+	Rejected      uint64  `json:"rejected"`
+	SlowRequests  uint64  `json:"slow_requests"`
+	RingShare     float64 `json:"ring_share"`
+
+	Cache *CacheStatus `json:"cache,omitempty"`
+	// SnapshotAgeSeconds is the age of the last successful cache
+	// snapshot write; -1 when persistence is off or nothing has been
+	// written yet.
+	SnapshotAgeSeconds int64 `json:"snapshot_age_seconds"`
+	// Breakers maps each endpoint breaker to its state string (closed /
+	// half_open / open / disabled).
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// CacheStatus is the radius-cache slice of a node status.
+type CacheStatus struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// ClusterStatus is the merged /v1/cluster/status document: every ring
+// member's status (self first, then peers sorted by node ID) plus the
+// healthy count, so "is the fleet ok" is one field, not a loop.
+type ClusterStatus struct {
+	Self         string       `json:"self,omitempty"`
+	Nodes        []NodeStatus `json:"nodes"`
+	NodesTotal   int          `json:"nodes_total"`
+	NodesHealthy int          `json:"nodes_healthy"`
+}
+
+// localStatus assembles this node's self-report.
+func (s *Server) localStatus() NodeStatus {
+	m := &s.metrics
+	cs := s.cache.Stats()
+	st := NodeStatus{
+		Node:          s.cfg.NodeID,
+		Healthy:       true,
+		Self:          true,
+		UptimeSeconds: int64(time.Since(s.startTime).Seconds()),
+		InFlight:      int64(m.inFlight.Value()),
+		Requests:      m.requestsTotal(),
+		Analyses:      m.analyses.Value(),
+		Errors:        m.errsTotal(),
+		Rejected:      m.rejected.Value(),
+		RingShare:     1,
+		Cache: &CacheStatus{
+			Hits: cs.Hits, Misses: cs.Misses, Size: cs.Size,
+			Capacity: cs.Capacity, HitRate: cs.HitRate(),
+		},
+		SnapshotAgeSeconds: -1,
+		Breakers: map[string]string{
+			epAnalyze: breakerState(s.analyzeBreaker),
+			epBatch:   breakerState(s.batchBreaker),
+		},
+	}
+	for _, ep := range endpoints {
+		st.SlowRequests += m.slowReqs[ep].Value()
+	}
+	if last := s.snapLastUnix.Load(); last > 0 {
+		st.SnapshotAgeSeconds = time.Now().Unix() - last
+	}
+	if s.router != nil {
+		st.RingShare = s.router.Ring().Share(s.router.Self())
+	}
+	return st
+}
+
+// breakerState names a breaker's state for the status document.
+func breakerState(b *faults.Breaker) string {
+	if b == nil {
+		return "disabled"
+	}
+	return b.Snapshot().State
+}
+
+// handleClusterStatus serves GET /v1/cluster/status. A solo node, a
+// ?local=1 request, or a request already forwarded by a peer answers
+// with its own status only; otherwise the node fans out to every ring
+// peer concurrently and merges. Peer failures degrade per entry — the
+// merged document is always 200 with every ring member present.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	self := s.localStatus()
+	doc := ClusterStatus{Self: s.cfg.NodeID, Nodes: []NodeStatus{self}}
+	fanOut := s.router != nil &&
+		r.URL.Query().Get("local") != "1" &&
+		r.Header.Get(cluster.ForwardedFromHeader) == ""
+	if fanOut {
+		doc.Nodes = append(doc.Nodes, s.peerStatuses(r.Context())...)
+	}
+	sort.SliceStable(doc.Nodes, func(i, j int) bool {
+		if doc.Nodes[i].Self != doc.Nodes[j].Self {
+			return doc.Nodes[i].Self
+		}
+		return doc.Nodes[i].Node < doc.Nodes[j].Node
+	})
+	doc.NodesTotal = len(doc.Nodes)
+	for _, n := range doc.Nodes {
+		if n.Healthy {
+			doc.NodesHealthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// peerStatuses fetches every peer's local status concurrently. Each
+// fetch runs under the peer's breaker and retry policy; a failure of
+// any shape — breaker open, retries exhausted, undecodable answer —
+// becomes an unhealthy entry carrying the error.
+func (s *Server) peerStatuses(ctx context.Context) []NodeStatus {
+	ids := s.router.PeerIDs()
+	out := make([]NodeStatus, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			out[i] = s.fetchPeerStatus(ctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	return out
+}
+
+// fetchPeerStatus asks one peer for its local status document.
+func (s *Server) fetchPeerStatus(ctx context.Context, id string) NodeStatus {
+	resp, err := s.router.Fetch(ctx, id, "/v1/cluster/status?local=1")
+	if err != nil {
+		return NodeStatus{Node: id, Healthy: false, Error: err.Error(), SnapshotAgeSeconds: -1}
+	}
+	var peerDoc ClusterStatus
+	if resp.Status != http.StatusOK {
+		return NodeStatus{Node: id, Healthy: false,
+			Error: "peer answered status " + http.StatusText(resp.Status), SnapshotAgeSeconds: -1}
+	}
+	if err := json.Unmarshal(resp.Body, &peerDoc); err != nil || len(peerDoc.Nodes) == 0 {
+		return NodeStatus{Node: id, Healthy: false,
+			Error: "undecodable status document", SnapshotAgeSeconds: -1}
+	}
+	st := peerDoc.Nodes[0]
+	st.Self = false
+	st.Node = id
+	return st
+}
+
+// handleClusterMetrics serves GET /v1/cluster/metrics: this node's
+// registry snapshot as JSON — the federation wire a peer merges into
+// its own registry for /metrics?federate=1.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.reg.Snapshot())
+}
+
+// federatedSnapshot merges every reachable peer's registry snapshot
+// into this node's — counters and gauges sum to fleet totals,
+// histograms merge bucket-wise — and stamps a
+// fepiad_federation_peer_up gauge per peer so the fleet document shows
+// who it covers. Peer failures degrade per series source: the local
+// document always renders.
+func (s *Server) federatedSnapshot(ctx context.Context) obs.RegistrySnapshot {
+	snap := s.metrics.reg.Snapshot()
+	ids := s.router.PeerIDs()
+	sort.Strings(ids)
+	peerSnaps := make([]*obs.RegistrySnapshot, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			resp, err := s.router.Fetch(ctx, id, "/v1/cluster/metrics")
+			if err != nil || resp.Status != http.StatusOK {
+				return
+			}
+			var ps obs.RegistrySnapshot
+			if json.Unmarshal(resp.Body, &ps) == nil {
+				peerSnaps[i] = &ps
+			}
+		}(i, id)
+	}
+	wg.Wait()
+
+	up := obs.FamilySnapshot{
+		Name: "fepiad_federation_peer_up",
+		Help: "Peers whose registry snapshot merged into this federated document (1 merged, 0 unreachable).",
+		Type: "gauge",
+	}
+	for i, id := range ids {
+		v := 0.0
+		if peerSnaps[i] != nil {
+			v = 1
+		}
+		up.Series = append(up.Series, obs.SeriesSnapshot{
+			Labels: []obs.Label{obs.L("peer", id)}, Gauge: &v,
+		})
+	}
+	snap.Merge(obs.RegistrySnapshot{Families: []obs.FamilySnapshot{up}})
+	for _, ps := range peerSnaps {
+		if ps != nil {
+			snap.Merge(*ps)
+		}
+	}
+	return snap
+}

@@ -1,0 +1,479 @@
+package server
+
+// Tests of the cluster-wide observability layer: cross-node trace
+// stitching (one ingress trace containing the owner's spans), the
+// X-Fepiad-Trace edge cases (malformed headers, single-hop no-restitch),
+// the federated /v1/cluster/status and /metrics?federate=1 fan-outs and
+// their per-peer degradation, and slow-request capture. The Cluster*
+// tests also run under -race in the chaos suite.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"fepia/internal/cluster"
+	"fepia/internal/obs"
+)
+
+// postWithHeaders posts a body with extra request headers.
+func postWithHeaders(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// findTrace digs one trace out of a ring snapshot by request ID.
+func findTrace(t *testing.T, snap obs.RingSnapshot, id string) obs.TraceData {
+	t.Helper()
+	for _, td := range snap.Recent {
+		if td.ID == id {
+			return td
+		}
+	}
+	t.Fatalf("trace %q not in the recent ring (%d entries)", id, len(snap.Recent))
+	return obs.TraceData{}
+}
+
+// spanByName returns the first span with the given name, failing when
+// absent.
+func spanByName(t *testing.T, td obs.TraceData, name string) obs.SpanData {
+	t.Helper()
+	for _, sp := range td.Spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("trace %q has no %q span: %+v", td.ID, name, td.Spans)
+	return obs.SpanData{}
+}
+
+// TestClusterDistributedTraceStitch is the tentpole acceptance: a
+// forwarded /v1/analyze on a 3-node ring produces ONE trace on the
+// ingress containing the remote node's spans — the owner's server span
+// parented under the ingress forward span, the owner's pipeline spans
+// under the server span — with the trace ID propagated end to end.
+func TestClusterDistributedTraceStitch(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	doc := ownedDoc(t, nodes, "n1")
+
+	resp, body := postWithHeaders(t, nodes[0].url+"/v1/analyze", doc,
+		map[string]string{"X-Request-Id": "stitch-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get(cluster.ForwardedHeader) != "true" {
+		t.Fatal("request was not forwarded; cannot exercise stitching")
+	}
+	traceID := resp.Header.Get(cluster.TraceIDHeader)
+	if len(traceID) != 16 {
+		t.Fatalf("X-Fepiad-Trace-Id = %q, want 16 hex chars", traceID)
+	}
+	// The span export must never leak to the client: it is peer wire,
+	// not API surface.
+	if resp.Header.Get(cluster.SpansHeader) != "" {
+		t.Error("X-Fepiad-Spans leaked onto the client response")
+	}
+
+	// The ingress trace: one document holding both sides.
+	td := findTrace(t, traces(t, nodes[0].url), "stitch-1")
+	if td.TraceID != traceID {
+		t.Fatalf("ingress trace_id %q != response header %q", td.TraceID, traceID)
+	}
+	if td.ParentID != "" {
+		t.Errorf("ingress trace has parent_id %q, want none (it IS the root)", td.ParentID)
+	}
+	fw := spanByName(t, td, "forward")
+	if fw.Attrs["peer"] != "n1" || fw.Attrs["attempts"] != "1" || fw.Attrs["breaker"] == "" {
+		t.Errorf("forward span not annotated: %+v", fw.Attrs)
+	}
+	srv := spanByName(t, td, "server")
+	if srv.Attrs["node"] != "n1" {
+		t.Errorf("server span node = %q, want n1", srv.Attrs["node"])
+	}
+	if srv.ParentID != fw.SpanID {
+		t.Errorf("server span parent %q, want the forward span %q", srv.ParentID, fw.SpanID)
+	}
+	if srv.StartUS < fw.StartUS {
+		t.Errorf("server span starts at %dus, before the forward span at %dus", srv.StartUS, fw.StartUS)
+	}
+	// The owner's pipeline spans hang under its server span.
+	remote := 0
+	for _, sp := range td.Spans {
+		if sp.ParentID == srv.SpanID {
+			remote++
+		}
+	}
+	if remote == 0 {
+		t.Errorf("no remote pipeline spans under the server span: %+v", td.Spans)
+	}
+	for _, name := range []string{"parse", "admit"} {
+		if sp := spanByName(t, td, name); sp.ParentID != srv.SpanID && sp.ParentID != td.SpanID {
+			t.Errorf("%s span parent %q is neither local root %q nor remote server %q",
+				name, sp.ParentID, td.SpanID, srv.SpanID)
+		}
+	}
+
+	// The owner recorded the same trace ID, rooted under the forward span.
+	otd := findTrace(t, traces(t, nodes[1].url), "stitch-1")
+	if otd.TraceID != traceID {
+		t.Errorf("owner trace_id %q != %q", otd.TraceID, traceID)
+	}
+	if otd.ParentID != fw.SpanID {
+		t.Errorf("owner trace parent %q, want the ingress forward span %q", otd.ParentID, fw.SpanID)
+	}
+}
+
+// TestClusterBatchTraceStitch: sub-batch forwards stitch too — the
+// ingress batch trace carries a server span per remote peer involved.
+func TestClusterBatchTraceStitch(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	// Two documents owned by two different remote peers plus the whole
+	// batch posted at n0 exercises concurrent sub-batch forwards.
+	batch := `{"systems": [` + ownedDoc(t, nodes, "n1") + `,` + ownedDoc(t, nodes, "n2") + `]}`
+	resp, body := postWithHeaders(t, nodes[0].url+"/v1/batch", batch,
+		map[string]string{"X-Request-Id": "stitch-batch-1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	td := findTrace(t, traces(t, nodes[0].url), "stitch-batch-1")
+	seen := map[string]bool{}
+	for _, sp := range td.Spans {
+		if sp.Name == "server" {
+			seen[sp.Attrs["node"]] = true
+		}
+	}
+	if !seen["n1"] || !seen["n2"] {
+		t.Errorf("batch trace server spans cover %v, want n1 and n2", seen)
+	}
+}
+
+// TestTraceHeaderMalformedIgnored: every malformed X-Fepiad-Trace value
+// starts a fresh trace — never an error, never adoption of garbage.
+func TestTraceHeaderMalformedIgnored(t *testing.T) {
+	s := New(quietConfig(Config{}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for i, bad := range []string{
+		"",
+		"not-a-trace",
+		"0123456789abcdef",                   // no parent half
+		"0123456789abcdef-",                  // empty parent
+		"0123456789abcdef_0123456789abcdef",  // wrong separator
+		"0123456789ABCDEF-0123456789abcdef",  // uppercase
+		"0123456789abcdef-0123456789abcdeg",  // non-hex
+		"0123456789abcdef-0123456789abcdef0", // too long
+	} {
+		rid := "malformed-" + string(rune('a'+i))
+		resp, body := postWithHeaders(t, ts.URL+"/v1/analyze", linearSpec(i),
+			map[string]string{"X-Request-Id": rid, cluster.TraceHeader: bad})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("header %q: status %d (%s)", bad, resp.StatusCode, body)
+		}
+		got := resp.Header.Get(cluster.TraceIDHeader)
+		if !hex16.MatchString(got) {
+			t.Fatalf("header %q: trace id %q is not 16 hex chars", bad, got)
+		}
+		if strings.HasPrefix(bad, got) {
+			t.Fatalf("header %q: malformed trace id adopted as %q", bad, got)
+		}
+		td := findTrace(t, traces(t, ts.URL), rid)
+		if td.TraceID != got || td.ParentID != "" {
+			t.Fatalf("header %q: trace document adopted garbage: %+v", bad, td)
+		}
+	}
+
+	// And a well-formed header IS adopted.
+	resp, _ := postWithHeaders(t, ts.URL+"/v1/analyze", linearSpec(0),
+		map[string]string{cluster.TraceHeader: "0123456789abcdef-fedcba9876543210"})
+	if got := resp.Header.Get(cluster.TraceIDHeader); got != "0123456789abcdef" {
+		t.Fatalf("well-formed trace header not adopted: trace id %q", got)
+	}
+}
+
+// TestClusterSingleHopNoDoubleStitch: a forwarded-in request is served
+// where it lands (never re-forwarded), exports its span subtree exactly
+// once on X-Fepiad-Spans, and records no forward span — so a routing
+// loop cannot stitch the same subtree twice.
+func TestClusterSingleHopNoDoubleStitch(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	doc := ownedDoc(t, nodes, "n1") // n2 does NOT own this
+	resp, body := postWithHeaders(t, nodes[2].url+"/v1/analyze", doc, map[string]string{
+		"X-Request-Id":              "hop-1",
+		cluster.ForwardedFromHeader: "n0",
+		cluster.TraceHeader:         "00112233445566aa-ffeeddccbbaa0099",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(cluster.NodeHeader); got != "n2" {
+		t.Fatalf("answered by %q, want n2 (single-hop rule)", got)
+	}
+	raw := resp.Header.Get(cluster.SpansHeader)
+	if raw == "" {
+		t.Fatal("forwarded-in request exported no span subtree")
+	}
+	var ex spanExport
+	if err := json.Unmarshal([]byte(raw), &ex); err != nil {
+		t.Fatalf("X-Fepiad-Spans is not valid JSON: %v", err)
+	}
+	if ex.Node != "n2" || len(ex.Spans) == 0 || ex.Spans[0].Name != "server" {
+		t.Fatalf("bad span export: %+v", ex)
+	}
+	if ex.Spans[0].ParentID != "ffeeddccbbaa0099" {
+		t.Errorf("exported server span parent %q, want the header's parent span", ex.Spans[0].ParentID)
+	}
+	td := findTrace(t, traces(t, nodes[2].url), "hop-1")
+	if td.TraceID != "00112233445566aa" {
+		t.Errorf("trace id %q, want the propagated 00112233445566aa", td.TraceID)
+	}
+	for _, sp := range td.Spans {
+		if sp.Name == "forward" || sp.Name == "server" {
+			t.Errorf("forwarded-in request recorded a %q span (re-forward or self-stitch)", sp.Name)
+		}
+	}
+}
+
+// TestClusterStatusFederates: /v1/cluster/status merges every ring
+// member; killing a node degrades its entry — never the document.
+func TestClusterStatusFederates(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	// One served request so the self entry carries non-zero counters.
+	if resp, body := postJSON(t, nodes[0].url+"/v1/analyze", ownedDoc(t, nodes, "n0")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d (%s)", resp.StatusCode, body)
+	}
+
+	get := func(url string) ClusterStatus {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cluster status answered %d, must always be 200", resp.StatusCode)
+		}
+		var doc ClusterStatus
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	doc := get(nodes[0].url + "/v1/cluster/status")
+	if doc.Self != "n0" || doc.NodesTotal != 3 || doc.NodesHealthy != 3 {
+		t.Fatalf("healthy cluster: %+v", doc)
+	}
+	if !doc.Nodes[0].Self || doc.Nodes[0].Node != "n0" || doc.Nodes[0].Requests != 1 {
+		t.Errorf("self entry wrong: %+v", doc.Nodes[0])
+	}
+	share := 0.0
+	for _, nd := range doc.Nodes {
+		if !nd.Healthy || nd.Error != "" {
+			t.Errorf("node %s unhealthy in a healthy cluster: %+v", nd.Node, nd)
+		}
+		share += nd.RingShare
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Errorf("ring shares sum to %v, want 1", share)
+	}
+
+	// ?local=1 answers without fan-out: exactly one entry.
+	if local := get(nodes[1].url + "/v1/cluster/status?local=1"); local.NodesTotal != 1 || local.Nodes[0].Node != "n1" {
+		t.Errorf("local=1 fanned out: %+v", local)
+	}
+
+	// Kill n2: its entry degrades, the document stays 200 and complete.
+	nodes[2].ts.Close()
+	doc = get(nodes[0].url + "/v1/cluster/status")
+	if doc.NodesTotal != 3 || doc.NodesHealthy != 2 {
+		t.Fatalf("after kill: %+v", doc)
+	}
+	for _, nd := range doc.Nodes {
+		if nd.Node == "n2" {
+			if nd.Healthy || nd.Error == "" {
+				t.Errorf("dead node entry not degraded: %+v", nd)
+			}
+		} else if !nd.Healthy {
+			t.Errorf("live node %s marked unhealthy: %+v", nd.Node, nd)
+		}
+	}
+}
+
+// TestClusterFederatedMetricsMerge: /metrics?federate=1 renders fleet
+// totals — peer counters summed into the local ones — and marks each
+// peer's reachability on fepiad_federation_peer_up.
+func TestClusterFederatedMetricsMerge(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	for i := range nodes {
+		doc := ownedDoc(t, nodes, nodes[i].id)
+		if resp, body := postJSON(t, nodes[i].url+"/v1/analyze", doc); resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze on %s: status %d (%s)", nodes[i].id, resp.StatusCode, body)
+		}
+	}
+	fetch := func() string {
+		t.Helper()
+		resp, err := http.Get(nodes[0].url + "/metrics?federate=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	doc := fetch()
+	for _, line := range []string{
+		// Each node served one analyze; the fleet document sums them.
+		"fepiad_requests_total{endpoint=\"analyze\"} 2",
+		"fepiad_federation_peer_up{peer=\"n1\"} 1",
+	} {
+		if !strings.Contains(doc, line) {
+			t.Errorf("federated document missing %q", line)
+		}
+	}
+
+	nodes[1].ts.Close()
+	doc = fetch()
+	if !strings.Contains(doc, "fepiad_federation_peer_up{peer=\"n1\"} 0") {
+		t.Errorf("dead peer not marked down in:\n%s", doc)
+	}
+	if !strings.Contains(doc, "fepiad_requests_total{endpoint=\"analyze\"} 1") {
+		t.Errorf("dead peer's counters still merged in:\n%s", doc)
+	}
+}
+
+// TestSlowRequestCaptureAndShedExclusion: requests past the slow
+// threshold are counted and force-kept through ring sampling, while
+// shed 503s — slow-marked or not — stay out of the slowest-ever list.
+func TestSlowRequestCaptureAndShedExclusion(t *testing.T) {
+	s := New(quietConfig(Config{
+		TraceSlowThreshold: time.Nanosecond, // everything is "slow"
+		TraceSample:        1000,            // sampling would drop nearly all traces...
+		MaxInFlight:        1,
+	}))
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.beforeAnalyze = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(linearSpec(1)))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	<-entered
+
+	// Shed while the slot is held.
+	resp, _ := postWithHeaders(t, ts.URL+"/v1/analyze", linearSpec(2),
+		map[string]string{"X-Request-Id": "shed-slow-1"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+
+	snap := traces(t, ts.URL)
+	// ...but slow-marking bypasses sampling: both traces are retained.
+	if len(snap.Recent) != 2 {
+		t.Fatalf("%d recent traces, want 2 (slow capture beats 1-in-1000 sampling)", len(snap.Recent))
+	}
+	td := findTrace(t, snap, "shed-slow-1")
+	if !td.Slow {
+		t.Error("shed trace not slow-marked despite the 1ns threshold")
+	}
+	for _, sl := range snap.Slowest {
+		if sl.ID == "shed-slow-1" {
+			t.Error("shed 503 occupies a slowest-ever slot")
+		}
+	}
+	if got := s.metrics.slowReqs[epAnalyze].Value(); got != 2 {
+		t.Errorf("fepiad_slow_requests_total = %d, want 2", got)
+	}
+}
+
+// TestSLOGaugesAndExemplarOnServer: a served request surfaces the SLO
+// burn-rate gauges on /metrics and links at least one latency bucket to
+// a findable trace ID via an exemplar.
+func TestSLOGaugesAndExemplarOnServer(t *testing.T) {
+	s := New(quietConfig(Config{SLOLatencyP99MS: 250, SLOAvailability: 0.995}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, body := postJSON(t, ts.URL+"/v1/analyze", linearSpec(3)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d (%s)", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, line := range []string{
+		`fepiad_slo_burn_rate{endpoint="analyze",slo="availability",window="5m"} 0`,
+		`fepiad_slo_burn_rate{endpoint="analyze",slo="latency",window="1h"} 0`,
+		`fepiad_slo_error_budget_remaining{endpoint="analyze",slo="availability"} 1`,
+		`fepiad_slo_objective{endpoint="analyze",slo="latency"} 250`,
+		`fepiad_slo_objective{endpoint="batch",slo="availability"} 0.995`,
+	} {
+		if !strings.Contains(doc, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+
+	// The exemplar's trace ID resolves to a real trace in the ring.
+	m := regexp.MustCompile(`fepiad_request_duration_ms_bucket\{endpoint="analyze",[^}]*\} \d+ # \{trace_id="([0-9a-f]{16})"\}`).FindStringSubmatch(doc)
+	if m == nil {
+		t.Fatalf("no exemplar on the analyze latency histogram:\n%s", doc)
+	}
+	found := false
+	for _, td := range traces(t, ts.URL).Recent {
+		if td.TraceID == m[1] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("exemplar trace id %s not found in /debug/traces", m[1])
+	}
+}

@@ -36,12 +36,17 @@ var latencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000
 type telemetry struct {
 	reg    *obs.Registry
 	traces *obs.TraceRing
+	// slo tracks the per-endpoint availability and latency objectives
+	// behind the fepiad_slo_* burn-rate gauges (internal/obs/slo.go).
+	slo *obs.SLO
 
 	// requests / errs / latency are per-endpoint series; analyses,
-	// rejected, retries, degraded, inFlight are process-wide.
+	// rejected, retries, degraded, inFlight are process-wide. slowReqs
+	// counts requests at or past Config.TraceSlowThreshold.
 	requests map[string]*obs.Counter
 	errs     map[string]*obs.Counter
 	latency  map[string]*obs.Histogram
+	slowReqs map[string]*obs.Counter
 	analyses *obs.Counter
 	rejected *obs.Counter
 	retries  *obs.Counter
@@ -82,6 +87,7 @@ func newTelemetry(s *Server) telemetry {
 		requests: make(map[string]*obs.Counter, len(endpoints)),
 		errs:     make(map[string]*obs.Counter, len(endpoints)),
 		latency:  make(map[string]*obs.Histogram, len(endpoints)),
+		slowReqs: make(map[string]*obs.Counter, len(endpoints)),
 		analyses: reg.Counter("fepiad_analyses_total", "Systems analysed (a batch of n counts n)."),
 		rejected: reg.Counter("fepiad_rejected_total", "Requests shed by the admission gate (503)."),
 		retries:  reg.Counter("fepiad_retries_total", "Per-feature solve re-attempts by the transient-failure retry policy."),
@@ -111,7 +117,14 @@ func newTelemetry(s *Server) telemetry {
 		t.errs[ep] = reg.Counter("fepiad_errors_total", "Non-2xx responses by endpoint.", obs.L("endpoint", ep))
 		t.latency[ep] = reg.Histogram("fepiad_request_duration_ms", "Request latency by endpoint, in milliseconds.",
 			latencyBuckets, obs.L("endpoint", ep))
+		t.slowReqs[ep] = reg.Counter("fepiad_slow_requests_total",
+			"Requests at or past -trace-slow-threshold (force-kept in /debug/traces).", obs.L("endpoint", ep))
 	}
+	t.slo = obs.NewSLO(reg, endpoints, obs.SLOConfig{
+		LatencyP99MS: s.cfg.SLOLatencyP99MS,
+		Availability: s.cfg.SLOAvailability,
+	}, nil)
+	t.traces.SetSample(s.cfg.TraceSample)
 
 	cache := s.cache
 	reg.GaugeFunc("fepiad_cache_hits", "Radius-cache lookups served from memory.",
@@ -172,7 +185,8 @@ func registerBreaker(reg *obs.Registry, ep string, b *faults.Breaker) {
 
 // registerCluster exposes the cluster peer layer as scrape-time gauges:
 // per-peer forward traffic (fepiad_cluster_forwards_total, _hits, and
-// _failures), per-peer breaker state on the same scale as the endpoint
+// _failures), per-peer federation traffic (fepiad_cluster_fetches_total
+// and _failures), per-peer breaker state on the same scale as the endpoint
 // breakers, and each ring member's key-space share. A nil router (solo
 // node) registers nothing — the series simply don't exist, matching how
 // Prometheus models absent subsystems.
@@ -188,6 +202,10 @@ func registerCluster(reg *obs.Registry, rt *cluster.Router) {
 			func() float64 { return float64(rt.PeerStats(id).ForwardHits) }, obs.L("peer", id))
 		reg.GaugeFunc("fepiad_cluster_forward_failures_total", "Forwards that failed after retries or were breaker-rejected.",
 			func() float64 { return float64(rt.PeerStats(id).Failures) }, obs.L("peer", id))
+		reg.GaugeFunc("fepiad_cluster_fetches_total", "Federation GETs to the peer (cluster status and metrics fan-out).",
+			func() float64 { return float64(rt.PeerStats(id).Fetches) }, obs.L("peer", id))
+		reg.GaugeFunc("fepiad_cluster_fetch_failures_total", "Federation GETs that failed after retries or were breaker-rejected.",
+			func() float64 { return float64(rt.PeerStats(id).FetchFailures) }, obs.L("peer", id))
 		reg.GaugeFunc("fepiad_cluster_peer_breaker_state", "Per-peer circuit-breaker state: 0 closed, 1 half-open, 2 open, -1 disabled.",
 			func() float64 { return peerBreakerStateValue(rt.PeerStats(id).Breaker.State) }, obs.L("peer", id))
 	}
@@ -247,15 +265,24 @@ func (t *telemetry) errsTotal() uint64 {
 	return n
 }
 
-// observe records one finished request on its endpoint's histogram.
-func (t *telemetry) observe(ep string, d time.Duration) {
-	t.latency[ep].Observe(float64(d) / float64(time.Millisecond))
+// observe records one finished request on its endpoint's histogram,
+// with an exemplar linking the bucket to the request's trace ID — the
+// breadcrumb from a latency alert to the exact trace on /debug/traces.
+func (t *telemetry) observe(ep string, d time.Duration, traceID string) {
+	t.latency[ep].ObserveExemplar(float64(d)/float64(time.Millisecond), traceID)
 }
 
 // handleMetrics serves the Prometheus text exposition. The counters here
-// and the /debug/vars document read the same registry instruments.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// and the /debug/vars document read the same registry instruments. With
+// ?federate=1 on a clustered node, the document is the fleet view: peer
+// registry snapshots merged into the local one (federation.go).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.URL.Query().Get("federate") == "1" && s.router != nil {
+		snap := s.federatedSnapshot(r.Context())
+		_ = snap.WritePrometheus(w)
+		return
+	}
 	_ = s.metrics.reg.WritePrometheus(w)
 }
 

@@ -23,8 +23,9 @@ import (
 )
 
 // metricLine matches one Prometheus sample line: name, optional labels,
-// a float value.
-var metricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+// a float value, and an optional OpenMetrics-style exemplar suffix
+// (` # {trace_id="…"} <value>`) on histogram bucket lines.
+var metricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)( # \{trace_id="[0-9a-f]{16}"\} [-+0-9.eE]+)?$`)
 
 // scrape fetches and parses /metrics into name{labels} → value, failing
 // the test on any line that is not valid text exposition.

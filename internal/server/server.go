@@ -55,6 +55,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fepia/internal/batch"
@@ -205,6 +206,23 @@ type Config struct {
 	// have not migrated (-compat-v1-degraded; one release of grace, see
 	// docs/SERVICE.md).
 	CompatV1Degraded bool
+
+	// SLOLatencyP99MS is the latency objective in milliseconds: at most
+	// 1% of successful requests may exceed it (0 selects the
+	// internal/obs default, 500ms). Feeds the fepiad_slo_* burn-rate
+	// gauges on /metrics.
+	SLOLatencyP99MS float64
+	// SLOAvailability is the availability objective in (0, 1), e.g.
+	// 0.999 (0 selects the internal/obs default, 0.999).
+	SLOAvailability float64
+	// TraceSlowThreshold, when > 0, marks requests at or above it as
+	// slow: they are force-kept in the /debug/traces recent ring even
+	// under sampling and counted on fepiad_slow_requests_total.
+	TraceSlowThreshold time.Duration
+	// TraceSample keeps 1-in-N finished traces in the /debug/traces
+	// recent ring (≤ 1 keeps all). Slow-marked traces always stay; the
+	// slowest-ever list ignores sampling.
+	TraceSample int
 }
 
 // withDefaults fills zero-valued fields.
@@ -275,6 +293,13 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// startTime anchors the uptime reported on /v1/cluster/status.
+	startTime time.Time
+	// snapLastUnix is the wall-clock second of the last successful cache
+	// snapshot write (0 when none has happened), read by the federated
+	// status document as snapshot age.
+	snapLastUnix atomic.Int64
+
 	// beforeAnalyze, when non-nil, runs after a request is admitted and
 	// parsed but before its analysis starts. Tests use it to hold
 	// requests in flight deterministically.
@@ -289,10 +314,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: batch.NewCacheSharded(cfg.CacheCapacity, cfg.CacheShards),
-		gate:  make(chan struct{}, cfg.MaxInFlight),
-		mux:   http.NewServeMux(),
+		cfg:       cfg,
+		cache:     batch.NewCacheSharded(cfg.CacheCapacity, cfg.CacheShards),
+		gate:      make(chan struct{}, cfg.MaxInFlight),
+		mux:       http.NewServeMux(),
+		startTime: time.Now(),
 	}
 	if cfg.RetryMax > 1 {
 		s.retry = &faults.Policy{
@@ -331,6 +357,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument(epAnalyze, s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
 	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -378,8 +406,17 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // instrument wraps a /v1/ handler with the per-request observability
 // envelope: request-ID assignment (accepted from or emitted as
 // X-Request-Id), a trace recorded into the ring, pprof endpoint labels,
-// the per-endpoint request counter and latency histogram, and one
-// structured access-log line carrying the trace's outcome attributes.
+// the per-endpoint request counter and latency histogram (with an
+// exemplar linking the bucket to this trace ID), per-endpoint SLO
+// accounting, and one structured access-log line carrying the trace's
+// outcome attributes.
+//
+// Cross-node tracing: a request arriving with a well-formed
+// X-Fepiad-Trace header (set by a peer's forward) continues that trace —
+// same trace ID, root span parented under the ingress forward span — so
+// the ingress can stitch this node's spans into one tree. A malformed or
+// absent header starts a fresh trace; it is never an error. Every /v1
+// response carries the trace ID as X-Fepiad-Trace-Id.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -389,7 +426,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		w.Header().Set("X-Request-Id", rid)
 
-		tr := obs.NewTrace(rid, endpoint)
+		var tr *obs.Trace
+		if tid, pid, ok := obs.ParseTraceHeader(r.Header.Get(cluster.TraceHeader)); ok {
+			tr = obs.NewTraceRemote(rid, endpoint, tid, pid)
+		} else {
+			tr = obs.NewTrace(rid, endpoint)
+		}
+		w.Header().Set(cluster.TraceIDHeader, tr.TraceID())
 		reqLog := s.cfg.Log.With("request_id", rid, "endpoint", endpoint)
 		ctx := obs.WithTrace(r.Context(), tr)
 		ctx = obs.WithLogger(ctx, reqLog)
@@ -404,10 +447,23 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		h(sw, r.WithContext(ctx))
 
 		d := time.Since(start)
-		s.metrics.observe(endpoint, d)
-		s.metrics.traces.Add(tr.Finish(sw.status))
+		durMS := float64(d) / float64(time.Millisecond)
+		s.metrics.observe(endpoint, d, tr.TraceID())
+		s.metrics.slo.Record(endpoint, sw.status, durMS)
+		td := tr.Finish(sw.status)
+		if s.cfg.TraceSlowThreshold > 0 && d >= s.cfg.TraceSlowThreshold {
+			// Slow-request capture: force the trace past ring sampling and
+			// count it, so the outliers an SLO page is about are always
+			// inspectable on /debug/traces.
+			td.Slow = true
+			s.metrics.slowReqs[endpoint].Inc()
+		}
+		// Shed 503s record near-zero durations; keeping them out of the
+		// slowest-ever list stops them from evicting genuine outliers.
+		td.SkipSlowest = td.Attrs["outcome"] == "shed"
+		s.metrics.traces.Add(td)
 
-		attrs := []any{"status", sw.status, "duration_ms", float64(d) / float64(time.Millisecond), "bytes", sw.bytes}
+		attrs := []any{"status", sw.status, "duration_ms", durMS, "bytes", sw.bytes}
 		for _, a := range tr.Attrs() {
 			attrs = append(attrs, a.Name, a.Value)
 		}
@@ -648,7 +704,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.noteClusterDegraded(w, r, 1)
 	}
 	esp := obs.StartSpan(r.Context(), "encode")
-	s.serveHeaders(w, forwarded)
+	s.serveHeaders(w, r, forwarded)
 	writeJSON(w, http.StatusOK, res)
 	esp.End(nil)
 }
@@ -659,13 +715,26 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // returns true when the response has been written (relayed, or failed
 // terminally) and false when the caller should fall back to serving the
 // request locally in degraded mode.
+//
+// The forward carries X-Fepiad-Trace (this trace's ID plus the forward
+// span's ID) so the owner continues the trace; the owner's span subtree
+// comes back on X-Fepiad-Spans and is stitched under the forward span,
+// giving the ingress ONE cross-node trace on /debug/traces. The forward
+// span is annotated with the peer, the HTTP attempts spent, and the peer
+// breaker's state.
 func (s *Server) relay(endpoint string, w http.ResponseWriter, r *http.Request, owner, path string, body []byte) bool {
 	sp := obs.StartSpan(r.Context(), "forward")
 	sp.Set("peer", owner)
-	resp, err := s.router.Forward(r.Context(), owner, path, body, r.Header)
+	tr := obs.TraceFrom(r.Context())
+	resp, err := s.router.Forward(r.Context(), owner, path, body, s.forwardHeader(r, tr, sp))
+	if resp != nil {
+		sp.Set("attempts", strconv.Itoa(resp.Attempts))
+	}
+	sp.Set("breaker", s.router.PeerStats(owner).Breaker.State)
 	sp.End(err)
 	if err == nil {
-		obs.TraceFrom(r.Context()).SetAttr("forwarded_to", owner)
+		s.stitchRemoteSpans(tr, sp, resp)
+		tr.SetAttr("forwarded_to", owner)
 		for _, h := range [...]string{"Content-Type", "Warning", "Retry-After", cluster.NodeHeader} {
 			if v := resp.Header.Get(h); v != "" {
 				w.Header().Set(h, v)
@@ -689,6 +758,43 @@ func (s *Server) relay(endpoint string, w http.ResponseWriter, r *http.Request, 
 	}
 	s.fail(endpoint, w, r, err)
 	return true
+}
+
+// spanExport is the X-Fepiad-Spans wire document: the answering node's
+// ID plus its span subtree, compact JSON in one response header.
+type spanExport struct {
+	Node  string         `json:"node"`
+	Spans []obs.SpanData `json:"spans"`
+}
+
+// forwardHeader clones the inbound headers a forward propagates and adds
+// the X-Fepiad-Trace context — the trace ID plus the forward span that
+// becomes the remote server span's parent.
+func (s *Server) forwardHeader(r *http.Request, tr *obs.Trace, sp *obs.Span) http.Header {
+	hdr := r.Header.Clone()
+	if tr != nil {
+		hdr.Set(cluster.TraceHeader, obs.FormatTraceHeader(tr.TraceID(), sp.ID()))
+	}
+	return hdr
+}
+
+// stitchRemoteSpans merges the span subtree a peer exported on
+// X-Fepiad-Spans into this trace, shifted onto the forward span's
+// timeline. A missing or malformed header is ignored: stitching is an
+// observability bonus, never a serving dependency.
+func (s *Server) stitchRemoteSpans(tr *obs.Trace, sp *obs.Span, resp *cluster.Response) {
+	if tr == nil || resp == nil {
+		return
+	}
+	raw := resp.Header.Get(cluster.SpansHeader)
+	if raw == "" {
+		return
+	}
+	var ex spanExport
+	if err := json.Unmarshal([]byte(raw), &ex); err != nil {
+		return
+	}
+	tr.Stitch(ex.Spans, sp.StartOffsetUS())
 }
 
 // meta assembles the shared ResponseMeta block every /v1 response
@@ -716,15 +822,32 @@ func anyLowerBound(a core.Analysis) bool {
 
 // serveHeaders stamps the wire headers of a locally served /v1 response:
 // the answering node's ID and, for requests that arrived via a peer
-// forward, the forwarded marker.
-func (s *Server) serveHeaders(w http.ResponseWriter, forwarded bool) {
+// forward, the forwarded marker plus the X-Fepiad-Spans export — this
+// node's span subtree, which the ingress stitches under its forward
+// span. Only traces that actually continue a remote trace export
+// (single-hop rule: a forwarded-in request is never re-forwarded, so the
+// export travels exactly one hop back).
+func (s *Server) serveHeaders(w http.ResponseWriter, r *http.Request, forwarded bool) {
 	if s.cfg.NodeID != "" {
 		w.Header().Set(cluster.NodeHeader, s.cfg.NodeID)
 	}
 	if forwarded {
 		w.Header().Set(cluster.ForwardedHeader, "true")
+		if tr := obs.TraceFrom(r.Context()); tr != nil && tr.Remote() {
+			if raw, err := json.Marshal(spanExport{
+				Node:  s.cfg.NodeID,
+				Spans: tr.ExportSpans(s.cfg.NodeID, maxExportSpans),
+			}); err == nil {
+				w.Header().Set(cluster.SpansHeader, string(raw))
+			}
+		}
 	}
 }
+
+// maxExportSpans bounds one X-Fepiad-Spans header: the synthetic server
+// span plus the first N-1 recorded spans. A huge batch trace stays a
+// bounded header instead of a megabyte of response metadata.
+const maxExportSpans = 64
 
 // noteClusterDegraded records n requests served locally because their
 // ring owner was unreachable: the cluster-degraded counter, the trace
@@ -920,7 +1043,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.noteClusterDegraded(w, r, degradedN)
 	}
 	esp := obs.StartSpan(r.Context(), "encode")
-	s.serveHeaders(w, forwarded)
+	s.serveHeaders(w, r, forwarded)
 	writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results, Meta: top})
 	esp.End(nil)
 }
@@ -981,11 +1104,17 @@ func (s *Server) forwardSubBatch(ctx context.Context, r *http.Request, owner str
 	sp := obs.StartSpan(r.Context(), "forward")
 	sp.Set("peer", owner)
 	sp.Set("systems", strconv.Itoa(len(idx)))
-	resp, err := s.router.Forward(ctx, owner, "/v1/batch", body, r.Header)
+	tr := obs.TraceFrom(r.Context())
+	resp, err := s.router.Forward(ctx, owner, "/v1/batch", body, s.forwardHeader(r, tr, sp))
+	if resp != nil {
+		sp.Set("attempts", strconv.Itoa(resp.Attempts))
+	}
+	sp.Set("breaker", s.router.PeerStats(owner).Breaker.State)
 	sp.End(err)
 	if err != nil {
 		return err
 	}
+	s.stitchRemoteSpans(tr, sp, resp)
 	if resp.Status != http.StatusOK {
 		return fmt.Errorf("peer %q answered sub-batch with status %d", owner, resp.Status)
 	}
@@ -1077,7 +1206,7 @@ func (s *Server) answerDegraded(endpoint string, w http.ResponseWriter, r *http.
 			tr.SetAttr("degraded", "true")
 			obs.Logger(r.Context()).Warn("serving degraded from radius cache", "reason", kind)
 			w.Header().Set("Warning", `199 fepiad "degraded: served from radius cache"`)
-			s.serveHeaders(w, forwarded)
+			s.serveHeaders(w, r, forwarded)
 			if batchShape {
 				writeJSON(w, http.StatusOK, spec.BatchResponse{Results: results,
 					Meta: s.meta(forwarded, true, spec.CacheHit)})

@@ -4,8 +4,11 @@
 # (Prometheus text exposition), /debug/vars, and /debug/traces with the
 # request's spans. Then boot a 2-node consistent-hash ring and verify
 # cluster serving: /v1/ring membership, owner forwarding with the
-# X-Fepiad-Forwarded / X-Fepiad-Node headers, and the response meta
-# block (docs/CLUSTER.md). Exits non-zero on the first failed check.
+# X-Fepiad-Forwarded / X-Fepiad-Node headers, the response meta block
+# (docs/CLUSTER.md), cross-node trace stitching on the ingress
+# /debug/traces, the federated /v1/cluster/status and
+# /metrics?federate=1 views, and the SLO burn-rate gauges
+# (docs/OBSERVABILITY.md). Exits non-zero on the first failed check.
 set -eu
 
 PORT="${FEPIAD_SMOKE_PORT:-18080}"
@@ -63,6 +66,11 @@ for series in \
     'fepiad_cache_shards' \
     'fepiad_cache_dup_suppressed' \
     'fepiad_cache_shard_entries{shard="0"}' \
+    'fepiad_slo_burn_rate{endpoint="analyze",slo="availability",window="5m"} 0' \
+    'fepiad_slo_burn_rate{endpoint="analyze",slo="latency",window="1h"} 0' \
+    'fepiad_slo_error_budget_remaining{endpoint="analyze",slo="availability"} 1' \
+    'fepiad_slo_objective{endpoint="analyze",slo="latency"} 500' \
+    '# {trace_id="' \
     'go_goroutines'; do
     grep -qF "$series" "$TMP/metrics.txt" || {
         echo "smoke: /metrics missing: $series" >&2
@@ -170,6 +178,48 @@ grep -qF '"forwarded": true' "$TMP/res-a.json" "$TMP/res-b.json" || {
     cat "$TMP/res-a.json" "$TMP/res-b.json" >&2
     exit 1
 }
+
+# The forwarded request's ingress holds ONE stitched trace: its own
+# forward span plus the owning node's server/pipeline spans, annotated
+# with the remote node ID (docs/OBSERVABILITY.md, "Cross-node traces").
+echo "smoke: cross-node trace stitching"
+if grep -qi '^X-Fepiad-Forwarded: true' "$TMP/head-a.txt"; then
+    INGRESS="$BASE_A"; REMOTE="b"
+else
+    INGRESS="$BASE_B"; REMOTE="a"
+fi
+curl -fsS "$INGRESS/debug/traces" >"$TMP/ring-traces.json"
+for field in '"name": "forward"' '"name": "server"' "\"node\": \"$REMOTE\"" '"peer"'; do
+    grep -qF "$field" "$TMP/ring-traces.json" || {
+        echo "smoke: ingress /debug/traces missing remote span marker: $field" >&2
+        cat "$TMP/ring-traces.json" >&2
+        exit 1
+    }
+done
+
+echo "smoke: GET /v1/cluster/status"
+curl -fsS "$INGRESS/v1/cluster/status" >"$TMP/cluster.json"
+for field in '"nodes_total": 2' '"nodes_healthy": 2' '"node": "a"' '"node": "b"' '"ring_share"'; do
+    grep -qF "$field" "$TMP/cluster.json" || {
+        echo "smoke: /v1/cluster/status missing: $field" >&2
+        cat "$TMP/cluster.json" >&2
+        exit 1
+    }
+done
+
+echo "smoke: GET /metrics?federate=1"
+curl -fsS "$INGRESS/metrics?federate=1" >"$TMP/federated.txt"
+# Three analyze requests fleet-wide: one per POST on its ingress, plus
+# the forwarded copy the owner served.
+for series in \
+    "fepiad_federation_peer_up{peer=\"$REMOTE\"} 1" \
+    'fepiad_requests_total{endpoint="analyze"} 3'; do
+    grep -qF "$series" "$TMP/federated.txt" || {
+        echo "smoke: federated /metrics missing: $series" >&2
+        cat "$TMP/federated.txt" >&2
+        exit 1
+    }
+done
 
 kill -TERM "$RING_A_PID" "$RING_B_PID"
 wait "$RING_A_PID" "$RING_B_PID" || {
