@@ -43,11 +43,13 @@ race:
 # single-mutex baseline vs the live sharded cache, SoA kernel vs the
 # per-feature analytic loop, the loadgen-driven multi-node cluster
 # series (warm-hit scaling at 3 in-process nodes, kill-a-node chaos
-# story), plus the restart series (warm boot from a cache snapshot vs
-# cold restart). BENCH_8.json artifact with >=2x contended, >=4x
-# kernel, >=2.2x cluster-scaling, and >=1.5x warm-boot-p99 gates plus
-# byte-identity, zero-dropped, and first-request-hit checks (see
-# cmd/bench, cmd/loadgen, and docs/PERFORMANCE.md).
+# story), the restart series (warm boot from a cache snapshot vs
+# cold restart), and the incremental series (delta re-analysis session
+# vs full recomputes along a trajectory). BENCH_10.json artifact with
+# >=2x contended, >=4x kernel, >=3x incremental, >=2.2x cluster-scaling,
+# and >=1.5x warm-boot-p99 gates plus byte-identity, zero-dropped, and
+# first-request-hit checks (see cmd/bench, cmd/loadgen, and
+# docs/PERFORMANCE.md).
 bench:
 	./scripts/bench.sh
 

@@ -3,9 +3,10 @@
 // three scenarios — cold (every key a first-touch miss), warm
 // (single-threaded re-reads of a resident working set, with allocation
 // counts), and contended (1..NumCPU workers hammering one shared cache) —
-// plus the vectorized SoA kernel series, and writes everything to a JSON
-// report (BENCH_7.json in CI; scripts/bench.sh merges in the
-// loadgen-driven multi-node cluster series alongside).
+// plus the vectorized SoA kernel series and the incremental delta-session
+// series, and writes everything to a JSON report (BENCH_10.json in CI;
+// scripts/bench.sh merges in the loadgen-driven multi-node cluster series
+// alongside).
 //
 // To make the speedup claims auditable from the report alone, the
 // harness embeds a frozen copy of the pre-sharding cache — one global
@@ -24,7 +25,16 @@
 // recorded in the summary, so the speedup figures are only ever claimed
 // for bit-equal results.
 //
-//	bench -out BENCH_7.json -seed 2003 -keys 512 -dim 8
+// The incremental series walk a deterministic trajectory over the
+// block-sparse HCS workload (one indicator feature per machine) and time
+// each step two ways: a full Compute sweep of the pack, and a
+// kernel.Delta session's ComputeDelta restricted to the dirty
+// coordinates — single-coordinate moves (incremental_1) and 8-coordinate
+// moves across distinct machine blocks (incremental_k). As with the
+// kernel series, bit-identity along a randomized walk is verified first
+// and recorded, so the speedups are only claimed for bit-equal results.
+//
+//	bench -out BENCH_10.json -seed 2003 -keys 512 -dim 8
 //
 // The workload is deterministic for a given flag set; timings move with
 // the machine, allocation counts do not.
@@ -55,7 +65,7 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_7.json", "report path")
+		out     = flag.String("out", "BENCH_10.json", "report path")
 		seed    = flag.Int64("seed", 2003, "workload seed")
 		keys    = flag.Int("keys", 512, "distinct radius subproblems in the working set")
 		dim     = flag.Int("dim", 8, "perturbation dimensionality")
@@ -246,6 +256,27 @@ func main() {
 		}},
 	})...)
 
+	// Incremental: a kernel.Delta session against full Compute sweeps on
+	// the block-sparse HCS shape the delta path is designed for — one
+	// indicator feature per machine over its own coordinate block. Each op
+	// is one trajectory step; the full contender re-solves the whole pack
+	// at every step, the delta contender updates only the radii the moved
+	// coordinates can touch. Identity is asserted over a randomized walk
+	// before anything is timed.
+	incMachines := 32
+	incFeatures, incP := incrementalWorkload(*seed, incMachines, *dim)
+	incDim := len(incP.Orig)
+	incB, err := kernel.Pack(incFeatures, incDim, copts.Norm)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Summary.IncrementalIdentical = incrementalIdentity(*seed, incB, incP.Orig)
+
+	incSteps := 2000
+	kMoves := 8
+	rep.add(measureInterleaved("incremental_1", 1, *reps, incSteps, incrementalContenders(incB, incP.Orig, incSteps, 1))...)
+	rep.add(measureInterleaved("incremental_k", 1, *reps, incSteps, incrementalContenders(incB, incP.Orig, incSteps, kMoves))...)
+
 	rep.summarise(maxWorkers)
 
 	f, err := os.Create(*out)
@@ -260,9 +291,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: contended x%d speedup %.2fx, warm shared allocs/op %.2f, kernel warm %.2fx cold %.2fx identical %v mixed-identical %v\n",
+	fmt.Printf("wrote %s: contended x%d speedup %.2fx, warm shared allocs/op %.2f, kernel warm %.2fx cold %.2fx identical %v mixed-identical %v, incremental 1-coord %.2fx %d-coord %.2fx identical %v\n",
 		*out, rep.Summary.ContendedWorkers, rep.Summary.ContendedSpeedup, rep.Summary.WarmSharedAllocs,
-		rep.Summary.KernelSpeedup, rep.Summary.KernelColdSpeedup, rep.Summary.KernelIdentical, rep.Summary.KernelMixedIdentical)
+		rep.Summary.KernelSpeedup, rep.Summary.KernelColdSpeedup, rep.Summary.KernelIdentical, rep.Summary.KernelMixedIdentical,
+		rep.Summary.IncrementalSpeedup1, kMoves, rep.Summary.IncrementalSpeedupK, rep.Summary.IncrementalIdentical)
 }
 
 // mixedWorkload replaces every fourth feature of the linear working set
@@ -358,6 +390,133 @@ func workload(seed int64, keys, dim int) ([]core.Feature, core.Perturbation) {
 	return features, p
 }
 
+// incrementalWorkload builds the block-sparse HCS shape the delta path
+// exists for: one finishing-time feature per machine, each an indicator
+// row over its own cpm-coordinate block of the ETC vector (the
+// applications mapped to that machine), all feasible at one shared
+// operating point. Moving a coordinate dirties exactly one machine's
+// feature, so ComputeDelta re-sweeps one row where Compute re-sweeps
+// them all.
+func incrementalWorkload(seed int64, machines, cpm int) ([]core.Feature, core.Perturbation) {
+	rng := rand.New(rand.NewSource(seed + 7))
+	dim := machines * cpm
+	orig := make([]float64, dim)
+	for i := range orig {
+		orig[i] = 0.5 + rng.Float64()
+	}
+	p := core.Perturbation{Name: "C", Orig: orig}
+	features := make([]core.Feature, machines)
+	for m := range features {
+		coeffs := make([]float64, dim)
+		at := 0.0
+		for c := 0; c < cpm; c++ {
+			coeffs[m*cpm+c] = 1
+			at += orig[m*cpm+c]
+		}
+		imp, err := core.NewLinearImpact(coeffs, 0)
+		if err != nil {
+			fatal(err)
+		}
+		features[m] = core.Feature{
+			Name:   fmt.Sprintf("finish(m%d)", m),
+			Impact: imp,
+			Bounds: core.NoMin(at * (1.5 + rng.Float64())),
+		}
+	}
+	return features, p
+}
+
+// incrementalIdentity walks a randomized trajectory of 1..3-coordinate
+// moves through one delta session, checking every step bit for bit
+// against a cold Compute sweep of the same pack at the same point — the
+// predicate the speedup figures are conditioned on.
+func incrementalIdentity(seed int64, b *kernel.Batch, orig []float64) bool {
+	rng := rand.New(rand.NewSource(seed + 11))
+	n := b.Len()
+	dim := len(orig)
+	deltaOut := make([]core.RadiusResult, n)
+	coldOut := make([]core.RadiusResult, n)
+	prev := append([]float64(nil), orig...)
+	next := append([]float64(nil), orig...)
+	d := b.Delta()
+	if _, err := d.Full(prev, deltaOut); err != nil {
+		fatal(err)
+	}
+	for step := 0; step < 64; step++ {
+		copy(next, prev)
+		dirty := make([]int, 1+rng.Intn(3))
+		for i := range dirty {
+			j := rng.Intn(dim)
+			dirty[i] = j
+			next[j] *= 0.9 + 0.2*rng.Float64()
+		}
+		if _, _, err := d.ComputeDelta(prev, next, dirty, deltaOut); err != nil {
+			fatal(err)
+		}
+		if _, err := b.Compute(next, coldOut); err != nil {
+			fatal(err)
+		}
+		if !resultsIdentical(deltaOut, coldOut) {
+			return false
+		}
+		prev, next = next, prev
+	}
+	return true
+}
+
+// incrementalContenders builds the full-recompute and delta-session
+// competitors for one interleaved incremental series. Each op is one
+// trajectory step that bumps k coordinates spread across distinct
+// machine blocks; both contenders walk the identical deterministic
+// trajectory from the same start. The delta contender keeps one session
+// across steps — the Watcher shape — and resyncs itself from orig at
+// the top of each rep.
+func incrementalContenders(b *kernel.Batch, orig []float64, steps, k int) []contender {
+	n := b.Len()
+	dim := len(orig)
+	move := func(point []float64, step int, dirty []int) {
+		for t := 0; t < k; t++ {
+			j := ((step*k+t)*(dim/k) + step) % dim
+			point[j] += 0.001
+			if dirty != nil {
+				dirty[t] = j
+			}
+		}
+	}
+	fullOut := make([]core.RadiusResult, n)
+	fullPoint := make([]float64, dim)
+	deltaOut := make([]core.RadiusResult, n)
+	deltaPrev := make([]float64, dim)
+	deltaNext := make([]float64, dim)
+	dirty := make([]int, k)
+	d := b.Delta()
+	return []contender{
+		{"full", func() {
+			copy(fullPoint, orig)
+			for s := 0; s < steps; s++ {
+				move(fullPoint, s, nil)
+				if _, err := b.Compute(fullPoint, fullOut); err != nil {
+					fatal(err)
+				}
+			}
+		}},
+		{"delta", func() {
+			copy(deltaPrev, orig)
+			if _, err := d.Full(deltaPrev, deltaOut); err != nil {
+				fatal(err)
+			}
+			for s := 0; s < steps; s++ {
+				copy(deltaNext, deltaPrev)
+				move(deltaNext, s, dirty)
+				if _, _, err := d.ComputeDelta(deltaPrev, deltaNext, dirty, deltaOut); err != nil {
+					fatal(err)
+				}
+				deltaPrev, deltaNext = deltaNext, deltaPrev
+			}
+		}},
+	}
+}
+
 // contender is one named competitor in an interleaved measurement.
 type contender struct {
 	impl string
@@ -437,6 +596,18 @@ type summary struct {
 	// the mixed linear/convex workload (routing included).
 	KernelIdentical      bool `json:"kernel_identical"`
 	KernelMixedIdentical bool `json:"kernel_mixed_identical"`
+	// Incremental speedups are full-recompute ns/step divided by
+	// ComputeDelta ns/step on the block-sparse HCS workload:
+	// IncrementalSpeedup1 for single-coordinate moves (the ≥3x acceptance
+	// figure of the incremental series), IncrementalSpeedupK for moves
+	// touching several machine blocks at once. Both ratios are only
+	// claimed when IncrementalIdentical held: the delta session
+	// reproduced cold Compute sweeps bit for bit along a randomized walk.
+	IncrementalSpeedup1  float64 `json:"incremental_speedup_1"`
+	IncrementalSpeedupK  float64 `json:"incremental_speedup_k"`
+	IncrementalFullNs    float64 `json:"incremental_full_ns_per_op"`
+	IncrementalDeltaNs   float64 `json:"incremental_delta_ns_per_op"`
+	IncrementalIdentical bool    `json:"incremental_identical"`
 }
 
 type report struct {
@@ -482,6 +653,14 @@ func (r *report) summarise(maxWorkers int) {
 	}
 	if pf, k := r.find("kernel_cold", "perfeature", 1), r.find("kernel_cold", "kernel", 1); pf != nil && k != nil && k.NsPerOp > 0 {
 		r.Summary.KernelColdSpeedup = pf.NsPerOp / k.NsPerOp
+	}
+	if full, delta := r.find("incremental_1", "full", 1), r.find("incremental_1", "delta", 1); full != nil && delta != nil && delta.NsPerOp > 0 {
+		r.Summary.IncrementalSpeedup1 = full.NsPerOp / delta.NsPerOp
+		r.Summary.IncrementalFullNs = full.NsPerOp
+		r.Summary.IncrementalDeltaNs = delta.NsPerOp
+	}
+	if full, delta := r.find("incremental_k", "full", 1), r.find("incremental_k", "delta", 1); full != nil && delta != nil && delta.NsPerOp > 0 {
+		r.Summary.IncrementalSpeedupK = full.NsPerOp / delta.NsPerOp
 	}
 }
 

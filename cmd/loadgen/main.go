@@ -8,6 +8,7 @@
 //	loadgen -url http://host:8080      # hammer a running instance
 //	loadgen -url http://a:8080,http://b:8080   # spray a cluster, failover on node death
 //	loadgen -n 5000 -c 64 -batch 16    # 5000 requests, 64 clients, 16 systems each
+//	loadgen -self -watch 16            # stream 16-step /v1/watch sessions instead
 //
 // The generator is seeded, so two runs with the same flags submit the
 // identical workload. Systems are drawn from a bounded pool (default 64
@@ -26,6 +27,13 @@
 // -retry-503 times, so saturation reports real serving latency. Degraded
 // responses (Warning header) are counted separately.
 //
+// Watch mode: -watch S turns every request into a POST /v1/watch
+// streaming session over an S-step trajectory of the picked system's
+// operating point (one coordinate nudged per step — the incremental
+// engine's shape). The client consumes the ndjson stream, counts frames
+// and changed radii, and fails the request if the stream ends without a
+// clean summary. Latency percentiles then measure whole sessions.
+//
 // Observability hooks: -report-traces N lists the N slowest served
 // requests with their request and trace IDs (X-Fepiad-Trace-Id) — paste
 // a trace ID into the server's /debug/traces to see the per-stage,
@@ -35,6 +43,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -74,6 +84,7 @@ func main() {
 		cycle    = flag.Bool("cycle", false, "draw systems round-robin from the pool instead of randomly (deterministic LRU thrash when the pool outsizes the cache)")
 		warmup   = flag.Bool("warmup", false, "submit each pooled system once, untimed, before the run (measures warm-cache serving)")
 		kill     = flag.String("kill", "", "with -self: kill node i once a fraction f of requests have been issued, as i@f (e.g. 1@0.5) — the chaos story")
+		watch    = flag.Int("watch", 0, "steps per /v1/watch session; > 0 makes every request a streaming watch session over a generated trajectory (overrides -batch)")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		retry503 = flag.Int("retry-503", 3, "re-submissions of a shed (503) request after honoring Retry-After (0 = fail immediately)")
@@ -98,10 +109,19 @@ func main() {
 	}
 	killIdx, killAt := parseKill(*kill, *n, *nodes, killNode != nil)
 
-	bodies, poolDocs := buildWorkload(rand.New(rand.NewSource(*seed)), *n, *batch, *pool, *heavy, *cycle)
+	var bodies, poolDocs []string
 	path := "/v1/batch"
 	if *batch <= 1 {
 		path = "/v1/analyze"
+	}
+	if *watch > 0 {
+		if *warmup {
+			log.Fatal("-warmup makes no sense with -watch: kernel delta steps bypass the radius cache")
+		}
+		bodies = buildWatchWorkload(rand.New(rand.NewSource(*seed)), *n, *pool, *heavy, *watch, *cycle)
+		path = "/v1/watch"
+	} else {
+		bodies, poolDocs = buildWorkload(rand.New(rand.NewSource(*seed)), *n, *batch, *pool, *heavy, *cycle)
 	}
 	client := &http.Client{Timeout: *timeout}
 
@@ -133,6 +153,8 @@ func main() {
 		shedCount atomic.Int64
 		degCount  atomic.Int64
 		fwdCount  atomic.Int64
+		wFrames   atomic.Int64
+		wChanged  atomic.Int64
 		failovers atomic.Int64
 		latency   = obs.NewHistogram(nil)
 		slowOver  atomic.Int64 // served requests past the latency objective
@@ -175,11 +197,21 @@ func main() {
 						failCount.Add(1)
 						break
 					}
-					if resp.StatusCode == http.StatusOK && firstTaken.CompareAndSwap(false, true) {
+					// Watch sessions stream: the body must be consumed frame
+					// by frame before the session counts as served, and the
+					// timed region covers the whole stream.
+					var watchErr error
+					switch {
+					case *watch > 0 && resp.StatusCode == http.StatusOK:
+						var frames, changed int64
+						frames, changed, watchErr = consumeWatch(resp)
+						wFrames.Add(frames)
+						wChanged.Add(changed)
+					case resp.StatusCode == http.StatusOK && firstTaken.CompareAndSwap(false, true):
 						body, _ := io.ReadAll(resp.Body)
 						resp.Body.Close()
 						firstCache.Store(metaCache(body))
-					} else {
+					default:
 						drain(resp)
 					}
 					if resp.StatusCode == http.StatusServiceUnavailable && attempt < *retry503 {
@@ -188,6 +220,10 @@ func main() {
 						continue
 					}
 					if resp.StatusCode == http.StatusOK {
+						if watchErr != nil {
+							failCount.Add(1)
+							break
+						}
 						if resp.Header.Get("Warning") != "" {
 							degCount.Add(1) // served degraded from the radius cache
 						}
@@ -240,9 +276,18 @@ func main() {
 	if fc, ok := firstCache.Load().(string); ok {
 		rep.FirstCache = fc
 	}
+	if *watch > 0 {
+		rep.WatchSteps = *watch
+		rep.WatchFrames = wFrames.Load()
+		rep.WatchChanged = wChanged.Load()
+	}
 	if rep.OK > 0 {
 		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
 		rep.Analyses = rep.Throughput * float64(*batch)
+		if *watch > 0 {
+			// Every streamed frame is one analysed operating point.
+			rep.Analyses = float64(rep.WatchFrames) / elapsed.Seconds()
+		}
 		rep.Latency = &latencyReport{
 			P50MS:  snap.Quantile(0.50),
 			P90MS:  snap.Quantile(0.90),
@@ -275,6 +320,10 @@ func main() {
 		}
 		if rep.FirstCache != "" {
 			fmt.Printf("first response cache: %s\n", rep.FirstCache)
+		}
+		if *watch > 0 {
+			fmt.Printf("watch: %d sessions × %d steps, %d frames streamed, %d changed radii\n",
+				rep.OK, rep.WatchSteps, rep.WatchFrames, rep.WatchChanged)
 		}
 		if lr := rep.Latency; lr != nil {
 			fmt.Printf("throughput: %.0f req/s (%.0f analyses/s)\n", rep.Throughput, rep.Analyses)
@@ -317,11 +366,18 @@ type report struct {
 	// FirstCache is meta.cache of the first served response: "hit" means
 	// the server answered its very first request from a warm cache — the
 	// snapshot-restart bench asserts exactly this.
-	FirstCache string         `json:"first_cache,omitempty"`
-	ElapsedMS  float64        `json:"elapsed_ms"`
-	Throughput float64        `json:"throughput_rps,omitempty"`
-	Analyses   float64        `json:"analyses_per_sec,omitempty"`
-	Latency    *latencyReport `json:"latency,omitempty"`
+	FirstCache string `json:"first_cache,omitempty"`
+	// Watch-mode tallies (-watch S): every OK request is one streamed
+	// session; WatchFrames counts frames received across all sessions and
+	// WatchChanged the changed radii they carried — the incremental
+	// wire's actual payload.
+	WatchSteps   int            `json:"watch_steps,omitempty"`
+	WatchFrames  int64          `json:"watch_frames,omitempty"`
+	WatchChanged int64          `json:"watch_changed_radii,omitempty"`
+	ElapsedMS    float64        `json:"elapsed_ms"`
+	Throughput   float64        `json:"throughput_rps,omitempty"`
+	Analyses     float64        `json:"analyses_per_sec,omitempty"`
+	Latency      *latencyReport `json:"latency,omitempty"`
 	// SLO is the run scored against the client-side objectives
 	// (-slo-availability, -slo-latency-p99); SlowTraces are the
 	// -report-traces slowest served requests, slowest first, each with
@@ -617,6 +673,81 @@ func buildWorkload(rng *rand.Rand, n, batch, pool, heavy int, cycle bool) (bodie
 		bodies[i] = `{"systems": [` + strings.Join(picks, ",") + `]}`
 	}
 	return bodies, systems
+}
+
+// buildWatchWorkload pre-serialises n /v1/watch session bodies: each
+// picks a pooled system and walks its operating point through `steps`
+// single-coordinate nudges — the trajectory shape the incremental delta
+// engine is built for. The generator stream matches buildWorkload's, so
+// runs stay reproducible per seed.
+func buildWatchWorkload(rng *rand.Rand, n, pool, heavy, steps int, cycle bool) []string {
+	systems := make([]spec.File, pool)
+	for i := range systems {
+		systems[i] = genSystem(rng, i, heavy)
+	}
+	bodies := make([]string, n)
+	for i := range bodies {
+		f := systems[i%pool]
+		if !cycle {
+			f = systems[rng.Intn(pool)]
+		}
+		points := make([][]float64, steps)
+		cur := f.Perturbation.Orig
+		for s := range points {
+			next := append([]float64(nil), cur...)
+			next[rng.Intn(len(next))] *= 0.95 + 0.1*rng.Float64()
+			points[s] = next
+			cur = next
+		}
+		doc, err := json.Marshal(spec.WatchRequest{System: f, Points: points})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = string(doc)
+	}
+	return bodies
+}
+
+// consumeWatch drains one /v1/watch ndjson stream, counting frames and
+// the changed radii they carry. A session only counts as served when the
+// stream closes with a clean summary: a summary carrying an error, a
+// missing summary (connection cut mid-stream), or an undecodable line
+// all fail the request.
+func consumeWatch(resp *http.Response) (frames, changed int64, err error) {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	done := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var msg struct {
+			Done         *bool  `json:"done"`
+			ChangedCount int    `json:"changed_count"`
+			Error        string `json:"error"`
+		}
+		if uerr := json.Unmarshal(line, &msg); uerr != nil {
+			return frames, changed, fmt.Errorf("watch frame: %w", uerr)
+		}
+		if msg.Done != nil {
+			if msg.Error != "" {
+				return frames, changed, fmt.Errorf("watch session aborted: %s", msg.Error)
+			}
+			done = true
+			continue
+		}
+		frames++
+		changed += int64(msg.ChangedCount)
+	}
+	if serr := sc.Err(); serr != nil {
+		return frames, changed, serr
+	}
+	if !done {
+		return frames, changed, fmt.Errorf("watch stream ended without a summary")
+	}
+	return frames, changed, nil
 }
 
 // genSystem draws one report-style system: a handful of machines whose

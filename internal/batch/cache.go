@@ -75,7 +75,12 @@ type cacheShard struct {
 
 // flight is one in-progress radius computation being shared by every
 // concurrent caller of its key. res and err are written exactly once,
-// before done is closed; the close is the publication barrier.
+// before done is closed; the close is the publication barrier. done is
+// created lazily, under the shard lock, by the FIRST caller that
+// actually parks — the uncontended cold path (one caller, no waiters)
+// therefore never allocates or closes a channel. The leader's publish
+// reads done under the same lock, so it either sees the waiter's
+// channel (and closes it) or the waiter never saw the flight at all.
 type flight struct {
 	done chan struct{}
 	res  core.RadiusResult
@@ -363,7 +368,13 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 	if fl, found := s.inflight[string(b)]; found {
 		// Another caller is already solving this key: park on its flight
 		// instead of duplicating the solve. The leader's verdict — result
-		// or failure — is shared verbatim.
+		// or failure — is shared verbatim. The park channel is created
+		// here, under the shard lock, on first need: a flight that never
+		// gathers waiters never pays for one.
+		if fl.done == nil {
+			fl.done = make(chan struct{})
+		}
+		done := fl.done
 		s.dup++
 		s.mu.Unlock()
 		keyPool.Put(kb)
@@ -375,7 +386,7 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 		case <-ctx.Done():
 			gsp.End(ctx.Err())
 			return core.RadiusResult{}, ctx.Err()
-		case <-fl.done:
+		case <-done:
 		}
 		if fl.err != nil {
 			gsp.End(fl.err)
@@ -393,7 +404,7 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 	// materialised as a string exactly once, here — never on the hit path.
 	key := string(b)
 	keyPool.Put(kb)
-	fl := &flight{done: make(chan struct{})}
+	fl := &flight{}
 	s.inflight[key] = fl
 	s.misses++
 	s.mu.Unlock()
@@ -411,15 +422,35 @@ func (c *Cache) radius(ctx context.Context, f core.Feature, p core.Perturbation,
 // cache_put point — or parked waiters would deadlock, so the panic path
 // publishes the failure before re-panicking into the caller's per-feature
 // recovery (solveFeature converts it into a typed *core.SolveError).
+//
+// Publish and insert share ONE critical section: the original split —
+// insert under one lock, then retire the flight under another — charged
+// every first-touch miss a second lock round-trip (measured as part of
+// the BENCH_8 cold-path gap against the single-mutex baseline). res and
+// err are written before the lock is taken and the waiter channel is
+// read under it, so a waiter that parked sees both via the close.
 func (c *Cache) lead(ctx context.Context, s *cacheShard, key string, fl *flight, f core.Feature, p core.Perturbation, opts core.Options, clone bool) (core.RadiusResult, error) {
 	published := false
-	publish := func(res core.RadiusResult, err error) {
+	publish := func(res core.RadiusResult, err error, insert bool) {
 		fl.res, fl.err = res, err
 		c.lock(s)
+		if insert {
+			if _, found := s.entries[key]; !found {
+				s.entries[key] = s.order.PushFront(&cacheEntry{key: key, impact: f.Impact, result: res})
+				for s.order.Len() > s.capacity {
+					oldest := s.order.Back()
+					s.order.Remove(oldest)
+					delete(s.entries, oldest.Value.(*cacheEntry).key)
+				}
+			}
+		}
 		delete(s.inflight, key)
+		done := fl.done
 		s.mu.Unlock()
 		published = true
-		close(fl.done)
+		if done != nil {
+			close(done)
+		}
 	}
 	defer func() {
 		if published {
@@ -432,7 +463,7 @@ func (c *Cache) lead(ctx context.Context, s *cacheShard, key string, fl *flight,
 		} else if rec != nil {
 			err = fmt.Errorf("batch: radius singleflight leader panicked: %v", rec)
 		}
-		publish(core.RadiusResult{}, err)
+		publish(core.RadiusResult{}, err, false)
 		if rec != nil {
 			panic(rec)
 		}
@@ -442,7 +473,7 @@ func (c *Cache) lead(ctx context.Context, s *cacheShard, key string, fl *flight,
 	if err != nil {
 		// A failed solve is never cached: the next caller leads a fresh
 		// attempt. Waiters receive this leader's error verbatim.
-		publish(core.RadiusResult{}, err)
+		publish(core.RadiusResult{}, err, false)
 		return core.RadiusResult{}, err
 	}
 
@@ -453,20 +484,10 @@ func (c *Cache) lead(ctx context.Context, s *cacheShard, key string, fl *flight,
 		c.putFails.Add(1)
 		psp.Set("dropped", "true")
 		psp.End(ferr)
-		publish(res, nil)
+		publish(res, nil, false)
 	} else {
-		c.lock(s)
-		if _, found := s.entries[key]; !found {
-			s.entries[key] = s.order.PushFront(&cacheEntry{key: key, impact: f.Impact, result: res})
-			for s.order.Len() > s.capacity {
-				oldest := s.order.Back()
-				s.order.Remove(oldest)
-				delete(s.entries, oldest.Value.(*cacheEntry).key)
-			}
-		}
-		s.mu.Unlock()
+		publish(res, nil, true)
 		psp.End(nil)
-		publish(res, nil)
 	}
 
 	out := res

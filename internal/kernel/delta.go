@@ -1,0 +1,392 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"fepia/internal/core"
+)
+
+// Per-feature witness/state modes of a Delta session. The mode drives
+// what an incremental step must do to keep a feature's RadiusResult
+// byte-identical to a cold Compute at the new operating point.
+const (
+	// dmFallback: the impact evaluated to NaN at the operating point.
+	// The sweep wrote nothing; the caller routes this feature through
+	// the scalar path, which owns the error wording.
+	dmFallback uint8 = iota
+	// dmNoWitness: a result with no boundary witness (Unreachable).
+	dmNoWitness
+	// dmCopy: the witness is a copy of the operating point
+	// (AlreadyViolated, or a constant impact sitting on its boundary).
+	dmCopy
+	// dmProj: the witness is the hyperplane projection π^orig + t·a.
+	dmProj
+)
+
+// Delta is the pack's incremental re-analysis session: the state a
+// sweep must remember so that, when only some coordinates of π^orig
+// move, it can update the affected radii — and ONLY those — with
+// results that stay byte-identical to a cold Compute at the new point.
+//
+// Why a session and not a stateless Batch method: the dirty-set rule
+// below keeps unaffected features' dot products bitwise unchanged, but
+// their boundary witnesses still move — a projection witness has
+// x[j] = π_j + t·a_j at every coordinate, dirty ones included. Patching
+// x[j] exactly needs the projection parameter t of the sweep that
+// produced the witness (its SIGN decides whether a ±0.0 term flips the
+// sign of a zero coordinate), and t is not bit-recoverable from the
+// radius alone (r = |residual|/‖a‖_* forgets the side's sign context).
+// So the session records, per feature, the swept dot product, the
+// witness mode, and t — a few words per feature, the price of exactness.
+//
+// Dirty-set rule (why unaffected features are free): the sweep's
+// Kahan–Babuška accumulators start at +0.0 and, under round-to-nearest,
+// a sum can only be −0.0 when BOTH operands are −0.0 — so neither the
+// running sum nor the compensation term is ever −0.0. Adding a ±0.0
+// term to such a pair changes no bits. A coordinate move at j therefore
+// leaves feature k's dot product bit-identical whenever a_kj == 0 and
+// both old and new π_j are finite (the term is ±0.0 before and after);
+// it can affect the dot only when a_kj ≠ 0 or a non-finite π_j makes
+// 0·π_j = NaN. Affected features are re-swept whole in dotSweep's exact
+// per-feature order — a true O(|dirty|) adjustment of a compensated sum
+// cannot preserve bit-identity, because the compensation path depends
+// on the full accumulation history.
+//
+// A Delta is single-goroutine; the Batch it was built from stays
+// shareable (sessions never write the pack). Steady-state Full and
+// ComputeDelta calls allocate nothing: witnesses live in a fixed
+// session-owned arena (feature k's slot is block[k·dim : (k+1)·dim]),
+// and the returned changed/fallback slices are session-owned buffers
+// overwritten by the next call.
+type Delta struct {
+	b *Batch
+	// prev is the session's operating point of record: an owned copy of
+	// the last swept point, compared bitwise against the caller's prev.
+	prev []float64
+	// dots[k] is a_k·prev — carried across steps for unaffected
+	// features, fully re-swept (never adjusted) for affected ones.
+	dots []float64
+	// t[k] is the projection parameter of feature k's witness (dmProj).
+	t    []float64
+	mode []uint8
+	// radBits/kinds snapshot each feature's answer for change detection
+	// (radius compared bitwise, so 0 vs −0 and NaN payloads count).
+	radBits []uint64
+	kinds   []core.BoundKind
+	// block is the witness arena: feature k's witness, when it has one,
+	// always occupies block[k*dim : (k+1)*dim] (full-capacity slot).
+	block []float64
+	// dirtyMark/dirtyBuf dedupe and materialise the effective dirty set.
+	dirtyMark []bool
+	dirtyBuf  []int
+	changed   []int
+	fallback  []int
+	valid     bool
+}
+
+// Delta opens an incremental re-analysis session on the pack.
+func (b *Batch) Delta() *Delta {
+	return &Delta{
+		b:         b,
+		prev:      make([]float64, b.dim),
+		dots:      make([]float64, b.n),
+		t:         make([]float64, b.n),
+		mode:      make([]uint8, b.n),
+		radBits:   make([]uint64, b.n),
+		kinds:     make([]core.BoundKind, b.n),
+		block:     make([]float64, b.n*b.dim),
+		dirtyMark: make([]bool, b.dim),
+		dirtyBuf:  make([]int, 0, b.dim),
+		changed:   make([]int, 0, b.n),
+		fallback:  make([]int, 0, b.n),
+	}
+}
+
+// slot is feature k's fixed witness slot in the session arena.
+func (d *Delta) slot(k int) []float64 {
+	dim := d.b.dim
+	return d.block[k*dim : (k+1)*dim : (k+1)*dim]
+}
+
+// Full performs a cold sweep at orig, (re)establishing the session
+// state. Results are byte-identical to Batch.Compute on the same inputs;
+// witnesses live in the session arena and stay valid until the next
+// Full/ComputeDelta call. The returned fallback slice (session-owned,
+// overwritten next call) lists the features whose impact evaluated to
+// NaN, exactly like Compute.
+func (d *Delta) Full(orig []float64, out []core.RadiusResult) (fallback []int, err error) {
+	if err := d.check(orig, out); err != nil {
+		return nil, err
+	}
+	d.full(orig, out)
+	return d.fallback, nil
+}
+
+// full is the unvalidated cold sweep shared by Full and the resync path.
+func (d *Delta) full(orig []float64, out []core.RadiusResult) {
+	b := d.b
+	copy(d.prev, orig)
+	b.dotSweep(orig, d.dots)
+	d.fallback = d.fallback[:0]
+	for k := 0; k < b.n; k++ {
+		d.sweepOne(k, orig, out)
+		if d.mode[k] == dmFallback {
+			d.fallback = append(d.fallback, k)
+		}
+	}
+	d.valid = true
+}
+
+// sweepOne recomputes feature k's result at orig from its (already
+// updated) dot product and records the session state the next
+// incremental step needs.
+func (d *Delta) sweepOne(k int, orig []float64, out []core.RadiusResult) {
+	b := d.b
+	dot := d.dots[k]
+	if !b.result(k, dot, orig, d.slot(k), &out[k]) {
+		d.mode[k] = dmFallback
+		return
+	}
+	d.radBits[k] = math.Float64bits(out[k].Radius)
+	d.kinds[k] = out[k].Kind
+	switch {
+	case out[k].Boundary == nil:
+		d.mode[k] = dmNoWitness
+	case out[k].Kind == core.AlreadyViolated || b.dual[k] == 0:
+		d.mode[k] = dmCopy
+	default:
+		d.mode[k] = dmProj
+		// Recompute the projection parameter exactly as result() did —
+		// same expression, same inputs, same bits.
+		beta := b.maxB[k]
+		if out[k].Kind == core.AtMin {
+			beta = b.minB[k]
+		}
+		d.t[k] = ((beta - b.offsets[k]) - dot) / b.aa[k]
+	}
+}
+
+// ComputeDelta advances the session from prev to next, where dirty lists
+// the coordinates that may have moved (nil means "derive it": every
+// coordinate is compared). It fully populates out — affected features
+// are re-swept, unaffected ones are reconstructed from session state
+// with their witnesses patched in place — so out is byte-identical to a
+// cold Compute at next, for every feature, every time.
+//
+// changed lists the features whose analytic answer moved: a dirty
+// coordinate touched their dot product AND the radius bits, bound kind,
+// or reachability differ from the previous point. Witness coordinates
+// of unaffected features also track the operating point (x[j] follows
+// π_j), but that is bookkeeping, not a change in the robustness answer,
+// so those features are not reported. fallback is the full NaN-fallback
+// set at next (not just the newly fallen), mirroring Compute's contract.
+// Both slices are session-owned and overwritten by the next call.
+//
+// The caller's prev must be the session's last swept point. A bitwise
+// mismatch (or a never-swept session) does not guess: the session
+// resyncs with a cold sweep at next and reports every feature changed.
+func (d *Delta) ComputeDelta(prev, next []float64, dirty []int, out []core.RadiusResult) (changed, fallback []int, err error) {
+	if err := d.check(next, out); err != nil {
+		return nil, nil, err
+	}
+	if len(prev) != d.b.dim {
+		return nil, nil, fmt.Errorf("kernel: previous-point dimension %d != pack dimension %d", len(prev), d.b.dim)
+	}
+	if !d.valid || !sameBits(prev, d.prev) {
+		d.full(next, out)
+		d.changed = d.changed[:0]
+		for k := 0; k < d.b.n; k++ {
+			d.changed = append(d.changed, k)
+		}
+		return d.changed, d.fallback, nil
+	}
+
+	dirtyEff := d.effectiveDirty(next, dirty)
+	d.changed = d.changed[:0]
+	if len(dirtyEff) == 0 {
+		// Nothing moved: out still must reflect the current point.
+		d.reconstructAll(out)
+		return d.changed, d.currentFallback(), nil
+	}
+
+	b := d.b
+	for k := 0; k < b.n; k++ {
+		if d.affected(k, dirtyEff, next) {
+			wasMode, wasBits, wasKind := d.mode[k], d.radBits[k], d.kinds[k]
+			d.dots[k] = b.dotOne(k, next)
+			d.sweepOne(k, next, out)
+			if d.mode[k] != wasMode || (d.mode[k] != dmFallback && (d.radBits[k] != wasBits || d.kinds[k] != wasKind)) {
+				d.changed = append(d.changed, k)
+			}
+			continue
+		}
+		d.patch(k, next, dirtyEff, out)
+	}
+	copy(d.prev, next)
+	for _, j := range dirtyEff {
+		d.dirtyMark[j] = false
+	}
+	return d.changed, d.currentFallback(), nil
+}
+
+// effectiveDirty filters the caller's dirty set (or all coordinates when
+// nil) down to those whose value actually changed bitwise, deduplicated
+// via the session's mark array. The marks stay set for affected() and
+// are cleared by the caller after the step.
+func (d *Delta) effectiveDirty(next []float64, dirty []int) []int {
+	d.dirtyBuf = d.dirtyBuf[:0]
+	add := func(j int) {
+		if j < 0 || j >= d.b.dim || d.dirtyMark[j] {
+			return
+		}
+		if math.Float64bits(d.prev[j]) == math.Float64bits(next[j]) {
+			return
+		}
+		d.dirtyMark[j] = true
+		d.dirtyBuf = append(d.dirtyBuf, j)
+	}
+	if dirty == nil {
+		for j := 0; j < d.b.dim; j++ {
+			add(j)
+		}
+	} else {
+		for _, j := range dirty {
+			add(j)
+		}
+	}
+	return d.dirtyBuf
+}
+
+// affected reports whether a dirty coordinate can touch feature k's dot
+// product: a_kj ≠ 0 (either sign of zero counts as zero), or a
+// non-finite old/new value at j turning the ±0.0 no-op term into NaN.
+func (d *Delta) affected(k int, dirty []int, next []float64) bool {
+	row := d.b.coeffs[k*d.b.dim : (k+1)*d.b.dim]
+	for _, j := range dirty {
+		if row[j] != 0 {
+			return true
+		}
+		if !finite(d.prev[j]) || !finite(next[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// patch rewrites an unaffected feature's out slot from session state and
+// moves its witness's dirty coordinates to the new operating point. The
+// projection patch is computed literally as x[j] = π_j + t·a_j — with
+// a_kj == 0 the term is ±0.0 whose sign follows t (or NaN when t
+// overflowed to ±Inf), exactly what a cold sweep produces; a bare
+// x[j] = next[j] would get the sign of a zero coordinate wrong.
+func (d *Delta) patch(k int, next []float64, dirty []int, out []core.RadiusResult) {
+	b := d.b
+	switch d.mode[k] {
+	case dmFallback:
+		// Still NaN at next (the dot is unchanged): the sweep writes
+		// nothing, same as Compute.
+		return
+	case dmNoWitness:
+		out[k] = core.RadiusResult{
+			Feature: b.names[k],
+			Radius:  math.Float64frombits(d.radBits[k]),
+			Kind:    d.kinds[k],
+			Method:  method(d.kinds[k]),
+		}
+		return
+	}
+	x := d.slot(k)
+	if d.mode[k] == dmCopy {
+		for _, j := range dirty {
+			x[j] = next[j]
+		}
+	} else {
+		row := b.coeffs[k*b.dim : (k+1)*b.dim]
+		t := d.t[k]
+		for _, j := range dirty {
+			x[j] = next[j] + t*row[j]
+		}
+	}
+	out[k] = core.RadiusResult{
+		Feature:  b.names[k],
+		Radius:   math.Float64frombits(d.radBits[k]),
+		Boundary: x,
+		Kind:     d.kinds[k],
+		Method:   method(d.kinds[k]),
+	}
+}
+
+// reconstructAll rewrites every non-fallback out slot from session state
+// (a zero-dirty step: values are already current, but the caller's out
+// may be fresh).
+func (d *Delta) reconstructAll(out []core.RadiusResult) {
+	b := d.b
+	for k := 0; k < b.n; k++ {
+		switch d.mode[k] {
+		case dmFallback:
+		case dmNoWitness:
+			out[k] = core.RadiusResult{
+				Feature: b.names[k],
+				Radius:  math.Float64frombits(d.radBits[k]),
+				Kind:    d.kinds[k],
+				Method:  method(d.kinds[k]),
+			}
+		default:
+			out[k] = core.RadiusResult{
+				Feature:  b.names[k],
+				Radius:   math.Float64frombits(d.radBits[k]),
+				Boundary: d.slot(k),
+				Kind:     d.kinds[k],
+				Method:   method(d.kinds[k]),
+			}
+		}
+	}
+}
+
+// currentFallback materialises the full NaN-fallback set at the current
+// point into the session buffer.
+func (d *Delta) currentFallback() []int {
+	d.fallback = d.fallback[:0]
+	for k := 0; k < d.b.n; k++ {
+		if d.mode[k] == dmFallback {
+			d.fallback = append(d.fallback, k)
+		}
+	}
+	return d.fallback
+}
+
+// check validates the shared Full/ComputeDelta preconditions.
+func (d *Delta) check(point []float64, out []core.RadiusResult) error {
+	if len(point) != d.b.dim {
+		return fmt.Errorf("kernel: operating-point dimension %d != pack dimension %d", len(point), d.b.dim)
+	}
+	if len(out) < d.b.n {
+		return fmt.Errorf("kernel: result slice length %d < feature count %d", len(out), d.b.n)
+	}
+	return nil
+}
+
+// method maps a bound kind onto the Method a kernel sweep stamps.
+func method(k core.BoundKind) core.Method {
+	if k == core.AlreadyViolated || k == core.Unreachable {
+		return core.MethodNone
+	}
+	return core.MethodHyperplane
+}
+
+// sameBits reports bitwise equality of two equal-length vectors (NaNs
+// compare by payload, ±0 are distinct — the session must not guess).
+func sameBits(a, b []float64) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// finite reports x is neither Inf nor NaN.
+func finite(x float64) bool {
+	return !math.IsInf(x, 0) && !math.IsNaN(x)
+}

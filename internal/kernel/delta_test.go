@@ -1,0 +1,482 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fepia/internal/core"
+	"fepia/internal/vecmath"
+)
+
+// walkPoint draws the next operating point from prev by moving `moves`
+// distinct coordinates, covering the regimes the dirty-set rule must
+// survive: ordinary moves, sign-of-zero flips, and non-finite values
+// entering and leaving a coordinate.
+func walkPoint(rng *rand.Rand, prev []float64, moves int) (next []float64, dirty []int) {
+	next = append([]float64(nil), prev...)
+	perm := rng.Perm(len(prev))
+	for _, j := range perm[:moves] {
+		switch rng.Intn(12) {
+		case 0:
+			next[j] = 0.0
+		case 1:
+			next[j] = math.Copysign(0, -1) // −0: witness sign-of-zero regime
+		case 2:
+			next[j] = math.Inf(1) // 0·Inf = NaN poisons unaffected sums
+		case 3:
+			next[j] = math.NaN()
+		default:
+			next[j] = -4 + 8*rng.Float64()
+		}
+		dirty = append(dirty, j)
+	}
+	return next, dirty
+}
+
+// assertFallback fails unless the two fallback index sets are equal.
+func assertFallback(t *testing.T, tag string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: fallback = %v, want %v", tag, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: fallback = %v, want %v", tag, got, want)
+		}
+	}
+}
+
+// TestDeltaMatchesCold is the tentpole's byte-identity property: across
+// seeded random mappings, every supported norm, dirty-set sizes
+// 1..dim, NaN fallback, and sign-of-zero traffic, a session stepped
+// through ComputeDelta reproduces a cold Compute on a fresh pack bit
+// for bit at every point of the trajectory — radius, kind, method,
+// boundary witness, and the fallback set.
+func TestDeltaMatchesCold(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 5, 8} {
+		for trial := 0; trial < 8; trial++ {
+			rng := rand.New(rand.NewSource(int64(7000*dim + trial)))
+			orig := make([]float64, dim)
+			for i := range orig {
+				orig[i] = -2 + 4*rng.Float64()
+			}
+			n := 1 + rng.Intn(40)
+			features := make([]core.Feature, n)
+			for k := range features {
+				features[k] = randomFeature(rng, fmt.Sprintf("f%02d", k), dim, orig)
+			}
+			for name, norm := range norms(t, rng, dim) {
+				pack, err := Pack(features, dim, norm)
+				if err != nil {
+					t.Fatalf("dim=%d trial=%d norm=%s: Pack: %v", dim, trial, name, err)
+				}
+				d := pack.Delta()
+				out := make([]core.RadiusResult, n)
+				fb, err := d.Full(orig, out)
+				if err != nil {
+					t.Fatalf("Full: %v", err)
+				}
+				checkAgainstCold(t, fmt.Sprintf("dim=%d trial=%d norm=%s full", dim, trial, name),
+					features, dim, norm, orig, out, fb)
+
+				prev := append([]float64(nil), orig...)
+				for step := 0; step < 12; step++ {
+					moves := 1 + rng.Intn(dim)
+					next, dirty := walkPoint(rng, prev, moves)
+					if rng.Intn(3) == 0 {
+						dirty = nil // exercise dirty-set derivation
+					} else if rng.Intn(3) == 0 {
+						// Redundant entries and unmoved coordinates must be harmless.
+						dirty = append(dirty, dirty[0], rng.Intn(dim))
+					}
+					_, fb, err := d.ComputeDelta(prev, next, dirty, out)
+					if err != nil {
+						t.Fatalf("ComputeDelta: %v", err)
+					}
+					tag := fmt.Sprintf("dim=%d trial=%d norm=%s step=%d", dim, trial, name, step)
+					checkAgainstCold(t, tag, features, dim, norm, next, out, fb)
+					prev = next
+				}
+			}
+		}
+	}
+}
+
+// checkAgainstCold packs the features fresh, sweeps cold at point, and
+// asserts every written result and the fallback set match bitwise.
+func checkAgainstCold(t *testing.T, tag string, features []core.Feature, dim int, norm vecmath.Norm,
+	point []float64, got []core.RadiusResult, gotFallback []int) {
+	t.Helper()
+	fresh, err := Pack(features, dim, norm)
+	if err != nil {
+		t.Fatalf("%s: fresh Pack: %v", tag, err)
+	}
+	want := make([]core.RadiusResult, len(features))
+	wantFallback, err := fresh.Compute(point, want)
+	if err != nil {
+		t.Fatalf("%s: cold Compute: %v", tag, err)
+	}
+	assertFallback(t, tag, gotFallback, wantFallback)
+	isFallback := make(map[int]bool, len(wantFallback))
+	for _, k := range wantFallback {
+		isFallback[k] = true
+	}
+	for k := range want {
+		if isFallback[k] {
+			continue // slot not written by either path
+		}
+		assertSame(t, fmt.Sprintf("%s feature=%d", tag, k), got[k], want[k])
+	}
+}
+
+// TestDeltaChangedSet pins the changed-set semantics: only features
+// whose dot product a dirty coordinate can touch are reported, an
+// unmoved point reports nothing, and a session handed a stale prev
+// resyncs cold and reports everything.
+func TestDeltaChangedSet(t *testing.T) {
+	// Block-sparse mapping: feature k owns coordinates {2k, 2k+1}.
+	const n, dim = 4, 8
+	features := make([]core.Feature, n)
+	for k := 0; k < n; k++ {
+		coeffs := make([]float64, dim)
+		coeffs[2*k] = 1.5
+		coeffs[2*k+1] = -0.5
+		imp, err := core.NewLinearImpact(coeffs, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		features[k] = core.Feature{Name: fmt.Sprintf("m%d", k), Impact: imp, Bounds: core.NoMin(10)}
+	}
+	pack, err := Pack(features, dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pack.Delta()
+	out := make([]core.RadiusResult, n)
+	orig := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if _, err := d.Full(orig, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move coordinate 2 (feature 1's territory): exactly feature 1 changes.
+	next := append([]float64(nil), orig...)
+	next[2] = 2
+	changed, _, err := d.ComputeDelta(orig, next, []int{2}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != 1 {
+		t.Fatalf("changed = %v, want [1]", changed)
+	}
+
+	// A step that moves nothing changes nothing.
+	changed, _, err = d.ComputeDelta(next, next, nil, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("no-op step: changed = %v, want []", changed)
+	}
+
+	// Stale prev: the session must resync and report every feature.
+	stale := append([]float64(nil), orig...)
+	stale[7] = 99
+	far := append([]float64(nil), next...)
+	far[0] = 3
+	changed, _, err = d.ComputeDelta(stale, far, []int{0}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != n {
+		t.Fatalf("resync: changed = %v, want all %d", changed, n)
+	}
+	checkAgainstCold(t, "resync", features, dim, nil, far, out, nil)
+}
+
+// TestDeltaShapeErrors pins the validation errors.
+func TestDeltaShapeErrors(t *testing.T) {
+	imp, err := core.NewLinearImpact([]float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := core.Feature{Name: "f", Impact: imp, Bounds: core.NoMin(5)}
+	pack, err := Pack([]core.Feature{f}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pack.Delta()
+	out := make([]core.RadiusResult, 1)
+	if _, err := d.Full([]float64{1}, out); err == nil {
+		t.Fatal("Full accepted a mis-dimensioned point")
+	}
+	if _, err := d.Full([]float64{1, 2}, nil); err == nil {
+		t.Fatal("Full accepted a short result slice")
+	}
+	if _, _, err := d.ComputeDelta([]float64{1}, []float64{1, 2}, nil, out); err == nil {
+		t.Fatal("ComputeDelta accepted a mis-dimensioned prev")
+	}
+	if _, _, err := d.ComputeDelta([]float64{1, 2}, []float64{1}, nil, out); err == nil {
+		t.Fatal("ComputeDelta accepted a mis-dimensioned next")
+	}
+}
+
+// TestBatchSharedConcurrently is the pack-reuse race property: ONE Batch
+// shared by concurrent Compute callers and per-goroutine Delta sessions,
+// each walking its own trajectory, must produce results byte-identical
+// to fresh single-owner packs. Run under -race this also proves the pack
+// is never written after Pack.
+func TestBatchSharedConcurrently(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const dim, n = 6, 24
+	orig := make([]float64, dim)
+	for i := range orig {
+		orig[i] = -1 + 2*rng.Float64()
+	}
+	features := make([]core.Feature, n)
+	for k := range features {
+		features[k] = randomFeature(rng, fmt.Sprintf("f%02d", k), dim, orig)
+	}
+	shared, err := Pack(features, dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const steps = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			point := make([]float64, dim)
+			for i := range point {
+				point[i] = -2 + 4*rng.Float64()
+			}
+			fail := func(format string, args ...any) {
+				select {
+				case errs <- fmt.Errorf(format, args...):
+				default:
+				}
+			}
+			check := func(tag string, got []core.RadiusResult, gotFB []int, at []float64) bool {
+				fresh, err := Pack(features, dim, nil)
+				if err != nil {
+					fail("g%d %s: fresh Pack: %v", g, tag, err)
+					return false
+				}
+				want := make([]core.RadiusResult, n)
+				wantFB, err := fresh.Compute(at, want)
+				if err != nil {
+					fail("g%d %s: cold Compute: %v", g, tag, err)
+					return false
+				}
+				if len(gotFB) != len(wantFB) {
+					fail("g%d %s: fallback %v want %v", g, tag, gotFB, wantFB)
+					return false
+				}
+				isFB := make(map[int]bool)
+				for _, k := range wantFB {
+					isFB[k] = true
+				}
+				for k := range want {
+					if isFB[k] {
+						continue
+					}
+					w, gr := want[k], got[k]
+					if !bitsEqual(gr.Radius, w.Radius) || gr.Kind != w.Kind || gr.Method != w.Method ||
+						(gr.Boundary == nil) != (w.Boundary == nil) {
+						fail("g%d %s feature %d: %+v want %+v", g, tag, k, gr, w)
+						return false
+					}
+					for i := range w.Boundary {
+						if !bitsEqual(gr.Boundary[i], w.Boundary[i]) {
+							fail("g%d %s feature %d boundary[%d]", g, tag, k, i)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if g%2 == 0 {
+				// Compute caller: fresh sweep per step on the shared pack.
+				out := make([]core.RadiusResult, n)
+				for s := 0; s < steps; s++ {
+					fb, err := shared.Compute(point, out)
+					if err != nil {
+						fail("g%d Compute: %v", g, err)
+						return
+					}
+					if !check(fmt.Sprintf("compute step %d", s), out, fb, point) {
+						return
+					}
+					point, _ = walkPoint(rng, point, 1+rng.Intn(dim))
+				}
+				return
+			}
+			// Delta caller: one session on the shared pack.
+			d := shared.Delta()
+			out := make([]core.RadiusResult, n)
+			fb, err := d.Full(point, out)
+			if err != nil {
+				fail("g%d Full: %v", g, err)
+				return
+			}
+			if !check("full", out, fb, point) {
+				return
+			}
+			for s := 0; s < steps; s++ {
+				next, dirty := walkPoint(rng, point, 1+rng.Intn(dim))
+				_, fb, err := d.ComputeDelta(point, next, dirty, out)
+				if err != nil {
+					fail("g%d ComputeDelta: %v", g, err)
+					return
+				}
+				if !check(fmt.Sprintf("delta step %d", s), out, fb, next) {
+					return
+				}
+				point = next
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDeltaStepAllocFree pins the session satellite: a steady-state
+// incremental step allocates nothing — witnesses live in the session
+// arena, changed/fallback in session buffers.
+func TestDeltaStepAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dim, n = 8, 32
+	orig := make([]float64, dim)
+	for i := range orig {
+		orig[i] = 1 + rng.Float64()
+	}
+	features := make([]core.Feature, n)
+	for k := range features {
+		features[k] = randomFeature(rng, fmt.Sprintf("f%02d", k), dim, orig)
+	}
+	pack, err := Pack(features, dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pack.Delta()
+	out := make([]core.RadiusResult, n)
+	if _, err := d.Full(orig, out); err != nil {
+		t.Fatal(err)
+	}
+	prev := append([]float64(nil), orig...)
+	next := append([]float64(nil), orig...)
+	dirty := []int{0}
+	step := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		j := step % dim
+		step++
+		next[j] = prev[j] + 0.001
+		dirty[0] = j
+		if _, _, err := d.ComputeDelta(prev, next, dirty, out); err != nil {
+			t.Fatal(err)
+		}
+		prev[j] = next[j]
+	})
+	if allocs != 0 {
+		t.Fatalf("ComputeDelta allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestComputeAllocsPinned pins the engine-path sweep at its one
+// unavoidable allocation: the witness block, which escapes into the
+// caller's results (and from there into the radius cache), cannot be
+// pooled; the dot scratch no longer allocates.
+func TestComputeAllocsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dim, n = 8, 32
+	orig := make([]float64, dim)
+	for i := range orig {
+		orig[i] = 1 + rng.Float64()
+	}
+	features := make([]core.Feature, n)
+	for k := range features {
+		features[k] = randomFeature(rng, fmt.Sprintf("f%02d", k), dim, orig)
+	}
+	pack, err := Pack(features, dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]core.RadiusResult, n)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := pack.Compute(orig, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Compute allocs/op = %g, want ≤ 1 (the escaping witness block)", allocs)
+	}
+}
+
+// BenchmarkDeltaStep prices an incremental single-coordinate step
+// against the full sweep it replaces, on a block-sparse mapping shaped
+// like the HCS machine-finishing-time features (each feature owns
+// dim/n coordinates).
+func BenchmarkDeltaStep(b *testing.B) {
+	const machines, perMachine = 32, 8
+	const dim = machines * perMachine
+	features := make([]core.Feature, machines)
+	for m := 0; m < machines; m++ {
+		coeffs := make([]float64, dim)
+		for i := 0; i < perMachine; i++ {
+			coeffs[m*perMachine+i] = 0.5 + float64(i)*0.1
+		}
+		imp, err := core.NewLinearImpact(coeffs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		features[m] = core.Feature{Name: fmt.Sprintf("m%02d", m), Impact: imp, Bounds: core.NoMin(100)}
+	}
+	pack, err := Pack(features, dim, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig := make([]float64, dim)
+	for i := range orig {
+		orig[i] = 1
+	}
+	out := make([]core.RadiusResult, machines)
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pack.Compute(orig, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta_1", func(b *testing.B) {
+		d := pack.Delta()
+		if _, err := d.Full(orig, out); err != nil {
+			b.Fatal(err)
+		}
+		prev := append([]float64(nil), orig...)
+		next := append([]float64(nil), orig...)
+		dirty := []int{0}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % dim
+			next[j] = prev[j] + 0.0001
+			dirty[0] = j
+			if _, _, err := d.ComputeDelta(prev, next, dirty, out); err != nil {
+				b.Fatal(err)
+			}
+			prev[j] = next[j]
+		}
+	})
+}

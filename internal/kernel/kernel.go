@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fepia/internal/core"
 	"fepia/internal/vecmath"
@@ -53,11 +54,12 @@ func Eligible(f core.Feature, dim int, norm vecmath.Norm) bool {
 // bound, dual-norm, and squared-norm arrays fully determine every radius
 // except the dot product a_k·π^orig, which is the only per-point work.
 //
-// A Batch is immutable after Pack except for its internal dot-product
-// scratch, so it may be shared for reading but Compute must not be
-// called concurrently on one Batch. The batch engine builds one Batch
-// per job; sweep drivers reuse one Batch across operating points from a
-// single goroutine.
+// A Batch is immutable after Pack: Compute draws its dot-product
+// scratch from an internal pool, so one Batch may be shared by any
+// number of concurrent Compute callers (and Delta sessions — each
+// session is single-goroutine, but sessions on one Batch are
+// independent). The batch engine builds one Batch per job; sweep
+// drivers reuse one Batch across operating points.
 type Batch struct {
 	n, dim int
 	// coeffs is the flat row-major coefficient block: feature k's
@@ -72,8 +74,20 @@ type Batch struct {
 	dual, aa []float64
 	// names re-stamps results with the caller's feature names.
 	names []string
-	// dots is the per-Compute scratch holding a_k·π^orig.
-	dots []float64
+	// dotPool recycles the per-Compute dot-product scratch (one n-length
+	// slice per in-flight sweep) so a shared Batch never serialises
+	// concurrent Compute callers on a single scratch array. The pool
+	// holds *[]float64 so Get/Put never box a slice header.
+	dotPool sync.Pool
+}
+
+// getDots leases an n-length dot scratch from the pool.
+func (b *Batch) getDots() *[]float64 {
+	if p, ok := b.dotPool.Get().(*[]float64); ok {
+		return p
+	}
+	s := make([]float64, b.n)
+	return &s
 }
 
 // Len returns the packed feature count.
@@ -105,7 +119,6 @@ func Pack(features []core.Feature, dim int, norm vecmath.Norm) (*Batch, error) {
 		dual:    make([]float64, n),
 		aa:      make([]float64, n),
 		names:   make([]string, n),
-		dots:    make([]float64, n),
 	}
 	for k, f := range features {
 		if !Eligible(f, dim, norm) {
@@ -141,8 +154,12 @@ func Pack(features []core.Feature, dim int, norm vecmath.Norm) (*Batch, error) {
 // appends never alias a neighbour); callers that let results escape to
 // mutating consumers get the same value semantics as the scalar path.
 //
-// Compute is not safe for concurrent use on one Batch (it reuses the
-// dot-product scratch); use one Batch per goroutine.
+// Compute is safe for concurrent use on one shared Batch: the dot
+// scratch comes from a pool and the witness block is a fresh per-call
+// allocation, because witnesses escape into the caller's results (and
+// from there into the radius cache). Sweep drivers that keep results
+// inside one session — the delta path — reuse a session-owned block
+// instead and run allocation-free (see Delta).
 func (b *Batch) Compute(orig []float64, out []core.RadiusResult) (fallback []int, err error) {
 	if len(orig) != b.dim {
 		return nil, fmt.Errorf("kernel: operating-point dimension %d != pack dimension %d", len(orig), b.dim)
@@ -150,16 +167,26 @@ func (b *Batch) Compute(orig []float64, out []core.RadiusResult) (fallback []int
 	if len(out) < b.n {
 		return nil, fmt.Errorf("kernel: result slice length %d < feature count %d", len(out), b.n)
 	}
-	b.dotSweep(orig)
+	dp := b.getDots()
+	dots := *dp
+	b.dotSweep(orig, dots)
 	// One backing block for every boundary witness of the sweep: the
 	// per-feature make([]float64, dim) of the scalar path amortises to
-	// one allocation per batch.
+	// one allocation per batch. Witness slots are carved densely and
+	// full-capacity, so appending to one witness never aliases another.
 	block := make([]float64, 0, b.n*b.dim)
+	used := 0
 	for k := 0; k < b.n; k++ {
-		if !b.result(k, orig, &block, &out[k]) {
+		x := block[used : used+b.dim : used+b.dim]
+		if !b.result(k, dots[k], orig, x, &out[k]) {
 			fallback = append(fallback, k)
+			continue
+		}
+		if out[k].Boundary != nil {
+			used += b.dim
 		}
 	}
+	b.dotPool.Put(dp)
 	return fallback, nil
 }
 
@@ -169,7 +196,7 @@ func (b *Batch) Compute(orig []float64, out []core.RadiusResult) (fallback []int
 // order — and therefore every rounding and compensation step — is
 // exactly vecmath.Dot's, while the four independent carry chains let the
 // CPU overlap what the scalar path serialises.
-func (b *Batch) dotSweep(orig []float64) {
+func (b *Batch) dotSweep(orig []float64, dots []float64) {
 	dim := b.dim
 	k := 0
 	for ; k+4 <= b.n; k += 4 {
@@ -184,19 +211,27 @@ func (b *Batch) dotSweep(orig []float64) {
 			s2, c2 = kahanAdd(s2, c2, r2[i]*x)
 			s3, c3 = kahanAdd(s3, c3, r3[i]*x)
 		}
-		b.dots[k+0] = s0 + c0
-		b.dots[k+1] = s1 + c1
-		b.dots[k+2] = s2 + c2
-		b.dots[k+3] = s3 + c3
+		dots[k+0] = s0 + c0
+		dots[k+1] = s1 + c1
+		dots[k+2] = s2 + c2
+		dots[k+3] = s3 + c3
 	}
 	for ; k < b.n; k++ {
-		row := b.coeffs[k*dim : (k+1)*dim]
-		var s, c float64
-		for i, x := range orig {
-			s, c = kahanAdd(s, c, row[i]*x)
-		}
-		b.dots[k] = s + c
+		dots[k] = b.dotOne(k, orig)
 	}
+}
+
+// dotOne is one feature's compensated dot product a_k·π^orig, term for
+// term the arithmetic (and accumulation order) of dotSweep's per-feature
+// chain — the delta path re-sweeps individual affected features through
+// it so a partial update can never diverge bitwise from a full sweep.
+func (b *Batch) dotOne(k int, orig []float64) float64 {
+	row := b.coeffs[k*b.dim : (k+1)*b.dim]
+	var s, c float64
+	for i, x := range orig {
+		s, c = kahanAdd(s, c, row[i]*x)
+	}
+	return s + c
 }
 
 // kahanAdd is one Kahan–Babuška (Neumaier) accumulation step, term for
@@ -218,9 +253,11 @@ func kahanAdd(s, c, x float64) (float64, float64) {
 // β^max side followed by the β^min side with a strictly-smaller
 // comparison (so ties keep the β^max witness, like the scalar loop). It
 // reports false — compute nothing — for the NaN case, whose error text
-// belongs to the scalar path.
-func (b *Batch) result(k int, orig []float64, block *[]float64, out *core.RadiusResult) bool {
-	dot := b.dots[k]
+// belongs to the scalar path. A boundary witness, when the feature has
+// one, is written into x (a dim-length, full-capacity slot the caller
+// carves from its backing block); out.Boundary is x or nil, so the
+// caller can tell whether the slot was consumed.
+func (b *Batch) result(k int, dot float64, orig, x []float64, out *core.RadiusResult) bool {
 	v0 := dot + b.offsets[k]
 	if math.IsNaN(v0) {
 		return false
@@ -228,10 +265,11 @@ func (b *Batch) result(k int, orig []float64, block *[]float64, out *core.Radius
 	if !(v0 >= b.minB[k] && v0 <= b.maxB[k]) {
 		// Already violated at the operating point: radius zero, the
 		// operating point itself is the witness.
+		copy(x, orig)
 		*out = core.RadiusResult{
 			Feature:  b.names[k],
 			Radius:   0,
-			Boundary: b.carve(block, orig),
+			Boundary: x,
 			Kind:     core.AlreadyViolated,
 			Method:   core.MethodNone,
 		}
@@ -275,38 +313,19 @@ func (b *Batch) result(k int, orig []float64, block *[]float64, out *core.Radius
 		return true
 	}
 
-	var x []float64
 	if dual == 0 {
 		// residual == 0 on the winning side: the operating point already
 		// sits on the boundary.
-		x = b.carve(block, orig)
+		copy(x, orig)
 	} else {
 		// The ℓ₂ projection witness, computed exactly as
 		// vecmath.Hyperplane.Project: t = (C − a·π)/‖a‖₂² with C = β − b.
 		t := ((bestBeta - b.offsets[k]) - dot) / b.aa[k]
 		row := b.coeffs[k*b.dim : (k+1)*b.dim]
-		x = b.grow(block)
 		for i, o := range orig {
 			x[i] = o + t*row[i]
 		}
 	}
 	*out = core.RadiusResult{Feature: b.names[k], Radius: bestR, Boundary: x, Kind: bestKind, Method: core.MethodHyperplane}
 	return true
-}
-
-// grow carves one dim-length, full-capacity slice off the sweep's shared
-// backing block (capacity n*dim covers the at-most-one witness each
-// feature produces). Full-capacity slicing means appending to one
-// witness can never overwrite a neighbour's.
-func (b *Batch) grow(block *[]float64) []float64 {
-	n := len(*block)
-	*block = (*block)[:n+b.dim]
-	return (*block)[n : n+b.dim : n+b.dim]
-}
-
-// carve is grow plus a copy of the operating point.
-func (b *Batch) carve(block *[]float64, orig []float64) []float64 {
-	x := b.grow(block)
-	copy(x, orig)
-	return x
 }

@@ -17,10 +17,11 @@ import (
 const (
 	epAnalyze = "analyze"
 	epBatch   = "batch"
+	epWatch   = "watch"
 )
 
 // endpoints lists every labelled /v1/ endpoint, in exposition order.
-var endpoints = []string{epAnalyze, epBatch}
+var endpoints = []string{epAnalyze, epBatch, epWatch}
 
 // latencyBuckets are the upper bounds, in milliseconds, of the
 // per-endpoint request latency histograms (the last bucket is +Inf).
@@ -74,6 +75,14 @@ type telemetry struct {
 	// anytimePartial counts responses containing at least one certified
 	// lower bound instead of a converged radius (meta.anytime=true).
 	anytimePartial *obs.Counter
+
+	// Watch-session instruments (internal/server/watch.go): sessions
+	// opened, steps streamed, and radii reported changed across all
+	// steps. changed_radii / steps is the stream's effective compression
+	// — how much of each frame the incremental wire actually ships.
+	watchSessions     *obs.Counter
+	watchSteps        *obs.Counter
+	watchChangedRadii *obs.Counter
 }
 
 // newTelemetry builds the registry and registers every serving metric,
@@ -111,6 +120,12 @@ func newTelemetry(s *Server) telemetry {
 			"Entries restored from the snapshot at boot (0 on a cold boot)."),
 		anytimePartial: reg.Counter("fepiad_anytime_partial_total",
 			"Responses carrying a certified lower bound instead of a converged radius (meta.anytime)."),
+		watchSessions: reg.Counter("fepiad_watch_sessions_total",
+			"Incremental watch sessions opened on /v1/watch."),
+		watchSteps: reg.Counter("fepiad_watch_steps_total",
+			"Watch frames streamed (one per analysed operating point)."),
+		watchChangedRadii: reg.Counter("fepiad_watch_changed_radii_total",
+			"Radii reported changed across all watch frames (the incremental wire's payload)."),
 	}
 	for _, ep := range endpoints {
 		t.requests[ep] = reg.Counter("fepiad_requests_total", "Requests by endpoint.", obs.L("endpoint", ep))
@@ -333,6 +348,8 @@ func (s *Server) writeVars(w io.Writer) {
 		m.snapLoads.Value(), m.snapLoadFailures.Value(),
 		int64(m.snapLastEntries.Value()), int64(m.snapLastBytes.Value()), int64(m.snapRestored.Value()))
 	fmt.Fprintf(w, "%q: %d,\n", "fepiad.anytime_partial", m.anytimePartial.Value())
+	fmt.Fprintf(w, "%q: {\"sessions\": %d, \"steps\": %d, \"changed_radii\": %d},\n",
+		"fepiad.watch", m.watchSessions.Value(), m.watchSteps.Value(), m.watchChangedRadii.Value())
 
 	// Per-endpoint latency histograms plus the merged aggregate the
 	// pre-split dashboards read.

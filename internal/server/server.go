@@ -356,6 +356,11 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument(epAnalyze, s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
+	// /v1/watch accepts GET alongside POST so stream-native clients
+	// (curl -N, EventSource-style readers) that cannot POST a body via
+	// their streaming helper can still open a session.
+	s.mux.HandleFunc("POST /v1/watch", s.instrument(epWatch, s.handleWatch))
+	s.mux.HandleFunc("GET /v1/watch", s.instrument(epWatch, s.handleWatch))
 	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
 	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
 	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)

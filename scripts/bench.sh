@@ -3,10 +3,12 @@
 #
 # Builds cmd/bench, cmd/loadgen, and cmd/fepiad and runs them with
 # pinned seeds and workload shape, so two runs on the same machine
-# measure the same byte-identical key stream. Writes BENCH_8.json (cold
+# measure the same byte-identical key stream. Writes BENCH_10.json (cold
 # / warm / contended cache series for the frozen single-mutex baseline
 # and the live sharded cache, the kernel_warm / kernel_cold / mixed
-# series for the SoA analytic kernel, the loadgen-driven cluster series
+# series for the SoA analytic kernel, the incremental_1 / incremental_k
+# series for the delta re-analysis session against full recomputes,
+# the loadgen-driven cluster series
 # — 1-node LRU-thrash vs 3-node consistent-hash ring on the same
 # per-node cache capacity, plus the kill-a-node chaos story — the
 # restart series — warm boot from a cache snapshot vs cold restart —
@@ -21,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_8.json}"
+OUT="${BENCH_OUT:-BENCH_10.json}"
 FLAGS="${BENCH_FLAGS:--seed 2003 -keys 512 -dim 8 -iters 20000 -reps 5 -sweeps 100}"
 # The cluster workload: 96 distinct systems × ~13 cacheable radius
 # subproblems ≈ 1250 entries against a 1024-entry per-node cache, cycled
@@ -100,7 +102,9 @@ stop_fepiad
 # >= 2x, the shared warm-hit path must not allocate, the SoA kernel must
 # hold >= 4x over the per-feature analytic loop, both byte-identity
 # checks (all-linear and mixed routing through the engine) must have
-# passed inside the harness, the 3-node ring must serve the warm workload
+# passed inside the harness, the incremental delta session must beat the
+# full recompute >= 3x on single-coordinate moves with its own identity
+# bit set, the 3-node ring must serve the warm workload
 # >= 2.2x faster than one node, the chaos story must drop zero requests,
 # the warm boot's FIRST request must be a snapshot-restored cache hit
 # while both cold lives open on a miss, and warm-boot p99 must beat the
@@ -148,6 +152,14 @@ if not s["kernel_identical"]:
 if not s["kernel_mixed_identical"]:
     print("FAIL: mixed-batch kernel routing changed the analysis", file=sys.stderr)
     ok = False
+if s["incremental_speedup_1"] < 3.0:
+    print(f"FAIL: incremental single-coordinate speedup {s['incremental_speedup_1']:.2f}x < 3x",
+          file=sys.stderr)
+    ok = False
+if not s["incremental_identical"]:
+    print("FAIL: delta session results are not byte-identical to full recomputes",
+          file=sys.stderr)
+    ok = False
 if s["cluster_scaling"] < 2.2:
     print(f"FAIL: 3-node warm-hit scaling {s['cluster_scaling']:.2f}x < 2.2x", file=sys.stderr)
     ok = False
@@ -184,6 +196,10 @@ print(f"bench: contended x{s['contended_workers']} speedup {s['contended_speedup
       f"shared={s['warm_hit_allocs_sharded_shared']:.2f}, "
       f"kernel warm {s['kernel_speedup']:.2f}x cold {s['kernel_cold_speedup']:.2f}x "
       f"identical={s['kernel_identical']} mixed={s['kernel_mixed_identical']}")
+print(f"bench: incremental 1-coord {s['incremental_speedup_1']:.2f}x "
+      f"k-coord {s['incremental_speedup_k']:.2f}x "
+      f"({s['incremental_full_ns_per_op']:.0f} -> {s['incremental_delta_ns_per_op']:.0f} ns/step) "
+      f"identical={s['incremental_identical']}")
 print(f"bench: cluster 3-node/1-node warm-hit {s['cluster_scaling']:.2f}x "
       f"({one['throughput_rps']:.0f} -> {three['throughput_rps']:.0f} req/s), "
       f"chaos killed {chaos.get('killed', '?')}: {chaos['ok']}/{chaos['requests']} ok, "

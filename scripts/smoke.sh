@@ -2,7 +2,9 @@
 # smoke.sh — boot a real fepiad binary, drive one analysis through it,
 # and verify the observability surfaces answer: /healthz, /metrics
 # (Prometheus text exposition), /debug/vars, and /debug/traces with the
-# request's spans. Then boot a 2-node consistent-hash ring and verify
+# request's spans — then stream a short /v1/watch session and verify the
+# incremental frames and the fepiad_watch_* counters on both metric
+# surfaces. Then boot a 2-node consistent-hash ring and verify
 # cluster serving: /v1/ring membership, owner forwarding with the
 # X-Fepiad-Forwarded / X-Fepiad-Node headers, the response meta block
 # (docs/CLUSTER.md), cross-node trace stitching on the ingress
@@ -98,6 +100,58 @@ for field in '"id": "smoke-1"' '"name": "parse"' '"name": "solve"' '"name": "enc
         exit 1
     }
 done
+
+# A 3-step watch session over the smoke system: one ndjson frame per
+# step plus a clean summary. The first frame reports every radius, the
+# later single-coordinate steps only what moved, and the session shows
+# up as fepiad_watch_* on /metrics and fepiad.watch on /debug/vars.
+echo "smoke: POST /v1/watch"
+cat >"$TMP/watch.json" <<'EOF'
+{
+  "system": {
+    "name": "smoke-watch",
+    "perturbation": {"name": "λ", "orig": [300, 200], "units": "req/s"},
+    "features": [
+      {"name": "load(edge)", "max": 1100,
+       "impact": {"type": "linear", "coeffs": [1, 1], "offset": 0}}
+    ]
+  },
+  "points": [[300, 200], [300, 210], [280, 210]]
+}
+EOF
+curl -fsS -X POST -H "Content-Type: application/json" \
+    --data-binary @"$TMP/watch.json" "$BASE/v1/watch" >"$TMP/watch-stream.ndjson"
+frames=$(grep -c '"changed_count"' "$TMP/watch-stream.ndjson" || true)
+if [ "$frames" -lt 2 ]; then
+    echo "smoke: watch session streamed $frames frames, want >= 2" >&2
+    cat "$TMP/watch-stream.ndjson" >&2
+    exit 1
+fi
+grep -qF '"done":true' "$TMP/watch-stream.ndjson" || {
+    echo "smoke: watch stream ended without a clean summary" >&2
+    cat "$TMP/watch-stream.ndjson" >&2
+    exit 1
+}
+grep -qF '"changed":[{' "$TMP/watch-stream.ndjson" || {
+    echo "smoke: no watch frame carried changed radii" >&2
+    cat "$TMP/watch-stream.ndjson" >&2
+    exit 1
+}
+curl -fsS "$BASE/metrics" >"$TMP/metrics-watch.txt"
+for series in \
+    'fepiad_watch_sessions_total 1' \
+    'fepiad_watch_steps_total 3' \
+    'fepiad_watch_changed_radii_total'; do
+    grep -qF "$series" "$TMP/metrics-watch.txt" || {
+        echo "smoke: /metrics missing after watch session: $series" >&2
+        cat "$TMP/metrics-watch.txt" >&2
+        exit 1
+    }
+done
+curl -fsS "$BASE/debug/vars" | grep -qF '"fepiad.watch"' || {
+    echo "smoke: /debug/vars missing fepiad.watch after watch session" >&2
+    exit 1
+}
 
 echo "smoke: graceful shutdown"
 kill -TERM "$SERVER_PID"
